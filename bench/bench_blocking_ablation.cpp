@@ -1,0 +1,107 @@
+// E4 — §6.1 blocking-factor ablation for the Uezato baseline: "we
+// evaluate various cache blocking factors, but typically find the
+// performance using a blocking factor of 2 KB to provide the highest
+// performance".
+//
+// Sweeps the blocking factor from 256 B to 64 KB at (k=10, r=4, w=8,
+// 128 KB units) and also reports the CSE on/off ablation.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "baselines/xor_schedule.h"
+#include "bench_util.h"
+#include "ec/reed_solomon.h"
+
+namespace {
+
+using namespace tvmec;
+
+constexpr std::size_t kUnit = 128 * 1024;
+constexpr std::size_t kK = 10;
+constexpr std::size_t kR = 4;
+
+const std::vector<std::size_t> kFactors = {256,  512,   1024,  2048,
+                                           4096, 16384, 65536};
+
+const gf::Matrix& parity_matrix() {
+  static const ec::ReedSolomon rs(ec::CodeParams{kK, kR, 8});
+  static const gf::Matrix parity = rs.parity_matrix();
+  return parity;
+}
+
+const baseline::UezatoCoder& coder_for(std::size_t block, bool cse) {
+  static std::map<std::pair<std::size_t, bool>,
+                  std::unique_ptr<baseline::UezatoCoder>>
+      cache;
+  auto& c = cache[{block, cse}];
+  if (!c) {
+    baseline::UezatoCoder::Options opts;
+    opts.block_bytes = block;
+    opts.enable_cse = cse;
+    c = std::make_unique<baseline::UezatoCoder>(parity_matrix(), opts);
+  }
+  return *c;
+}
+
+void bm_uezato_blocking(benchmark::State& state) {
+  const auto& coder =
+      coder_for(static_cast<std::size_t>(state.range(0)), true);
+  const auto data = benchutil::random_data(kK * kUnit, 3);
+  tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+  for (auto _ : state) coder.apply(data.span(), parity.span(), kUnit);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kK * kUnit));
+}
+BENCHMARK(bm_uezato_blocking)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536);
+
+void print_paper_table() {
+  benchutil::print_header(
+      "E4 (Section 6.1): Uezato cache-blocking factor ablation",
+      "a 2 KB blocking factor typically performs best");
+
+  const auto data = benchutil::random_data(kK * kUnit, 4);
+  tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+
+  std::printf("%-12s %14s %14s\n", "block bytes", "CSE GB/s", "no-CSE GB/s");
+  double best_gbps = 0;
+  std::size_t best_block = 0;
+  for (const std::size_t block : kFactors) {
+    const double with_cse = benchutil::median_encode_gbps(
+        coder_for(block, true), data.span(), parity.span(), kUnit, 15);
+    const double without = benchutil::median_encode_gbps(
+        coder_for(block, false), data.span(), parity.span(), kUnit, 15);
+    if (with_cse > best_gbps) {
+      best_gbps = with_cse;
+      best_block = block;
+    }
+    std::printf("%-12zu %14.2f %14.2f\n", block, with_cse, without);
+  }
+  std::printf("\nbest blocking factor: %zu bytes (paper: 2048)\n", best_block);
+
+  const auto& c = coder_for(2048, true);
+  std::printf("CSE stats at 2 KB: %zu temps, %zu XOR ops vs %zu without "
+              "CSE (%.1f%% reduction)\n",
+              c.num_temps(), c.xor_ops(), c.xor_ops_without_cse(),
+              100.0 * (1.0 - static_cast<double>(c.xor_ops()) /
+                                 static_cast<double>(c.xor_ops_without_cse())));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_paper_table();
+  return 0;
+}

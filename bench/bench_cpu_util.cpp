@@ -1,0 +1,121 @@
+// E8 — §7.2 / §8 future work: CPU utilization. "One potential limitation
+// of erasure codes implemented via ML libraries is that they may lead to
+// higher CPU utilization" (because GEMM schedules parallelize across
+// cores). Measures CPU-seconds consumed per GB encoded (via rusage) for
+// every backend, including single-thread and multi-thread GEMM schedules.
+
+#include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+
+#include <thread>
+
+#include "bench_util.h"
+#include "ec/reed_solomon.h"
+
+namespace {
+
+using namespace tvmec;
+
+constexpr std::size_t kUnit = 128 * 1024;
+constexpr std::size_t kK = 10;
+constexpr std::size_t kR = 4;
+
+double process_cpu_seconds() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const auto to_secs = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  return to_secs(usage.ru_utime) + to_secs(usage.ru_stime);
+}
+
+struct UtilResult {
+  double wall_gbps = 0;
+  double cpu_seconds_per_gb = 0;
+};
+
+UtilResult measure(const ec::MatrixCoder& coder,
+                   std::span<const std::uint8_t> data,
+                   std::span<std::uint8_t> parity) {
+  coder.apply(data, parity, kUnit);  // warm
+  constexpr int kReps = 40;
+  const double cpu0 = process_cpu_seconds();
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) coder.apply(data, parity, kUnit);
+  const auto wall1 = std::chrono::steady_clock::now();
+  const double cpu1 = process_cpu_seconds();
+
+  const double gb = static_cast<double>(kK * kUnit) * kReps / 1e9;
+  UtilResult r;
+  r.wall_gbps = gb / std::chrono::duration<double>(wall1 - wall0).count();
+  r.cpu_seconds_per_gb = (cpu1 - cpu0) / gb;
+  return r;
+}
+
+void print_paper_table() {
+  benchutil::print_header(
+      "E8 (Section 7.2): CPU utilization comparison",
+      "ML-library erasure coding may consume more CPU (parallel "
+      "schedules) for its throughput");
+
+  const ec::ReedSolomon rs(ec::CodeParams{kK, kR, 8});
+  const auto parity_m = rs.parity_matrix();
+  const auto data = benchutil::random_data(kK * kUnit, 9);
+  tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+
+  std::printf("%-18s %14s %20s\n", "backend", "wall GB/s", "CPU-sec per GB");
+
+  for (const core::Backend b :
+       {core::Backend::JerasureSmart, core::Backend::Uezato,
+        core::Backend::Isal}) {
+    const auto coder = core::make_coder(b, parity_m);
+    const UtilResult r = measure(*coder, data.span(), parity.span());
+    std::printf("%-18s %14.2f %20.4f\n", core::to_string(b), r.wall_gbps,
+                r.cpu_seconds_per_gb);
+  }
+
+  // GEMM backend: serial schedule vs all-cores schedule.
+  {
+    core::GemmCoder coder(parity_m);
+    benchutil::tune_gemm(coder, kUnit, 32, /*max_threads=*/1);
+    const UtilResult r = measure(coder, data.span(), parity.span());
+    std::printf("%-18s %14.2f %20.4f\n", "tvm-ec (1 thread)", r.wall_gbps,
+                r.cpu_seconds_per_gb);
+  }
+  {
+    core::GemmCoder coder(parity_m);
+    benchutil::tune_gemm(coder, kUnit, 32,
+                         static_cast<int>(std::thread::hardware_concurrency()));
+    const UtilResult r = measure(coder, data.span(), parity.span());
+    std::printf("%-18s %14.2f %20.4f   (schedule: %s)\n", "tvm-ec (tuned)",
+                r.wall_gbps, r.cpu_seconds_per_gb,
+                coder.schedule().to_string().c_str());
+  }
+  std::printf("\n(hardware threads available: %u)\n",
+              std::thread::hardware_concurrency());
+}
+
+void bm_placeholder(benchmark::State& state) {
+  // The substantive measurement is rusage-based (above); this entry keeps
+  // the binary a well-formed google-benchmark target.
+  const ec::ReedSolomon rs(ec::CodeParams{kK, kR, 8});
+  core::GemmCoder coder(rs.parity_matrix());
+  const auto data = benchutil::random_data(kK * kUnit, 10);
+  tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+  for (auto _ : state) coder.apply(data.span(), parity.span(), kUnit);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kK * kUnit));
+}
+BENCHMARK(bm_placeholder)->Name("encode/tvm-ec-default");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_paper_table();
+  return 0;
+}

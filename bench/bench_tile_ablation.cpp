@@ -1,0 +1,80 @@
+// E13 (ablation) — why the schedule space looks the way it does: sweeps
+// the microkernel register-tile shape at fixed blocking, showing
+//  (a) wide N tiles amortize the per-(row,k) A-mask broadcast,
+//  (b) taller M tiles amortize B loads until accumulators spill,
+//  (c) the tuner's preferred region (mt4-8 x 16-32) is a real optimum.
+// This is the design-choice evidence behind DESIGN.md's schedule menu.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ec/reed_solomon.h"
+#include "tensor/microkernel.h"
+
+namespace {
+
+using namespace tvmec;
+
+constexpr std::size_t kUnit = 128 * 1024;
+constexpr std::size_t kK = 10;
+constexpr std::size_t kR = 4;
+
+const gf::Matrix& parity_matrix() {
+  static const ec::ReedSolomon rs(ec::CodeParams{kK, kR, 8});
+  static const gf::Matrix parity = rs.parity_matrix();
+  return parity;
+}
+
+void bm_tile(benchmark::State& state) {
+  tensor::Schedule s;
+  s.tile_m = static_cast<int>(state.range(0));
+  s.tile_n = static_cast<int>(state.range(1));
+  s.block_n = 512;
+  core::GemmCoder coder(parity_matrix(), s);
+  const auto data = benchutil::random_data(kK * kUnit, 5);
+  tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+  for (auto _ : state) coder.apply(data.span(), parity.span(), kUnit);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kK * kUnit));
+}
+BENCHMARK(bm_tile)
+    ->ArgsProduct({{1, 2, 4, 8}, {4, 8, 16, 32, 64}})
+    ->ArgNames({"tm", "tn"});
+
+void print_paper_table() {
+  benchutil::print_header(
+      "E13 (ablation): register-tile shape sweep, GB/s (k=10 r=4, nb512)",
+      "wide tiles amortize mask broadcasts; the best region is "
+      "mt4-8 x tn16-32 on SIMD builds");
+  std::printf("SIMD codegen path: %s\n\n",
+              tensor::xorand_simd_codegen() ? "yes" : "no (portable)");
+
+  const auto data = benchutil::random_data(kK * kUnit, 6);
+  tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+  std::printf("%-6s", "tm\\tn");
+  for (const int tn : {4, 8, 16, 32, 64}) std::printf("%8d", tn);
+  std::printf("\n");
+  for (const int tm : {1, 2, 4, 8}) {
+    std::printf("%-6d", tm);
+    for (const int tn : {4, 8, 16, 32, 64}) {
+      tensor::Schedule s;
+      s.tile_m = tm;
+      s.tile_n = tn;
+      s.block_n = 512;
+      core::GemmCoder coder(parity_matrix(), s);
+      std::printf("%8.2f", benchutil::median_encode_gbps(
+                               coder, data.span(), parity.span(), kUnit, 11));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_paper_table();
+  return 0;
+}

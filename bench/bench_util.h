@@ -1,0 +1,156 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/backends.h"
+#include "core/gemm_coder.h"
+#include "ec/encoder.h"
+#include "tensor/buffer.h"
+#include "tune/tuner.h"
+
+/// Shared measurement helpers for the per-figure benchmark binaries.
+///
+/// Each binary combines google-benchmark output (for machine-readable
+/// per-op timing) with a printed paper-style table reproducing the rows
+/// or series of the corresponding figure in the paper; EXPERIMENTS.md
+/// records the tables next to the paper's claims.
+namespace tvmec::benchutil {
+
+inline tensor::AlignedBuffer<std::uint8_t> random_data(std::size_t size,
+                                                       std::uint64_t seed) {
+  tensor::AlignedBuffer<std::uint8_t> buf(size);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < size; ++i)
+    buf[i] = static_cast<std::uint8_t>(rng());
+  return buf;
+}
+
+/// Median encode throughput of `coder` in GB/s over `reps` runs
+/// (throughput convention as in the paper: data bytes consumed per
+/// second, i.e. k * unit_size per apply).
+inline double median_encode_gbps(const ec::MatrixCoder& coder,
+                                 std::span<const std::uint8_t> in,
+                                 std::span<std::uint8_t> out,
+                                 std::size_t unit_size, std::size_t reps) {
+  coder.apply(in, out, unit_size);  // warm-up
+  const double secs = tune::measure_seconds_median(
+      [&] { coder.apply(in, out, unit_size); }, reps);
+  return static_cast<double>(in.size()) / secs / 1e9;
+}
+
+/// Drift-resistant comparison: measures several coders round-robin over
+/// `rounds` passes (so slow frequency/neighbor drift affects every coder
+/// equally) and returns the per-coder median GB/s. Each sample times
+/// `inner` back-to-back applies.
+inline std::vector<double> interleaved_median_gbps(
+    const std::vector<const ec::MatrixCoder*>& coders,
+    std::span<const std::uint8_t> in, std::size_t unit_size,
+    std::size_t rounds = 9, std::size_t inner = 3) {
+  std::vector<std::vector<double>> samples(coders.size());
+  std::vector<tensor::AlignedBuffer<std::uint8_t>> outs;
+  outs.reserve(coders.size());
+  for (const auto* c : coders) {
+    outs.emplace_back(c->out_units() * unit_size);
+    c->apply(in, outs.back().span(), unit_size);  // warm-up
+  }
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < coders.size(); ++i) {
+      const double secs = tune::measure_seconds_median(
+          [&] { coders[i]->apply(in, outs[i].span(), unit_size); }, inner);
+      samples[i].push_back(static_cast<double>(in.size()) / secs / 1e9);
+    }
+  }
+  std::vector<double> medians(coders.size());
+  for (std::size_t i = 0; i < coders.size(); ++i) {
+    auto& s = samples[i];
+    std::nth_element(s.begin(), s.begin() + s.size() / 2, s.end());
+    medians[i] = s[s.size() / 2];
+  }
+  return medians;
+}
+
+/// Autotunes a GemmCoder for the given unit size and returns it ready to
+/// measure (the paper's §6.1 setup with a configurable budget). Like
+/// TVM's autoscheduler, the quick per-trial timings are followed by a
+/// careful re-measurement of the top candidates before the final pick —
+/// on a noisy machine the fastest-looking trial is often just a lucky
+/// sample.
+inline void tune_gemm(core::GemmCoder& coder, std::size_t unit_size,
+                      std::size_t trials, int max_threads) {
+  tune::TuneOptions opt;
+  opt.policy = tune::Policy::ModelGuided;
+  opt.trials = trials;
+  opt.seed = 0xEC;
+  tune::TuneResult result = coder.tune(unit_size, opt, max_threads);
+
+  // Re-measure the top 6 distinct candidates with longer, interleaved
+  // sampling and install the true winner.
+  auto history = result.history;
+  std::sort(history.begin(), history.end(),
+            [](const auto& a, const auto& b) {
+              return a.throughput > b.throughput;
+            });
+  std::vector<tensor::Schedule> finalists;
+  for (const auto& rec : history) {
+    if (std::find(finalists.begin(), finalists.end(), rec.schedule) ==
+        finalists.end())
+      finalists.push_back(rec.schedule);
+    if (finalists.size() == 6) break;
+  }
+  const auto data = random_data(coder.in_units() * unit_size, 0xF1);
+  tensor::AlignedBuffer<std::uint8_t> parity(coder.out_units() * unit_size);
+  std::vector<std::vector<double>> samples(finalists.size());
+  for (std::size_t round = 0; round < 7; ++round) {
+    for (std::size_t i = 0; i < finalists.size(); ++i) {
+      coder.set_schedule(finalists[i]);
+      coder.apply(data.span(), parity.span(), unit_size);
+      const double secs = tune::measure_seconds_median(
+          [&] { coder.apply(data.span(), parity.span(), unit_size); }, 3);
+      samples[i].push_back(secs);
+    }
+  }
+  std::size_t best = 0;
+  double best_secs = 1e300;
+  for (std::size_t i = 0; i < finalists.size(); ++i) {
+    auto& s = samples[i];
+    std::nth_element(s.begin(), s.begin() + s.size() / 2, s.end());
+    if (s[s.size() / 2] < best_secs) {
+      best_secs = s[s.size() / 2];
+      best = i;
+    }
+  }
+  coder.set_schedule(finalists[best]);
+}
+
+/// A representative tuned schedule for the GEMM backend (what the
+/// autotuner converges to on this class of machine); used by benches
+/// that compare backends without running a fresh tuning session.
+inline tensor::Schedule representative_gemm_schedule() {
+  tensor::Schedule s;
+  s.tile_m = 8;
+  s.tile_n = 16;
+  s.block_k = 0;
+  s.block_n = 512;
+  s.num_threads = 1;
+  return s;
+}
+
+/// make_coder, but the Gemm backend gets the representative schedule.
+inline std::unique_ptr<ec::MatrixCoder> make_measured_coder(
+    core::Backend b, const gf::Matrix& coeffs) {
+  if (b == core::Backend::Gemm)
+    return core::make_gemm_coder(coeffs, representative_gemm_schedule());
+  return core::make_coder(b, coeffs);
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("\n=== %s ===\n", experiment);
+  std::printf("paper: %s\n\n", paper_claim);
+}
+
+}  // namespace tvmec::benchutil

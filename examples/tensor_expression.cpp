@@ -1,0 +1,96 @@
+// The paper's Listing 3, line for line, in this library's te mirror:
+// a GEMM and a bitmatrix erasure code declared with identical structure,
+// differing only in the reducer (sum -> xor) and combiner (mul -> and).
+//
+// Both are lowered to the scheduled kernel and executed; the erasure-code
+// variant is checked against GF(2^8) reference encoding to show the
+// declaration really is a Reed-Solomon encoder.
+//
+// Build & run:  ./build/examples/tensor_expression
+
+#include <cstdio>
+#include <random>
+
+#include "ec/bitmatrix_code.h"
+#include "ec/reed_solomon.h"
+#include "tensor/buffer.h"
+#include "tensor/expr.h"
+
+int main() {
+  using namespace tvmec;
+  namespace te = tensor::te;
+
+  const ec::CodeParams params{10, 4, 8};
+  const std::size_t unit = 64 * 1024;
+  const ec::ReedSolomon rs(params);
+  const ec::BitmatrixCode bits(rs.parity_matrix());
+
+  const std::size_t M = bits.bits().rows();   // r * w
+  const std::size_t K = bits.bits().cols();   // k * w
+  const std::size_t N = unit / params.w / 8;  // packet words
+
+  // ---- Listing 3 ----------------------------------------------------
+  const te::Placeholder A = te::placeholder(M, K, "A");
+  const te::Placeholder B = te::placeholder(K, N, "B");
+  const te::IterVar k = te::reduce_axis(K, "k");
+
+  // GEMM
+  const te::ComputeDef gemm =
+      te::compute(M, N, [&](te::IterVar i, te::IterVar j) {
+        return te::reduce(te::BinOp::Add, A(i, k) * B(k, j), k);
+      });
+
+  // Bitmatrix erasure code
+  const te::ComputeDef ec_def =
+      te::compute(M, N, [&](te::IterVar i, te::IterVar j) {
+        return te::reduce(te::BinOp::Xor, A(i, k) & B(k, j), k);
+      });
+  // --------------------------------------------------------------------
+
+  const te::LoweredGemm lowered_gemm = te::lower(gemm);
+  const te::LoweredGemm lowered_ec = te::lower(ec_def);
+  std::printf("declared two computations over the same %zux%zux%zu loop "
+              "nest:\n  gemm lowered to %s kernel\n  ec   lowered to %s "
+              "kernel\n",
+              M, N, K,
+              lowered_gemm.kind() == te::LoweredGemm::Kind::SumProd
+                  ? "sum-product"
+                  : "xor-and",
+              lowered_ec.kind() == te::LoweredGemm::Kind::XorAnd
+                  ? "xor-and"
+                  : "sum-product");
+
+  // Bind the real generator bitmatrix (as broadcast masks) and real data.
+  tensor::AlignedBuffer<std::uint64_t> masks(M * K);
+  for (std::size_t i = 0; i < M; ++i)
+    for (std::size_t j = 0; j < K; ++j)
+      masks[i * K + j] = bits.bits().get(i, j) ? ~std::uint64_t{0} : 0;
+  tensor::AlignedBuffer<std::uint8_t> data(params.k * unit);
+  std::mt19937_64 rng(5);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(rng());
+
+  tensor::Schedule schedule;
+  schedule.tile_m = 4;
+  schedule.tile_n = 8;
+  tensor::AlignedBuffer<std::uint64_t> parity_words(M * N);
+  lowered_ec.run(
+      {{A.id(), {masks.data(), M, K, K}},
+       {B.id(),
+        {reinterpret_cast<const std::uint64_t*>(data.data()), K, N, N}}},
+      {parity_words.data(), M, N, N}, schedule);
+
+  // Verify against first-principles GF(2^8) arithmetic (bitpacket
+  // embedding, the convention of all bitmatrix erasure coders).
+  std::vector<std::uint8_t> reference(params.r * unit);
+  ec::apply_matrix_reference_bitpacket(rs.parity_matrix(), data.span(),
+                                       reference, unit);
+  const bool ok = std::equal(
+      reference.begin(), reference.end(),
+      reinterpret_cast<const std::uint8_t*>(parity_words.data()));
+  std::printf("tensor-expression encode vs GF(2^8) reference: %s\n",
+              ok ? "BYTE-IDENTICAL" : "MISMATCH");
+  std::printf("(the erasure-code declaration is ~8 lines — the paper's "
+              "'few additional lines of code' claim)\n");
+  return ok ? 0 : 1;
+}

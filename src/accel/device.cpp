@@ -1,0 +1,84 @@
+#include "accel/device.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/kernel.h"
+
+namespace tvmec::accel {
+
+Device::Device(std::string name, double interconnect_gbps)
+    : name_(std::move(name)),
+      interconnect_bytes_per_sec_(interconnect_gbps * 1e9) {
+  if (interconnect_gbps <= 0)
+    throw std::invalid_argument("Device: interconnect bandwidth must be > 0");
+}
+
+DeviceBuffer Device::alloc(std::size_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("Device::alloc: zero size");
+  ++stats_.allocations;
+  return DeviceBuffer(
+      std::make_shared<tensor::AlignedBuffer<std::uint8_t>>(bytes), this);
+}
+
+const std::uint8_t* Device::data_of(const DeviceBuffer& buf,
+                                    const char* what) const {
+  if (!buf.valid())
+    throw std::invalid_argument(std::string(what) + ": invalid buffer");
+  if (buf.owner_ != this)
+    throw std::invalid_argument(std::string(what) +
+                                ": buffer belongs to another device");
+  return buf.bytes_->data();
+}
+
+std::uint8_t* Device::mutable_data_of(DeviceBuffer& buf,
+                                      const char* what) const {
+  return const_cast<std::uint8_t*>(data_of(buf, what));
+}
+
+void Device::copy_to_device(DeviceBuffer& dst,
+                            std::span<const std::uint8_t> src) {
+  std::uint8_t* d = mutable_data_of(dst, "copy_to_device");
+  if (dst.size() != src.size())
+    throw std::invalid_argument("copy_to_device: size mismatch");
+  std::memcpy(d, src.data(), src.size());
+  stats_.bytes_h2d += src.size();
+  stats_.modeled_transfer_seconds +=
+      static_cast<double>(src.size()) / interconnect_bytes_per_sec_;
+}
+
+void Device::copy_to_host(std::span<std::uint8_t> dst,
+                          const DeviceBuffer& src) {
+  const std::uint8_t* s = data_of(src, "copy_to_host");
+  if (dst.size() != src.size())
+    throw std::invalid_argument("copy_to_host: size mismatch");
+  std::memcpy(dst.data(), s, dst.size());
+  stats_.bytes_d2h += dst.size();
+  stats_.modeled_transfer_seconds +=
+      static_cast<double>(dst.size()) / interconnect_bytes_per_sec_;
+}
+
+void Device::copy_on_device(DeviceBuffer& dst, const DeviceBuffer& src) {
+  const std::uint8_t* s = data_of(src, "copy_on_device");
+  std::uint8_t* d = mutable_data_of(dst, "copy_on_device");
+  if (dst.size() != src.size())
+    throw std::invalid_argument("copy_on_device: size mismatch");
+  std::memcpy(d, s, dst.size());
+}
+
+void Device::launch_xorand_gemm(const DeviceBuffer& a, const DeviceBuffer& b,
+                                DeviceBuffer& c, std::size_t m,
+                                std::size_t n, std::size_t k,
+                                const tensor::Schedule& schedule) {
+  const auto* pa =
+      reinterpret_cast<const std::uint64_t*>(data_of(a, "launch: A"));
+  const auto* pb =
+      reinterpret_cast<const std::uint64_t*>(data_of(b, "launch: B"));
+  auto* pc = reinterpret_cast<std::uint64_t*>(mutable_data_of(c, "launch: C"));
+  if (a.size() < m * k * 8 || b.size() < k * n * 8 || c.size() < m * n * 8)
+    throw std::invalid_argument("launch_xorand_gemm: buffer too small");
+  ++stats_.kernel_launches;
+  tensor::gemm_xorand({pa, m, k, k}, {pb, k, n, n}, {pc, m, n, n}, schedule);
+}
+
+}  // namespace tvmec::accel

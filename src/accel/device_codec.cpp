@@ -1,0 +1,82 @@
+#include "accel/device_codec.h"
+
+#include <stdexcept>
+
+#include "ec/bitmatrix_code.h"
+
+namespace tvmec::accel {
+
+DeviceCodec::DeviceCodec(Device& device, const ec::CodeParams& params,
+                         ec::RsFamily family)
+    : device_(&device),
+      params_(params),
+      rs_(params, family),
+      host_coder_(rs_.parity_matrix()),
+      schedule_(tensor::default_schedule()) {
+  // Build the broadcast-mask matrix on the host, upload once. This is
+  // the analogue of shipping the compiled kernel + weights to the GPU.
+  const ec::BitmatrixCode code(rs_.parity_matrix());
+  const gf::BitMatrix& bits = code.bits();
+  tensor::AlignedBuffer<std::uint64_t> masks(bits.rows() * bits.cols());
+  for (std::size_t i = 0; i < bits.rows(); ++i)
+    for (std::size_t j = 0; j < bits.cols(); ++j)
+      masks[i * bits.cols() + j] =
+          bits.get(i, j) ? ~std::uint64_t{0} : std::uint64_t{0};
+  device_masks_ = device_->alloc(masks.size() * 8);
+  device_->copy_to_device(
+      device_masks_,
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(masks.data()),
+          masks.size() * 8));
+}
+
+void DeviceCodec::set_schedule(const tensor::Schedule& schedule) {
+  if (!schedule.valid())
+    throw std::invalid_argument("DeviceCodec: invalid schedule");
+  schedule_ = schedule;
+  host_coder_.set_schedule(schedule);
+}
+
+void DeviceCodec::encode_on_device(const DeviceBuffer& data,
+                                   DeviceBuffer& parity,
+                                   std::size_t unit_size) {
+  const std::size_t quantum = std::size_t{8} * params_.w;
+  if (unit_size == 0 || unit_size % quantum != 0)
+    throw std::invalid_argument(
+        "encode_on_device: unit size must be multiple of 8*w");
+  if (data.size() != params_.k * unit_size)
+    throw std::invalid_argument("encode_on_device: bad data buffer size");
+  if (parity.size() != params_.r * unit_size)
+    throw std::invalid_argument("encode_on_device: bad parity buffer size");
+  const std::size_t kw = params_.k * params_.w;
+  const std::size_t rw = params_.r * params_.w;
+  const std::size_t words = unit_size / params_.w / 8;
+  device_->launch_xorand_gemm(device_masks_, data, parity, rw, words, kw,
+                              schedule_);
+}
+
+std::vector<std::uint8_t> DeviceCodec::checkpoint_on_device(
+    const DeviceBuffer& data, std::size_t unit_size) {
+  DeviceBuffer parity = device_->alloc(params_.r * unit_size);
+  encode_on_device(data, parity, unit_size);
+  std::vector<std::uint8_t> out(params_.r * unit_size);
+  device_->copy_to_host(out, parity);  // only r units cross the link
+  return out;
+}
+
+std::vector<std::uint8_t> DeviceCodec::checkpoint_via_host(
+    const DeviceBuffer& data, std::size_t unit_size) {
+  if (data.size() != params_.k * unit_size)
+    throw std::invalid_argument("checkpoint_via_host: bad data buffer size");
+  // All k units cross the link...
+  tensor::AlignedBuffer<std::uint8_t> host_data(params_.k * unit_size);
+  device_->copy_to_host(host_data.span(), data);
+  // ...then the host encodes (same GEMM, host executor).
+  std::vector<std::uint8_t> out(params_.r * unit_size);
+  tensor::AlignedBuffer<std::uint8_t> parity(params_.r * unit_size);
+  host_coder_.apply(host_data.span(), parity.span(), unit_size);
+  std::copy(parity.span().begin(), parity.span().end(), out.begin());
+  return out;
+}
+
+}  // namespace tvmec::accel

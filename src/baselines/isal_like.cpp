@@ -1,0 +1,100 @@
+#include "baselines/isal_like.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace tvmec::baseline {
+
+IsalCoder::IsalCoder(const gf::Matrix& coeffs)
+    : in_units_(coeffs.cols()), out_units_(coeffs.rows()) {
+  if (coeffs.field().w() != 8)
+    throw std::invalid_argument("isal-like: requires GF(2^8) coefficients");
+  tables_.reserve(out_units_ * in_units_);
+  for (std::size_t i = 0; i < out_units_; ++i)
+    for (std::size_t j = 0; j < in_units_; ++j)
+      tables_.push_back(coeffs.field().split_tables(
+          static_cast<std::uint8_t>(coeffs.at(i, j))));
+}
+
+bool IsalCoder::has_simd_path() noexcept {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Portable split-table dot-product accumulation for one (out, in) pair
+/// over [begin, end) of the unit.
+void accumulate_scalar(const gf::SplitTables8& t, const std::uint8_t* src,
+                       std::uint8_t* dst, std::size_t len) {
+  for (std::size_t b = 0; b < len; ++b)
+    dst[b] ^= static_cast<std::uint8_t>(t.lo[src[b] & 0x0F] ^
+                                        t.hi[src[b] >> 4]);
+}
+
+}  // namespace
+
+void IsalCoder::apply(std::span<const std::uint8_t> in,
+                      std::span<std::uint8_t> out,
+                      std::size_t unit_size) const {
+  if (unit_size == 0) throw std::invalid_argument("isal-like: zero unit size");
+  if (in.size() != in_units_ * unit_size)
+    throw std::invalid_argument("isal-like: bad input size");
+  if (out.size() != out_units_ * unit_size)
+    throw std::invalid_argument("isal-like: bad output size");
+
+#if defined(__AVX2__)
+  // ISA-L-style fast path: one streaming pass per output, 32 bytes per
+  // iteration, vpshufb performing both 16-entry lookups per lane.
+  const __m256i low_nibble_mask = _mm256_set1_epi8(0x0F);
+  const std::size_t vec_len = unit_size / 32 * 32;
+  for (std::size_t i = 0; i < out_units_; ++i) {
+    std::uint8_t* dst = out.data() + i * unit_size;
+    for (std::size_t pos = 0; pos < vec_len; pos += 32) {
+      __m256i acc = _mm256_setzero_si256();
+      for (std::size_t j = 0; j < in_units_; ++j) {
+        const gf::SplitTables8& t = tables_[i * in_units_ + j];
+        const __m128i lo128 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo.data()));
+        const __m128i hi128 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi.data()));
+        const __m256i lo_tbl = _mm256_broadcastsi128_si256(lo128);
+        const __m256i hi_tbl = _mm256_broadcastsi128_si256(hi128);
+        const __m256i data = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+            in.data() + j * unit_size + pos));
+        const __m256i lo_idx = _mm256_and_si256(data, low_nibble_mask);
+        const __m256i hi_idx = _mm256_and_si256(
+            _mm256_srli_epi64(data, 4), low_nibble_mask);
+        acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(lo_tbl, lo_idx));
+        acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(hi_tbl, hi_idx));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + pos), acc);
+    }
+    // Scalar tail.
+    if (vec_len < unit_size) {
+      std::memset(dst + vec_len, 0, unit_size - vec_len);
+      for (std::size_t j = 0; j < in_units_; ++j)
+        accumulate_scalar(tables_[i * in_units_ + j],
+                          in.data() + j * unit_size + vec_len, dst + vec_len,
+                          unit_size - vec_len);
+    }
+  }
+#else
+  for (std::size_t i = 0; i < out_units_; ++i) {
+    std::uint8_t* dst = out.data() + i * unit_size;
+    std::memset(dst, 0, unit_size);
+    for (std::size_t j = 0; j < in_units_; ++j)
+      accumulate_scalar(tables_[i * in_units_ + j],
+                        in.data() + j * unit_size, dst, unit_size);
+  }
+#endif
+}
+
+}  // namespace tvmec::baseline

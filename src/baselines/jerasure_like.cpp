@@ -1,0 +1,133 @@
+#include "baselines/jerasure_like.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tvmec::baseline {
+
+namespace {
+
+void xor_words(std::uint64_t* dst, const std::uint64_t* src,
+               std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
+JerasureCoder::JerasureCoder(const gf::Matrix& coeffs,
+                             JerasureSchedule schedule)
+    : code_(coeffs), schedule_(schedule) {
+  if (schedule_ == JerasureSchedule::Smart) {
+    build_smart();
+  } else {
+    build_dumb();
+  }
+  for (const Op& op : ops_)
+    if (!op.is_copy) ++xor_ops_;
+}
+
+void JerasureCoder::build_dumb() {
+  const gf::BitMatrix& bits = code_.bits();
+  for (std::size_t i = 0; i < bits.rows(); ++i) {
+    bool first = true;
+    for (std::size_t l = 0; l < bits.cols(); ++l) {
+      if (!bits.get(i, l)) continue;
+      ops_.push_back({i, l, /*src_is_input=*/true, /*is_copy=*/first});
+      first = false;
+    }
+  }
+}
+
+void JerasureCoder::build_smart() {
+  const gf::BitMatrix& bits = code_.bits();
+  for (std::size_t i = 0; i < bits.rows(); ++i) {
+    // Option A (dumb): XOR this row's own sources.
+    std::vector<std::size_t> own;
+    for (std::size_t l = 0; l < bits.cols(); ++l)
+      if (bits.get(i, l)) own.push_back(l);
+
+    // Option B (smart): start from the previous output row and patch the
+    // differing sources.
+    std::vector<std::size_t> diff;
+    if (i > 0) {
+      for (std::size_t l = 0; l < bits.cols(); ++l)
+        if (bits.get(i, l) != bits.get(i - 1, l)) diff.push_back(l);
+    }
+
+    const bool use_smart = i > 0 && diff.size() + 1 < own.size();
+    if (use_smart) {
+      ops_.push_back({i, i - 1, /*src_is_input=*/false, /*is_copy=*/true});
+      for (const std::size_t l : diff)
+        ops_.push_back({i, l, /*src_is_input=*/true, /*is_copy=*/false});
+    } else {
+      bool first = true;
+      for (const std::size_t l : own) {
+        ops_.push_back({i, l, /*src_is_input=*/true, /*is_copy=*/first});
+        first = false;
+      }
+    }
+  }
+}
+
+void JerasureCoder::apply_ptrs(const std::vector<const std::uint8_t*>& in,
+                               const std::vector<std::uint8_t*>& out,
+                               std::size_t unit_size) const {
+  const unsigned w = code_.w();
+  const std::size_t quantum = std::size_t{8} * w;
+  if (unit_size == 0 || unit_size % quantum != 0)
+    throw std::invalid_argument("jerasure: unit size must be multiple of 8*w");
+  if (in.size() != code_.in_units() || out.size() != code_.out_units())
+    throw std::invalid_argument("jerasure: wrong number of unit pointers");
+  for (const auto* p : in) ec::require_word_aligned(p, "jerasure input");
+  for (auto* p : out) ec::require_word_aligned(p, "jerasure output");
+
+  const std::size_t packet_bytes = unit_size / w;
+  const std::size_t packet_words = packet_bytes / 8;
+
+  const auto in_packet = [&](std::size_t bit_row) {
+    return reinterpret_cast<const std::uint64_t*>(
+        in[bit_row / w] + (bit_row % w) * packet_bytes);
+  };
+  const auto out_packet = [&](std::size_t bit_row) {
+    return reinterpret_cast<std::uint64_t*>(out[bit_row / w] +
+                                            (bit_row % w) * packet_bytes);
+  };
+
+  // Rows with no sources (possible in pathological coefficient matrices)
+  // must still be defined: zero everything first is wasteful, so instead
+  // track which rows the schedule writes via copies.
+  std::vector<bool> written(code_.out_units() * w, false);
+  for (const Op& op : ops_)
+    if (op.is_copy) written[op.dst_row] = true;
+  for (std::size_t row = 0; row < written.size(); ++row)
+    if (!written[row]) std::memset(out_packet(row), 0, packet_bytes);
+
+  for (const Op& op : ops_) {
+    std::uint64_t* dst = out_packet(op.dst_row);
+    const std::uint64_t* src =
+        op.src_is_input ? in_packet(op.src_row) : out_packet(op.src_row);
+    if (op.is_copy) {
+      std::memcpy(dst, src, packet_bytes);
+    } else {
+      xor_words(dst, src, packet_words);
+    }
+  }
+}
+
+void JerasureCoder::apply(std::span<const std::uint8_t> in,
+                          std::span<std::uint8_t> out,
+                          std::size_t unit_size) const {
+  if (in.size() != code_.in_units() * unit_size)
+    throw std::invalid_argument("jerasure: bad input size");
+  if (out.size() != code_.out_units() * unit_size)
+    throw std::invalid_argument("jerasure: bad output size");
+  std::vector<const std::uint8_t*> in_ptrs(code_.in_units());
+  std::vector<std::uint8_t*> out_ptrs(code_.out_units());
+  for (std::size_t i = 0; i < in_ptrs.size(); ++i)
+    in_ptrs[i] = in.data() + i * unit_size;
+  for (std::size_t i = 0; i < out_ptrs.size(); ++i)
+    out_ptrs[i] = out.data() + i * unit_size;
+  apply_ptrs(in_ptrs, out_ptrs, unit_size);
+}
+
+}  // namespace tvmec::baseline

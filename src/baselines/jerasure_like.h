@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "ec/bitmatrix_code.h"
+#include "ec/encoder.h"
+#include "gf/gf_matrix.h"
+
+/// A Jerasure-style bitmatrix encoder (Plank & Greenan): the classic
+/// pointer-per-unit C library design the paper cites as the popular
+/// baseline and uses to motivate the §5 contiguity discussion ("Jerasure
+/// represents the k data units to be encoded as k pointers to separate
+/// allocations in memory").
+///
+/// Two XOR schedules are provided, mirroring Jerasure's:
+///  - Dumb:  each output bit-row XORs every source packet its bitmatrix
+///           row selects.
+///  - Smart: consecutive bit-rows reuse the previous row's result when
+///           the rows differ in fewer places than the new row has ones
+///           (Jerasure's jerasure_smart_bitmatrix_to_schedule).
+namespace tvmec::baseline {
+
+enum class JerasureSchedule { Dumb, Smart };
+
+class JerasureCoder final : public ec::MatrixCoder {
+ public:
+  JerasureCoder(const gf::Matrix& coeffs,
+                JerasureSchedule schedule = JerasureSchedule::Smart);
+
+  /// The native Jerasure-shaped API: one pointer per unit, units need not
+  /// be contiguous or ordered in memory. Each pointer must reference
+  /// unit_size bytes, 8-byte aligned.
+  void apply_ptrs(const std::vector<const std::uint8_t*>& in,
+                  const std::vector<std::uint8_t*>& out,
+                  std::size_t unit_size) const;
+
+  void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+             std::size_t unit_size) const override;
+  std::size_t in_units() const noexcept override { return code_.in_units(); }
+  std::size_t out_units() const noexcept override { return code_.out_units(); }
+  std::string name() const override {
+    return schedule_ == JerasureSchedule::Smart ? "jerasure-smart"
+                                                : "jerasure-dumb";
+  }
+
+  /// Number of packet-XOR operations one apply() performs (schedule cost).
+  std::size_t xor_ops() const noexcept { return xor_ops_; }
+
+ private:
+  /// One scheduled operation: XOR (or copy) source packet into dest.
+  struct Op {
+    std::size_t dst_row;  ///< output bit-row index
+    std::size_t src_row;  ///< input bit-row if src_is_input, else output row
+    bool src_is_input;
+    bool is_copy;  ///< first op of a row overwrites instead of XORs
+  };
+
+  void build_dumb();
+  void build_smart();
+
+  ec::BitmatrixCode code_;
+  JerasureSchedule schedule_;
+  std::vector<Op> ops_;
+  std::size_t xor_ops_ = 0;
+};
+
+}  // namespace tvmec::baseline

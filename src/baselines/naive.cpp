@@ -1,0 +1,49 @@
+#include "baselines/naive.h"
+
+#include <stdexcept>
+
+#include "ec/code_params.h"
+
+namespace tvmec::baseline {
+
+NaiveBitmatrixCoder::NaiveBitmatrixCoder(const gf::Matrix& coeffs)
+    : code_(coeffs) {}
+
+void NaiveBitmatrixCoder::apply(std::span<const std::uint8_t> in,
+                                std::span<std::uint8_t> out,
+                                std::size_t unit_size) const {
+  const unsigned w = code_.w();
+  const std::size_t quantum = std::size_t{8} * w;
+  if (unit_size == 0 || unit_size % quantum != 0)
+    throw std::invalid_argument("naive: unit size must be multiple of 8*w");
+  if (in.size() != code_.in_units() * unit_size)
+    throw std::invalid_argument("naive: bad input size");
+  if (out.size() != code_.out_units() * unit_size)
+    throw std::invalid_argument("naive: bad output size");
+  ec::require_word_aligned(in.data(), "naive input");
+  ec::require_word_aligned(out.data(), "naive output");
+
+  // Units are sliced into w packets; packet row l of the "data matrix"
+  // starts at byte l * packet_bytes of the contiguous buffer (packets of
+  // a unit are adjacent, units are adjacent), so the whole input is one
+  // (in_units*w) x packet_words word matrix — Listing 2's B operand.
+  const std::size_t packet_bytes = unit_size / w;
+  const std::size_t packet_words = packet_bytes / 8;
+  const auto* b = reinterpret_cast<const std::uint64_t*>(in.data());
+  auto* c = reinterpret_cast<std::uint64_t*>(out.data());
+  const gf::BitMatrix& bits = code_.bits();
+
+  for (std::size_t i = 0; i < bits.rows(); ++i) {
+    for (std::size_t j = 0; j < packet_words; ++j) {
+      std::uint64_t acc = 0;
+      for (std::size_t l = 0; l < bits.cols(); ++l) {
+        const std::uint64_t mask =
+            bits.get(i, l) ? ~std::uint64_t{0} : std::uint64_t{0};
+        acc ^= mask & b[l * packet_words + j];
+      }
+      c[i * packet_words + j] = acc;
+    }
+  }
+}
+
+}  // namespace tvmec::baseline

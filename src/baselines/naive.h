@@ -1,0 +1,29 @@
+#pragma once
+
+#include "ec/bitmatrix_code.h"
+#include "ec/encoder.h"
+#include "gf/gf_matrix.h"
+
+/// The unoptimized bitmatrix encoder — a literal transcription of the
+/// paper's Listing 2 triple loop (XOR of ANDs over broadcast masks).
+/// It is the correctness reference the optimized backends are tested
+/// against, and the "no ML library, no hand optimization" floor in the
+/// benchmarks.
+namespace tvmec::baseline {
+
+class NaiveBitmatrixCoder final : public ec::MatrixCoder {
+ public:
+  /// Expands `coeffs` (rows x cols over GF(2^w)) to bitmatrix form.
+  explicit NaiveBitmatrixCoder(const gf::Matrix& coeffs);
+
+  void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+             std::size_t unit_size) const override;
+  std::size_t in_units() const noexcept override { return code_.in_units(); }
+  std::size_t out_units() const noexcept override { return code_.out_units(); }
+  std::string name() const override { return "naive"; }
+
+ private:
+  ec::BitmatrixCode code_;
+};
+
+}  // namespace tvmec::baseline

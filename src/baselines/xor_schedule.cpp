@@ -1,0 +1,146 @@
+#include "baselines/xor_schedule.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "tensor/buffer.h"
+
+namespace tvmec::baseline {
+
+UezatoCoder::UezatoCoder(const gf::Matrix& coeffs)
+    : UezatoCoder(coeffs, Options{}) {}
+
+UezatoCoder::UezatoCoder(const gf::Matrix& coeffs, const Options& opts)
+    : code_(coeffs), opts_(opts) {
+  if (opts_.block_bytes == 0 || opts_.block_bytes % 8 != 0)
+    throw std::invalid_argument(
+        "uezato: block_bytes must be a positive multiple of 8");
+
+  // Start from the raw XOR equations of the bitmatrix.
+  std::vector<std::vector<int>> equations;
+  for (const auto& eq : code_.xor_equations()) {
+    std::vector<int> nodes;
+    nodes.reserve(eq.size());
+    for (const std::size_t src : eq) nodes.push_back(static_cast<int>(src));
+    dumb_xor_ops_ += eq.empty() ? 0 : eq.size() - 1;
+    equations.push_back(std::move(nodes));
+  }
+
+  if (opts_.enable_cse) run_cse(equations, opts_.max_temps);
+  outputs_ = std::move(equations);
+}
+
+void UezatoCoder::run_cse(std::vector<std::vector<int>>& equations,
+                          std::size_t max_temps) {
+  const int num_inputs = static_cast<int>(code_.bits().cols());
+  while (temps_.size() < max_temps) {
+    // Count every unordered node pair that co-occurs in an equation.
+    std::map<std::pair<int, int>, int> pair_count;
+    for (const auto& eq : equations) {
+      for (std::size_t a = 0; a < eq.size(); ++a)
+        for (std::size_t b = a + 1; b < eq.size(); ++b)
+          ++pair_count[{std::min(eq[a], eq[b]), std::max(eq[a], eq[b])}];
+    }
+    std::pair<int, int> best{-1, -1};
+    int best_count = 1;  // a pair must appear at least twice to pay off
+    for (const auto& [pair, count] : pair_count) {
+      if (count > best_count) {
+        best_count = count;
+        best = pair;
+      }
+    }
+    if (best.first < 0) break;
+
+    // Materialize the pair as a temporary and rewrite the equations.
+    const int temp_id = num_inputs + static_cast<int>(temps_.size());
+    temps_.push_back(best);
+    for (auto& eq : equations) {
+      const auto ia = std::find(eq.begin(), eq.end(), best.first);
+      if (ia == eq.end()) continue;
+      const auto ib = std::find(eq.begin(), eq.end(), best.second);
+      if (ib == eq.end()) continue;
+      // Remove the higher iterator first so the lower stays valid.
+      if (ia < ib) {
+        eq.erase(ib);
+        eq.erase(std::find(eq.begin(), eq.end(), best.first));
+      } else {
+        eq.erase(ia);
+        eq.erase(std::find(eq.begin(), eq.end(), best.second));
+      }
+      eq.push_back(temp_id);
+    }
+  }
+}
+
+std::size_t UezatoCoder::xor_ops() const noexcept {
+  std::size_t ops = temps_.size();  // each temp is one packet-wide XOR
+  for (const auto& eq : outputs_)
+    if (!eq.empty()) ops += eq.size() - 1;
+  return ops;
+}
+
+void UezatoCoder::apply(std::span<const std::uint8_t> in,
+                        std::span<std::uint8_t> out,
+                        std::size_t unit_size) const {
+  const unsigned w = code_.w();
+  const std::size_t quantum = std::size_t{8} * w;
+  if (unit_size == 0 || unit_size % quantum != 0)
+    throw std::invalid_argument("uezato: unit size must be multiple of 8*w");
+  if (in.size() != code_.in_units() * unit_size)
+    throw std::invalid_argument("uezato: bad input size");
+  if (out.size() != code_.out_units() * unit_size)
+    throw std::invalid_argument("uezato: bad output size");
+  ec::require_word_aligned(in.data(), "uezato input");
+  ec::require_word_aligned(out.data(), "uezato output");
+
+  const std::size_t packet_bytes = unit_size / w;
+  const int num_inputs = static_cast<int>(code_.bits().cols());
+
+  // Temp storage for one block; reused across blocks so it stays hot.
+  tensor::AlignedBuffer<std::uint64_t> temp_buf(
+      temps_.size() * (opts_.block_bytes / 8));
+
+  for (std::size_t off = 0; off < packet_bytes; off += opts_.block_bytes) {
+    const std::size_t block = std::min(opts_.block_bytes, packet_bytes - off);
+    const std::size_t block_words = block / 8;
+
+    // Resolves a node id to its value pointer within this block.
+    const auto node_ptr = [&](int id) -> const std::uint64_t* {
+      if (id < num_inputs) {
+        return reinterpret_cast<const std::uint64_t*>(
+            in.data() + static_cast<std::size_t>(id) * packet_bytes + off);
+      }
+      return temp_buf.data() +
+             static_cast<std::size_t>(id - num_inputs) *
+                 (opts_.block_bytes / 8);
+    };
+
+    // Phase 1: materialize temporaries (in dependency order).
+    for (std::size_t t = 0; t < temps_.size(); ++t) {
+      std::uint64_t* dst = temp_buf.data() + t * (opts_.block_bytes / 8);
+      const std::uint64_t* a = node_ptr(temps_[t].first);
+      const std::uint64_t* b = node_ptr(temps_[t].second);
+      for (std::size_t i = 0; i < block_words; ++i) dst[i] = a[i] ^ b[i];
+    }
+
+    // Phase 2: combine into outputs.
+    for (std::size_t row = 0; row < outputs_.size(); ++row) {
+      std::uint64_t* dst = reinterpret_cast<std::uint64_t*>(
+          out.data() + row * packet_bytes + off);
+      const auto& eq = outputs_[row];
+      if (eq.empty()) {
+        std::memset(dst, 0, block);
+        continue;
+      }
+      std::memcpy(dst, node_ptr(eq[0]), block);
+      for (std::size_t s = 1; s < eq.size(); ++s) {
+        const std::uint64_t* src = node_ptr(eq[s]);
+        for (std::size_t i = 0; i < block_words; ++i) dst[i] ^= src[i];
+      }
+    }
+  }
+}
+
+}  // namespace tvmec::baseline

@@ -1,0 +1,70 @@
+#include "core/backends.h"
+
+#include <stdexcept>
+
+#include "baselines/isal_like.h"
+#include "baselines/jerasure_like.h"
+#include "baselines/naive.h"
+#include "baselines/xor_schedule.h"
+#include "core/gemm_coder.h"
+
+namespace tvmec::core {
+
+const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::NaiveBitmatrix:
+      return "naive";
+    case Backend::JerasureDumb:
+      return "jerasure-dumb";
+    case Backend::JerasureSmart:
+      return "jerasure-smart";
+    case Backend::Uezato:
+      return "uezato";
+    case Backend::Isal:
+      return "isal";
+    case Backend::Gemm:
+      return "tvm-ec";
+  }
+  return "?";
+}
+
+std::vector<Backend> all_backends() {
+  return {Backend::NaiveBitmatrix, Backend::JerasureDumb,
+          Backend::JerasureSmart, Backend::Uezato,
+          Backend::Isal,           Backend::Gemm};
+}
+
+std::vector<Backend> backends_for_w(unsigned w) {
+  std::vector<Backend> out;
+  for (const Backend b : all_backends())
+    if (b != Backend::Isal || w == 8) out.push_back(b);
+  return out;
+}
+
+std::unique_ptr<ec::MatrixCoder> make_coder(Backend backend,
+                                            const gf::Matrix& coeffs) {
+  switch (backend) {
+    case Backend::NaiveBitmatrix:
+      return std::make_unique<baseline::NaiveBitmatrixCoder>(coeffs);
+    case Backend::JerasureDumb:
+      return std::make_unique<baseline::JerasureCoder>(
+          coeffs, baseline::JerasureSchedule::Dumb);
+    case Backend::JerasureSmart:
+      return std::make_unique<baseline::JerasureCoder>(
+          coeffs, baseline::JerasureSchedule::Smart);
+    case Backend::Uezato:
+      return std::make_unique<baseline::UezatoCoder>(coeffs);
+    case Backend::Isal:
+      return std::make_unique<baseline::IsalCoder>(coeffs);
+    case Backend::Gemm:
+      return std::make_unique<GemmCoder>(coeffs);
+  }
+  throw std::invalid_argument("make_coder: unknown backend");
+}
+
+std::unique_ptr<ec::MatrixCoder> make_gemm_coder(
+    const gf::Matrix& coeffs, const tensor::Schedule& schedule) {
+  return std::make_unique<GemmCoder>(coeffs, schedule);
+}
+
+}  // namespace tvmec::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ec/encoder.h"
+#include "gf/gf_matrix.h"
+#include "tensor/schedule.h"
+
+/// Uniform construction of every coding backend in the repository — the
+/// GEMM-based TVM-EC core plus the custom-library baselines the paper
+/// compares against. Benchmarks and cross-backend equivalence tests use
+/// this factory so each backend receives the identical coefficient
+/// matrix.
+namespace tvmec::core {
+
+enum class Backend {
+  NaiveBitmatrix,  ///< unoptimized Listing-2 triple loop
+  JerasureDumb,    ///< pointer-based bitmatrix, straightforward schedule
+  JerasureSmart,   ///< pointer-based bitmatrix, row-difference schedule
+  Uezato,          ///< XOR-program CSE + 2 KB cache blocking (SC'21)
+  Isal,            ///< split-table GF(2^8) dot products (Intel ISA-L)
+  Gemm,            ///< TVM-EC: bitmatrix GEMM via the tensor library
+};
+
+const char* to_string(Backend b) noexcept;
+
+/// Every backend, in a stable order (Gemm last).
+std::vector<Backend> all_backends();
+
+/// Backends applicable to a code over GF(2^w): Isal requires w == 8.
+std::vector<Backend> backends_for_w(unsigned w);
+
+/// Instantiates a coder for the coefficient matrix. The Gemm backend is
+/// created with the default schedule (tune or set_schedule afterwards via
+/// the returned pointer's concrete type if needed).
+/// Throws std::invalid_argument for Isal with w != 8.
+std::unique_ptr<ec::MatrixCoder> make_coder(Backend backend,
+                                            const gf::Matrix& coeffs);
+
+/// Gemm-backend variant with an explicit schedule.
+std::unique_ptr<ec::MatrixCoder> make_gemm_coder(
+    const gf::Matrix& coeffs, const tensor::Schedule& schedule);
+
+}  // namespace tvmec::core

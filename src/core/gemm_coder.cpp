@@ -1,0 +1,107 @@
+#include "core/gemm_coder.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "tensor/kernel.h"
+
+namespace tvmec::core {
+
+namespace {
+
+tensor::AlignedBuffer<std::uint64_t> build_masks(const gf::Matrix& coeffs) {
+  const ec::BitmatrixCode code(coeffs);
+  const gf::BitMatrix& bits = code.bits();
+  tensor::AlignedBuffer<std::uint64_t> masks(bits.rows() * bits.cols());
+  for (std::size_t i = 0; i < bits.rows(); ++i)
+    for (std::size_t j = 0; j < bits.cols(); ++j)
+      masks[i * bits.cols() + j] =
+          bits.get(i, j) ? ~std::uint64_t{0} : std::uint64_t{0};
+  return masks;
+}
+
+}  // namespace
+
+GemmCoder::GemmCoder(const gf::Matrix& coeffs)
+    : GemmCoder(coeffs, tensor::default_schedule()) {}
+
+GemmCoder::GemmCoder(const gf::Matrix& coeffs, const tensor::Schedule& schedule)
+    : w_(coeffs.field().w()),
+      in_units_(coeffs.cols()),
+      out_units_(coeffs.rows()),
+      masks_(build_masks(coeffs)),
+      schedule_(schedule) {
+  if (!schedule_.valid())
+    throw std::invalid_argument("GemmCoder: invalid schedule");
+}
+
+void GemmCoder::set_schedule(const tensor::Schedule& schedule) {
+  if (!schedule.valid())
+    throw std::invalid_argument("GemmCoder: invalid schedule");
+  schedule_ = schedule;
+}
+
+void GemmCoder::apply(std::span<const std::uint8_t> in,
+                      std::span<std::uint8_t> out,
+                      std::size_t unit_size) const {
+  const std::size_t quantum = std::size_t{8} * w_;
+  if (unit_size == 0 || unit_size % quantum != 0)
+    throw std::invalid_argument("tvm-ec: unit size must be multiple of 8*w");
+  if (in.size() != in_units_ * unit_size)
+    throw std::invalid_argument("tvm-ec: bad input size");
+  if (out.size() != out_units_ * unit_size)
+    throw std::invalid_argument("tvm-ec: bad output size");
+  ec::require_word_aligned(in.data(), "tvm-ec input");
+  ec::require_word_aligned(out.data(), "tvm-ec output");
+
+  const std::size_t packet_words = unit_size / w_ / 8;
+  const std::size_t kw = in_units_ * w_;
+  const std::size_t rw = out_units_ * w_;
+  // The contiguous unit buffer *is* the packed B matrix: packet p of unit
+  // u is row u*w + p, and rows are exactly packet_words apart.
+  const tensor::MatView<const std::uint64_t> a{masks_.data(), rw, kw, kw};
+  const tensor::MatView<const std::uint64_t> b{
+      reinterpret_cast<const std::uint64_t*>(in.data()), kw, packet_words,
+      packet_words};
+  const tensor::MatView<std::uint64_t> c{
+      reinterpret_cast<std::uint64_t*>(out.data()), rw, packet_words,
+      packet_words};
+  tensor::gemm_xorand(a, b, c, schedule_);
+}
+
+tune::TaskShape GemmCoder::task_shape(std::size_t unit_size) const {
+  return tune::TaskShape{out_units_ * w_, unit_size / w_ / 8, in_units_ * w_};
+}
+
+tune::TuneResult GemmCoder::tune(std::size_t unit_size,
+                                 const tune::TuneOptions& options,
+                                 int max_threads) {
+  const std::size_t quantum = std::size_t{8} * w_;
+  if (unit_size == 0 || unit_size % quantum != 0)
+    throw std::invalid_argument("tune: unit size must be multiple of 8*w");
+
+  // Synthetic operands; contents do not affect timing (data-oblivious
+  // kernel), but use real random bytes anyway.
+  tensor::AlignedBuffer<std::uint8_t> data(in_units_ * unit_size);
+  tensor::AlignedBuffer<std::uint8_t> parity(out_units_ * unit_size);
+  std::mt19937_64 rng(0xEC);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(rng());
+
+  const tune::SearchSpace space(task_shape(unit_size), max_threads);
+  const double bytes = static_cast<double>(in_units_ * unit_size);
+  tensor::Schedule saved = schedule_;
+  const tune::MeasureFn measure = [&](const tensor::Schedule& s) {
+    schedule_ = s;
+    // One warmup, then median of five timed runs (this box is noisy).
+    apply(data.span(), parity.span(), unit_size);
+    const double secs = tune::measure_seconds_median(
+        [&] { apply(data.span(), parity.span(), unit_size); }, 5);
+    return bytes / secs;
+  };
+  tune::TuneResult result = tune::tune(space, measure, options);
+  schedule_ = result.best_throughput > 0 ? result.best_schedule : saved;
+  return result;
+}
+
+}  // namespace tvmec::core

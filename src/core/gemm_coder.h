@@ -1,0 +1,59 @@
+#pragma once
+
+#include "ec/bitmatrix_code.h"
+#include "ec/encoder.h"
+#include "gf/gf_matrix.h"
+#include "tensor/buffer.h"
+#include "tensor/schedule.h"
+#include "tune/tuner.h"
+
+/// The paper's contribution: erasure coding executed as a GEMM through
+/// the ML-library substrate.
+///
+/// A coefficient matrix over GF(2^w) is expanded to its bitmatrix and
+/// stored as broadcast masks (0 / ~0 per 64-bit lane); input units are
+/// viewed, without copying, as a packed (k*w) x d/(8w) word matrix; and
+/// the whole encode is one gemm_xorand call whose schedule (register
+/// tiles, cache blocks, threads) comes from the autotuner — the direct
+/// analogue of the paper's 40-line TVM implementation.
+namespace tvmec::core {
+
+class GemmCoder final : public ec::MatrixCoder {
+ public:
+  /// Expands the coefficient matrix; starts with the default schedule.
+  explicit GemmCoder(const gf::Matrix& coeffs);
+  GemmCoder(const gf::Matrix& coeffs, const tensor::Schedule& schedule);
+
+  void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+             std::size_t unit_size) const override;
+  std::size_t in_units() const noexcept override { return in_units_; }
+  std::size_t out_units() const noexcept override { return out_units_; }
+  std::string name() const override { return "tvm-ec"; }
+
+  const tensor::Schedule& schedule() const noexcept { return schedule_; }
+  /// Throws std::invalid_argument if the schedule is not supported.
+  void set_schedule(const tensor::Schedule& schedule);
+
+  /// Autotunes the encode for the given unit size on synthetic data and
+  /// installs the best schedule found (the paper's §6.1 measurement
+  /// setup, with a configurable trial budget instead of 20 000).
+  /// `max_threads` caps the thread knob of the search space.
+  /// Returns the full tuning history for analysis.
+  tune::TuneResult tune(std::size_t unit_size,
+                        const tune::TuneOptions& options, int max_threads);
+
+  /// The GEMM task shape this coder executes for a given unit size:
+  /// m = out_units*w, n = unit_size/(8w) words, k = in_units*w.
+  tune::TaskShape task_shape(std::size_t unit_size) const;
+
+  unsigned w() const noexcept { return w_; }
+
+ private:
+  unsigned w_;
+  std::size_t in_units_;
+  std::size_t out_units_;
+  tensor::AlignedBuffer<std::uint64_t> masks_;  // (out*w) x (in*w) broadcast
+  tensor::Schedule schedule_;
+};
+
+}  // namespace tvmec::core

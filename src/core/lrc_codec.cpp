@@ -1,0 +1,96 @@
+#include "core/lrc_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace tvmec::core {
+
+LrcCodec::LrcCodec(const ec::LrcParams& params)
+    : params_(params), lrc_(params), encode_coder_(lrc_.parity_matrix()) {}
+
+void LrcCodec::encode(std::span<const std::uint8_t> data,
+                      std::span<std::uint8_t> parity,
+                      std::size_t unit_size) const {
+  encode_coder_.apply(data, parity, unit_size);
+}
+
+void LrcCodec::set_schedule(const tensor::Schedule& schedule) {
+  encode_coder_.set_schedule(schedule);
+  decode_cache_.clear();
+  local_cache_.clear();
+}
+
+void LrcCodec::run_plan(const PlanEntry& entry, std::span<std::uint8_t> stripe,
+                        std::size_t unit_size) {
+  const std::size_t reads = entry.plan.survivors.size();
+  const std::size_t writes = entry.plan.erased.size();
+  const std::size_t needed = (reads + writes) * unit_size;
+  if (staging_.size() < needed)
+    staging_ = tensor::AlignedBuffer<std::uint8_t>(needed);
+  std::uint8_t* const in_stage = staging_.data();
+  std::uint8_t* const out_stage = staging_.data() + reads * unit_size;
+  for (std::size_t i = 0; i < reads; ++i)
+    std::memcpy(in_stage + i * unit_size,
+                stripe.data() + entry.plan.survivors[i] * unit_size,
+                unit_size);
+  entry.coder->apply(
+      std::span<const std::uint8_t>(in_stage, reads * unit_size),
+      std::span<std::uint8_t>(out_stage, writes * unit_size), unit_size);
+  for (std::size_t i = 0; i < writes; ++i)
+    std::memcpy(stripe.data() + entry.plan.erased[i] * unit_size,
+                out_stage + i * unit_size, unit_size);
+}
+
+void LrcCodec::decode(std::span<std::uint8_t> stripe,
+                      std::span<const std::size_t> erased_ids,
+                      std::size_t unit_size) {
+  if (stripe.size() != params_.n() * unit_size)
+    throw std::invalid_argument("LrcCodec::decode: stripe must hold n units");
+  if (erased_ids.empty()) return;
+
+  std::vector<std::size_t> erased(erased_ids.begin(), erased_ids.end());
+  std::sort(erased.begin(), erased.end());
+  auto it = decode_cache_.find(erased);
+  if (it == decode_cache_.end()) {
+    auto plan = lrc_.decode_plan(erased);
+    if (!plan)
+      throw std::runtime_error(
+          "LrcCodec::decode: erasure pattern is unrecoverable");
+    auto coder = std::make_unique<GemmCoder>(plan->recovery,
+                                             encode_coder_.schedule());
+    it = decode_cache_
+             .emplace(erased, PlanEntry{std::move(*plan), std::move(coder)})
+             .first;
+  }
+  run_plan(it->second, stripe, unit_size);
+}
+
+std::size_t LrcCodec::repair_local(std::span<std::uint8_t> stripe,
+                                   std::size_t failed_unit,
+                                   std::size_t unit_size) {
+  if (stripe.size() != params_.n() * unit_size)
+    throw std::invalid_argument(
+        "LrcCodec::repair_local: stripe must hold n units");
+  if (failed_unit >= params_.n())
+    throw std::invalid_argument("LrcCodec::repair_local: unit out of range");
+
+  if (local_cache_.empty()) local_cache_.resize(params_.k + params_.l);
+  if (failed_unit >= params_.k + params_.l)
+    throw std::invalid_argument(
+        "LrcCodec::repair_local: global parities have no local group");
+  auto& entry = local_cache_[failed_unit];
+  if (!entry) {
+    auto plan = lrc_.local_repair_plan(failed_unit);
+    if (!plan)
+      throw std::logic_error("LrcCodec::repair_local: missing local plan");
+    auto coder = std::make_unique<GemmCoder>(plan->recovery,
+                                             encode_coder_.schedule());
+    entry = std::make_unique<PlanEntry>(
+        PlanEntry{std::move(*plan), std::move(coder)});
+  }
+  run_plan(*entry, stripe, unit_size);
+  return entry->plan.survivors.size();
+}
+
+}  // namespace tvmec::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/gemm_coder.h"
+#include "ec/lrc.h"
+
+/// The LRC counterpart of Codec — the paper's §8 commitment ("we plan to
+/// include other classes of codes in our prototype, such as local
+/// reconstruction codes") carried to the public API: encode, general
+/// decode, and locality-aware single-failure repair, all executed as
+/// GEMMs ("theoretically, all linear codes can be developed via a highly
+/// optimized GEMM routine").
+namespace tvmec::core {
+
+class LrcCodec {
+ public:
+  explicit LrcCodec(const ec::LrcParams& params);
+
+  const ec::LrcParams& params() const noexcept { return params_; }
+  const ec::Lrc& code() const noexcept { return lrc_; }
+
+  /// Encodes k contiguous data units into l + g contiguous parity units.
+  void encode(std::span<const std::uint8_t> data,
+              std::span<std::uint8_t> parity, std::size_t unit_size) const;
+
+  /// Recovers the erased units of a full stripe (k + l + g contiguous
+  /// units) in place. Throws std::runtime_error when the pattern is
+  /// unrecoverable (LRCs are not MDS: some patterns within l + g
+  /// erasures cannot be decoded).
+  void decode(std::span<std::uint8_t> stripe,
+              std::span<const std::size_t> erased_ids, std::size_t unit_size);
+
+  /// Locality-aware repair of one failed data or local-parity unit:
+  /// reads only the group_size() surviving members of its group (the
+  /// whole point of an LRC). Returns the number of units read. Throws
+  /// std::invalid_argument for a global-parity unit (use decode).
+  std::size_t repair_local(std::span<std::uint8_t> stripe,
+                           std::size_t failed_unit, std::size_t unit_size);
+
+  /// Installs the kernel schedule for all coders (existing plan caches
+  /// are rebuilt lazily with the new schedule).
+  void set_schedule(const tensor::Schedule& schedule);
+
+ private:
+  struct PlanEntry {
+    ec::DecodePlan plan;
+    std::unique_ptr<GemmCoder> coder;
+  };
+
+  /// Gathers plan survivors from the stripe, applies the plan's coder,
+  /// scatters recovered units back.
+  void run_plan(const PlanEntry& entry, std::span<std::uint8_t> stripe,
+                std::size_t unit_size);
+
+  ec::LrcParams params_;
+  ec::Lrc lrc_;
+  GemmCoder encode_coder_;
+  std::map<std::vector<std::size_t>, PlanEntry> decode_cache_;
+  std::vector<std::unique_ptr<PlanEntry>> local_cache_;  // per unit, lazy
+  tensor::AlignedBuffer<std::uint8_t> staging_;
+};
+
+}  // namespace tvmec::core

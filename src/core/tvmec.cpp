@@ -1,0 +1,197 @@
+#include "core/tvmec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "tune/tuning_log.h"
+
+namespace tvmec::core {
+
+Codec::Codec(const ec::CodeParams& params, ec::RsFamily family)
+    : params_(params),
+      rs_(params, family),
+      encode_coder_(rs_.parity_matrix()) {}
+
+void Codec::encode(std::span<const std::uint8_t> data,
+                   std::span<std::uint8_t> parity,
+                   std::size_t unit_size) const {
+  encode_coder_.apply(data, parity, unit_size);
+}
+
+void Codec::encode_ptrs(const std::vector<const std::uint8_t*>& data,
+                        const std::vector<std::uint8_t*>& parity,
+                        std::size_t unit_size) {
+  if (data.size() != params_.k || parity.size() != params_.r)
+    throw std::invalid_argument("encode_ptrs: wrong number of unit pointers");
+  const std::size_t needed = (params_.k + params_.r) * unit_size;
+  if (staging_.size() < needed)
+    staging_ = tensor::AlignedBuffer<std::uint8_t>(needed);
+
+  // Gather scattered units into the contiguous layout the GEMM expects —
+  // the memcpy overhead the paper's §5 measures.
+  std::uint8_t* const data_stage = staging_.data();
+  std::uint8_t* const parity_stage = staging_.data() + params_.k * unit_size;
+  for (std::size_t i = 0; i < params_.k; ++i) {
+    if (data[i] == nullptr)
+      throw std::invalid_argument("encode_ptrs: null data pointer");
+    std::memcpy(data_stage + i * unit_size, data[i], unit_size);
+  }
+  encode(std::span<const std::uint8_t>(data_stage, params_.k * unit_size),
+         std::span<std::uint8_t>(parity_stage, params_.r * unit_size),
+         unit_size);
+  for (std::size_t i = 0; i < params_.r; ++i) {
+    if (parity[i] == nullptr)
+      throw std::invalid_argument("encode_ptrs: null parity pointer");
+    std::memcpy(parity[i], parity_stage + i * unit_size, unit_size);
+  }
+}
+
+const Codec::DecodeEntry& Codec::decode_entry(
+    const std::vector<std::size_t>& erased) {
+  const auto it = decode_cache_.find(erased);
+  if (it != decode_cache_.end()) return it->second;
+
+  auto plan = optimize_plans_
+                  ? ec::make_decode_plan_optimized(rs_.generator(), erased)
+                  : ec::make_decode_plan(rs_.generator(), erased);
+  if (!plan)
+    throw std::runtime_error("decode: erasure pattern is unrecoverable");
+  auto coder = std::make_unique<GemmCoder>(plan->recovery,
+                                           encode_coder_.schedule());
+  const auto [pos, inserted] = decode_cache_.emplace(
+      erased, DecodeEntry{std::move(*plan), std::move(coder)});
+  return pos->second;
+}
+
+void Codec::decode(std::span<std::uint8_t> stripe,
+                   std::span<const std::size_t> erased_ids,
+                   std::size_t unit_size) {
+  const std::size_t n = params_.n();
+  if (stripe.size() != n * unit_size)
+    throw std::invalid_argument("decode: stripe must hold k+r units");
+  if (erased_ids.empty()) return;
+  if (erased_ids.size() > params_.r)
+    throw std::runtime_error("decode: more erasures than parities");
+
+  std::vector<std::size_t> erased(erased_ids.begin(), erased_ids.end());
+  std::sort(erased.begin(), erased.end());
+  const DecodeEntry& entry = decode_entry(erased);
+
+  // Gather the k survivor units the plan reads into contiguous staging,
+  // then run recovery as a GEMM, then scatter results back.
+  const std::size_t k = entry.plan.survivors.size();
+  const std::size_t e = entry.plan.erased.size();
+  const std::size_t needed = (k + e) * unit_size;
+  if (staging_.size() < needed)
+    staging_ = tensor::AlignedBuffer<std::uint8_t>(needed);
+  std::uint8_t* const in_stage = staging_.data();
+  std::uint8_t* const out_stage = staging_.data() + k * unit_size;
+  for (std::size_t i = 0; i < k; ++i)
+    std::memcpy(in_stage + i * unit_size,
+                stripe.data() + entry.plan.survivors[i] * unit_size,
+                unit_size);
+  entry.coder->apply(std::span<const std::uint8_t>(in_stage, k * unit_size),
+                     std::span<std::uint8_t>(out_stage, e * unit_size),
+                     unit_size);
+  for (std::size_t i = 0; i < e; ++i)
+    std::memcpy(stripe.data() + entry.plan.erased[i] * unit_size,
+                out_stage + i * unit_size, unit_size);
+}
+
+void Codec::patch_parity(std::size_t unit_id,
+                         std::span<const std::uint8_t> old_data,
+                         std::span<const std::uint8_t> new_data,
+                         std::span<std::uint8_t> parity,
+                         std::size_t unit_size) {
+  if (unit_id >= params_.k)
+    throw std::invalid_argument("patch_parity: only data units have deltas");
+  if (old_data.size() != unit_size || new_data.size() != unit_size)
+    throw std::invalid_argument("patch_parity: old/new must be one unit");
+  if (parity.size() != params_.r * unit_size)
+    throw std::invalid_argument("patch_parity: parity must hold r units");
+
+  ec::require_word_aligned(old_data.data(), "patch_parity old data");
+  ec::require_word_aligned(new_data.data(), "patch_parity new data");
+  ec::require_word_aligned(parity.data(), "patch_parity parity");
+
+  if (delta_coders_.empty()) delta_coders_.resize(params_.k);
+  auto& coder = delta_coders_[unit_id];
+  if (!coder) {
+    // The parity column of this unit: P_i picks up C[i][unit] * delta.
+    gf::Matrix column(rs_.field(), params_.r, 1);
+    for (std::size_t i = 0; i < params_.r; ++i)
+      column.set(i, 0, rs_.generator().at(params_.k + i, unit_id));
+    coder = std::make_unique<GemmCoder>(column, encode_coder_.schedule());
+  }
+
+  const std::size_t needed = (1 + params_.r) * unit_size;
+  if (staging_.size() < needed)
+    staging_ = tensor::AlignedBuffer<std::uint8_t>(needed);
+  std::uint8_t* const delta = staging_.data();
+  std::uint8_t* const parity_delta = staging_.data() + unit_size;
+
+  // Word-wide XOR loops (unit_size is a multiple of 8*w, buffers are
+  // 8-byte aligned); byte loops here cost more than the delta GEMM.
+  {
+    auto* d = reinterpret_cast<std::uint64_t*>(delta);
+    const auto* o = reinterpret_cast<const std::uint64_t*>(old_data.data());
+    const auto* nw = reinterpret_cast<const std::uint64_t*>(new_data.data());
+    for (std::size_t i = 0; i < unit_size / 8; ++i) d[i] = o[i] ^ nw[i];
+  }
+  coder->apply(std::span<const std::uint8_t>(delta, unit_size),
+               std::span<std::uint8_t>(parity_delta, params_.r * unit_size),
+               unit_size);
+  {
+    auto* p = reinterpret_cast<std::uint64_t*>(parity.data());
+    const auto* pd = reinterpret_cast<const std::uint64_t*>(parity_delta);
+    for (std::size_t i = 0; i < params_.r * unit_size / 8; ++i) p[i] ^= pd[i];
+  }
+}
+
+void Codec::update_unit(std::span<std::uint8_t> stripe, std::size_t unit_id,
+                        std::span<const std::uint8_t> new_data,
+                        std::size_t unit_size) {
+  if (stripe.size() != params_.n() * unit_size)
+    throw std::invalid_argument("update_unit: stripe must hold k+r units");
+  if (unit_id >= params_.k)
+    throw std::invalid_argument("update_unit: only data units can be updated");
+  if (new_data.size() != unit_size)
+    throw std::invalid_argument("update_unit: new data must be one unit");
+
+  std::uint8_t* const old_unit = stripe.data() + unit_id * unit_size;
+  patch_parity(unit_id,
+               std::span<const std::uint8_t>(old_unit, unit_size), new_data,
+               stripe.subspan(params_.k * unit_size, params_.r * unit_size),
+               unit_size);
+  std::memcpy(old_unit, new_data.data(), unit_size);
+}
+
+tune::TuneResult Codec::tune(std::size_t unit_size,
+                             const tune::TuneOptions& options,
+                             int max_threads) {
+  tune::TuneResult result =
+      encode_coder_.tune(unit_size, options, max_threads);
+  // Coders built later inherit the tuned schedule; drop stale ones.
+  decode_cache_.clear();
+  delta_coders_.clear();
+  return result;
+}
+
+tune::TuneResult Codec::tune_cached(std::size_t unit_size,
+                                    const tune::TuneOptions& options,
+                                    int max_threads,
+                                    const std::string& log_path) {
+  const tune::TaskShape shape = encode_coder_.task_shape(unit_size);
+  if (auto logged = tune::load_log(log_path, shape)) {
+    encode_coder_.set_schedule(logged->best_schedule);
+    decode_cache_.clear();
+    delta_coders_.clear();
+    return std::move(*logged);
+  }
+  tune::TuneResult result = tune(unit_size, options, max_threads);
+  tune::append_log(log_path, shape, result);
+  return result;
+}
+
+}  // namespace tvmec::core

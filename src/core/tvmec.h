@@ -1,0 +1,124 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/gemm_coder.h"
+#include "ec/code_params.h"
+#include "ec/decoder.h"
+#include "ec/reed_solomon.h"
+#include "tensor/buffer.h"
+
+/// The public TVM-EC API: a complete systematic Reed-Solomon codec whose
+/// encode and decode both execute as autotuned GEMMs.
+///
+/// Layout contract (paper §5): the codec works on *contiguous* unit
+/// buffers — k units back to back for encode, n units back to back for a
+/// stripe being decoded. A Jerasure-style pointer API is provided too;
+/// it stages scattered units into an internal contiguous buffer first,
+/// which is exactly the memcpy overhead the paper quantifies (up to 84%).
+/// Not thread-safe: decode caches per-erasure-pattern coders.
+namespace tvmec::core {
+
+class Codec {
+ public:
+  /// Builds the generator and the GEMM encoder.
+  /// Throws std::invalid_argument on invalid parameters.
+  explicit Codec(const ec::CodeParams& params,
+                 ec::RsFamily family = ec::RsFamily::CauchyGood);
+
+  const ec::CodeParams& params() const noexcept { return params_; }
+  const ec::ReedSolomon& code() const noexcept { return rs_; }
+  const GemmCoder& encoder() const noexcept { return encode_coder_; }
+
+  /// Encodes k contiguous data units into r contiguous parity units.
+  /// unit_size must be a positive multiple of 8*w bytes.
+  void encode(std::span<const std::uint8_t> data,
+              std::span<std::uint8_t> parity, std::size_t unit_size) const;
+
+  /// Jerasure-shaped convenience API: units live behind k + r separate
+  /// pointers. Data is first gathered into an internal contiguous staging
+  /// area (the §5 integration cost), encoded, and parities scattered out.
+  void encode_ptrs(const std::vector<const std::uint8_t*>& data,
+                   const std::vector<std::uint8_t*>& parity,
+                   std::size_t unit_size);
+
+  /// Recovers the erased units of a full stripe (n contiguous units) in
+  /// place. Erased ids may name data and/or parity units; at most r.
+  /// Throws std::invalid_argument on bad ids, std::runtime_error if the
+  /// pattern is unrecoverable (more than r erasures).
+  void decode(std::span<std::uint8_t> stripe,
+              std::span<const std::size_t> erased_ids, std::size_t unit_size);
+
+  /// Small-write optimization: replaces data unit `unit_id` and patches
+  /// every parity in place using the code's linearity,
+  ///   P'_i = P_i xor C[i][unit] (x) (old xor new),
+  /// reading only the changed unit and the r parities instead of all k
+  /// data units. The delta itself runs through the GEMM path (an r*w x w
+  /// bitmatrix against the delta unit). Throws std::invalid_argument on
+  /// a parity unit_id or size mismatch.
+  void update_unit(std::span<std::uint8_t> stripe, std::size_t unit_id,
+                   std::span<const std::uint8_t> new_data,
+                   std::size_t unit_size);
+
+  /// The I/O-minimal form of update_unit for block-layer callers (RAID
+  /// small writes): given only the old and new contents of data unit
+  /// `unit_id` and the r parity units, patches the parities in place.
+  /// The caller is responsible for storing new_data itself.
+  void patch_parity(std::size_t unit_id, std::span<const std::uint8_t> old_data,
+                    std::span<const std::uint8_t> new_data,
+                    std::span<std::uint8_t> parity, std::size_t unit_size);
+
+  /// Log-backed tuning (TVM's tuning-records workflow): if `log_path`
+  /// already holds records for this task shape, installs the best logged
+  /// schedule and returns the logged history without measuring anything;
+  /// otherwise runs `tune` and appends the results to the log.
+  tune::TuneResult tune_cached(std::size_t unit_size,
+                               const tune::TuneOptions& options,
+                               int max_threads, const std::string& log_path);
+
+  /// Autotunes the encode schedule (see GemmCoder::tune).
+  tune::TuneResult tune(std::size_t unit_size,
+                        const tune::TuneOptions& options, int max_threads);
+
+  /// Installs a schedule directly (e.g. a single-thread schedule for
+  /// CPU-utilization experiments).
+  void set_schedule(const tensor::Schedule& schedule) {
+    encode_coder_.set_schedule(schedule);
+  }
+
+  /// Number of distinct erasure patterns with cached decode coders.
+  std::size_t decode_cache_size() const noexcept {
+    return decode_cache_.size();
+  }
+
+  /// When enabled, decode planning searches survivor subsets for the
+  /// sparsest recovery matrix (make_decode_plan_optimized) instead of
+  /// taking the first k survivors. Plans are cached, so the search cost
+  /// is paid once per erasure pattern. Clears existing cached plans.
+  void set_plan_optimization(bool enabled) {
+    if (optimize_plans_ != enabled) decode_cache_.clear();
+    optimize_plans_ = enabled;
+  }
+  bool plan_optimization() const noexcept { return optimize_plans_; }
+
+ private:
+  struct DecodeEntry {
+    ec::DecodePlan plan;
+    std::unique_ptr<GemmCoder> coder;
+  };
+
+  const DecodeEntry& decode_entry(const std::vector<std::size_t>& erased);
+
+  ec::CodeParams params_;
+  ec::ReedSolomon rs_;
+  GemmCoder encode_coder_;
+  std::map<std::vector<std::size_t>, DecodeEntry> decode_cache_;
+  bool optimize_plans_ = false;
+  /// Per-data-unit r x 1 delta coders for update_unit (lazy).
+  std::vector<std::unique_ptr<GemmCoder>> delta_coders_;
+  tensor::AlignedBuffer<std::uint8_t> staging_;
+};
+
+}  // namespace tvmec::core

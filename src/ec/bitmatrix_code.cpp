@@ -1,0 +1,25 @@
+#include "ec/bitmatrix_code.h"
+
+namespace tvmec::ec {
+
+BitmatrixCode::BitmatrixCode(const gf::Matrix& coeffs)
+    : w_(coeffs.field().w()),
+      out_units_(coeffs.rows()),
+      in_units_(coeffs.cols()),
+      bits_(gf::BitMatrix::from_gf_matrix(coeffs)) {}
+
+double BitmatrixCode::density() const noexcept {
+  return static_cast<double>(bits_.ones()) /
+         static_cast<double>(bits_.rows() * bits_.cols());
+}
+
+std::vector<std::vector<std::size_t>> BitmatrixCode::xor_equations() const {
+  std::vector<std::vector<std::size_t>> eqs(bits_.rows());
+  for (std::size_t i = 0; i < bits_.rows(); ++i) {
+    for (std::size_t j = 0; j < bits_.cols(); ++j)
+      if (bits_.get(i, j)) eqs[i].push_back(j);
+  }
+  return eqs;
+}
+
+}  // namespace tvmec::ec

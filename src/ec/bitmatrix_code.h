@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ec/code_params.h"
+#include "gf/bitmatrix.h"
+#include "gf/gf_matrix.h"
+
+/// The bitmatrix form of a linear code (paper §2.1): the GF(2^w)
+/// coefficient matrix expanded to binary so encoding becomes pure
+/// XOR/AND — the representation both the GEMM backend and the
+/// XOR-scheduling baselines execute.
+namespace tvmec::ec {
+
+/// A coefficient matrix (rows x k over GF(2^w)) in bitmatrix form
+/// (rows*w x k*w over GF(2)). "Coefficient matrix" is either a parity
+/// block (encoding) or a recovery matrix (decoding).
+class BitmatrixCode {
+ public:
+  /// Expands `coeffs`. `w` is taken from the matrix's field.
+  explicit BitmatrixCode(const gf::Matrix& coeffs);
+
+  unsigned w() const noexcept { return w_; }
+  /// Output units (rows of the coefficient matrix).
+  std::size_t out_units() const noexcept { return out_units_; }
+  /// Input units (columns of the coefficient matrix).
+  std::size_t in_units() const noexcept { return in_units_; }
+
+  /// The rows*w x k*w binary matrix.
+  const gf::BitMatrix& bits() const noexcept { return bits_; }
+
+  /// Total ones — proportional to the XOR work of a schedule-free encode.
+  std::size_t ones() const noexcept { return bits_.ones(); }
+
+  /// Average ones per output bit-row; the "density" metric low-density
+  /// code searches minimize.
+  double density() const noexcept;
+
+  /// For each output bit-row, the list of input bit-row indices XORed
+  /// into it — the raw XOR equations every scheduling baseline starts
+  /// from.
+  std::vector<std::vector<std::size_t>> xor_equations() const;
+
+ private:
+  unsigned w_;
+  std::size_t out_units_;
+  std::size_t in_units_;
+  gf::BitMatrix bits_;
+};
+
+}  // namespace tvmec::ec

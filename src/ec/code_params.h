@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "gf/gf.h"
+
+/// Erasure-code parameters shared by every encoder and decoder in the
+/// library: k data units, r parity units, arithmetic over GF(2^w).
+namespace tvmec::ec {
+
+struct CodeParams {
+  std::size_t k = 0;  ///< number of data units
+  std::size_t r = 0;  ///< number of parity units
+  unsigned w = 8;     ///< Galois-field word size
+
+  std::size_t n() const noexcept { return k + r; }
+
+  /// Throws std::invalid_argument unless the parameters describe a valid
+  /// code: k, r >= 1, supported w, and k + r <= 2^w (needed for MDS
+  /// generator constructions).
+  void validate() const {
+    if (k == 0 || r == 0)
+      throw std::invalid_argument("CodeParams: k and r must be >= 1");
+    if (!gf::is_supported_w(w))
+      throw std::invalid_argument("CodeParams: unsupported w=" +
+                                  std::to_string(w));
+    if (n() > (std::size_t{1} << w))
+      throw std::invalid_argument("CodeParams: k + r exceeds field size");
+  }
+
+  bool operator==(const CodeParams&) const = default;
+};
+
+/// Bitmatrix encoders slice each unit into w packets processed as 64-bit
+/// words, so the unit size must be a multiple of 8 * w bytes. Throws
+/// std::invalid_argument otherwise; returns the packet size in bytes.
+inline std::size_t packet_bytes(const CodeParams& p, std::size_t unit_size) {
+  const std::size_t quantum = std::size_t{8} * p.w;
+  if (unit_size == 0 || unit_size % quantum != 0)
+    throw std::invalid_argument(
+        "unit size must be a nonzero multiple of 8*w bytes (got " +
+        std::to_string(unit_size) + " with w=" + std::to_string(p.w) + ")");
+  return unit_size / p.w;
+}
+
+}  // namespace tvmec::ec

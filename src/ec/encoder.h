@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+/// The backend-neutral coding interface.
+///
+/// Every encoding library in this repo — the naive reference, the three
+/// custom-library baselines, and the GEMM-backed TVM-EC core — implements
+/// MatrixCoder: "apply an arbitrary coefficient matrix to input units".
+/// Encoding applies the parity block; decoding applies a DecodePlan's
+/// recovery matrix. This uniformity is itself a paper point (§2: decoding
+/// mirrors encoding), and it lets benchmarks and integration tests drive
+/// all backends identically.
+namespace tvmec::ec {
+
+/// Word-oriented backends reinterpret byte buffers as uint64 words; this
+/// guards the required 8-byte alignment (AlignedBuffer satisfies it).
+/// Throws std::invalid_argument when violated.
+inline void require_word_aligned(const void* p, const char* what) {
+  if (reinterpret_cast<std::uintptr_t>(p) % 8 != 0)
+    throw std::invalid_argument(std::string(what) +
+                                ": buffer must be 8-byte aligned");
+}
+
+class MatrixCoder {
+ public:
+  virtual ~MatrixCoder() = default;
+
+  /// Applies the coefficient matrix: reads in_units() contiguous units
+  /// from `in`, writes out_units() contiguous units to `out`, each unit
+  /// being `unit_size` bytes. Throws std::invalid_argument on size
+  /// mismatch or a unit size the backend cannot handle.
+  virtual void apply(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out,
+                     std::size_t unit_size) const = 0;
+
+  virtual std::size_t in_units() const noexcept = 0;
+  virtual std::size_t out_units() const noexcept = 0;
+
+  /// Short backend name for logs and benchmark rows (e.g. "isal-like").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tvmec::ec

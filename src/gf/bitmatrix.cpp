@@ -1,0 +1,165 @@
+#include "gf/bitmatrix.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tvmec::gf {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      words_(rows * words_per_row_, 0) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("BitMatrix: zero dimension");
+}
+
+void BitMatrix::check_index(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("BitMatrix index out of range");
+}
+
+std::size_t BitMatrix::ones() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::size_t BitMatrix::row_ones(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("BitMatrix::row_ones");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_per_row_; ++i)
+    total += std::popcount(words_[r * words_per_row_ + i]);
+  return total;
+}
+
+std::span<const std::uint64_t> BitMatrix::row_words(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("BitMatrix::row_words");
+  return {words_.data() + r * words_per_row_, words_per_row_};
+}
+
+bool BitMatrix::operator==(const BitMatrix& other) const noexcept {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         words_ == other.words_;
+}
+
+BitMatrix BitMatrix::identity(std::size_t n) {
+  BitMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+BitMatrix BitMatrix::element_block(const Field& field, elem_t e) {
+  const unsigned w = field.w();
+  BitMatrix block(w, w);
+  elem_t x = e;
+  for (unsigned c = 0; c < w; ++c) {
+    for (unsigned r = 0; r < w; ++r) block.set(r, c, (x >> r) & 1u);
+    x = field.mul(x, 2);  // next column represents e * alpha^(c+1)
+  }
+  return block;
+}
+
+BitMatrix BitMatrix::from_gf_matrix(const Matrix& m) {
+  const unsigned w = m.field().w();
+  BitMatrix out(m.rows() * w, m.cols() * w);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const elem_t e = m.at(i, j);
+      if (e == 0) continue;
+      const BitMatrix block = element_block(m.field(), e);
+      for (unsigned r = 0; r < w; ++r)
+        for (unsigned c = 0; c < w; ++c)
+          if (block.get(r, c)) out.set(i * w + r, j * w + c, true);
+    }
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::mul(const BitMatrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("BitMatrix::mul: shape mismatch");
+  BitMatrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t l = 0; l < cols_; ++l) {
+      if (!get(i, l)) continue;
+      // XOR row l of rhs into row i of out.
+      for (std::size_t wi = 0; wi < rhs.words_per_row_; ++wi)
+        out.words_[i * out.words_per_row_ + wi] ^=
+            rhs.words_[l * rhs.words_per_row_ + wi];
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BitMatrix::mul_vec(
+    std::span<const std::uint8_t> x) const {
+  if (x.size() != cols_)
+    throw std::invalid_argument("BitMatrix::mul_vec: size mismatch");
+  std::vector<std::uint8_t> y(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j < cols_; ++j)
+      acc ^= static_cast<std::uint8_t>(get(i, j) & (x[j] & 1u));
+    y[i] = acc;
+  }
+  return y;
+}
+
+void BitMatrix::xor_row_into(std::size_t src, std::size_t dst) {
+  for (std::size_t wi = 0; wi < words_per_row_; ++wi)
+    words_[dst * words_per_row_ + wi] ^= words_[src * words_per_row_ + wi];
+}
+
+std::optional<BitMatrix> BitMatrix::inverted() const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("BitMatrix::inverted: not square");
+  const std::size_t n = rows_;
+  BitMatrix a = *this;
+  BitMatrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && !a.get(pivot, col)) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t wi = 0; wi < a.words_per_row_; ++wi)
+        std::swap(a.words_[col * a.words_per_row_ + wi],
+                  a.words_[pivot * a.words_per_row_ + wi]);
+      for (std::size_t wi = 0; wi < inv.words_per_row_; ++wi)
+        std::swap(inv.words_[col * inv.words_per_row_ + wi],
+                  inv.words_[pivot * inv.words_per_row_ + wi]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == col || !a.get(i, col)) continue;
+      a.xor_row_into(col, i);
+      inv.xor_row_into(col, i);
+    }
+  }
+  return inv;
+}
+
+BitMatrix BitMatrix::select_rows(std::span<const std::size_t> row_ids) const {
+  if (row_ids.empty())
+    throw std::invalid_argument("BitMatrix::select_rows: empty selection");
+  BitMatrix out(row_ids.size(), cols_);
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    if (row_ids[i] >= rows_)
+      throw std::out_of_range("BitMatrix::select_rows: row id out of range");
+    for (std::size_t wi = 0; wi < words_per_row_; ++wi)
+      out.words_[i * out.words_per_row_ + wi] =
+          words_[row_ids[i] * words_per_row_ + wi];
+  }
+  return out;
+}
+
+std::size_t row_bitmatrix_ones(const Matrix& m, std::size_t row) {
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    const elem_t e = m.at(row, j);
+    if (e == 0) continue;
+    total += BitMatrix::element_block(m.field(), e).ones();
+  }
+  return total;
+}
+
+}  // namespace tvmec::gf

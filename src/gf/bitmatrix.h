@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/gf_matrix.h"
+
+/// Binary ("bitmatrix") representation of GF(2^w) matrices, following
+/// Bloemer et al. and Plank: every GF(2^w) element becomes a w x w binary
+/// block, turning field arithmetic into XOR/AND over GF(2). This is the
+/// representation the paper's Listing 2 kernel (and all bitmatrix erasure
+/// coding) operates on.
+namespace tvmec::gf {
+
+/// A dense binary matrix, packed row-major into 64-bit words.
+class BitMatrix {
+ public:
+  /// Zero matrix. Throws std::invalid_argument on a zero dimension.
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  /// Number of 64-bit words used to store one row.
+  std::size_t words_per_row() const noexcept { return words_per_row_; }
+
+  bool get(std::size_t r, std::size_t c) const {
+    check_index(r, c);
+    return (words_[r * words_per_row_ + c / 64] >> (c % 64)) & 1u;
+  }
+  void set(std::size_t r, std::size_t c, bool v) {
+    check_index(r, c);
+    std::uint64_t& word = words_[r * words_per_row_ + c / 64];
+    const std::uint64_t mask = std::uint64_t{1} << (c % 64);
+    word = v ? (word | mask) : (word & ~mask);
+  }
+
+  /// Total number of set bits — the XOR cost measure that "low-density"
+  /// generator-matrix searches minimize.
+  std::size_t ones() const noexcept;
+
+  /// Number of set bits in one row.
+  std::size_t row_ones(std::size_t r) const;
+
+  /// Packed words of row r.
+  std::span<const std::uint64_t> row_words(std::size_t r) const;
+
+  bool operator==(const BitMatrix& other) const noexcept;
+
+  static BitMatrix identity(std::size_t n);
+
+  /// Expands a GF(2^w) matrix into its (rows*w) x (cols*w) binary form.
+  /// Element e at block (i, j) becomes the w x w matrix whose column c
+  /// holds the bits of e * alpha^c (Jerasure's matrix_to_bitmatrix).
+  static BitMatrix from_gf_matrix(const Matrix& m);
+
+  /// The w x w binary block for a single field element.
+  static BitMatrix element_block(const Field& field, elem_t e);
+
+  /// Binary matrix product over GF(2).
+  BitMatrix mul(const BitMatrix& rhs) const;
+
+  /// Binary matrix-vector product y = M x over GF(2).
+  std::vector<std::uint8_t> mul_vec(std::span<const std::uint8_t> x) const;
+
+  /// Gauss-Jordan inverse over GF(2); nullopt if singular.
+  std::optional<BitMatrix> inverted() const;
+
+  /// New matrix made of the given rows (in the given order).
+  BitMatrix select_rows(std::span<const std::size_t> row_ids) const;
+
+ private:
+  void check_index(std::size_t r, std::size_t c) const;
+  void xor_row_into(std::size_t src, std::size_t dst);
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Number of ones in the bitmatrix expansion of row `row` of a GF(2^w)
+/// matrix, without materializing the whole expansion. Used by generator-
+/// matrix constructions that minimize XOR cost.
+std::size_t row_bitmatrix_ones(const Matrix& m, std::size_t row);
+
+}  // namespace tvmec::gf

@@ -1,0 +1,194 @@
+#include "gf/gf.h"
+
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace tvmec::gf {
+
+namespace {
+
+/// Primitive polynomials (with the leading term) for each supported w.
+/// These match the polynomials used by Jerasure and ISA-L so that encoded
+/// bytes are interoperable with those libraries' defaults.
+std::uint32_t primitive_poly_for(unsigned w) {
+  switch (w) {
+    case 4:
+      return 0x13;  // x^4 + x + 1
+    case 8:
+      return 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+    case 16:
+      return 0x1100B;  // x^16 + x^12 + x^3 + x + 1
+    default:
+      throw std::invalid_argument("GF(2^w): unsupported w=" +
+                                  std::to_string(w));
+  }
+}
+
+}  // namespace
+
+Field::Field(unsigned w)
+    : w_(w),
+      order_(is_supported_w(w) ? (1u << w) : 0),
+      poly_(primitive_poly_for(w)) {
+  const std::uint32_t group = order_ - 1;
+  exp_.assign(2 * group, 0);
+  log_.assign(order_, 0);
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < group; ++i) {
+    exp_[i] = static_cast<elem_t>(x);
+    exp_[i + group] = static_cast<elem_t>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x & order_) x ^= poly_;
+  }
+  // The generator must cycle through every nonzero element exactly once.
+  assert(x == 1 && "polynomial is not primitive");
+}
+
+const Field& Field::of(unsigned w) {
+  static const Field f4(4);
+  static const Field f8(8);
+  static const Field f16(16);
+  switch (w) {
+    case 4:
+      return f4;
+    case 8:
+      return f8;
+    case 16:
+      return f16;
+    default:
+      throw std::invalid_argument("GF(2^w): unsupported w=" +
+                                  std::to_string(w));
+  }
+}
+
+elem_t Field::div(elem_t a, elem_t b) const {
+  if (b == 0) throw std::domain_error("GF division by zero");
+  if (a == 0) return 0;
+  return exp_[log_[a] + max_elem() - log_[b]];
+}
+
+elem_t Field::inv(elem_t a) const {
+  if (a == 0) throw std::domain_error("GF inverse of zero");
+  return exp_[max_elem() - log_[a]];
+}
+
+elem_t Field::pow(elem_t a, std::uint32_t e) const noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const std::uint64_t le = (static_cast<std::uint64_t>(log_[a]) * e) % max_elem();
+  return exp_[le];
+}
+
+std::uint32_t Field::log(elem_t a) const {
+  if (a == 0) throw std::domain_error("GF log of zero");
+  return log_[a];
+}
+
+void Field::region_mul(elem_t c, std::span<const std::uint8_t> src,
+                       std::span<std::uint8_t> dst) const {
+  if (src.size() != dst.size())
+    throw std::invalid_argument("region_mul: size mismatch");
+  switch (w_) {
+    case 8: {
+      // Full 256-entry table amortizes over the region.
+      std::array<std::uint8_t, 256> table;
+      for (std::uint32_t b = 0; b < 256; ++b)
+        table[b] = static_cast<std::uint8_t>(mul(c, static_cast<elem_t>(b)));
+      for (std::size_t i = 0; i < src.size(); ++i) dst[i] = table[src[i]];
+      break;
+    }
+    case 4: {
+      std::array<std::uint8_t, 16> table;
+      for (std::uint32_t b = 0; b < 16; ++b)
+        table[b] = static_cast<std::uint8_t>(mul(c, static_cast<elem_t>(b)));
+      for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = static_cast<std::uint8_t>(table[src[i] & 0x0F] |
+                                           (table[src[i] >> 4] << 4));
+      break;
+    }
+    case 16: {
+      if (src.size() % 2 != 0)
+        throw std::invalid_argument("region_mul: w=16 needs even size");
+      for (std::size_t i = 0; i < src.size(); i += 2) {
+        const elem_t v =
+            static_cast<elem_t>(src[i] | (static_cast<elem_t>(src[i + 1]) << 8));
+        const elem_t p = mul(c, v);
+        dst[i] = static_cast<std::uint8_t>(p & 0xFF);
+        dst[i + 1] = static_cast<std::uint8_t>(p >> 8);
+      }
+      break;
+    }
+    default:
+      assert(false);
+  }
+}
+
+void Field::region_mul_xor(elem_t c, std::span<const std::uint8_t> src,
+                           std::span<std::uint8_t> dst) const {
+  if (src.size() != dst.size())
+    throw std::invalid_argument("region_mul_xor: size mismatch");
+  switch (w_) {
+    case 8: {
+      std::array<std::uint8_t, 256> table;
+      for (std::uint32_t b = 0; b < 256; ++b)
+        table[b] = static_cast<std::uint8_t>(mul(c, static_cast<elem_t>(b)));
+      for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= table[src[i]];
+      break;
+    }
+    case 4: {
+      std::array<std::uint8_t, 16> table;
+      for (std::uint32_t b = 0; b < 16; ++b)
+        table[b] = static_cast<std::uint8_t>(mul(c, static_cast<elem_t>(b)));
+      for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] ^= static_cast<std::uint8_t>(table[src[i] & 0x0F] |
+                                            (table[src[i] >> 4] << 4));
+      break;
+    }
+    case 16: {
+      if (src.size() % 2 != 0)
+        throw std::invalid_argument("region_mul_xor: w=16 needs even size");
+      for (std::size_t i = 0; i < src.size(); i += 2) {
+        const elem_t v =
+            static_cast<elem_t>(src[i] | (static_cast<elem_t>(src[i + 1]) << 8));
+        const elem_t p = mul(c, v);
+        dst[i] ^= static_cast<std::uint8_t>(p & 0xFF);
+        dst[i + 1] ^= static_cast<std::uint8_t>(p >> 8);
+      }
+      break;
+    }
+    default:
+      assert(false);
+  }
+}
+
+SplitTables8 Field::split_tables(std::uint8_t c) const {
+  if (w_ != 8)
+    throw std::logic_error("split_tables is only defined for GF(2^8)");
+  SplitTables8 t;
+  for (std::uint32_t x = 0; x < 16; ++x) {
+    t.lo[x] = static_cast<std::uint8_t>(mul(c, static_cast<elem_t>(x)));
+    t.hi[x] = static_cast<std::uint8_t>(mul(c, static_cast<elem_t>(x << 4)));
+  }
+  return t;
+}
+
+elem_t mul_slow(unsigned w, elem_t a, elem_t b) {
+  if (!is_supported_w(w)) throw std::invalid_argument("mul_slow: bad w");
+  const std::uint32_t poly = primitive_poly_for(w);
+  const std::uint32_t high_bit = 1u << w;
+  std::uint32_t product = 0;
+  std::uint32_t aa = a;
+  std::uint32_t bb = b;
+  while (bb != 0) {
+    if (bb & 1) product ^= aa;
+    bb >>= 1;
+    aa <<= 1;
+    if (aa & high_bit) aa ^= poly;
+  }
+  return static_cast<elem_t>(product);
+}
+
+}  // namespace tvmec::gf

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// Finite-field (Galois-field) arithmetic over GF(2^w), the substrate for
+/// all erasure-code math in this library.
+///
+/// Supported word sizes are w = 4, 8 and 16, matching the sizes used by
+/// Jerasure, ISA-L and the paper's evaluation (which fixes w = 8).
+/// Arithmetic uses log/exp tables built once per field; region operations
+/// (multiply a whole buffer by a constant) are provided for the table-based
+/// baseline encoders.
+namespace tvmec::gf {
+
+/// Element type wide enough for every supported field.
+using elem_t = std::uint16_t;
+
+/// Returns true if `w` is one of the supported field word sizes.
+constexpr bool is_supported_w(unsigned w) noexcept {
+  return w == 4 || w == 8 || w == 16;
+}
+
+/// Split multiplication tables for GF(2^8), the core trick of ISA-L-style
+/// encoders: because multiplication by a constant is linear over GF(2),
+/// c*b == c*(b & 0x0F) ^ c*(b & 0xF0), so two 16-entry lookups replace one
+/// 256-entry lookup and map directly onto byte-shuffle instructions.
+struct SplitTables8 {
+  std::array<std::uint8_t, 16> lo{};  ///< lo[x] = c * x          for x in [0,16)
+  std::array<std::uint8_t, 16> hi{};  ///< hi[x] = c * (x << 4)   for x in [0,16)
+
+  /// Multiply one byte by the constant the tables were built for.
+  std::uint8_t mul(std::uint8_t b) const noexcept {
+    return static_cast<std::uint8_t>(lo[b & 0x0F] ^ hi[b >> 4]);
+  }
+};
+
+/// A Galois field GF(2^w).
+///
+/// Instances are immutable after construction. Use `Field::of(w)` to share
+/// the per-w singleton instead of rebuilding tables.
+class Field {
+ public:
+  /// Builds the log/exp tables for GF(2^w).
+  /// Throws std::invalid_argument if `w` is unsupported.
+  explicit Field(unsigned w);
+
+  /// Shared immutable instance for the given word size.
+  /// Throws std::invalid_argument if `w` is unsupported.
+  static const Field& of(unsigned w);
+
+  unsigned w() const noexcept { return w_; }
+  /// Number of field elements, 2^w.
+  std::uint32_t order() const noexcept { return order_; }
+  /// Largest element value, 2^w - 1 (also the multiplicative group order).
+  std::uint32_t max_elem() const noexcept { return order_ - 1; }
+  /// The primitive polynomial used, including the leading x^w term.
+  std::uint32_t primitive_poly() const noexcept { return poly_; }
+
+  /// Field addition (== subtraction): bitwise XOR.
+  static elem_t add(elem_t a, elem_t b) noexcept {
+    return static_cast<elem_t>(a ^ b);
+  }
+
+  /// Field multiplication via log/exp tables.
+  elem_t mul(elem_t a, elem_t b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  /// Field division. Throws std::domain_error if b == 0.
+  elem_t div(elem_t a, elem_t b) const;
+
+  /// Multiplicative inverse. Throws std::domain_error if a == 0.
+  elem_t inv(elem_t a) const;
+
+  /// a raised to the (ordinary integer) power e.
+  elem_t pow(elem_t a, std::uint32_t e) const noexcept;
+
+  /// alpha^e where alpha is the primitive element (generator).
+  elem_t exp(std::uint32_t e) const noexcept {
+    return exp_[e % max_elem()];
+  }
+
+  /// Discrete log base alpha. Precondition: a != 0 (throws std::domain_error).
+  std::uint32_t log(elem_t a) const;
+
+  /// dst[i] = c * src[i] for every element of the region.
+  /// For w=8 elements are bytes; for w=16, little-endian byte pairs
+  /// (src.size() must be even); for w=4, each byte holds two independent
+  /// nibble elements. src and dst must be the same size (else
+  /// std::invalid_argument) and must not partially overlap.
+  void region_mul(elem_t c, std::span<const std::uint8_t> src,
+                  std::span<std::uint8_t> dst) const;
+
+  /// dst[i] ^= c * src[i]: the multiply-accumulate at the heart of
+  /// table-based erasure encoding.
+  void region_mul_xor(elem_t c, std::span<const std::uint8_t> src,
+                      std::span<std::uint8_t> dst) const;
+
+  /// Split 4-bit tables for multiplying by constant c (w == 8 only;
+  /// throws std::logic_error otherwise).
+  SplitTables8 split_tables(std::uint8_t c) const;
+
+ private:
+  unsigned w_;
+  std::uint32_t order_;
+  std::uint32_t poly_;
+  // exp_ is doubled in length so mul() can skip the modulo.
+  std::vector<elem_t> exp_;
+  std::vector<std::uint32_t> log_;
+};
+
+/// Multiplies two elements without tables (carry-less multiply + reduction).
+/// Slow; used by tests to validate the table-based path.
+elem_t mul_slow(unsigned w, elem_t a, elem_t b);
+
+}  // namespace tvmec::gf

@@ -1,0 +1,267 @@
+#include "gf/gf_matrix.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "gf/bitmatrix.h"
+
+namespace tvmec::gf {
+
+Matrix::Matrix(const Field& field, std::size_t rows, std::size_t cols)
+    : field_(&field), rows_(rows), cols_(cols), data_(rows * cols, 0) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("Matrix: zero dimension");
+}
+
+void Matrix::check_index(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("Matrix index (" + std::to_string(r) + "," +
+                            std::to_string(c) + ") out of range");
+}
+
+std::span<const elem_t> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+bool Matrix::operator==(const Matrix& other) const noexcept {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         field_->w() == other.field_->w() && data_ == other.data_;
+}
+
+Matrix Matrix::identity(const Field& field, std::size_t n) {
+  Matrix m(field, n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+Matrix Matrix::vandermonde(const Field& field, std::size_t rows,
+                           std::size_t cols) {
+  if (rows > field.order())
+    throw std::invalid_argument("vandermonde: too many rows for field");
+  Matrix m(field, rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m.set(i, j, field.pow(static_cast<elem_t>(i),
+                            static_cast<std::uint32_t>(j)));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::cauchy(const Field& field, std::size_t r, std::size_t k) {
+  if (r + k > field.order())
+    throw std::invalid_argument("cauchy: r + k exceeds field order");
+  Matrix m(field, r, k);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const elem_t x = static_cast<elem_t>(i);
+      const elem_t y = static_cast<elem_t>(r + j);
+      m.set(i, j, field.inv(Field::add(x, y)));
+    }
+  }
+  return m;
+}
+
+namespace {
+
+/// Scale each row by the inverse of the element whose choice minimizes
+/// the row's total bitmatrix weight. Scanning the row's own elements as
+/// scale candidates keeps this O(r * k^2) while catching the big wins.
+/// Row scaling by a nonzero constant preserves the MDS property.
+void scale_rows_for_density(Matrix& m) {
+  const Field& field = m.field();
+  const std::size_t r = m.rows();
+  const std::size_t k = m.cols();
+  for (std::size_t i = 0; i < r; ++i) {
+    elem_t best_scale = 1;
+    std::size_t best_ones = row_bitmatrix_ones(m, i);
+    for (std::size_t j = 0; j < k; ++j) {
+      const elem_t candidate = field.inv(m.at(i, j));
+      Matrix trial = m;
+      for (std::size_t c = 0; c < k; ++c)
+        trial.set(i, c, field.mul(candidate, m.at(i, c)));
+      const std::size_t ones = row_bitmatrix_ones(trial, i);
+      if (ones < best_ones) {
+        best_ones = ones;
+        best_scale = candidate;
+      }
+    }
+    if (best_scale != 1) {
+      for (std::size_t c = 0; c < k; ++c)
+        m.set(i, c, field.mul(best_scale, m.at(i, c)));
+    }
+  }
+}
+
+/// Cauchy matrix from explicit distinct point sets xs (rows) and ys
+/// (columns); xs and ys must be disjoint.
+Matrix cauchy_from_points(const Field& field, std::span<const elem_t> xs,
+                          std::span<const elem_t> ys) {
+  Matrix m(field, xs.size(), ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    for (std::size_t j = 0; j < ys.size(); ++j)
+      m.set(i, j, field.inv(Field::add(xs[i], ys[j])));
+  return m;
+}
+
+}  // namespace
+
+Matrix Matrix::cauchy_good(const Field& field, std::size_t r, std::size_t k) {
+  Matrix m = cauchy(field, r, k);
+  scale_rows_for_density(m);
+  return m;
+}
+
+Matrix Matrix::cauchy_best(const Field& field, std::size_t r, std::size_t k,
+                           std::size_t trials, std::uint64_t seed) {
+  if (r + k > field.order())
+    throw std::invalid_argument("cauchy_best: r + k exceeds field order");
+  if (trials == 0) throw std::invalid_argument("cauchy_best: zero trials");
+
+  std::vector<elem_t> points(field.order());
+  for (std::uint32_t v = 0; v < field.order(); ++v)
+    points[v] = static_cast<elem_t>(v);
+
+  std::mt19937_64 rng(seed);
+  std::optional<Matrix> best;
+  std::size_t best_ones = 0;
+  // Trial 0 is the canonical point set, so the search never does worse
+  // than cauchy_good.
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    if (trial > 0) std::shuffle(points.begin(), points.end(), rng);
+    Matrix m = cauchy_from_points(
+        field, std::span<const elem_t>(points).subspan(0, r),
+        std::span<const elem_t>(points).subspan(r, k));
+    scale_rows_for_density(m);
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < r; ++i) ones += row_bitmatrix_ones(m, i);
+    if (!best || ones < best_ones) {
+      best = std::move(m);
+      best_ones = ones;
+    }
+  }
+  return *best;
+}
+
+Matrix Matrix::mul(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix::mul: shape mismatch");
+  Matrix out(*field_, rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t l = 0; l < cols_; ++l) {
+      const elem_t a = data_[i * cols_ + l];
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        const elem_t prod = field_->mul(a, rhs.data_[l * rhs.cols_ + j]);
+        out.data_[i * rhs.cols_ + j] =
+            Field::add(out.data_[i * rhs.cols_ + j], prod);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<elem_t> Matrix::mul_vec(std::span<const elem_t> x) const {
+  if (x.size() != cols_)
+    throw std::invalid_argument("Matrix::mul_vec: size mismatch");
+  std::vector<elem_t> y(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    elem_t acc = 0;
+    for (std::size_t j = 0; j < cols_; ++j)
+      acc = Field::add(acc, field_->mul(data_[i * cols_ + j], x[j]));
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("Matrix::inverted: not square");
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(*field_, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.data_[col * n + j], a.data_[pivot * n + j]);
+        std::swap(inv.data_[col * n + j], inv.data_[pivot * n + j]);
+      }
+    }
+    // Normalize the pivot row.
+    const elem_t scale = field_->inv(a.at(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      a.data_[col * n + j] = field_->mul(scale, a.data_[col * n + j]);
+      inv.data_[col * n + j] = field_->mul(scale, inv.data_[col * n + j]);
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == col) continue;
+      const elem_t factor = a.at(i, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.data_[i * n + j] = Field::add(
+            a.data_[i * n + j], field_->mul(factor, a.data_[col * n + j]));
+        inv.data_[i * n + j] = Field::add(
+            inv.data_[i * n + j], field_->mul(factor, inv.data_[col * n + j]));
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> row_ids) const {
+  if (row_ids.empty())
+    throw std::invalid_argument("select_rows: empty selection");
+  Matrix out(*field_, row_ids.size(), cols_);
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    if (row_ids[i] >= rows_)
+      throw std::out_of_range("select_rows: row id out of range");
+    for (std::size_t j = 0; j < cols_; ++j)
+      out.set(i, j, at(row_ids[i], j));
+  }
+  return out;
+}
+
+Matrix Matrix::vstack(const Matrix& below) const {
+  if (cols_ != below.cols_)
+    throw std::invalid_argument("vstack: column mismatch");
+  Matrix out(*field_, rows_ + below.rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out.set(i, j, at(i, j));
+  for (std::size_t i = 0; i < below.rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      out.set(rows_ + i, j, below.at(i, j));
+  return out;
+}
+
+Matrix rs_generator_vandermonde(const Field& field, std::size_t k,
+                                std::size_t r) {
+  if (k + r > field.order())
+    throw std::invalid_argument("rs_generator_vandermonde: k + r too large");
+  const Matrix v = Matrix::vandermonde(field, k + r, k);
+  std::vector<std::size_t> top_ids(k);
+  for (std::size_t i = 0; i < k; ++i) top_ids[i] = i;
+  const Matrix top = v.select_rows(top_ids);
+  const auto top_inv = top.inverted();
+  if (!top_inv)
+    throw std::logic_error("Vandermonde top block must be invertible");
+  // Right-multiplying every row by the same invertible matrix preserves
+  // the invertibility of any k-row subset, so the result stays MDS.
+  return v.mul(*top_inv);
+}
+
+Matrix rs_generator_cauchy(const Field& field, std::size_t k, std::size_t r,
+                           bool minimize_ones) {
+  const Matrix c = minimize_ones ? Matrix::cauchy_good(field, r, k)
+                                 : Matrix::cauchy(field, r, k);
+  return Matrix::identity(field, k).vstack(c);
+}
+
+}  // namespace tvmec::gf

@@ -1,0 +1,89 @@
+#include "storage/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace tvmec::storage {
+
+CheckpointManager::CheckpointManager(const ec::CodeParams& params,
+                                     std::size_t shard_capacity)
+    : params_(params), shard_capacity_(shard_capacity), codec_(params) {
+  ec::packet_bytes(params, shard_capacity);  // validates the capacity
+}
+
+std::uint64_t CheckpointManager::checkpoint(
+    const std::vector<std::span<const std::uint8_t>>& shards) {
+  if (shards.size() != params_.k)
+    throw std::invalid_argument("checkpoint: expected one shard per rank");
+  Version v;
+  v.id = next_id_++;
+  v.shard_sizes.resize(params_.k);
+  v.stripe = tensor::AlignedBuffer<std::uint8_t>(params_.n() * shard_capacity_);
+  v.lost.assign(params_.k, false);
+  for (std::size_t i = 0; i < params_.k; ++i) {
+    if (shards[i].size() > shard_capacity_)
+      throw std::invalid_argument("checkpoint: shard exceeds capacity");
+    v.shard_sizes[i] = shards[i].size();
+    std::memcpy(v.stripe.data() + i * shard_capacity_, shards[i].data(),
+                shards[i].size());
+    // Padding is already zero (AlignedBuffer zero-initializes).
+  }
+  codec_.encode(
+      std::span<const std::uint8_t>(v.stripe.data(),
+                                    params_.k * shard_capacity_),
+      std::span<std::uint8_t>(v.stripe.data() + params_.k * shard_capacity_,
+                              params_.r * shard_capacity_),
+      shard_capacity_);
+  latest_ = std::move(v);
+  return latest_->id;
+}
+
+std::optional<std::uint64_t> CheckpointManager::latest_version()
+    const noexcept {
+  if (!latest_) return std::nullopt;
+  return latest_->id;
+}
+
+void CheckpointManager::lose_rank(std::size_t rank) {
+  if (!latest_) throw std::logic_error("lose_rank: no checkpoint taken");
+  if (rank >= params_.k)
+    throw std::invalid_argument("lose_rank: rank out of range");
+  if (latest_->lost[rank]) return;
+  latest_->lost[rank] = true;
+  latest_->recovered = false;
+  // The rank's memory is gone: scrub its shard to make the loss real.
+  std::memset(latest_->stripe.data() + rank * shard_capacity_, 0xDD,
+              shard_capacity_);
+}
+
+bool CheckpointManager::rank_lost(std::size_t rank) const {
+  if (!latest_) return false;
+  if (rank >= params_.k)
+    throw std::invalid_argument("rank_lost: rank out of range");
+  return latest_->lost[rank];
+}
+
+std::size_t CheckpointManager::ranks_lost() const noexcept {
+  if (!latest_) return 0;
+  return static_cast<std::size_t>(
+      std::count(latest_->lost.begin(), latest_->lost.end(), true));
+}
+
+std::vector<std::uint8_t> CheckpointManager::recover_shard(std::size_t rank) {
+  if (!latest_) throw std::logic_error("recover_shard: no checkpoint taken");
+  if (rank >= params_.k)
+    throw std::invalid_argument("recover_shard: rank out of range");
+
+  if (!latest_->recovered && ranks_lost() > 0) {
+    std::vector<std::size_t> erased;
+    for (std::size_t i = 0; i < params_.k; ++i)
+      if (latest_->lost[i]) erased.push_back(i);
+    codec_.decode(latest_->stripe.span(), erased, shard_capacity_);
+    latest_->recovered = true;
+  }
+  const std::uint8_t* shard = latest_->stripe.data() + rank * shard_capacity_;
+  return std::vector<std::uint8_t>(shard, shard + latest_->shard_sizes[rank]);
+}
+
+}  // namespace tvmec::storage

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/tvmec.h"
+#include "ec/code_params.h"
+#include "tensor/buffer.h"
+
+/// In-memory erasure-coded checkpointing for accelerator-native training —
+/// the motivating application of the paper's §3: "High-performance
+/// checkpointing libraries often leverage in-memory erasure coding across
+/// multiple nodes to reduce the time-overhead of writing checkpoints to
+/// stable storage."
+///
+/// Each of k training ranks contributes its state shard; the manager
+/// encodes r parity shards so training survives up to r simultaneous rank
+/// failures without touching stable storage. Checkpoints are versioned;
+/// recovery reconstructs exactly the bytes a lost rank contributed.
+namespace tvmec::storage {
+
+class CheckpointManager {
+ public:
+  /// `params.k` = number of training ranks. `shard_capacity` is the
+  /// fixed per-rank shard buffer size (a multiple of 8*w; shorter shards
+  /// are zero-padded). Throws std::invalid_argument on bad sizes.
+  CheckpointManager(const ec::CodeParams& params, std::size_t shard_capacity);
+
+  const ec::CodeParams& params() const noexcept { return params_; }
+  std::size_t shard_capacity() const noexcept { return shard_capacity_; }
+
+  /// Takes a checkpoint from all k ranks (shards[i] is rank i's state,
+  /// size <= shard_capacity). Returns the new checkpoint version.
+  /// Throws std::invalid_argument on a wrong shard count or oversize.
+  std::uint64_t checkpoint(
+      const std::vector<std::span<const std::uint8_t>>& shards);
+
+  std::optional<std::uint64_t> latest_version() const noexcept;
+
+  /// Simulates losing a rank's in-memory state for the latest checkpoint.
+  void lose_rank(std::size_t rank);
+  bool rank_lost(std::size_t rank) const;
+  std::size_t ranks_lost() const noexcept;
+
+  /// Reconstructs the exact bytes rank `rank` checkpointed last, whether
+  /// or not its shard is lost (lost shards are rebuilt via parity).
+  /// Throws std::runtime_error when more than r ranks are lost, or
+  /// std::logic_error when no checkpoint was ever taken.
+  std::vector<std::uint8_t> recover_shard(std::size_t rank);
+
+ private:
+  struct Version {
+    std::uint64_t id = 0;
+    std::vector<std::size_t> shard_sizes;        // original per-rank sizes
+    tensor::AlignedBuffer<std::uint8_t> stripe;  // k data + r parity units
+    std::vector<bool> lost;                      // per data rank
+    bool recovered = false;  // decode already re-ran on this stripe
+  };
+
+  ec::CodeParams params_;
+  std::size_t shard_capacity_;
+  core::Codec codec_;
+  std::optional<Version> latest_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tvmec::storage

@@ -1,0 +1,45 @@
+#include "storage/chunk_accumulator.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tvmec::storage {
+
+ChunkAccumulator::ChunkAccumulator(std::size_t k, std::size_t chunk_size)
+    : k_(k),
+      chunk_size_(chunk_size),
+      filled_(k, false),
+      region_(k * chunk_size) {
+  if (k == 0 || chunk_size == 0)
+    throw std::invalid_argument("ChunkAccumulator: zero k or chunk size");
+}
+
+void ChunkAccumulator::add_chunk(std::size_t index,
+                                 std::span<const std::uint8_t> chunk) {
+  if (index >= k_)
+    throw std::invalid_argument("ChunkAccumulator: chunk index out of range");
+  if (chunk.size() > chunk_size_)
+    throw std::invalid_argument("ChunkAccumulator: chunk too large");
+  if (filled_[index])
+    throw std::invalid_argument("ChunkAccumulator: slot already filled");
+  std::uint8_t* dst = region_.data() + index * chunk_size_;
+  std::memcpy(dst, chunk.data(), chunk.size());
+  if (chunk.size() < chunk_size_)
+    std::memset(dst + chunk.size(), 0, chunk_size_ - chunk.size());
+  filled_[index] = true;
+  ++received_;
+}
+
+std::span<const std::uint8_t> ChunkAccumulator::data() const {
+  if (!ready())
+    throw std::logic_error(
+        "ChunkAccumulator: region requested before all chunks arrived");
+  return region_.span();
+}
+
+void ChunkAccumulator::reset() noexcept {
+  std::fill(filled_.begin(), filled_.end(), false);
+  received_ = 0;
+}
+
+}  // namespace tvmec::storage

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/buffer.h"
+
+/// The §5 integration pattern, verbatim: "A system can easily allocate a
+/// contiguous region of memory sufficient for hosting k chunks, and copy
+/// incoming data chunks to different pointer offsets in this region. The
+/// contiguous region of memory can then be passed to the ML library once
+/// all k chunks have arrived."
+///
+/// The accumulator owns the staging memory (the §5 requirement that the
+/// storage system, not the producer, manage chunk lifetime) and hands out
+/// a contiguous view only once every chunk has landed.
+namespace tvmec::storage {
+
+class ChunkAccumulator {
+ public:
+  /// Region for k chunks of chunk_size bytes each.
+  /// Throws std::invalid_argument on zero k or chunk_size.
+  ChunkAccumulator(std::size_t k, std::size_t chunk_size);
+
+  std::size_t k() const noexcept { return k_; }
+  std::size_t chunk_size() const noexcept { return chunk_size_; }
+  std::size_t chunks_received() const noexcept { return received_; }
+  bool ready() const noexcept { return received_ == k_; }
+
+  /// Copies a chunk into slot `index`. Short chunks are zero-padded
+  /// (the last chunk of an object); oversized chunks throw
+  /// std::invalid_argument, as does re-adding a filled slot.
+  void add_chunk(std::size_t index, std::span<const std::uint8_t> chunk);
+
+  /// The contiguous k*chunk_size region. Throws std::logic_error until
+  /// ready() — handing out a partially filled region is the §5 bug class
+  /// this type exists to prevent.
+  std::span<const std::uint8_t> data() const;
+
+  /// Forgets all chunks; the region is reused for the next stripe.
+  void reset() noexcept;
+
+ private:
+  std::size_t k_;
+  std::size_t chunk_size_;
+  std::size_t received_ = 0;
+  std::vector<bool> filled_;
+  tensor::AlignedBuffer<std::uint8_t> region_;
+};
+
+}  // namespace tvmec::storage

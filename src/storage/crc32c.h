@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum storage systems pair with erasure coding: parities
+/// protect against *loss*, checksums against *silent corruption*, and a
+/// scrubber uses the checksum to decide which unit to rebuild.
+///
+/// Software slicing-by-8 implementation (tables built once at first
+/// use); matches the iSCSI/ext4/RocksDB CRC-32C test vectors.
+namespace tvmec::storage {
+
+/// CRC of a whole buffer.
+std::uint32_t crc32c(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental form: feed `data` into a running CRC (start with 0).
+std::uint32_t crc32c_extend(std::uint32_t crc,
+                            std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace tvmec::storage

@@ -1,0 +1,193 @@
+#include "storage/raid_array.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/buffer.h"
+
+namespace tvmec::storage {
+
+RaidArray::RaidArray(const ec::CodeParams& params, std::size_t block_size,
+                     std::size_t stripes)
+    : params_(params),
+      block_size_(block_size),
+      stripes_(stripes),
+      codec_(params) {
+  ec::packet_bytes(params, block_size);  // validates block_size
+  if (stripes == 0) throw std::invalid_argument("RaidArray: zero stripes");
+  devices_.resize(params_.n());
+  for (Device& d : devices_) {
+    d.blocks.assign(stripes * block_size, 0);
+    d.valid.assign(stripes, true);  // zero blocks of zero data are valid
+  }
+}
+
+bool RaidArray::read_stripe(std::size_t stripe, std::span<std::uint8_t> out) {
+  std::vector<std::size_t> erased;
+  for (std::size_t u = 0; u < params_.n(); ++u) {
+    const std::size_t dev = device_of(stripe, u);
+    const Device& d = devices_[dev];
+    if (d.failed || !d.valid[stripe]) {
+      erased.push_back(u);
+      continue;
+    }
+    std::memcpy(out.data() + u * block_size_,
+                d.blocks.data() + stripe * block_size_, block_size_);
+  }
+  if (erased.empty()) return false;
+  codec_.decode(out, erased, block_size_);  // throws when > r missing
+  return true;
+}
+
+void RaidArray::write_stripe(std::size_t stripe,
+                             std::span<const std::uint8_t> in) {
+  for (std::size_t u = 0; u < params_.n(); ++u) {
+    const std::size_t dev = device_of(stripe, u);
+    Device& d = devices_[dev];
+    if (d.failed) continue;
+    std::memcpy(d.blocks.data() + stripe * block_size_,
+                in.data() + u * block_size_, block_size_);
+    d.valid[stripe] = true;
+  }
+}
+
+void RaidArray::write_block(std::size_t lba,
+                            std::span<const std::uint8_t> data) {
+  if (lba >= capacity_blocks())
+    throw std::invalid_argument("write_block: lba out of range");
+  if (data.size() != block_size_)
+    throw std::invalid_argument("write_block: data must be one block");
+  ++stats_.block_writes;
+
+  const std::size_t stripe = lba / params_.k;
+  const std::size_t unit = lba % params_.k;
+
+  // Fast path: the data device and all parity devices are online and
+  // hold valid contents -> RAID small write via parity patching.
+  bool fast = true;
+  const std::size_t data_dev = device_of(stripe, unit);
+  if (devices_[data_dev].failed || !devices_[data_dev].valid[stripe])
+    fast = false;
+  for (std::size_t p = 0; fast && p < params_.r; ++p) {
+    const std::size_t dev = device_of(stripe, params_.k + p);
+    if (devices_[dev].failed || !devices_[dev].valid[stripe]) fast = false;
+  }
+
+  if (fast) {
+    ++stats_.small_write_patches;
+    // Gather the r parity blocks contiguously, patch, scatter back.
+    tensor::AlignedBuffer<std::uint8_t> parity(params_.r * block_size_);
+    tensor::AlignedBuffer<std::uint8_t> old_block(block_size_);
+    tensor::AlignedBuffer<std::uint8_t> new_block(block_size_);
+    std::memcpy(old_block.data(), slot(data_dev, stripe), block_size_);
+    std::memcpy(new_block.data(), data.data(), block_size_);
+    for (std::size_t p = 0; p < params_.r; ++p)
+      std::memcpy(parity.data() + p * block_size_,
+                  slot(device_of(stripe, params_.k + p), stripe),
+                  block_size_);
+    codec_.patch_parity(unit, old_block.span(), new_block.span(),
+                        parity.span(), block_size_);
+    std::memcpy(slot(data_dev, stripe), data.data(), block_size_);
+    for (std::size_t p = 0; p < params_.r; ++p)
+      std::memcpy(slot(device_of(stripe, params_.k + p), stripe),
+                  parity.data() + p * block_size_, block_size_);
+    return;
+  }
+
+  // Degraded path: reconstruct the stripe, replace the block, re-encode.
+  ++stats_.full_stripe_writes;
+  tensor::AlignedBuffer<std::uint8_t> full(params_.n() * block_size_);
+  read_stripe(stripe, full.span());
+  std::memcpy(full.data() + unit * block_size_, data.data(), block_size_);
+  codec_.encode(
+      std::span<const std::uint8_t>(full.data(), params_.k * block_size_),
+      std::span<std::uint8_t>(full.data() + params_.k * block_size_,
+                              params_.r * block_size_),
+      block_size_);
+  write_stripe(stripe, full.span());
+}
+
+std::vector<std::uint8_t> RaidArray::read_block(std::size_t lba) {
+  if (lba >= capacity_blocks())
+    throw std::invalid_argument("read_block: lba out of range");
+  const std::size_t stripe = lba / params_.k;
+  const std::size_t unit = lba % params_.k;
+  const std::size_t dev = device_of(stripe, unit);
+  if (!devices_[dev].failed && devices_[dev].valid[stripe]) {
+    const std::uint8_t* src = slot(dev, stripe);
+    return std::vector<std::uint8_t>(src, src + block_size_);
+  }
+  ++stats_.degraded_reads;
+  tensor::AlignedBuffer<std::uint8_t> full(params_.n() * block_size_);
+  read_stripe(stripe, full.span());
+  const std::uint8_t* src = full.data() + unit * block_size_;
+  return std::vector<std::uint8_t>(src, src + block_size_);
+}
+
+void RaidArray::fail_device(std::size_t device) {
+  if (device >= devices_.size())
+    throw std::invalid_argument("fail_device: device out of range");
+  Device& d = devices_[device];
+  d.failed = true;
+  std::fill(d.blocks.begin(), d.blocks.end(), std::uint8_t{0});
+  std::fill(d.valid.begin(), d.valid.end(), false);
+}
+
+void RaidArray::replace_device(std::size_t device) {
+  if (device >= devices_.size())
+    throw std::invalid_argument("replace_device: device out of range");
+  devices_[device].failed = false;  // blank: valid[] stays false
+}
+
+bool RaidArray::device_failed(std::size_t device) const {
+  if (device >= devices_.size())
+    throw std::invalid_argument("device_failed: device out of range");
+  return devices_[device].failed;
+}
+
+std::size_t RaidArray::rebuild() {
+  std::size_t rebuilt = 0;
+  tensor::AlignedBuffer<std::uint8_t> full(params_.n() * block_size_);
+  for (std::size_t s = 0; s < stripes_; ++s) {
+    bool missing = false;
+    for (std::size_t u = 0; u < params_.n() && !missing; ++u) {
+      const Device& d = devices_[device_of(s, u)];
+      if (!d.failed && !d.valid[s]) missing = true;
+    }
+    if (!missing) continue;
+    read_stripe(s, full.span());
+    for (std::size_t u = 0; u < params_.n(); ++u) {
+      Device& d = devices_[device_of(s, u)];
+      if (d.failed || d.valid[s]) continue;
+      std::memcpy(d.blocks.data() + s * block_size_,
+                  full.data() + u * block_size_, block_size_);
+      d.valid[s] = true;
+      ++rebuilt;
+    }
+  }
+  stats_.blocks_rebuilt += rebuilt;
+  return rebuilt;
+}
+
+std::size_t RaidArray::verify() {
+  std::size_t bad = 0;
+  tensor::AlignedBuffer<std::uint8_t> full(params_.n() * block_size_);
+  tensor::AlignedBuffer<std::uint8_t> expect(params_.r * block_size_);
+  for (std::size_t s = 0; s < stripes_; ++s) {
+    try {
+      read_stripe(s, full.span());
+    } catch (const std::runtime_error&) {
+      ++bad;
+      continue;
+    }
+    codec_.encode(
+        std::span<const std::uint8_t>(full.data(), params_.k * block_size_),
+        expect.span(), block_size_);
+    if (std::memcmp(expect.data(), full.data() + params_.k * block_size_,
+                    params_.r * block_size_) != 0)
+      ++bad;
+  }
+  return bad;
+}
+
+}  // namespace tvmec::storage

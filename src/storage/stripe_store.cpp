@@ -1,0 +1,248 @@
+#include "storage/stripe_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/buffer.h"
+
+namespace tvmec::storage {
+
+StripeStore::StripeStore(const ec::CodeParams& params, std::size_t unit_size,
+                         std::size_t num_nodes)
+    : params_(params), unit_size_(unit_size), codec_(params) {
+  ec::packet_bytes(params, unit_size);  // validates unit_size
+  if (num_nodes < params.n())
+    throw std::invalid_argument("StripeStore: need at least k+r nodes");
+  nodes_.resize(num_nodes);
+}
+
+void StripeStore::put(const std::string& name,
+                      std::span<const std::uint8_t> bytes) {
+  remove(name);
+
+  ObjectMeta meta;
+  meta.size = bytes.size();
+  const std::size_t stripe_data = params_.k * unit_size_;
+  const std::size_t num_stripes =
+      bytes.empty() ? 0 : (bytes.size() + stripe_data - 1) / stripe_data;
+
+  tensor::AlignedBuffer<std::uint8_t> data_buf(stripe_data);
+  tensor::AlignedBuffer<std::uint8_t> parity_buf(params_.r * unit_size_);
+
+  for (std::size_t s = 0; s < num_stripes; ++s) {
+    const std::size_t off = s * stripe_data;
+    const std::size_t len = std::min(stripe_data, bytes.size() - off);
+    std::memcpy(data_buf.data(), bytes.data() + off, len);
+    if (len < stripe_data)
+      std::memset(data_buf.data() + len, 0, stripe_data - len);
+    codec_.encode(data_buf.span(), parity_buf.span(), unit_size_);
+
+    // Rotate placement so load (and failure impact) spreads over nodes.
+    StripeLocation loc;
+    loc.nodes.resize(params_.n());
+    for (std::size_t u = 0; u < params_.n(); ++u) {
+      const std::size_t node = (next_rotation_ + u) % nodes_.size();
+      loc.nodes[u] = node;
+      const std::uint8_t* src = u < params_.k
+                                    ? data_buf.data() + u * unit_size_
+                                    : parity_buf.data() +
+                                          (u - params_.k) * unit_size_;
+      if (!nodes_[node].failed) {
+        StoredUnit stored;
+        stored.bytes.assign(src, src + unit_size_);
+        stored.crc = crc32c(stored.bytes);
+        nodes_[node].units[{name, s, u}] = std::move(stored);
+      }
+      // Units destined to failed nodes are simply lost, as they would be
+      // on real hardware; repair() can rebuild them after revive.
+    }
+    next_rotation_ = (next_rotation_ + 1) % nodes_.size();
+    meta.stripes.push_back(std::move(loc));
+  }
+
+  objects_[name] = std::move(meta);
+  ++stats_.objects;
+  stats_.stripes_written += num_stripes;
+}
+
+bool StripeStore::exists(const std::string& name) const {
+  return objects_.contains(name);
+}
+
+void StripeStore::remove(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return;
+  for (std::size_t s = 0; s < it->second.stripes.size(); ++s)
+    for (std::size_t u = 0; u < params_.n(); ++u)
+      nodes_[it->second.stripes[s].nodes[u]].units.erase({name, s, u});
+  objects_.erase(it);
+  --stats_.objects;
+}
+
+std::vector<std::uint8_t> StripeStore::read_stripe(const std::string& name,
+                                                   const ObjectMeta& meta,
+                                                   std::size_t s,
+                                                   bool* degraded) {
+  const StripeLocation& loc = meta.stripes[s];
+  const std::size_t n = params_.n();
+  tensor::AlignedBuffer<std::uint8_t> stripe(n * unit_size_);
+  std::vector<std::size_t> erased;
+  for (std::size_t u = 0; u < n; ++u) {
+    const Node& node = nodes_[loc.nodes[u]];
+    const auto it = node.failed
+                        ? node.units.end()
+                        : node.units.find({name, s, u});
+    if (node.failed || it == node.units.end()) {
+      erased.push_back(u);
+    } else if (crc32c(it->second.bytes) != it->second.crc) {
+      // Silent corruption: the checksum disagrees. Treat the unit as
+      // erased so parity rebuilds it.
+      ++stats_.corruptions_detected;
+      erased.push_back(u);
+    } else {
+      std::memcpy(stripe.data() + u * unit_size_, it->second.bytes.data(),
+                  unit_size_);
+    }
+  }
+  if (!erased.empty()) {
+    *degraded = true;
+    codec_.decode(stripe.span(), erased, unit_size_);  // throws if > r lost
+  }
+  return std::vector<std::uint8_t>(stripe.data(),
+                                   stripe.data() + n * unit_size_);
+}
+
+std::optional<std::vector<std::uint8_t>> StripeStore::get(
+    const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return std::nullopt;
+  const ObjectMeta& meta = it->second;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(meta.size);
+  bool degraded = false;
+  for (std::size_t s = 0; s < meta.stripes.size(); ++s) {
+    const std::vector<std::uint8_t> stripe =
+        read_stripe(name, meta, s, &degraded);
+    const std::size_t want =
+        std::min(params_.k * unit_size_, meta.size - out.size());
+    out.insert(out.end(), stripe.begin(),
+               stripe.begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  if (degraded) ++stats_.degraded_reads;
+  return out;
+}
+
+void StripeStore::fail_node(std::size_t node) {
+  if (node >= nodes_.size())
+    throw std::invalid_argument("fail_node: node out of range");
+  if (nodes_[node].failed) return;
+  nodes_[node].failed = true;
+  nodes_[node].units.clear();  // data is gone with the node
+  ++stats_.failed_nodes;
+}
+
+void StripeStore::revive_node(std::size_t node) {
+  if (node >= nodes_.size())
+    throw std::invalid_argument("revive_node: node out of range");
+  if (!nodes_[node].failed) return;
+  nodes_[node].failed = false;
+  --stats_.failed_nodes;
+}
+
+bool StripeStore::node_failed(std::size_t node) const {
+  if (node >= nodes_.size())
+    throw std::invalid_argument("node_failed: node out of range");
+  return nodes_[node].failed;
+}
+
+std::size_t StripeStore::repair() {
+  std::size_t repaired = 0;
+  for (const auto& [name, meta] : objects_) {
+    for (std::size_t s = 0; s < meta.stripes.size(); ++s) {
+      const StripeLocation& loc = meta.stripes[s];
+      // Find units missing from live nodes.
+      std::vector<std::size_t> missing;
+      for (std::size_t u = 0; u < params_.n(); ++u) {
+        const Node& node = nodes_[loc.nodes[u]];
+        if (node.failed) continue;
+        const auto it = node.units.find({name, s, u});
+        if (it == node.units.end() ||
+            crc32c(it->second.bytes) != it->second.crc)
+          missing.push_back(u);
+      }
+      if (missing.empty()) continue;
+      bool degraded = false;
+      const std::vector<std::uint8_t> stripe =
+          read_stripe(name, meta, s, &degraded);
+      for (const std::size_t u : missing) {
+        StoredUnit stored;
+        stored.bytes.assign(
+            stripe.begin() + static_cast<std::ptrdiff_t>(u * unit_size_),
+            stripe.begin() + static_cast<std::ptrdiff_t>((u + 1) * unit_size_));
+        stored.crc = crc32c(stored.bytes);
+        nodes_[loc.nodes[u]].units[{name, s, u}] = std::move(stored);
+        ++repaired;
+      }
+    }
+  }
+  stats_.units_repaired += repaired;
+  return repaired;
+}
+
+std::size_t StripeStore::scrub() {
+  std::size_t corrupt = 0;
+  tensor::AlignedBuffer<std::uint8_t> expect(params_.r * unit_size_);
+  for (const auto& [name, meta] : objects_) {
+    for (std::size_t s = 0; s < meta.stripes.size(); ++s) {
+      const StripeLocation& loc = meta.stripes[s];
+      bool degraded = false;
+      std::vector<std::uint8_t> stripe;
+      try {
+        // read_stripe checks every CRC and reconstructs units that fail.
+        stripe = read_stripe(name, meta, s, &degraded);
+      } catch (const std::runtime_error&) {
+        continue;  // unrecoverable stripes are repair()'s problem
+      }
+      codec_.encode(
+          std::span<const std::uint8_t>(stripe.data(),
+                                        params_.k * unit_size_),
+          expect.span(), unit_size_);
+      for (std::size_t u = 0; u < params_.n(); ++u) {
+        Node& node = nodes_[loc.nodes[u]];
+        if (node.failed) continue;
+        const auto it = node.units.find({name, s, u});
+        if (it == node.units.end()) continue;  // missing: repair()'s job
+        const std::uint8_t* good =
+            u < params_.k ? stripe.data() + u * unit_size_
+                          : expect.data() + (u - params_.k) * unit_size_;
+        const bool crc_bad = crc32c(it->second.bytes) != it->second.crc;
+        const bool bytes_bad =
+            std::memcmp(it->second.bytes.data(), good, unit_size_) != 0;
+        if (crc_bad || bytes_bad) {
+          ++corrupt;
+          it->second.bytes.assign(good, good + unit_size_);
+          it->second.crc = crc32c(it->second.bytes);
+        }
+      }
+    }
+  }
+  return corrupt;
+}
+
+bool StripeStore::corrupt_unit(const std::string& name, std::size_t stripe,
+                               std::size_t unit) {
+  const auto obj = objects_.find(name);
+  if (obj == objects_.end()) return false;
+  if (stripe >= obj->second.stripes.size() || unit >= params_.n())
+    return false;
+  Node& node = nodes_[obj->second.stripes[stripe].nodes[unit]];
+  if (node.failed) return false;
+  const auto it = node.units.find({name, stripe, unit});
+  if (it == node.units.end()) return false;
+  it->second.bytes[it->second.bytes.size() / 2] ^= 0x40;  // flip one bit
+  return true;
+}
+
+}  // namespace tvmec::storage

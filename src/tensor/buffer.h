@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <stdexcept>
+
+/// Aligned owning buffers for kernel operands.
+///
+/// GEMM-style kernels want their operands cache-line aligned so vector
+/// loads never straddle lines; this is the allocation type every matrix
+/// operand in the library uses.
+namespace tvmec::tensor {
+
+/// Cache-line / vector-register friendly alignment for all operands.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// An owning, 64-byte-aligned, fixed-size buffer of trivially copyable T.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  AlignedBuffer() noexcept = default;
+
+  /// Allocates `count` value-initialized elements.
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes =
+        (count * sizeof(T) + kBufferAlignment - 1) / kBufferAlignment *
+        kBufferAlignment;
+    data_ = static_cast<T*>(
+        ::operator new(bytes, std::align_val_t{kBufferAlignment}));
+    std::memset(data_, 0, bytes);
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~AlignedBuffer() {
+    if (data_ != nullptr)
+      ::operator delete(data_, std::align_val_t{kBufferAlignment});
+  }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  std::span<T> span() noexcept { return {data_, size_}; }
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+
+  void fill_zero() noexcept {
+    if (size_ != 0) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A non-owning strided 2-D view over row-major data, the operand type all
+/// kernels take. `stride` is in elements, not bytes.
+template <typename T>
+struct MatView {
+  T* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t stride = 0;  ///< distance between row starts, >= cols
+
+  T* row(std::size_t r) const noexcept { return data + r * stride; }
+  T& at(std::size_t r, std::size_t c) const noexcept {
+    return data[r * stride + c];
+  }
+
+  /// Throws std::invalid_argument when the view is malformed.
+  void validate() const {
+    if (rows == 0 || cols == 0)
+      throw std::invalid_argument("MatView: zero dimension");
+    if (data == nullptr) throw std::invalid_argument("MatView: null data");
+    if (stride < cols) throw std::invalid_argument("MatView: stride < cols");
+  }
+
+  MatView<const T> as_const() const noexcept {
+    return {data, rows, cols, stride};
+  }
+};
+
+}  // namespace tvmec::tensor

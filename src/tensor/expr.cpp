@@ -1,0 +1,256 @@
+#include "tensor/expr.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "tensor/kernel.h"
+
+namespace tvmec::tensor::te {
+
+struct ExprNode {
+  enum class Kind { Access, Binary, Reduce };
+  Kind kind;
+
+  // Access
+  int tensor_id = -1;
+  std::size_t tensor_rows = 0;
+  std::size_t tensor_cols = 0;
+  int row_axis = -1;
+  int col_axis = -1;
+
+  // Binary / Reduce
+  BinOp op = BinOp::Add;
+  Expr lhs;
+  Expr rhs;
+
+  // Reduce
+  Expr body;
+  IterVar axis;
+};
+
+namespace {
+
+std::atomic<int> g_next_id{0};
+
+int fresh_id() { return g_next_id.fetch_add(1, std::memory_order_relaxed); }
+
+Value apply(BinOp op, Value a, Value b) {
+  switch (op) {
+    case BinOp::Add:
+      return a + b;
+    case BinOp::Mul:
+      return a * b;
+    case BinOp::Xor:
+      return a ^ b;
+    case BinOp::And:
+      return a & b;
+  }
+  throw std::logic_error("unreachable BinOp");
+}
+
+Value identity_of(BinOp op) {
+  switch (op) {
+    case BinOp::Add:
+    case BinOp::Xor:
+      return 0;
+    default:
+      throw std::invalid_argument("reduce: reducer must be Add or Xor");
+  }
+}
+
+using Env = std::unordered_map<int, std::size_t>;
+using Tensors = std::unordered_map<int, MatView<const Value>>;
+
+Value eval_expr(const Expr& e, const Env& env, const Tensors& tensors) {
+  const ExprNode* n = e.node();
+  if (n == nullptr) throw std::invalid_argument("evaluate: undefined expr");
+  switch (n->kind) {
+    case ExprNode::Kind::Access: {
+      const auto t = tensors.find(n->tensor_id);
+      if (t == tensors.end())
+        throw std::invalid_argument("evaluate: unbound placeholder");
+      const auto r = env.find(n->row_axis);
+      const auto c = env.find(n->col_axis);
+      if (r == env.end() || c == env.end())
+        throw std::invalid_argument("evaluate: unbound axis in access");
+      return t->second.at(r->second, c->second);
+    }
+    case ExprNode::Kind::Binary:
+      return apply(n->op, eval_expr(n->lhs, env, tensors),
+                   eval_expr(n->rhs, env, tensors));
+    case ExprNode::Kind::Reduce: {
+      Value acc = identity_of(n->op);
+      Env inner = env;
+      for (std::size_t v = 0; v < n->axis.extent; ++v) {
+        inner[n->axis.id] = v;
+        acc = apply(n->op, acc, eval_expr(n->body, inner, tensors));
+      }
+      return acc;
+    }
+  }
+  throw std::logic_error("unreachable expr kind");
+}
+
+Tensors bind_tensors(const std::vector<Binding>& bindings) {
+  Tensors tensors;
+  for (const Binding& b : bindings) {
+    b.view.validate();
+    if (!tensors.emplace(b.placeholder_id, b.view).second)
+      throw std::invalid_argument("duplicate binding for placeholder");
+  }
+  return tensors;
+}
+
+}  // namespace
+
+Expr Placeholder::operator()(const IterVar& row, const IterVar& col) const {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Access;
+  n->tensor_id = id_;
+  n->tensor_rows = rows_;
+  n->tensor_cols = cols_;
+  n->row_axis = row.id;
+  n->col_axis = col.id;
+  return Expr(std::move(n));
+}
+
+Placeholder placeholder(std::size_t rows, std::size_t cols,
+                        const std::string& name) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("placeholder: zero dimension");
+  return Placeholder(fresh_id(), rows, cols, name);
+}
+
+IterVar reduce_axis(std::size_t extent, const std::string& name) {
+  if (extent == 0) throw std::invalid_argument("reduce_axis: zero extent");
+  return IterVar{fresh_id(), extent, name};
+}
+
+Expr binary(BinOp op, const Expr& lhs, const Expr& rhs) {
+  if (!lhs.defined() || !rhs.defined())
+    throw std::invalid_argument("binary: undefined operand");
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Binary;
+  n->op = op;
+  n->lhs = lhs;
+  n->rhs = rhs;
+  return Expr(std::move(n));
+}
+
+Expr reduce(BinOp op, const Expr& body, const IterVar& axis) {
+  identity_of(op);  // validates the reducer
+  if (!body.defined()) throw std::invalid_argument("reduce: undefined body");
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Reduce;
+  n->op = op;
+  n->body = body;
+  n->axis = axis;
+  return Expr(std::move(n));
+}
+
+ComputeDef compute(std::size_t rows, std::size_t cols,
+                   const std::function<Expr(IterVar, IterVar)>& fn) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("compute: zero dimension");
+  ComputeDef def;
+  def.rows = rows;
+  def.cols = cols;
+  def.i = IterVar{fresh_id(), rows, "i"};
+  def.j = IterVar{fresh_id(), cols, "j"};
+  def.body = fn(def.i, def.j);
+  if (!def.body.defined())
+    throw std::invalid_argument("compute: body is undefined");
+  return def;
+}
+
+void evaluate(const ComputeDef& def, const std::vector<Binding>& bindings,
+              MatView<Value> out) {
+  out.validate();
+  if (out.rows != def.rows || out.cols != def.cols)
+    throw std::invalid_argument("evaluate: output shape mismatch");
+  const Tensors tensors = bind_tensors(bindings);
+  Env env;
+  for (std::size_t i = 0; i < def.rows; ++i) {
+    env[def.i.id] = i;
+    for (std::size_t j = 0; j < def.cols; ++j) {
+      env[def.j.id] = j;
+      out.at(i, j) = eval_expr(def.body, env, tensors);
+    }
+  }
+}
+
+LoweredGemm lower(const ComputeDef& def) {
+  const ExprNode* red = def.body.node();
+  if (red == nullptr || red->kind != ExprNode::Kind::Reduce)
+    throw std::invalid_argument("lower: body must be a reduction");
+  const ExprNode* bin = red->body.node();
+  if (bin == nullptr || bin->kind != ExprNode::Kind::Binary)
+    throw std::invalid_argument("lower: reduction body must be binary");
+  const ExprNode* a = bin->lhs.node();
+  const ExprNode* b = bin->rhs.node();
+  if (a == nullptr || b == nullptr || a->kind != ExprNode::Kind::Access ||
+      b->kind != ExprNode::Kind::Access)
+    throw std::invalid_argument("lower: operands must be tensor accesses");
+
+  LoweredGemm g;
+  if (red->op == BinOp::Add && bin->op == BinOp::Mul) {
+    g.kind_ = LoweredGemm::Kind::SumProd;
+  } else if (red->op == BinOp::Xor && bin->op == BinOp::And) {
+    g.kind_ = LoweredGemm::Kind::XorAnd;
+  } else {
+    throw std::invalid_argument(
+        "lower: reducer/combiner must be (Add,Mul) or (Xor,And)");
+  }
+
+  // Expect A(i, k) and B(k, j) with k the reduction axis.
+  const int k_id = red->axis.id;
+  if (a->row_axis != def.i.id || a->col_axis != k_id || b->row_axis != k_id ||
+      b->col_axis != def.j.id)
+    throw std::invalid_argument(
+        "lower: expected GEMM access pattern A(i,k), B(k,j)");
+  if (a->tensor_rows != def.rows || a->tensor_cols != red->axis.extent ||
+      b->tensor_rows != red->axis.extent || b->tensor_cols != def.cols)
+    throw std::invalid_argument("lower: placeholder shapes do not match axes");
+
+  g.a_id_ = a->tensor_id;
+  g.b_id_ = b->tensor_id;
+  g.rows_ = def.rows;
+  g.cols_ = def.cols;
+  g.red_ = red->axis.extent;
+  return g;
+}
+
+void LoweredGemm::run(const std::vector<Binding>& bindings,
+                      MatView<Value> out, const Schedule& schedule) const {
+  out.validate();
+  if (out.rows != rows_ || out.cols != cols_)
+    throw std::invalid_argument("LoweredGemm::run: output shape mismatch");
+  const Tensors tensors = bind_tensors(bindings);
+  const auto a_it = tensors.find(a_id_);
+  const auto b_it = tensors.find(b_id_);
+  if (a_it == tensors.end() || b_it == tensors.end())
+    throw std::invalid_argument("LoweredGemm::run: missing binding");
+  const MatView<const Value> a = a_it->second;
+  const MatView<const Value> b = b_it->second;
+  if (a.rows != rows_ || a.cols != red_ || b.rows != red_ || b.cols != cols_)
+    throw std::invalid_argument("LoweredGemm::run: operand shape mismatch");
+
+  if (kind_ == Kind::XorAnd) {
+    gemm_xorand(a, b, out, schedule);
+  } else {
+    // uint64 wraparound addition/multiplication is bit-identical to the
+    // int64 kernel's two's-complement arithmetic, so reuse it.
+    const MatView<const std::int64_t> ai{
+        reinterpret_cast<const std::int64_t*>(a.data), a.rows, a.cols,
+        a.stride};
+    const MatView<const std::int64_t> bi{
+        reinterpret_cast<const std::int64_t*>(b.data), b.rows, b.cols,
+        b.stride};
+    const MatView<std::int64_t> ci{reinterpret_cast<std::int64_t*>(out.data),
+                                   out.rows, out.cols, out.stride};
+    gemm_sumprod_i64(ai, bi, ci, schedule);
+  }
+}
+
+}  // namespace tvmec::tensor::te

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/buffer.h"
+#include "tensor/schedule.h"
+
+/// A tensor-expression front end mirroring TVM's `te` API.
+///
+/// The paper's Listing 3 declares a GEMM and a bitmatrix erasure code in
+/// TVM with identical structure, differing only in the reducer (sum vs
+/// xor) and combiner (mul vs and). This module reproduces that interface:
+///
+///   auto A = te::placeholder(M, K, "A");
+///   auto B = te::placeholder(K, N, "B");
+///   auto k = te::reduce_axis(K, "k");
+///   // GEMM:
+///   auto gemm = te::compute(M, N, [&](te::IterVar i, te::IterVar j) {
+///     return te::reduce(te::BinOp::Add, A(i, k) * B(k, j), k);
+///   });
+///   // Bitmatrix erasure code — the one-line change the paper highlights:
+///   auto ec = te::compute(M, N, [&](te::IterVar i, te::IterVar j) {
+///     return te::reduce(te::BinOp::Xor, A(i, k) & B(k, j), k);
+///   });
+///
+/// A declared computation can be interpreted directly (`evaluate`, the
+/// semantic reference) or lowered to the scheduled high-performance kernel
+/// (`lower` + `LoweredGemm::run`), standing in for TVM's codegen path.
+namespace tvmec::tensor::te {
+
+/// All expression values are 64-bit words; Add/Mul wrap modulo 2^64.
+using Value = std::uint64_t;
+
+enum class BinOp { Add, Mul, Xor, And };
+
+/// A loop axis (spatial or reduction).
+struct IterVar {
+  int id = -1;
+  std::size_t extent = 0;
+  std::string name;
+};
+
+struct ExprNode;
+
+/// Immutable expression handle (shared AST node).
+class Expr {
+ public:
+  Expr() = default;
+  explicit Expr(std::shared_ptr<const ExprNode> node) : node_(std::move(node)) {}
+  const ExprNode* node() const noexcept { return node_.get(); }
+  bool defined() const noexcept { return node_ != nullptr; }
+
+ private:
+  std::shared_ptr<const ExprNode> node_;
+};
+
+/// A 2-D input tensor placeholder, as in TVM's te.placeholder.
+class Placeholder {
+ public:
+  Placeholder(int id, std::size_t rows, std::size_t cols, std::string name)
+      : id_(id), rows_(rows), cols_(cols), name_(std::move(name)) {}
+
+  int id() const noexcept { return id_; }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Indexing with two axes yields an access expression.
+  Expr operator()(const IterVar& row, const IterVar& col) const;
+
+ private:
+  int id_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::string name_;
+};
+
+/// Creates a fresh placeholder. Throws std::invalid_argument on a zero
+/// dimension.
+Placeholder placeholder(std::size_t rows, std::size_t cols,
+                        const std::string& name);
+
+/// Creates a reduction axis of the given extent.
+IterVar reduce_axis(std::size_t extent, const std::string& name);
+
+/// Builds a binary expression node.
+Expr binary(BinOp op, const Expr& lhs, const Expr& rhs);
+
+inline Expr operator+(const Expr& a, const Expr& b) {
+  return binary(BinOp::Add, a, b);
+}
+inline Expr operator*(const Expr& a, const Expr& b) {
+  return binary(BinOp::Mul, a, b);
+}
+inline Expr operator^(const Expr& a, const Expr& b) {
+  return binary(BinOp::Xor, a, b);
+}
+inline Expr operator&(const Expr& a, const Expr& b) {
+  return binary(BinOp::And, a, b);
+}
+
+/// Reduction of `body` over `axis` with commutative reducer `op`
+/// (Add or Xor; throws std::invalid_argument otherwise — mirrors TVM's
+/// comm_reducer requirement).
+Expr reduce(BinOp op, const Expr& body, const IterVar& axis);
+
+/// A declared 2-D computation: out(i, j) = body.
+struct ComputeDef {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  IterVar i;
+  IterVar j;
+  Expr body;
+};
+
+/// Declares a computation; fn receives the two spatial axes and returns
+/// the element expression (mirrors te.compute's lambda).
+ComputeDef compute(std::size_t rows, std::size_t cols,
+                   const std::function<Expr(IterVar, IterVar)>& fn);
+
+/// Tensor bindings for execution: placeholder id -> data view.
+struct Binding {
+  int placeholder_id = -1;
+  MatView<const Value> view;
+};
+
+/// Directly interprets the computation (reference semantics; slow).
+/// Throws std::invalid_argument if bindings are missing or shapes do not
+/// match the placeholder declarations.
+void evaluate(const ComputeDef& def, const std::vector<Binding>& bindings,
+              MatView<Value> out);
+
+/// A computation lowered to the scheduled kernel path.
+class LoweredGemm {
+ public:
+  enum class Kind { SumProd, XorAnd };
+
+  Kind kind() const noexcept { return kind_; }
+  int a_placeholder() const noexcept { return a_id_; }
+  int b_placeholder() const noexcept { return b_id_; }
+
+  /// Executes with the given schedule. Shape checks as in `evaluate`.
+  void run(const std::vector<Binding>& bindings, MatView<Value> out,
+           const Schedule& schedule) const;
+
+ private:
+  friend LoweredGemm lower(const ComputeDef& def);
+  Kind kind_ = Kind::SumProd;
+  int a_id_ = -1;
+  int b_id_ = -1;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t red_ = 0;
+};
+
+/// Pattern-matches the GEMM-shaped loop nest — reduce(add|xor,
+/// combine(mul|and, A(i,k), B(k,j)), k) — and returns the lowered form.
+/// Throws std::invalid_argument when the computation is not GEMM-shaped
+/// or mixes semirings (e.g. reduce(Xor, A*B)).
+LoweredGemm lower(const ComputeDef& def);
+
+}  // namespace tvmec::tensor::te

@@ -1,0 +1,214 @@
+#include "tensor/kernel.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "tensor/microkernel.h"
+#include "tensor/threadpool.h"
+
+namespace tvmec::tensor {
+
+namespace {
+
+/// Maps a supported tile_m extent {1,2,4,8} to its dispatch-table index.
+int tile_m_index(int t) {
+  switch (t) {
+    case 1:
+      return 0;
+    case 2:
+      return 1;
+    case 4:
+      return 2;
+    case 8:
+      return 3;
+    default:
+      throw std::invalid_argument("unsupported tile_m extent " +
+                                  std::to_string(t));
+  }
+}
+
+/// Maps a supported tile_n extent {1,2,4,8,16,32,64} to its index.
+int tile_n_index(int t) {
+  switch (t) {
+    case 1:
+      return 0;
+    case 2:
+      return 1;
+    case 4:
+      return 2;
+    case 8:
+      return 3;
+    case 16:
+      return 4;
+    case 32:
+      return 5;
+    case 64:
+      return 6;
+    default:
+      throw std::invalid_argument("unsupported tile_n extent " +
+                                  std::to_string(t));
+  }
+}
+
+template <class S>
+using MicroFn = void (*)(const typename S::value_type*, std::size_t,
+                         const typename S::value_type*, std::size_t,
+                         typename S::value_type*, std::size_t, std::size_t);
+
+/// The "generated code" menu: one fully unrolled microkernel per
+/// (tile_m, tile_n) pair in the schedule search space.
+template <class S>
+constexpr std::array<std::array<MicroFn<S>, 7>, 4> make_dispatch() {
+  return {{
+      {{&micro_gemm<S, 1, 1>, &micro_gemm<S, 1, 2>, &micro_gemm<S, 1, 4>,
+        &micro_gemm<S, 1, 8>, &micro_gemm<S, 1, 16>, &micro_gemm<S, 1, 32>,
+        &micro_gemm<S, 1, 64>}},
+      {{&micro_gemm<S, 2, 1>, &micro_gemm<S, 2, 2>, &micro_gemm<S, 2, 4>,
+        &micro_gemm<S, 2, 8>, &micro_gemm<S, 2, 16>, &micro_gemm<S, 2, 32>,
+        &micro_gemm<S, 2, 64>}},
+      {{&micro_gemm<S, 4, 1>, &micro_gemm<S, 4, 2>, &micro_gemm<S, 4, 4>,
+        &micro_gemm<S, 4, 8>, &micro_gemm<S, 4, 16>, &micro_gemm<S, 4, 32>,
+        &micro_gemm<S, 4, 64>}},
+      {{&micro_gemm<S, 8, 1>, &micro_gemm<S, 8, 2>, &micro_gemm<S, 8, 4>,
+        &micro_gemm<S, 8, 8>, &micro_gemm<S, 8, 16>, &micro_gemm<S, 8, 32>,
+        &micro_gemm<S, 8, 64>}},
+  }};
+}
+
+template <class S>
+void validate_shapes(MatView<const typename S::value_type> a,
+                     MatView<const typename S::value_type> b,
+                     MatView<typename S::value_type> c) {
+  a.validate();
+  b.validate();
+  c.validate();
+  if (a.rows != c.rows || b.cols != c.cols || a.cols != b.rows)
+    throw std::invalid_argument("gemm: A(MxK) B(KxN) C(MxN) shape mismatch");
+}
+
+/// Executes the row range [m0, m1) of C under the given schedule.
+template <class S>
+void run_rows(MatView<const typename S::value_type> a,
+              MatView<const typename S::value_type> b,
+              MatView<typename S::value_type> c, const Schedule& s,
+              std::size_t m0, std::size_t m1) {
+  using V = typename S::value_type;
+  static constexpr auto kDispatch = make_dispatch<S>();
+  const MicroFn<S> micro =
+      kDispatch[static_cast<std::size_t>(tile_m_index(s.tile_m))]
+               [static_cast<std::size_t>(tile_n_index(s.tile_n))];
+  const std::size_t tm = static_cast<std::size_t>(s.tile_m);
+  const std::size_t tn = static_cast<std::size_t>(s.tile_n);
+  const std::size_t n = c.cols;
+  const std::size_t k = a.cols;
+  const std::size_t block_n = s.block_n == 0 ? n : s.block_n;
+  const std::size_t block_k = s.block_k == 0 ? k : s.block_k;
+
+  // Zero the output rows once; k-blocks then accumulate into C.
+  for (std::size_t i = m0; i < m1; ++i) {
+    V* row = c.row(i);
+    std::fill(row, row + n, S::zero());
+  }
+
+  for (std::size_t nb = 0; nb < n; nb += block_n) {
+    const std::size_t nb_end = std::min(n, nb + block_n);
+    for (std::size_t kb = 0; kb < k; kb += block_k) {
+      const std::size_t kb_end = std::min(k, kb + block_k);
+      const std::size_t kk = kb_end - kb;
+      for (std::size_t i = m0; i < m1; i += tm) {
+        const std::size_t mm = std::min(tm, m1 - i);
+        for (std::size_t j = nb; j < nb_end; j += tn) {
+          const std::size_t nn = std::min(tn, nb_end - j);
+          const V* a_ptr = a.row(i) + kb;
+          const V* b_ptr = b.row(kb) + j;
+          V* c_ptr = c.row(i) + j;
+          if (mm == tm && nn == tn) {
+            micro(a_ptr, a.stride, b_ptr, b.stride, c_ptr, c.stride, kk);
+          } else {
+            micro_gemm_edge<S>(a_ptr, a.stride, b_ptr, b.stride, c_ptr,
+                               c.stride, kk, mm, nn);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class S>
+void gemm_scheduled(MatView<const typename S::value_type> a,
+                    MatView<const typename S::value_type> b,
+                    MatView<typename S::value_type> c, const Schedule& s) {
+  validate_shapes<S>(a, b, c);
+  if (!s.valid()) throw std::invalid_argument("gemm: invalid schedule");
+  const std::size_t m = c.rows;
+  const std::size_t threads =
+      std::min<std::size_t>(static_cast<std::size_t>(s.num_threads), m);
+  if (threads <= 1) {
+    run_rows<S>(a, b, c, s, 0, m);
+    return;
+  }
+  // Partition rows across threads in tile_m-aligned chunks so no tile
+  // straddles two workers.
+  const std::size_t tm = static_cast<std::size_t>(s.tile_m);
+  const std::size_t tiles = (m + tm - 1) / tm;
+  const std::size_t tiles_per_thread = (tiles + threads - 1) / threads;
+  ThreadPool::shared().parallel_for(threads, [&](std::size_t t) {
+    const std::size_t m0 = std::min(m, t * tiles_per_thread * tm);
+    const std::size_t m1 = std::min(m, (t + 1) * tiles_per_thread * tm);
+    if (m0 < m1) run_rows<S>(a, b, c, s, m0, m1);
+  });
+}
+
+template <class S>
+void gemm_naive(MatView<const typename S::value_type> a,
+                MatView<const typename S::value_type> b,
+                MatView<typename S::value_type> c) {
+  validate_shapes<S>(a, b, c);
+  using V = typename S::value_type;
+  for (std::size_t i = 0; i < c.rows; ++i) {
+    for (std::size_t j = 0; j < c.cols; ++j) {
+      V acc = S::zero();
+      for (std::size_t l = 0; l < a.cols; ++l)
+        acc = S::add(acc, S::mul(a.at(i, l), b.at(l, j)));
+      c.at(i, j) = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_xorand(MatView<const std::uint64_t> a, MatView<const std::uint64_t> b,
+                 MatView<std::uint64_t> c, const Schedule& schedule) {
+  gemm_scheduled<XorAnd64>(a, b, c, schedule);
+}
+
+void gemm_sumprod_i64(MatView<const std::int64_t> a,
+                      MatView<const std::int64_t> b, MatView<std::int64_t> c,
+                      const Schedule& schedule) {
+  gemm_scheduled<SumProd<std::int64_t>>(a, b, c, schedule);
+}
+
+void gemm_sumprod_f32(MatView<const float> a, MatView<const float> b,
+                      MatView<float> c, const Schedule& schedule) {
+  gemm_scheduled<SumProd<float>>(a, b, c, schedule);
+}
+
+void gemm_naive_sumprod_f32(MatView<const float> a, MatView<const float> b,
+                            MatView<float> c) {
+  gemm_naive<SumProd<float>>(a, b, c);
+}
+
+void gemm_naive_xorand(MatView<const std::uint64_t> a,
+                       MatView<const std::uint64_t> b,
+                       MatView<std::uint64_t> c) {
+  gemm_naive<XorAnd64>(a, b, c);
+}
+
+void gemm_naive_sumprod_i64(MatView<const std::int64_t> a,
+                            MatView<const std::int64_t> b,
+                            MatView<std::int64_t> c) {
+  gemm_naive<SumProd<std::int64_t>>(a, b, c);
+}
+
+}  // namespace tvmec::tensor

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/buffer.h"
+#include "tensor/schedule.h"
+#include "tensor/semiring.h"
+
+/// Schedule-driven blocked GEMM execution over a semiring.
+///
+/// `gemm_*` computes C = A (x) B (overwriting C) where (x) is the
+/// semiring's combine/reduce pair:
+///   - `gemm_sumprod_*`: ordinary matrix multiplication (the ML workload),
+///   - `gemm_xorand`:    bitmatrix erasure coding (paper Listing 2) with
+///                       A holding broadcast masks (0 or ~0ull) and B
+///                       holding packed data words.
+///
+/// The executor applies the Schedule's cache blocking, register tiling
+/// (dispatching to the template-instantiated microkernel menu) and thread
+/// parallelism. `gemm_naive_*` are the unoptimized Listing-1/2 triple
+/// loops used as correctness references and as the "what you'd write
+/// without an ML library" baseline.
+namespace tvmec::tensor {
+
+/// Shapes must satisfy: A is MxK, B is KxN, C is MxN (each view's
+/// rows/cols, with arbitrary strides). Throws std::invalid_argument on
+/// mismatch or an unsupported schedule.
+void gemm_xorand(MatView<const std::uint64_t> a, MatView<const std::uint64_t> b,
+                 MatView<std::uint64_t> c, const Schedule& schedule);
+
+void gemm_sumprod_i64(MatView<const std::int64_t> a,
+                      MatView<const std::int64_t> b, MatView<std::int64_t> c,
+                      const Schedule& schedule);
+
+/// Single-precision GEMM — the kernel shape ML inference actually runs.
+/// Exists to demonstrate (and test) that the identical schedule/microkernel
+/// machinery serves both the ML workload and the erasure code, which is
+/// the paper's whole premise.
+void gemm_sumprod_f32(MatView<const float> a, MatView<const float> b,
+                      MatView<float> c, const Schedule& schedule);
+
+/// Reference implementations: the unoptimized triple loop.
+void gemm_naive_xorand(MatView<const std::uint64_t> a,
+                       MatView<const std::uint64_t> b,
+                       MatView<std::uint64_t> c);
+
+void gemm_naive_sumprod_i64(MatView<const std::int64_t> a,
+                            MatView<const std::int64_t> b,
+                            MatView<std::int64_t> c);
+
+void gemm_naive_sumprod_f32(MatView<const float> a, MatView<const float> b,
+                            MatView<float> c);
+
+}  // namespace tvmec::tensor

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "tensor/semiring.h"
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+/// Register-tiled microkernels — the library's stand-in for ML-compiler
+/// codegen.
+///
+/// Each instantiation computes a TM x TN tile of C, accumulating over a
+/// K-extent, holding the whole tile in local accumulators. This is the
+/// classic GEMM outer-product microkernel; with the XorAnd64 semiring it
+/// becomes the paper's Listing-2 inner loop.
+///
+/// Like TVM's codegen, the XorAnd64 microkernels are specialized for the
+/// build target: on AVX-512 machines the AND+XOR pair fuses into a single
+/// vpternlogq per 8 lanes, on AVX2 into a vpand+vpxor pair per 4 lanes,
+/// with a portable scalar version everywhere else. Wide N tiles (up to 64
+/// words) amortize each broadcast of an A mask over many data lanes —
+/// the key to reaching XOR-roofline throughput.
+namespace tvmec::tensor {
+
+namespace detail {
+
+#if defined(__AVX512F__)
+inline constexpr bool kHaveAvx512 = true;
+
+/// TM x (8*TNV) XorAnd tile with explicit zmm accumulators. The pragmas
+/// force full unrolling so every accumulator stays in a register
+/// (without them the register allocator spills the tile to the stack,
+/// costing 2-4x).
+template <int TM, int TNV>
+void micro_xorand_avx512(const std::uint64_t* a, std::size_t lda,
+                         const std::uint64_t* b, std::size_t ldb,
+                         std::uint64_t* c, std::size_t ldc, std::size_t k) {
+  __m512i acc[TM][TNV];
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      acc[i][v] = _mm512_loadu_si512(c + i * ldc + 8 * v);
+  for (std::size_t l = 0; l < k; ++l) {
+    __m512i bv[TNV];
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      bv[v] = _mm512_loadu_si512(b + l * ldb + 8 * v);
+#pragma GCC unroll 8
+    for (int i = 0; i < TM; ++i) {
+      const __m512i av =
+          _mm512_set1_epi64(static_cast<long long>(a[i * lda + l]));
+#pragma GCC unroll 8
+      for (int v = 0; v < TNV; ++v)
+        // 0x78 = acc ^ (av & bv): the whole Listing-2 inner op in one
+        // instruction.
+        acc[i][v] = _mm512_ternarylogic_epi64(acc[i][v], av, bv[v], 0x78);
+    }
+  }
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      _mm512_storeu_si512(c + i * ldc + 8 * v, acc[i][v]);
+}
+#else
+inline constexpr bool kHaveAvx512 = false;
+#endif
+
+#if defined(__AVX2__)
+inline constexpr bool kHaveAvx2 = true;
+
+/// TM x (4*TNV) XorAnd tile on 256-bit lanes (vpand + vpxor).
+template <int TM, int TNV>
+void micro_xorand_avx2(const std::uint64_t* a, std::size_t lda,
+                       const std::uint64_t* b, std::size_t ldb,
+                       std::uint64_t* c, std::size_t ldc, std::size_t k) {
+  __m256i acc[TM][TNV];
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      acc[i][v] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c + i * ldc + 4 * v));
+  for (std::size_t l = 0; l < k; ++l) {
+    __m256i bv[TNV];
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      bv[v] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b + l * ldb + 4 * v));
+#pragma GCC unroll 8
+    for (int i = 0; i < TM; ++i) {
+      const __m256i av =
+          _mm256_set1_epi64x(static_cast<long long>(a[i * lda + l]));
+#pragma GCC unroll 8
+      for (int v = 0; v < TNV; ++v)
+        acc[i][v] =
+            _mm256_xor_si256(acc[i][v], _mm256_and_si256(av, bv[v]));
+    }
+  }
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * ldc + 4 * v),
+                          acc[i][v]);
+}
+#else
+inline constexpr bool kHaveAvx2 = false;
+#endif
+
+}  // namespace detail
+
+/// True when this build dispatches XorAnd tiles to SIMD-specialized code.
+constexpr bool xorand_simd_codegen() noexcept {
+  return detail::kHaveAvx512 || detail::kHaveAvx2;
+}
+
+/// Accumulates C[0..TM) x [0..TN) += A[0..TM) x [0..K) (x) B[0..K) x [0..TN)
+/// under semiring S. Leading dimensions (lda/ldb/ldc) are in elements.
+template <class S, int TM, int TN>
+void micro_gemm(const typename S::value_type* a, std::size_t lda,
+                const typename S::value_type* b, std::size_t ldb,
+                typename S::value_type* c, std::size_t ldc, std::size_t k) {
+  if constexpr (std::is_same_v<S, XorAnd64>) {
+#if defined(__AVX512F__)
+    if constexpr (TN % 8 == 0) {
+      detail::micro_xorand_avx512<TM, TN / 8>(a, lda, b, ldb, c, ldc, k);
+      return;
+    }
+#endif
+#if defined(__AVX2__)
+    if constexpr (TN % 4 == 0) {
+      detail::micro_xorand_avx2<TM, TN / 4>(a, lda, b, ldb, c, ldc, k);
+      return;
+    }
+#endif
+  }
+  using V = typename S::value_type;
+  V acc[TM][TN];
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 16
+    for (int j = 0; j < TN; ++j) acc[i][j] = c[i * ldc + j];
+  for (std::size_t l = 0; l < k; ++l) {
+    V bv[TN];
+#pragma GCC unroll 16
+    for (int j = 0; j < TN; ++j) bv[j] = b[l * ldb + j];
+#pragma GCC unroll 8
+    for (int i = 0; i < TM; ++i) {
+      const V av = a[i * lda + l];
+#pragma GCC unroll 16
+      for (int j = 0; j < TN; ++j)
+        acc[i][j] = S::add(acc[i][j], S::mul(av, bv[j]));
+    }
+  }
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 16
+    for (int j = 0; j < TN; ++j) c[i * ldc + j] = acc[i][j];
+}
+
+/// Edge-tile fallback with runtime extents. Same semantics as micro_gemm;
+/// used for the ragged borders a fixed-tile kernel cannot cover.
+template <class S>
+void micro_gemm_edge(const typename S::value_type* a, std::size_t lda,
+                     const typename S::value_type* b, std::size_t ldb,
+                     typename S::value_type* c, std::size_t ldc,
+                     std::size_t k, std::size_t tm, std::size_t tn) {
+  using V = typename S::value_type;
+  for (std::size_t i = 0; i < tm; ++i) {
+    for (std::size_t j = 0; j < tn; ++j) {
+      V acc = c[i * ldc + j];
+      for (std::size_t l = 0; l < k; ++l)
+        acc = S::add(acc, S::mul(a[i * lda + l], b[l * ldb + j]));
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+}  // namespace tvmec::tensor

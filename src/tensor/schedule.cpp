@@ -1,0 +1,56 @@
+#include "tensor/schedule.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tvmec::tensor {
+
+std::string Schedule::to_string() const {
+  std::string s = "mt" + std::to_string(tile_m) + "x" + std::to_string(tile_n);
+  s += " kb" + std::to_string(block_k);
+  s += " nb" + std::to_string(block_n);
+  s += " t" + std::to_string(num_threads);
+  return s;
+}
+
+Schedule Schedule::parse(const std::string& text) {
+  Schedule s;
+  unsigned long long bk = 0;
+  unsigned long long bn = 0;
+  if (std::sscanf(text.c_str(), "mt%dx%d kb%llu nb%llu t%d", &s.tile_m,
+                  &s.tile_n, &bk, &bn, &s.num_threads) != 5)
+    throw std::invalid_argument("Schedule::parse: malformed '" + text + "'");
+  s.block_k = static_cast<std::size_t>(bk);
+  s.block_n = static_cast<std::size_t>(bn);
+  if (!s.valid())
+    throw std::invalid_argument("Schedule::parse: invalid schedule '" +
+                                text + "'");
+  return s;
+}
+
+bool is_supported_tile(int tile_m, int tile_n) noexcept {
+  const auto ok_m = [](int t) { return t == 1 || t == 2 || t == 4 || t == 8; };
+  const auto ok_n = [](int t) {
+    return t == 1 || t == 2 || t == 4 || t == 8 || t == 16 || t == 32 ||
+           t == 64;
+  };
+  return ok_m(tile_m) && ok_n(tile_n);
+}
+
+bool Schedule::valid() const noexcept {
+  if (!is_supported_tile(tile_m, tile_n)) return false;
+  if (num_threads < 1 || num_threads > 256) return false;
+  return true;
+}
+
+Schedule default_schedule() noexcept {
+  Schedule s;
+  s.tile_m = 4;
+  s.tile_n = 4;
+  s.block_k = 0;
+  s.block_n = 0;
+  s.num_threads = 1;
+  return s;
+}
+
+}  // namespace tvmec::tensor

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+/// Kernel schedules: the knobs an ML compiler's autotuner turns.
+///
+/// A Schedule describes *how* a GEMM-shaped loop nest is executed — register
+/// tiling, cache blocking, and thread parallelism — without changing *what*
+/// it computes. This mirrors TVM's separation of compute definition from
+/// schedule, which is the mechanism the paper exploits: the erasure-coding
+/// compute definition differs from GEMM only in its inner ops, so the whole
+/// schedule machinery applies unchanged.
+namespace tvmec::tensor {
+
+struct Schedule {
+  /// Register-tile height: rows of C accumulated simultaneously.
+  int tile_m = 4;
+  /// Register-tile width in elements: columns of C accumulated
+  /// simultaneously (these become vector lanes in the specialized
+  /// microkernels; wide tiles amortize A-operand broadcasts).
+  int tile_n = 4;
+  /// Cache-block depth over the reduction axis; 0 means no blocking
+  /// (one pass over the full K extent).
+  std::size_t block_k = 0;
+  /// Cache-block width over the N axis; 0 means no blocking.
+  std::size_t block_n = 0;
+  /// Worker threads; rows of C are partitioned across them. 1 = serial.
+  int num_threads = 1;
+
+  /// Human-readable form, e.g. "mt4x8 kb64 nb2048 t1", used in tuning logs.
+  std::string to_string() const;
+
+  /// Parses the to_string() format back into a Schedule — the mechanism
+  /// behind persisting tuned kernels (TVM's "export the autotuned
+  /// schedule" workflow, §5/§7.1 of the paper). Throws
+  /// std::invalid_argument on malformed input or an invalid schedule.
+  static Schedule parse(const std::string& text);
+
+  /// True if every knob is inside the range the kernel dispatcher supports.
+  bool valid() const noexcept;
+
+  bool operator==(const Schedule&) const = default;
+};
+
+/// Register-tile extents the microkernel menu was instantiated for.
+/// (The dispatch table in kernel.cpp covers the cross product.)
+bool is_supported_tile(int tile_m, int tile_n) noexcept;
+
+/// A safe default schedule that performs reasonably everywhere; tuning
+/// starts from — and must beat — this.
+Schedule default_schedule() noexcept;
+
+}  // namespace tvmec::tensor

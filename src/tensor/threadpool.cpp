@@ -1,0 +1,81 @@
+#include "tensor/threadpool.h"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+namespace tvmec::tensor {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0)
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  std::atomic<std::size_t> remaining{count};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+      tasks_.emplace([&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock done_lock(done_mutex);
+  done_cv.wait(done_lock,
+               [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace tvmec::tensor

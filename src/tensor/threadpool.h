@@ -1,0 +1,47 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// A small fixed-size thread pool used by parallel kernel schedules.
+///
+/// Deliberately simple (mutex + condition variable, no work stealing):
+/// kernels submit a handful of coarse row-range tasks per call, so queue
+/// contention is negligible and correctness is easy to reason about.
+namespace tvmec::tensor {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; throws std::invalid_argument on 0).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// invocations complete. Exceptions thrown by fn propagate to the caller
+  /// (the first one captured wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace tvmec::tensor

@@ -1,0 +1,167 @@
+#include "tune/tuner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tvmec::tune {
+
+const char* to_string(Policy p) noexcept {
+  switch (p) {
+    case Policy::Grid:
+      return "grid";
+    case Policy::Random:
+      return "random";
+    case Policy::Evolutionary:
+      return "evolutionary";
+    case Policy::ModelGuided:
+      return "model-guided";
+  }
+  return "?";
+}
+
+double TuneResult::best_after(std::size_t n) const {
+  double best = 0.0;
+  const std::size_t limit = std::min(n, history.size());
+  for (std::size_t i = 0; i < limit; ++i)
+    best = std::max(best, history[i].throughput);
+  return best;
+}
+
+namespace {
+
+/// Shared measurement bookkeeping: records the trial and tracks the best.
+class Recorder {
+ public:
+  Recorder(const MeasureFn& measure, std::size_t budget)
+      : measure_(measure), budget_(budget) {}
+
+  bool exhausted() const noexcept { return result_.history.size() >= budget_; }
+
+  double run(const tensor::Schedule& s) {
+    const double tput = measure_(s);
+    result_.history.push_back({s, tput});
+    if (tput > result_.best_throughput) {
+      result_.best_throughput = tput;
+      result_.best_schedule = s;
+    }
+    return tput;
+  }
+
+  TuneResult take() && { return std::move(result_); }
+
+ private:
+  const MeasureFn& measure_;
+  std::size_t budget_;
+  TuneResult result_;
+};
+
+void run_grid(const SearchSpace& space, Recorder& rec) {
+  for (std::size_t i = 0; i < space.size() && !rec.exhausted(); ++i)
+    rec.run(space.at(i));
+}
+
+void run_random(const SearchSpace& space, Recorder& rec,
+                std::mt19937_64& rng) {
+  while (!rec.exhausted()) rec.run(space.sample(rng));
+}
+
+void run_evolutionary(const SearchSpace& space, Recorder& rec,
+                      std::mt19937_64& rng, std::size_t population) {
+  population = std::max<std::size_t>(population, 4);
+  std::vector<TrialRecord> pool;
+  for (std::size_t i = 0; i < population && !rec.exhausted(); ++i) {
+    const tensor::Schedule s = space.sample(rng);
+    pool.push_back({s, rec.run(s)});
+  }
+  while (!rec.exhausted()) {
+    // Keep the fitter half, refill by mutating survivors.
+    std::sort(pool.begin(), pool.end(),
+              [](const TrialRecord& a, const TrialRecord& b) {
+                return a.throughput > b.throughput;
+              });
+    pool.resize(std::max<std::size_t>(population / 2, 2));
+    const std::size_t survivors = pool.size();
+    for (std::size_t i = 0; pool.size() < population && !rec.exhausted();
+         ++i) {
+      const tensor::Schedule child =
+          space.mutate(pool[i % survivors].schedule, rng);
+      pool.push_back({child, rec.run(child)});
+    }
+  }
+}
+
+void run_model_guided(const SearchSpace& space, Recorder& rec,
+                      std::mt19937_64& rng, const TuneOptions& opt) {
+  CostModel model;
+  // Bootstrap with random measurements so the model has signal.
+  const std::size_t bootstrap = std::max<std::size_t>(opt.measure_per_round, 4);
+  for (std::size_t i = 0; i < bootstrap && !rec.exhausted(); ++i) {
+    const tensor::Schedule s = space.sample(rng);
+    model.add_sample(s, space.shape(), rec.run(s));
+  }
+  while (!rec.exhausted()) {
+    model.fit();
+    // Propose candidates, score them with the model...
+    std::vector<tensor::Schedule> candidates;
+    candidates.reserve(opt.candidates_per_round);
+    for (std::size_t i = 0; i < opt.candidates_per_round; ++i)
+      candidates.push_back(space.sample(rng));
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const tensor::Schedule& a, const tensor::Schedule& b) {
+                return model.predict(a, space.shape()) >
+                       model.predict(b, space.shape());
+              });
+    // ...then spend real measurements only on the most promising ones.
+    const std::size_t to_measure =
+        std::max<std::size_t>(opt.measure_per_round, 1);
+    for (std::size_t i = 0; i < to_measure && i < candidates.size() &&
+                            !rec.exhausted();
+         ++i)
+      model.add_sample(candidates[i], space.shape(), rec.run(candidates[i]));
+  }
+}
+
+}  // namespace
+
+TuneResult tune(const SearchSpace& space, const MeasureFn& measure,
+                const TuneOptions& options) {
+  if (options.trials == 0)
+    throw std::invalid_argument("tune: zero trial budget");
+  Recorder rec(measure, options.trials);
+  std::mt19937_64 rng(options.seed);
+  switch (options.policy) {
+    case Policy::Grid:
+      run_grid(space, rec);
+      break;
+    case Policy::Random:
+      run_random(space, rec, rng);
+      break;
+    case Policy::Evolutionary:
+      run_evolutionary(space, rec, rng, options.population);
+      break;
+    case Policy::ModelGuided:
+      run_model_guided(space, rec, rng, options);
+      break;
+  }
+  return std::move(rec).take();
+}
+
+double measure_seconds_median(const std::function<void()>& fn,
+                              std::size_t repeats) {
+  if (repeats == 0)
+    throw std::invalid_argument("measure_seconds_median: zero repeats");
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(end - start).count());
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace tvmec::tune

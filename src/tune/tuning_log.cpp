@@ -1,0 +1,65 @@
+#include "tune/tuning_log.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tvmec::tune {
+
+namespace {
+
+std::string shape_key(const TaskShape& shape) {
+  return std::to_string(shape.m) + "x" + std::to_string(shape.n) + "x" +
+         std::to_string(shape.k);
+}
+
+}  // namespace
+
+void append_log(const std::string& path, const TaskShape& shape,
+                const TuneResult& result) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("append_log: cannot open " + path);
+  const std::string key = shape_key(shape);
+  for (const TrialRecord& rec : result.history) {
+    out << key << " | " << rec.schedule.to_string() << " | "
+        << rec.throughput << "\n";
+  }
+  if (!out) throw std::runtime_error("append_log: write failed on " + path);
+}
+
+std::optional<TuneResult> load_log(const std::string& path,
+                                   const TaskShape& shape) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  const std::string key = shape_key(shape);
+  TuneResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string rec_key, sep1, schedule_text, sep2;
+    double throughput = 0;
+    // key | mtAxB kbC nbD tE | throughput
+    std::string mt, kb, nb, t;
+    if (!(fields >> rec_key >> sep1 >> mt >> kb >> nb >> t >> sep2 >>
+          throughput) ||
+        sep1 != "|" || sep2 != "|")
+      throw std::runtime_error("load_log: malformed record at " + path +
+                               ":" + std::to_string(line_no));
+    if (rec_key != key) continue;
+    TrialRecord rec;
+    rec.schedule =
+        tensor::Schedule::parse(mt + " " + kb + " " + nb + " " + t);
+    rec.throughput = throughput;
+    if (rec.throughput > result.best_throughput) {
+      result.best_throughput = rec.throughput;
+      result.best_schedule = rec.schedule;
+    }
+    result.history.push_back(std::move(rec));
+  }
+  if (result.history.empty()) return std::nullopt;
+  return result;
+}
+
+}  // namespace tvmec::tune

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tune/tuner.h"
+
+/// Persistence for tuning results, mirroring TVM's tuning-record files:
+/// measure once, reuse the best schedule forever (the paper's §6.1 setup
+/// tunes for 20 000 trials precisely because the result is cached).
+///
+/// File format: one record per line,
+///   `<task m>x<task n>x<task k> | <schedule to_string> | <throughput>`
+/// Lines starting with '#' are comments. The format is stable and
+/// human-diffable, like TVM's JSON logs but simpler.
+namespace tvmec::tune {
+
+/// Appends every trial of `result` for `shape` to the log at `path`
+/// (creating the file if needed). Throws std::runtime_error on I/O
+/// failure.
+void append_log(const std::string& path, const TaskShape& shape,
+                const TuneResult& result);
+
+/// Reads all records for the exact task shape and returns the recorded
+/// history (in file order) as a TuneResult whose best_* fields are the
+/// best recorded entry. Returns nullopt if the file does not exist or
+/// holds no matching record. Throws std::runtime_error on a malformed
+/// record line (corrupt log files should fail loudly, not silently
+/// detune a production encoder).
+std::optional<TuneResult> load_log(const std::string& path,
+                                   const TaskShape& shape);
+
+}  // namespace tvmec::tune

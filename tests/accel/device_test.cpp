@@ -1,0 +1,114 @@
+#include "accel/device.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "tensor/kernel.h"
+
+namespace tvmec::accel {
+namespace {
+
+TEST(Device, Construction) {
+  Device dev("gpu0", 16.0);
+  EXPECT_EQ(dev.name(), "gpu0");
+  EXPECT_THROW(Device("bad", 0.0), std::invalid_argument);
+  EXPECT_THROW(Device("bad", -1.0), std::invalid_argument);
+}
+
+TEST(Device, AllocZeroedAndCounted) {
+  Device dev;
+  const DeviceBuffer buf = dev.alloc(128);
+  EXPECT_TRUE(buf.valid());
+  EXPECT_EQ(buf.size(), 128u);
+  EXPECT_EQ(dev.stats().allocations, 1u);
+  EXPECT_THROW(dev.alloc(0), std::invalid_argument);
+  EXPECT_FALSE(DeviceBuffer().valid());
+}
+
+TEST(Device, TransfersRoundTripAndMeter) {
+  Device dev("sim0", 10.0);  // 10 GB/s modeled
+  const auto src = testutil::random_bytes(4096, 1);
+  DeviceBuffer buf = dev.alloc(4096);
+  dev.copy_to_device(buf, src.span());
+  std::vector<std::uint8_t> back(4096);
+  dev.copy_to_host(back, buf);
+  EXPECT_TRUE(std::equal(src.span().begin(), src.span().end(), back.begin()));
+
+  EXPECT_EQ(dev.stats().bytes_h2d, 4096u);
+  EXPECT_EQ(dev.stats().bytes_d2h, 4096u);
+  EXPECT_DOUBLE_EQ(dev.stats().modeled_transfer_seconds,
+                   2 * 4096.0 / 10e9);
+}
+
+TEST(Device, OnDeviceCopyIsNotInterconnectTraffic) {
+  Device dev;
+  const auto src = testutil::random_bytes(256, 2);
+  DeviceBuffer a = dev.alloc(256), b = dev.alloc(256);
+  dev.copy_to_device(a, src.span());
+  dev.reset_stats();
+  dev.copy_on_device(b, a);
+  EXPECT_EQ(dev.stats().bytes_h2d, 0u);
+  EXPECT_EQ(dev.stats().bytes_d2h, 0u);
+  std::vector<std::uint8_t> back(256);
+  dev.copy_to_host(back, b);
+  EXPECT_TRUE(std::equal(src.span().begin(), src.span().end(), back.begin()));
+}
+
+TEST(Device, SizeMismatchesThrow) {
+  Device dev;
+  DeviceBuffer buf = dev.alloc(64);
+  const auto src = testutil::random_bytes(32, 3);
+  EXPECT_THROW(dev.copy_to_device(buf, src.span()), std::invalid_argument);
+  std::vector<std::uint8_t> small(32);
+  EXPECT_THROW(dev.copy_to_host(small, buf), std::invalid_argument);
+}
+
+TEST(Device, ForeignBuffersRejected) {
+  Device a("a"), b("b");
+  DeviceBuffer on_a = a.alloc(64);
+  std::vector<std::uint8_t> host(64);
+  EXPECT_THROW(b.copy_to_host(host, on_a), std::invalid_argument);
+  DeviceBuffer on_b = b.alloc(64);
+  EXPECT_THROW(b.copy_on_device(on_b, on_a), std::invalid_argument);
+}
+
+TEST(Device, KernelMatchesHostExecution) {
+  Device dev;
+  const std::size_t m = 16, n = 64, k = 40;
+  // Host-side reference operands.
+  tensor::AlignedBuffer<std::uint64_t> a(m * k), b(k * n), ref(m * n);
+  std::mt19937_64 rng(4);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = (rng() & 1) ? ~std::uint64_t{0} : 0;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng();
+  tensor::gemm_naive_xorand({a.data(), m, k, k}, {b.data(), k, n, n},
+                            {ref.data(), m, n, n});
+
+  DeviceBuffer da = dev.alloc(m * k * 8), db = dev.alloc(k * n * 8),
+               dc = dev.alloc(m * n * 8);
+  dev.copy_to_device(
+      da, {reinterpret_cast<const std::uint8_t*>(a.data()), m * k * 8});
+  dev.copy_to_device(
+      db, {reinterpret_cast<const std::uint8_t*>(b.data()), k * n * 8});
+  tensor::Schedule s;
+  s.tile_m = 4;
+  s.tile_n = 16;
+  dev.launch_xorand_gemm(da, db, dc, m, n, k, s);
+  EXPECT_EQ(dev.stats().kernel_launches, 1u);
+
+  std::vector<std::uint8_t> out(m * n * 8);
+  dev.copy_to_host(out, dc);
+  EXPECT_EQ(std::memcmp(out.data(), ref.data(), out.size()), 0);
+}
+
+TEST(Device, KernelValidatesShapes) {
+  Device dev;
+  DeviceBuffer a = dev.alloc(64), b = dev.alloc(64), c = dev.alloc(64);
+  tensor::Schedule s = tensor::default_schedule();
+  // 4x4x4 of u64 needs 128 bytes per operand, buffers are 64.
+  EXPECT_THROW(dev.launch_xorand_gemm(a, b, c, 4, 4, 4, s),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvmec::accel

@@ -1,0 +1,117 @@
+#include "baselines/jerasure_like.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baselines/naive.h"
+#include "ec/reed_solomon.h"
+
+namespace tvmec::baseline {
+namespace {
+
+using testutil::random_bytes;
+
+class JerasureScheduleTest : public ::testing::TestWithParam<JerasureSchedule> {
+};
+
+TEST_P(JerasureScheduleTest, MatchesNaiveAcrossShapes) {
+  for (const ec::CodeParams params :
+       {ec::CodeParams{4, 2, 8}, {10, 4, 8}, {6, 3, 4}, {5, 2, 16}}) {
+    const std::size_t unit = 16 * params.w;
+    const ec::ReedSolomon rs(params);
+    const JerasureCoder coder(rs.parity_matrix(), GetParam());
+    const NaiveBitmatrixCoder reference(rs.parity_matrix());
+
+    const auto data = random_bytes(params.k * unit, 7 * params.k + params.w);
+    tensor::AlignedBuffer<std::uint8_t> got(params.r * unit);
+    tensor::AlignedBuffer<std::uint8_t> expect(params.r * unit);
+    coder.apply(data.span(), got.span(), unit);
+    reference.apply(data.span(), expect.span(), unit);
+    ASSERT_TRUE(std::equal(expect.span().begin(), expect.span().end(),
+                           got.span().begin()))
+        << "k=" << params.k << " w=" << params.w;
+  }
+}
+
+TEST_P(JerasureScheduleTest, PtrApiHandlesScatteredUnits) {
+  const ec::CodeParams params{6, 3, 8};
+  const std::size_t unit = 256;
+  const ec::ReedSolomon rs(params);
+  const JerasureCoder coder(rs.parity_matrix(), GetParam());
+
+  // Scattered, individually-allocated units (the Jerasure memory model).
+  std::vector<tensor::AlignedBuffer<std::uint8_t>> data_units;
+  std::vector<const std::uint8_t*> data_ptrs;
+  for (std::size_t i = 0; i < params.k; ++i) {
+    data_units.push_back(random_bytes(unit, 100 + i));
+    data_ptrs.push_back(data_units.back().data());
+  }
+  std::vector<tensor::AlignedBuffer<std::uint8_t>> parity_units(params.r);
+  std::vector<std::uint8_t*> parity_ptrs;
+  for (auto& p : parity_units) {
+    p = tensor::AlignedBuffer<std::uint8_t>(unit);
+    parity_ptrs.push_back(p.data());
+  }
+  coder.apply_ptrs(data_ptrs, parity_ptrs, unit);
+
+  // Reference over an equivalent contiguous layout (same bitpacket
+  // embedding via the naive coder).
+  tensor::AlignedBuffer<std::uint8_t> contig(params.k * unit);
+  for (std::size_t i = 0; i < params.k; ++i)
+    std::copy_n(data_units[i].data(), unit, contig.data() + i * unit);
+  tensor::AlignedBuffer<std::uint8_t> expect(params.r * unit);
+  NaiveBitmatrixCoder(rs.parity_matrix())
+      .apply(contig.span(), expect.span(), unit);
+  for (std::size_t i = 0; i < params.r; ++i)
+    ASSERT_TRUE(std::equal(
+        parity_units[i].span().begin(), parity_units[i].span().end(),
+        expect.span().begin() + static_cast<std::ptrdiff_t>(i * unit)));
+}
+
+TEST_P(JerasureScheduleTest, PtrApiValidation) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
+  const JerasureCoder coder(rs.parity_matrix(), GetParam());
+  tensor::AlignedBuffer<std::uint8_t> buf(64);
+  std::vector<const std::uint8_t*> bad_count = {buf.data()};
+  std::vector<std::uint8_t*> parity = {buf.data(), buf.data()};
+  EXPECT_THROW(coder.apply_ptrs(bad_count, parity, 64),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSchedules, JerasureScheduleTest,
+                         ::testing::Values(JerasureSchedule::Dumb,
+                                           JerasureSchedule::Smart),
+                         [](const auto& info) {
+                           return info.param == JerasureSchedule::Smart
+                                      ? "Smart"
+                                      : "Dumb";
+                         });
+
+TEST(JerasureSchedules, SmartNeverCostsMoreXors) {
+  for (const ec::CodeParams params :
+       {ec::CodeParams{4, 2, 8}, {10, 4, 8}, {8, 3, 8}}) {
+    const ec::ReedSolomon rs(params);
+    const JerasureCoder dumb(rs.parity_matrix(), JerasureSchedule::Dumb);
+    const JerasureCoder smart(rs.parity_matrix(), JerasureSchedule::Smart);
+    EXPECT_LE(smart.xor_ops(), dumb.xor_ops()) << "k=" << params.k;
+  }
+}
+
+TEST(JerasureSchedules, DumbXorOpsMatchOnesCount) {
+  const ec::ReedSolomon rs(ec::CodeParams{6, 3, 8});
+  const ec::BitmatrixCode code(rs.parity_matrix());
+  const JerasureCoder dumb(rs.parity_matrix(), JerasureSchedule::Dumb);
+  // Dumb schedule: each bit-row costs (ones - 1) XORs plus one copy.
+  EXPECT_EQ(dumb.xor_ops(), code.ones() - code.bits().rows());
+}
+
+TEST(Jerasure, NamesDistinguishSchedules) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
+  EXPECT_EQ(JerasureCoder(rs.parity_matrix(), JerasureSchedule::Dumb).name(),
+            "jerasure-dumb");
+  EXPECT_EQ(JerasureCoder(rs.parity_matrix(), JerasureSchedule::Smart).name(),
+            "jerasure-smart");
+}
+
+}  // namespace
+}  // namespace tvmec::baseline

@@ -1,0 +1,97 @@
+#include "baselines/naive.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "ec/reed_solomon.h"
+
+namespace tvmec::baseline {
+namespace {
+
+using testutil::random_bytes;
+
+struct NaiveCase {
+  ec::CodeParams params;
+  std::size_t unit;
+};
+
+class NaiveTest : public ::testing::TestWithParam<NaiveCase> {};
+
+/// The bitmatrix triple loop must agree byte-for-byte with element-wise
+/// GF(2^w) arithmetic under the bitpacket embedding — the core §2.1
+/// equivalence between field math and XOR/AND loops.
+TEST_P(NaiveTest, MatchesBitpacketGfReference) {
+  const auto& [params, unit] = GetParam();
+  const ec::ReedSolomon rs(params);
+  const NaiveBitmatrixCoder coder(rs.parity_matrix());
+  EXPECT_EQ(coder.in_units(), params.k);
+  EXPECT_EQ(coder.out_units(), params.r);
+
+  const auto data = random_bytes(params.k * unit, 42 + params.k);
+  tensor::AlignedBuffer<std::uint8_t> got(params.r * unit);
+  std::vector<std::uint8_t> expect(params.r * unit);
+  coder.apply(data.span(), got.span(), unit);
+  ec::apply_matrix_reference_bitpacket(rs.parity_matrix(), data.span(),
+                                       expect, unit);
+  ASSERT_TRUE(std::equal(expect.begin(), expect.end(), got.span().begin()));
+}
+
+/// The bitpacket and byte embeddings are intentionally different
+/// encodings (see apply_matrix_reference_bitpacket docs): a bitmatrix
+/// encoder's bytes must NOT be compared against an ISA-L-style encoder's.
+TEST(NaiveEmbedding, DiffersFromByteEmbedding) {
+  const ec::CodeParams params{4, 2, 8};
+  const std::size_t unit = 512;
+  const ec::ReedSolomon rs(params);
+  const NaiveBitmatrixCoder coder(rs.parity_matrix());
+  const auto data = random_bytes(params.k * unit, 4242);
+  tensor::AlignedBuffer<std::uint8_t> bitpacket(params.r * unit);
+  std::vector<std::uint8_t> byte_embed(params.r * unit);
+  coder.apply(data.span(), bitpacket.span(), unit);
+  rs.encode_reference(data.span(), byte_embed, unit);
+  EXPECT_FALSE(std::equal(byte_embed.begin(), byte_embed.end(),
+                          bitpacket.span().begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NaiveTest,
+    ::testing::Values(NaiveCase{{4, 2, 8}, 512}, NaiveCase{{10, 4, 8}, 1024},
+                      NaiveCase{{8, 3, 8}, 64}, NaiveCase{{5, 2, 4}, 320},
+                      NaiveCase{{6, 3, 16}, 1024}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.params.k) + "r" +
+             std::to_string(info.param.params.r) + "w" +
+             std::to_string(info.param.params.w) + "u" +
+             std::to_string(info.param.unit);
+    });
+
+TEST(Naive, RejectsBadUnitSizes) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
+  const NaiveBitmatrixCoder coder(rs.parity_matrix());
+  tensor::AlignedBuffer<std::uint8_t> data(4 * 60), parity(2 * 60);
+  // 60 is not a multiple of 8*w = 64.
+  EXPECT_THROW(coder.apply(data.span(), parity.span(), 60),
+               std::invalid_argument);
+}
+
+TEST(Naive, RejectsSizeMismatch) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
+  const NaiveBitmatrixCoder coder(rs.parity_matrix());
+  tensor::AlignedBuffer<std::uint8_t> data(4 * 64), parity(2 * 64);
+  EXPECT_THROW(coder.apply(data.span().subspan(64), parity.span(), 64),
+               std::invalid_argument);
+  EXPECT_THROW(coder.apply(data.span(), parity.span().subspan(64), 64),
+               std::invalid_argument);
+}
+
+TEST(Naive, RejectsMisalignedBuffers) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
+  const NaiveBitmatrixCoder coder(rs.parity_matrix());
+  tensor::AlignedBuffer<std::uint8_t> data(4 * 64 + 1), parity(2 * 64);
+  EXPECT_THROW(
+      coder.apply(data.span().subspan(1, 4 * 64), parity.span(), 64),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvmec::baseline

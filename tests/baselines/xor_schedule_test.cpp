@@ -1,0 +1,133 @@
+#include "baselines/xor_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "baselines/naive.h"
+#include "ec/reed_solomon.h"
+
+namespace tvmec::baseline {
+namespace {
+
+using testutil::random_bytes;
+
+class BlockingFactorTest : public ::testing::TestWithParam<std::size_t> {};
+
+/// Correctness must be independent of the cache-blocking factor,
+/// including factors that do not divide the packet size.
+TEST_P(BlockingFactorTest, MatchesNaiveForAnyBlocking) {
+  const ec::CodeParams params{10, 4, 8};
+  const std::size_t unit = 2048;
+  const ec::ReedSolomon rs(params);
+  UezatoCoder::Options opts;
+  opts.block_bytes = GetParam();
+  const UezatoCoder coder(rs.parity_matrix(), opts);
+  const NaiveBitmatrixCoder reference(rs.parity_matrix());
+
+  const auto data = random_bytes(params.k * unit, GetParam());
+  tensor::AlignedBuffer<std::uint8_t> got(params.r * unit);
+  tensor::AlignedBuffer<std::uint8_t> expect(params.r * unit);
+  coder.apply(data.span(), got.span(), unit);
+  reference.apply(data.span(), expect.span(), unit);
+  ASSERT_TRUE(std::equal(expect.span().begin(), expect.span().end(),
+                         got.span().begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, BlockingFactorTest,
+                         ::testing::Values(8u, 40u, 256u, 2048u, 1u << 20),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param);
+                         });
+
+TEST(Uezato, MatchesNaiveAcrossCodes) {
+  for (const ec::CodeParams params :
+       {ec::CodeParams{4, 2, 8}, {8, 3, 8}, {6, 2, 4}, {5, 3, 16}}) {
+    const std::size_t unit = 32 * params.w;
+    const ec::ReedSolomon rs(params);
+    const UezatoCoder coder(rs.parity_matrix());
+    const NaiveBitmatrixCoder reference(rs.parity_matrix());
+    const auto data = random_bytes(params.k * unit, params.k * 31);
+    tensor::AlignedBuffer<std::uint8_t> got(params.r * unit);
+    tensor::AlignedBuffer<std::uint8_t> expect(params.r * unit);
+    coder.apply(data.span(), got.span(), unit);
+    reference.apply(data.span(), expect.span(), unit);
+    ASSERT_TRUE(std::equal(expect.span().begin(), expect.span().end(),
+                           got.span().begin()))
+        << "k=" << params.k << " w=" << params.w;
+  }
+}
+
+/// The headline of Uezato's technique: CSE strictly reduces XOR work on
+/// real Reed-Solomon bitmatrices.
+TEST(UezatoCse, ReducesXorOps) {
+  const ec::ReedSolomon rs(ec::CodeParams{10, 4, 8});
+  const UezatoCoder with_cse(rs.parity_matrix());
+  UezatoCoder::Options no_cse_opts;
+  no_cse_opts.enable_cse = false;
+  const UezatoCoder no_cse(rs.parity_matrix(), no_cse_opts);
+
+  EXPECT_EQ(no_cse.num_temps(), 0u);
+  EXPECT_EQ(no_cse.xor_ops(), no_cse.xor_ops_without_cse());
+  EXPECT_GT(with_cse.num_temps(), 0u);
+  EXPECT_LT(with_cse.xor_ops(), with_cse.xor_ops_without_cse());
+  // Expect a meaningful reduction (>10%) on a dense Cauchy bitmatrix.
+  EXPECT_LT(static_cast<double>(with_cse.xor_ops()),
+            0.9 * static_cast<double>(with_cse.xor_ops_without_cse()));
+}
+
+TEST(UezatoCse, CseResultStillCorrect) {
+  const ec::CodeParams params{10, 4, 8};
+  const std::size_t unit = 1024;
+  const ec::ReedSolomon rs(params);
+  const UezatoCoder with_cse(rs.parity_matrix());
+  UezatoCoder::Options no_cse_opts;
+  no_cse_opts.enable_cse = false;
+  const UezatoCoder no_cse(rs.parity_matrix(), no_cse_opts);
+
+  const auto data = random_bytes(params.k * unit, 55);
+  tensor::AlignedBuffer<std::uint8_t> a(params.r * unit), b(params.r * unit);
+  with_cse.apply(data.span(), a.span(), unit);
+  no_cse.apply(data.span(), b.span(), unit);
+  ASSERT_TRUE(
+      std::equal(a.span().begin(), a.span().end(), b.span().begin()));
+}
+
+TEST(UezatoCse, MaxTempsCapRespected) {
+  const ec::ReedSolomon rs(ec::CodeParams{10, 4, 8});
+  UezatoCoder::Options opts;
+  opts.max_temps = 5;
+  const UezatoCoder coder(rs.parity_matrix(), opts);
+  EXPECT_LE(coder.num_temps(), 5u);
+
+  // And still correct.
+  const std::size_t unit = 512;
+  const auto data = random_bytes(10 * unit, 66);
+  tensor::AlignedBuffer<std::uint8_t> got(4 * unit);
+  tensor::AlignedBuffer<std::uint8_t> expect(4 * unit);
+  coder.apply(data.span(), got.span(), unit);
+  NaiveBitmatrixCoder(rs.parity_matrix()).apply(data.span(), expect.span(), unit);
+  ASSERT_TRUE(std::equal(expect.span().begin(), expect.span().end(),
+                         got.span().begin()));
+}
+
+TEST(Uezato, OptionValidation) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
+  UezatoCoder::Options opts;
+  opts.block_bytes = 0;
+  EXPECT_THROW(UezatoCoder(rs.parity_matrix(), opts), std::invalid_argument);
+  opts.block_bytes = 12;  // not a multiple of 8
+  EXPECT_THROW(UezatoCoder(rs.parity_matrix(), opts), std::invalid_argument);
+}
+
+TEST(Uezato, SizeValidation) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
+  const UezatoCoder coder(rs.parity_matrix());
+  tensor::AlignedBuffer<std::uint8_t> data(4 * 64), parity(2 * 64);
+  EXPECT_THROW(coder.apply(data.span(), parity.span(), 63),
+               std::invalid_argument);
+  EXPECT_THROW(coder.apply(data.span().subspan(0, 64), parity.span(), 64),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvmec::baseline

@@ -1,0 +1,80 @@
+#include "core/backends.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.h"
+#include "ec/reed_solomon.h"
+
+namespace tvmec::core {
+namespace {
+
+TEST(Backends, AllBackendsListedOnce) {
+  const auto backends = all_backends();
+  EXPECT_EQ(backends.size(), 6u);
+  std::set<std::string> names;
+  for (const Backend b : backends) names.insert(to_string(b));
+  EXPECT_EQ(names.size(), backends.size());
+  EXPECT_EQ(backends.back(), Backend::Gemm);
+}
+
+TEST(Backends, WFilteringDropsIsalForNon8) {
+  EXPECT_EQ(backends_for_w(8).size(), 6u);
+  const auto w4 = backends_for_w(4);
+  EXPECT_EQ(w4.size(), 5u);
+  for (const Backend b : w4) EXPECT_NE(b, Backend::Isal);
+  EXPECT_EQ(backends_for_w(16).size(), 5u);
+}
+
+TEST(Backends, FactoryProducesWorkingCoders) {
+  const ec::CodeParams params{6, 3, 8};
+  const ec::ReedSolomon rs(params);
+  const std::size_t unit = 512;
+  const auto data = testutil::random_bytes(params.k * unit, 99);
+  // Bitmatrix backends use the bitpacket embedding; ISA-L the byte
+  // embedding (see apply_matrix_reference_bitpacket docs).
+  std::vector<std::uint8_t> expect_bitpacket(params.r * unit);
+  ec::apply_matrix_reference_bitpacket(rs.parity_matrix(), data.span(),
+                                       expect_bitpacket, unit);
+  std::vector<std::uint8_t> expect_byte(params.r * unit);
+  rs.encode_reference(data.span(), expect_byte, unit);
+
+  for (const Backend b : all_backends()) {
+    const auto coder = make_coder(b, rs.parity_matrix());
+    ASSERT_NE(coder, nullptr);
+    EXPECT_EQ(coder->in_units(), params.k);
+    EXPECT_EQ(coder->out_units(), params.r);
+    EXPECT_EQ(coder->name(), to_string(b));
+    tensor::AlignedBuffer<std::uint8_t> got(params.r * unit);
+    coder->apply(data.span(), got.span(), unit);
+    const auto& expect = b == Backend::Isal ? expect_byte : expect_bitpacket;
+    ASSERT_TRUE(std::equal(expect.begin(), expect.end(), got.span().begin()))
+        << to_string(b);
+  }
+}
+
+TEST(Backends, IsalFactoryRejectsWrongField) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 4});
+  EXPECT_THROW(make_coder(Backend::Isal, rs.parity_matrix()),
+               std::invalid_argument);
+}
+
+TEST(Backends, GemmCoderWithExplicitSchedule) {
+  const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
+  tensor::Schedule s;
+  s.tile_m = 8;
+  s.tile_n = 8;
+  const auto coder = make_gemm_coder(rs.parity_matrix(), s);
+  const std::size_t unit = 256;
+  const auto data = testutil::random_bytes(4 * unit, 3);
+  tensor::AlignedBuffer<std::uint8_t> got(2 * unit);
+  std::vector<std::uint8_t> expect(2 * unit);
+  coder->apply(data.span(), got.span(), unit);
+  ec::apply_matrix_reference_bitpacket(rs.parity_matrix(), data.span(),
+                                       expect, unit);
+  ASSERT_TRUE(std::equal(expect.begin(), expect.end(), got.span().begin()));
+}
+
+}  // namespace
+}  // namespace tvmec::core

@@ -1,0 +1,305 @@
+#include "core/tvmec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../test_util.h"
+
+namespace tvmec::core {
+namespace {
+
+using testutil::random_bytes;
+
+constexpr std::size_t kUnit = 4096;
+
+tensor::AlignedBuffer<std::uint8_t> make_stripe(Codec& codec,
+                                                std::uint64_t seed) {
+  const auto& p = codec.params();
+  tensor::AlignedBuffer<std::uint8_t> stripe(p.n() * kUnit);
+  const auto data = random_bytes(p.k * kUnit, seed);
+  std::copy(data.span().begin(), data.span().end(), stripe.data());
+  codec.encode(
+      std::span<const std::uint8_t>(stripe.data(), p.k * kUnit),
+      std::span<std::uint8_t>(stripe.data() + p.k * kUnit, p.r * kUnit),
+      kUnit);
+  return stripe;
+}
+
+TEST(Codec, EncodeMatchesReference) {
+  Codec codec(ec::CodeParams{10, 4, 8});
+  const auto data = random_bytes(10 * kUnit, 1);
+  tensor::AlignedBuffer<std::uint8_t> parity(4 * kUnit);
+  codec.encode(data.span(), parity.span(), kUnit);
+  std::vector<std::uint8_t> expect(4 * kUnit);
+  ec::apply_matrix_reference_bitpacket(codec.code().parity_matrix(),
+                                       data.span(), expect, kUnit);
+  ASSERT_TRUE(
+      std::equal(expect.begin(), expect.end(), parity.span().begin()));
+}
+
+/// Every erasure pattern up to r over the full evaluation parameter grid
+/// must decode back to the original stripe through the GEMM path.
+class CodecDecodeTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CodecDecodeTest, AllPatternsRoundTrip) {
+  const auto [k, r] = GetParam();
+  Codec codec(ec::CodeParams{k, r, 8});
+  const auto stripe = make_stripe(codec, 100 * k + r);
+
+  tensor::AlignedBuffer<std::uint8_t> damaged(stripe.size());
+  for (std::size_t e = 1; e <= r; ++e) {
+    for (const auto& pattern : testutil::erasure_patterns(k + r, e)) {
+      std::copy(stripe.span().begin(), stripe.span().end(), damaged.data());
+      for (const std::size_t id : pattern)
+        std::fill_n(damaged.data() + id * kUnit, kUnit, 0xEE);
+      codec.decode(damaged.span(), pattern, kUnit);
+      ASSERT_TRUE(std::equal(stripe.span().begin(), stripe.span().end(),
+                             damaged.span().begin()))
+          << "pattern size " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, CodecDecodeTest,
+                         ::testing::Values(std::tuple<std::size_t, std::size_t>{8, 2},
+                                           std::tuple<std::size_t, std::size_t>{9, 3},
+                                           std::tuple<std::size_t, std::size_t>{10, 4},
+                                           std::tuple<std::size_t, std::size_t>{4, 2}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(std::get<0>(info.param)) +
+                                  "r" + std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(Codec, DecodeValidation) {
+  Codec codec(ec::CodeParams{4, 2, 8});
+  auto stripe = make_stripe(codec, 5);
+  // Too many erasures.
+  const std::vector<std::size_t> too_many = {0, 1, 2};
+  EXPECT_THROW(codec.decode(stripe.span(), too_many, kUnit),
+               std::runtime_error);
+  // Wrong stripe size.
+  const std::vector<std::size_t> one = {0};
+  EXPECT_THROW(
+      codec.decode(stripe.span().subspan(0, 5 * kUnit), one, kUnit),
+      std::invalid_argument);
+  // Out-of-range id.
+  const std::vector<std::size_t> bad_id = {6};
+  EXPECT_THROW(codec.decode(stripe.span(), bad_id, kUnit),
+               std::invalid_argument);
+  // Empty erasure list is a no-op.
+  EXPECT_NO_THROW(codec.decode(stripe.span(), {}, kUnit));
+}
+
+TEST(Codec, DecodeCacheReusesPlans) {
+  Codec codec(ec::CodeParams{6, 3, 8});
+  auto stripe = make_stripe(codec, 6);
+  EXPECT_EQ(codec.decode_cache_size(), 0u);
+
+  tensor::AlignedBuffer<std::uint8_t> damaged(stripe.size());
+  const std::vector<std::size_t> pattern = {1, 4};
+  for (int round = 0; round < 3; ++round) {
+    std::copy(stripe.span().begin(), stripe.span().end(), damaged.data());
+    std::fill_n(damaged.data() + kUnit, kUnit, 0);
+    std::fill_n(damaged.data() + 4 * kUnit, kUnit, 0);
+    codec.decode(damaged.span(), pattern, kUnit);
+  }
+  EXPECT_EQ(codec.decode_cache_size(), 1u);
+
+  // Unordered ids hit the same cache entry.
+  const std::vector<std::size_t> reversed = {4, 1};
+  std::copy(stripe.span().begin(), stripe.span().end(), damaged.data());
+  codec.decode(damaged.span(), reversed, kUnit);
+  EXPECT_EQ(codec.decode_cache_size(), 1u);
+}
+
+TEST(Codec, EncodePtrsMatchesContiguous) {
+  const ec::CodeParams p{6, 3, 8};
+  Codec codec(p);
+  std::vector<tensor::AlignedBuffer<std::uint8_t>> data_units;
+  std::vector<const std::uint8_t*> data_ptrs;
+  for (std::size_t i = 0; i < p.k; ++i) {
+    data_units.push_back(random_bytes(kUnit, 300 + i));
+    data_ptrs.push_back(data_units.back().data());
+  }
+  std::vector<tensor::AlignedBuffer<std::uint8_t>> parity_units(p.r);
+  std::vector<std::uint8_t*> parity_ptrs;
+  for (auto& u : parity_units) {
+    u = tensor::AlignedBuffer<std::uint8_t>(kUnit);
+    parity_ptrs.push_back(u.data());
+  }
+  codec.encode_ptrs(data_ptrs, parity_ptrs, kUnit);
+
+  tensor::AlignedBuffer<std::uint8_t> contig(p.k * kUnit);
+  for (std::size_t i = 0; i < p.k; ++i)
+    std::copy_n(data_units[i].data(), kUnit, contig.data() + i * kUnit);
+  tensor::AlignedBuffer<std::uint8_t> expect(p.r * kUnit);
+  codec.encode(contig.span(), expect.span(), kUnit);
+  for (std::size_t i = 0; i < p.r; ++i)
+    ASSERT_TRUE(std::equal(parity_units[i].span().begin(),
+                           parity_units[i].span().end(),
+                           expect.data() + i * kUnit));
+}
+
+TEST(Codec, EncodePtrsValidation) {
+  Codec codec(ec::CodeParams{4, 2, 8});
+  tensor::AlignedBuffer<std::uint8_t> buf(kUnit);
+  std::vector<const std::uint8_t*> data = {buf.data(), buf.data(),
+                                           buf.data()};  // only 3
+  std::vector<std::uint8_t*> parity = {buf.data(), buf.data()};
+  EXPECT_THROW(codec.encode_ptrs(data, parity, kUnit), std::invalid_argument);
+  data.push_back(nullptr);
+  EXPECT_THROW(codec.encode_ptrs(data, parity, kUnit), std::invalid_argument);
+}
+
+TEST(Codec, TuneClearsDecodeCacheAndStaysCorrect) {
+  Codec codec(ec::CodeParams{6, 3, 8});
+  auto stripe = make_stripe(codec, 7);
+  tensor::AlignedBuffer<std::uint8_t> damaged(stripe.size());
+  std::copy(stripe.span().begin(), stripe.span().end(), damaged.data());
+  const std::vector<std::size_t> pattern = {0};
+  codec.decode(damaged.span(), pattern, kUnit);
+  EXPECT_EQ(codec.decode_cache_size(), 1u);
+
+  tune::TuneOptions opt;
+  opt.policy = tune::Policy::Random;
+  opt.trials = 6;
+  codec.tune(kUnit, opt, 1);
+  EXPECT_EQ(codec.decode_cache_size(), 0u);
+
+  // Encode and decode still agree with the original stripe.
+  auto stripe2 = make_stripe(codec, 7);
+  ASSERT_TRUE(std::equal(stripe.span().begin(), stripe.span().end(),
+                         stripe2.span().begin()));
+}
+
+/// Linearity in action: a delta-update of one data unit must leave the
+/// stripe identical to a full re-encode with the new data.
+TEST(Codec, UpdateUnitMatchesFullReencode) {
+  const ec::CodeParams p{6, 3, 8};
+  Codec codec(p);
+  auto stripe = make_stripe(codec, 11);
+
+  for (const std::size_t unit_id : {0u, 3u, 5u}) {
+    const auto new_data = random_bytes(kUnit, 500 + unit_id);
+    codec.update_unit(stripe.span(), unit_id, new_data.span(), kUnit);
+
+    // Expected: full re-encode of the updated data half.
+    tensor::AlignedBuffer<std::uint8_t> expect_parity(p.r * kUnit);
+    codec.encode(
+        std::span<const std::uint8_t>(stripe.data(), p.k * kUnit),
+        expect_parity.span(), kUnit);
+    ASSERT_TRUE(std::equal(expect_parity.span().begin(),
+                           expect_parity.span().end(),
+                           stripe.data() + p.k * kUnit))
+        << "unit " << unit_id;
+    // And the data landed.
+    ASSERT_TRUE(std::equal(new_data.span().begin(), new_data.span().end(),
+                           stripe.data() + unit_id * kUnit));
+  }
+}
+
+TEST(Codec, UpdateUnitThenDecodeStillRecovers) {
+  const ec::CodeParams p{4, 2, 8};
+  Codec codec(p);
+  auto stripe = make_stripe(codec, 12);
+  const auto new_data = random_bytes(kUnit, 600);
+  codec.update_unit(stripe.span(), 2, new_data.span(), kUnit);
+
+  const tensor::AlignedBuffer<std::uint8_t> pristine = stripe;
+  const std::vector<std::size_t> erased = {2, 4};
+  std::fill_n(stripe.data() + 2 * kUnit, kUnit, 0);
+  std::fill_n(stripe.data() + 4 * kUnit, kUnit, 0);
+  codec.decode(stripe.span(), erased, kUnit);
+  ASSERT_TRUE(std::equal(pristine.span().begin(), pristine.span().end(),
+                         stripe.span().begin()));
+}
+
+TEST(Codec, UpdateUnitValidation) {
+  Codec codec(ec::CodeParams{4, 2, 8});
+  auto stripe = make_stripe(codec, 13);
+  const auto new_data = random_bytes(kUnit, 700);
+  // Parity units cannot be "updated".
+  EXPECT_THROW(codec.update_unit(stripe.span(), 4, new_data.span(), kUnit),
+               std::invalid_argument);
+  // Wrong new-data size.
+  EXPECT_THROW(codec.update_unit(stripe.span(), 0,
+                                 new_data.span().subspan(0, kUnit / 2), kUnit),
+               std::invalid_argument);
+  // Wrong stripe size.
+  EXPECT_THROW(codec.update_unit(stripe.span().subspan(0, 5 * kUnit), 0,
+                                 new_data.span(), kUnit),
+               std::invalid_argument);
+}
+
+TEST(Codec, OptimizedPlansDecodeIdentically) {
+  Codec codec(ec::CodeParams{10, 4, 8});
+  auto stripe = make_stripe(codec, 21);
+  codec.set_plan_optimization(true);
+  EXPECT_TRUE(codec.plan_optimization());
+
+  tensor::AlignedBuffer<std::uint8_t> damaged(stripe.size());
+  for (const std::vector<std::size_t>& pattern :
+       {std::vector<std::size_t>{0}, {3, 12}, {1, 5, 9, 13}}) {
+    std::copy(stripe.span().begin(), stripe.span().end(), damaged.data());
+    for (const std::size_t id : pattern)
+      std::fill_n(damaged.data() + id * kUnit, kUnit, 0);
+    codec.decode(damaged.span(), pattern, kUnit);
+    ASSERT_TRUE(std::equal(stripe.span().begin(), stripe.span().end(),
+                           damaged.span().begin()));
+  }
+  // Toggling clears the plan cache.
+  EXPECT_GT(codec.decode_cache_size(), 0u);
+  codec.set_plan_optimization(false);
+  EXPECT_EQ(codec.decode_cache_size(), 0u);
+}
+
+TEST(Codec, TuneCachedReusesLoggedSchedules) {
+  const std::string log =
+      ::testing::TempDir() + "/codec_tune_cached.log";
+  std::remove(log.c_str());
+
+  tune::TuneOptions opt;
+  opt.policy = tune::Policy::Random;
+  opt.trials = 6;
+  opt.seed = 5;
+
+  Codec first(ec::CodeParams{6, 3, 8});
+  const auto fresh = first.tune_cached(kUnit, opt, 1, log);
+  EXPECT_EQ(fresh.history.size(), 6u);
+
+  // A second codec with the same shape loads the log instead of tuning:
+  // same best schedule, and the history comes back verbatim.
+  Codec second(ec::CodeParams{6, 3, 8});
+  const auto cached = second.tune_cached(kUnit, opt, 1, log);
+  EXPECT_EQ(cached.best_schedule, fresh.best_schedule);
+  EXPECT_EQ(cached.history.size(), fresh.history.size());
+  EXPECT_EQ(second.encoder().schedule(), fresh.best_schedule);
+
+  // A different task shape tunes fresh and appends.
+  Codec other(ec::CodeParams{4, 2, 8});
+  const auto other_result = other.tune_cached(kUnit, opt, 1, log);
+  EXPECT_EQ(other_result.history.size(), 6u);
+  EXPECT_NE(other.encoder().task_shape(kUnit).m,
+            first.encoder().task_shape(kUnit).m);
+
+  // Cached codec still encodes correctly.
+  auto stripe = make_stripe(second, 77);
+  tensor::AlignedBuffer<std::uint8_t> damaged = stripe;
+  const std::vector<std::size_t> erased = {0, 4, 8};
+  for (const auto id : erased)
+    std::fill_n(damaged.data() + id * kUnit, kUnit, 0);
+  second.decode(damaged.span(), erased, kUnit);
+  EXPECT_TRUE(std::equal(stripe.span().begin(), stripe.span().end(),
+                         damaged.span().begin()));
+  std::remove(log.c_str());
+}
+
+TEST(Codec, InvalidParamsThrow) {
+  EXPECT_THROW(Codec codec(ec::CodeParams{0, 2, 8}), std::invalid_argument);
+  EXPECT_THROW(Codec codec(ec::CodeParams{300, 4, 8}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvmec::core

@@ -1,0 +1,67 @@
+#include "ec/bitmatrix_code.h"
+
+#include <gtest/gtest.h>
+
+#include "ec/reed_solomon.h"
+
+namespace tvmec::ec {
+namespace {
+
+TEST(BitmatrixCode, ShapeFollowsCoefficients) {
+  const ReedSolomon rs(CodeParams{6, 3, 8});
+  const BitmatrixCode code(rs.parity_matrix());
+  EXPECT_EQ(code.w(), 8u);
+  EXPECT_EQ(code.out_units(), 3u);
+  EXPECT_EQ(code.in_units(), 6u);
+  EXPECT_EQ(code.bits().rows(), 24u);
+  EXPECT_EQ(code.bits().cols(), 48u);
+}
+
+TEST(BitmatrixCode, OnesMatchesBitsAndDensity) {
+  const ReedSolomon rs(CodeParams{4, 2, 8});
+  const BitmatrixCode code(rs.parity_matrix());
+  EXPECT_EQ(code.ones(), code.bits().ones());
+  EXPECT_GT(code.ones(), 0u);
+  const double density = code.density();
+  EXPECT_GT(density, 0.0);
+  EXPECT_LT(density, 1.0);
+  EXPECT_DOUBLE_EQ(density, static_cast<double>(code.ones()) /
+                                (code.bits().rows() * code.bits().cols()));
+}
+
+TEST(BitmatrixCode, XorEquationsMatchBits) {
+  const ReedSolomon rs(CodeParams{5, 2, 8});
+  const BitmatrixCode code(rs.parity_matrix());
+  const auto eqs = code.xor_equations();
+  ASSERT_EQ(eqs.size(), code.bits().rows());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < eqs.size(); ++i) {
+    total += eqs[i].size();
+    for (const std::size_t j : eqs[i])
+      EXPECT_TRUE(code.bits().get(i, j));
+    // Sources must be sorted and unique.
+    for (std::size_t s = 1; s < eqs[i].size(); ++s)
+      EXPECT_LT(eqs[i][s - 1], eqs[i][s]);
+  }
+  EXPECT_EQ(total, code.ones());
+}
+
+TEST(BitmatrixCode, NoEmptyEquationForMdsParity) {
+  // Every parity bit-row of an MDS code depends on at least one input.
+  for (const unsigned w : {4u, 8u, 16u}) {
+    const ReedSolomon rs(CodeParams{4, 2, w});
+    const BitmatrixCode code(rs.parity_matrix());
+    for (const auto& eq : code.xor_equations()) EXPECT_FALSE(eq.empty());
+  }
+}
+
+TEST(BitmatrixCode, CauchyGoodIsSparserThanPlainCauchy) {
+  const CodeParams p{10, 4, 8};
+  const BitmatrixCode good(
+      ReedSolomon(p, RsFamily::CauchyGood).parity_matrix());
+  const BitmatrixCode plain(ReedSolomon(p, RsFamily::Cauchy).parity_matrix());
+  EXPECT_LT(good.ones(), plain.ones());
+}
+
+}  // namespace
+}  // namespace tvmec::ec

@@ -1,0 +1,165 @@
+#include "ec/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "ec/reed_solomon.h"
+#include "gf/bitmatrix.h"
+
+namespace tvmec::ec {
+namespace {
+
+const gf::Matrix& generator_10_4() {
+  static const ReedSolomon rs(CodeParams{10, 4, 8});
+  return rs.generator();
+}
+
+TEST(DecodePlan, ValidatesErasedIds) {
+  const auto& gen = generator_10_4();
+  EXPECT_THROW(make_decode_plan(gen, std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(make_decode_plan(gen, std::vector<std::size_t>{14}),
+               std::invalid_argument);
+  EXPECT_THROW(make_decode_plan(gen, std::vector<std::size_t>{1, 1}),
+               std::invalid_argument);
+}
+
+TEST(DecodePlan, SurvivorsExcludeErased) {
+  const auto& gen = generator_10_4();
+  const std::vector<std::size_t> erased = {2, 7, 13};
+  const auto plan = make_decode_plan(gen, erased);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->survivors.size(), 10u);
+  for (const std::size_t s : plan->survivors)
+    for (const std::size_t e : erased) EXPECT_NE(s, e);
+  EXPECT_EQ(plan->erased, erased);
+  EXPECT_EQ(plan->recovery.rows(), 3u);
+  EXPECT_EQ(plan->recovery.cols(), 10u);
+}
+
+TEST(DecodePlan, MdsPicksFirstKSurvivors) {
+  const auto& gen = generator_10_4();
+  const std::vector<std::size_t> erased = {0, 5};
+  const auto plan = make_decode_plan(gen, erased);
+  ASSERT_TRUE(plan.has_value());
+  // For an MDS code every survivor adds rank, so the greedy choice is
+  // simply the first k survivors in id order.
+  const std::vector<std::size_t> expect = {1, 2, 3, 4, 6, 7, 8, 9, 10, 11};
+  EXPECT_EQ(plan->survivors, expect);
+}
+
+TEST(DecodePlan, TooManyErasuresUnrecoverable) {
+  const auto& gen = generator_10_4();
+  const std::vector<std::size_t> erased = {0, 1, 2, 3, 4};  // 5 > r=4
+  EXPECT_FALSE(make_decode_plan(gen, erased).has_value());
+}
+
+/// Algebraic identity: recovery * G[survivors] must equal G[erased]
+/// (both map data -> erased units), for every erasure pattern size.
+TEST(DecodePlan, RecoveryMatrixIsAlgebraicallyConsistent) {
+  const auto& gen = generator_10_4();
+  for (const std::vector<std::size_t>& erased :
+       {std::vector<std::size_t>{0}, {13}, {0, 13}, {1, 2, 3}, {9, 10, 11, 12}}) {
+    const auto plan = make_decode_plan(gen, erased);
+    ASSERT_TRUE(plan.has_value());
+    const gf::Matrix survivor_rows = gen.select_rows(plan->survivors);
+    const gf::Matrix erased_rows = gen.select_rows(plan->erased);
+    EXPECT_EQ(plan->recovery.mul(survivor_rows), erased_rows);
+  }
+}
+
+TEST(DecodePlan, ParityOnlyErasureRecoversViaReencode) {
+  // Erasing only parities: the recovery rows must equal the parity rows
+  // of the generator restricted to surviving data (here all data lives).
+  const auto& gen = generator_10_4();
+  const std::vector<std::size_t> erased = {10, 12};
+  const auto plan = make_decode_plan(gen, erased);
+  ASSERT_TRUE(plan.has_value());
+  // Survivors 0..9 are exactly the data units; the recovery matrix must
+  // then be the corresponding parity coefficient rows.
+  EXPECT_EQ(plan->recovery, gen.select_rows(erased));
+}
+
+TEST(DecodePlanOptimized, NeverDenserThanGreedyPlan) {
+  const auto& gen = generator_10_4();
+  for (const std::vector<std::size_t>& erased :
+       {std::vector<std::size_t>{0}, {7}, {13}, {0, 5}, {2, 11}}) {
+    const auto greedy = make_decode_plan(gen, erased);
+    const auto opt = make_decode_plan_optimized(gen, erased);
+    ASSERT_TRUE(greedy.has_value());
+    ASSERT_TRUE(opt.has_value());
+    std::size_t greedy_ones = 0, opt_ones = 0;
+    for (std::size_t i = 0; i < erased.size(); ++i) {
+      greedy_ones += gf::row_bitmatrix_ones(greedy->recovery, i);
+      opt_ones += gf::row_bitmatrix_ones(opt->recovery, i);
+    }
+    EXPECT_LE(opt_ones, greedy_ones);
+  }
+}
+
+TEST(DecodePlanOptimized, FindsStrictlyCheaperSingleFailureRepair) {
+  // For single-data-unit repair of a (10,4) Cauchy code, survivor choice
+  // genuinely matters; the exhaustive search must beat the greedy pick.
+  const auto& gen = generator_10_4();
+  const std::vector<std::size_t> erased = {0};
+  const auto greedy = make_decode_plan(gen, erased);
+  const auto opt =
+      make_decode_plan_optimized(gen, erased, /*max_subsets=*/100000);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_LT(gf::row_bitmatrix_ones(opt->recovery, 0),
+            gf::row_bitmatrix_ones(greedy->recovery, 0));
+}
+
+TEST(DecodePlanOptimized, PlanIsStillAlgebraicallyConsistent) {
+  const auto& gen = generator_10_4();
+  const std::vector<std::size_t> erased = {3, 12};
+  const auto plan = make_decode_plan_optimized(gen, erased);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->recovery.mul(gen.select_rows(plan->survivors)),
+            gen.select_rows(plan->erased));
+}
+
+TEST(DecodePlanOptimized, NoChoiceMeansGreedyPlan) {
+  // Erase r units: exactly k survivors remain, so there is nothing to
+  // optimize and the plans coincide.
+  const auto& gen = generator_10_4();
+  const std::vector<std::size_t> erased = {0, 1, 2, 3};
+  const auto greedy = make_decode_plan(gen, erased);
+  const auto opt = make_decode_plan_optimized(gen, erased);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->survivors, greedy->survivors);
+  EXPECT_EQ(opt->recovery, greedy->recovery);
+}
+
+TEST(DecodePlanOptimized, UnrecoverableStaysUnrecoverable) {
+  const auto& gen = generator_10_4();
+  const std::vector<std::size_t> erased = {0, 1, 2, 3, 4};
+  EXPECT_FALSE(make_decode_plan_optimized(gen, erased).has_value());
+}
+
+TEST(DecodePlan, WorksOnRankDeficientGenerators) {
+  // A generator with a duplicated row (non-MDS): the tracker must skip
+  // the dependent row and still find an invertible set when one exists.
+  const gf::Field& f = gf::Field::of(8);
+  gf::Matrix gen(f, 5, 3);
+  // rows: e0, e1, e1 (duplicate), e2, sum
+  gen.set(0, 0, 1);
+  gen.set(1, 1, 1);
+  gen.set(2, 1, 1);
+  gen.set(3, 2, 1);
+  gen.set(4, 0, 1);
+  gen.set(4, 1, 1);
+  gen.set(4, 2, 1);
+
+  // Erase unit 0: survivors {1,2,3,4}; rows 1 and 2 are dependent, so the
+  // plan must use rows {1,3,4}.
+  const auto plan = make_decode_plan(gen, std::vector<std::size_t>{0});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->survivors, (std::vector<std::size_t>{1, 3, 4}));
+
+  // Erase units 0 and 4: survivors {1,2,3} have rank 2 -> unrecoverable.
+  EXPECT_FALSE(
+      make_decode_plan(gen, std::vector<std::size_t>{0, 4}).has_value());
+}
+
+}  // namespace
+}  // namespace tvmec::ec

@@ -1,0 +1,174 @@
+#include "ec/lrc.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "ec/reed_solomon.h"
+
+namespace tvmec::ec {
+namespace {
+
+using testutil::random_bytes;
+
+LrcParams azure_style() { return LrcParams{12, 2, 2, 8}; }
+
+TEST(LrcParams, Validation) {
+  EXPECT_NO_THROW(azure_style().validate());
+  EXPECT_THROW((LrcParams{12, 5, 2, 8}).validate(), std::invalid_argument);
+  EXPECT_THROW((LrcParams{0, 1, 1, 8}).validate(), std::invalid_argument);
+  EXPECT_THROW((LrcParams{12, 2, 2, 7}).validate(), std::invalid_argument);
+  EXPECT_THROW((LrcParams{15, 3, 2, 4}).validate(), std::invalid_argument);
+}
+
+TEST(Lrc, GeneratorStructure) {
+  const Lrc lrc(azure_style());
+  const auto& gen = lrc.generator();
+  ASSERT_EQ(gen.rows(), 16u);
+  ASSERT_EQ(gen.cols(), 12u);
+  // Identity top.
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j)
+      ASSERT_EQ(gen.at(i, j), i == j ? 1 : 0);
+  // Local parity rows: coefficient 1 on the group, 0 elsewhere.
+  for (std::size_t grp = 0; grp < 2; ++grp)
+    for (std::size_t j = 0; j < 12; ++j)
+      ASSERT_EQ(gen.at(12 + grp, j), j / 6 == grp ? 1 : 0);
+  // Global rows: all nonzero (Cauchy).
+  for (std::size_t i = 14; i < 16; ++i)
+    for (std::size_t j = 0; j < 12; ++j) ASSERT_NE(gen.at(i, j), 0);
+}
+
+TEST(Lrc, GroupAssignment) {
+  const Lrc lrc(azure_style());
+  EXPECT_EQ(lrc.group_of(0), 0u);
+  EXPECT_EQ(lrc.group_of(5), 0u);
+  EXPECT_EQ(lrc.group_of(6), 1u);
+  EXPECT_EQ(lrc.group_of(12), 0u);  // local parity of group 0
+  EXPECT_EQ(lrc.group_of(13), 1u);
+  EXPECT_FALSE(lrc.group_of(14).has_value());  // global parity
+}
+
+TEST(Lrc, LocalParityIsGroupXor) {
+  const LrcParams p = azure_style();
+  const Lrc lrc(p);
+  const std::size_t unit = 64;
+  const auto data = random_bytes(p.k * unit, 77);
+  std::vector<std::uint8_t> parity((p.l + p.g) * unit);
+  lrc.encode_reference(data.span(), parity, unit);
+  for (std::size_t grp = 0; grp < p.l; ++grp) {
+    for (std::size_t b = 0; b < unit; ++b) {
+      std::uint8_t expect = 0;
+      for (std::size_t j = 0; j < p.group_size(); ++j)
+        expect ^= data[(grp * p.group_size() + j) * unit + b];
+      ASSERT_EQ(parity[grp * unit + b], expect);
+    }
+  }
+}
+
+/// A single failed unit (data or local parity) is repaired reading only
+/// its group — the defining locality property.
+TEST(Lrc, LocalRepairReadsOnlyTheGroup) {
+  const LrcParams p = azure_style();
+  const Lrc lrc(p);
+  const std::size_t unit = 64;
+  const auto data = random_bytes(p.k * unit, 78);
+  std::vector<std::uint8_t> stripe(p.n() * unit);
+  std::copy(data.span().begin(), data.span().end(), stripe.begin());
+  lrc.encode_reference(data.span(),
+                       std::span<std::uint8_t>(stripe).subspan(p.k * unit),
+                       unit);
+
+  for (std::size_t failed = 0; failed < p.k + p.l; ++failed) {
+    const auto plan = lrc.local_repair_plan(failed);
+    ASSERT_TRUE(plan.has_value()) << "unit " << failed;
+    // Locality: exactly group_size() reads instead of k.
+    EXPECT_EQ(plan->survivors.size(), p.group_size());
+    const auto grp = lrc.group_of(failed);
+    for (const std::size_t s : plan->survivors) {
+      EXPECT_NE(s, failed);
+      EXPECT_EQ(lrc.group_of(s), grp) << "read outside the group";
+    }
+    // Correctness of the rebuilt unit.
+    std::vector<std::uint8_t> survivors(plan->survivors.size() * unit);
+    for (std::size_t i = 0; i < plan->survivors.size(); ++i)
+      std::copy_n(
+          stripe.begin() + static_cast<std::ptrdiff_t>(plan->survivors[i] * unit),
+          unit, survivors.begin() + static_cast<std::ptrdiff_t>(i * unit));
+    std::vector<std::uint8_t> rebuilt(unit);
+    apply_matrix_reference(plan->recovery, survivors, rebuilt, unit);
+    ASSERT_TRUE(std::equal(rebuilt.begin(), rebuilt.end(),
+                           stripe.begin() +
+                               static_cast<std::ptrdiff_t>(failed * unit)));
+  }
+}
+
+TEST(Lrc, GlobalParityHasNoLocalPlan) {
+  const Lrc lrc(azure_style());
+  EXPECT_FALSE(lrc.local_repair_plan(14).has_value());
+  EXPECT_FALSE(lrc.local_repair_plan(15).has_value());
+  EXPECT_THROW(lrc.local_repair_plan(16), std::invalid_argument);
+}
+
+/// Guaranteed-decodable classes: any <= g failures anywhere, and one
+/// failure per group handled by locals.
+TEST(Lrc, AnyUpToGFailuresDecodable) {
+  const LrcParams p = azure_style();
+  const Lrc lrc(p);
+  for (const auto& pattern : testutil::erasure_patterns(p.n(), p.g)) {
+    EXPECT_TRUE(lrc.decode_plan(pattern).has_value())
+        << "pattern {" << pattern[0] << "," << pattern[1] << "}";
+  }
+}
+
+TEST(Lrc, DecodePlansRecoverExactBytes) {
+  const LrcParams p{8, 2, 2, 8};
+  const Lrc lrc(p);
+  const std::size_t unit = 64;
+  const auto data = random_bytes(p.k * unit, 79);
+  std::vector<std::uint8_t> stripe(p.n() * unit);
+  std::copy(data.span().begin(), data.span().end(), stripe.begin());
+  lrc.encode_reference(data.span(),
+                       std::span<std::uint8_t>(stripe).subspan(p.k * unit),
+                       unit);
+
+  // Sample patterns of size up to g + l = 4 and verify every decodable one.
+  std::size_t decodable = 0;
+  for (std::size_t e = 1; e <= p.g + p.l; ++e) {
+    for (const auto& pattern : testutil::erasure_patterns(p.n(), e)) {
+      const auto plan = lrc.decode_plan(pattern);
+      if (!plan) continue;
+      ++decodable;
+      std::vector<std::uint8_t> survivors(plan->survivors.size() * unit);
+      for (std::size_t i = 0; i < plan->survivors.size(); ++i)
+        std::copy_n(stripe.begin() + static_cast<std::ptrdiff_t>(
+                                         plan->survivors[i] * unit),
+                    unit,
+                    survivors.begin() + static_cast<std::ptrdiff_t>(i * unit));
+      std::vector<std::uint8_t> recovered(pattern.size() * unit);
+      apply_matrix_reference(plan->recovery, survivors, recovered, unit);
+      for (std::size_t i = 0; i < pattern.size(); ++i)
+        ASSERT_TRUE(std::equal(
+            recovered.begin() + static_cast<std::ptrdiff_t>(i * unit),
+            recovered.begin() + static_cast<std::ptrdiff_t>((i + 1) * unit),
+            stripe.begin() + static_cast<std::ptrdiff_t>(pattern[i] * unit)));
+    }
+  }
+  EXPECT_GT(decodable, 100u);  // most small patterns are decodable
+}
+
+/// The storage-efficiency motivation: an LRC repairs a single failure
+/// with fewer reads than the RS code of equal fault tolerance.
+TEST(Lrc, LocalityBeatsRs) {
+  const LrcParams p = azure_style();
+  const Lrc lrc(p);
+  const auto plan = lrc.local_repair_plan(3);
+  ASSERT_TRUE(plan.has_value());
+  const ReedSolomon rs(CodeParams{p.k, p.g + p.l, 8});
+  const auto rs_plan =
+      make_decode_plan(rs.generator(), std::vector<std::size_t>{3});
+  ASSERT_TRUE(rs_plan.has_value());
+  EXPECT_LT(plan->survivors.size(), rs_plan->survivors.size());
+}
+
+}  // namespace
+}  // namespace tvmec::ec

@@ -1,0 +1,164 @@
+#include "ec/reed_solomon.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "ec/decoder.h"
+
+namespace tvmec::ec {
+namespace {
+
+using testutil::random_bytes;
+
+TEST(CodeParams, Validation) {
+  EXPECT_NO_THROW((CodeParams{10, 4, 8}).validate());
+  EXPECT_THROW((CodeParams{0, 4, 8}).validate(), std::invalid_argument);
+  EXPECT_THROW((CodeParams{10, 0, 8}).validate(), std::invalid_argument);
+  EXPECT_THROW((CodeParams{10, 4, 7}).validate(), std::invalid_argument);
+  EXPECT_THROW((CodeParams{14, 4, 4}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((CodeParams{12, 4, 4}).validate());
+}
+
+TEST(CodeParams, PacketBytes) {
+  const CodeParams p{10, 4, 8};
+  EXPECT_EQ(packet_bytes(p, 1024), 128u);
+  EXPECT_THROW(packet_bytes(p, 1000), std::invalid_argument);
+  EXPECT_THROW(packet_bytes(p, 0), std::invalid_argument);
+  const CodeParams p16{10, 4, 16};
+  EXPECT_EQ(packet_bytes(p16, 2048), 128u);
+  EXPECT_THROW(packet_bytes(p16, 1024 + 64), std::invalid_argument);
+}
+
+struct RsCase {
+  CodeParams params;
+  RsFamily family;
+};
+
+class ReedSolomonTest : public ::testing::TestWithParam<RsCase> {};
+
+TEST_P(ReedSolomonTest, GeneratorIsSystematic) {
+  const ReedSolomon rs(GetParam().params, GetParam().family);
+  const auto& gen = rs.generator();
+  const auto& p = GetParam().params;
+  ASSERT_EQ(gen.rows(), p.n());
+  ASSERT_EQ(gen.cols(), p.k);
+  for (std::size_t i = 0; i < p.k; ++i)
+    for (std::size_t j = 0; j < p.k; ++j)
+      ASSERT_EQ(gen.at(i, j), i == j ? 1 : 0) << "not systematic";
+}
+
+TEST_P(ReedSolomonTest, ParityMatrixIsBottomBlock) {
+  const ReedSolomon rs(GetParam().params, GetParam().family);
+  const auto parity = rs.parity_matrix();
+  const auto& p = GetParam().params;
+  ASSERT_EQ(parity.rows(), p.r);
+  for (std::size_t i = 0; i < p.r; ++i)
+    for (std::size_t j = 0; j < p.k; ++j)
+      ASSERT_EQ(parity.at(i, j), rs.generator().at(p.k + i, j));
+}
+
+/// Encode, erase every possible pattern of up to r units, decode with the
+/// recovery plan and the reference applier, and demand exact recovery.
+/// This is the fundamental erasure-code contract, checked exhaustively.
+TEST_P(ReedSolomonTest, AllErasurePatternsRecoverExactly) {
+  const auto& p = GetParam().params;
+  const ReedSolomon rs(p, GetParam().family);
+  const std::size_t unit = 8 * p.w;  // one word per packet: small but real
+  const auto data = random_bytes(p.k * unit, 0xABC + p.k);
+
+  // Build the full stripe: data + parity.
+  std::vector<std::uint8_t> stripe(p.n() * unit);
+  std::copy(data.span().begin(), data.span().end(), stripe.begin());
+  rs.encode_reference(data.span(),
+                      std::span<std::uint8_t>(stripe).subspan(p.k * unit),
+                      unit);
+
+  for (std::size_t e = 1; e <= p.r; ++e) {
+    for (const auto& pattern : testutil::erasure_patterns(p.n(), e)) {
+      const auto plan = make_decode_plan(rs.generator(), pattern);
+      ASSERT_TRUE(plan.has_value()) << "MDS code failed a <= r pattern";
+      // Gather survivors, apply the recovery matrix.
+      std::vector<std::uint8_t> survivors(plan->survivors.size() * unit);
+      for (std::size_t i = 0; i < plan->survivors.size(); ++i)
+        std::copy_n(stripe.begin() +
+                        static_cast<std::ptrdiff_t>(plan->survivors[i] * unit),
+                    unit, survivors.begin() + static_cast<std::ptrdiff_t>(i * unit));
+      std::vector<std::uint8_t> recovered(pattern.size() * unit);
+      apply_matrix_reference(plan->recovery, survivors, recovered, unit);
+      for (std::size_t i = 0; i < pattern.size(); ++i)
+        ASSERT_TRUE(std::equal(
+            recovered.begin() + static_cast<std::ptrdiff_t>(i * unit),
+            recovered.begin() + static_cast<std::ptrdiff_t>((i + 1) * unit),
+            stripe.begin() + static_cast<std::ptrdiff_t>(pattern[i] * unit)))
+            << "unit " << pattern[i] << " not recovered";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, ReedSolomonTest,
+    ::testing::Values(RsCase{{4, 2, 8}, RsFamily::CauchyGood},
+                      RsCase{{4, 2, 8}, RsFamily::Cauchy},
+                      RsCase{{4, 2, 8}, RsFamily::VandermondeSystematic},
+                      RsCase{{4, 2, 8}, RsFamily::CauchyBest},
+                      RsCase{{6, 3, 8}, RsFamily::CauchyGood},
+                      RsCase{{6, 3, 8}, RsFamily::CauchyBest},
+                      RsCase{{10, 4, 8}, RsFamily::CauchyGood},
+                      RsCase{{5, 2, 4}, RsFamily::Cauchy},
+                      RsCase{{6, 2, 16}, RsFamily::VandermondeSystematic}),
+    [](const auto& info) {
+      std::string name = to_string(info.param.family);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name + "_k" + std::to_string(info.param.params.k) + "r" +
+             std::to_string(info.param.params.r) + "w" +
+             std::to_string(info.param.params.w);
+    });
+
+TEST(ReedSolomon, EncodeReferenceSizeChecks) {
+  const ReedSolomon rs(CodeParams{4, 2, 8});
+  std::vector<std::uint8_t> data(4 * 64), parity(2 * 64);
+  EXPECT_NO_THROW(rs.encode_reference(data, parity, 64));
+  EXPECT_THROW(rs.encode_reference(data, parity, 32), std::invalid_argument);
+  std::vector<std::uint8_t> short_parity(64);
+  EXPECT_THROW(rs.encode_reference(data, short_parity, 64),
+               std::invalid_argument);
+}
+
+TEST(ReedSolomon, EncodingIsLinear) {
+  // encode(a ^ b) == encode(a) ^ encode(b): linearity over GF(2).
+  const CodeParams p{5, 3, 8};
+  const ReedSolomon rs(p);
+  const std::size_t unit = 128;
+  const auto a = random_bytes(p.k * unit, 1);
+  const auto b = random_bytes(p.k * unit, 2);
+  std::vector<std::uint8_t> ab(p.k * unit);
+  for (std::size_t i = 0; i < ab.size(); ++i) ab[i] = a[i] ^ b[i];
+
+  std::vector<std::uint8_t> pa(p.r * unit), pb(p.r * unit), pab(p.r * unit);
+  rs.encode_reference(a.span(), pa, unit);
+  rs.encode_reference(b.span(), pb, unit);
+  rs.encode_reference(ab, pab, unit);
+  for (std::size_t i = 0; i < pab.size(); ++i)
+    ASSERT_EQ(pab[i], pa[i] ^ pb[i]);
+}
+
+TEST(ReedSolomon, ZeroDataGivesZeroParity) {
+  const CodeParams p{4, 2, 8};
+  const ReedSolomon rs(p);
+  std::vector<std::uint8_t> data(4 * 64, 0), parity(2 * 64, 0xFF);
+  rs.encode_reference(data, parity, 64);
+  for (const auto b : parity) EXPECT_EQ(b, 0);
+}
+
+TEST(ApplyMatrixReference, IdentityPassesThrough) {
+  const gf::Field& f = gf::Field::of(8);
+  const auto id = gf::Matrix::identity(f, 3);
+  const auto src = random_bytes(3 * 32, 5);
+  std::vector<std::uint8_t> dst(3 * 32);
+  apply_matrix_reference(id, src.span(), dst, 32);
+  EXPECT_TRUE(std::equal(dst.begin(), dst.end(), src.span().begin()));
+}
+
+}  // namespace
+}  // namespace tvmec::ec

@@ -1,0 +1,181 @@
+#include "gf/bitmatrix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace tvmec::gf {
+namespace {
+
+TEST(BitMatrix, ConstructionAndBits) {
+  BitMatrix m(3, 70);  // spans two words per row
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 70u);
+  EXPECT_EQ(m.words_per_row(), 2u);
+  EXPECT_FALSE(m.get(2, 69));
+  m.set(2, 69, true);
+  EXPECT_TRUE(m.get(2, 69));
+  m.set(2, 69, false);
+  EXPECT_FALSE(m.get(2, 69));
+  EXPECT_THROW(m.get(3, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 70, true), std::out_of_range);
+  EXPECT_THROW(BitMatrix(0, 1), std::invalid_argument);
+}
+
+TEST(BitMatrix, OnesCounting) {
+  BitMatrix m(2, 100);
+  EXPECT_EQ(m.ones(), 0u);
+  m.set(0, 0, true);
+  m.set(0, 64, true);
+  m.set(1, 99, true);
+  EXPECT_EQ(m.ones(), 3u);
+  EXPECT_EQ(m.row_ones(0), 2u);
+  EXPECT_EQ(m.row_ones(1), 1u);
+}
+
+TEST(BitMatrix, IdentityMulIsNeutral) {
+  std::mt19937_64 rng(1);
+  BitMatrix m(8, 8);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) m.set(i, j, rng() & 1);
+  const BitMatrix id = BitMatrix::identity(8);
+  EXPECT_EQ(m.mul(id), m);
+  EXPECT_EQ(id.mul(m), m);
+}
+
+class ElementBlockTest : public ::testing::TestWithParam<unsigned> {};
+
+/// The defining property of the Bloemer/Plank expansion: multiplying the
+/// bit-vector of b by the block of e yields the bit-vector of e*b.
+TEST_P(ElementBlockTest, BlockActionMatchesFieldMul) {
+  const unsigned w = GetParam();
+  const Field& f = Field::of(w);
+  std::mt19937_64 rng(w);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  for (int trial = 0; trial < 300; ++trial) {
+    const elem_t e = static_cast<elem_t>(dist(rng));
+    const elem_t b = static_cast<elem_t>(dist(rng));
+    const BitMatrix block = BitMatrix::element_block(f, e);
+    std::vector<std::uint8_t> b_bits(w);
+    for (unsigned i = 0; i < w; ++i) b_bits[i] = (b >> i) & 1;
+    const std::vector<std::uint8_t> prod_bits = block.mul_vec(b_bits);
+    elem_t prod = 0;
+    for (unsigned i = 0; i < w; ++i)
+      prod = static_cast<elem_t>(prod | (prod_bits[i] << i));
+    ASSERT_EQ(prod, f.mul(e, b)) << "e=" << e << " b=" << b;
+  }
+}
+
+TEST_P(ElementBlockTest, BlockOfOneIsIdentity) {
+  const unsigned w = GetParam();
+  EXPECT_EQ(BitMatrix::element_block(Field::of(w), 1), BitMatrix::identity(w));
+}
+
+TEST_P(ElementBlockTest, BlockOfNonzeroIsInvertible) {
+  const unsigned w = GetParam();
+  const Field& f = Field::of(w);
+  std::mt19937_64 rng(w + 100);
+  std::uniform_int_distribution<std::uint32_t> dist(1, f.max_elem());
+  for (int trial = 0; trial < 50; ++trial) {
+    const elem_t e = static_cast<elem_t>(dist(rng));
+    const auto inv = BitMatrix::element_block(f, e).inverted();
+    ASSERT_TRUE(inv.has_value());
+    // The inverse block must be the block of the inverse element.
+    EXPECT_EQ(*inv, BitMatrix::element_block(f, f.inv(e)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, ElementBlockTest,
+                         ::testing::Values(4u, 8u, 16u),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(BitMatrixExpansion, MatchesGfMatrixAction) {
+  const Field& f = Field::of(8);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 255);
+  Matrix m(f, 3, 5);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      m.set(i, j, static_cast<elem_t>(dist(rng)));
+  const BitMatrix bits = BitMatrix::from_gf_matrix(m);
+  ASSERT_EQ(bits.rows(), 24u);
+  ASSERT_EQ(bits.cols(), 40u);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<elem_t> x(5);
+    for (auto& v : x) v = static_cast<elem_t>(dist(rng));
+    const std::vector<elem_t> y = m.mul_vec(x);
+    // The bit-level product must equal the element-level product bitwise.
+    std::vector<std::uint8_t> x_bits(40);
+    for (std::size_t j = 0; j < 5; ++j)
+      for (unsigned b = 0; b < 8; ++b) x_bits[j * 8 + b] = (x[j] >> b) & 1;
+    const std::vector<std::uint8_t> y_bits = bits.mul_vec(x_bits);
+    for (std::size_t i = 0; i < 3; ++i)
+      for (unsigned b = 0; b < 8; ++b)
+        ASSERT_EQ(y_bits[i * 8 + b], (y[i] >> b) & 1)
+            << "unit " << i << " bit " << b;
+  }
+}
+
+TEST(BitMatrixInverse, RoundTripOnExpandedMatrices) {
+  const Field& f = Field::of(8);
+  std::mt19937_64 rng(8);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 255);
+  int tested = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix m(f, 4, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = 0; j < 4; ++j)
+        m.set(i, j, static_cast<elem_t>(dist(rng)));
+    const auto gf_inv = m.inverted();
+    if (!gf_inv) continue;
+    ++tested;
+    const BitMatrix bits = BitMatrix::from_gf_matrix(m);
+    const auto bit_inv = bits.inverted();
+    ASSERT_TRUE(bit_inv.has_value());
+    // Inversion commutes with expansion.
+    EXPECT_EQ(*bit_inv, BitMatrix::from_gf_matrix(*gf_inv));
+    EXPECT_EQ(bits.mul(*bit_inv), BitMatrix::identity(32));
+  }
+  EXPECT_GT(tested, 5);
+}
+
+TEST(BitMatrixInverse, SingularReturnsNullopt) {
+  BitMatrix m(4, 4);  // zero matrix
+  EXPECT_FALSE(m.inverted().has_value());
+}
+
+TEST(BitMatrix, SelectRows) {
+  BitMatrix m(4, 10);
+  m.set(1, 3, true);
+  m.set(3, 9, true);
+  const std::vector<std::size_t> ids = {3, 1};
+  const BitMatrix sel = m.select_rows(ids);
+  ASSERT_EQ(sel.rows(), 2u);
+  EXPECT_TRUE(sel.get(0, 9));
+  EXPECT_TRUE(sel.get(1, 3));
+  EXPECT_EQ(sel.ones(), 2u);
+  const std::vector<std::size_t> bad = {4};
+  EXPECT_THROW(m.select_rows(bad), std::out_of_range);
+}
+
+TEST(RowBitmatrixOnes, MatchesFullExpansion) {
+  const Field& f = Field::of(8);
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 255);
+  Matrix m(f, 3, 6);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      m.set(i, j, static_cast<elem_t>(dist(rng)));
+  const BitMatrix bits = BitMatrix::from_gf_matrix(m);
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::size_t expect = 0;
+    for (unsigned b = 0; b < 8; ++b) expect += bits.row_ones(i * 8 + b);
+    EXPECT_EQ(row_bitmatrix_ones(m, i), expect);
+  }
+}
+
+}  // namespace
+}  // namespace tvmec::gf

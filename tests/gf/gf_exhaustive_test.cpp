@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "gf/gf.h"
+
+/// Exhaustive verification of the small fields: every operation on every
+/// element (or element pair) is checked against the carry-less reference.
+/// GF(2^4) is fully exhaustive over pairs; GF(2^8) is exhaustive over
+/// pairs too (65536 products); GF(2^16) is covered by the sampled
+/// property tests in gf_test.cpp.
+namespace tvmec::gf {
+namespace {
+
+TEST(ExhaustiveW4, EveryProductMatchesReference) {
+  const Field& f = Field::of(4);
+  for (std::uint32_t a = 0; a < 16; ++a)
+    for (std::uint32_t b = 0; b < 16; ++b)
+      ASSERT_EQ(f.mul(static_cast<elem_t>(a), static_cast<elem_t>(b)),
+                mul_slow(4, static_cast<elem_t>(a), static_cast<elem_t>(b)))
+          << a << "*" << b;
+}
+
+TEST(ExhaustiveW4, EveryDivisionInvertsMultiplication) {
+  const Field& f = Field::of(4);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    for (std::uint32_t b = 1; b < 16; ++b) {
+      const elem_t q = f.div(static_cast<elem_t>(a), static_cast<elem_t>(b));
+      ASSERT_EQ(f.mul(q, static_cast<elem_t>(b)), a);
+    }
+  }
+}
+
+TEST(ExhaustiveW4, ElementOrderDividesGroupOrder) {
+  // Lagrange: the multiplicative order of every nonzero element divides
+  // 15; and alpha (=2) must have full order (primitive polynomial).
+  const Field& f = Field::of(4);
+  for (std::uint32_t a = 1; a < 16; ++a) {
+    elem_t x = static_cast<elem_t>(a);
+    unsigned order = 1;
+    while (x != 1) {
+      x = f.mul(x, static_cast<elem_t>(a));
+      ++order;
+      ASSERT_LE(order, 15u);
+    }
+    EXPECT_EQ(15 % order, 0u) << "element " << a;
+  }
+  elem_t x = 2;
+  unsigned order = 1;
+  while (x != 1) {
+    x = f.mul(x, 2);
+    ++order;
+  }
+  EXPECT_EQ(order, 15u);
+}
+
+TEST(ExhaustiveW8, EveryProductMatchesReference) {
+  const Field& f = Field::of(8);
+  for (std::uint32_t a = 0; a < 256; ++a)
+    for (std::uint32_t b = 0; b < 256; ++b)
+      ASSERT_EQ(f.mul(static_cast<elem_t>(a), static_cast<elem_t>(b)),
+                mul_slow(8, static_cast<elem_t>(a), static_cast<elem_t>(b)))
+          << a << "*" << b;
+}
+
+TEST(ExhaustiveW8, FrobeniusIsLinear) {
+  // x -> x^2 is additive in characteristic 2: (a+b)^2 = a^2 + b^2.
+  const Field& f = Field::of(8);
+  for (std::uint32_t a = 0; a < 256; ++a)
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      const elem_t lhs = f.mul(static_cast<elem_t>(a ^ b),
+                               static_cast<elem_t>(a ^ b));
+      const elem_t rhs = static_cast<elem_t>(
+          f.mul(static_cast<elem_t>(a), static_cast<elem_t>(a)) ^
+          f.mul(static_cast<elem_t>(b), static_cast<elem_t>(b)));
+      ASSERT_EQ(lhs, rhs);
+    }
+}
+
+TEST(ExhaustiveW16, SampledAgainstReferenceOnStructuredInputs) {
+  // Not all 2^32 pairs, but every pair among the "interesting" values:
+  // low, high, powers of two, and the polynomial's bit patterns.
+  const Field& f = Field::of(16);
+  std::vector<elem_t> vals = {0, 1, 2, 3, 0x000F, 0x00FF, 0x0FFF,
+                              0xFFFF, 0x8000, 0x8001, 0x100B & 0xFFFF};
+  for (unsigned b = 0; b < 16; ++b) vals.push_back(static_cast<elem_t>(1u << b));
+  for (const elem_t a : vals)
+    for (const elem_t b : vals)
+      ASSERT_EQ(f.mul(a, b), mul_slow(16, a, b)) << a << "*" << b;
+}
+
+}  // namespace
+}  // namespace tvmec::gf

@@ -1,0 +1,233 @@
+#include "gf/gf_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "gf/bitmatrix.h"
+
+namespace tvmec::gf {
+namespace {
+
+Matrix random_matrix(const Field& f, std::size_t rows, std::size_t cols,
+                     std::uint64_t seed) {
+  Matrix m(f, rows, cols);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      m.set(i, j, static_cast<elem_t>(dist(rng)));
+  return m;
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  const Field& f = Field::of(8);
+  Matrix m(f, 3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.at(2, 3), 0);
+  m.set(2, 3, 7);
+  EXPECT_EQ(m.at(2, 3), 7);
+  EXPECT_THROW(m.at(3, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 4, 1), std::out_of_range);
+  EXPECT_THROW(Matrix(f, 0, 4), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityIsMulNeutral) {
+  const Field& f = Field::of(8);
+  const Matrix m = random_matrix(f, 5, 5, 10);
+  const Matrix id = Matrix::identity(f, 5);
+  EXPECT_EQ(m.mul(id), m);
+  EXPECT_EQ(id.mul(m), m);
+}
+
+TEST(Matrix, MulShapeMismatchThrows) {
+  const Field& f = Field::of(8);
+  const Matrix a = random_matrix(f, 3, 4, 11);
+  const Matrix b = random_matrix(f, 3, 4, 12);
+  EXPECT_THROW(a.mul(b), std::invalid_argument);
+}
+
+TEST(Matrix, MulVecAgainstManual) {
+  const Field& f = Field::of(8);
+  const Matrix m = random_matrix(f, 4, 3, 13);
+  const std::vector<elem_t> x = {5, 9, 200};
+  const std::vector<elem_t> y = m.mul_vec(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    elem_t acc = 0;
+    for (std::size_t j = 0; j < 3; ++j)
+      acc = Field::add(acc, f.mul(m.at(i, j), x[j]));
+    EXPECT_EQ(y[i], acc);
+  }
+}
+
+class MatrixFieldTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  const Field& field() const { return Field::of(GetParam()); }
+};
+
+TEST_P(MatrixFieldTest, InverseRoundTrip) {
+  const Field& f = field();
+  std::mt19937_64 seed_rng(GetParam());
+  int inverted = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Matrix m = random_matrix(f, 6, 6, seed_rng());
+    const auto inv = m.inverted();
+    if (!inv) continue;  // singular random matrices happen
+    ++inverted;
+    EXPECT_EQ(m.mul(*inv), Matrix::identity(f, 6));
+    EXPECT_EQ(inv->mul(m), Matrix::identity(f, 6));
+  }
+  EXPECT_GT(inverted, 10);  // random GF matrices are usually invertible
+}
+
+TEST_P(MatrixFieldTest, SingularMatrixReturnsNullopt) {
+  const Field& f = field();
+  Matrix m = random_matrix(f, 4, 4, 99);
+  // Duplicate a row: guaranteed singular.
+  for (std::size_t j = 0; j < 4; ++j) m.set(3, j, m.at(0, j));
+  EXPECT_FALSE(m.inverted().has_value());
+}
+
+TEST_P(MatrixFieldTest, VandermondeTopSquareInvertible) {
+  const Field& f = field();
+  const Matrix v = Matrix::vandermonde(f, 8, 5);
+  std::vector<std::size_t> ids(5);
+  std::iota(ids.begin(), ids.end(), 0);
+  EXPECT_TRUE(v.select_rows(ids).inverted().has_value());
+}
+
+TEST_P(MatrixFieldTest, CauchyAllEntriesNonzero) {
+  const Matrix c = Matrix::cauchy(field(), 4, 8);
+  for (std::size_t i = 0; i < c.rows(); ++i)
+    for (std::size_t j = 0; j < c.cols(); ++j) EXPECT_NE(c.at(i, j), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, MatrixFieldTest,
+                         ::testing::Values(4u, 8u, 16u),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+struct RsShape {
+  std::size_t k;
+  std::size_t r;
+  unsigned w;
+};
+
+class GeneratorMdsTest : public ::testing::TestWithParam<RsShape> {};
+
+/// The defining MDS property: every k-row subset of the generator is
+/// invertible, i.e. any k surviving units reconstruct the data.
+void expect_mds(const Matrix& gen, std::size_t k) {
+  const std::size_t n = gen.rows();
+  std::vector<std::size_t> ids(k);
+  // Enumerate all C(n, k) subsets.
+  const auto recurse = [&](auto&& self, std::size_t start,
+                           std::size_t depth) -> void {
+    if (depth == k) {
+      EXPECT_TRUE(gen.select_rows(ids).inverted().has_value())
+          << "non-invertible survivor set";
+      return;
+    }
+    for (std::size_t i = start; i < n; ++i) {
+      ids[depth] = i;
+      self(self, i + 1, depth + 1);
+    }
+  };
+  recurse(recurse, 0, 0);
+}
+
+TEST_P(GeneratorMdsTest, VandermondeSystematicIsMds) {
+  const auto& p = GetParam();
+  const Matrix gen = rs_generator_vandermonde(Field::of(p.w), p.k, p.r);
+  ASSERT_EQ(gen.rows(), p.k + p.r);
+  ASSERT_EQ(gen.cols(), p.k);
+  // Systematic: top block is the identity.
+  for (std::size_t i = 0; i < p.k; ++i)
+    for (std::size_t j = 0; j < p.k; ++j)
+      ASSERT_EQ(gen.at(i, j), i == j ? 1 : 0);
+  expect_mds(gen, p.k);
+}
+
+TEST_P(GeneratorMdsTest, CauchyIsMds) {
+  const auto& p = GetParam();
+  const Matrix gen =
+      rs_generator_cauchy(Field::of(p.w), p.k, p.r, /*minimize_ones=*/false);
+  expect_mds(gen, p.k);
+}
+
+TEST_P(GeneratorMdsTest, CauchyGoodIsMds) {
+  const auto& p = GetParam();
+  const Matrix gen =
+      rs_generator_cauchy(Field::of(p.w), p.k, p.r, /*minimize_ones=*/true);
+  expect_mds(gen, p.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeneratorMdsTest,
+    ::testing::Values(RsShape{4, 2, 8}, RsShape{5, 3, 8}, RsShape{6, 2, 8},
+                      RsShape{4, 2, 4}, RsShape{5, 2, 16}, RsShape{8, 2, 8}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.k) + "r" +
+             std::to_string(info.param.r) + "w" +
+             std::to_string(info.param.w);
+    });
+
+TEST(GeneratorConstruction, CauchyGoodReducesBitmatrixOnes) {
+  const Field& f = Field::of(8);
+  const Matrix plain = Matrix::cauchy(f, 4, 10);
+  const Matrix good = Matrix::cauchy_good(f, 4, 10);
+  const std::size_t plain_ones = BitMatrix::from_gf_matrix(plain).ones();
+  const std::size_t good_ones = BitMatrix::from_gf_matrix(good).ones();
+  EXPECT_LE(good_ones, plain_ones);
+  // For this shape the optimization is known to find real savings.
+  EXPECT_LT(good_ones, plain_ones);
+}
+
+TEST(GeneratorConstruction, CauchyBestAtLeastAsSparseAsGood) {
+  const Field& f = Field::of(8);
+  const Matrix good = Matrix::cauchy_good(f, 4, 10);
+  const Matrix best = Matrix::cauchy_best(f, 4, 10, /*trials=*/24, /*seed=*/7);
+  EXPECT_LE(BitMatrix::from_gf_matrix(best).ones(),
+            BitMatrix::from_gf_matrix(good).ones());
+}
+
+TEST(GeneratorConstruction, CauchyBestIsMdsAndDeterministic) {
+  const Field& f = Field::of(8);
+  const Matrix a = Matrix::cauchy_best(f, 3, 5, 8, 42);
+  const Matrix b = Matrix::cauchy_best(f, 3, 5, 8, 42);
+  EXPECT_EQ(a, b);
+  const Matrix gen = Matrix::identity(f, 5).vstack(a);
+  expect_mds(gen, 5);
+}
+
+TEST(GeneratorConstruction, CauchyBestValidation) {
+  EXPECT_THROW(Matrix::cauchy_best(Field::of(4), 9, 8),
+               std::invalid_argument);
+  EXPECT_THROW(Matrix::cauchy_best(Field::of(8), 2, 4, /*trials=*/0),
+               std::invalid_argument);
+}
+
+TEST(GeneratorConstruction, TooLargeForFieldThrows) {
+  EXPECT_THROW(rs_generator_vandermonde(Field::of(4), 14, 4),
+               std::invalid_argument);
+  EXPECT_THROW(Matrix::cauchy(Field::of(4), 9, 8), std::invalid_argument);
+}
+
+TEST(Matrix, SelectRowsAndVstack) {
+  const Field& f = Field::of(8);
+  const Matrix a = random_matrix(f, 3, 4, 21);
+  const Matrix b = random_matrix(f, 2, 4, 22);
+  const Matrix stacked = a.vstack(b);
+  ASSERT_EQ(stacked.rows(), 5u);
+  const std::vector<std::size_t> bottom = {3, 4};
+  EXPECT_EQ(stacked.select_rows(bottom), b);
+  EXPECT_THROW(a.vstack(random_matrix(f, 2, 3, 23)), std::invalid_argument);
+  const std::vector<std::size_t> bad = {9};
+  EXPECT_THROW(a.select_rows(bad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tvmec::gf

@@ -1,0 +1,230 @@
+#include "gf/gf.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace tvmec::gf {
+namespace {
+
+class FieldTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  const Field& field() const { return Field::of(GetParam()); }
+};
+
+TEST_P(FieldTest, OrderMatchesW) {
+  EXPECT_EQ(field().order(), 1u << GetParam());
+  EXPECT_EQ(field().max_elem(), (1u << GetParam()) - 1);
+  EXPECT_EQ(field().w(), GetParam());
+}
+
+TEST_P(FieldTest, MultiplicativeIdentity) {
+  const Field& f = field();
+  for (std::uint32_t a = 0; a < f.order(); ++a)
+    EXPECT_EQ(f.mul(static_cast<elem_t>(a), 1), a);
+}
+
+TEST_P(FieldTest, ZeroAnnihilates) {
+  const Field& f = field();
+  for (std::uint32_t a = 0; a < f.order(); ++a) {
+    EXPECT_EQ(f.mul(static_cast<elem_t>(a), 0), 0);
+    EXPECT_EQ(f.mul(0, static_cast<elem_t>(a)), 0);
+  }
+}
+
+TEST_P(FieldTest, MulMatchesCarrylessReference) {
+  const Field& f = field();
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  for (int i = 0; i < 5000; ++i) {
+    const elem_t a = static_cast<elem_t>(dist(rng));
+    const elem_t b = static_cast<elem_t>(dist(rng));
+    EXPECT_EQ(f.mul(a, b), mul_slow(GetParam(), a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(FieldTest, MulIsCommutative) {
+  const Field& f = field();
+  std::mt19937_64 rng(2);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  for (int i = 0; i < 2000; ++i) {
+    const elem_t a = static_cast<elem_t>(dist(rng));
+    const elem_t b = static_cast<elem_t>(dist(rng));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+  }
+}
+
+TEST_P(FieldTest, MulIsAssociative) {
+  const Field& f = field();
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  for (int i = 0; i < 2000; ++i) {
+    const elem_t a = static_cast<elem_t>(dist(rng));
+    const elem_t b = static_cast<elem_t>(dist(rng));
+    const elem_t c = static_cast<elem_t>(dist(rng));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+  }
+}
+
+TEST_P(FieldTest, MulDistributesOverAdd) {
+  const Field& f = field();
+  std::mt19937_64 rng(4);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  for (int i = 0; i < 2000; ++i) {
+    const elem_t a = static_cast<elem_t>(dist(rng));
+    const elem_t b = static_cast<elem_t>(dist(rng));
+    const elem_t c = static_cast<elem_t>(dist(rng));
+    EXPECT_EQ(f.mul(a, Field::add(b, c)),
+              Field::add(f.mul(a, b), f.mul(a, c)));
+  }
+}
+
+TEST_P(FieldTest, InverseRoundTrip) {
+  const Field& f = field();
+  for (std::uint32_t a = 1; a < f.order(); ++a) {
+    const elem_t inv = f.inv(static_cast<elem_t>(a));
+    EXPECT_EQ(f.mul(static_cast<elem_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST_P(FieldTest, DivisionIsMulByInverse) {
+  const Field& f = field();
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  for (int i = 0; i < 2000; ++i) {
+    const elem_t a = static_cast<elem_t>(dist(rng));
+    const elem_t b = static_cast<elem_t>(dist(rng) | 1u);  // nonzero
+    EXPECT_EQ(f.div(a, b), f.mul(a, f.inv(b)));
+    EXPECT_EQ(f.mul(f.div(a, b), b), a);
+  }
+}
+
+TEST_P(FieldTest, LogExpRoundTrip) {
+  const Field& f = field();
+  for (std::uint32_t a = 1; a < f.order(); ++a)
+    EXPECT_EQ(f.exp(f.log(static_cast<elem_t>(a))), a);
+}
+
+TEST_P(FieldTest, GeneratorCyclesWholeGroup) {
+  const Field& f = field();
+  std::vector<bool> seen(f.order(), false);
+  for (std::uint32_t e = 0; e < f.max_elem(); ++e) {
+    const elem_t v = f.exp(e);
+    EXPECT_FALSE(seen[v]) << "repeat at e=" << e;
+    seen[v] = true;
+  }
+}
+
+TEST_P(FieldTest, PowMatchesRepeatedMul) {
+  const Field& f = field();
+  std::mt19937_64 rng(6);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  for (int i = 0; i < 200; ++i) {
+    const elem_t a = static_cast<elem_t>(dist(rng));
+    elem_t expect = 1;
+    for (std::uint32_t e = 0; e < 16; ++e) {
+      EXPECT_EQ(f.pow(a, e), expect) << "a=" << a << " e=" << e;
+      expect = f.mul(expect, a);
+    }
+  }
+}
+
+TEST_P(FieldTest, DomainErrors) {
+  const Field& f = field();
+  EXPECT_THROW(f.inv(0), std::domain_error);
+  EXPECT_THROW(f.div(1, 0), std::domain_error);
+  EXPECT_THROW(f.log(0), std::domain_error);
+}
+
+TEST_P(FieldTest, RegionMulMatchesScalar) {
+  const Field& f = field();
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint32_t> dist(0, f.max_elem());
+  std::vector<std::uint8_t> src(64), dst(64);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng());
+  for (int trial = 0; trial < 50; ++trial) {
+    const elem_t c = static_cast<elem_t>(dist(rng));
+    f.region_mul(c, src, dst);
+    switch (f.w()) {
+      case 8:
+        for (std::size_t i = 0; i < src.size(); ++i)
+          ASSERT_EQ(dst[i], f.mul(c, src[i]));
+        break;
+      case 4:
+        for (std::size_t i = 0; i < src.size(); ++i) {
+          ASSERT_EQ(dst[i] & 0x0F, f.mul(c, src[i] & 0x0F));
+          ASSERT_EQ(dst[i] >> 4, f.mul(c, src[i] >> 4));
+        }
+        break;
+      case 16:
+        for (std::size_t i = 0; i < src.size(); i += 2) {
+          const elem_t v = static_cast<elem_t>(src[i] | (src[i + 1] << 8));
+          const elem_t p = f.mul(c, v);
+          ASSERT_EQ(dst[i], p & 0xFF);
+          ASSERT_EQ(dst[i + 1], p >> 8);
+        }
+        break;
+    }
+  }
+}
+
+TEST_P(FieldTest, RegionMulXorAccumulates) {
+  const Field& f = field();
+  std::mt19937_64 rng(8);
+  std::uniform_int_distribution<std::uint32_t> dist(1, f.max_elem());
+  std::vector<std::uint8_t> src(32), acc(32, 0), expect(32);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng());
+  const elem_t c1 = static_cast<elem_t>(dist(rng));
+  const elem_t c2 = static_cast<elem_t>(dist(rng));
+  f.region_mul_xor(c1, src, acc);
+  f.region_mul_xor(c2, src, acc);
+  // acc == (c1 ^+^ c2) * src since XOR accumulation is field addition.
+  f.region_mul(Field::add(c1, c2), src, expect);
+  EXPECT_EQ(acc, expect);
+}
+
+TEST_P(FieldTest, RegionSizeMismatchThrows) {
+  std::vector<std::uint8_t> a(16), b(8);
+  EXPECT_THROW(field().region_mul(1, a, b), std::invalid_argument);
+  EXPECT_THROW(field().region_mul_xor(1, a, b), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, FieldTest, ::testing::Values(4u, 8u, 16u),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(FieldConstruction, RejectsUnsupportedW) {
+  EXPECT_THROW(Field f(3), std::invalid_argument);
+  EXPECT_THROW(Field f(32), std::invalid_argument);
+  EXPECT_THROW(Field::of(5), std::invalid_argument);
+}
+
+TEST(FieldConstruction, SingletonIdentity) {
+  EXPECT_EQ(&Field::of(8), &Field::of(8));
+  EXPECT_NE(&Field::of(8), &Field::of(4));
+}
+
+TEST(SplitTables, MatchFullMultiplication) {
+  const Field& f = Field::of(8);
+  for (std::uint32_t c = 0; c < 256; ++c) {
+    const SplitTables8 t = f.split_tables(static_cast<std::uint8_t>(c));
+    for (std::uint32_t b = 0; b < 256; ++b)
+      ASSERT_EQ(t.mul(static_cast<std::uint8_t>(b)),
+                f.mul(static_cast<elem_t>(c), static_cast<elem_t>(b)))
+          << "c=" << c << " b=" << b;
+  }
+}
+
+TEST(SplitTables, OnlyDefinedForW8) {
+  EXPECT_THROW(Field::of(4).split_tables(1), std::logic_error);
+  EXPECT_THROW(Field::of(16).split_tables(1), std::logic_error);
+}
+
+TEST(MulSlow, RejectsBadW) {
+  EXPECT_THROW(mul_slow(7, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvmec::gf

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "../test_util.h"
+#include "core/tvmec.h"
+#include "ec/lrc.h"
+#include "ec/reed_solomon.h"
+
+/// Randomized end-to-end fuzzing of the codec invariants, complementing
+/// the exhaustive-but-fixed tests:
+///  - interleaved updates and erasure/decode cycles preserve the stripe,
+///  - every decodable LRC pattern recovers exact bytes,
+///  - parity stays consistent with a from-scratch re-encode at all times.
+namespace tvmec {
+namespace {
+
+TEST(CodecFuzz, InterleavedUpdatesErasuresAndDecodes) {
+  const ec::CodeParams p{6, 3, 8};
+  const std::size_t unit = 1024;
+  core::Codec codec(p);
+  std::mt19937_64 rng(42);
+
+  // Oracle: the current true data content.
+  tensor::AlignedBuffer<std::uint8_t> stripe(p.n() * unit);
+  for (std::size_t i = 0; i < p.k * unit; ++i)
+    stripe[i] = static_cast<std::uint8_t>(rng());
+  codec.encode(std::span<const std::uint8_t>(stripe.data(), p.k * unit),
+               std::span<std::uint8_t>(stripe.data() + p.k * unit,
+                                       p.r * unit),
+               unit);
+
+  tensor::AlignedBuffer<std::uint8_t> expect_parity(p.r * unit);
+  for (int step = 0; step < 120; ++step) {
+    const int op = static_cast<int>(rng() % 3);
+    if (op == 0) {
+      // Delta-update a random data unit.
+      const std::size_t u = rng() % p.k;
+      tensor::AlignedBuffer<std::uint8_t> fresh(unit);
+      for (std::size_t b = 0; b < unit; ++b)
+        fresh[b] = static_cast<std::uint8_t>(rng());
+      codec.update_unit(stripe.span(), u, fresh.span(), unit);
+    } else if (op == 1) {
+      // Erase a random pattern of 1..r units, decode, demand identity.
+      const tensor::AlignedBuffer<std::uint8_t> before = stripe;
+      const std::size_t e = 1 + rng() % p.r;
+      std::vector<std::size_t> ids(p.n());
+      for (std::size_t i = 0; i < p.n(); ++i) ids[i] = i;
+      std::shuffle(ids.begin(), ids.end(), rng);
+      ids.resize(e);
+      for (const std::size_t id : ids)
+        std::fill_n(stripe.data() + id * unit, unit, 0xAA);
+      codec.decode(stripe.span(), ids, unit);
+      ASSERT_TRUE(std::equal(before.span().begin(), before.span().end(),
+                             stripe.span().begin()))
+          << "step " << step;
+    } else {
+      // Invariant: stored parity equals a from-scratch encode.
+      codec.encode(
+          std::span<const std::uint8_t>(stripe.data(), p.k * unit),
+          expect_parity.span(), unit);
+      ASSERT_TRUE(std::equal(expect_parity.span().begin(),
+                             expect_parity.span().end(),
+                             stripe.data() + p.k * unit))
+          << "parity drifted at step " << step;
+    }
+  }
+}
+
+TEST(LrcFuzz, RandomPatternsEitherDecodeExactlyOrReportUnrecoverable) {
+  const ec::LrcParams p{12, 3, 2, 8};
+  const ec::Lrc lrc(p);
+  const std::size_t unit = 256;
+  const auto data = testutil::random_bytes(p.k * unit, 7);
+  std::vector<std::uint8_t> stripe(p.n() * unit);
+  std::copy(data.span().begin(), data.span().end(), stripe.begin());
+  lrc.encode_reference(data.span(),
+                       std::span<std::uint8_t>(stripe).subspan(p.k * unit),
+                       unit);
+
+  std::mt19937_64 rng(8);
+  std::size_t decodable = 0, undecodable = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t e = 1 + rng() % (p.l + p.g + 1);
+    std::vector<std::size_t> ids(p.n());
+    for (std::size_t i = 0; i < p.n(); ++i) ids[i] = i;
+    std::shuffle(ids.begin(), ids.end(), rng);
+    ids.resize(e);
+    std::sort(ids.begin(), ids.end());
+
+    const auto plan = lrc.decode_plan(ids);
+    if (!plan) {
+      ++undecodable;
+      // Sanity: patterns of size <= g must always decode.
+      ASSERT_GT(e, p.g);
+      continue;
+    }
+    ++decodable;
+    std::vector<std::uint8_t> survivors(plan->survivors.size() * unit);
+    for (std::size_t i = 0; i < plan->survivors.size(); ++i)
+      std::copy_n(stripe.begin() +
+                      static_cast<std::ptrdiff_t>(plan->survivors[i] * unit),
+                  unit,
+                  survivors.begin() + static_cast<std::ptrdiff_t>(i * unit));
+    std::vector<std::uint8_t> rec(ids.size() * unit);
+    ec::apply_matrix_reference(plan->recovery, survivors, rec, unit);
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      ASSERT_TRUE(std::equal(
+          rec.begin() + static_cast<std::ptrdiff_t>(i * unit),
+          rec.begin() + static_cast<std::ptrdiff_t>((i + 1) * unit),
+          stripe.begin() + static_cast<std::ptrdiff_t>(ids[i] * unit)))
+          << "trial " << trial;
+  }
+  // Both outcomes must actually occur for the fuzz to mean anything.
+  EXPECT_GT(decodable, 100u);
+  EXPECT_GT(undecodable, 10u);
+}
+
+TEST(DecodePlanFuzz, RandomMdsPatternsAlwaysConsistent) {
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t k = 2 + rng() % 10;
+    const std::size_t r = 1 + rng() % 4;
+    const ec::ReedSolomon rs(ec::CodeParams{k, r, 8});
+    const std::size_t e = 1 + rng() % r;
+    std::vector<std::size_t> ids(k + r);
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+    std::shuffle(ids.begin(), ids.end(), rng);
+    ids.resize(e);
+
+    const auto plan = ec::make_decode_plan(rs.generator(), ids);
+    ASSERT_TRUE(plan.has_value()) << "MDS pattern must decode";
+    // Algebraic consistency (see decoder_test for the fixed cases).
+    const gf::Matrix lhs =
+        plan->recovery.mul(rs.generator().select_rows(plan->survivors));
+    ASSERT_EQ(lhs, rs.generator().select_rows(plan->erased));
+  }
+}
+
+}  // namespace
+}  // namespace tvmec

@@ -1,0 +1,132 @@
+#include "storage/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace tvmec::storage {
+namespace {
+
+constexpr std::size_t kCapacity = 1024;
+
+CheckpointManager make_manager() {
+  return CheckpointManager(ec::CodeParams{4, 2, 8}, kCapacity);
+}
+
+std::vector<std::vector<std::uint8_t>> make_shards(std::size_t k,
+                                                   std::uint64_t seed,
+                                                   std::size_t size = kCapacity) {
+  std::vector<std::vector<std::uint8_t>> shards;
+  for (std::size_t i = 0; i < k; ++i)
+    shards.push_back(testutil::random_vector(size, seed + i));
+  return shards;
+}
+
+std::vector<std::span<const std::uint8_t>> spans_of(
+    const std::vector<std::vector<std::uint8_t>>& shards) {
+  return {shards.begin(), shards.end()};
+}
+
+TEST(CheckpointManager, Construction) {
+  EXPECT_NO_THROW(make_manager());
+  EXPECT_THROW(CheckpointManager(ec::CodeParams{4, 2, 8}, 1000),
+               std::invalid_argument);
+}
+
+TEST(CheckpointManager, VersionsIncrease) {
+  CheckpointManager mgr = make_manager();
+  EXPECT_FALSE(mgr.latest_version().has_value());
+  const auto shards = make_shards(4, 1);
+  const auto v1 = mgr.checkpoint(spans_of(shards));
+  const auto v2 = mgr.checkpoint(spans_of(shards));
+  EXPECT_LT(v1, v2);
+  EXPECT_EQ(mgr.latest_version(), v2);
+}
+
+TEST(CheckpointManager, RecoverWithoutLossReturnsOriginal) {
+  CheckpointManager mgr = make_manager();
+  const auto shards = make_shards(4, 2);
+  mgr.checkpoint(spans_of(shards));
+  for (std::size_t rank = 0; rank < 4; ++rank)
+    EXPECT_EQ(mgr.recover_shard(rank), shards[rank]);
+}
+
+TEST(CheckpointManager, RecoversLostRanks) {
+  CheckpointManager mgr = make_manager();
+  const auto shards = make_shards(4, 3);
+  mgr.checkpoint(spans_of(shards));
+
+  mgr.lose_rank(1);
+  mgr.lose_rank(3);
+  EXPECT_TRUE(mgr.rank_lost(1));
+  EXPECT_FALSE(mgr.rank_lost(0));
+  EXPECT_EQ(mgr.ranks_lost(), 2u);
+
+  for (std::size_t rank = 0; rank < 4; ++rank)
+    EXPECT_EQ(mgr.recover_shard(rank), shards[rank]) << "rank " << rank;
+}
+
+TEST(CheckpointManager, VariableShardSizesPreserved) {
+  CheckpointManager mgr = make_manager();
+  std::vector<std::vector<std::uint8_t>> shards;
+  shards.push_back(testutil::random_vector(100, 10));
+  shards.push_back(testutil::random_vector(kCapacity, 11));
+  shards.push_back(testutil::random_vector(0, 12));  // empty shard
+  shards.push_back(testutil::random_vector(777, 13));
+  mgr.checkpoint(spans_of(shards));
+  mgr.lose_rank(0);
+  mgr.lose_rank(3);
+  for (std::size_t rank = 0; rank < 4; ++rank)
+    EXPECT_EQ(mgr.recover_shard(rank), shards[rank]) << "rank " << rank;
+}
+
+TEST(CheckpointManager, TooManyLossesThrow) {
+  CheckpointManager mgr = make_manager();
+  const auto shards = make_shards(4, 4);
+  mgr.checkpoint(spans_of(shards));
+  mgr.lose_rank(0);
+  mgr.lose_rank(1);
+  mgr.lose_rank(2);  // r = 2
+  EXPECT_THROW(mgr.recover_shard(0), std::runtime_error);
+}
+
+TEST(CheckpointManager, Validation) {
+  CheckpointManager mgr = make_manager();
+  EXPECT_THROW(mgr.lose_rank(0), std::logic_error);  // nothing checkpointed
+  EXPECT_THROW(mgr.recover_shard(0), std::logic_error);
+
+  auto shards = make_shards(3, 5);  // wrong count
+  EXPECT_THROW(mgr.checkpoint(spans_of(shards)), std::invalid_argument);
+
+  auto oversize = make_shards(4, 6, kCapacity + 8);
+  EXPECT_THROW(mgr.checkpoint(spans_of(oversize)), std::invalid_argument);
+
+  mgr.checkpoint(spans_of(make_shards(4, 7)));
+  EXPECT_THROW(mgr.lose_rank(4), std::invalid_argument);
+  EXPECT_THROW(mgr.recover_shard(4), std::invalid_argument);
+}
+
+TEST(CheckpointManager, NewCheckpointResetsLosses) {
+  CheckpointManager mgr = make_manager();
+  const auto shards1 = make_shards(4, 8);
+  mgr.checkpoint(spans_of(shards1));
+  mgr.lose_rank(0);
+
+  const auto shards2 = make_shards(4, 9);
+  mgr.checkpoint(spans_of(shards2));
+  EXPECT_EQ(mgr.ranks_lost(), 0u);
+  EXPECT_EQ(mgr.recover_shard(0), shards2[0]);
+}
+
+TEST(CheckpointManager, RepeatedRecoveryIsStable) {
+  CheckpointManager mgr = make_manager();
+  const auto shards = make_shards(4, 10);
+  mgr.checkpoint(spans_of(shards));
+  mgr.lose_rank(2);
+  EXPECT_EQ(mgr.recover_shard(2), shards[2]);
+  EXPECT_EQ(mgr.recover_shard(2), shards[2]);
+  EXPECT_EQ(mgr.recover_shard(1), shards[1]);
+}
+
+}  // namespace
+}  // namespace tvmec::storage

@@ -1,0 +1,85 @@
+#include "storage/chunk_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace tvmec::storage {
+namespace {
+
+TEST(ChunkAccumulator, Construction) {
+  ChunkAccumulator acc(4, 1024);
+  EXPECT_EQ(acc.k(), 4u);
+  EXPECT_EQ(acc.chunk_size(), 1024u);
+  EXPECT_EQ(acc.chunks_received(), 0u);
+  EXPECT_FALSE(acc.ready());
+  EXPECT_THROW(ChunkAccumulator(0, 1024), std::invalid_argument);
+  EXPECT_THROW(ChunkAccumulator(4, 0), std::invalid_argument);
+}
+
+TEST(ChunkAccumulator, RegionUnavailableUntilReady) {
+  ChunkAccumulator acc(2, 64);
+  EXPECT_THROW(acc.data(), std::logic_error);
+  const auto chunk = testutil::random_vector(64, 1);
+  acc.add_chunk(0, chunk);
+  EXPECT_THROW(acc.data(), std::logic_error);
+  acc.add_chunk(1, chunk);
+  EXPECT_TRUE(acc.ready());
+  EXPECT_NO_THROW(acc.data());
+}
+
+TEST(ChunkAccumulator, ChunksLandAtCorrectOffsets) {
+  ChunkAccumulator acc(3, 32);
+  const auto c0 = testutil::random_vector(32, 10);
+  const auto c1 = testutil::random_vector(32, 11);
+  const auto c2 = testutil::random_vector(32, 12);
+  // Out-of-order arrival, as §5 anticipates.
+  acc.add_chunk(2, c2);
+  acc.add_chunk(0, c0);
+  acc.add_chunk(1, c1);
+  const auto region = acc.data();
+  EXPECT_TRUE(std::equal(c0.begin(), c0.end(), region.begin()));
+  EXPECT_TRUE(std::equal(c1.begin(), c1.end(), region.begin() + 32));
+  EXPECT_TRUE(std::equal(c2.begin(), c2.end(), region.begin() + 64));
+}
+
+TEST(ChunkAccumulator, ShortChunkZeroPadded) {
+  ChunkAccumulator acc(1, 16);
+  const std::vector<std::uint8_t> shorty = {1, 2, 3};
+  acc.add_chunk(0, shorty);
+  const auto region = acc.data();
+  EXPECT_EQ(region[0], 1);
+  EXPECT_EQ(region[2], 3);
+  for (std::size_t i = 3; i < 16; ++i) EXPECT_EQ(region[i], 0);
+}
+
+TEST(ChunkAccumulator, Validation) {
+  ChunkAccumulator acc(2, 16);
+  const auto chunk = testutil::random_vector(16, 2);
+  EXPECT_THROW(acc.add_chunk(2, chunk), std::invalid_argument);
+  const auto oversize = testutil::random_vector(17, 3);
+  EXPECT_THROW(acc.add_chunk(0, oversize), std::invalid_argument);
+  acc.add_chunk(0, chunk);
+  EXPECT_THROW(acc.add_chunk(0, chunk), std::invalid_argument);
+}
+
+TEST(ChunkAccumulator, ResetAllowsReuse) {
+  ChunkAccumulator acc(2, 16);
+  const auto chunk = testutil::random_vector(16, 4);
+  acc.add_chunk(0, chunk);
+  acc.add_chunk(1, chunk);
+  EXPECT_TRUE(acc.ready());
+  acc.reset();
+  EXPECT_FALSE(acc.ready());
+  EXPECT_EQ(acc.chunks_received(), 0u);
+  EXPECT_NO_THROW(acc.add_chunk(0, chunk));
+}
+
+TEST(ChunkAccumulator, RegionIsWordAligned) {
+  ChunkAccumulator acc(1, 8);
+  acc.add_chunk(0, testutil::random_vector(8, 5));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(acc.data().data()) % 64, 0u);
+}
+
+}  // namespace
+}  // namespace tvmec::storage

@@ -1,0 +1,69 @@
+#include "storage/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+
+#include "../test_util.h"
+
+namespace tvmec::storage {
+namespace {
+
+std::uint32_t crc_of(std::string_view s) {
+  return crc32c({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+/// Published CRC-32C test vectors (RFC 3720 / kernel crypto testmgr).
+TEST(Crc32c, KnownVectors) {
+  EXPECT_EQ(crc32c({}), 0x00000000u);
+  EXPECT_EQ(crc_of("a"), 0xC1D04330u);
+  EXPECT_EQ(crc_of("abc"), 0x364B3FB7u);
+  EXPECT_EQ(crc_of("message digest"), 0x02BD79D0u);
+  EXPECT_EQ(crc_of("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc_of("abcdefghijklmnopqrstuvwxyz"), 0x9EE6EF25u);
+}
+
+TEST(Crc32c, AllZeros32Bytes) {
+  // The RFC 3720 B.4 example: 32 bytes of zeros -> 0x8A9136AA.
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const auto data = testutil::random_vector(1000, 1);
+  const std::uint32_t whole = crc32c(data);
+  for (const std::size_t split : {0u, 1u, 7u, 8u, 500u, 999u, 1000u}) {
+    std::uint32_t crc = 0;
+    crc = crc32c_extend(crc, std::span<const std::uint8_t>(data).first(split));
+    crc = crc32c_extend(crc,
+                        std::span<const std::uint8_t>(data).subspan(split));
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  auto data = testutil::random_vector(256, 2);
+  const std::uint32_t clean = crc32c(data);
+  for (const std::size_t byte : {0u, 100u, 255u}) {
+    for (const int bit : {0, 3, 7}) {
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc32c(data), clean);
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+  EXPECT_EQ(crc32c(data), clean);
+}
+
+TEST(Crc32c, UnalignedBuffersMatchAligned) {
+  const auto aligned = testutil::random_bytes(512, 3);
+  std::vector<std::uint8_t> shifted(513);
+  std::memcpy(shifted.data() + 1, aligned.data(), 512);
+  EXPECT_EQ(crc32c(aligned.span()),
+            crc32c(std::span<const std::uint8_t>(shifted).subspan(1)));
+}
+
+}  // namespace
+}  // namespace tvmec::storage

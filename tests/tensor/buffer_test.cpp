@@ -1,0 +1,91 @@
+#include "tensor/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace tvmec::tensor {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer<std::uint64_t> buf(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kBufferAlignment,
+            0u);
+  EXPECT_EQ(buf.size(), 1000u);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0u);
+}
+
+TEST(AlignedBuffer, EmptyBuffer) {
+  AlignedBuffer<std::uint8_t> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer<std::uint8_t> zero(0);
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer<int> a(8);
+  a[3] = 42;
+  AlignedBuffer<int> b(a);
+  EXPECT_EQ(b[3], 42);
+  b[3] = 7;
+  EXPECT_EQ(a[3], 42);
+  a = b;
+  EXPECT_EQ(a[3], 7);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[0] = 5;
+  const int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 5);
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+}
+
+TEST(AlignedBuffer, SelfAssignmentSafe) {
+  AlignedBuffer<int> a(4);
+  a[1] = 9;
+  a = a;
+  EXPECT_EQ(a[1], 9);
+}
+
+TEST(AlignedBuffer, FillZero) {
+  AlignedBuffer<int> a(16);
+  a[5] = 3;
+  a.fill_zero();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], 0);
+}
+
+TEST(AlignedBuffer, SpanCoversWholeBuffer) {
+  AlignedBuffer<std::uint8_t> a(17);
+  EXPECT_EQ(a.span().size(), 17u);
+  EXPECT_EQ(a.span().data(), a.data());
+}
+
+TEST(MatView, ValidateRejectsMalformedViews) {
+  std::uint64_t storage[16] = {};
+  MatView<std::uint64_t> ok{storage, 4, 4, 4};
+  EXPECT_NO_THROW(ok.validate());
+  MatView<std::uint64_t> null_data{nullptr, 4, 4, 4};
+  EXPECT_THROW(null_data.validate(), std::invalid_argument);
+  MatView<std::uint64_t> zero_dim{storage, 0, 4, 4};
+  EXPECT_THROW(zero_dim.validate(), std::invalid_argument);
+  MatView<std::uint64_t> short_stride{storage, 4, 4, 3};
+  EXPECT_THROW(short_stride.validate(), std::invalid_argument);
+}
+
+TEST(MatView, StridedIndexing) {
+  std::uint64_t storage[12];
+  for (int i = 0; i < 12; ++i) storage[i] = static_cast<std::uint64_t>(i);
+  MatView<std::uint64_t> v{storage, 3, 2, 4};  // 2 cols, stride 4
+  EXPECT_EQ(v.at(0, 1), 1u);
+  EXPECT_EQ(v.at(2, 0), 8u);
+  EXPECT_EQ(v.row(1), storage + 4);
+}
+
+}  // namespace
+}  // namespace tvmec::tensor

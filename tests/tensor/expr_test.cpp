@@ -1,0 +1,212 @@
+#include "tensor/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tensor/buffer.h"
+#include "tensor/kernel.h"
+
+namespace tvmec::tensor::te {
+namespace {
+
+AlignedBuffer<Value> random_values(std::size_t count, std::uint64_t seed) {
+  AlignedBuffer<Value> buf(count);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) buf[i] = rng();
+  return buf;
+}
+
+/// The paper's Listing 3 pair, built through our te mirror.
+struct Listing3 {
+  static constexpr std::size_t M = 12, N = 40, K = 24;
+  Placeholder A = placeholder(M, K, "A");
+  Placeholder B = placeholder(K, N, "B");
+  IterVar k = reduce_axis(K, "k");
+
+  ComputeDef gemm() {
+    return compute(M, N, [&](IterVar i, IterVar j) {
+      return reduce(BinOp::Add, A(i, k) * B(k, j), k);
+    });
+  }
+  ComputeDef bitmatrix_ec() {
+    return compute(M, N, [&](IterVar i, IterVar j) {
+      return reduce(BinOp::Xor, A(i, k) & B(k, j), k);
+    });
+  }
+};
+
+TEST(Expr, EvaluateGemmMatchesNaiveKernel) {
+  Listing3 l;
+  const ComputeDef def = l.gemm();
+  const auto a = random_values(Listing3::M * Listing3::K, 1);
+  const auto b = random_values(Listing3::K * Listing3::N, 2);
+  AlignedBuffer<Value> out(Listing3::M * Listing3::N);
+  evaluate(def,
+           {{l.A.id(), {a.data(), Listing3::M, Listing3::K, Listing3::K}},
+            {l.B.id(), {b.data(), Listing3::K, Listing3::N, Listing3::N}}},
+           {out.data(), Listing3::M, Listing3::N, Listing3::N});
+
+  AlignedBuffer<std::int64_t> ref(Listing3::M * Listing3::N);
+  gemm_naive_sumprod_i64(
+      {reinterpret_cast<const std::int64_t*>(a.data()), Listing3::M,
+       Listing3::K, Listing3::K},
+      {reinterpret_cast<const std::int64_t*>(b.data()), Listing3::K,
+       Listing3::N, Listing3::N},
+      {ref.data(), Listing3::M, Listing3::N, Listing3::N});
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], static_cast<Value>(ref[i]));
+}
+
+TEST(Expr, EvaluateXorAndMatchesNaiveKernel) {
+  Listing3 l;
+  const ComputeDef def = l.bitmatrix_ec();
+  const auto a = random_values(Listing3::M * Listing3::K, 3);
+  const auto b = random_values(Listing3::K * Listing3::N, 4);
+  AlignedBuffer<Value> out(Listing3::M * Listing3::N);
+  evaluate(def,
+           {{l.A.id(), {a.data(), Listing3::M, Listing3::K, Listing3::K}},
+            {l.B.id(), {b.data(), Listing3::K, Listing3::N, Listing3::N}}},
+           {out.data(), Listing3::M, Listing3::N, Listing3::N});
+
+  AlignedBuffer<Value> ref(Listing3::M * Listing3::N);
+  gemm_naive_xorand(
+      {a.data(), Listing3::M, Listing3::K, Listing3::K},
+      {b.data(), Listing3::K, Listing3::N, Listing3::N},
+      {ref.data(), Listing3::M, Listing3::N, Listing3::N});
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], ref[i]);
+}
+
+class LoweredRunTest : public ::testing::TestWithParam<bool> {};
+
+/// Lowered (scheduled-kernel) execution agrees with direct interpretation
+/// for both semirings — the TVM "declare once, codegen fast" contract.
+TEST_P(LoweredRunTest, LoweredMatchesInterpreter) {
+  const bool xor_mode = GetParam();
+  Listing3 l;
+  const ComputeDef def = xor_mode ? l.bitmatrix_ec() : l.gemm();
+  const LoweredGemm lowered = lower(def);
+  EXPECT_EQ(lowered.kind(), xor_mode ? LoweredGemm::Kind::XorAnd
+                                     : LoweredGemm::Kind::SumProd);
+
+  const auto a = random_values(Listing3::M * Listing3::K, 5);
+  const auto b = random_values(Listing3::K * Listing3::N, 6);
+  const std::vector<Binding> bindings = {
+      {l.A.id(), {a.data(), Listing3::M, Listing3::K, Listing3::K}},
+      {l.B.id(), {b.data(), Listing3::K, Listing3::N, Listing3::N}}};
+
+  AlignedBuffer<Value> interp(Listing3::M * Listing3::N);
+  evaluate(def, bindings,
+           {interp.data(), Listing3::M, Listing3::N, Listing3::N});
+
+  for (const int tile : {1, 4, 8}) {
+    Schedule s;
+    s.tile_m = tile;
+    s.tile_n = tile;
+    AlignedBuffer<Value> fast(Listing3::M * Listing3::N);
+    lowered.run(bindings, {fast.data(), Listing3::M, Listing3::N, Listing3::N},
+                s);
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      ASSERT_EQ(fast[i], interp[i]) << "tile=" << tile;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSemirings, LoweredRunTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "XorAnd" : "SumProd";
+                         });
+
+TEST(Lower, RejectsMixedSemiring) {
+  Listing3 l;
+  // XOR-reduce of products is not a supported semiring.
+  const ComputeDef def =
+      compute(Listing3::M, Listing3::N, [&](IterVar i, IterVar j) {
+        return reduce(BinOp::Xor, l.A(i, l.k) * l.B(l.k, j), l.k);
+      });
+  EXPECT_THROW(lower(def), std::invalid_argument);
+}
+
+TEST(Lower, RejectsNonGemmAccessPattern) {
+  Listing3 l;
+  // A indexed (k, i) instead of (i, k): not the GEMM pattern.
+  EXPECT_THROW(
+      lower(compute(Listing3::K, Listing3::N,
+                    [&](IterVar i, IterVar j) {
+                      return reduce(BinOp::Add, l.A(l.k, i) * l.B(l.k, j),
+                                    l.k);
+                    })),
+      std::invalid_argument);
+}
+
+TEST(Lower, RejectsNonReduction) {
+  Listing3 l;
+  EXPECT_THROW(lower(compute(Listing3::M, Listing3::N,
+                             [&](IterVar i, IterVar j) {
+                               return l.A(i, j) + l.B(i, j);
+                             })),
+               std::invalid_argument);
+}
+
+/// The interpreter handles arbitrary expression trees, not just the
+/// GEMM shape the lowerer accepts — e.g. a fused masked-accumulate.
+TEST(Expr, InterpreterHandlesNonGemmExpressions) {
+  const std::size_t m = 6, n = 10, kk = 4;
+  const Placeholder A = placeholder(m, kk, "A");
+  const Placeholder B = placeholder(kk, n, "B");
+  const Placeholder C = placeholder(m, n, "C");
+  const IterVar k = reduce_axis(kk, "k");
+  // out(i,j) = C(i,j) ^ reduce_xor_k(A(i,k) & B(k,j))
+  const ComputeDef def = compute(m, n, [&](IterVar i, IterVar j) {
+    return C(i, j) ^ reduce(BinOp::Xor, A(i, k) & B(k, j), k);
+  });
+  // Not lowerable (body is Binary, not Reduce)...
+  EXPECT_THROW(lower(def), std::invalid_argument);
+
+  // ...but evaluable, and it must match a hand-written loop.
+  const auto a = random_values(m * kk, 11);
+  const auto b = random_values(kk * n, 12);
+  const auto c = random_values(m * n, 13);
+  AlignedBuffer<Value> out(m * n);
+  evaluate(def,
+           {{A.id(), {a.data(), m, kk, kk}},
+            {B.id(), {b.data(), kk, n, n}},
+            {C.id(), {c.data(), m, n, n}}},
+           {out.data(), m, n, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Value acc = 0;
+      for (std::size_t l = 0; l < kk; ++l)
+        acc ^= a[i * kk + l] & b[l * n + j];
+      ASSERT_EQ(out[i * n + j], c[i * n + j] ^ acc);
+    }
+  }
+}
+
+TEST(Expr, ReducerMustBeCommutativeIdentityOp) {
+  Listing3 l;
+  EXPECT_THROW(reduce(BinOp::Mul, l.A(l.k, l.k), l.k), std::invalid_argument);
+  EXPECT_THROW(reduce(BinOp::And, l.A(l.k, l.k), l.k), std::invalid_argument);
+}
+
+TEST(Expr, EvaluateChecksBindings) {
+  Listing3 l;
+  const ComputeDef def = l.gemm();
+  AlignedBuffer<Value> out(Listing3::M * Listing3::N);
+  const MatView<Value> out_view{out.data(), Listing3::M, Listing3::N,
+                                Listing3::N};
+  // Missing B binding.
+  const auto a = random_values(Listing3::M * Listing3::K, 7);
+  EXPECT_THROW(
+      evaluate(def, {{l.A.id(), {a.data(), Listing3::M, Listing3::K,
+                                 Listing3::K}}},
+               out_view),
+      std::invalid_argument);
+}
+
+TEST(Expr, PlaceholderValidation) {
+  EXPECT_THROW(placeholder(0, 4, "bad"), std::invalid_argument);
+  EXPECT_THROW(reduce_axis(0, "bad"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvmec::tensor::te

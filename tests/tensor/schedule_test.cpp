@@ -1,0 +1,49 @@
+#include "tensor/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace tvmec::tensor {
+namespace {
+
+TEST(ScheduleParse, RoundTripsEverySupportedSchedule) {
+  for (const int tm : {1, 2, 4, 8}) {
+    for (const int tn : {1, 2, 4, 8, 16, 32, 64}) {
+      for (const std::size_t bk : {0u, 16u, 64u}) {
+        for (const int t : {1, 4}) {
+          Schedule s;
+          s.tile_m = tm;
+          s.tile_n = tn;
+          s.block_k = bk;
+          s.block_n = 2048;
+          s.num_threads = t;
+          EXPECT_EQ(Schedule::parse(s.to_string()), s) << s.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(ScheduleParse, RejectsMalformedText) {
+  EXPECT_THROW(Schedule::parse(""), std::invalid_argument);
+  EXPECT_THROW(Schedule::parse("mt4x4"), std::invalid_argument);
+  EXPECT_THROW(Schedule::parse("tile4x4 kb0 nb0 t1"), std::invalid_argument);
+  EXPECT_THROW(Schedule::parse("garbage"), std::invalid_argument);
+}
+
+TEST(ScheduleParse, RejectsInvalidSchedules) {
+  // Parses syntactically but fails validity (tile 3 unsupported).
+  EXPECT_THROW(Schedule::parse("mt3x4 kb0 nb0 t1"), std::invalid_argument);
+  EXPECT_THROW(Schedule::parse("mt4x4 kb0 nb0 t0"), std::invalid_argument);
+}
+
+TEST(ScheduleValidity, WideTilesSupported) {
+  Schedule s;
+  s.tile_m = 8;
+  s.tile_n = 64;
+  EXPECT_TRUE(s.valid());
+  s.tile_n = 48;  // not in the menu
+  EXPECT_FALSE(s.valid());
+}
+
+}  // namespace
+}  // namespace tvmec::tensor

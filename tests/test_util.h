@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "tensor/buffer.h"
+
+/// Shared helpers for the test suite.
+namespace tvmec::testutil {
+
+/// Deterministic random bytes (seeded per call site for reproducibility).
+inline tensor::AlignedBuffer<std::uint8_t> random_bytes(std::size_t size,
+                                                        std::uint64_t seed) {
+  tensor::AlignedBuffer<std::uint8_t> buf(size);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < size; ++i)
+    buf[i] = static_cast<std::uint8_t>(rng());
+  return buf;
+}
+
+inline std::vector<std::uint8_t> random_vector(std::size_t size,
+                                               std::uint64_t seed) {
+  std::vector<std::uint8_t> v(size);
+  std::mt19937_64 rng(seed);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+/// All C(n, e) erasure patterns of exactly e ids out of [0, n).
+inline std::vector<std::vector<std::size_t>> erasure_patterns(std::size_t n,
+                                                              std::size_t e) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> pattern(e);
+  const auto recurse = [&](auto&& self, std::size_t start,
+                           std::size_t depth) -> void {
+    if (depth == e) {
+      out.push_back(pattern);
+      return;
+    }
+    for (std::size_t i = start; i < n; ++i) {
+      pattern[depth] = i;
+      self(self, i + 1, depth + 1);
+    }
+  };
+  recurse(recurse, 0, 0);
+  return out;
+}
+
+}  // namespace tvmec::testutil

@@ -1,0 +1,84 @@
+#include "tune/search_space.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tvmec::tune {
+namespace {
+
+TaskShape typical_shape() { return {32, 2048, 80}; }
+
+TEST(SearchSpace, RejectsBadInputs) {
+  EXPECT_THROW(SearchSpace(TaskShape{0, 1, 1}, 1), std::invalid_argument);
+  EXPECT_THROW(SearchSpace(typical_shape(), 0), std::invalid_argument);
+}
+
+TEST(SearchSpace, EverySchedulePresentAndValid) {
+  const SearchSpace space(typical_shape(), 4);
+  EXPECT_GT(space.size(), 100u);
+  for (std::size_t i = 0; i < space.size(); ++i)
+    EXPECT_TRUE(space.at(i).valid()) << "index " << i;
+  EXPECT_THROW(space.at(space.size()), std::out_of_range);
+}
+
+TEST(SearchSpace, AllEnumeratesDistinctSchedules) {
+  const SearchSpace space(typical_shape(), 2);
+  const auto schedules = space.all();
+  EXPECT_EQ(schedules.size(), space.size());
+  std::set<std::string> keys;
+  for (const auto& s : schedules) keys.insert(s.to_string());
+  EXPECT_EQ(keys.size(), schedules.size()) << "duplicate schedule in space";
+}
+
+TEST(SearchSpace, BlocksNeverExceedProblem) {
+  const TaskShape small{8, 128, 16};
+  const SearchSpace space(small, 1);
+  for (const auto& s : space.all()) {
+    EXPECT_LT(s.block_k, small.k) << "block_k must be < k or 0";
+    EXPECT_LT(s.block_n, small.n);
+  }
+}
+
+TEST(SearchSpace, ThreadOptionsArePowersOfTwoUpToMax) {
+  const SearchSpace space(typical_shape(), 8);
+  EXPECT_EQ(space.thread_options(), (std::vector<int>{1, 2, 4, 8}));
+  const SearchSpace serial(typical_shape(), 1);
+  EXPECT_EQ(serial.thread_options(), (std::vector<int>{1}));
+}
+
+TEST(SearchSpace, SampleIsDeterministicUnderSeed) {
+  const SearchSpace space(typical_shape(), 4);
+  std::mt19937_64 rng1(7), rng2(7);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(space.sample(rng1), space.sample(rng2));
+}
+
+TEST(SearchSpace, SampleStaysInsideSpace) {
+  const SearchSpace space(typical_shape(), 4);
+  std::set<std::string> all_keys;
+  for (const auto& s : space.all()) all_keys.insert(s.to_string());
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_TRUE(all_keys.contains(space.sample(rng).to_string()));
+}
+
+TEST(SearchSpace, MutateChangesAtMostOneKnob) {
+  const SearchSpace space(typical_shape(), 4);
+  std::mt19937_64 rng(9);
+  const tensor::Schedule base = space.sample(rng);
+  for (int i = 0; i < 100; ++i) {
+    const tensor::Schedule m = space.mutate(base, rng);
+    int changed = 0;
+    changed += m.tile_m != base.tile_m;
+    changed += m.tile_n != base.tile_n;
+    changed += m.block_k != base.block_k;
+    changed += m.block_n != base.block_n;
+    changed += m.num_threads != base.num_threads;
+    EXPECT_LE(changed, 1);
+    EXPECT_TRUE(m.valid());
+  }
+}
+
+}  // namespace
+}  // namespace tvmec::tune

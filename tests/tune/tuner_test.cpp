@@ -1,0 +1,175 @@
+#include "tune/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace tvmec::tune {
+namespace {
+
+TaskShape shape() { return {32, 2048, 80}; }
+
+/// A deterministic synthetic objective with a unique known optimum, so
+/// search behaviour can be asserted without timing noise.
+double synthetic_objective(const tensor::Schedule& s) {
+  double score = 100.0;
+  score += 10.0 * s.tile_m + 12.0 * s.tile_n;
+  score -= 0.5 * std::abs(static_cast<double>(s.block_k) - 32.0);
+  score += 20.0 * std::log2(static_cast<double>(s.num_threads));
+  return score;
+}
+
+class PolicyTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(PolicyTest, RespectsTrialBudget) {
+  const SearchSpace space(shape(), 4);
+  TuneOptions opt;
+  opt.policy = GetParam();
+  opt.trials = 37;
+  const TuneResult result = tune(space, synthetic_objective, opt);
+  EXPECT_EQ(result.history.size(), 37u);
+}
+
+TEST_P(PolicyTest, BestMatchesHistoryMaximum) {
+  const SearchSpace space(shape(), 4);
+  TuneOptions opt;
+  opt.policy = GetParam();
+  opt.trials = 60;
+  const TuneResult result = tune(space, synthetic_objective, opt);
+  double max_seen = 0;
+  for (const auto& rec : result.history)
+    max_seen = std::max(max_seen, rec.throughput);
+  EXPECT_DOUBLE_EQ(result.best_throughput, max_seen);
+  EXPECT_DOUBLE_EQ(synthetic_objective(result.best_schedule),
+                   result.best_throughput);
+}
+
+TEST_P(PolicyTest, DeterministicUnderSeed) {
+  const SearchSpace space(shape(), 4);
+  TuneOptions opt;
+  opt.policy = GetParam();
+  opt.trials = 40;
+  opt.seed = 123;
+  const TuneResult a = tune(space, synthetic_objective, opt);
+  const TuneResult b = tune(space, synthetic_objective, opt);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i)
+    EXPECT_EQ(a.history[i].schedule, b.history[i].schedule);
+}
+
+TEST_P(PolicyTest, FindsNearOptimalWithModestBudget) {
+  const SearchSpace space(shape(), 4);
+  // Exhaustive optimum for reference.
+  double best = 0;
+  for (const auto& s : space.all())
+    best = std::max(best, synthetic_objective(s));
+
+  TuneOptions opt;
+  opt.policy = GetParam();
+  // Grid search has no notion of "promising region": within a partial
+  // budget it only sees a lexicographic prefix, so give it the full
+  // space; the adaptive policies must get close with a fraction of it.
+  opt.trials = GetParam() == Policy::Grid ? space.size() : 150;
+  const TuneResult result = tune(space, synthetic_objective, opt);
+  // Within 10% of the global optimum on this easy landscape.
+  EXPECT_GT(result.best_throughput, 0.9 * best)
+      << "policy " << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(Policy::Grid, Policy::Random,
+                                           Policy::Evolutionary,
+                                           Policy::ModelGuided),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Policy::Grid:
+                               return "Grid";
+                             case Policy::Random:
+                               return "Random";
+                             case Policy::Evolutionary:
+                               return "Evolutionary";
+                             default:
+                               return "ModelGuided";
+                           }
+                         });
+
+TEST(Tuner, GridVisitsDistinctSchedulesInOrder) {
+  const SearchSpace space(shape(), 2);
+  TuneOptions opt;
+  opt.policy = Policy::Grid;
+  opt.trials = 25;
+  const TuneResult result = tune(space, synthetic_objective, opt);
+  for (std::size_t i = 0; i < 25; ++i)
+    EXPECT_EQ(result.history[i].schedule, space.at(i));
+}
+
+TEST(Tuner, GridStopsAtSpaceExhaustion) {
+  const SearchSpace space(TaskShape{8, 128, 16}, 1);
+  TuneOptions opt;
+  opt.policy = Policy::Grid;
+  opt.trials = 100000;
+  const TuneResult result = tune(space, synthetic_objective, opt);
+  EXPECT_EQ(result.history.size(), space.size());
+}
+
+TEST(Tuner, ZeroTrialsThrows) {
+  const SearchSpace space(shape(), 2);
+  TuneOptions opt;
+  opt.trials = 0;
+  EXPECT_THROW(tune(space, synthetic_objective, opt), std::invalid_argument);
+}
+
+TEST(Tuner, BestAfterIsMonotone) {
+  const SearchSpace space(shape(), 4);
+  TuneOptions opt;
+  opt.policy = Policy::Random;
+  opt.trials = 80;
+  const TuneResult result = tune(space, synthetic_objective, opt);
+  double prev = 0;
+  for (std::size_t n = 1; n <= 80; n += 8) {
+    const double cur = result.best_after(n);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(result.best_after(1000), result.best_throughput);
+}
+
+/// Model-guided search should reach a given quality bar in no more
+/// measured trials than pure random search on a landscape the linear
+/// model can capture (this is Ansor's whole premise).
+TEST(Tuner, ModelGuidedBeatsRandomOnLearnableLandscape) {
+  const SearchSpace space(shape(), 8);
+  double best = 0;
+  for (const auto& s : space.all())
+    best = std::max(best, synthetic_objective(s));
+  const double bar = 0.95 * best;
+
+  const auto trials_to_bar = [&](Policy policy) {
+    TuneOptions opt;
+    opt.policy = policy;
+    opt.trials = 200;
+    opt.seed = 7;
+    const TuneResult r = tune(space, synthetic_objective, opt);
+    for (std::size_t n = 1; n <= opt.trials; ++n)
+      if (r.best_after(n) >= bar) return n;
+    return opt.trials + 1;
+  };
+  EXPECT_LE(trials_to_bar(Policy::ModelGuided),
+            trials_to_bar(Policy::Random));
+}
+
+TEST(MeasureSecondsMedian, ReturnsPlausibleDuration) {
+  const double secs = measure_seconds_median(
+      [] {
+        volatile int sink = 0;
+        for (int i = 0; i < 10000; ++i) sink = sink + i;
+      },
+      5);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_LT(secs, 1.0);
+  EXPECT_THROW(measure_seconds_median([] {}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvmec::tune

@@ -1,0 +1,108 @@
+#include "tune/tuning_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tvmec::tune {
+namespace {
+
+/// RAII temp file path under the build tree.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(::testing::TempDir() + "/" + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TuneResult sample_result() {
+  TuneResult r;
+  tensor::Schedule a;
+  a.tile_m = 4;
+  a.tile_n = 16;
+  a.block_n = 512;
+  tensor::Schedule b;
+  b.tile_m = 8;
+  b.tile_n = 32;
+  b.block_k = 16;
+  r.history.push_back({a, 5.0e9});
+  r.history.push_back({b, 7.5e9});
+  r.best_schedule = b;
+  r.best_throughput = 7.5e9;
+  return r;
+}
+
+TEST(TuningLog, RoundTrip) {
+  TempFile tmp("tuning_log_roundtrip.log");
+  const TaskShape shape{32, 2048, 80};
+  const TuneResult original = sample_result();
+  append_log(tmp.path, shape, original);
+
+  const auto loaded = load_log(tmp.path, shape);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->history.size(), 2u);
+  EXPECT_EQ(loaded->history[0].schedule, original.history[0].schedule);
+  EXPECT_EQ(loaded->history[1].schedule, original.history[1].schedule);
+  EXPECT_EQ(loaded->best_schedule, original.best_schedule);
+  EXPECT_DOUBLE_EQ(loaded->best_throughput, 7.5e9);
+}
+
+TEST(TuningLog, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_log("/nonexistent/dir/nope.log", TaskShape{1, 1, 1})
+                   .has_value());
+}
+
+TEST(TuningLog, ShapeFiltering) {
+  TempFile tmp("tuning_log_shapes.log");
+  const TaskShape a{32, 2048, 80};
+  const TaskShape b{16, 2048, 64};
+  append_log(tmp.path, a, sample_result());
+
+  EXPECT_FALSE(load_log(tmp.path, b).has_value());
+  EXPECT_TRUE(load_log(tmp.path, a).has_value());
+}
+
+TEST(TuningLog, AppendAccumulatesAcrossRuns) {
+  TempFile tmp("tuning_log_append.log");
+  const TaskShape shape{32, 2048, 80};
+  append_log(tmp.path, shape, sample_result());
+  append_log(tmp.path, shape, sample_result());
+  const auto loaded = load_log(tmp.path, shape);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->history.size(), 4u);
+}
+
+TEST(TuningLog, CommentsAndBlankLinesIgnored) {
+  TempFile tmp("tuning_log_comments.log");
+  {
+    std::ofstream out(tmp.path);
+    out << "# tuning record file\n\n";
+  }
+  const TaskShape shape{32, 2048, 80};
+  append_log(tmp.path, shape, sample_result());
+  const auto loaded = load_log(tmp.path, shape);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->history.size(), 2u);
+}
+
+TEST(TuningLog, MalformedRecordFailsLoudly) {
+  TempFile tmp("tuning_log_bad.log");
+  {
+    std::ofstream out(tmp.path);
+    out << "32x2048x80 | not a schedule | oops\n";
+  }
+  EXPECT_THROW(load_log(tmp.path, TaskShape{32, 2048, 80}),
+               std::runtime_error);
+}
+
+TEST(TuningLog, AppendToUnwritablePathThrows) {
+  EXPECT_THROW(
+      append_log("/nonexistent/dir/x.log", TaskShape{1, 1, 1}, sample_result()),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tvmec::tune
