@@ -137,6 +137,8 @@ inline tensor::Schedule representative_gemm_schedule() {
   s.block_k = 0;
   s.block_n = 512;
   s.num_threads = 1;
+  s.par_axis = tensor::ParAxis::N;  // the long axis for EC shapes
+  s.par_grain = 0;
   return s;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <utility>
 
 #include "tensor/microkernel.h"
 #include "tensor/threadpool.h"
@@ -87,12 +88,15 @@ void validate_shapes(MatView<const typename S::value_type> a,
     throw std::invalid_argument("gemm: A(MxK) B(KxN) C(MxN) shape mismatch");
 }
 
-/// Executes the row range [m0, m1) of C under the given schedule.
+/// Executes the output block [m0, m1) x [n0, n1) of C under the given
+/// schedule. Workers own disjoint C blocks, so this is the unit of
+/// parallel work as well as the serial whole-matrix path.
 template <class S>
-void run_rows(MatView<const typename S::value_type> a,
-              MatView<const typename S::value_type> b,
-              MatView<typename S::value_type> c, const Schedule& s,
-              std::size_t m0, std::size_t m1) {
+void run_block(MatView<const typename S::value_type> a,
+               MatView<const typename S::value_type> b,
+               MatView<typename S::value_type> c, const Schedule& s,
+               std::size_t m0, std::size_t m1, std::size_t n0,
+               std::size_t n1) {
   using V = typename S::value_type;
   static constexpr auto kDispatch = make_dispatch<S>();
   const MicroFn<S> micro =
@@ -100,19 +104,18 @@ void run_rows(MatView<const typename S::value_type> a,
                [static_cast<std::size_t>(tile_n_index(s.tile_n))];
   const std::size_t tm = static_cast<std::size_t>(s.tile_m);
   const std::size_t tn = static_cast<std::size_t>(s.tile_n);
-  const std::size_t n = c.cols;
   const std::size_t k = a.cols;
-  const std::size_t block_n = s.block_n == 0 ? n : s.block_n;
+  const std::size_t block_n = s.block_n == 0 ? c.cols : s.block_n;
   const std::size_t block_k = s.block_k == 0 ? k : s.block_k;
 
-  // Zero the output rows once; k-blocks then accumulate into C.
+  // Zero the owned block once; k-blocks then accumulate into C.
   for (std::size_t i = m0; i < m1; ++i) {
     V* row = c.row(i);
-    std::fill(row, row + n, S::zero());
+    std::fill(row + n0, row + n1, S::zero());
   }
 
-  for (std::size_t nb = 0; nb < n; nb += block_n) {
-    const std::size_t nb_end = std::min(n, nb + block_n);
+  for (std::size_t nb = n0; nb < n1; nb += block_n) {
+    const std::size_t nb_end = std::min(n1, nb + block_n);
     for (std::size_t kb = 0; kb < k; kb += block_k) {
       const std::size_t kb_end = std::min(k, kb + block_k);
       const std::size_t kk = kb_end - kb;
@@ -135,6 +138,39 @@ void run_rows(MatView<const typename S::value_type> a,
   }
 }
 
+/// One axis split into tile-aligned chunks with the remainder spread
+/// evenly: chunk sizes differ by at most one tile and no chunk is empty.
+struct AxisChunks {
+  std::size_t tiles = 0;   // total register tiles along the axis
+  std::size_t chunks = 0;  // number of work chunks
+  std::size_t tile = 0;    // tile extent in elements
+  std::size_t extent = 0;  // axis extent in elements
+
+  /// Element range [begin, end) of chunk c.
+  std::pair<std::size_t, std::size_t> range(std::size_t c) const {
+    const std::size_t base = tiles / chunks;
+    const std::size_t rem = tiles % chunks;
+    const std::size_t t0 = c * base + std::min(c, rem);
+    const std::size_t t1 = t0 + base + (c < rem ? 1 : 0);
+    return {t0 * tile, std::min(extent, t1 * tile)};
+  }
+};
+
+/// Carves `extent` into chunks of ~`grain` tiles (0 = auto: enough chunks
+/// that the pool's dynamic claiming can balance load, a few per thread).
+AxisChunks make_axis_chunks(std::size_t extent, std::size_t tile,
+                            std::size_t grain, std::size_t threads) {
+  AxisChunks ax;
+  ax.tile = tile;
+  ax.extent = extent;
+  ax.tiles = (extent + tile - 1) / tile;
+  constexpr std::size_t kChunksPerThread = 4;
+  const std::size_t wanted =
+      grain == 0 ? threads * kChunksPerThread : (ax.tiles + grain - 1) / grain;
+  ax.chunks = std::clamp<std::size_t>(wanted, 1, ax.tiles);
+  return ax;
+}
+
 template <class S>
 void gemm_scheduled(MatView<const typename S::value_type> a,
                     MatView<const typename S::value_type> b,
@@ -142,22 +178,63 @@ void gemm_scheduled(MatView<const typename S::value_type> a,
   validate_shapes<S>(a, b, c);
   if (!s.valid()) throw std::invalid_argument("gemm: invalid schedule");
   const std::size_t m = c.rows;
-  const std::size_t threads =
-      std::min<std::size_t>(static_cast<std::size_t>(s.num_threads), m);
+  const std::size_t n = c.cols;
+  const std::size_t threads = static_cast<std::size_t>(s.num_threads);
   if (threads <= 1) {
-    run_rows<S>(a, b, c, s, 0, m);
+    run_block<S>(a, b, c, s, 0, m, 0, n);
     return;
   }
-  // Partition rows across threads in tile_m-aligned chunks so no tile
-  // straddles two workers.
+
   const std::size_t tm = static_cast<std::size_t>(s.tile_m);
-  const std::size_t tiles = (m + tm - 1) / tm;
-  const std::size_t tiles_per_thread = (tiles + threads - 1) / threads;
-  ThreadPool::shared().parallel_for(threads, [&](std::size_t t) {
-    const std::size_t m0 = std::min(m, t * tiles_per_thread * tm);
-    const std::size_t m1 = std::min(m, (t + 1) * tiles_per_thread * tm);
-    if (m0 < m1) run_rows<S>(a, b, c, s, m0, m1);
-  });
+  const std::size_t tn = static_cast<std::size_t>(s.tile_n);
+  ThreadPool& pool = ThreadPool::shared();
+
+  switch (s.par_axis) {
+    case ParAxis::M: {
+      const AxisChunks mc = make_axis_chunks(m, tm, s.par_grain, threads);
+      pool.parallel_for(
+          mc.chunks,
+          [&](std::size_t i) {
+            const auto [m0, m1] = mc.range(i);
+            run_block<S>(a, b, c, s, m0, m1, 0, n);
+          },
+          threads);
+      break;
+    }
+    case ParAxis::N: {
+      // The EC-shaped default: each worker owns a contiguous span of
+      // data words (columns of B/C) — the long axis for erasure codes.
+      const AxisChunks nc = make_axis_chunks(n, tn, s.par_grain, threads);
+      pool.parallel_for(
+          nc.chunks,
+          [&](std::size_t i) {
+            const auto [n0, n1] = nc.range(i);
+            run_block<S>(a, b, c, s, 0, m, n0, n1);
+          },
+          threads);
+      break;
+    }
+    case ParAxis::MN: {
+      // 2D grid: rows split into at most `threads` chunks, columns carved
+      // (by grain, or auto) so the grid still has slack to balance.
+      // Chunk index = row-major over the grid.
+      AxisChunks mc;
+      mc.tile = tm;
+      mc.extent = m;
+      mc.tiles = (m + tm - 1) / tm;
+      mc.chunks = std::min(threads, mc.tiles);
+      const AxisChunks nc = make_axis_chunks(n, tn, s.par_grain, threads);
+      pool.parallel_for(
+          mc.chunks * nc.chunks,
+          [&](std::size_t i) {
+            const auto [m0, m1] = mc.range(i / nc.chunks);
+            const auto [n0, n1] = nc.range(i % nc.chunks);
+            run_block<S>(a, b, c, s, m0, m1, n0, n1);
+          },
+          threads);
+      break;
+    }
+  }
 }
 
 template <class S>

@@ -13,6 +13,17 @@
 /// schedule machinery applies unchanged.
 namespace tvmec::tensor {
 
+/// Which loop axis parallel schedules partition across threads.
+///
+/// For erasure coding M is tiny (out_units * w, e.g. 32 rows) while N is
+/// the long data axis (words per unit), so partitioning over N — each
+/// worker owning a contiguous span of data words — is what keeps every
+/// core busy. M-partitioning is retained for tall ML-shaped GEMMs, and
+/// MN tiles both axes into a 2D chunk grid.
+enum class ParAxis { M, N, MN };
+
+const char* to_string(ParAxis axis) noexcept;
+
 struct Schedule {
   /// Register-tile height: rows of C accumulated simultaneously.
   int tile_m = 4;
@@ -25,16 +36,26 @@ struct Schedule {
   std::size_t block_k = 0;
   /// Cache-block width over the N axis; 0 means no blocking.
   std::size_t block_n = 0;
-  /// Worker threads; rows of C are partitioned across them. 1 = serial.
+  /// Worker threads participating in one GEMM call. 1 = serial.
   int num_threads = 1;
+  /// Loop axis partitioned across threads (ignored when num_threads == 1).
+  ParAxis par_axis = ParAxis::N;
+  /// Chunk grain for dynamic load balancing: register tiles per work
+  /// chunk along the partitioned axis (the N axis for MN). 0 = auto
+  /// (sized so each thread sees a handful of chunks to steal).
+  std::size_t par_grain = 0;
 
-  /// Human-readable form, e.g. "mt4x8 kb64 nb2048 t1", used in tuning logs.
+  /// Human-readable form, e.g. "mt4x8 kb64 nb2048 t4 pn g0", used in
+  /// tuning logs.
   std::string to_string() const;
 
   /// Parses the to_string() format back into a Schedule — the mechanism
   /// behind persisting tuned kernels (TVM's "export the autotuned
-  /// schedule" workflow, §5/§7.1 of the paper). Throws
-  /// std::invalid_argument on malformed input or an invalid schedule.
+  /// schedule" workflow, §5/§7.1 of the paper). The pre-parallel-axis
+  /// 5-field form ("mt4x8 kb64 nb2048 t4") is still accepted and maps
+  /// to M-partitioning with auto grain, which is what that era of logs
+  /// actually ran. Throws std::invalid_argument on malformed input or
+  /// an invalid schedule.
   static Schedule parse(const std::string& text);
 
   /// True if every knob is inside the range the kernel dispatcher supports.

@@ -1,16 +1,27 @@
 #include "tensor/threadpool.h"
 
-#include <atomic>
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
+#include <utility>
 
 namespace tvmec::tensor {
+
+namespace {
+
+/// Depth of parallel_for frames on this thread (any pool). Non-zero means
+/// we are already inside a job, so a further parallel_for must run inline:
+/// a helper cannot block on its own pool, and the dispatching caller
+/// already holds dispatch_mutex_.
+thread_local int t_parallel_depth = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0)
     throw std::invalid_argument("ThreadPool: need at least one thread");
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i)
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
@@ -19,58 +30,100 @@ ThreadPool::~ThreadPool() {
     std::lock_guard lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  wake_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_chunks(RawFn fn, void* ctx, std::size_t count) noexcept {
+  ++t_parallel_depth;
   for (;;) {
-    std::function<void()> task;
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    try {
+      fn(ctx, i);
+    } catch (...) {
+      std::lock_guard lock(error_mutex_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+  }
+  --t_parallel_depth;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    RawFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t count = 0;
+    std::size_t limit = 0;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      wake_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = job_fn_;
+      ctx = job_ctx_;
+      count = job_count_;
+      limit = job_limit_;
     }
-    task();
+    // Claim a participation slot; slots at or beyond the job's thread cap
+    // sit this round out (the schedule asked for fewer threads than the
+    // pool has).
+    const std::size_t slot =
+        participants_.fetch_add(1, std::memory_order_relaxed);
+    if (slot < limit) run_chunks(fn, ctx, count);
+    // The caller cannot leave parallel_for — and therefore cannot
+    // invalidate fn/ctx — until every helper has checked in for this
+    // epoch, so signalling last keeps helpers off freed state.
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(mutex_);
+      done_cv_.notify_one();
+    }
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t count, RawFn fn, void* ctx,
+                              std::size_t max_workers) {
   if (count == 0) return;
-  if (count == 1) {
-    fn(0);
+  const std::size_t width =
+      max_workers == 0 ? size() : std::min(max_workers, size());
+  if (count == 1 || width <= 1 || workers_.empty() || t_parallel_depth > 0) {
+    // Serial pools, single items, and nested calls run inline on the
+    // calling thread; exceptions propagate directly.
+    for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
     return;
   }
-  std::atomic<std::size_t> remaining{count};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+
+  std::lock_guard dispatch(dispatch_mutex_);
   {
     std::lock_guard lock(mutex_);
-    for (std::size_t i = 0; i < count; ++i) {
-      tasks_.emplace([&, i] {
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard elock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard dlock(done_mutex);
-          done_cv.notify_all();
-        }
-      });
-    }
+    job_fn_ = fn;
+    job_ctx_ = ctx;
+    job_count_ = count;
+    job_limit_ = width;
+    next_index_.store(0, std::memory_order_relaxed);
+    participants_.store(1, std::memory_order_relaxed);  // caller is slot 0
+    outstanding_.store(workers_.size(), std::memory_order_relaxed);
+    ++epoch_;
   }
-  cv_.notify_all();
-  std::unique_lock done_lock(done_mutex);
-  done_cv.wait(done_lock,
-               [&] { return remaining.load(std::memory_order_acquire) == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  wake_cv_.notify_all();
+
+  run_chunks(fn, ctx, count);  // the caller works too
+
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+    job_fn_ = nullptr;
+    job_ctx_ = nullptr;
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(error_mutex_);
+    err = std::exchange(job_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 ThreadPool& ThreadPool::shared() {

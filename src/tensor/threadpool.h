@@ -1,47 +1,104 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
-/// A small fixed-size thread pool used by parallel kernel schedules.
+/// A persistent fork-join pool used by parallel kernel schedules.
 ///
-/// Deliberately simple (mutex + condition variable, no work stealing):
-/// kernels submit a handful of coarse row-range tasks per call, so queue
-/// contention is negligible and correctness is easy to reason about.
+/// Dispatch model: a pool of width W is the calling thread plus W-1
+/// resident helper threads. `parallel_for(count, fn)` publishes one job
+/// (a raw function pointer + context — no heap allocation, no per-task
+/// queue), wakes the helpers, and then the caller itself joins the loop:
+/// every participant repeatedly claims the next unclaimed index from a
+/// shared atomic counter until the range is drained. The atomic counter
+/// gives dynamic load balancing for free — a slow chunk simply means that
+/// worker claims fewer chunks — which is what makes fine-grained
+/// N-partitioned GEMM schedules balance without static splitting.
+///
+/// Nested calls (parallel_for from inside a running parallel_for) execute
+/// the inner range inline on the calling participant, so nesting can never
+/// deadlock the pool. Completion/error state lives in pool members, never
+/// on the caller's stack, so helpers touch nothing that can dangle.
 namespace tvmec::tensor {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1; throws std::invalid_argument on 0).
+  /// Raw job signature: `ctx` is the closure state, `index` the claimed
+  /// loop index.
+  using RawFn = void (*)(void* ctx, std::size_t index);
+
+  /// Creates a pool of parallel width `num_threads`: the caller plus
+  /// `num_threads - 1` resident helpers (>= 1; throws
+  /// std::invalid_argument on 0).
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const noexcept { return workers_.size(); }
+  /// Parallel width: helpers + the participating caller.
+  std::size_t size() const noexcept { return workers_.size() + 1; }
 
-  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
-  /// invocations complete. Exceptions thrown by fn propagate to the caller
-  /// (the first one captured wins).
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Runs fn(ctx, i) for i in [0, count) across the pool and blocks until
+  /// every invocation completes. The caller participates in the work.
+  /// `max_workers` caps how many threads (including the caller) claim
+  /// indices; 0 means the full pool width. Exceptions thrown by fn
+  /// propagate to the caller (the first one captured wins) after the
+  /// whole range has been attempted.
+  void parallel_for(std::size_t count, RawFn fn, void* ctx,
+                    std::size_t max_workers = 0);
+
+  /// Convenience adapter for callables: forwards to the raw overload
+  /// without copying or heap-allocating `fn` (it outlives the call).
+  template <typename F>
+    requires std::is_invocable_v<F&, std::size_t>
+  void parallel_for(std::size_t count, F&& fn, std::size_t max_workers = 0) {
+    using Fn = std::remove_reference_t<F>;
+    parallel_for(
+        count,
+        [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+        max_workers);
+  }
 
   /// Process-wide pool sized to the hardware; created on first use.
   static ThreadPool& shared();
 
  private:
   void worker_loop();
+  /// Claims indices from next_index_ until the job range is drained,
+  /// capturing the first exception into job_error_.
+  void run_chunks(RawFn fn, void* ctx, std::size_t count) noexcept;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+
+  // Job slot — written by the dispatching caller under mutex_, read by
+  // helpers under mutex_ after an epoch change.
   std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable wake_cv_;  // helpers wait for a new epoch
+  std::condition_variable done_cv_;  // caller waits for helpers to finish
+  std::uint64_t epoch_ = 0;
   bool stop_ = false;
+  RawFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t job_limit_ = 0;  // max participants, caller included
+
+  std::atomic<std::size_t> next_index_{0};    // next unclaimed loop index
+  std::atomic<std::size_t> participants_{0};  // claimed participation slots
+  std::atomic<std::size_t> outstanding_{0};   // helpers not yet done
+
+  std::mutex error_mutex_;
+  std::exception_ptr job_error_;
+
+  // Serializes dispatches from distinct caller threads.
+  std::mutex dispatch_mutex_;
 };
 
 }  // namespace tvmec::tensor

@@ -66,6 +66,21 @@ std::vector<double> featurize(const tensor::Schedule& s,
   f.push_back(static_cast<double>(shape.n) / bn / 8.0);     // 9 n passes
   f.push_back(std::log2(threads));                          // 10 parallelism
   f.push_back(threads > 1 ? 1.0 : 0.0);                     // 11 parallel flag
+
+  // Parallel-axis strategy. The decisive signal for EC shapes: register
+  // tiles available along the partitioned axis per thread — M-partitioned
+  // EC encodes have ~1 (starved), N-partitioned ones have thousands.
+  const double m_tiles = std::ceil(static_cast<double>(shape.m) / tm);
+  const double n_tiles = std::ceil(static_cast<double>(shape.n) / tn);
+  const double axis_tiles = s.par_axis == tensor::ParAxis::M
+                                ? m_tiles
+                                : s.par_axis == tensor::ParAxis::N
+                                      ? n_tiles
+                                      : m_tiles * n_tiles;
+  f.push_back(s.par_axis == tensor::ParAxis::N ? 1.0 : 0.0);   // 12 par n
+  f.push_back(s.par_axis == tensor::ParAxis::MN ? 1.0 : 0.0);  // 13 par mn
+  f.push_back(std::log2(1.0 + axis_tiles / threads));  // 14 tiles/thread
+  f.push_back(std::log2(1.0 + static_cast<double>(s.par_grain)));  // 15 grain
   return f;
 }
 

@@ -15,11 +15,12 @@
 namespace tvmec::tune {
 
 /// Number of features produced by `featurize`.
-inline constexpr std::size_t kNumFeatures = 12;
+inline constexpr std::size_t kNumFeatures = 16;
 
 /// Schedule/shape features: tile geometry, estimated cache footprints of
 /// the blocked operands relative to typical L1/L2 sizes, pass counts, and
-/// parallelism. All scaled to be O(1).
+/// parallelism (thread count, partitioned axis, and how much parallel
+/// slack the partitioning leaves per thread). All scaled to be O(1).
 std::vector<double> featurize(const tensor::Schedule& s,
                               const TaskShape& shape);
 

@@ -30,11 +30,23 @@ SearchSpace::SearchSpace(const TaskShape& shape, int max_threads)
     if (b < shape.n) block_ns_.push_back(b);
 
   for (int t = 1; t <= max_threads; t *= 2) threads_.push_back(t);
+
+  // Parallelization strategy only matters with real parallelism; a serial
+  // space keeps the canonical single entry so serial tuning sessions do
+  // not waste trials on nine perf-identical duplicates per point.
+  if (max_threads > 1) {
+    par_axes_ = {tensor::ParAxis::N, tensor::ParAxis::M, tensor::ParAxis::MN};
+    grains_ = {0, 1, 4};
+  } else {
+    par_axes_ = {tensor::ParAxis::N};
+    grains_ = {0};
+  }
 }
 
 std::size_t SearchSpace::size() const noexcept {
   return tile_ms_.size() * tile_ns_.size() * block_ks_.size() *
-         block_ns_.size() * threads_.size();
+         block_ns_.size() * threads_.size() * par_axes_.size() *
+         grains_.size();
 }
 
 tensor::Schedule SearchSpace::at(std::size_t i) const {
@@ -49,6 +61,10 @@ tensor::Schedule SearchSpace::at(std::size_t i) const {
   s.block_n = block_ns_[i % block_ns_.size()];
   i /= block_ns_.size();
   s.num_threads = threads_[i % threads_.size()];
+  i /= threads_.size();
+  s.par_axis = par_axes_[i % par_axes_.size()];
+  i /= par_axes_.size();
+  s.par_grain = grains_[i % grains_.size()];
   return s;
 }
 
@@ -67,7 +83,7 @@ tensor::Schedule SearchSpace::sample(std::mt19937_64& rng) const {
 tensor::Schedule SearchSpace::mutate(const tensor::Schedule& s,
                                      std::mt19937_64& rng) const {
   tensor::Schedule out = s;
-  std::uniform_int_distribution<int> knob_dist(0, 4);
+  std::uniform_int_distribution<int> knob_dist(0, 6);
   const auto pick = [&rng](const auto& options) {
     std::uniform_int_distribution<std::size_t> d(0, options.size() - 1);
     return options[d(rng)];
@@ -85,8 +101,14 @@ tensor::Schedule SearchSpace::mutate(const tensor::Schedule& s,
     case 3:
       out.block_n = pick(block_ns_);
       break;
-    default:
+    case 4:
       out.num_threads = pick(threads_);
+      break;
+    case 5:
+      out.par_axis = pick(par_axes_);
+      break;
+    default:
+      out.par_grain = pick(grains_);
       break;
   }
   return out;

@@ -8,7 +8,9 @@
 
 /// The schedule search space an autotuner explores for one GEMM-shaped
 /// task. Mirrors the role of TVM Autoscheduler's sketch+annotation space:
-/// register-tile extents, cache-block sizes over K and N, and thread count.
+/// register-tile extents, cache-block sizes over K and N, thread count,
+/// and — as in TVM, where which loop axis gets the `parallel` annotation
+/// is itself a schedule decision — the parallel axis and chunk grain.
 namespace tvmec::tune {
 
 /// The problem shape being tuned for (C is m x n, reduction extent k;
@@ -52,6 +54,12 @@ class SearchSpace {
     return block_ns_;
   }
   const std::vector<int>& thread_options() const noexcept { return threads_; }
+  const std::vector<tensor::ParAxis>& par_axis_options() const noexcept {
+    return par_axes_;
+  }
+  const std::vector<std::size_t>& grain_options() const noexcept {
+    return grains_;
+  }
 
  private:
   TaskShape shape_;
@@ -60,6 +68,8 @@ class SearchSpace {
   std::vector<std::size_t> block_ks_;
   std::vector<std::size_t> block_ns_;
   std::vector<int> threads_;
+  std::vector<tensor::ParAxis> par_axes_;
+  std::vector<std::size_t> grains_;
 };
 
 }  // namespace tvmec::tune

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace tvmec::tune {
 
@@ -37,20 +38,35 @@ std::optional<TuneResult> load_log(const std::string& path,
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
-    std::string rec_key, sep1, schedule_text, sep2;
+    // key | <schedule string, token count era-dependent> | throughput
+    const std::size_t bar1 = line.find('|');
+    const std::size_t bar2 =
+        bar1 == std::string::npos ? std::string::npos : line.find('|', bar1 + 1);
+    if (bar2 == std::string::npos)
+      throw std::runtime_error("load_log: malformed record at " + path +
+                               ":" + std::to_string(line_no));
+    std::string rec_key;
     double throughput = 0;
-    // key | mtAxB kbC nbD tE | throughput
-    std::string mt, kb, nb, t;
-    if (!(fields >> rec_key >> sep1 >> mt >> kb >> nb >> t >> sep2 >>
-          throughput) ||
-        sep1 != "|" || sep2 != "|")
+    std::istringstream key_field(line.substr(0, bar1));
+    std::istringstream value_field(line.substr(bar2 + 1));
+    if (!(key_field >> rec_key) || !(value_field >> throughput))
       throw std::runtime_error("load_log: malformed record at " + path +
                                ":" + std::to_string(line_no));
     if (rec_key != key) continue;
+    std::string schedule_text = line.substr(bar1 + 1, bar2 - bar1 - 1);
+    const std::size_t first = schedule_text.find_first_not_of(' ');
+    const std::size_t last = schedule_text.find_last_not_of(' ');
+    if (first == std::string::npos)
+      throw std::runtime_error("load_log: malformed record at " + path +
+                               ":" + std::to_string(line_no));
+    schedule_text = schedule_text.substr(first, last - first + 1);
     TrialRecord rec;
-    rec.schedule =
-        tensor::Schedule::parse(mt + " " + kb + " " + nb + " " + t);
+    try {
+      rec.schedule = tensor::Schedule::parse(schedule_text);
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("load_log: bad schedule at " + path + ":" +
+                               std::to_string(line_no));
+    }
     rec.throughput = throughput;
     if (rec.throughput > result.best_throughput) {
       result.best_throughput = rec.throughput;

@@ -77,6 +77,77 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<3>(info.param));
     });
 
+/// Multithreaded equivalence: every parallel-axis mode must match the
+/// naive kernel on ragged shapes (M not divisible by tile_m, N not by
+/// tile_n), across thread counts and grains.
+class ParAxisTest
+    : public ::testing::TestWithParam<std::tuple<ParAxis, int, int>> {};
+
+TEST_P(ParAxisTest, MatchesNaiveOnRaggedShapes) {
+  const auto [axis, threads, grain] = GetParam();
+  std::mt19937_64 rng(0xA57 + static_cast<unsigned>(threads));
+  for (int trial = 0; trial < 12; ++trial) {
+    // Ragged by construction: one past a tile multiple, or prime-ish.
+    const std::size_t m = 1 + rng() % 37;
+    const std::size_t n = 1 + rng() % 300;
+    const std::size_t k = 1 + rng() % 90;
+    Schedule s;
+    s.tile_m = 8;  // m % tile_m != 0 for most draws
+    s.tile_n = 16;
+    s.block_k = (trial % 2) ? 16 : 0;
+    s.block_n = (trial % 3) ? 96 : 0;
+    s.num_threads = threads;
+    s.par_axis = axis;
+    s.par_grain = static_cast<std::size_t>(grain);
+    ASSERT_TRUE(s.valid());
+
+    const auto a = random_masks(m * k, rng());
+    const auto b = random_words(k * n, rng());
+    AlignedBuffer<std::uint64_t> c(m * n), ref(m * n);
+    const MatView<const std::uint64_t> av{a.data(), m, k, k};
+    const MatView<const std::uint64_t> bv{b.data(), k, n, n};
+    gemm_xorand(av, bv, {c.data(), m, n, n}, s);
+    gemm_naive_xorand(av, bv, {ref.data(), m, n, n});
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_EQ(c[i], ref[i])
+          << "axis " << to_string(axis) << " shape " << m << "x" << n << "x"
+          << k << " schedule " << s.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AxisGrid, ParAxisTest,
+    ::testing::Combine(::testing::Values(ParAxis::M, ParAxis::N, ParAxis::MN),
+                       ::testing::Values(2, 3, 8),  // threads
+                       ::testing::Values(0, 1, 4)),  // grain
+    [](const auto& info) {
+      return std::string("p") + to_string(std::get<0>(info.param)) + "t" +
+             std::to_string(std::get<1>(info.param)) + "g" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ParAxis, MoreThreadsThanTilesIsCorrect) {
+  // M smaller than one tile and fewer N tiles than threads: extra workers
+  // must idle, not touch out-of-range rows/columns.
+  const std::size_t m = 3, n = 10, k = 5;
+  auto a = random_masks(m * k, 21);
+  auto b = random_words(k * n, 22);
+  AlignedBuffer<std::uint64_t> c(m * n), ref(m * n);
+  const MatView<const std::uint64_t> av{a.data(), m, k, k};
+  const MatView<const std::uint64_t> bv{b.data(), k, n, n};
+  gemm_naive_xorand(av, bv, {ref.data(), m, n, n});
+  for (const ParAxis axis : {ParAxis::M, ParAxis::N, ParAxis::MN}) {
+    Schedule s;
+    s.tile_m = 8;
+    s.tile_n = 8;
+    s.num_threads = 16;
+    s.par_axis = axis;
+    gemm_xorand(av, bv, {c.data(), m, n, n}, s);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_EQ(c[i], ref[i]) << "axis " << to_string(axis);
+  }
+}
+
 TEST(SumProdKernel, MatchesNaive) {
   const std::size_t m = 9, n = 31, k = 17;
   AlignedBuffer<std::int64_t> a(m * k), b(k * n), c(m * n), ref(m * n);
@@ -136,6 +207,9 @@ TEST(KernelFuzz, RandomShapesAndSchedulesMatchNaive) {
     s.block_k = (rng() % 2) ? 0 : 1 + rng() % k;
     s.block_n = (rng() % 2) ? 0 : 1 + rng() % n;
     s.num_threads = 1 + static_cast<int>(rng() % 4);
+    const ParAxis axes[] = {ParAxis::M, ParAxis::N, ParAxis::MN};
+    s.par_axis = axes[rng() % 3];
+    s.par_grain = rng() % 5;
 
     auto a = random_masks(m * k, rng());
     auto b = random_words(k * n, rng());

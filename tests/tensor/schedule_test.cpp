@@ -23,6 +23,56 @@ TEST(ScheduleParse, RoundTripsEverySupportedSchedule) {
   }
 }
 
+TEST(ScheduleParse, RoundTripsParallelAxisKnobs) {
+  for (const ParAxis axis : {ParAxis::M, ParAxis::N, ParAxis::MN}) {
+    for (const std::size_t grain : {0u, 1u, 4u, 64u}) {
+      for (const int t : {1, 2, 8}) {
+        Schedule s;
+        s.tile_m = 8;
+        s.tile_n = 16;
+        s.block_n = 512;
+        s.num_threads = t;
+        s.par_axis = axis;
+        s.par_grain = grain;
+        EXPECT_EQ(Schedule::parse(s.to_string()), s) << s.to_string();
+      }
+    }
+  }
+}
+
+TEST(ScheduleParse, LegacyFiveFieldFormStillParses) {
+  // Pre-parallel-axis logs partitioned rows of C; the legacy form maps
+  // to exactly that so old tuning logs keep their meaning.
+  const Schedule s = Schedule::parse("mt4x8 kb64 nb2048 t4");
+  EXPECT_EQ(s.tile_m, 4);
+  EXPECT_EQ(s.tile_n, 8);
+  EXPECT_EQ(s.block_k, 64u);
+  EXPECT_EQ(s.block_n, 2048u);
+  EXPECT_EQ(s.num_threads, 4);
+  EXPECT_EQ(s.par_axis, ParAxis::M);
+  EXPECT_EQ(s.par_grain, 0u);
+}
+
+TEST(ScheduleParse, RejectsBadParallelAxis) {
+  EXPECT_THROW(Schedule::parse("mt4x8 kb0 nb0 t4 pz g0"),
+               std::invalid_argument);
+  EXPECT_THROW(Schedule::parse("mt4x8 kb0 nb0 t4 pn"), std::invalid_argument);
+  EXPECT_THROW(Schedule::parse("mt4x8 kb0 nb0 t4 pn g0 junk"),
+               std::invalid_argument);
+}
+
+TEST(ScheduleValidity, GrainCapEnforced) {
+  Schedule s = default_schedule();
+  s.par_grain = std::size_t{1} << 20;
+  EXPECT_TRUE(s.valid());
+  s.par_grain = (std::size_t{1} << 20) + 1;
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(Schedule, DefaultPartitionsTheLongAxis) {
+  EXPECT_EQ(default_schedule().par_axis, ParAxis::N);
+}
+
 TEST(ScheduleParse, RejectsMalformedText) {
   EXPECT_THROW(Schedule::parse(""), std::invalid_argument);
   EXPECT_THROW(Schedule::parse("mt4x4"), std::invalid_argument);

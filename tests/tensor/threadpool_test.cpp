@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 #include <vector>
 
 namespace tvmec::tensor {
@@ -68,6 +71,133 @@ TEST(ThreadPool, ReusableAcrossCalls) {
 TEST(ThreadPool, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
   EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+TEST(ThreadPool, CallerParticipatesInWork) {
+  // Fork-join semantics: the dispatching thread is a worker, so even a
+  // width-1 pool (zero helpers) executes the whole range.
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 12;
+  constexpr std::size_t kInner = 9;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    // Same pool from inside a job: must execute inline, not block.
+    pool.parallel_for(kInner, [&](std::size_t i) { ++hits[o * kInner + i]; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, DeeplyNestedStillCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(3, [&](std::size_t) {
+      pool.parallel_for(2, [&](std::size_t) { ++leaves; });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 4 * 3 * 2);
+}
+
+TEST(ThreadPool, NestedExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(6,
+                                 [&](std::size_t o) {
+                                   pool.parallel_for(4, [&](std::size_t i) {
+                                     if (o == 3 && i == 2)
+                                       throw std::runtime_error("inner");
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionStressManyRounds) {
+  // The pool must stay healthy across repeated throwing dispatches —
+  // completion/error state is pool-owned, never a dangling stack slot.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_THROW(pool.parallel_for(32,
+                                   [&](std::size_t i) {
+                                     if (i % 3 == 0)
+                                       throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // A clean job right after must still run everything exactly once.
+    std::atomic<int> count{0};
+    pool.parallel_for(32, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 32);
+  }
+}
+
+TEST(ThreadPool, MaxWorkersCapsParticipants) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  // Long enough chunks that an uncapped pool would certainly use >2
+  // threads; the cap must keep participation to at most 2.
+  pool.parallel_for(
+      64,
+      [&](std::size_t) {
+        std::lock_guard lock(mu);
+        seen.insert(std::this_thread::get_id());
+      },
+      /*max_workers=*/2);
+  EXPECT_LE(seen.size(), 2u);
+  EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(ThreadPool, ConcurrentDispatchersSerializeSafely) {
+  // Multiple external threads hammering one pool: jobs serialize through
+  // the dispatch lock and every index of every job runs exactly once.
+  ThreadPool pool(4);
+  constexpr int kDispatchers = 6;
+  constexpr std::size_t kCount = 128;
+  std::vector<std::atomic<int>> totals(kDispatchers);
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(kDispatchers);
+  for (int d = 0; d < kDispatchers; ++d) {
+    dispatchers.emplace_back([&, d] {
+      for (int round = 0; round < 10; ++round)
+        pool.parallel_for(kCount, [&](std::size_t) { ++totals[d]; });
+    });
+  }
+  for (auto& t : dispatchers) t.join();
+  for (int d = 0; d < kDispatchers; ++d)
+    EXPECT_EQ(totals[d].load(), static_cast<int>(kCount) * 10);
+}
+
+TEST(ThreadPool, RawDispatchAvoidsCallables) {
+  // The raw fn+ctx entry point used by hot kernel paths.
+  ThreadPool pool(2);
+  std::atomic<long long> sum{0};
+  const auto raw = [](void* ctx, std::size_t i) {
+    static_cast<std::atomic<long long>*>(ctx)->fetch_add(
+        static_cast<long long>(i), std::memory_order_relaxed);
+  };
+  pool.parallel_for(100, +raw, &sum);
+  EXPECT_EQ(sum.load(), 100LL * 99 / 2);
+}
+
+TEST(ThreadPool, DynamicBalancingDrainsSkewedWork) {
+  // One chunk is 100x the others; the atomic claim counter must let the
+  // other workers drain the rest meanwhile. (Correctness check here;
+  // bench_thread_scaling measures the balance win.)
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.parallel_for(40, [&](std::size_t i) {
+    volatile std::uint64_t x = 0;
+    const std::uint64_t spins = (i == 0) ? 2'000'000 : 20'000;
+    for (std::uint64_t s = 0; s < spins; ++s) x += s;
+    ++done;
+  });
+  EXPECT_EQ(done.load(), 40);
 }
 
 }  // namespace

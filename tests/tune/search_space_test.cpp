@@ -75,9 +75,46 @@ TEST(SearchSpace, MutateChangesAtMostOneKnob) {
     changed += m.block_k != base.block_k;
     changed += m.block_n != base.block_n;
     changed += m.num_threads != base.num_threads;
+    changed += m.par_axis != base.par_axis;
+    changed += m.par_grain != base.par_grain;
     EXPECT_LE(changed, 1);
     EXPECT_TRUE(m.valid());
   }
+}
+
+TEST(SearchSpace, ParallelAxisKnobsOfferedWithThreads) {
+  const SearchSpace space(typical_shape(), 4);
+  EXPECT_EQ(space.par_axis_options().size(), 3u);
+  EXPECT_EQ(space.grain_options(), (std::vector<std::size_t>{0, 1, 4}));
+  // The space must contain an N-partitioned multithreaded schedule — the
+  // configuration the paper's multi-core wins depend on.
+  bool found = false;
+  for (const auto& s : space.all())
+    found |= s.par_axis == tensor::ParAxis::N && s.num_threads > 1;
+  EXPECT_TRUE(found);
+}
+
+TEST(SearchSpace, SerialSpaceHasNoParallelAxisDuplicates) {
+  // With one thread the axis/grain knobs are perf-identical; the space
+  // collapses them so serial tuning budgets are not wasted.
+  const SearchSpace space(typical_shape(), 1);
+  EXPECT_EQ(space.par_axis_options().size(), 1u);
+  EXPECT_EQ(space.grain_options().size(), 1u);
+}
+
+TEST(SearchSpace, MutateReachesParallelAxisKnobs) {
+  const SearchSpace space(typical_shape(), 4);
+  std::mt19937_64 rng(10);
+  tensor::Schedule base = space.sample(rng);
+  base.par_axis = tensor::ParAxis::M;
+  bool axis_changed = false, grain_changed = false;
+  for (int i = 0; i < 500 && !(axis_changed && grain_changed); ++i) {
+    const tensor::Schedule m = space.mutate(base, rng);
+    axis_changed |= m.par_axis != base.par_axis;
+    grain_changed |= m.par_grain != base.par_grain;
+  }
+  EXPECT_TRUE(axis_changed);
+  EXPECT_TRUE(grain_changed);
 }
 
 }  // namespace
