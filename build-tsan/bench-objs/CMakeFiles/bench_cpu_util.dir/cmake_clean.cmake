@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cpu_util"
+  "../bench/bench_cpu_util.pdb"
+  "CMakeFiles/bench_cpu_util.dir/bench_cpu_util.cpp.o"
+  "CMakeFiles/bench_cpu_util.dir/bench_cpu_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_decode"
+  "../bench/bench_decode.pdb"
+  "CMakeFiles/bench_decode.dir/bench_decode.cpp.o"
+  "CMakeFiles/bench_decode.dir/bench_decode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_encode"
+  "../bench/bench_fig2_encode.pdb"
+  "CMakeFiles/bench_fig2_encode.dir/bench_fig2_encode.cpp.o"
+  "CMakeFiles/bench_fig2_encode.dir/bench_fig2_encode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lrc"
+  "../bench/bench_lrc.pdb"
+  "CMakeFiles/bench_lrc.dir/bench_lrc.cpp.o"
+  "CMakeFiles/bench_lrc.dir/bench_lrc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

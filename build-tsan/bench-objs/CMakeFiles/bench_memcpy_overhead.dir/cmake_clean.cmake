@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_memcpy_overhead"
+  "../bench/bench_memcpy_overhead.pdb"
+  "CMakeFiles/bench_memcpy_overhead.dir/bench_memcpy_overhead.cpp.o"
+  "CMakeFiles/bench_memcpy_overhead.dir/bench_memcpy_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memcpy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unit_size"
+  "../bench/bench_unit_size.pdb"
+  "CMakeFiles/bench_unit_size.dir/bench_unit_size.cpp.o"
+  "CMakeFiles/bench_unit_size.dir/bench_unit_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unit_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

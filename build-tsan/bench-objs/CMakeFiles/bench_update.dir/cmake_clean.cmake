@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_update"
+  "../bench/bench_update.pdb"
+  "CMakeFiles/bench_update.dir/bench_update.cpp.o"
+  "CMakeFiles/bench_update.dir/bench_update.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

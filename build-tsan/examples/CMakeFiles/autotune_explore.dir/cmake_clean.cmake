@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_explore.dir/autotune_explore.cpp.o"
+  "CMakeFiles/autotune_explore.dir/autotune_explore.cpp.o.d"
+  "autotune_explore"
+  "autotune_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_training.dir/checkpoint_training.cpp.o"
+  "CMakeFiles/checkpoint_training.dir/checkpoint_training.cpp.o.d"
+  "checkpoint_training"
+  "checkpoint_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_shards.dir/file_shards.cpp.o"
+  "CMakeFiles/file_shards.dir/file_shards.cpp.o.d"
+  "file_shards"
+  "file_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

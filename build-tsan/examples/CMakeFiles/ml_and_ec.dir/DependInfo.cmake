@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ml_and_ec.cpp" "examples/CMakeFiles/ml_and_ec.dir/ml_and_ec.cpp.o" "gcc" "examples/CMakeFiles/ml_and_ec.dir/ml_and_ec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/accel/CMakeFiles/tvmec_accel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/tvmec_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/tvmec_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/tvmec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ec/CMakeFiles/tvmec_ec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tune/CMakeFiles/tvmec_tune.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/tvmec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gf/CMakeFiles/tvmec_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_and_ec.dir/ml_and_ec.cpp.o"
+  "CMakeFiles/ml_and_ec.dir/ml_and_ec.cpp.o.d"
+  "ml_and_ec"
+  "ml_and_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_and_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_store_repair.dir/object_store_repair.cpp.o"
+  "CMakeFiles/object_store_repair.dir/object_store_repair.cpp.o.d"
+  "object_store_repair"
+  "object_store_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_store_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

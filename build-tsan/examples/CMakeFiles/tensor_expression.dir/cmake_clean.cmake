@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_expression.dir/tensor_expression.cpp.o"
+  "CMakeFiles/tensor_expression.dir/tensor_expression.cpp.o.d"
+  "tensor_expression"
+  "tensor_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

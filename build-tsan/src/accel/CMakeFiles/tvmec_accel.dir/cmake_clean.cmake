@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmec_accel.dir/device.cpp.o"
+  "CMakeFiles/tvmec_accel.dir/device.cpp.o.d"
+  "CMakeFiles/tvmec_accel.dir/device_codec.cpp.o"
+  "CMakeFiles/tvmec_accel.dir/device_codec.cpp.o.d"
+  "libtvmec_accel.a"
+  "libtvmec_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmec_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/isal_like.cpp" "src/baselines/CMakeFiles/tvmec_baselines.dir/isal_like.cpp.o" "gcc" "src/baselines/CMakeFiles/tvmec_baselines.dir/isal_like.cpp.o.d"
+  "/root/repo/src/baselines/jerasure_like.cpp" "src/baselines/CMakeFiles/tvmec_baselines.dir/jerasure_like.cpp.o" "gcc" "src/baselines/CMakeFiles/tvmec_baselines.dir/jerasure_like.cpp.o.d"
+  "/root/repo/src/baselines/naive.cpp" "src/baselines/CMakeFiles/tvmec_baselines.dir/naive.cpp.o" "gcc" "src/baselines/CMakeFiles/tvmec_baselines.dir/naive.cpp.o.d"
+  "/root/repo/src/baselines/xor_schedule.cpp" "src/baselines/CMakeFiles/tvmec_baselines.dir/xor_schedule.cpp.o" "gcc" "src/baselines/CMakeFiles/tvmec_baselines.dir/xor_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ec/CMakeFiles/tvmec_ec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gf/CMakeFiles/tvmec_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmec_baselines.dir/isal_like.cpp.o"
+  "CMakeFiles/tvmec_baselines.dir/isal_like.cpp.o.d"
+  "CMakeFiles/tvmec_baselines.dir/jerasure_like.cpp.o"
+  "CMakeFiles/tvmec_baselines.dir/jerasure_like.cpp.o.d"
+  "CMakeFiles/tvmec_baselines.dir/naive.cpp.o"
+  "CMakeFiles/tvmec_baselines.dir/naive.cpp.o.d"
+  "CMakeFiles/tvmec_baselines.dir/xor_schedule.cpp.o"
+  "CMakeFiles/tvmec_baselines.dir/xor_schedule.cpp.o.d"
+  "libtvmec_baselines.a"
+  "libtvmec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmec_core.dir/backends.cpp.o"
+  "CMakeFiles/tvmec_core.dir/backends.cpp.o.d"
+  "CMakeFiles/tvmec_core.dir/gemm_coder.cpp.o"
+  "CMakeFiles/tvmec_core.dir/gemm_coder.cpp.o.d"
+  "CMakeFiles/tvmec_core.dir/lrc_codec.cpp.o"
+  "CMakeFiles/tvmec_core.dir/lrc_codec.cpp.o.d"
+  "CMakeFiles/tvmec_core.dir/tvmec.cpp.o"
+  "CMakeFiles/tvmec_core.dir/tvmec.cpp.o.d"
+  "libtvmec_core.a"
+  "libtvmec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/bitmatrix_code.cpp" "src/ec/CMakeFiles/tvmec_ec.dir/bitmatrix_code.cpp.o" "gcc" "src/ec/CMakeFiles/tvmec_ec.dir/bitmatrix_code.cpp.o.d"
+  "/root/repo/src/ec/decoder.cpp" "src/ec/CMakeFiles/tvmec_ec.dir/decoder.cpp.o" "gcc" "src/ec/CMakeFiles/tvmec_ec.dir/decoder.cpp.o.d"
+  "/root/repo/src/ec/lrc.cpp" "src/ec/CMakeFiles/tvmec_ec.dir/lrc.cpp.o" "gcc" "src/ec/CMakeFiles/tvmec_ec.dir/lrc.cpp.o.d"
+  "/root/repo/src/ec/reed_solomon.cpp" "src/ec/CMakeFiles/tvmec_ec.dir/reed_solomon.cpp.o" "gcc" "src/ec/CMakeFiles/tvmec_ec.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/gf/CMakeFiles/tvmec_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

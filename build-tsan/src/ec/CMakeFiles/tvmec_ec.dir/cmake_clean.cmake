@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmec_ec.dir/bitmatrix_code.cpp.o"
+  "CMakeFiles/tvmec_ec.dir/bitmatrix_code.cpp.o.d"
+  "CMakeFiles/tvmec_ec.dir/decoder.cpp.o"
+  "CMakeFiles/tvmec_ec.dir/decoder.cpp.o.d"
+  "CMakeFiles/tvmec_ec.dir/lrc.cpp.o"
+  "CMakeFiles/tvmec_ec.dir/lrc.cpp.o.d"
+  "CMakeFiles/tvmec_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/tvmec_ec.dir/reed_solomon.cpp.o.d"
+  "libtvmec_ec.a"
+  "libtvmec_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmec_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

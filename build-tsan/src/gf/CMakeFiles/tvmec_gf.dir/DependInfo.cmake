@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/bitmatrix.cpp" "src/gf/CMakeFiles/tvmec_gf.dir/bitmatrix.cpp.o" "gcc" "src/gf/CMakeFiles/tvmec_gf.dir/bitmatrix.cpp.o.d"
+  "/root/repo/src/gf/gf.cpp" "src/gf/CMakeFiles/tvmec_gf.dir/gf.cpp.o" "gcc" "src/gf/CMakeFiles/tvmec_gf.dir/gf.cpp.o.d"
+  "/root/repo/src/gf/gf_matrix.cpp" "src/gf/CMakeFiles/tvmec_gf.dir/gf_matrix.cpp.o" "gcc" "src/gf/CMakeFiles/tvmec_gf.dir/gf_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

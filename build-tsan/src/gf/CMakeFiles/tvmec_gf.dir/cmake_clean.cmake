@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmec_gf.dir/bitmatrix.cpp.o"
+  "CMakeFiles/tvmec_gf.dir/bitmatrix.cpp.o.d"
+  "CMakeFiles/tvmec_gf.dir/gf.cpp.o"
+  "CMakeFiles/tvmec_gf.dir/gf.cpp.o.d"
+  "CMakeFiles/tvmec_gf.dir/gf_matrix.cpp.o"
+  "CMakeFiles/tvmec_gf.dir/gf_matrix.cpp.o.d"
+  "libtvmec_gf.a"
+  "libtvmec_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmec_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/checkpoint.cpp" "src/storage/CMakeFiles/tvmec_storage.dir/checkpoint.cpp.o" "gcc" "src/storage/CMakeFiles/tvmec_storage.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/storage/chunk_accumulator.cpp" "src/storage/CMakeFiles/tvmec_storage.dir/chunk_accumulator.cpp.o" "gcc" "src/storage/CMakeFiles/tvmec_storage.dir/chunk_accumulator.cpp.o.d"
+  "/root/repo/src/storage/crc32c.cpp" "src/storage/CMakeFiles/tvmec_storage.dir/crc32c.cpp.o" "gcc" "src/storage/CMakeFiles/tvmec_storage.dir/crc32c.cpp.o.d"
+  "/root/repo/src/storage/raid_array.cpp" "src/storage/CMakeFiles/tvmec_storage.dir/raid_array.cpp.o" "gcc" "src/storage/CMakeFiles/tvmec_storage.dir/raid_array.cpp.o.d"
+  "/root/repo/src/storage/stripe_store.cpp" "src/storage/CMakeFiles/tvmec_storage.dir/stripe_store.cpp.o" "gcc" "src/storage/CMakeFiles/tvmec_storage.dir/stripe_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/tvmec_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tune/CMakeFiles/tvmec_tune.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/tvmec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/tvmec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ec/CMakeFiles/tvmec_ec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gf/CMakeFiles/tvmec_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

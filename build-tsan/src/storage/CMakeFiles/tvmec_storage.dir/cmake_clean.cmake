@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmec_storage.dir/checkpoint.cpp.o"
+  "CMakeFiles/tvmec_storage.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/tvmec_storage.dir/chunk_accumulator.cpp.o"
+  "CMakeFiles/tvmec_storage.dir/chunk_accumulator.cpp.o.d"
+  "CMakeFiles/tvmec_storage.dir/crc32c.cpp.o"
+  "CMakeFiles/tvmec_storage.dir/crc32c.cpp.o.d"
+  "CMakeFiles/tvmec_storage.dir/raid_array.cpp.o"
+  "CMakeFiles/tvmec_storage.dir/raid_array.cpp.o.d"
+  "CMakeFiles/tvmec_storage.dir/stripe_store.cpp.o"
+  "CMakeFiles/tvmec_storage.dir/stripe_store.cpp.o.d"
+  "libtvmec_storage.a"
+  "libtvmec_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmec_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/expr.cpp" "src/tensor/CMakeFiles/tvmec_tensor.dir/expr.cpp.o" "gcc" "src/tensor/CMakeFiles/tvmec_tensor.dir/expr.cpp.o.d"
+  "/root/repo/src/tensor/kernel.cpp" "src/tensor/CMakeFiles/tvmec_tensor.dir/kernel.cpp.o" "gcc" "src/tensor/CMakeFiles/tvmec_tensor.dir/kernel.cpp.o.d"
+  "/root/repo/src/tensor/schedule.cpp" "src/tensor/CMakeFiles/tvmec_tensor.dir/schedule.cpp.o" "gcc" "src/tensor/CMakeFiles/tvmec_tensor.dir/schedule.cpp.o.d"
+  "/root/repo/src/tensor/threadpool.cpp" "src/tensor/CMakeFiles/tvmec_tensor.dir/threadpool.cpp.o" "gcc" "src/tensor/CMakeFiles/tvmec_tensor.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmec_tensor.dir/expr.cpp.o"
+  "CMakeFiles/tvmec_tensor.dir/expr.cpp.o.d"
+  "CMakeFiles/tvmec_tensor.dir/kernel.cpp.o"
+  "CMakeFiles/tvmec_tensor.dir/kernel.cpp.o.d"
+  "CMakeFiles/tvmec_tensor.dir/schedule.cpp.o"
+  "CMakeFiles/tvmec_tensor.dir/schedule.cpp.o.d"
+  "CMakeFiles/tvmec_tensor.dir/threadpool.cpp.o"
+  "CMakeFiles/tvmec_tensor.dir/threadpool.cpp.o.d"
+  "libtvmec_tensor.a"
+  "libtvmec_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmec_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

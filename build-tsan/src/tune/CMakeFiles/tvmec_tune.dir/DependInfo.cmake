@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tune/cost_model.cpp" "src/tune/CMakeFiles/tvmec_tune.dir/cost_model.cpp.o" "gcc" "src/tune/CMakeFiles/tvmec_tune.dir/cost_model.cpp.o.d"
+  "/root/repo/src/tune/search_space.cpp" "src/tune/CMakeFiles/tvmec_tune.dir/search_space.cpp.o" "gcc" "src/tune/CMakeFiles/tvmec_tune.dir/search_space.cpp.o.d"
+  "/root/repo/src/tune/tuner.cpp" "src/tune/CMakeFiles/tvmec_tune.dir/tuner.cpp.o" "gcc" "src/tune/CMakeFiles/tvmec_tune.dir/tuner.cpp.o.d"
+  "/root/repo/src/tune/tuning_log.cpp" "src/tune/CMakeFiles/tvmec_tune.dir/tuning_log.cpp.o" "gcc" "src/tune/CMakeFiles/tvmec_tune.dir/tuning_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/tvmec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvmec_tune.dir/cost_model.cpp.o"
+  "CMakeFiles/tvmec_tune.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tvmec_tune.dir/search_space.cpp.o"
+  "CMakeFiles/tvmec_tune.dir/search_space.cpp.o.d"
+  "CMakeFiles/tvmec_tune.dir/tuner.cpp.o"
+  "CMakeFiles/tvmec_tune.dir/tuner.cpp.o.d"
+  "CMakeFiles/tvmec_tune.dir/tuning_log.cpp.o"
+  "CMakeFiles/tvmec_tune.dir/tuning_log.cpp.o.d"
+  "libtvmec_tune.a"
+  "libtvmec_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvmec_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/accel/device_codec_test.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/device_codec_test.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/device_test.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/device_test.cpp.o.d"
+  "test_accel"
+  "test_accel.pdb"
+  "test_accel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/isal_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/isal_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/jerasure_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/jerasure_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/naive_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/naive_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/xor_schedule_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/xor_schedule_test.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

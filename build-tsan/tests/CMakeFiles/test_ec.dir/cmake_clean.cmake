@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ec.dir/ec/bitmatrix_code_test.cpp.o"
+  "CMakeFiles/test_ec.dir/ec/bitmatrix_code_test.cpp.o.d"
+  "CMakeFiles/test_ec.dir/ec/decoder_test.cpp.o"
+  "CMakeFiles/test_ec.dir/ec/decoder_test.cpp.o.d"
+  "CMakeFiles/test_ec.dir/ec/lrc_test.cpp.o"
+  "CMakeFiles/test_ec.dir/ec/lrc_test.cpp.o.d"
+  "CMakeFiles/test_ec.dir/ec/reed_solomon_test.cpp.o"
+  "CMakeFiles/test_ec.dir/ec/reed_solomon_test.cpp.o.d"
+  "test_ec"
+  "test_ec.pdb"
+  "test_ec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf.dir/gf/bitmatrix_test.cpp.o"
+  "CMakeFiles/test_gf.dir/gf/bitmatrix_test.cpp.o.d"
+  "CMakeFiles/test_gf.dir/gf/gf_exhaustive_test.cpp.o"
+  "CMakeFiles/test_gf.dir/gf/gf_exhaustive_test.cpp.o.d"
+  "CMakeFiles/test_gf.dir/gf/gf_matrix_test.cpp.o"
+  "CMakeFiles/test_gf.dir/gf/gf_matrix_test.cpp.o.d"
+  "CMakeFiles/test_gf.dir/gf/gf_test.cpp.o"
+  "CMakeFiles/test_gf.dir/gf/gf_test.cpp.o.d"
+  "test_gf"
+  "test_gf.pdb"
+  "test_gf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

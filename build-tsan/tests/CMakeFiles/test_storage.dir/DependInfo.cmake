@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/checkpoint_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/storage/chunk_accumulator_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/chunk_accumulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/chunk_accumulator_test.cpp.o.d"
+  "/root/repo/tests/storage/crc32c_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/crc32c_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/crc32c_test.cpp.o.d"
+  "/root/repo/tests/storage/raid_array_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/raid_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/raid_array_test.cpp.o.d"
+  "/root/repo/tests/storage/stripe_store_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/stripe_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/stripe_store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/accel/CMakeFiles/tvmec_accel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/tvmec_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/tvmec_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/tvmec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ec/CMakeFiles/tvmec_ec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tune/CMakeFiles/tvmec_tune.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/tvmec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gf/CMakeFiles/tvmec_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

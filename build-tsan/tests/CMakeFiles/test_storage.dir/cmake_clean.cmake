@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage.dir/storage/checkpoint_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/chunk_accumulator_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/chunk_accumulator_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/crc32c_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/crc32c_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/raid_array_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/raid_array_test.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/stripe_store_test.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/stripe_store_test.cpp.o.d"
+  "test_storage"
+  "test_storage.pdb"
+  "test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

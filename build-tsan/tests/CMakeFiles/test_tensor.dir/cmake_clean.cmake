@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/buffer_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/buffer_test.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/expr_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/expr_test.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/kernel_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/kernel_test.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/schedule_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/schedule_test.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/threadpool_test.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/threadpool_test.cpp.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

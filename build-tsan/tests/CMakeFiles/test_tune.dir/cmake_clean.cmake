@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tune.dir/tune/cost_model_test.cpp.o"
+  "CMakeFiles/test_tune.dir/tune/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_tune.dir/tune/search_space_test.cpp.o"
+  "CMakeFiles/test_tune.dir/tune/search_space_test.cpp.o.d"
+  "CMakeFiles/test_tune.dir/tune/tuner_test.cpp.o"
+  "CMakeFiles/test_tune.dir/tune/tuner_test.cpp.o.d"
+  "CMakeFiles/test_tune.dir/tune/tuning_log_test.cpp.o"
+  "CMakeFiles/test_tune.dir/tune/tuning_log_test.cpp.o.d"
+  "test_tune"
+  "test_tune.pdb"
+  "test_tune[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

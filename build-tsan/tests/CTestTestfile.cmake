@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_gf[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tune[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ec[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_storage[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_accel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
