@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "storage/crc32c.h"
 
 namespace tvmec::storage {
 
@@ -20,13 +23,15 @@ std::uint64_t CheckpointManager::checkpoint(
   v.id = next_id_++;
   v.shard_sizes.resize(params_.k);
   v.stripe = tensor::AlignedBuffer<std::uint8_t>(params_.n() * shard_capacity_);
-  v.lost.assign(params_.k, false);
+  v.unit_crcs.resize(params_.n());
+  v.lost.assign(params_.n(), false);
   for (std::size_t i = 0; i < params_.k; ++i) {
     if (shards[i].size() > shard_capacity_)
       throw std::invalid_argument("checkpoint: shard exceeds capacity");
     v.shard_sizes[i] = shards[i].size();
-    std::memcpy(v.stripe.data() + i * shard_capacity_, shards[i].data(),
-                shards[i].size());
+    if (!shards[i].empty())  // empty spans may carry a null data()
+      std::memcpy(v.stripe.data() + i * shard_capacity_, shards[i].data(),
+                  shards[i].size());
     // Padding is already zero (AlignedBuffer zero-initializes).
   }
   codec_.encode(
@@ -35,7 +40,18 @@ std::uint64_t CheckpointManager::checkpoint(
       std::span<std::uint8_t>(v.stripe.data() + params_.k * shard_capacity_,
                               params_.r * shard_capacity_),
       shard_capacity_);
+  // Persist each unit into "rank memory": checksum the intended bytes,
+  // then let the injector corrupt the stored copy or crash the rank.
+  for (std::size_t u = 0; u < params_.n(); ++u) {
+    std::uint8_t* bytes = v.stripe.data() + u * shard_capacity_;
+    v.unit_crcs[u] = crc32c({bytes, shard_capacity_});
+    if (injector_ &&
+        !injector_->on_write(u, FaultInjector::key("ckpt", v.id, u),
+                             {bytes, shard_capacity_}))
+      v.lost[u] = true;  // the rank died mid-checkpoint; its unit is gone
+  }
   latest_ = std::move(v);
+  ++stats_.checkpoints_taken;
   return latest_->id;
 }
 
@@ -51,10 +67,8 @@ void CheckpointManager::lose_rank(std::size_t rank) {
     throw std::invalid_argument("lose_rank: rank out of range");
   if (latest_->lost[rank]) return;
   latest_->lost[rank] = true;
-  latest_->recovered = false;
   // The rank's memory is gone: scrub its shard to make the loss real.
-  std::memset(latest_->stripe.data() + rank * shard_capacity_, 0xDD,
-              shard_capacity_);
+  std::memset(unit(rank), 0xDD, shard_capacity_);
 }
 
 bool CheckpointManager::rank_lost(std::size_t rank) const {
@@ -66,8 +80,8 @@ bool CheckpointManager::rank_lost(std::size_t rank) const {
 
 std::size_t CheckpointManager::ranks_lost() const noexcept {
   if (!latest_) return 0;
-  return static_cast<std::size_t>(
-      std::count(latest_->lost.begin(), latest_->lost.end(), true));
+  return static_cast<std::size_t>(std::count(
+      latest_->lost.begin(), latest_->lost.begin() + params_.k, true));
 }
 
 std::vector<std::uint8_t> CheckpointManager::recover_shard(std::size_t rank) {
@@ -75,14 +89,71 @@ std::vector<std::uint8_t> CheckpointManager::recover_shard(std::size_t rank) {
   if (rank >= params_.k)
     throw std::invalid_argument("recover_shard: rank out of range");
 
-  if (!latest_->recovered && ranks_lost() > 0) {
-    std::vector<std::size_t> erased;
-    for (std::size_t i = 0; i < params_.k; ++i)
-      if (latest_->lost[i]) erased.push_back(i);
-    codec_.decode(latest_->stripe.span(), erased, shard_capacity_);
-    latest_->recovered = true;
+  // Survey every unit: lost ones are erased; present ones are read
+  // through the injector with retries and CRC-verified.
+  std::vector<std::size_t> erased;
+  std::vector<std::uint8_t> copy(shard_capacity_);
+  for (std::size_t u = 0; u < params_.n(); ++u) {
+    if (latest_->lost[u]) {
+      erased.push_back(u);
+      continue;
+    }
+    if (!injector_) {
+      if (crc32c({unit(u), shard_capacity_}) != latest_->unit_crcs[u]) {
+        ++stats_.corruptions_detected;
+        erased.push_back(u);
+      }
+      continue;
+    }
+    const std::uint64_t key = FaultInjector::key("ckpt", latest_->id, u);
+    bool corrupt = false;
+    const bool ok =
+        with_retries(retry_, retry_stats_, key, [&]() -> Attempt {
+          if (injector_->crashed(u)) return Attempt::Abort;
+          std::memcpy(copy.data(), unit(u), shard_capacity_);
+          switch (injector_->on_read(u, key, copy)) {
+            case ReadFault::Crash:
+              return Attempt::Abort;
+            case ReadFault::Transient:
+              corrupt = false;
+              return Attempt::Retry;
+            case ReadFault::None:
+              break;
+          }
+          corrupt = crc32c(copy) != latest_->unit_crcs[u];
+          return corrupt ? Attempt::Retry : Attempt::Success;
+        });
+    if (!ok) {
+      if (corrupt) ++stats_.corruptions_detected;
+      latest_->lost[u] = true;  // crash / exhausted: treat the unit as gone
+      erased.push_back(u);
+    }
   }
-  const std::uint8_t* shard = latest_->stripe.data() + rank * shard_capacity_;
+
+  if (erased.size() > params_.r)
+    throw std::runtime_error(
+        "CheckpointManager::recover_shard: " + std::to_string(erased.size()) +
+        " shard units lost or corrupt, but the code only tolerates r=" +
+        std::to_string(params_.r));
+
+  if (!erased.empty()) {
+    codec_.decode(latest_->stripe.span(), erased, shard_capacity_);
+    // CRC-verify the reconstruction before trusting or keeping it.
+    for (const std::size_t u : erased) {
+      if (crc32c({unit(u), shard_capacity_}) != latest_->unit_crcs[u]) {
+        ++stats_.corruptions_detected;
+        throw std::runtime_error(
+            "CheckpointManager: reconstructed shard failed checksum "
+            "verification");
+      }
+    }
+    // The stripe is whole again: clear the loss records (self-healing).
+    std::fill(latest_->lost.begin(), latest_->lost.end(), false);
+    stats_.units_repaired += erased.size();
+  }
+
+  ++stats_.shards_recovered;
+  const std::uint8_t* shard = unit(rank);
   return std::vector<std::uint8_t>(shard, shard + latest_->shard_sizes[rank]);
 }
 

@@ -7,6 +7,8 @@
 
 #include "core/tvmec.h"
 #include "ec/code_params.h"
+#include "storage/fault_injector.h"
+#include "storage/retry.h"
 #include "tensor/buffer.h"
 
 /// In-memory erasure-coded checkpointing for accelerator-native training —
@@ -19,7 +21,20 @@
 /// encodes r parity shards so training survives up to r simultaneous rank
 /// failures without touching stable storage. Checkpoints are versioned;
 /// recovery reconstructs exactly the bytes a lost rank contributed.
+///
+/// Fault model: an attached FaultInjector is consulted when each of the
+/// n shard units is written at checkpoint time and read at recovery time
+/// (rank `u` plays the role of node `u`). Every unit carries a CRC-32C
+/// of its intended contents, so silently corrupted shards are detected
+/// at recovery, rebuilt through parity, and the rebuild itself verified.
 namespace tvmec::storage {
+
+struct CheckpointStats {
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t shards_recovered = 0;      ///< recover_shard calls served
+  std::uint64_t corruptions_detected = 0;  ///< checksum mismatches caught
+  std::uint64_t units_repaired = 0;        ///< shard units rebuilt in place
+};
 
 class CheckpointManager {
  public:
@@ -30,24 +45,43 @@ class CheckpointManager {
 
   const ec::CodeParams& params() const noexcept { return params_; }
   std::size_t shard_capacity() const noexcept { return shard_capacity_; }
+  const CheckpointStats& stats() const noexcept { return stats_; }
+
+  /// Non-owning fault injector consulted on shard unit writes/reads.
+  void attach_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
+
+  void set_retry_policy(const RetryPolicy& policy) noexcept {
+    retry_ = policy;
+  }
+  const RetryPolicy& retry_policy() const noexcept { return retry_; }
+  const RetryStats& retry_stats() const noexcept { return retry_stats_; }
 
   /// Takes a checkpoint from all k ranks (shards[i] is rank i's state,
-  /// size <= shard_capacity). Returns the new checkpoint version.
-  /// Throws std::invalid_argument on a wrong shard count or oversize.
+  /// size <= shard_capacity). Returns the new checkpoint version. Any
+  /// rank losses recorded against the previous checkpoint are cleared —
+  /// a fresh checkpoint is a fresh failure domain. Throws
+  /// std::invalid_argument on a wrong shard count or oversize.
   std::uint64_t checkpoint(
       const std::vector<std::span<const std::uint8_t>>& shards);
 
   std::optional<std::uint64_t> latest_version() const noexcept;
 
   /// Simulates losing a rank's in-memory state for the latest checkpoint.
+  /// Losing more than r ranks is permitted (failures don't consult
+  /// quotas); the unrecoverable condition is reported by recover_shard.
   void lose_rank(std::size_t rank);
   bool rank_lost(std::size_t rank) const;
   std::size_t ranks_lost() const noexcept;
 
   /// Reconstructs the exact bytes rank `rank` checkpointed last, whether
-  /// or not its shard is lost (lost shards are rebuilt via parity).
-  /// Throws std::runtime_error when more than r ranks are lost, or
-  /// std::logic_error when no checkpoint was ever taken.
+  /// or not its shard is lost (lost or corrupt shards are rebuilt via
+  /// parity, and the rebuild is CRC-verified, healing the stored stripe
+  /// in place). Throws std::runtime_error with a clear message when more
+  /// than r units are lost/corrupt, or std::logic_error when no
+  /// checkpoint was ever taken.
   std::vector<std::uint8_t> recover_shard(std::size_t rank);
 
  private:
@@ -55,15 +89,23 @@ class CheckpointManager {
     std::uint64_t id = 0;
     std::vector<std::size_t> shard_sizes;        // original per-rank sizes
     tensor::AlignedBuffer<std::uint8_t> stripe;  // k data + r parity units
-    std::vector<bool> lost;                      // per data rank
-    bool recovered = false;  // decode already re-ran on this stripe
+    std::vector<std::uint32_t> unit_crcs;        // intended CRC per unit (n)
+    std::vector<bool> lost;                      // per unit (n), not just k
   };
+
+  std::uint8_t* unit(std::size_t u) noexcept {
+    return latest_->stripe.data() + u * shard_capacity_;
+  }
 
   ec::CodeParams params_;
   std::size_t shard_capacity_;
   core::Codec codec_;
   std::optional<Version> latest_;
   std::uint64_t next_id_ = 1;
+  CheckpointStats stats_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_;
+  RetryStats retry_stats_;
 };
 
 }  // namespace tvmec::storage

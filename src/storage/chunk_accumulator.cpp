@@ -23,7 +23,8 @@ void ChunkAccumulator::add_chunk(std::size_t index,
   if (filled_[index])
     throw std::invalid_argument("ChunkAccumulator: slot already filled");
   std::uint8_t* dst = region_.data() + index * chunk_size_;
-  std::memcpy(dst, chunk.data(), chunk.size());
+  if (!chunk.empty())  // empty spans may carry a null data()
+    std::memcpy(dst, chunk.data(), chunk.size());
   if (chunk.size() < chunk_size_)
     std::memset(dst + chunk.size(), 0, chunk_size_ - chunk.size());
   filled_[index] = true;

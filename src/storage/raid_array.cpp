@@ -1,8 +1,10 @@
 #include "storage/raid_array.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
+#include "storage/crc32c.h"
 #include "tensor/buffer.h"
 
 namespace tvmec::storage {
@@ -20,35 +22,104 @@ RaidArray::RaidArray(const ec::CodeParams& params, std::size_t block_size,
     d.blocks.assign(stripes * block_size, 0);
     d.valid.assign(stripes, true);  // zero blocks of zero data are valid
   }
+  const std::vector<std::uint8_t> zero(block_size, 0);
+  crcs_.assign(stripes * params_.n(), crc32c(zero));
+}
+
+void RaidArray::mark_device_failed(std::size_t device) {
+  Device& d = devices_[device];
+  if (d.failed) return;
+  d.failed = true;
+  std::fill(d.blocks.begin(), d.blocks.end(), std::uint8_t{0});
+  std::fill(d.valid.begin(), d.valid.end(), false);
+}
+
+bool RaidArray::write_unit(std::size_t stripe, std::size_t u,
+                           const std::uint8_t* src) {
+  // The metadata table always records the intended contents, even when
+  // the device is down — that is what lets rebuild() verify its work.
+  unit_crc(stripe, u) = crc32c({src, block_size_});
+  const std::size_t dev = device_of(stripe, u);
+  if (injector_ && injector_->crashed(dev)) mark_device_failed(dev);
+  Device& d = devices_[dev];
+  if (d.failed) return false;
+  std::memcpy(slot(dev, stripe), src, block_size_);
+  if (injector_ &&
+      !injector_->on_write(dev, FaultInjector::key(stripe, u),
+                           {slot(dev, stripe), block_size_})) {
+    mark_device_failed(dev);
+    return false;
+  }
+  d.valid[stripe] = true;
+  return true;
+}
+
+RaidArray::UnitRead RaidArray::read_unit(std::size_t stripe, std::size_t u,
+                                         std::uint8_t* dest) {
+  const std::size_t dev = device_of(stripe, u);
+  const std::uint64_t key = FaultInjector::key(stripe, u);
+  UnitRead verdict = UnitRead::Missing;
+  with_retries(retry_, retry_stats_, key, [&]() -> Attempt {
+    if (injector_ && injector_->crashed(dev)) {
+      mark_device_failed(dev);
+      verdict = UnitRead::Missing;
+      return Attempt::Abort;
+    }
+    Device& d = devices_[dev];
+    if (d.failed || !d.valid[stripe]) {
+      verdict = UnitRead::Missing;
+      return Attempt::Abort;
+    }
+    std::memcpy(dest, slot(dev, stripe), block_size_);
+    if (injector_) {
+      switch (injector_->on_read(dev, key, {dest, block_size_})) {
+        case ReadFault::Crash:
+          mark_device_failed(dev);
+          verdict = UnitRead::Missing;
+          return Attempt::Abort;
+        case ReadFault::Transient:
+          verdict = UnitRead::Missing;
+          return Attempt::Retry;
+        case ReadFault::None:
+          break;
+      }
+    }
+    if (crc32c({dest, block_size_}) != unit_crc(stripe, u)) {
+      verdict = UnitRead::Corrupt;  // re-read in case it was a read flip
+      return Attempt::Retry;
+    }
+    verdict = UnitRead::Ok;
+    return Attempt::Success;
+  });
+  if (verdict == UnitRead::Corrupt) ++stats_.corruptions_detected;
+  return verdict;
 }
 
 bool RaidArray::read_stripe(std::size_t stripe, std::span<std::uint8_t> out) {
   std::vector<std::size_t> erased;
   for (std::size_t u = 0; u < params_.n(); ++u) {
-    const std::size_t dev = device_of(stripe, u);
-    const Device& d = devices_[dev];
-    if (d.failed || !d.valid[stripe]) {
+    if (read_unit(stripe, u, out.data() + u * block_size_) != UnitRead::Ok)
       erased.push_back(u);
-      continue;
-    }
-    std::memcpy(out.data() + u * block_size_,
-                d.blocks.data() + stripe * block_size_, block_size_);
   }
   if (erased.empty()) return false;
   codec_.decode(out, erased, block_size_);  // throws when > r missing
+  // CRC-verify the reconstruction against the metadata table before any
+  // caller sees (or persists) it.
+  for (const std::size_t u : erased) {
+    if (crc32c({out.data() + u * block_size_, block_size_}) !=
+        unit_crc(stripe, u)) {
+      ++stats_.corruptions_detected;
+      throw std::runtime_error(
+          "RaidArray: reconstructed unit failed checksum verification");
+    }
+  }
   return true;
 }
 
 void RaidArray::write_stripe(std::size_t stripe,
                              std::span<const std::uint8_t> in) {
-  for (std::size_t u = 0; u < params_.n(); ++u) {
-    const std::size_t dev = device_of(stripe, u);
-    Device& d = devices_[dev];
-    if (d.failed) continue;
-    std::memcpy(d.blocks.data() + stripe * block_size_,
-                in.data() + u * block_size_, block_size_);
-    d.valid[stripe] = true;
-  }
+  for (std::size_t u = 0; u < params_.n(); ++u)
+    write_unit(stripe, u, in.data() + u * block_size_);
 }
 
 void RaidArray::write_block(std::size_t lba,
@@ -62,35 +133,27 @@ void RaidArray::write_block(std::size_t lba,
   const std::size_t stripe = lba / params_.k;
   const std::size_t unit = lba % params_.k;
 
-  // Fast path: the data device and all parity devices are online and
-  // hold valid contents -> RAID small write via parity patching.
-  bool fast = true;
-  const std::size_t data_dev = device_of(stripe, unit);
-  if (devices_[data_dev].failed || !devices_[data_dev].valid[stripe])
-    fast = false;
+  // Fast path: the old data block and all r parity blocks read back
+  // clean -> RAID small write via parity patching. Any missing or
+  // corrupt operand falls back to the full-stripe path, which repairs
+  // through the decode machinery instead of patching garbage forward.
+  tensor::AlignedBuffer<std::uint8_t> parity(params_.r * block_size_);
+  tensor::AlignedBuffer<std::uint8_t> old_block(block_size_);
+  bool fast = read_unit(stripe, unit, old_block.data()) == UnitRead::Ok;
   for (std::size_t p = 0; fast && p < params_.r; ++p) {
-    const std::size_t dev = device_of(stripe, params_.k + p);
-    if (devices_[dev].failed || !devices_[dev].valid[stripe]) fast = false;
+    fast = read_unit(stripe, params_.k + p,
+                     parity.data() + p * block_size_) == UnitRead::Ok;
   }
 
   if (fast) {
     ++stats_.small_write_patches;
-    // Gather the r parity blocks contiguously, patch, scatter back.
-    tensor::AlignedBuffer<std::uint8_t> parity(params_.r * block_size_);
-    tensor::AlignedBuffer<std::uint8_t> old_block(block_size_);
     tensor::AlignedBuffer<std::uint8_t> new_block(block_size_);
-    std::memcpy(old_block.data(), slot(data_dev, stripe), block_size_);
     std::memcpy(new_block.data(), data.data(), block_size_);
-    for (std::size_t p = 0; p < params_.r; ++p)
-      std::memcpy(parity.data() + p * block_size_,
-                  slot(device_of(stripe, params_.k + p), stripe),
-                  block_size_);
     codec_.patch_parity(unit, old_block.span(), new_block.span(),
                         parity.span(), block_size_);
-    std::memcpy(slot(data_dev, stripe), data.data(), block_size_);
+    write_unit(stripe, unit, data.data());
     for (std::size_t p = 0; p < params_.r; ++p)
-      std::memcpy(slot(device_of(stripe, params_.k + p), stripe),
-                  parity.data() + p * block_size_, block_size_);
+      write_unit(stripe, params_.k + p, parity.data() + p * block_size_);
     return;
   }
 
@@ -112,30 +175,25 @@ std::vector<std::uint8_t> RaidArray::read_block(std::size_t lba) {
     throw std::invalid_argument("read_block: lba out of range");
   const std::size_t stripe = lba / params_.k;
   const std::size_t unit = lba % params_.k;
-  const std::size_t dev = device_of(stripe, unit);
-  if (!devices_[dev].failed && devices_[dev].valid[stripe]) {
-    const std::uint8_t* src = slot(dev, stripe);
-    return std::vector<std::uint8_t>(src, src + block_size_);
-  }
+  std::vector<std::uint8_t> block(block_size_);
+  if (read_unit(stripe, unit, block.data()) == UnitRead::Ok) return block;
   ++stats_.degraded_reads;
   tensor::AlignedBuffer<std::uint8_t> full(params_.n() * block_size_);
   read_stripe(stripe, full.span());
-  const std::uint8_t* src = full.data() + unit * block_size_;
-  return std::vector<std::uint8_t>(src, src + block_size_);
+  std::memcpy(block.data(), full.data() + unit * block_size_, block_size_);
+  return block;
 }
 
 void RaidArray::fail_device(std::size_t device) {
   if (device >= devices_.size())
     throw std::invalid_argument("fail_device: device out of range");
-  Device& d = devices_[device];
-  d.failed = true;
-  std::fill(d.blocks.begin(), d.blocks.end(), std::uint8_t{0});
-  std::fill(d.valid.begin(), d.valid.end(), false);
+  mark_device_failed(device);
 }
 
 void RaidArray::replace_device(std::size_t device) {
   if (device >= devices_.size())
     throw std::invalid_argument("replace_device: device out of range");
+  if (injector_) injector_->repair_node(device);
   devices_[device].failed = false;  // blank: valid[] stays false
 }
 
@@ -159,10 +217,7 @@ std::size_t RaidArray::rebuild() {
     for (std::size_t u = 0; u < params_.n(); ++u) {
       Device& d = devices_[device_of(s, u)];
       if (d.failed || d.valid[s]) continue;
-      std::memcpy(d.blocks.data() + s * block_size_,
-                  full.data() + u * block_size_, block_size_);
-      d.valid[s] = true;
-      ++rebuilt;
+      if (write_unit(s, u, full.data() + u * block_size_)) ++rebuilt;
     }
   }
   stats_.blocks_rebuilt += rebuilt;
@@ -188,6 +243,83 @@ std::size_t RaidArray::verify() {
       ++bad;
   }
   return bad;
+}
+
+StripeScrubResult RaidArray::scrub_stripe(std::size_t stripe) {
+  if (stripe >= stripes_)
+    throw std::invalid_argument("scrub_stripe: stripe out of range");
+  const std::size_t n = params_.n();
+  StripeScrubResult res;
+  tensor::AlignedBuffer<std::uint8_t> full(n * block_size_);
+  std::vector<std::size_t> erased;
+  for (std::size_t u = 0; u < n; ++u) {
+    switch (read_unit(stripe, u, full.data() + u * block_size_)) {
+      case UnitRead::Ok:
+        ++res.units_verified;
+        break;
+      case UnitRead::Corrupt:
+        ++res.crc_errors;
+        erased.push_back(u);
+        break;
+      case UnitRead::Missing:
+        erased.push_back(u);
+        break;
+    }
+  }
+
+  if (!erased.empty()) {
+    if (erased.size() > params_.r) {
+      res.unrecoverable = true;
+      return res;
+    }
+    codec_.decode(full.span(), erased, block_size_);
+    for (const std::size_t u : erased) {
+      if (crc32c({full.data() + u * block_size_, block_size_}) !=
+          unit_crc(stripe, u)) {
+        ++stats_.corruptions_detected;
+        res.unrecoverable = true;  // survivors are lying; don't persist
+        return res;
+      }
+    }
+  }
+
+  // Parity cross-check on the assembled stripe.
+  tensor::AlignedBuffer<std::uint8_t> expect(params_.r * block_size_);
+  codec_.encode(
+      std::span<const std::uint8_t>(full.data(), params_.k * block_size_),
+      expect.span(), block_size_);
+  std::vector<std::size_t> heal(erased);
+  for (std::size_t p = 0; p < params_.r; ++p) {
+    const std::size_t u = params_.k + p;
+    if (std::find(erased.begin(), erased.end(), u) != erased.end()) continue;
+    if (std::memcmp(full.data() + u * block_size_,
+                    expect.data() + p * block_size_, block_size_) != 0) {
+      ++res.parity_errors;
+      std::memcpy(full.data() + u * block_size_,
+                  expect.data() + p * block_size_, block_size_);
+      heal.push_back(u);
+    }
+  }
+
+  for (const std::size_t u : heal) {
+    // Only rewrite slots that live on an online device; blank replaced
+    // devices are rebuild()'s job, dead ones have nowhere to write.
+    const Device& d = devices_[device_of(stripe, u)];
+    if (d.failed) continue;
+    if (write_unit(stripe, u, full.data() + u * block_size_))
+      ++res.units_repaired;
+  }
+  stats_.units_repaired += res.units_repaired;
+  return res;
+}
+
+bool RaidArray::corrupt_unit(std::size_t stripe, std::size_t unit) {
+  if (stripe >= stripes_ || unit >= params_.n()) return false;
+  const std::size_t dev = device_of(stripe, unit);
+  Device& d = devices_[dev];
+  if (d.failed || !d.valid[stripe]) return false;
+  slot(dev, stripe)[block_size_ / 2] ^= 0x40;  // flip one bit
+  return true;
 }
 
 }  // namespace tvmec::storage

@@ -17,6 +17,86 @@ StripeStore::StripeStore(const ec::CodeParams& params, std::size_t unit_size,
   nodes_.resize(num_nodes);
 }
 
+void StripeStore::mark_node_failed(std::size_t node) {
+  if (nodes_[node].failed) return;
+  nodes_[node].failed = true;
+  nodes_[node].units.clear();  // data is gone with the node
+  ++stats_.failed_nodes;
+}
+
+bool StripeStore::store_unit(const std::string& name,
+                             const StripeLocation& loc, std::size_t s,
+                             std::size_t u, const std::uint8_t* src) {
+  const std::size_t node_id = loc.nodes[u];
+  if (injector_ && injector_->crashed(node_id)) mark_node_failed(node_id);
+  Node& node = nodes_[node_id];
+  if (node.failed) return false;
+
+  StoredUnit stored;
+  stored.bytes.assign(src, src + unit_size_);
+  // Checksum the intended bytes *before* fault injection: a torn or
+  // flipped persisted copy must disagree with its own checksum.
+  stored.crc = crc32c({src, unit_size_});
+  if (injector_ &&
+      !injector_->on_write(node_id, FaultInjector::key(name, s, u),
+                           stored.bytes)) {
+    mark_node_failed(node_id);  // crash: the write (and the node) is lost
+    return false;
+  }
+  node.units[{name, s, u}] = std::move(stored);
+  return true;
+}
+
+StripeStore::UnitRead StripeStore::read_unit(const std::string& name,
+                                             const StripeLocation& loc,
+                                             std::size_t s, std::size_t u,
+                                             std::uint8_t* dest) {
+  const std::size_t node_id = loc.nodes[u];
+  const std::uint64_t key = FaultInjector::key(name, s, u);
+  UnitRead verdict = UnitRead::Missing;
+  with_retries(retry_, retry_stats_, key, [&]() -> Attempt {
+    if (injector_ && injector_->crashed(node_id)) {
+      mark_node_failed(node_id);
+      verdict = UnitRead::Missing;
+      return Attempt::Abort;
+    }
+    Node& node = nodes_[node_id];
+    if (node.failed) {
+      verdict = UnitRead::Missing;
+      return Attempt::Abort;
+    }
+    const auto it = node.units.find({name, s, u});
+    if (it == node.units.end()) {
+      verdict = UnitRead::Missing;
+      return Attempt::Abort;
+    }
+    std::memcpy(dest, it->second.bytes.data(), unit_size_);
+    if (injector_) {
+      switch (injector_->on_read(node_id, key, {dest, unit_size_})) {
+        case ReadFault::Crash:
+          mark_node_failed(node_id);
+          verdict = UnitRead::Missing;
+          return Attempt::Abort;
+        case ReadFault::Transient:
+          verdict = UnitRead::Missing;  // if the budget runs out here
+          return Attempt::Retry;
+        case ReadFault::None:
+          break;
+      }
+    }
+    if (crc32c({dest, unit_size_}) != it->second.crc) {
+      // Could be a transient read-side flip: re-read. If it keeps
+      // mismatching, the stored copy itself is corrupt.
+      verdict = UnitRead::Corrupt;
+      return Attempt::Retry;
+    }
+    verdict = UnitRead::Ok;
+    return Attempt::Success;
+  });
+  if (verdict == UnitRead::Corrupt) ++stats_.corruptions_detected;
+  return verdict;
+}
+
 void StripeStore::put(const std::string& name,
                       std::span<const std::uint8_t> bytes) {
   remove(name);
@@ -41,21 +121,17 @@ void StripeStore::put(const std::string& name,
     // Rotate placement so load (and failure impact) spreads over nodes.
     StripeLocation loc;
     loc.nodes.resize(params_.n());
+    loc.unit_crcs.resize(params_.n());
     for (std::size_t u = 0; u < params_.n(); ++u) {
-      const std::size_t node = (next_rotation_ + u) % nodes_.size();
-      loc.nodes[u] = node;
+      loc.nodes[u] = (next_rotation_ + u) % nodes_.size();
       const std::uint8_t* src = u < params_.k
                                     ? data_buf.data() + u * unit_size_
                                     : parity_buf.data() +
                                           (u - params_.k) * unit_size_;
-      if (!nodes_[node].failed) {
-        StoredUnit stored;
-        stored.bytes.assign(src, src + unit_size_);
-        stored.crc = crc32c(stored.bytes);
-        nodes_[node].units[{name, s, u}] = std::move(stored);
-      }
-      // Units destined to failed nodes are simply lost, as they would be
-      // on real hardware; repair() can rebuild them after revive.
+      loc.unit_crcs[u] = crc32c({src, unit_size_});
+      // Units destined to failed/crashed nodes are simply lost, as they
+      // would be on real hardware; repair() can rebuild them later.
+      store_unit(name, loc, s, u, src);
     }
     next_rotation_ = (next_rotation_ + 1) % nodes_.size();
     meta.stripes.push_back(std::move(loc));
@@ -89,25 +165,23 @@ std::vector<std::uint8_t> StripeStore::read_stripe(const std::string& name,
   tensor::AlignedBuffer<std::uint8_t> stripe(n * unit_size_);
   std::vector<std::size_t> erased;
   for (std::size_t u = 0; u < n; ++u) {
-    const Node& node = nodes_[loc.nodes[u]];
-    const auto it = node.failed
-                        ? node.units.end()
-                        : node.units.find({name, s, u});
-    if (node.failed || it == node.units.end()) {
+    if (read_unit(name, loc, s, u, stripe.data() + u * unit_size_) !=
+        UnitRead::Ok)
       erased.push_back(u);
-    } else if (crc32c(it->second.bytes) != it->second.crc) {
-      // Silent corruption: the checksum disagrees. Treat the unit as
-      // erased so parity rebuilds it.
-      ++stats_.corruptions_detected;
-      erased.push_back(u);
-    } else {
-      std::memcpy(stripe.data() + u * unit_size_, it->second.bytes.data(),
-                  unit_size_);
-    }
   }
   if (!erased.empty()) {
     *degraded = true;
     codec_.decode(stripe.span(), erased, unit_size_);  // throws if > r lost
+    // Never hand back unverified reconstruction: every rebuilt unit must
+    // match the checksum recorded in object metadata.
+    for (const std::size_t u : erased) {
+      if (crc32c({stripe.data() + u * unit_size_, unit_size_}) !=
+          loc.unit_crcs[u]) {
+        ++stats_.corruptions_detected;
+        throw std::runtime_error(
+            "StripeStore: reconstructed unit failed checksum verification");
+      }
+    }
   }
   return std::vector<std::uint8_t>(stripe.data(),
                                    stripe.data() + n * unit_size_);
@@ -137,15 +211,13 @@ std::optional<std::vector<std::uint8_t>> StripeStore::get(
 void StripeStore::fail_node(std::size_t node) {
   if (node >= nodes_.size())
     throw std::invalid_argument("fail_node: node out of range");
-  if (nodes_[node].failed) return;
-  nodes_[node].failed = true;
-  nodes_[node].units.clear();  // data is gone with the node
-  ++stats_.failed_nodes;
+  mark_node_failed(node);
 }
 
 void StripeStore::revive_node(std::size_t node) {
   if (node >= nodes_.size())
     throw std::invalid_argument("revive_node: node out of range");
+  if (injector_) injector_->repair_node(node);
   if (!nodes_[node].failed) return;
   nodes_[node].failed = false;
   --stats_.failed_nodes;
@@ -157,78 +229,127 @@ bool StripeStore::node_failed(std::size_t node) const {
   return nodes_[node].failed;
 }
 
+StripeScrubResult StripeStore::scrub_stripe(const std::string& name,
+                                            std::size_t s) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end())
+    throw std::invalid_argument("scrub_stripe: unknown object " + name);
+  ObjectMeta& meta = it->second;
+  if (s >= meta.stripes.size())
+    throw std::invalid_argument("scrub_stripe: stripe index out of range");
+  StripeLocation& loc = meta.stripes[s];
+  const std::size_t n = params_.n();
+
+  StripeScrubResult res;
+  tensor::AlignedBuffer<std::uint8_t> stripe(n * unit_size_);
+  std::vector<std::size_t> erased;  // missing or corrupt: needs rebuild
+  for (std::size_t u = 0; u < n; ++u) {
+    switch (read_unit(name, loc, s, u, stripe.data() + u * unit_size_)) {
+      case UnitRead::Ok:
+        ++res.units_verified;
+        break;
+      case UnitRead::Corrupt:
+        ++res.crc_errors;
+        erased.push_back(u);
+        break;
+      case UnitRead::Missing:
+        erased.push_back(u);
+        break;
+    }
+  }
+
+  if (!erased.empty()) {
+    if (erased.size() > params_.r) {
+      res.unrecoverable = true;
+      return res;
+    }
+    codec_.decode(stripe.span(), erased, unit_size_);
+    // CRC-verify the reconstruction before persisting anything.
+    for (const std::size_t u : erased) {
+      if (crc32c({stripe.data() + u * unit_size_, unit_size_}) !=
+          loc.unit_crcs[u]) {
+        ++stats_.corruptions_detected;
+        res.unrecoverable = true;  // survivors are lying; don't persist
+        return res;
+      }
+    }
+  }
+
+  // Parity cross-check: the assembled stripe must be self-consistent.
+  // (CRCs guard unit payloads; this guards against stale-but-valid units
+  // and coder bugs.)
+  tensor::AlignedBuffer<std::uint8_t> expect(params_.r * unit_size_);
+  codec_.encode(
+      std::span<const std::uint8_t>(stripe.data(), params_.k * unit_size_),
+      expect.span(), unit_size_);
+  std::vector<std::size_t> heal(erased);
+  for (std::size_t p = 0; p < params_.r; ++p) {
+    const std::size_t u = params_.k + p;
+    if (std::find(erased.begin(), erased.end(), u) != erased.end()) continue;
+    if (std::memcmp(stripe.data() + u * unit_size_,
+                    expect.data() + p * unit_size_, unit_size_) != 0) {
+      ++res.parity_errors;
+      std::memcpy(stripe.data() + u * unit_size_,
+                  expect.data() + p * unit_size_, unit_size_);
+      loc.unit_crcs[u] = crc32c({expect.data() + p * unit_size_, unit_size_});
+      heal.push_back(u);
+    }
+  }
+
+  for (const std::size_t u : heal) {
+    if (store_unit(name, loc, s, u, stripe.data() + u * unit_size_))
+      ++res.units_repaired;
+  }
+  stats_.units_repaired += res.units_repaired;
+  return res;
+}
+
 std::size_t StripeStore::repair() {
   std::size_t repaired = 0;
   for (const auto& [name, meta] : objects_) {
     for (std::size_t s = 0; s < meta.stripes.size(); ++s) {
-      const StripeLocation& loc = meta.stripes[s];
-      // Find units missing from live nodes.
-      std::vector<std::size_t> missing;
-      for (std::size_t u = 0; u < params_.n(); ++u) {
-        const Node& node = nodes_[loc.nodes[u]];
-        if (node.failed) continue;
-        const auto it = node.units.find({name, s, u});
-        if (it == node.units.end() ||
-            crc32c(it->second.bytes) != it->second.crc)
-          missing.push_back(u);
-      }
-      if (missing.empty()) continue;
-      bool degraded = false;
-      const std::vector<std::uint8_t> stripe =
-          read_stripe(name, meta, s, &degraded);
-      for (const std::size_t u : missing) {
-        StoredUnit stored;
-        stored.bytes.assign(
-            stripe.begin() + static_cast<std::ptrdiff_t>(u * unit_size_),
-            stripe.begin() + static_cast<std::ptrdiff_t>((u + 1) * unit_size_));
-        stored.crc = crc32c(stored.bytes);
-        nodes_[loc.nodes[u]].units[{name, s, u}] = std::move(stored);
-        ++repaired;
-      }
+      const StripeScrubResult res = scrub_stripe(name, s);
+      if (res.unrecoverable)
+        throw std::runtime_error("StripeStore::repair: stripe " +
+                                 std::to_string(s) + " of " + name +
+                                 " is unrecoverable");
+      repaired += res.units_repaired;
     }
   }
-  stats_.units_repaired += repaired;
   return repaired;
 }
 
 std::size_t StripeStore::scrub() {
   std::size_t corrupt = 0;
-  tensor::AlignedBuffer<std::uint8_t> expect(params_.r * unit_size_);
-  for (const auto& [name, meta] : objects_) {
-    for (std::size_t s = 0; s < meta.stripes.size(); ++s) {
-      const StripeLocation& loc = meta.stripes[s];
-      bool degraded = false;
-      std::vector<std::uint8_t> stripe;
-      try {
-        // read_stripe checks every CRC and reconstructs units that fail.
-        stripe = read_stripe(name, meta, s, &degraded);
-      } catch (const std::runtime_error&) {
-        continue;  // unrecoverable stripes are repair()'s problem
-      }
-      codec_.encode(
-          std::span<const std::uint8_t>(stripe.data(),
-                                        params_.k * unit_size_),
-          expect.span(), unit_size_);
-      for (std::size_t u = 0; u < params_.n(); ++u) {
-        Node& node = nodes_[loc.nodes[u]];
-        if (node.failed) continue;
-        const auto it = node.units.find({name, s, u});
-        if (it == node.units.end()) continue;  // missing: repair()'s job
-        const std::uint8_t* good =
-            u < params_.k ? stripe.data() + u * unit_size_
-                          : expect.data() + (u - params_.k) * unit_size_;
-        const bool crc_bad = crc32c(it->second.bytes) != it->second.crc;
-        const bool bytes_bad =
-            std::memcmp(it->second.bytes.data(), good, unit_size_) != 0;
-        if (crc_bad || bytes_bad) {
-          ++corrupt;
-          it->second.bytes.assign(good, good + unit_size_);
-          it->second.crc = crc32c(it->second.bytes);
-        }
-      }
-    }
-  }
+  for (const auto& [name, meta] : objects_)
+    for (std::size_t s = 0; s < meta.stripes.size(); ++s)
+      corrupt += scrub_stripe(name, s).errors();
   return corrupt;
+}
+
+std::optional<std::string> StripeStore::object_at_or_after(
+    const std::string& name) const {
+  const auto it = objects_.lower_bound(name);
+  if (it == objects_.end()) return std::nullopt;
+  return it->first;
+}
+
+std::optional<std::string> StripeStore::object_after(
+    const std::string& name) const {
+  const auto it = objects_.upper_bound(name);
+  if (it == objects_.end()) return std::nullopt;
+  return it->first;
+}
+
+std::size_t StripeStore::object_stripe_count(const std::string& name) const {
+  const auto it = objects_.find(name);
+  return it == objects_.end() ? 0 : it->second.stripes.size();
+}
+
+std::size_t StripeStore::total_stripes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [name, meta] : objects_) total += meta.stripes.size();
+  return total;
 }
 
 bool StripeStore::corrupt_unit(const std::string& name, std::size_t stripe,

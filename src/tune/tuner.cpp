@@ -1,6 +1,7 @@
 #include "tune/tuner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -30,7 +31,8 @@ double TuneResult::best_after(std::size_t n) const {
 
 namespace {
 
-/// Shared measurement bookkeeping: records the trial and tracks the best.
+/// Shared measurement bookkeeping: records the trial (absorbing
+/// measurement failures as failed trials) and tracks the best.
 class Recorder {
  public:
   Recorder(const MeasureFn& measure, std::size_t budget)
@@ -38,14 +40,26 @@ class Recorder {
 
   bool exhausted() const noexcept { return result_.history.size() >= budget_; }
 
-  double run(const tensor::Schedule& s) {
-    const double tput = measure_(s);
-    result_.history.push_back({s, tput});
-    if (tput > result_.best_throughput) {
-      result_.best_throughput = tput;
+  const TrialRecord& run(const tensor::Schedule& s) {
+    TrialRecord rec{s, 0.0, false};
+    try {
+      rec.throughput = measure_(s);
+    } catch (...) {
+      rec.failed = true;  // a crashed measurement is a failed trial
+    }
+    if (!rec.failed &&
+        (!std::isfinite(rec.throughput) || rec.throughput <= 0.0)) {
+      rec.failed = true;  // NaN/Inf/non-positive: unusable measurement
+      rec.throughput = 0.0;
+    }
+    if (rec.failed) ++result_.failed_trials;
+    result_.history.push_back(rec);
+    if (result_.history.size() == 1) result_.best_schedule = s;
+    if (!rec.failed && rec.throughput > result_.best_throughput) {
+      result_.best_throughput = rec.throughput;
       result_.best_schedule = s;
     }
-    return tput;
+    return result_.history.back();
   }
 
   TuneResult take() && { return std::move(result_); }
@@ -72,7 +86,9 @@ void run_evolutionary(const SearchSpace& space, Recorder& rec,
   std::vector<TrialRecord> pool;
   for (std::size_t i = 0; i < population && !rec.exhausted(); ++i) {
     const tensor::Schedule s = space.sample(rng);
-    pool.push_back({s, rec.run(s)});
+    // Failed trials enter the pool at throughput 0, so selection culls
+    // them on the next generation.
+    pool.push_back(rec.run(s));
   }
   while (!rec.exhausted()) {
     // Keep the fitter half, refill by mutating survivors.
@@ -86,7 +102,7 @@ void run_evolutionary(const SearchSpace& space, Recorder& rec,
          ++i) {
       const tensor::Schedule child =
           space.mutate(pool[i % survivors].schedule, rng);
-      pool.push_back({child, rec.run(child)});
+      pool.push_back(rec.run(child));
     }
   }
 }
@@ -98,7 +114,10 @@ void run_model_guided(const SearchSpace& space, Recorder& rec,
   const std::size_t bootstrap = std::max<std::size_t>(opt.measure_per_round, 4);
   for (std::size_t i = 0; i < bootstrap && !rec.exhausted(); ++i) {
     const tensor::Schedule s = space.sample(rng);
-    model.add_sample(s, space.shape(), rec.run(s));
+    const TrialRecord& trial = rec.run(s);
+    // Failed trials are skipped, not fed to the model: a NaN or zero
+    // sample would poison the ridge fit for the whole session.
+    if (!trial.failed) model.add_sample(s, space.shape(), trial.throughput);
   }
   while (!rec.exhausted()) {
     model.fit();
@@ -117,8 +136,11 @@ void run_model_guided(const SearchSpace& space, Recorder& rec,
         std::max<std::size_t>(opt.measure_per_round, 1);
     for (std::size_t i = 0; i < to_measure && i < candidates.size() &&
                             !rec.exhausted();
-         ++i)
-      model.add_sample(candidates[i], space.shape(), rec.run(candidates[i]));
+         ++i) {
+      const TrialRecord& trial = rec.run(candidates[i]);
+      if (!trial.failed)
+        model.add_sample(candidates[i], space.shape(), trial.throughput);
+    }
   }
 }
 

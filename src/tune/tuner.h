@@ -43,12 +43,17 @@ struct TuneOptions {
 struct TrialRecord {
   tensor::Schedule schedule;
   double throughput = 0.0;
+  /// The MeasureFn threw, or returned NaN/Inf/<= 0 — a failed trial.
+  /// Failed trials still consume budget but never become the best and
+  /// are never fed to the cost model.
+  bool failed = false;
 };
 
 struct TuneResult {
   tensor::Schedule best_schedule;
   double best_throughput = 0.0;
   std::vector<TrialRecord> history;  ///< in measurement order
+  std::size_t failed_trials = 0;     ///< trials whose measurement failed
 
   /// Best throughput among the first `n` trials (tuning-curve helper).
   double best_after(std::size_t n) const;
@@ -56,6 +61,14 @@ struct TuneResult {
 
 /// Runs the requested search policy for `options.trials` measurements.
 /// Throws std::invalid_argument on a zero trial budget.
+///
+/// Measurement is fallible: a MeasureFn that throws or returns a
+/// non-finite or non-positive value marks that trial failed (recorded in
+/// failed_trials and per-record `failed`) and the search continues — a
+/// flaky measurement environment degrades tuning quality, it does not
+/// abort it or poison the cost model. If every trial fails, the first
+/// candidate tried is returned as best_schedule (a valid point of the
+/// space) with best_throughput 0.
 TuneResult tune(const SearchSpace& space, const MeasureFn& measure,
                 const TuneOptions& options);
 

@@ -21,6 +21,7 @@ void append_log(const std::string& path, const TaskShape& shape,
   if (!out) throw std::runtime_error("append_log: cannot open " + path);
   const std::string key = shape_key(shape);
   for (const TrialRecord& rec : result.history) {
+    if (rec.failed) continue;  // only real measurements belong in the log
     out << key << " | " << rec.schedule.to_string() << " | "
         << rec.throughput << "\n";
   }

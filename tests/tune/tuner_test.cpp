@@ -77,6 +77,94 @@ TEST_P(PolicyTest, FindsNearOptimalWithModestBudget) {
       << "policy " << to_string(GetParam());
 }
 
+TEST_P(PolicyTest, SurvivesThrowingMeasurements) {
+  const SearchSpace space(shape(), 4);
+  TuneOptions opt;
+  opt.policy = GetParam();
+  opt.trials = 50;
+  std::size_t calls = 0;
+  // Every 5th measurement crashes: 20% failed trials.
+  const MeasureFn flaky = [&calls](const tensor::Schedule& s) {
+    if (++calls % 5 == 0) throw std::runtime_error("segfaulted candidate");
+    return synthetic_objective(s);
+  };
+  const TuneResult result = tune(space, flaky, opt);
+  EXPECT_EQ(result.history.size(), 50u);  // full budget despite failures
+  EXPECT_EQ(result.failed_trials, 10u);
+  std::size_t failed_seen = 0;
+  for (const auto& rec : result.history) {
+    if (rec.failed) {
+      ++failed_seen;
+      EXPECT_EQ(rec.throughput, 0.0);
+    }
+  }
+  EXPECT_EQ(failed_seen, 10u);
+  EXPECT_GT(result.best_throughput, 0.0);
+  EXPECT_DOUBLE_EQ(synthetic_objective(result.best_schedule),
+                   result.best_throughput);
+}
+
+TEST_P(PolicyTest, SurvivesNaNMeasurements) {
+  const SearchSpace space(shape(), 4);
+  TuneOptions opt;
+  opt.policy = GetParam();
+  opt.trials = 40;
+  std::size_t calls = 0;
+  const MeasureFn flaky = [&calls](const tensor::Schedule& s) {
+    ++calls;
+    if (calls % 5 == 1) return std::nan("");
+    if (calls % 5 == 2) return -3.0;
+    return synthetic_objective(s);
+  };
+  const TuneResult result = tune(space, flaky, opt);
+  EXPECT_EQ(result.history.size(), 40u);
+  EXPECT_EQ(result.failed_trials, 16u);
+  EXPECT_GT(result.best_throughput, 0.0);
+  // NaN never leaks into the result.
+  for (const auto& rec : result.history)
+    EXPECT_TRUE(std::isfinite(rec.throughput));
+}
+
+TEST_P(PolicyTest, FlakyMeasurementIsDeterministic) {
+  const SearchSpace space(shape(), 4);
+  TuneOptions opt;
+  opt.policy = GetParam();
+  opt.trials = 30;
+  opt.seed = 7;
+  const auto run = [&] {
+    std::size_t calls = 0;
+    const MeasureFn flaky = [&calls](const tensor::Schedule& s) {
+      if (++calls % 5 == 0) throw std::runtime_error("flake");
+      return synthetic_objective(s);
+    };
+    return tune(space, flaky, opt);
+  };
+  const TuneResult a = run();
+  const TuneResult b = run();
+  ASSERT_EQ(a.history.size(), b.history.size());
+  EXPECT_EQ(a.failed_trials, b.failed_trials);
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].schedule, b.history[i].schedule);
+    EXPECT_EQ(a.history[i].failed, b.history[i].failed);
+  }
+}
+
+TEST_P(PolicyTest, AllTrialsFailingStillReturnsValidSchedule) {
+  const SearchSpace space(shape(), 4);
+  TuneOptions opt;
+  opt.policy = GetParam();
+  opt.trials = 20;
+  const MeasureFn broken = [](const tensor::Schedule&) -> double {
+    throw std::runtime_error("measurement rig is down");
+  };
+  const TuneResult result = tune(space, broken, opt);
+  EXPECT_EQ(result.history.size(), 20u);
+  EXPECT_EQ(result.failed_trials, 20u);
+  EXPECT_EQ(result.best_throughput, 0.0);
+  // The documented fallback: the first candidate tried becomes the best.
+  EXPECT_EQ(result.best_schedule, result.history.front().schedule);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
                          ::testing::Values(Policy::Grid, Policy::Random,
                                            Policy::Evolutionary,

@@ -50,6 +50,24 @@ TEST(TuningLog, RoundTrip) {
   EXPECT_DOUBLE_EQ(loaded->best_throughput, 7.5e9);
 }
 
+TEST(TuningLog, FailedTrialsAreNotLogged) {
+  TempFile tmp("tuning_log_failed.log");
+  const TaskShape shape{32, 2048, 80};
+  TuneResult result = sample_result();
+  TrialRecord bad;
+  bad.schedule = result.history[0].schedule;
+  bad.throughput = 0.0;
+  bad.failed = true;
+  result.history.push_back(bad);
+  result.failed_trials = 1;
+  append_log(tmp.path, shape, result);
+
+  const auto loaded = load_log(tmp.path, shape);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->history.size(), 2u);  // only the real measurements
+  for (const auto& rec : loaded->history) EXPECT_GT(rec.throughput, 0.0);
+}
+
 TEST(TuningLog, MissingFileReturnsNullopt) {
   EXPECT_FALSE(load_log("/nonexistent/dir/nope.log", TaskShape{1, 1, 1})
                    .has_value());
