@@ -41,15 +41,9 @@ void accumulate_scalar(const gf::SplitTables8& t, const std::uint8_t* src,
 
 }  // namespace
 
-void IsalCoder::apply(std::span<const std::uint8_t> in,
-                      std::span<std::uint8_t> out,
-                      std::size_t unit_size) const {
-  if (unit_size == 0) throw std::invalid_argument("isal-like: zero unit size");
-  if (in.size() != in_units_ * unit_size)
-    throw std::invalid_argument("isal-like: bad input size");
-  if (out.size() != out_units_ * unit_size)
-    throw std::invalid_argument("isal-like: bad output size");
-
+void IsalCoder::do_apply(std::span<const std::uint8_t> in,
+                         std::span<std::uint8_t> out,
+                         std::size_t unit_size) const {
 #if defined(__AVX2__)
   // ISA-L-style fast path: one streaming pass per output, 32 bytes per
   // iteration, vpshufb performing both 16-entry lookups per lane.

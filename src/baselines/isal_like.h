@@ -26,14 +26,16 @@ class IsalCoder final : public ec::MatrixCoder {
   /// throws std::invalid_argument otherwise.
   explicit IsalCoder(const gf::Matrix& coeffs);
 
-  void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
-             std::size_t unit_size) const override;
   std::size_t in_units() const noexcept override { return in_units_; }
   std::size_t out_units() const noexcept override { return out_units_; }
   std::string name() const override { return "isal"; }
 
   /// True when this build executes the vpshufb fast path.
   static bool has_simd_path() noexcept;
+
+ protected:
+  void do_apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                std::size_t unit_size) const override;
 
  private:
   std::size_t in_units_;

@@ -114,13 +114,9 @@ void JerasureCoder::apply_ptrs(const std::vector<const std::uint8_t*>& in,
   }
 }
 
-void JerasureCoder::apply(std::span<const std::uint8_t> in,
-                          std::span<std::uint8_t> out,
-                          std::size_t unit_size) const {
-  if (in.size() != code_.in_units() * unit_size)
-    throw std::invalid_argument("jerasure: bad input size");
-  if (out.size() != code_.out_units() * unit_size)
-    throw std::invalid_argument("jerasure: bad output size");
+void JerasureCoder::do_apply(std::span<const std::uint8_t> in,
+                             std::span<std::uint8_t> out,
+                             std::size_t unit_size) const {
   std::vector<const std::uint8_t*> in_ptrs(code_.in_units());
   std::vector<std::uint8_t*> out_ptrs(code_.out_units());
   for (std::size_t i = 0; i < in_ptrs.size(); ++i)

@@ -34,8 +34,6 @@ class JerasureCoder final : public ec::MatrixCoder {
                   const std::vector<std::uint8_t*>& out,
                   std::size_t unit_size) const;
 
-  void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
-             std::size_t unit_size) const override;
   std::size_t in_units() const noexcept override { return code_.in_units(); }
   std::size_t out_units() const noexcept override { return code_.out_units(); }
   std::string name() const override {
@@ -44,7 +42,13 @@ class JerasureCoder final : public ec::MatrixCoder {
   }
 
   /// Number of packet-XOR operations one apply() performs (schedule cost).
+
   std::size_t xor_ops() const noexcept { return xor_ops_; }
+
+ protected:
+  void do_apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                std::size_t unit_size) const override;
+  unsigned bit_sliced_w() const noexcept override { return code_.w(); }
 
  private:
   /// One scheduled operation: XOR (or copy) source packet into dest.

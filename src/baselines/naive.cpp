@@ -9,19 +9,12 @@ namespace tvmec::baseline {
 NaiveBitmatrixCoder::NaiveBitmatrixCoder(const gf::Matrix& coeffs)
     : code_(coeffs) {}
 
-void NaiveBitmatrixCoder::apply(std::span<const std::uint8_t> in,
-                                std::span<std::uint8_t> out,
-                                std::size_t unit_size) const {
+void NaiveBitmatrixCoder::do_apply(std::span<const std::uint8_t> in,
+                                   std::span<std::uint8_t> out,
+                                   std::size_t unit_size) const {
   const unsigned w = code_.w();
-  const std::size_t quantum = std::size_t{8} * w;
-  if (unit_size == 0 || unit_size % quantum != 0)
-    throw std::invalid_argument("naive: unit size must be multiple of 8*w");
-  if (in.size() != code_.in_units() * unit_size)
-    throw std::invalid_argument("naive: bad input size");
-  if (out.size() != code_.out_units() * unit_size)
-    throw std::invalid_argument("naive: bad output size");
-  ec::require_word_aligned(in.data(), "naive input");
-  ec::require_word_aligned(out.data(), "naive output");
+  // MatrixCoder::apply guarantees aligned operands and a word-multiple
+  // packet size before dispatching here.
 
   // Units are sliced into w packets; packet row l of the "data matrix"
   // starts at byte l * packet_bytes of the contiguous buffer (packets of

@@ -16,11 +16,14 @@ class NaiveBitmatrixCoder final : public ec::MatrixCoder {
   /// Expands `coeffs` (rows x cols over GF(2^w)) to bitmatrix form.
   explicit NaiveBitmatrixCoder(const gf::Matrix& coeffs);
 
-  void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
-             std::size_t unit_size) const override;
   std::size_t in_units() const noexcept override { return code_.in_units(); }
   std::size_t out_units() const noexcept override { return code_.out_units(); }
   std::string name() const override { return "naive"; }
+
+ protected:
+  void do_apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                std::size_t unit_size) const override;
+  unsigned bit_sliced_w() const noexcept override { return code_.w(); }
 
  private:
   ec::BitmatrixCode code_;

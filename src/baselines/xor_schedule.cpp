@@ -81,20 +81,12 @@ std::size_t UezatoCoder::xor_ops() const noexcept {
   return ops;
 }
 
-void UezatoCoder::apply(std::span<const std::uint8_t> in,
-                        std::span<std::uint8_t> out,
-                        std::size_t unit_size) const {
+void UezatoCoder::do_apply(std::span<const std::uint8_t> in,
+                           std::span<std::uint8_t> out,
+                           std::size_t unit_size) const {
   const unsigned w = code_.w();
-  const std::size_t quantum = std::size_t{8} * w;
-  if (unit_size == 0 || unit_size % quantum != 0)
-    throw std::invalid_argument("uezato: unit size must be multiple of 8*w");
-  if (in.size() != code_.in_units() * unit_size)
-    throw std::invalid_argument("uezato: bad input size");
-  if (out.size() != code_.out_units() * unit_size)
-    throw std::invalid_argument("uezato: bad output size");
-  ec::require_word_aligned(in.data(), "uezato input");
-  ec::require_word_aligned(out.data(), "uezato output");
-
+  // MatrixCoder::apply guarantees aligned operands and a word-multiple
+  // packet size before dispatching here.
   const std::size_t packet_bytes = unit_size / w;
   const int num_inputs = static_cast<int>(code_.bits().cols());
 

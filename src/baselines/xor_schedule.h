@@ -40,8 +40,6 @@ class UezatoCoder final : public ec::MatrixCoder {
   explicit UezatoCoder(const gf::Matrix& coeffs);
   UezatoCoder(const gf::Matrix& coeffs, const Options& opts);
 
-  void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
-             std::size_t unit_size) const override;
   std::size_t in_units() const noexcept override { return code_.in_units(); }
   std::size_t out_units() const noexcept override { return code_.out_units(); }
   std::string name() const override { return "uezato"; }
@@ -53,6 +51,11 @@ class UezatoCoder final : public ec::MatrixCoder {
   std::size_t xor_ops() const noexcept;
   /// XOR ops the dumb (no-CSE) schedule would need, for speedup ratios.
   std::size_t xor_ops_without_cse() const noexcept { return dumb_xor_ops_; }
+
+ protected:
+  void do_apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                std::size_t unit_size) const override;
+  unsigned bit_sliced_w() const noexcept override { return code_.w(); }
 
  private:
   void run_cse(std::vector<std::vector<int>>& equations, std::size_t max_temps);

@@ -28,6 +28,16 @@ const char* to_string(Backend b) noexcept {
   return "?";
 }
 
+std::optional<Backend> backend_from_name(std::string_view name) noexcept {
+  for (const Backend b : {Backend::NaiveBitmatrix, Backend::JerasureDumb,
+                          Backend::JerasureSmart, Backend::Uezato,
+                          Backend::Isal, Backend::Gemm})
+    if (name == to_string(b)) return b;
+  return std::nullopt;
+}
+
+bool is_bitpacket_backend(Backend b) noexcept { return b != Backend::Isal; }
+
 std::vector<Backend> all_backends() {
   return {Backend::NaiveBitmatrix, Backend::JerasureDumb,
           Backend::JerasureSmart, Backend::Uezato,

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ec/encoder.h"
@@ -26,8 +28,21 @@ enum class Backend {
 
 const char* to_string(Backend b) noexcept;
 
+/// Inverse of to_string: resolves a backend by its stable name
+/// ("naive", "jerasure-dumb", "jerasure-smart", "uezato", "isal",
+/// "tvm-ec"). Returns nullopt for unknown names. This is the lookup the
+/// differential fuzzer's reproducer strings and CLI flags go through.
+std::optional<Backend> backend_from_name(std::string_view name) noexcept;
+
 /// Every backend, in a stable order (Gemm last).
 std::vector<Backend> all_backends();
+
+/// True when the backend shares the bitpacket byte-embedding (validated
+/// against apply_matrix_reference_bitpacket); false for byte-embedding
+/// backends (Isal, validated against apply_matrix_reference). The two
+/// families produce different — individually valid — parity bytes, so
+/// differential comparisons must stay within a family (DESIGN.md §4b).
+bool is_bitpacket_backend(Backend b) noexcept;
 
 /// Backends applicable to a code over GF(2^w): Isal requires w == 8.
 std::vector<Backend> backends_for_w(unsigned w);

@@ -41,19 +41,11 @@ void GemmCoder::set_schedule(const tensor::Schedule& schedule) {
   schedule_ = schedule;
 }
 
-void GemmCoder::apply(std::span<const std::uint8_t> in,
-                      std::span<std::uint8_t> out,
-                      std::size_t unit_size) const {
-  const std::size_t quantum = std::size_t{8} * w_;
-  if (unit_size == 0 || unit_size % quantum != 0)
-    throw std::invalid_argument("tvm-ec: unit size must be multiple of 8*w");
-  if (in.size() != in_units_ * unit_size)
-    throw std::invalid_argument("tvm-ec: bad input size");
-  if (out.size() != out_units_ * unit_size)
-    throw std::invalid_argument("tvm-ec: bad output size");
-  ec::require_word_aligned(in.data(), "tvm-ec input");
-  ec::require_word_aligned(out.data(), "tvm-ec output");
-
+void GemmCoder::do_apply(std::span<const std::uint8_t> in,
+                         std::span<std::uint8_t> out,
+                         std::size_t unit_size) const {
+  // MatrixCoder::apply guarantees aligned operands and a word-multiple
+  // packet size before dispatching here.
   const std::size_t packet_words = unit_size / w_ / 8;
   const std::size_t kw = in_units_ * w_;
   const std::size_t rw = out_units_ * w_;

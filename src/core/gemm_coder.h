@@ -24,8 +24,6 @@ class GemmCoder final : public ec::MatrixCoder {
   explicit GemmCoder(const gf::Matrix& coeffs);
   GemmCoder(const gf::Matrix& coeffs, const tensor::Schedule& schedule);
 
-  void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
-             std::size_t unit_size) const override;
   std::size_t in_units() const noexcept override { return in_units_; }
   std::size_t out_units() const noexcept override { return out_units_; }
   std::string name() const override { return "tvm-ec"; }
@@ -47,6 +45,11 @@ class GemmCoder final : public ec::MatrixCoder {
   tune::TaskShape task_shape(std::size_t unit_size) const;
 
   unsigned w() const noexcept { return w_; }
+
+ protected:
+  void do_apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                std::size_t unit_size) const override;
+  unsigned bit_sliced_w() const noexcept override { return w_; }
 
  private:
   unsigned w_;

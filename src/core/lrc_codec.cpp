@@ -49,8 +49,17 @@ void LrcCodec::decode(std::span<std::uint8_t> stripe,
     throw std::invalid_argument("LrcCodec::decode: stripe must hold n units");
   if (erased_ids.empty()) return;
 
+  // Normalize the loss set (sort + dedup) so unsorted or duplicated ids
+  // from a failure detector hit the same cached plan and never reach
+  // make_decode_plan's duplicate check.
   std::vector<std::size_t> erased(erased_ids.begin(), erased_ids.end());
   std::sort(erased.begin(), erased.end());
+  erased.erase(std::unique(erased.begin(), erased.end()), erased.end());
+  for (const std::size_t id : erased)
+    if (id >= params_.n())
+      throw std::invalid_argument("LrcCodec::decode: erased id " +
+                                  std::to_string(id) + " out of range (n=" +
+                                  std::to_string(params_.n()) + ")");
   auto it = decode_cache_.find(erased);
   if (it == decode_cache_.end()) {
     auto plan = lrc_.decode_plan(erased);

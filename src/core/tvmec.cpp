@@ -8,6 +8,25 @@
 
 namespace tvmec::core {
 
+namespace {
+
+/// dst[i] = a[i] ^ b[i] for n bytes, word-wide where possible. memcpy
+/// loads/stores keep it alignment-safe (dst may alias a or b exactly).
+void xor_bytes(std::uint8_t* dst, const std::uint8_t* a,
+               const std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + i, 8);
+    std::memcpy(&y, b + i, 8);
+    x ^= y;
+    std::memcpy(dst + i, &x, 8);
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+}  // namespace
+
 Codec::Codec(const ec::CodeParams& params, ec::RsFamily family)
     : params_(params),
       rs_(params, family),
@@ -71,11 +90,23 @@ void Codec::decode(std::span<std::uint8_t> stripe,
   if (stripe.size() != n * unit_size)
     throw std::invalid_argument("decode: stripe must hold k+r units");
   if (erased_ids.empty()) return;
-  if (erased_ids.size() > params_.r)
-    throw std::runtime_error("decode: more erasures than parities");
 
+  // Callers pass loss sets in whatever order (and with whatever
+  // duplication) their failure detector produced; normalize here so the
+  // plan cache keys stay canonical and duplicates cannot reach
+  // make_decode_plan. {3,1} and {2,2} are both legitimate inputs.
   std::vector<std::size_t> erased(erased_ids.begin(), erased_ids.end());
   std::sort(erased.begin(), erased.end());
+  erased.erase(std::unique(erased.begin(), erased.end()), erased.end());
+  for (const std::size_t id : erased)
+    if (id >= n)
+      throw std::invalid_argument("decode: erased id " + std::to_string(id) +
+                                  " out of range (n=" + std::to_string(n) +
+                                  ")");
+  if (erased.size() > params_.r)
+    throw std::runtime_error("decode: " + std::to_string(erased.size()) +
+                             " distinct erasures exceed r=" +
+                             std::to_string(params_.r) + " parities");
   const DecodeEntry& entry = decode_entry(erased);
 
   // Gather the k survivor units the plan reads into contiguous staging,
@@ -111,10 +142,6 @@ void Codec::patch_parity(std::size_t unit_id,
   if (parity.size() != params_.r * unit_size)
     throw std::invalid_argument("patch_parity: parity must hold r units");
 
-  ec::require_word_aligned(old_data.data(), "patch_parity old data");
-  ec::require_word_aligned(new_data.data(), "patch_parity new data");
-  ec::require_word_aligned(parity.data(), "patch_parity parity");
-
   if (delta_coders_.empty()) delta_coders_.resize(params_.k);
   auto& coder = delta_coders_[unit_id];
   if (!coder) {
@@ -131,22 +158,15 @@ void Codec::patch_parity(std::size_t unit_id,
   std::uint8_t* const delta = staging_.data();
   std::uint8_t* const parity_delta = staging_.data() + unit_size;
 
-  // Word-wide XOR loops (unit_size is a multiple of 8*w, buffers are
-  // 8-byte aligned); byte loops here cost more than the delta GEMM.
-  {
-    auto* d = reinterpret_cast<std::uint64_t*>(delta);
-    const auto* o = reinterpret_cast<const std::uint64_t*>(old_data.data());
-    const auto* nw = reinterpret_cast<const std::uint64_t*>(new_data.data());
-    for (std::size_t i = 0; i < unit_size / 8; ++i) d[i] = o[i] ^ nw[i];
-  }
+  // Word-wide XOR via memcpy loads/stores: alignment-safe for arbitrary
+  // user spans (compilers lower this to plain vector loads), with a byte
+  // tail for unit sizes that are not word multiples.
+  xor_bytes(delta, old_data.data(), new_data.data(), unit_size);
   coder->apply(std::span<const std::uint8_t>(delta, unit_size),
                std::span<std::uint8_t>(parity_delta, params_.r * unit_size),
                unit_size);
-  {
-    auto* p = reinterpret_cast<std::uint64_t*>(parity.data());
-    const auto* pd = reinterpret_cast<const std::uint64_t*>(parity_delta);
-    for (std::size_t i = 0; i < params_.r * unit_size / 8; ++i) p[i] ^= pd[i];
-  }
+  xor_bytes(parity.data(), parity.data(), parity_delta,
+            params_.r * unit_size);
 }
 
 void Codec::update_unit(std::span<std::uint8_t> stripe, std::size_t unit_id,

@@ -18,11 +18,12 @@ struct CodeParams {
   std::size_t n() const noexcept { return k + r; }
 
   /// Throws std::invalid_argument unless the parameters describe a valid
-  /// code: k, r >= 1, supported w, and k + r <= 2^w (needed for MDS
-  /// generator constructions).
+  /// code: k >= 1, r >= 0, supported w, and k + r <= 2^w (needed for MDS
+  /// generator constructions). r == 0 is the degenerate "striping only"
+  /// code: encode produces no parity and no erasure is recoverable, but
+  /// every operation on intact data still round-trips.
   void validate() const {
-    if (k == 0 || r == 0)
-      throw std::invalid_argument("CodeParams: k and r must be >= 1");
+    if (k == 0) throw std::invalid_argument("CodeParams: k must be >= 1");
     if (!gf::is_supported_w(w))
       throw std::invalid_argument("CodeParams: unsupported w=" +
                                   std::to_string(w));
@@ -33,14 +34,15 @@ struct CodeParams {
   bool operator==(const CodeParams&) const = default;
 };
 
-/// Bitmatrix encoders slice each unit into w packets processed as 64-bit
-/// words, so the unit size must be a multiple of 8 * w bytes. Throws
-/// std::invalid_argument otherwise; returns the packet size in bytes.
+/// Bitmatrix encoders slice each unit into w packets, so the unit size
+/// must be a multiple of w bytes (packets down to a single byte are
+/// legal: MatrixCoder::apply pads them to whole 64-bit words through an
+/// internal staging copy when needed). Throws std::invalid_argument
+/// otherwise; returns the packet size in bytes.
 inline std::size_t packet_bytes(const CodeParams& p, std::size_t unit_size) {
-  const std::size_t quantum = std::size_t{8} * p.w;
-  if (unit_size == 0 || unit_size % quantum != 0)
+  if (unit_size == 0 || unit_size % p.w != 0)
     throw std::invalid_argument(
-        "unit size must be a nonzero multiple of 8*w bytes (got " +
+        "unit size must be a nonzero multiple of w bytes (got " +
         std::to_string(unit_size) + " with w=" + std::to_string(p.w) + ")");
   return unit_size / p.w;
 }

@@ -72,7 +72,8 @@ std::optional<DecodePlan> make_decode_plan(
     if (id >= n)
       throw std::invalid_argument("make_decode_plan: erased id out of range");
     if (erased_mask[id])
-      throw std::invalid_argument("make_decode_plan: duplicate erased id");
+      throw std::invalid_argument("make_decode_plan: duplicate erased id " +
+                                  std::to_string(id));
     erased_mask[id] = true;
   }
 

@@ -9,10 +9,7 @@ BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
     : rows_(rows),
       cols_(cols),
       words_per_row_((cols + 63) / 64),
-      words_(rows * words_per_row_, 0) {
-  if (rows == 0 || cols == 0)
-    throw std::invalid_argument("BitMatrix: zero dimension");
-}
+      words_(rows * words_per_row_, 0) {}
 
 void BitMatrix::check_index(std::size_t r, std::size_t c) const {
   if (r >= rows_ || c >= cols_)

@@ -18,7 +18,8 @@ namespace tvmec::gf {
 /// A dense binary matrix, packed row-major into 64-bit words.
 class BitMatrix {
  public:
-  /// Zero matrix. Throws std::invalid_argument on a zero dimension.
+  /// Zero matrix. Zero dimensions are legal (the bitmatrix of an r == 0
+  /// code's parity block has no rows) and store no words.
   BitMatrix(std::size_t rows, std::size_t cols);
 
   std::size_t rows() const noexcept { return rows_; }

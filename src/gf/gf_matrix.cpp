@@ -10,10 +10,7 @@
 namespace tvmec::gf {
 
 Matrix::Matrix(const Field& field, std::size_t rows, std::size_t cols)
-    : field_(&field), rows_(rows), cols_(cols), data_(rows * cols, 0) {
-  if (rows == 0 || cols == 0)
-    throw std::invalid_argument("Matrix: zero dimension");
-}
+    : field_(&field), rows_(rows), cols_(cols), data_(rows * cols, 0) {}
 
 void Matrix::check_index(std::size_t r, std::size_t c) const {
   if (r >= rows_ || c >= cols_)
@@ -217,8 +214,6 @@ std::optional<Matrix> Matrix::inverted() const {
 }
 
 Matrix Matrix::select_rows(std::span<const std::size_t> row_ids) const {
-  if (row_ids.empty())
-    throw std::invalid_argument("select_rows: empty selection");
   Matrix out(*field_, row_ids.size(), cols_);
   for (std::size_t i = 0; i < row_ids.size(); ++i) {
     if (row_ids[i] >= rows_)

@@ -17,8 +17,8 @@ namespace tvmec::gf {
 /// live for the program duration, so copies are cheap and safe.
 class Matrix {
  public:
-  /// Zero matrix of the given shape. Throws std::invalid_argument on a
-  /// zero dimension.
+  /// Zero matrix of the given shape. Zero-dimension matrices are legal
+  /// (an r == 0 code has an empty parity block) and hold no elements.
   Matrix(const Field& field, std::size_t rows, std::size_t cols);
 
   const Field& field() const noexcept { return *field_; }
@@ -77,7 +77,8 @@ class Matrix {
   /// Gauss-Jordan inverse; nullopt if singular. Requires square.
   std::optional<Matrix> inverted() const;
 
-  /// New matrix made of the given rows (in the given order).
+  /// New matrix made of the given rows (in the given order); an empty
+  /// selection yields a zero-row matrix.
   Matrix select_rows(std::span<const std::size_t> row_ids) const;
 
   /// Vertical concatenation [this; below]. Column counts must match.

@@ -242,9 +242,27 @@ StripeScrubResult StripeStore::scrub_stripe(const std::string& name,
 
   StripeScrubResult res;
   tensor::AlignedBuffer<std::uint8_t> stripe(n * unit_size_);
+  // Transient read errors must not defeat the scrubber: a unit whose
+  // retry budget ran out (chained transient bursts can exhaust it) is
+  // re-attempted in a fresh pass before the stripe is declared
+  // unrecoverable. Without this, one latent corruption plus one
+  // transient burst pushes the apparent erasure count past r, scrub
+  // skips the stripe, and the corruption stays on disk — found by the
+  // cross-backend differential fuzzer (see DESIGN.md §6).
+  constexpr int kReadPasses = 3;
+  std::vector<UnitRead> state(n, UnitRead::Missing);
+  for (int pass = 0; pass < kReadPasses; ++pass) {
+    bool any_missing = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (pass > 0 && state[u] != UnitRead::Missing) continue;
+      state[u] = read_unit(name, loc, s, u, stripe.data() + u * unit_size_);
+      any_missing |= state[u] == UnitRead::Missing;
+    }
+    if (!any_missing) break;
+  }
   std::vector<std::size_t> erased;  // missing or corrupt: needs rebuild
   for (std::size_t u = 0; u < n; ++u) {
-    switch (read_unit(name, loc, s, u, stripe.data() + u * unit_size_)) {
+    switch (state[u]) {
       case UnitRead::Ok:
         ++res.units_verified;
         break;

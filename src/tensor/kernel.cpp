@@ -146,7 +146,9 @@ struct AxisChunks {
   std::size_t tile = 0;    // tile extent in elements
   std::size_t extent = 0;  // axis extent in elements
 
-  /// Element range [begin, end) of chunk c.
+  /// Element range [begin, end) of chunk c. Only valid for c < chunks
+  /// (chunks >= 1 whenever the axis is non-empty, so no division by
+  /// zero can occur for dispatched work).
   std::pair<std::size_t, std::size_t> range(std::size_t c) const {
     const std::size_t base = tiles / chunks;
     const std::size_t rem = tiles % chunks;
@@ -158,12 +160,20 @@ struct AxisChunks {
 
 /// Carves `extent` into chunks of ~`grain` tiles (0 = auto: enough chunks
 /// that the pool's dynamic claiming can balance load, a few per thread).
+/// Degenerate shapes stay well-defined: an empty axis yields zero chunks
+/// (nothing is dispatched), and an axis smaller than the grain yields a
+/// single chunk covering it — never an empty range and never a
+/// division by zero in range().
 AxisChunks make_axis_chunks(std::size_t extent, std::size_t tile,
                             std::size_t grain, std::size_t threads) {
   AxisChunks ax;
   ax.tile = tile;
   ax.extent = extent;
   ax.tiles = (extent + tile - 1) / tile;
+  if (ax.tiles == 0) {
+    ax.chunks = 0;
+    return ax;
+  }
   constexpr std::size_t kChunksPerThread = 4;
   const std::size_t wanted =
       grain == 0 ? threads * kChunksPerThread : (ax.tiles + grain - 1) / grain;

@@ -1,0 +1,509 @@
+#include "testing/diff_fuzzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/backends.h"
+#include "core/lrc_codec.h"
+#include "core/tvmec.h"
+#include "ec/decoder.h"
+#include "ec/lrc.h"
+#include "ec/reed_solomon.h"
+#include "storage/fault_injector.h"
+#include "storage/stripe_store.h"
+#include "tensor/buffer.h"
+
+namespace tvmec::testing {
+
+namespace {
+
+using Bytes = tensor::AlignedBuffer<std::uint8_t>;
+
+Bytes seeded_bytes(std::size_t size, std::uint64_t seed) {
+  Bytes buf(size);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < size; ++i)
+    buf[i] = static_cast<std::uint8_t>(rng());
+  return buf;
+}
+
+std::string hex_byte(std::uint8_t b) {
+  static const char* digits = "0123456789abcdef";
+  return std::string{'0', 'x', digits[b >> 4], digits[b & 0xF]};
+}
+
+/// First divergent byte between two equal-length unit arrays, reported
+/// as "<label>: unit U byte B: got 0xGG want 0xWW"; nullopt when equal.
+std::optional<std::string> first_divergence(std::span<const std::uint8_t> got,
+                                            std::span<const std::uint8_t> want,
+                                            std::size_t unit_size,
+                                            const std::string& label) {
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] == want[i]) continue;
+    std::ostringstream out;
+    out << label << ": unit " << i / unit_size << " byte " << i % unit_size
+        << ": got " << hex_byte(got[i]) << " want " << hex_byte(want[i]);
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+/// Instantiates a backend coder, honoring the config's schedule-menu
+/// index for the Gemm backend (other backends have no schedule knob).
+std::unique_ptr<ec::MatrixCoder> make_backend_coder(core::Backend backend,
+                                                    const gf::Matrix& coeffs,
+                                                    std::size_t sched) {
+  if (backend == core::Backend::Gemm && sched != 0)
+    return core::make_gemm_coder(
+        coeffs, DiffFuzzer::schedule_menu().at(sched));
+  return core::make_coder(backend, coeffs);
+}
+
+/// Sorted, deduplicated copy of a loss pattern.
+std::vector<std::size_t> distinct(const std::vector<std::size_t>& ids) {
+  std::vector<std::size_t> out(ids);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Runs `coder` on `in` twice — once directly and once from a +1-offset
+/// copy of the input — and reports a divergence if the unaligned path
+/// does not reproduce the aligned result (the satellite regression the
+/// sweep fixed: unaligned buffers must stage, not diverge or throw).
+std::optional<std::string> check_unaligned_matches(
+    const ec::MatrixCoder& coder, std::span<const std::uint8_t> in,
+    std::span<const std::uint8_t> aligned_out, std::size_t unit_size,
+    const std::string& label) {
+  Bytes shifted(in.size() + 1);
+  std::memcpy(shifted.data() + 1, in.data(), in.size());
+  Bytes out(aligned_out.size());
+  coder.apply(shifted.span().subspan(1), out.span(), unit_size);
+  return first_divergence(out.span(), aligned_out, unit_size,
+                          label + " (+1-offset input)");
+}
+
+FuzzOutcome fail(const FuzzConfig& config, std::string detail) {
+  return FuzzOutcome{false, format_repro(config), std::move(detail), 1};
+}
+
+FuzzOutcome run_rs_encode(const FuzzConfig& c) {
+  const ec::CodeParams params{c.k, c.r, c.w};
+  const ec::ReedSolomon rs(params, c.family);
+  const gf::Matrix parity_matrix = rs.parity_matrix();
+  const Bytes data = seeded_bytes(c.k * c.unit_size, c.seed);
+
+  // Oracles: one per byte-embedding family (DESIGN.md §4b).
+  Bytes oracle_bitpacket(c.r * c.unit_size);
+  Bytes oracle_byte(c.r * c.unit_size);
+  ec::apply_matrix_reference_bitpacket(parity_matrix, data.span(),
+                                       oracle_bitpacket.span(), c.unit_size);
+  ec::apply_matrix_reference(parity_matrix, data.span(), oracle_byte.span(),
+                             c.unit_size);
+
+  for (const core::Backend backend : core::backends_for_w(c.w)) {
+    const auto coder = make_backend_coder(backend, parity_matrix, c.sched);
+    const std::string label =
+        std::string("backend ") + core::to_string(backend);
+    Bytes out(c.r * c.unit_size);
+    coder->apply(data.span(), out.span(), c.unit_size);
+    const Bytes& oracle = core::is_bitpacket_backend(backend)
+                              ? oracle_bitpacket
+                              : oracle_byte;
+    if (auto d = first_divergence(out.span(), oracle.span(), c.unit_size,
+                                  label))
+      return fail(c, *d);
+    if (auto d = check_unaligned_matches(*coder, data.span(), out.span(),
+                                         c.unit_size, label))
+      return fail(c, *d);
+  }
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
+FuzzOutcome run_rs_decode(const FuzzConfig& c) {
+  const ec::CodeParams params{c.k, c.r, c.w};
+  const ec::ReedSolomon rs(params, c.family);
+  const std::size_t n = params.n();
+  const std::size_t unit = c.unit_size;
+  if (c.losses.empty()) return FuzzOutcome{true, {}, {}, 1};
+
+  // Full stripes under both embeddings: data verbatim, then parity.
+  const Bytes data = seeded_bytes(c.k * unit, c.seed);
+  Bytes stripe_bitpacket(n * unit), stripe_byte(n * unit);
+  std::memcpy(stripe_bitpacket.data(), data.data(), c.k * unit);
+  std::memcpy(stripe_byte.data(), data.data(), c.k * unit);
+  const gf::Matrix parity_matrix = rs.parity_matrix();
+  ec::apply_matrix_reference_bitpacket(
+      parity_matrix, data.span(),
+      stripe_bitpacket.span().subspan(c.k * unit), unit);
+  ec::apply_matrix_reference(parity_matrix, data.span(),
+                             stripe_byte.span().subspan(c.k * unit), unit);
+
+  const std::vector<std::size_t> erased = distinct(c.losses);
+  const bool out_of_range = erased.back() >= n;
+  const bool too_many = erased.size() > c.r;
+
+  // The Codec front door must tolerate the raw (unsorted / duplicated)
+  // loss pattern, and must reject out-of-range or excess patterns with
+  // invalid_argument rather than garbage output.
+  {
+    core::Codec codec(params, c.family);
+    Bytes work = stripe_bitpacket;
+    for (const std::size_t id : erased)
+      if (id < n) std::memset(work.data() + id * unit, 0xEE, unit);
+    if (out_of_range || too_many) {
+      try {
+        codec.decode(work.span(), c.losses, unit);
+        return fail(c, "codec.decode accepted an invalid loss pattern");
+      } catch (const std::invalid_argument&) {
+        if (!out_of_range)
+          return fail(c,
+                      "codec.decode: excess erasures should be runtime_error "
+                      "(unrecoverable), not invalid_argument");
+      } catch (const std::runtime_error&) {
+        // expected for > r distinct erasures (unrecoverable pattern)
+        if (out_of_range)
+          return fail(c,
+                      "codec.decode: out-of-range id should be "
+                      "invalid_argument, not runtime_error");
+      }
+      return FuzzOutcome{true, {}, {}, 1};
+    }
+    codec.decode(work.span(), c.losses, unit);
+    if (auto d = first_divergence(work.span(), stripe_bitpacket.span(), unit,
+                                  "codec.decode"))
+      return fail(c, *d);
+  }
+
+  // Every backend executes the same DecodePlan as an encode over the
+  // survivors; recovered units must match the originals byte for byte
+  // within the backend's embedding family.
+  const auto plan = ec::make_decode_plan(rs.generator(), erased);
+  if (!plan)
+    return fail(c, "make_decode_plan failed on an MDS-decodable pattern");
+  const std::size_t s = plan->survivors.size();
+  for (const core::Backend backend : core::backends_for_w(c.w)) {
+    const Bytes& stripe = core::is_bitpacket_backend(backend)
+                              ? stripe_bitpacket
+                              : stripe_byte;
+    Bytes survivors(s * unit);
+    for (std::size_t i = 0; i < s; ++i)
+      std::memcpy(survivors.data() + i * unit,
+                  stripe.data() + plan->survivors[i] * unit, unit);
+    const auto coder = make_backend_coder(backend, plan->recovery, c.sched);
+    Bytes recovered(erased.size() * unit);
+    coder->apply(survivors.span(), recovered.span(), unit);
+    for (std::size_t i = 0; i < plan->erased.size(); ++i) {
+      const std::span<const std::uint8_t> want(
+          stripe.data() + plan->erased[i] * unit, unit);
+      const std::span<const std::uint8_t> got(recovered.data() + i * unit,
+                                              unit);
+      if (auto d = first_divergence(
+              got, want, unit,
+              std::string("backend ") + core::to_string(backend) +
+                  " decode of unit " + std::to_string(plan->erased[i])))
+        return fail(c, *d);
+    }
+  }
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
+FuzzOutcome run_lrc(const FuzzConfig& c) {
+  const ec::LrcParams params{c.k, c.l, c.r, c.w};
+  const ec::Lrc lrc(params);
+  core::LrcCodec codec(params);
+  const std::size_t n = params.n();
+  const std::size_t unit = c.unit_size;
+  if (c.sched != 0)
+    codec.set_schedule(DiffFuzzer::schedule_menu().at(c.sched));
+
+  const Bytes data = seeded_bytes(c.k * unit, c.seed);
+  Bytes stripe(n * unit);
+  std::memcpy(stripe.data(), data.data(), c.k * unit);
+  codec.encode(data.span(), stripe.span().subspan(c.k * unit), unit);
+
+  // The GEMM LRC encode must match the bitpacket reference applied to
+  // the same parity matrix.
+  Bytes oracle((c.l + c.r) * unit);
+  ec::apply_matrix_reference_bitpacket(lrc.parity_matrix(), data.span(),
+                                       oracle.span(), unit);
+  if (auto d = first_divergence(stripe.span().subspan(c.k * unit),
+                                oracle.span(), unit, "lrc encode"))
+    return fail(c, *d);
+
+  if (c.losses.empty()) return FuzzOutcome{true, {}, {}, 1};
+  const std::vector<std::size_t> erased = distinct(c.losses);
+  if (erased.back() >= n) {
+    Bytes work = stripe;
+    try {
+      codec.decode(work.span(), c.losses, unit);
+      return fail(c, "lrc decode accepted an out-of-range loss id");
+    } catch (const std::invalid_argument&) {
+      return FuzzOutcome{true, {}, {}, 1};
+    }
+  }
+
+  Bytes work = stripe;
+  for (const std::size_t id : erased)
+    std::memset(work.data() + id * unit, 0xEE, unit);
+  const bool recoverable = lrc.decode_plan(erased).has_value();
+  try {
+    codec.decode(work.span(), c.losses, unit);
+  } catch (const std::runtime_error&) {
+    if (recoverable)
+      return fail(c, "lrc decode refused a recoverable pattern");
+    return FuzzOutcome{true, {}, {}, 1};
+  }
+  if (!recoverable)
+    return fail(c, "lrc decode claimed success on an unrecoverable pattern");
+  if (auto d =
+          first_divergence(work.span(), stripe.span(), unit, "lrc decode"))
+    return fail(c, *d);
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
+FuzzOutcome run_storage(const FuzzConfig& c, bool faulted) {
+  const ec::CodeParams params{c.k, c.r, c.w};
+  const std::size_t unit = c.unit_size;
+  storage::StripeStore store(params, unit, params.n() + 2);
+
+  storage::FaultInjector injector(
+      storage::FaultPolicy{
+          .read_bit_flip = 0.05,  // healed by CRC-triggered re-reads
+          .transient_read = 0.1,  // healed by retry-with-backoff
+          .transient_failures = 2,
+      },
+      c.seed ^ 0xFA17);
+  if (faulted) {
+    store.attach_fault_injector(&injector);
+    store.set_retry_policy(storage::RetryPolicy{.max_attempts = 6});
+  }
+
+  const std::size_t object_size = 1 + c.seed % (3 * c.k * unit);
+  const Bytes object = seeded_bytes(object_size, c.seed + 1);
+  store.put("fuzz-object", object.span());
+
+  if (faulted && c.r >= 1) {
+    // One deterministic latent corruption, then a scrub to heal it.
+    store.corrupt_unit("fuzz-object", 0, c.seed % params.n());
+    store.scrub();
+  }
+
+  const std::vector<std::size_t> failed = distinct(c.losses);
+  for (const std::size_t node : failed) store.fail_node(node);
+
+  const auto check_bytes =
+      [&](const std::optional<std::vector<std::uint8_t>>& read,
+          const char* label) -> std::optional<FuzzOutcome> {
+    if (!read) return fail(c, std::string(label) + " lost the object");
+    if (read->size() != object_size)
+      return fail(c, std::string(label) + " returned " +
+                         std::to_string(read->size()) + " bytes, want " +
+                         std::to_string(object_size));
+    if (auto d = first_divergence(*read, object.span(), unit, label))
+      return fail(c, *d);
+    return std::nullopt;
+  };
+
+  try {
+    const auto read = store.get("fuzz-object");
+    // Whatever the fault storm did, returned bytes must be exact:
+    // silent corruption is never acceptable.
+    if (auto failure = check_bytes(read, "store.get")) return *failure;
+  } catch (const std::runtime_error&) {
+    // An unrecoverable read is legal when more nodes failed than the
+    // code has parities — or when injected transient bursts chained past
+    // the retry budget and made further units unavailable (visible as
+    // exhausted retry ops). Anything else is a divergence.
+    const bool transiently_unavailable =
+        faulted && store.retry_stats().exhausted > 0;
+    if (failed.size() <= c.r && !transiently_unavailable)
+      return fail(c, "store.get unrecoverable within the failure budget");
+  }
+
+  // Durability: transient unavailability must not have become data loss.
+  // With the injector detached and at most r failed nodes, a clean
+  // re-read must succeed and match byte for byte.
+  if (faulted && failed.size() <= c.r) {
+    store.attach_fault_injector(nullptr);
+    std::optional<std::vector<std::uint8_t>> clean;
+    try {
+      clean = store.get("fuzz-object");
+    } catch (const std::runtime_error& e) {
+      return fail(c, std::string("clean re-read unrecoverable: ") + e.what());
+    }
+    if (auto failure = check_bytes(clean, "clean re-read")) return *failure;
+  }
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
+}  // namespace
+
+const std::vector<tensor::Schedule>& DiffFuzzer::schedule_menu() {
+  static const std::vector<tensor::Schedule> menu = [] {
+    std::vector<tensor::Schedule> m;
+    m.push_back(tensor::default_schedule());
+    m.push_back({.tile_m = 1, .tile_n = 1});                    // scalar
+    m.push_back({.tile_m = 8, .tile_n = 64, .block_k = 8,
+                 .block_n = 256});                              // big tiles
+    m.push_back({.tile_m = 2, .tile_n = 16, .num_threads = 2,
+                 .par_axis = tensor::ParAxis::N});              // parallel N
+    m.push_back({.tile_m = 4, .tile_n = 4, .num_threads = 2,
+                 .par_axis = tensor::ParAxis::MN,
+                 .par_grain = 1});                              // 2D grid
+    return m;
+  }();
+  return menu;
+}
+
+FuzzOutcome DiffFuzzer::run_one(const FuzzConfig& config) {
+  try {
+    config.validate();
+    if (config.sched >= schedule_menu().size())
+      throw std::invalid_argument("FuzzConfig: sched index out of range");
+    switch (config.scenario) {
+      case Scenario::RsEncode:
+        return run_rs_encode(config);
+      case Scenario::RsDecode:
+        return run_rs_decode(config);
+      case Scenario::LrcRoundTrip:
+        return run_lrc(config);
+      case Scenario::StorageRoundTrip:
+        return run_storage(config, /*faulted=*/false);
+      case Scenario::StorageFaulted:
+        return run_storage(config, /*faulted=*/true);
+    }
+    return fail(config, "unknown scenario");
+  } catch (const std::exception& e) {
+    return fail(config, std::string("unexpected exception: ") + e.what());
+  }
+}
+
+FuzzOutcome DiffFuzzer::run_campaign(std::uint64_t seed,
+                                     std::size_t iterations,
+                                     std::uint64_t deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    if (deadline_ms != 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+      if (static_cast<std::uint64_t>(elapsed.count()) >= deadline_ms)
+        return FuzzOutcome{true, {}, {}, i};
+    }
+    const FuzzConfig config = random_config(rng);
+    FuzzOutcome outcome = run_one(config);
+    if (!outcome.ok) {
+      const FuzzConfig smallest = minimize(
+          config, [](const FuzzConfig& c) { return !run_one(c).ok; });
+      outcome = run_one(smallest);  // refresh detail for the minimized form
+      outcome.ok = false;
+      outcome.repro = format_repro(smallest);
+      outcome.iterations = i + 1;
+      return outcome;
+    }
+  }
+  return FuzzOutcome{true, {}, {}, iterations};
+}
+
+namespace {
+
+/// Drops loss ids that a shrunken shape can no longer address (they are
+/// re-checked against still_fails, so semantics-changing clamps are only
+/// ever *kept* when the failure survives them).
+FuzzConfig clamp_losses(FuzzConfig c) {
+  const std::size_t space =
+      (c.scenario == Scenario::StorageRoundTrip ||
+       c.scenario == Scenario::StorageFaulted)
+          ? c.n() + 2
+          : c.n();
+  std::erase_if(c.losses, [&](std::size_t id) { return id >= space; });
+  return c;
+}
+
+bool is_valid(const FuzzConfig& c) {
+  try {
+    c.validate();
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+/// Simpler variants of `c`, most aggressive first.
+std::vector<FuzzConfig> reductions(const FuzzConfig& c) {
+  std::vector<FuzzConfig> out;
+  const auto add = [&](FuzzConfig cand) {
+    cand = clamp_losses(std::move(cand));
+    if (cand != c && is_valid(cand)) out.push_back(std::move(cand));
+  };
+  for (std::size_t i = 0; i < c.losses.size(); ++i) {
+    FuzzConfig cand = c;
+    cand.losses.erase(cand.losses.begin() + static_cast<std::ptrdiff_t>(i));
+    add(std::move(cand));
+  }
+  for (const std::size_t k : {c.k / 2, c.k - 1}) {
+    FuzzConfig cand = c;
+    cand.k = k;
+    if (cand.scenario == Scenario::LrcRoundTrip)
+      cand.l = std::min(cand.l, std::max<std::size_t>(cand.k, 1));
+    add(std::move(cand));
+  }
+  if (c.r > 0) {
+    FuzzConfig cand = c;
+    cand.r = c.r - 1;
+    add(std::move(cand));
+  }
+  if (c.scenario == Scenario::LrcRoundTrip && c.l > 1) {
+    FuzzConfig cand = c;
+    cand.l = 1;
+    add(std::move(cand));
+  }
+  for (const std::size_t u : {static_cast<std::size_t>(c.w),
+                              c.unit_size / 2 / c.w * c.w}) {
+    FuzzConfig cand = c;
+    cand.unit_size = u;
+    add(std::move(cand));
+  }
+  if (c.sched != 0) {
+    FuzzConfig cand = c;
+    cand.sched = 0;
+    add(std::move(cand));
+  }
+  if (c.family != ec::RsFamily::CauchyGood) {
+    FuzzConfig cand = c;
+    cand.family = ec::RsFamily::CauchyGood;
+    add(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace
+
+FuzzConfig DiffFuzzer::minimize(
+    const FuzzConfig& start,
+    const std::function<bool(const FuzzConfig&)>& still_fails) {
+  FuzzConfig best = start;
+  // Greedy descent: accept the first reduction that still fails and
+  // restart from it; stop at a fixed point. The step bound is a safety
+  // net (every acceptance strictly shrinks some component).
+  for (int step = 0; step < 1000; ++step) {
+    bool improved = false;
+    for (const FuzzConfig& cand : reductions(best)) {
+      if (still_fails(cand)) {
+        best = cand;
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace tvmec::testing

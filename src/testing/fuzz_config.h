@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ec/reed_solomon.h"
+
+/// Configuration space of the cross-backend differential fuzzer: one
+/// FuzzConfig pins down everything a fuzz iteration does — the scenario,
+/// the code shape, the unit size, the payload seed, the loss pattern and
+/// the GEMM schedule — so a single short string reproduces any failure
+/// byte for byte on any machine.
+namespace tvmec::testing {
+
+/// What one fuzz iteration exercises.
+enum class Scenario {
+  RsEncode,        ///< every backend's encode vs the embedding oracles
+  RsDecode,        ///< every backend executing a DecodePlan vs originals
+  LrcRoundTrip,    ///< LrcCodec encode/decode vs the bitpacket reference
+  StorageRoundTrip,///< StripeStore put / fail_node / get, fault-free
+  StorageFaulted,  ///< same under a seeded FaultInjector + scrub
+};
+
+const char* to_string(Scenario s) noexcept;
+
+/// One point in the fuzz space. Defaults form a small valid RS config.
+struct FuzzConfig {
+  Scenario scenario = Scenario::RsEncode;
+  ec::RsFamily family = ec::RsFamily::CauchyGood;
+  std::size_t k = 4;  ///< data units (LrcRoundTrip: data units, l must divide)
+  std::size_t r = 2;  ///< parities (LrcRoundTrip: g, the global parities)
+  std::size_t l = 0;  ///< LrcRoundTrip only: local groups (0 otherwise)
+  unsigned w = 8;
+  std::size_t unit_size = 64;  ///< bytes per unit; any multiple of w
+  std::uint64_t seed = 1;      ///< drives payload bytes and fault injection
+  /// Losses: erased unit ids (decode scenarios), failed node ids
+  /// (storage scenarios), empty for pure-encode runs. Kept verbatim —
+  /// deliberately allowed to be unsorted or to hold duplicates, because
+  /// tolerating such inputs is part of the decode contract under test.
+  std::vector<std::size_t> losses;
+  /// Index into the fuzzer's fixed GEMM schedule menu (0 = default
+  /// schedule). See DiffFuzzer::schedule_menu().
+  std::size_t sched = 0;
+
+  /// Total units in the code (k + r, or k + l + g for LRC).
+  std::size_t n() const noexcept {
+    return scenario == Scenario::LrcRoundTrip ? k + l + r : k + r;
+  }
+
+  /// Throws std::invalid_argument when the config does not describe a
+  /// runnable iteration (bad code shape, unit size, or loss ids).
+  void validate() const;
+
+  bool operator==(const FuzzConfig&) const = default;
+};
+
+/// Serializes a config as a one-line reproducer, e.g.
+///   fuzz:v1 s=rs-decode f=cauchy-good k=6 r=3 w=8 u=128 seed=42
+///       loss=1,3 sched=2
+/// (single line; loss/sched omitted when empty/zero). parse_repro is the
+/// exact inverse: parse_repro(format_repro(c)) == c for every valid c.
+std::string format_repro(const FuzzConfig& config);
+
+/// Parses a reproducer string. Throws std::invalid_argument on malformed
+/// input (bad magic, unknown key, unparsable number) — with a message
+/// naming the offending token.
+FuzzConfig parse_repro(const std::string& text);
+
+/// Draws a uniformly-ish random valid config. The generator deliberately
+/// over-weights edge cases the bug sweep targeted: k == 1, r == 0,
+/// unit_size == w (one-byte packets), and unsorted/duplicate loss ids.
+FuzzConfig random_config(std::mt19937_64& rng);
+
+}  // namespace tvmec::testing

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "../test_util.h"
 #include "ec/reed_solomon.h"
 
@@ -84,13 +87,31 @@ TEST(Naive, RejectsSizeMismatch) {
                std::invalid_argument);
 }
 
-TEST(Naive, RejectsMisalignedBuffers) {
+// Regression: unaligned user buffers used to be rejected with
+// std::invalid_argument. They are now staged through aligned scratch and
+// must produce byte-identical parity.
+TEST(Naive, AcceptsMisalignedBuffers) {
   const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
   const NaiveBitmatrixCoder coder(rs.parity_matrix());
   tensor::AlignedBuffer<std::uint8_t> data(4 * 64 + 1), parity(2 * 64);
-  EXPECT_THROW(
-      coder.apply(data.span().subspan(1, 4 * 64), parity.span(), 64),
-      std::invalid_argument);
+  std::mt19937_64 rng(77);
+  for (auto& b : data.span()) b = static_cast<std::uint8_t>(rng());
+
+  const auto in_off = data.span().subspan(1, 4 * 64);
+  tensor::AlignedBuffer<std::uint8_t> data_aligned(4 * 64);
+  std::copy(in_off.begin(), in_off.end(), data_aligned.span().begin());
+  tensor::AlignedBuffer<std::uint8_t> expect(2 * 64);
+  coder.apply(data_aligned.span(), expect.span(), 64);
+
+  EXPECT_NO_THROW(coder.apply(in_off, parity.span(), 64));
+  EXPECT_TRUE(std::equal(parity.span().begin(), parity.span().end(),
+                         expect.span().begin()));
+
+  // Misaligned output as well: write into a +1-offset window.
+  tensor::AlignedBuffer<std::uint8_t> parity_off(2 * 64 + 1);
+  coder.apply(data_aligned.span(), parity_off.span().subspan(1, 2 * 64), 64);
+  EXPECT_TRUE(std::equal(expect.span().begin(), expect.span().end(),
+                         parity_off.span().begin() + 1));
 }
 
 }  // namespace

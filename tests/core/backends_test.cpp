@@ -19,6 +19,22 @@ TEST(Backends, AllBackendsListedOnce) {
   EXPECT_EQ(backends.back(), Backend::Gemm);
 }
 
+TEST(Backends, NameLookupRoundTripsEveryBackend) {
+  for (const Backend b : all_backends()) {
+    const auto parsed = backend_from_name(to_string(b));
+    ASSERT_TRUE(parsed.has_value()) << to_string(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(backend_from_name("").has_value());
+  EXPECT_FALSE(backend_from_name("jerasure").has_value());
+  EXPECT_FALSE(backend_from_name("ISAL").has_value());
+}
+
+TEST(Backends, EmbeddingFamilySplitsIsalFromBitmatrix) {
+  for (const Backend b : all_backends())
+    EXPECT_EQ(is_bitpacket_backend(b), b != Backend::Isal);
+}
+
 TEST(Backends, WFilteringDropsIsalForNon8) {
   EXPECT_EQ(backends_for_w(8).size(), 6u);
   const auto w4 = backends_for_w(4);

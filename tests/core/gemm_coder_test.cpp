@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "../test_util.h"
 #include "baselines/naive.h"
 #include "ec/reed_solomon.h"
@@ -114,11 +116,21 @@ TEST(GemmCoder, SizeAndAlignmentValidation) {
   const ec::ReedSolomon rs(ec::CodeParams{4, 2, 8});
   const GemmCoder coder(rs.parity_matrix());
   tensor::AlignedBuffer<std::uint8_t> data(4 * 64 + 1), parity(2 * 64);
+  // 60 is not a multiple of w = 8: still rejected.
   EXPECT_THROW(coder.apply(data.span().subspan(0, 4 * 60), parity.span(), 60),
                std::invalid_argument);
-  EXPECT_THROW(
-      coder.apply(data.span().subspan(1, 4 * 64), parity.span(), 64),
-      std::invalid_argument);
+  // Regression: a +1-offset (misaligned) input used to throw. It is now
+  // staged through aligned scratch and matches the aligned result.
+  for (std::size_t i = 0; i < data.span().size(); ++i)
+    data.span()[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  const auto in_off = data.span().subspan(1, 4 * 64);
+  tensor::AlignedBuffer<std::uint8_t> data_aligned(4 * 64);
+  std::copy(in_off.begin(), in_off.end(), data_aligned.span().begin());
+  tensor::AlignedBuffer<std::uint8_t> expect(2 * 64);
+  coder.apply(data_aligned.span(), expect.span(), 64);
+  EXPECT_NO_THROW(coder.apply(in_off, parity.span(), 64));
+  EXPECT_TRUE(std::equal(parity.span().begin(), parity.span().end(),
+                         expect.span().begin()));
 }
 
 TEST(GemmCoder, TuneInstallsBestScheduleAndImproves) {

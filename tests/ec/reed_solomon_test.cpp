@@ -13,7 +13,8 @@ using testutil::random_bytes;
 TEST(CodeParams, Validation) {
   EXPECT_NO_THROW((CodeParams{10, 4, 8}).validate());
   EXPECT_THROW((CodeParams{0, 4, 8}).validate(), std::invalid_argument);
-  EXPECT_THROW((CodeParams{10, 0, 8}).validate(), std::invalid_argument);
+  // r == 0 is the degenerate striping-only code: legal, nothing to encode.
+  EXPECT_NO_THROW((CodeParams{10, 0, 8}).validate());
   EXPECT_THROW((CodeParams{10, 4, 7}).validate(), std::invalid_argument);
   EXPECT_THROW((CodeParams{14, 4, 4}).validate(), std::invalid_argument);
   EXPECT_NO_THROW((CodeParams{12, 4, 4}).validate());
@@ -22,11 +23,16 @@ TEST(CodeParams, Validation) {
 TEST(CodeParams, PacketBytes) {
   const CodeParams p{10, 4, 8};
   EXPECT_EQ(packet_bytes(p, 1024), 128u);
-  EXPECT_THROW(packet_bytes(p, 1000), std::invalid_argument);
+  // Any multiple of w is a valid unit size; packets need not fill whole
+  // 64-bit words (coders pad internally).
+  EXPECT_EQ(packet_bytes(p, 1000), 125u);
+  EXPECT_EQ(packet_bytes(p, 8), 1u);
+  EXPECT_THROW(packet_bytes(p, 1001), std::invalid_argument);
   EXPECT_THROW(packet_bytes(p, 0), std::invalid_argument);
   const CodeParams p16{10, 4, 16};
   EXPECT_EQ(packet_bytes(p16, 2048), 128u);
-  EXPECT_THROW(packet_bytes(p16, 1024 + 64), std::invalid_argument);
+  EXPECT_EQ(packet_bytes(p16, 1024 + 64), 68u);
+  EXPECT_THROW(packet_bytes(p16, 1024 + 8), std::invalid_argument);
 }
 
 struct RsCase {

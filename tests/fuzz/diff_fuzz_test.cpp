@@ -1,0 +1,173 @@
+#include "testing/diff_fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "testing/fuzz_config.h"
+
+/// Tier-1 fuzz smoke: fixed seeds, small iteration budget (~2 s), zero
+/// divergences expected across every backend and scenario. The
+/// open-ended randomized campaign lives in CI's scheduled job
+/// (fuzz_repro --random), not here — ctest must stay fast and
+/// deterministic.
+namespace tvmec::testing {
+namespace {
+
+TEST(FuzzRepro, FormatParseRoundTrip) {
+  std::mt19937_64 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const FuzzConfig config = random_config(rng);
+    const std::string text = format_repro(config);
+    EXPECT_EQ(parse_repro(text), config) << text;
+  }
+}
+
+TEST(FuzzRepro, FormatIsStable) {
+  FuzzConfig config;
+  config.scenario = Scenario::RsDecode;
+  config.family = ec::RsFamily::CauchyGood;
+  config.k = 6;
+  config.r = 3;
+  config.w = 8;
+  config.unit_size = 128;
+  config.seed = 42;
+  config.losses = {1, 3};
+  config.sched = 2;
+  EXPECT_EQ(format_repro(config),
+            "fuzz:v1 s=rs-decode f=cauchy-good k=6 r=3 w=8 u=128 seed=42 "
+            "loss=1,3 sched=2");
+}
+
+TEST(FuzzRepro, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_repro(""), std::invalid_argument);
+  EXPECT_THROW(parse_repro("fuzz:v2 s=rs-encode"), std::invalid_argument);
+  EXPECT_THROW(parse_repro("fuzz:v1 s=bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_repro("fuzz:v1 qq=1"), std::invalid_argument);
+  EXPECT_THROW(parse_repro("fuzz:v1 k=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_repro("fuzz:v1 s=rs-encode k=0"),
+               std::invalid_argument);
+  // Unit size must be a multiple of w.
+  EXPECT_THROW(parse_repro("fuzz:v1 s=rs-encode k=4 r=2 w=8 u=60"),
+               std::invalid_argument);
+}
+
+TEST(FuzzConfigGen, AlwaysValidAndDeterministic) {
+  std::mt19937_64 a(7), b(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const FuzzConfig ca = random_config(a);
+    const FuzzConfig cb = random_config(b);
+    EXPECT_EQ(ca, cb);
+    EXPECT_NO_THROW(ca.validate());
+  }
+}
+
+/// The fixed-seed smoke sweep: every scenario, every backend, zero
+/// divergences. A failure here prints the exact reproducer to hand to
+/// `fuzz_repro`.
+TEST(DiffFuzz, FixedSeedSmokeSweepFindsNoDivergence) {
+  const FuzzOutcome outcome = DiffFuzzer::run_campaign(/*seed=*/1, 150);
+  EXPECT_TRUE(outcome.ok) << outcome.repro << "\n" << outcome.detail;
+  EXPECT_EQ(outcome.iterations, 150u);
+}
+
+TEST(DiffFuzz, CampaignIsDeterministic) {
+  const FuzzOutcome a = DiffFuzzer::run_campaign(/*seed=*/9, 5);
+  const FuzzOutcome b = DiffFuzzer::run_campaign(/*seed=*/9, 5);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.repro, b.repro);
+}
+
+/// Replay of the edge-case configs this PR's bug sweep fixed. Each was
+/// a divergence (or spurious throw) on the pre-PR code.
+TEST(DiffFuzz, EdgeCaseReprosPass) {
+  const char* repros[] = {
+      // unit_size == w: one-byte packets, the staging/padding path.
+      "fuzz:v1 s=rs-encode k=4 r=2 w=8 u=8 seed=3",
+      "fuzz:v1 s=rs-encode k=4 r=2 w=16 u=16 seed=3",
+      // k == 1: single data unit.
+      "fuzz:v1 s=rs-encode k=1 r=3 w=8 u=64 seed=4",
+      "fuzz:v1 s=rs-decode k=1 r=2 w=8 u=64 seed=4 loss=0",
+      // r == 0: degenerate striping-only code, nothing to encode.
+      "fuzz:v1 s=rs-encode k=5 r=0 w=8 u=64 seed=5",
+      // Unsorted and duplicate loss ids must decode identically.
+      "fuzz:v1 s=rs-decode k=6 r=3 w=8 u=64 seed=6 loss=3,1",
+      "fuzz:v1 s=rs-decode k=6 r=3 w=8 u=64 seed=6 loss=2,2",
+      // More losses than parities must be a clean invalid_argument.
+      "fuzz:v1 s=rs-decode k=4 r=2 w=8 u=64 seed=7 loss=0,1,2",
+      // Unit size a multiple of w but not of 8*w (staging path) across
+      // decode, LRC, and storage.
+      "fuzz:v1 s=rs-decode k=5 r=2 w=8 u=24 seed=8 loss=1,6",
+      "fuzz:v1 s=lrc k=6 l=2 r=2 w=8 u=8 seed=9 loss=0,7",
+      "fuzz:v1 s=store k=3 r=2 w=8 u=16 seed=10 loss=0,3",
+      "fuzz:v1 s=store-fault k=3 r=2 w=8 u=16 seed=11 loss=2",
+      // Campaign-found regressions (see CHANGES.md postmortems): both
+      // exposed scrub giving up on stripes whose extra "erasure" was
+      // only a transient read-retry exhaustion, leaving latent
+      // corruption unhealed until a node failure turned it into data
+      // loss.
+      "fuzz:v1 s=store-fault k=10 r=1 w=4 u=4 seed=8184440594662820529 "
+      "loss=4",
+      "fuzz:v1 s=store-fault k=7 r=1 w=16 u=16 seed=9337184620144304163 "
+      "loss=7",
+  };
+  for (const char* text : repros) {
+    const FuzzOutcome outcome = DiffFuzzer::run_one(parse_repro(text));
+    EXPECT_TRUE(outcome.ok) << text << "\n" << outcome.detail;
+  }
+}
+
+/// The minimizer against a synthetic bug: "fails whenever loss id 3 is
+/// present". It must strip everything irrelevant while keeping the
+/// failure alive.
+TEST(Minimizer, ShrinksToMinimalFailingConfig) {
+  FuzzConfig start;
+  start.scenario = Scenario::RsDecode;
+  start.family = ec::RsFamily::Cauchy;
+  start.k = 8;
+  start.r = 4;
+  start.w = 8;
+  start.unit_size = 256;
+  start.seed = 5;
+  start.losses = {1, 3, 5};
+  start.sched = 3;
+  const auto fails = [](const FuzzConfig& c) {
+    for (const std::size_t id : c.losses)
+      if (id == 3) return true;
+    return false;
+  };
+  ASSERT_TRUE(fails(start));
+  const FuzzConfig min = DiffFuzzer::minimize(start, fails);
+  EXPECT_TRUE(fails(min));
+  EXPECT_EQ(min.losses, (std::vector<std::size_t>{3}));
+  // Everything irrelevant to the predicate is reset / shrunk.
+  EXPECT_EQ(min.unit_size, min.w);
+  EXPECT_EQ(min.sched, 0u);
+  EXPECT_EQ(min.family, ec::RsFamily::CauchyGood);
+  // The shape can only shrink while keeping loss id 3 addressable.
+  EXPECT_GE(min.n(), 4u);
+  EXPECT_LT(min.n(), start.n());
+}
+
+TEST(Minimizer, FixedPointWhenNothingShrinks) {
+  FuzzConfig start;
+  start.scenario = Scenario::RsEncode;
+  start.k = 1;
+  start.r = 0;
+  start.w = 8;
+  start.unit_size = 8;
+  start.seed = 1;
+  const FuzzConfig min =
+      DiffFuzzer::minimize(start, [](const FuzzConfig&) { return true; });
+  EXPECT_EQ(min, start);
+}
+
+TEST(ScheduleMenu, AllEntriesAreValid) {
+  const auto& menu = DiffFuzzer::schedule_menu();
+  ASSERT_GE(menu.size(), 5u);
+  for (const tensor::Schedule& s : menu) EXPECT_TRUE(s.valid());
+}
+
+}  // namespace
+}  // namespace tvmec::testing

@@ -19,7 +19,11 @@ TEST(BitMatrix, ConstructionAndBits) {
   EXPECT_FALSE(m.get(2, 69));
   EXPECT_THROW(m.get(3, 0), std::out_of_range);
   EXPECT_THROW(m.set(0, 70, true), std::out_of_range);
-  EXPECT_THROW(BitMatrix(0, 1), std::invalid_argument);
+  // Zero-dimension matrices are legal: the parity bitmatrix of an
+  // r == 0 code has no rows.
+  const BitMatrix empty(0, 1);
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.ones(), 0u);
 }
 
 TEST(BitMatrix, OnesCounting) {

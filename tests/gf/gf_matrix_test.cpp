@@ -31,7 +31,10 @@ TEST(Matrix, ConstructionAndIndexing) {
   EXPECT_EQ(m.at(2, 3), 7);
   EXPECT_THROW(m.at(3, 0), std::out_of_range);
   EXPECT_THROW(m.set(0, 4, 1), std::out_of_range);
-  EXPECT_THROW(Matrix(f, 0, 4), std::invalid_argument);
+  // Zero-dimension matrices are legal: an r == 0 code's parity block.
+  const Matrix empty(f, 0, 4);
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.cols(), 4u);
 }
 
 TEST(Matrix, IdentityIsMulNeutral) {

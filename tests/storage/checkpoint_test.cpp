@@ -29,7 +29,8 @@ std::vector<std::span<const std::uint8_t>> spans_of(
 
 TEST(CheckpointManager, Construction) {
   EXPECT_NO_THROW(make_manager());
-  EXPECT_THROW(CheckpointManager(ec::CodeParams{4, 2, 8}, 1000),
+  // 1001 is not a multiple of w = 8, so it is not a valid shard size.
+  EXPECT_THROW(CheckpointManager(ec::CodeParams{4, 2, 8}, 1001),
                std::invalid_argument);
 }
 

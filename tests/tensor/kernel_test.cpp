@@ -148,6 +148,31 @@ TEST(ParAxis, MoreThreadsThanTilesIsCorrect) {
   }
 }
 
+TEST(ParAxis, GrainLargerThanTileCountIsCorrect) {
+  // par_grain far above the available tile count collapses the whole
+  // axis into one chunk: the dispatch must degrade to a single worker
+  // doing everything, never round chunk counts down to zero.
+  const std::size_t m = 5, n = 17, k = 9;
+  auto a = random_masks(m * k, 31);
+  auto b = random_words(k * n, 32);
+  AlignedBuffer<std::uint64_t> c(m * n), ref(m * n);
+  const MatView<const std::uint64_t> av{a.data(), m, k, k};
+  const MatView<const std::uint64_t> bv{b.data(), k, n, n};
+  gemm_naive_xorand(av, bv, {ref.data(), m, n, n});
+  for (const ParAxis axis : {ParAxis::M, ParAxis::N, ParAxis::MN}) {
+    Schedule s;
+    s.tile_m = 4;
+    s.tile_n = 4;
+    s.num_threads = 4;
+    s.par_axis = axis;
+    s.par_grain = 1000;  // >> number of tiles on any axis
+    ASSERT_TRUE(s.valid());
+    gemm_xorand(av, bv, {c.data(), m, n, n}, s);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_EQ(c[i], ref[i]) << "axis " << to_string(axis);
+  }
+}
+
 TEST(SumProdKernel, MatchesNaive) {
   const std::size_t m = 9, n = 31, k = 17;
   AlignedBuffer<std::int64_t> a(m * k), b(k * n), c(m * n), ref(m * n);

@@ -39,6 +39,18 @@ TEST(ThreadPool, SingleItemRunsInline) {
   EXPECT_EQ(seen, caller);
 }
 
+// Regression: dispatching fewer items than workers must run each item
+// exactly once with the surplus threads idling — not dispatch empty
+// ranges or divide by zero when carving chunks.
+TEST(ThreadPool, FewerItemsThanThreadsRunsEachOnce) {
+  ThreadPool pool(8);
+  for (const std::size_t count : {2u, 3u, 7u}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i], 1);
+  }
+}
+
 TEST(ThreadPool, ParallelSumIsCorrect) {
   ThreadPool pool(3);
   constexpr std::size_t kCount = 1000;

@@ -1,0 +1,101 @@
+// fuzz_repro: replay and campaign driver for the cross-backend
+// differential fuzzer.
+//
+//   fuzz_repro "fuzz:v1 s=rs-decode k=6 r=3 w=8 u=128 seed=42 loss=1,3"
+//       Replays one reproducer string. Exit 0 when all backends agree,
+//       1 on a divergence (first divergent byte printed), 2 on usage or
+//       parse errors.
+//
+//   fuzz_repro --random [--seed S] [--iters N] [--seconds T]
+//       Seeded randomized campaign (the nightly CI job): runs N configs
+//       (default unbounded) or until T seconds elapse, printing progress.
+//       On the first divergence prints the *minimized* reproducer string
+//       on stdout — the line to paste into a bug report / regression
+//       test — and exits 1.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "testing/diff_fuzzer.h"
+#include "testing/fuzz_config.h"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: fuzz_repro \"<reproducer string>\"\n"
+      << "       fuzz_repro --random [--seed S] [--iters N] [--seconds T]\n";
+  return 2;
+}
+
+int replay(const std::string& text) {
+  tvmec::testing::FuzzConfig config;
+  try {
+    config = tvmec::testing::parse_repro(text);
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_repro: " << e.what() << "\n";
+    return 2;
+  }
+  const auto outcome = tvmec::testing::DiffFuzzer::run_one(config);
+  if (outcome.ok) {
+    std::cout << "PASS " << tvmec::testing::format_repro(config) << "\n";
+    return 0;
+  }
+  std::cout << "FAIL " << outcome.repro << "\n" << outcome.detail << "\n";
+  return 1;
+}
+
+int campaign(std::uint64_t seed, std::size_t iters, std::uint64_t seconds) {
+  std::cerr << "fuzz_repro: campaign seed=" << seed << " iters=" << iters
+            << " seconds=" << seconds << "\n";
+  const auto outcome =
+      tvmec::testing::DiffFuzzer::run_campaign(seed, iters, seconds * 1000);
+  if (outcome.ok) {
+    std::cerr << "fuzz_repro: " << outcome.iterations
+              << " configs, no divergence\n";
+    return 0;
+  }
+  // The minimized reproducer goes to stdout alone: CI uploads it as the
+  // failure artifact and a developer replays it verbatim.
+  std::cout << outcome.repro << "\n";
+  std::cerr << "fuzz_repro: divergence after " << outcome.iterations
+            << " configs\n"
+            << outcome.detail << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string first = argv[1];
+  if (first != "--random") {
+    if (argc != 2) return usage();
+    return replay(first);
+  }
+  std::uint64_t seed = 0;
+  std::size_t iters = static_cast<std::size_t>(-1);
+  std::uint64_t seconds = 0;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    try {
+      if (key == "--seed")
+        seed = std::stoull(value);
+      else if (key == "--iters")
+        iters = std::stoull(value);
+      else if (key == "--seconds")
+        seconds = std::stoull(value);
+      else
+        return usage();
+    } catch (const std::exception&) {
+      return usage();
+    }
+  }
+  if (iters == static_cast<std::size_t>(-1) && seconds == 0) {
+    std::cerr << "fuzz_repro: --random needs --iters or --seconds\n";
+    return 2;
+  }
+  return campaign(seed, iters, seconds);
+}
