@@ -39,6 +39,9 @@ testing::FuzzConfig scenario_config(testing::Scenario s) {
     case testing::Scenario::StorageFaulted:
       c.losses = {2};
       break;
+    case testing::Scenario::Serve:
+      c.losses = {1, 6};
+      break;
     case testing::Scenario::RsEncode:
       break;
   }
@@ -82,6 +85,9 @@ BENCHMARK_CAPTURE(bm_fuzz_scenario, store,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_fuzz_scenario, store_fault,
                   testing::Scenario::StorageFaulted)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fuzz_scenario, serve,
+                  testing::Scenario::Serve)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_fuzz_campaign)->Arg(25)->Unit(benchmark::kMillisecond);
 

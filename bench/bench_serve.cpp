@@ -1,0 +1,234 @@
+// E19 — the serving layer: batched asynchronous request serving vs
+// one-at-a-time execution. The paper's thesis is that EC is a GEMM and
+// GEMM efficiency grows with operand size; a front-end serving workload
+// of small concurrent requests squanders that unless requests coalesce.
+// This bench drives EcService with a closed-loop load generator and
+// reports throughput and p50/p99/p99.9 latency vs offered load (client
+// count) for the batched service against the batching=false ablation,
+// then sweeps the batch-size cap at fixed load, and finally demonstrates
+// admission control (bounded queue, Overloaded rejections) under an
+// open-loop burst. Pass --smoke for the CI-sized run.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/ec_service.h"
+#include "tensor/threadpool.h"
+
+namespace {
+
+using namespace tvmec;
+
+// Small-request serving shape: per request the GEMM sees only
+// N = kUnit/8 = 512 words — too little for thread partitioning to hand
+// out; coalescing 32 such requests restores a 16k-word N.
+constexpr std::size_t kUnit = 4 * 1024;
+constexpr std::size_t kK = 10;
+constexpr std::size_t kR = 4;
+
+const serve::CodecKey kKey{kK, kR, 8, ec::RsFamily::CauchyGood};
+
+bool g_smoke = false;
+
+struct LoadResult {
+  double gbps = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+  double mean_batch = 0;
+  std::uint64_t ok = 0, rejected = 0;
+};
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+/// Closed-loop load: `clients` threads each submit-and-wait in a loop.
+/// Offered load rises with the client count; the service coalesces
+/// whatever overlaps in the queue.
+LoadResult run_closed_loop(std::size_t clients, std::size_t per_client,
+                           bool batching, std::size_t batch_cap) {
+  serve::ServiceConfig cfg;
+  cfg.num_workers = 1;
+  cfg.batching = batching;
+  cfg.batch.max_batch_requests = batch_cap;
+  cfg.batch.queue_capacity = 4096;  // closed loop: never the bottleneck
+  serve::EcService service(cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const auto data =
+          benchutil::random_data(kK * kUnit, 0xE19 + 977 * c);
+      tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        serve::EcFuture f =
+            service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+        f.wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  service.shutdown();
+
+  const serve::ServeStatsSnapshot s = service.stats();
+  LoadResult r;
+  r.ok = s.completed_ok;
+  r.rejected = s.rejected_overload;
+  r.gbps = static_cast<double>(r.ok) * static_cast<double>(kK * kUnit) /
+           secs / 1e9;
+  r.p50_us = us(s.total_ns.percentile(50));
+  r.p99_us = us(s.total_ns.percentile(99));
+  r.p999_us = us(s.total_ns.percentile(99.9));
+  r.mean_batch = s.batch_width.mean();
+  return r;
+}
+
+void print_load_sweep() {
+  benchutil::print_header(
+      "E19a: closed-loop serving, batched vs one-at-a-time "
+      "(k=10 r=4 w=8, 4 KiB units, 1 service worker)",
+      "coalescing concurrent small requests into one wide-N GEMM lifts "
+      "throughput and tames tail latency as offered load grows");
+
+  const std::size_t per_client = g_smoke ? 20 : 200;
+  const std::vector<std::size_t> client_counts =
+      g_smoke ? std::vector<std::size_t>{1, 4}
+              : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
+
+  std::printf("%-8s | %9s %8s %8s %9s %6s | %9s %8s %8s %9s %6s\n", "clients",
+              "batched", "p50us", "p99us", "p99.9us", "avgB", "unbatch",
+              "p50us", "p99us", "p99.9us", "avgB");
+  std::printf("%-8s | %9s %8s %8s %9s %6s | %9s %8s %8s %9s %6s\n", "", "GB/s",
+              "", "", "", "", "GB/s", "", "", "", "");
+  for (const std::size_t clients : client_counts) {
+    const LoadResult b = run_closed_loop(clients, per_client, true, 32);
+    const LoadResult u = run_closed_loop(clients, per_client, false, 32);
+    std::printf(
+        "%-8zu | %9.2f %8.0f %8.0f %9.0f %6.1f | %9.2f %8.0f %8.0f %9.0f "
+        "%6.1f\n",
+        clients, b.gbps, b.p50_us, b.p99_us, b.p999_us, b.mean_batch, u.gbps,
+        u.p50_us, u.p99_us, u.p999_us, u.mean_batch);
+  }
+}
+
+void print_batch_cap_sweep() {
+  benchutil::print_header(
+      "E19b: batch-size cap sweep at fixed load",
+      "wider batches amortize dispatch until the cap exceeds the "
+      "concurrently queued work");
+
+  const std::size_t clients = g_smoke ? 4 : 16;
+  const std::size_t per_client = g_smoke ? 20 : 200;
+  const std::vector<std::size_t> caps =
+      g_smoke ? std::vector<std::size_t>{1, 8}
+              : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
+
+  std::printf("(%zu clients)\n", clients);
+  std::printf("%-8s %9s %8s %8s %9s %6s\n", "cap", "GB/s", "p50us", "p99us",
+              "p99.9us", "avgB");
+  for (const std::size_t cap : caps) {
+    const LoadResult r = run_closed_loop(clients, per_client, true, cap);
+    std::printf("%-8zu %9.2f %8.0f %8.0f %9.0f %6.1f\n", cap, r.gbps,
+                r.p50_us, r.p99_us, r.p999_us, r.mean_batch);
+  }
+}
+
+void print_admission_control() {
+  benchutil::print_header(
+      "E19c: admission control under an open-loop burst",
+      "a bounded queue rejects the overflow immediately (Overloaded) "
+      "instead of buffering without bound");
+
+  const std::size_t capacity = 64;
+  const std::size_t burst = g_smoke ? 128 : 256;
+
+  serve::ServiceConfig cfg;
+  cfg.num_workers = 0;  // hold the queue closed while the burst lands
+  cfg.batch.queue_capacity = capacity;
+  cfg.batch.max_batch_requests = 32;
+  serve::EcService service(cfg);
+
+  const auto data = benchutil::random_data(kK * kUnit, 0xE19C);
+  std::vector<tensor::AlignedBuffer<std::uint8_t>> parities;
+  parities.reserve(burst);
+  std::vector<serve::EcFuture> futures;
+  futures.reserve(burst);
+  for (std::size_t i = 0; i < burst; ++i) {
+    parities.emplace_back(kR * kUnit);
+    futures.push_back(service.submit_encode(kKey, data.span(),
+                                            parities.back().span(), kUnit));
+  }
+  service.run_pending();
+  service.shutdown();
+
+  const serve::ServeStatsSnapshot s = service.stats();
+  std::printf(
+      "queue capacity %zu, burst of %zu requests:\n"
+      "  accepted %llu, rejected (Overloaded) %llu, served ok %llu\n"
+      "  identity: submitted == accepted + rejected: %s\n",
+      capacity, burst, static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.rejected_overload),
+      static_cast<unsigned long long>(s.completed_ok),
+      s.submitted == s.accepted + s.rejected_overload ? "ok" : "VIOLATED");
+}
+
+void bm_submit_wait(benchmark::State& state) {
+  serve::ServiceConfig cfg;
+  cfg.batching = state.range(0) != 0;
+  serve::EcService service(cfg);
+  const auto data = benchutil::random_data(kK * kUnit, 0xE19D);
+  tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+  for (auto _ : state) {
+    serve::EcFuture f =
+        service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+    f.wait();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kK * kUnit));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --smoke before google-benchmark sees (and rejects) it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      g_smoke = true;
+    else
+      argv[out++] = argv[i];
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (!g_smoke) {
+    benchmark::RegisterBenchmark("bm_submit_wait", bm_submit_wait)
+        ->Arg(1)
+        ->Arg(0)
+        ->ArgName("batching")
+        ->UseRealTime();
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+
+  // Throwaway run: spin up the shared pool, fault in pages, ramp the
+  // CPU governor — so the first table cell isn't charged for it.
+  run_closed_loop(2, g_smoke ? 10 : 50, true, 32);
+
+  print_load_sweep();
+  print_batch_cap_sweep();
+  print_admission_control();
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf(
+        "\n(single hardware thread exposed: client threads and the service "
+        "worker time-share one core, so the batching win is dispatch-"
+        "amortization only; run on a multicore host for the full effect)\n");
+  return 0;
+}

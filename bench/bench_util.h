@@ -10,6 +10,7 @@
 #include "core/backends.h"
 #include "core/gemm_coder.h"
 #include "ec/encoder.h"
+#include "serve/stats.h"
 #include "tensor/buffer.h"
 #include "tune/tuner.h"
 
@@ -66,11 +67,8 @@ inline std::vector<double> interleaved_median_gbps(
     }
   }
   std::vector<double> medians(coders.size());
-  for (std::size_t i = 0; i < coders.size(); ++i) {
-    auto& s = samples[i];
-    std::nth_element(s.begin(), s.begin() + s.size() / 2, s.end());
-    medians[i] = s[s.size() / 2];
-  }
+  for (std::size_t i = 0; i < coders.size(); ++i)
+    medians[i] = serve::sample_median(samples[i]);
   return medians;
 }
 
@@ -117,10 +115,9 @@ inline void tune_gemm(core::GemmCoder& coder, std::size_t unit_size,
   std::size_t best = 0;
   double best_secs = 1e300;
   for (std::size_t i = 0; i < finalists.size(); ++i) {
-    auto& s = samples[i];
-    std::nth_element(s.begin(), s.begin() + s.size() / 2, s.end());
-    if (s[s.size() / 2] < best_secs) {
-      best_secs = s[s.size() / 2];
+    const double median = serve::sample_median(samples[i]);
+    if (median < best_secs) {
+      best_secs = median;
       best = i;
     }
   }

@@ -1,7 +1,10 @@
 #include "core/gemm_coder.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <random>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/kernel.h"
 
@@ -59,6 +62,44 @@ void GemmCoder::do_apply(std::span<const std::uint8_t> in,
       reinterpret_cast<std::uint64_t*>(out.data()), rw, packet_words,
       packet_words};
   tensor::gemm_xorand(a, b, c, schedule_);
+}
+
+void GemmCoder::apply_batch(std::span<const ec::CoderBatchItem> items,
+                            int max_threads) const {
+  const auto word_aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % 8 == 0;
+  };
+  const std::size_t kw = in_units_ * w_;
+  const std::size_t rw = out_units_ * w_;
+
+  std::vector<tensor::XorAndBatch> fast;
+  std::vector<const ec::CoderBatchItem*> slow;
+  fast.reserve(items.size());
+  for (const ec::CoderBatchItem& item : items) {
+    validate_apply_args(item.in, item.out, item.unit_size);
+    if (item.out.empty()) continue;  // r == 0: nothing to compute
+    const std::size_t pb = item.unit_size / w_;
+    if (pb % 8 != 0 || !word_aligned(item.in.data()) ||
+        !word_aligned(item.out.data())) {
+      slow.push_back(&item);  // the staging path of apply() handles it
+      continue;
+    }
+    const std::size_t packet_words = pb / 8;
+    fast.push_back(tensor::XorAndBatch{
+        {reinterpret_cast<const std::uint64_t*>(item.in.data()), kw,
+         packet_words, packet_words},
+        {reinterpret_cast<std::uint64_t*>(item.out.data()), rw, packet_words,
+         packet_words}});
+  }
+
+  if (!fast.empty()) {
+    tensor::Schedule s = schedule_;
+    if (max_threads > 0) s.num_threads = std::min(s.num_threads, max_threads);
+    const tensor::MatView<const std::uint64_t> a{masks_.data(), rw, kw, kw};
+    tensor::gemm_xorand_batched(a, fast, s);
+  }
+  for (const ec::CoderBatchItem* item : slow)
+    apply(item->in, item->out, item->unit_size);
 }
 
 tune::TaskShape GemmCoder::task_shape(std::size_t unit_size) const {

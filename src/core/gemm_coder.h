@@ -32,6 +32,15 @@ class GemmCoder final : public ec::MatrixCoder {
   /// Throws std::invalid_argument if the schedule is not supported.
   void set_schedule(const tensor::Schedule& schedule);
 
+  /// Batched multi-request entry: items whose buffers qualify for the
+  /// word fast path (8-byte aligned, whole-word packets) are packed into
+  /// a single gemm_xorand_batched call with an enlarged N dimension —
+  /// the kernel sees one big GEMM instead of many tiny ones — while
+  /// degenerate items fall back to the per-item staging path of apply().
+  /// `max_threads` > 0 caps the schedule's thread knob for this batch.
+  void apply_batch(std::span<const ec::CoderBatchItem> items,
+                   int max_threads = 0) const override;
+
   /// Autotunes the encode for the given unit size on synthetic data and
   /// installs the best schedule found (the paper's §6.1 measurement
   /// setup, with a configurable trial budget instead of 20 000).

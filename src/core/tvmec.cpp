@@ -83,14 +83,9 @@ const Codec::DecodeEntry& Codec::decode_entry(
   return pos->second;
 }
 
-void Codec::decode(std::span<std::uint8_t> stripe,
-                   std::span<const std::size_t> erased_ids,
-                   std::size_t unit_size) {
+std::vector<std::size_t> Codec::normalize_erasures(
+    std::span<const std::size_t> erased_ids) const {
   const std::size_t n = params_.n();
-  if (stripe.size() != n * unit_size)
-    throw std::invalid_argument("decode: stripe must hold k+r units");
-  if (erased_ids.empty()) return;
-
   // Callers pass loss sets in whatever order (and with whatever
   // duplication) their failure detector produced; normalize here so the
   // plan cache keys stay canonical and duplicates cannot reach
@@ -107,27 +102,75 @@ void Codec::decode(std::span<std::uint8_t> stripe,
     throw std::runtime_error("decode: " + std::to_string(erased.size()) +
                              " distinct erasures exceed r=" +
                              std::to_string(params_.r) + " parities");
-  const DecodeEntry& entry = decode_entry(erased);
+  return erased;
+}
 
-  // Gather the k survivor units the plan reads into contiguous staging,
-  // then run recovery as a GEMM, then scatter results back.
-  const std::size_t k = entry.plan.survivors.size();
-  const std::size_t e = entry.plan.erased.size();
-  const std::size_t needed = (k + e) * unit_size;
-  if (staging_.size() < needed)
-    staging_ = tensor::AlignedBuffer<std::uint8_t>(needed);
-  std::uint8_t* const in_stage = staging_.data();
-  std::uint8_t* const out_stage = staging_.data() + k * unit_size;
-  for (std::size_t i = 0; i < k; ++i)
-    std::memcpy(in_stage + i * unit_size,
-                stripe.data() + entry.plan.survivors[i] * unit_size,
-                unit_size);
-  entry.coder->apply(std::span<const std::uint8_t>(in_stage, k * unit_size),
-                     std::span<std::uint8_t>(out_stage, e * unit_size),
-                     unit_size);
-  for (std::size_t i = 0; i < e; ++i)
-    std::memcpy(stripe.data() + entry.plan.erased[i] * unit_size,
-                out_stage + i * unit_size, unit_size);
+void Codec::decode(std::span<std::uint8_t> stripe,
+                   std::span<const std::size_t> erased_ids,
+                   std::size_t unit_size) {
+  const DecodeBatchItem item{stripe, erased_ids, unit_size};
+  decode_batch(std::span<const DecodeBatchItem>(&item, 1));
+}
+
+void Codec::encode_batch(std::span<const ec::CoderBatchItem> items,
+                         int max_threads) const {
+  encode_coder_.apply_batch(items, max_threads);
+}
+
+void Codec::decode_batch(std::span<const DecodeBatchItem> items,
+                         int max_threads) {
+  const std::size_t n = params_.n();
+  // Group item indices by canonical erasure pattern: every member of a
+  // group shares the recovery matrix, so the group's recoveries run as
+  // one batched GEMM (enlarged N) instead of one call per stripe.
+  std::map<std::vector<std::size_t>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const DecodeBatchItem& item = items[i];
+    if (item.stripe.size() != n * item.unit_size)
+      throw std::invalid_argument("decode: stripe must hold k+r units");
+    if (item.erased_ids.empty()) continue;
+    std::vector<std::size_t> erased = normalize_erasures(item.erased_ids);
+    groups[std::move(erased)].push_back(i);
+  }
+
+  for (const auto& [erased, members] : groups) {
+    const DecodeEntry& entry = decode_entry(erased);
+    const std::size_t k = entry.plan.survivors.size();
+    const std::size_t e = entry.plan.erased.size();
+
+    // Gather every member's survivor units into contiguous staging (one
+    // slot per stripe), run the whole group as one batched recovery
+    // GEMM, then scatter the recovered units back into the stripes.
+    std::size_t needed = 0;
+    for (const std::size_t i : members)
+      needed += (k + e) * items[i].unit_size;
+    if (staging_.size() < needed)
+      staging_ = tensor::AlignedBuffer<std::uint8_t>(needed);
+
+    std::vector<ec::CoderBatchItem> batch;
+    batch.reserve(members.size());
+    std::size_t offset = 0;
+    for (const std::size_t i : members) {
+      const DecodeBatchItem& item = items[i];
+      const std::size_t unit = item.unit_size;
+      std::uint8_t* const in_stage = staging_.data() + offset;
+      std::uint8_t* const out_stage = in_stage + k * unit;
+      for (std::size_t s = 0; s < k; ++s)
+        std::memcpy(in_stage + s * unit,
+                    item.stripe.data() + entry.plan.survivors[s] * unit, unit);
+      batch.push_back(ec::CoderBatchItem{
+          std::span<const std::uint8_t>(in_stage, k * unit),
+          std::span<std::uint8_t>(out_stage, e * unit), unit});
+      offset += (k + e) * unit;
+    }
+    entry.coder->apply_batch(batch, max_threads);
+    for (std::size_t b = 0; b < members.size(); ++b) {
+      const DecodeBatchItem& item = items[members[b]];
+      for (std::size_t s = 0; s < e; ++s)
+        std::memcpy(item.stripe.data() + entry.plan.erased[s] * item.unit_size,
+                    batch[b].out.data() + s * item.unit_size, item.unit_size);
+    }
+  }
 }
 
 void Codec::patch_parity(std::size_t unit_id,

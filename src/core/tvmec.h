@@ -37,6 +37,14 @@ class Codec {
   void encode(std::span<const std::uint8_t> data,
               std::span<std::uint8_t> parity, std::size_t unit_size) const;
 
+  /// Batched encode (the serving-layer entry point): each item is an
+  /// independent (data, parity, unit_size) request; the whole batch runs
+  /// as one wide-N GEMM (GemmCoder::apply_batch). `max_threads` > 0 caps
+  /// the schedule's thread knob for this batch so concurrent batches can
+  /// share the pool. Thread-safe: encode state is immutable.
+  void encode_batch(std::span<const ec::CoderBatchItem> items,
+                    int max_threads = 0) const;
+
   /// Jerasure-shaped convenience API: units live behind k + r separate
   /// pointers. Data is first gathered into an internal contiguous staging
   /// area (the §5 integration cost), encoded, and parities scattered out.
@@ -50,6 +58,22 @@ class Codec {
   /// pattern is unrecoverable (more than r erasures).
   void decode(std::span<std::uint8_t> stripe,
               std::span<const std::size_t> erased_ids, std::size_t unit_size);
+
+  /// One request of a batched decode: a full stripe repaired in place.
+  struct DecodeBatchItem {
+    std::span<std::uint8_t> stripe;
+    std::span<const std::size_t> erased_ids;
+    std::size_t unit_size = 0;
+  };
+
+  /// Batched decode: items are grouped by (normalized) erasure pattern,
+  /// and each group's recoveries execute as a single batched GEMM over
+  /// the shared recovery matrix. decode() is the single-item special
+  /// case. Error contract per item matches decode(); a throwing item
+  /// aborts the batch (callers wanting isolation run items singly).
+  /// Not thread-safe (shares the decode-plan cache).
+  void decode_batch(std::span<const DecodeBatchItem> items,
+                    int max_threads = 0);
 
   /// Small-write optimization: replaces data unit `unit_id` and patches
   /// every parity in place using the code's linearity,
@@ -110,6 +134,12 @@ class Codec {
   };
 
   const DecodeEntry& decode_entry(const std::vector<std::size_t>& erased);
+
+  /// Sorted, deduplicated, range-checked loss pattern (the canonical
+  /// decode-cache key). Throws invalid_argument on out-of-range ids,
+  /// runtime_error when > r distinct erasures.
+  std::vector<std::size_t> normalize_erasures(
+      std::span<const std::size_t> erased_ids) const;
 
   ec::CodeParams params_;
   ec::ReedSolomon rs_;

@@ -15,9 +15,9 @@ bool word_aligned(const void* p) noexcept {
 
 }  // namespace
 
-void MatrixCoder::apply(std::span<const std::uint8_t> in,
-                        std::span<std::uint8_t> out,
-                        std::size_t unit_size) const {
+void MatrixCoder::validate_apply_args(std::span<const std::uint8_t> in,
+                                      std::span<std::uint8_t> out,
+                                      std::size_t unit_size) const {
   const unsigned w = bit_sliced_w();
   if (unit_size == 0)
     throw std::invalid_argument(name() + ": unit size must be positive");
@@ -30,6 +30,22 @@ void MatrixCoder::apply(std::span<const std::uint8_t> in,
     throw std::invalid_argument(name() + ": bad input size");
   if (out.size() != out_units() * unit_size)
     throw std::invalid_argument(name() + ": bad output size");
+}
+
+void MatrixCoder::apply_batch(std::span<const CoderBatchItem> items,
+                              int max_threads) const {
+  // Reference semantics: a batch is the sequence of its requests. Only
+  // backends with a schedule knob (GemmCoder) interpret max_threads.
+  (void)max_threads;
+  for (const CoderBatchItem& item : items)
+    apply(item.in, item.out, item.unit_size);
+}
+
+void MatrixCoder::apply(std::span<const std::uint8_t> in,
+                        std::span<std::uint8_t> out,
+                        std::size_t unit_size) const {
+  const unsigned w = bit_sliced_w();
+  validate_apply_args(in, out, unit_size);
   if (out.empty()) return;  // r == 0: nothing to compute
 
   if (w == 0) {

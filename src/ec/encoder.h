@@ -4,6 +4,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <stdexcept>
 
 /// The backend-neutral coding interface.
 ///
@@ -27,6 +28,15 @@ inline void require_word_aligned(const void* p, const char* what) {
                                 ": buffer must be 8-byte aligned");
 }
 
+/// One request of a batched apply: its own operand pair and unit size
+/// (unit sizes may differ across a batch; the coefficient matrix — and
+/// therefore in_units/out_units — is the coder's and shared).
+struct CoderBatchItem {
+  std::span<const std::uint8_t> in;
+  std::span<std::uint8_t> out;
+  std::size_t unit_size = 0;
+};
+
 class MatrixCoder {
  public:
   virtual ~MatrixCoder() = default;
@@ -47,6 +57,18 @@ class MatrixCoder {
   void apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
              std::size_t unit_size) const;
 
+  /// Applies the coefficient matrix to a whole batch of independent
+  /// requests in one call (the serving-layer entry point). Semantically
+  /// identical to calling apply() per item — and that is the default
+  /// implementation — but backends may execute the batch as a single
+  /// enlarged kernel invocation (GemmCoder packs the payloads into one
+  /// wide-N GEMM). `max_threads` > 0 caps the thread knob of whatever
+  /// schedule the backend would use, so concurrent batches can share a
+  /// thread pool without oversubscribing; 0 leaves it unchanged.
+  /// Validation and the buffer contract are exactly apply()'s, per item.
+  virtual void apply_batch(std::span<const CoderBatchItem> items,
+                           int max_threads = 0) const;
+
   virtual std::size_t in_units() const noexcept = 0;
   virtual std::size_t out_units() const noexcept = 0;
 
@@ -54,6 +76,12 @@ class MatrixCoder {
   virtual std::string name() const = 0;
 
  protected:
+  /// apply()'s argument validation alone (sizes, unit-size granularity),
+  /// shared with apply_batch overrides. Throws std::invalid_argument.
+  void validate_apply_args(std::span<const std::uint8_t> in,
+                           std::span<std::uint8_t> out,
+                           std::size_t unit_size) const;
+
   /// Backend kernel. Called with pre-validated operands: sizes match,
   /// and for bit-sliced backends the buffers are 8-byte aligned with
   /// unit_size a multiple of 8*w. Never called with an empty output

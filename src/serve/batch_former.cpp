@@ -1,0 +1,137 @@
+#include "serve/batch_former.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tvmec::serve {
+
+BatchFormer::BatchFormer(const BatchPolicy& policy) : policy_(policy) {
+  if (policy.queue_capacity == 0)
+    throw std::invalid_argument("BatchFormer: queue_capacity must be >= 1");
+  if (policy.max_batch_requests == 0)
+    throw std::invalid_argument(
+        "BatchFormer: max_batch_requests must be >= 1");
+  if (policy.max_batch_bytes == 0)
+    throw std::invalid_argument("BatchFormer: max_batch_bytes must be >= 1");
+}
+
+PushResult BatchFormer::push(PendingRequest request) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return PushResult::Closed;
+    if (total_ >= policy_.queue_capacity) return PushResult::QueueFull;
+    request.seq = next_seq_++;
+    Lane& lane =
+        lanes_[BatchClass{request.req.kind, request.req.key}];
+    lane.bytes += request.payload_bytes;
+    lane.queue.push_back(std::move(request));
+    ++total_;
+  }
+  work_cv_.notify_one();
+  return PushResult::Accepted;
+}
+
+BatchFormer::LaneMap::iterator BatchFormer::oldest_lane_locked() {
+  // O(lanes) scan; a service typically serves a handful of codec shapes,
+  // so lanes_ stays tiny. Every lane queue is FIFO, so the lane with the
+  // smallest head seq holds the globally oldest request.
+  auto oldest = lanes_.end();
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    if (it->second.queue.empty()) continue;
+    if (oldest == lanes_.end() ||
+        it->second.queue.front().seq < oldest->second.queue.front().seq)
+      oldest = it;
+  }
+  return oldest;
+}
+
+bool BatchFormer::lane_batch_ready_locked(const Lane& lane) const {
+  return lane.queue.size() >= policy_.max_batch_requests ||
+         lane.bytes >= policy_.max_batch_bytes;
+}
+
+std::vector<PendingRequest> BatchFormer::pop_batch_locked(
+    LaneMap::iterator it) {
+  Lane& lane = it->second;
+  std::vector<PendingRequest> batch;
+  std::size_t bytes = 0;
+  while (!lane.queue.empty() && batch.size() < policy_.max_batch_requests) {
+    const std::size_t next_bytes = lane.queue.front().payload_bytes;
+    // The head request is always taken — an oversized request bypasses
+    // coalescing as a batch of one rather than being unservable.
+    if (!batch.empty() && bytes + next_bytes > policy_.max_batch_bytes) break;
+    bytes += next_bytes;
+    lane.bytes -= next_bytes;
+    batch.push_back(std::move(lane.queue.front()));
+    lane.queue.pop_front();
+  }
+  total_ -= batch.size();
+  if (lane.queue.empty()) lanes_.erase(it);
+  return batch;
+}
+
+std::vector<PendingRequest> BatchFormer::next_batch() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return total_ > 0 || closed_; });
+    if (total_ == 0) return {};  // closed and drained
+    const auto it = oldest_lane_locked();
+    // Linger: give the oldest lane a bounded window to fill before
+    // dispatching a small batch. Re-evaluated from scratch after every
+    // wakeup — another consumer may have taken the lane meanwhile.
+    if (policy_.linger > std::chrono::nanoseconds{0} && !closed_ &&
+        !lane_batch_ready_locked(it->second)) {
+      const auto until = it->second.queue.front().submitted + policy_.linger;
+      if (Clock::now() < until) {
+        work_cv_.wait_until(lock, until);
+        continue;
+      }
+    }
+    return pop_batch_locked(it);
+  }
+}
+
+bool BatchFormer::try_next_batch(std::vector<PendingRequest>& out) {
+  std::lock_guard lock(mutex_);
+  if (total_ == 0) return false;
+  out = pop_batch_locked(oldest_lane_locked());
+  return true;
+}
+
+void BatchFormer::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+bool BatchFormer::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::vector<PendingRequest> BatchFormer::drain_all() {
+  std::lock_guard lock(mutex_);
+  std::vector<PendingRequest> out;
+  out.reserve(total_);
+  for (auto& [cls, lane] : lanes_) {
+    for (PendingRequest& p : lane.queue) out.push_back(std::move(p));
+  }
+  lanes_.clear();
+  total_ = 0;
+  // Preserve admission order across lanes for deterministic accounting.
+  std::sort(out.begin(), out.end(),
+            [](const PendingRequest& a, const PendingRequest& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::size_t BatchFormer::pending() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+}  // namespace tvmec::serve

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+/// Admission control + batch formation: the queue between submitters and
+/// the service workers.
+///
+/// The structure is a bounded multi-producer multi-consumer queue that
+/// is *class-aware*: requests land in per-(kind, codec-key) FIFO lanes,
+/// and a consumer drains a contiguous run of the oldest lane — up to the
+/// request/byte caps — as one batch. Compatible small requests therefore
+/// leave as a single enlarged-N GEMM while order across lanes stays
+/// admission-FIFO (the lane whose head request is oldest is always
+/// served first, so no class can be starved).
+///
+/// Lock-light by design rather than lock-free: producers take the mutex
+/// once per push (no waiting — a full queue rejects immediately, which
+/// is the backpressure contract), and consumers take it once per *batch*
+/// rather than once per request, so the lock is touched O(batches) not
+/// O(requests) on the drain side.
+namespace tvmec::serve {
+
+struct BatchPolicy {
+  /// Total queued requests across all lanes; pushes beyond this are
+  /// rejected (admission control).
+  std::size_t queue_capacity = 1024;
+  /// Coalescing caps: a batch never exceeds this many requests...
+  std::size_t max_batch_requests = 32;
+  /// ...nor this many payload bytes — except that the head request is
+  /// always taken, so a single oversized request bypasses coalescing and
+  /// forms a batch of one.
+  std::size_t max_batch_bytes = std::size_t{8} << 20;
+  /// How long a forming batch may wait for more compatible requests
+  /// after its head arrived (0 = dispatch immediately). Bounded by each
+  /// request's deadline at execution time, not here.
+  std::chrono::nanoseconds linger{0};
+};
+
+enum class PushResult {
+  Accepted,   ///< queued
+  QueueFull,  ///< rejected: capacity reached (complete as Overloaded)
+  Closed,     ///< rejected: former closed (complete as Shutdown)
+};
+
+class BatchFormer {
+ public:
+  /// Throws std::invalid_argument on a zero capacity or zero caps.
+  explicit BatchFormer(const BatchPolicy& policy);
+
+  /// Admission: O(log lanes) under the mutex, never blocks.
+  PushResult push(PendingRequest request);
+
+  /// Blocks until work is available (or the former closes), then forms
+  /// and returns one batch from the oldest lane. All requests of a batch
+  /// share (kind, key). Returns an empty vector exactly when the former
+  /// is closed *and* drained — the worker-loop exit condition.
+  std::vector<PendingRequest> next_batch();
+
+  /// Non-blocking variant (ignores linger): false when nothing is
+  /// queued. The manual-pump mode of EcService uses this, which is what
+  /// makes rejection/deadline accounting deterministic under test.
+  bool try_next_batch(std::vector<PendingRequest>& out);
+
+  /// Closes the queue: subsequent pushes fail with Closed, blocked
+  /// consumers wake. Queued requests stay poppable (drain-on-shutdown).
+  void close();
+  bool closed() const;
+
+  /// Removes and returns everything still queued (shutdown-without-drain
+  /// completes these as Shutdown).
+  std::vector<PendingRequest> drain_all();
+
+  std::size_t pending() const;
+  const BatchPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  /// One coalescing lane: requests of equal (kind, key).
+  struct BatchClass {
+    RequestKind kind;
+    CodecKey key;
+    friend auto operator<=>(const BatchClass&, const BatchClass&) = default;
+  };
+  struct Lane {
+    std::deque<PendingRequest> queue;
+    std::size_t bytes = 0;  ///< sum of queued payload_bytes
+  };
+
+  using LaneMap = std::map<BatchClass, Lane>;
+
+  LaneMap::iterator oldest_lane_locked();
+  bool lane_batch_ready_locked(const Lane& lane) const;
+  std::vector<PendingRequest> pop_batch_locked(LaneMap::iterator it);
+
+  const BatchPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  LaneMap lanes_;
+  std::size_t total_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tvmec::serve

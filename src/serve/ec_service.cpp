@@ -1,0 +1,395 @@
+#include "serve/ec_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "ec/code_params.h"
+#include "ec/encoder.h"
+#include "tensor/threadpool.h"
+
+namespace tvmec::serve {
+
+using std::chrono::duration_cast;
+using std::chrono::nanoseconds;
+
+namespace {
+
+/// The ablation switch: batching=false turns the service into a
+/// one-request-at-a-time executor without touching any other policy.
+BatchPolicy effective_policy(const ServiceConfig& config) {
+  BatchPolicy p = config.batch;
+  if (!config.batching) p.max_batch_requests = 1;
+  return p;
+}
+
+ec::CodeParams params_of(const CodecKey& key) {
+  return ec::CodeParams{key.k, key.r, key.w};
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::Pending:
+      return "pending";
+    case RequestStatus::Ok:
+      return "ok";
+    case RequestStatus::Overloaded:
+      return "overloaded";
+    case RequestStatus::Expired:
+      return "expired";
+    case RequestStatus::Shutdown:
+      return "shutdown";
+    case RequestStatus::Failed:
+      return "failed";
+  }
+  return "?";
+}
+
+tensor::Schedule default_service_schedule() {
+  tensor::Schedule s = tensor::default_schedule();
+  // The representative tuned shape from the encode benches: a wide
+  // register tile with cache blocking over the (long, batched) N axis.
+  s.tile_m = 8;
+  s.tile_n = 16;
+  s.block_n = 512;
+  s.par_axis = tensor::ParAxis::N;
+  // Open the thread knob to the whole pool; effective_gemm_threads()
+  // narrows it per batch.
+  s.num_threads = static_cast<int>(
+      std::min<std::size_t>(tensor::ThreadPool::shared().size(), 256));
+  return s;
+}
+
+int EcService::effective_gemm_threads(std::size_t batch_words,
+                                      std::size_t pool_width,
+                                      std::size_t service_workers) noexcept {
+  if (pool_width == 0) pool_width = 1;
+  if (service_workers == 0) service_workers = 1;  // manual pump = one driver
+  const std::size_t fair_share =
+      std::max<std::size_t>(1, pool_width / service_workers);
+  const std::size_t by_work =
+      std::max<std::size_t>(1, batch_words / kMinWordsPerGemmThread);
+  return static_cast<int>(
+      std::min({fair_share, by_work, std::size_t{256}}));
+}
+
+EcService::EcService(const ServiceConfig& config)
+    : config_(config), former_(effective_policy(config)) {
+  if (!config_.schedule.valid())
+    throw std::invalid_argument("EcService: invalid schedule");
+  config_.batch = former_.policy();
+  workers_.reserve(config_.num_workers);
+  for (std::size_t i = 0; i < config_.num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+EcService::~EcService() { shutdown(true); }
+
+EcFuture EcService::submit_encode(const CodecKey& key,
+                                  std::span<const std::uint8_t> data,
+                                  std::span<std::uint8_t> parity,
+                                  std::size_t unit_size,
+                                  std::chrono::nanoseconds timeout) {
+  const ec::CodeParams params = params_of(key);
+  params.validate();
+  ec::packet_bytes(params, unit_size);  // throws on a bad unit size
+  if (data.size() != params.k * unit_size)
+    throw std::invalid_argument("submit_encode: data span must be k units");
+  if (parity.size() != params.r * unit_size)
+    throw std::invalid_argument("submit_encode: parity span must be r units");
+
+  EcRequest req;
+  req.kind = RequestKind::Encode;
+  req.key = key;
+  req.unit_size = unit_size;
+  req.in = data;
+  req.out = parity;
+  if (timeout != nanoseconds{0}) req.deadline = Clock::now() + timeout;
+  return submit(std::move(req), data.size() + parity.size());
+}
+
+EcFuture EcService::submit_decode(const CodecKey& key,
+                                  std::span<std::uint8_t> stripe,
+                                  std::span<const std::size_t> erased_ids,
+                                  std::size_t unit_size,
+                                  std::chrono::nanoseconds timeout) {
+  const ec::CodeParams params = params_of(key);
+  params.validate();
+  ec::packet_bytes(params, unit_size);
+  if (stripe.size() != params.n() * unit_size)
+    throw std::invalid_argument("submit_decode: stripe span must be n units");
+  for (std::size_t id : erased_ids)
+    if (id >= params.n())
+      throw std::invalid_argument("submit_decode: erased id out of range");
+
+  EcRequest req;
+  req.kind = RequestKind::Decode;
+  req.key = key;
+  req.unit_size = unit_size;
+  req.stripe = stripe;
+  req.erased.assign(erased_ids.begin(), erased_ids.end());
+  if (timeout != nanoseconds{0}) req.deadline = Clock::now() + timeout;
+  return submit(std::move(req), stripe.size());
+}
+
+EcFuture EcService::submit(EcRequest request, std::size_t payload_bytes) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  PendingRequest pending;
+  pending.req = std::move(request);
+  pending.completion = std::make_shared<detail::Completion>();
+  pending.submitted = Clock::now();
+  pending.payload_bytes = payload_bytes;
+  // Kept aside: push() consumes `pending`, and a rejection must still be
+  // able to complete the caller's future.
+  std::shared_ptr<detail::Completion> completion = pending.completion;
+  const Clock::time_point submitted = pending.submitted;
+  EcFuture future(completion);
+
+  if (!accepting_.load(std::memory_order_acquire)) {
+    complete(pending, RequestStatus::Shutdown, {}, submitted, submitted, 0);
+    return future;
+  }
+
+  switch (former_.push(std::move(pending))) {
+    case PushResult::Accepted:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case PushResult::QueueFull: {
+      PendingRequest rejected;
+      rejected.completion = std::move(completion);
+      rejected.submitted = submitted;
+      const auto now = Clock::now();
+      complete(rejected, RequestStatus::Overloaded, {}, now, now, 0);
+      break;
+    }
+    case PushResult::Closed: {
+      PendingRequest rejected;
+      rejected.completion = std::move(completion);
+      rejected.submitted = submitted;
+      const auto now = Clock::now();
+      complete(rejected, RequestStatus::Shutdown, {}, now, now, 0);
+      break;
+    }
+  }
+  return future;
+}
+
+void EcService::shutdown(bool drain) {
+  std::lock_guard lock(shutdown_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  accepting_.store(false, std::memory_order_release);
+
+  if (config_.num_workers == 0) {
+    if (drain) run_pending();
+    former_.close();
+  } else if (drain) {
+    // Workers keep popping batches after close() until the queue is
+    // empty, then see the empty batch and exit.
+    former_.close();
+  } else {
+    // Snatch everything still queued before closing so it completes as
+    // Shutdown instead of being executed. A worker mid-pop may still win
+    // a final batch; that batch simply executes — the guarantee is that
+    // nothing *newly* dequeues for execution after this.
+    auto abandoned = former_.drain_all();
+    former_.close();
+    const auto now = Clock::now();
+    for (PendingRequest& p : abandoned)
+      complete(p, RequestStatus::Shutdown, {}, now, now, 0);
+  }
+
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+
+  // Manual-pump leftovers (shutdown(false), or requests pushed between
+  // the last run_pending() and close()).
+  auto left = former_.drain_all();
+  const auto now = Clock::now();
+  for (PendingRequest& p : left)
+    complete(p, RequestStatus::Shutdown, {}, now, now, 0);
+}
+
+std::size_t EcService::run_pending() {
+  std::size_t completed = 0;
+  std::vector<PendingRequest> batch;
+  while (former_.try_next_batch(batch)) {
+    completed += batch.size();
+    execute_batch(batch);
+    batch.clear();
+  }
+  return completed;
+}
+
+void EcService::worker_loop() {
+  for (;;) {
+    std::vector<PendingRequest> batch = former_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    execute_batch(batch);
+  }
+}
+
+EcService::CodecSlot& EcService::codec_slot(const CodecKey& key) {
+  std::lock_guard lock(codecs_mutex_);
+  auto it = codecs_.find(key);
+  if (it == codecs_.end()) {
+    auto slot = std::make_unique<CodecSlot>(params_of(key), key.family);
+    slot->codec.set_schedule(config_.schedule);
+    it = codecs_.emplace(key, std::move(slot)).first;
+  }
+  return *it->second;
+}
+
+void EcService::execute_batch(std::vector<PendingRequest>& batch) {
+  const auto formed = Clock::now();
+
+  // Deadline enforcement happens here, not at completion: an expired
+  // request must never spend kernel time.
+  std::vector<PendingRequest*> live;
+  live.reserve(batch.size());
+  for (PendingRequest& p : batch) {
+    if (p.req.deadline < formed)
+      complete(p, RequestStatus::Expired, {}, formed, formed, 0);
+    else
+      live.push_back(&p);
+  }
+  if (live.empty()) {
+    empty_flushes_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  std::size_t batch_bytes = 0;
+  for (const PendingRequest* p : live) batch_bytes += p->payload_bytes;
+  const int gemm_threads = effective_gemm_threads(
+      batch_bytes / sizeof(std::uint64_t), tensor::ThreadPool::shared().size(),
+      std::max<std::size_t>(1, config_.num_workers));
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(stats_mutex_);
+    hist_.batch_width.record(live.size());
+    hist_.gemm_threads.record(static_cast<std::uint64_t>(gemm_threads));
+  }
+
+  // All requests of a batch share (kind, key) — the batch former's lane
+  // invariant — so one codec serves the whole batch.
+  CodecSlot& slot = codec_slot(live.front()->req.key);
+  std::vector<RequestStatus> status(live.size(), RequestStatus::Ok);
+  std::vector<std::string> error(live.size());
+
+  const auto run_singly = [&](auto&& one) {
+    // Isolation fallback: a failing request must not poison batchmates.
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      try {
+        one(*live[i]);
+      } catch (const std::exception& e) {
+        status[i] = RequestStatus::Failed;
+        error[i] = e.what();
+      }
+    }
+  };
+
+  if (live.front()->req.kind == RequestKind::Encode) {
+    std::vector<ec::CoderBatchItem> items;
+    items.reserve(live.size());
+    for (const PendingRequest* p : live)
+      items.push_back({p->req.in, p->req.out, p->req.unit_size});
+    try {
+      slot.codec.encode_batch(items, gemm_threads);
+    } catch (const std::exception&) {
+      run_singly([&](PendingRequest& p) {
+        slot.codec.encode(p.req.in, p.req.out, p.req.unit_size);
+      });
+    }
+  } else {
+    std::vector<core::Codec::DecodeBatchItem> items;
+    items.reserve(live.size());
+    for (const PendingRequest* p : live)
+      items.push_back({p->req.stripe, p->req.erased, p->req.unit_size});
+    // decode mutates the per-codec plan cache; serialize per key.
+    std::lock_guard decode_lock(slot.decode_mutex);
+    try {
+      slot.codec.decode_batch(items, gemm_threads);
+    } catch (const std::exception&) {
+      run_singly([&](PendingRequest& p) {
+        slot.codec.decode(p.req.stripe, p.req.erased, p.req.unit_size);
+      });
+    }
+  }
+
+  const auto end = Clock::now();
+  for (std::size_t i = 0; i < live.size(); ++i)
+    complete(*live[i], status[i], std::move(error[i]), formed, end,
+             live.size());
+}
+
+void EcService::complete(PendingRequest& p, RequestStatus status,
+                         std::string error, Clock::time_point formed,
+                         Clock::time_point end, std::size_t batch_size) {
+  EcResult result;
+  result.status = status;
+  result.error = std::move(error);
+  result.queue_wait = duration_cast<nanoseconds>(formed - p.submitted);
+  result.service_time = duration_cast<nanoseconds>(end - formed);
+  result.total = duration_cast<nanoseconds>(end - p.submitted);
+  result.batch_size = batch_size;
+
+  switch (status) {
+    case RequestStatus::Ok:
+      completed_ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::Expired:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::Failed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::Overloaded:
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::Shutdown:
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::Pending:
+      break;  // unreachable: completions always carry a terminal status
+  }
+
+  // Latency histograms describe the served path; admission rejections
+  // (sub-microsecond by design) would only distort the low buckets.
+  if (status == RequestStatus::Ok || status == RequestStatus::Failed ||
+      status == RequestStatus::Expired) {
+    std::lock_guard lock(stats_mutex_);
+    hist_.queue_wait_ns.record(
+        static_cast<std::uint64_t>(result.queue_wait.count()));
+    hist_.total_ns.record(static_cast<std::uint64_t>(result.total.count()));
+    if (status != RequestStatus::Expired)
+      hist_.service_ns.record(
+          static_cast<std::uint64_t>(result.service_time.count()));
+  }
+
+  p.completion->complete(std::move(result));
+}
+
+ServeStatsSnapshot EcService::stats() const {
+  ServeStatsSnapshot out;
+  {
+    std::lock_guard lock(stats_mutex_);
+    out = hist_;
+  }
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  out.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  out.expired = expired_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.empty_flushes = empty_flushes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace tvmec::serve

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/tvmec.h"
+#include "serve/batch_former.h"
+#include "serve/request.h"
+#include "serve/stats.h"
+#include "tensor/schedule.h"
+
+/// The in-process EC service: asynchronous encode/decode with request
+/// coalescing.
+///
+/// Why it exists: bitmatrix EC is a GEMM, and GEMM efficiency grows with
+/// operand size — but a front-end workload is many small concurrent
+/// requests, each of which alone runs the kernel at starvation-level N.
+/// Borrowing the batching discipline of ML serving stacks, the service
+/// queues submissions, coalesces compatible ones (same kind + codec key)
+/// into one enlarged-N GEMM, and executes batches on the existing
+/// persistent ThreadPool — per-stripe microbenchmark throughput becomes
+/// multi-client serving throughput.
+///
+/// Policies:
+///  - Admission: the queue is bounded; a full queue rejects immediately
+///    with RequestStatus::Overloaded (backpressure, never unbounded
+///    buffering).
+///  - Deadlines: enforced at batch formation — an expired request is
+///    completed as Expired and never reaches the kernel (wasted work on
+///    a request nobody is waiting for would only delay live ones).
+///  - Pool sharing: each batch's GEMM thread count is capped by
+///    effective_gemm_threads() so concurrent batches from multiple
+///    service workers cannot oversubscribe the shared pool.
+///  - Accounting: per-request queue-wait/service/total latency and
+///    per-batch width land in log-bucketed histograms (serve/stats.h).
+namespace tvmec::serve {
+
+/// The GEMM schedule service codecs start from: the representative tuned
+/// tile shape with the thread knob opened to the shared pool's width
+/// (effective_gemm_threads() then caps it per batch).
+tensor::Schedule default_service_schedule();
+
+struct ServiceConfig {
+  /// Service worker threads executing batches. 0 = manual-pump mode: no
+  /// threads are created and the owner drives execution via
+  /// run_pending() — fully deterministic, used by tests and the fuzzer.
+  std::size_t num_workers = 1;
+  BatchPolicy batch;
+  /// false = the one-request-at-a-time ablation: batches are capped at a
+  /// single request (admission control and deadlines still apply).
+  bool batching = true;
+  /// Base schedule for every codec the service instantiates.
+  tensor::Schedule schedule = default_service_schedule();
+};
+
+/// Point-in-time copy of the service's counters and histograms. The
+/// counter identities are load-bearing for tests and the fuzzer's
+/// oracle: submitted == accepted + rejected_overload + rejected_shutdown,
+/// and, once drained, accepted == completed_ok + expired + failed.
+struct ServeStatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;        ///< executed (non-empty) batches
+  std::uint64_t empty_flushes = 0;  ///< batches fully expired before work
+  LatencyHistogram queue_wait_ns;
+  LatencyHistogram service_ns;
+  LatencyHistogram total_ns;
+  LatencyHistogram batch_width;    ///< requests per executed batch
+  LatencyHistogram gemm_threads;   ///< capped thread knob per batch
+};
+
+class EcService {
+ public:
+  /// Throws std::invalid_argument on an invalid config (bad policy or
+  /// schedule).
+  explicit EcService(const ServiceConfig& config);
+  /// Graceful: shutdown(true).
+  ~EcService();
+
+  EcService(const EcService&) = delete;
+  EcService& operator=(const EcService&) = delete;
+
+  /// Submits an encode: k contiguous data units in, r contiguous parity
+  /// units out. `timeout` bounds how long the request may wait for a
+  /// batch (zero = no deadline; negative = already expired, useful for
+  /// tests). Buffers must stay alive and untouched until the future is
+  /// ready. Throws std::invalid_argument on malformed arguments (span
+  /// sizes, unsupported key) — malformed submissions are programming
+  /// errors, operational outcomes come back in the EcResult.
+  EcFuture submit_encode(const CodecKey& key,
+                         std::span<const std::uint8_t> data,
+                         std::span<std::uint8_t> parity,
+                         std::size_t unit_size,
+                         std::chrono::nanoseconds timeout = {});
+
+  /// Submits a decode: the full n-unit stripe is repaired in place.
+  /// Erased ids may be unsorted/duplicated (the Codec contract); an
+  /// unrecoverable pattern completes as Failed.
+  EcFuture submit_decode(const CodecKey& key, std::span<std::uint8_t> stripe,
+                         std::span<const std::size_t> erased_ids,
+                         std::size_t unit_size,
+                         std::chrono::nanoseconds timeout = {});
+
+  /// Stops the service. drain=true executes everything already admitted
+  /// before returning; drain=false completes queued requests with
+  /// RequestStatus::Shutdown. Either way, submissions from this point
+  /// complete as Shutdown. Idempotent.
+  void shutdown(bool drain = true);
+
+  /// Manual-pump mode (num_workers == 0): executes queued batches on the
+  /// calling thread until the queue is empty; returns requests
+  /// completed. Also legal alongside worker threads (the caller just
+  /// acts as an extra worker).
+  std::size_t run_pending();
+
+  ServeStatsSnapshot stats() const;
+  std::size_t pending() const { return former_.pending(); }
+  std::size_t num_workers() const noexcept { return config_.num_workers; }
+
+  /// The per-batch GEMM thread cap: at most the pool's width divided by
+  /// the number of concurrent service workers (so two concurrent batches
+  /// cannot oversubscribe the pool), and at most one thread per
+  /// kMinWordsPerGemmThread 64-bit words of batch payload (so tiny
+  /// batches do not pay fork-join overhead for no work). Always >= 1.
+  static int effective_gemm_threads(std::size_t batch_words,
+                                    std::size_t pool_width,
+                                    std::size_t service_workers) noexcept;
+
+  /// Below this many words per thread, adding workers costs more in
+  /// dispatch than it wins in parallelism (16 KiB per thread).
+  static constexpr std::size_t kMinWordsPerGemmThread = 2048;
+
+ private:
+  struct CodecSlot {
+    core::Codec codec;
+    std::mutex decode_mutex;  ///< decode mutates the plan cache
+    CodecSlot(const ec::CodeParams& params, ec::RsFamily family)
+        : codec(params, family) {}
+  };
+
+  EcFuture submit(EcRequest request, std::size_t payload_bytes);
+  void worker_loop();
+  void execute_batch(std::vector<PendingRequest>& batch);
+  CodecSlot& codec_slot(const CodecKey& key);
+  /// Completes one request and records its counters/latency. `formed` /
+  /// `end` bracket batch execution (formed == end for requests that
+  /// never executed: rejections, expiries, shutdown).
+  void complete(PendingRequest& p, RequestStatus status, std::string error,
+                Clock::time_point formed, Clock::time_point end,
+                std::size_t batch_size);
+
+  ServiceConfig config_;
+  BatchFormer former_;
+  std::vector<std::thread> workers_;
+
+  std::mutex codecs_mutex_;
+  std::map<CodecKey, std::unique_ptr<CodecSlot>> codecs_;
+
+  std::mutex shutdown_mutex_;
+  std::atomic<bool> accepting_{true};
+  bool stopped_ = false;  // under shutdown_mutex_
+
+  // Counters are atomics (hot submit path); histograms live under a
+  // mutex and are only touched at completion time.
+  mutable std::mutex stats_mutex_;
+  ServeStatsSnapshot hist_;  // histogram part; counters below
+  std::atomic<std::uint64_t> submitted_{0}, accepted_{0},
+      rejected_overload_{0}, rejected_shutdown_{0}, completed_ok_{0},
+      expired_{0}, failed_{0}, batches_{0}, empty_flushes_{0};
+};
+
+}  // namespace tvmec::serve

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ec/reed_solomon.h"
+
+/// Request/result types of the serving layer.
+///
+/// A submission is asynchronous: submit() enqueues the request and
+/// returns an EcFuture immediately; the batch-forming workers complete
+/// it later (or the admission controller completes it on the spot with a
+/// rejection). The caller owns every buffer a request references and
+/// must keep them alive and untouched until the future is ready — the
+/// standard async-I/O contract, chosen so the service can pack payloads
+/// straight from caller memory into the batched GEMM without an extra
+/// copy per request.
+namespace tvmec::serve {
+
+using Clock = std::chrono::steady_clock;
+
+enum class RequestKind : std::uint8_t { Encode, Decode };
+
+enum class RequestStatus : std::uint8_t {
+  Pending,     ///< not yet completed (only observable via EcFuture::ready)
+  Ok,          ///< executed successfully
+  Overloaded,  ///< rejected at admission: the bounded queue was full
+  Expired,     ///< deadline passed before the request reached a batch
+  Shutdown,    ///< service stopped before the request executed
+  Failed,      ///< execution threw; see EcResult::error
+};
+
+const char* to_string(RequestStatus s) noexcept;
+
+/// Identifies the codec a request runs against. The service instantiates
+/// (and caches) one Codec per distinct key; only requests with equal
+/// keys and equal kinds coalesce into a batch.
+struct CodecKey {
+  std::size_t k = 4;
+  std::size_t r = 2;
+  unsigned w = 8;
+  ec::RsFamily family = ec::RsFamily::CauchyGood;
+
+  std::size_t n() const noexcept { return k + r; }
+  friend auto operator<=>(const CodecKey&, const CodecKey&) = default;
+};
+
+/// Completion record of one request, including its latency breakdown.
+struct EcResult {
+  RequestStatus status = RequestStatus::Pending;
+  std::string error;  ///< exception text when status == Failed
+  /// submit() -> the batch former handed the request to a worker.
+  std::chrono::nanoseconds queue_wait{0};
+  /// Batch execution time (shared by every request of the batch).
+  std::chrono::nanoseconds service_time{0};
+  /// submit() -> completion (queue_wait + service_time for served
+  /// requests; ~0 for admission rejections).
+  std::chrono::nanoseconds total{0};
+  /// Requests coalesced into the batch that served this one (1 when the
+  /// request ran alone; 0 when it never reached execution).
+  std::size_t batch_size = 0;
+};
+
+namespace detail {
+
+/// Shared completion state behind EcFuture: one mutex/cv pair per
+/// in-flight request, touched twice (complete, wait).
+class Completion {
+ public:
+  void complete(EcResult result) {
+    {
+      std::lock_guard lock(mutex_);
+      result_ = std::move(result);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  const EcResult& wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return done_; });
+    return result_;
+  }
+
+  bool wait_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return done_; });
+  }
+
+  bool ready() const {
+    std::lock_guard lock(mutex_);
+    return done_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  EcResult result_;
+};
+
+}  // namespace detail
+
+/// Handle to an asynchronous submission. Copyable (shared state);
+/// default-constructed futures are invalid.
+class EcFuture {
+ public:
+  EcFuture() = default;
+  explicit EcFuture(std::shared_ptr<detail::Completion> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->ready(); }
+
+  /// Blocks until the request completes; the reference stays valid for
+  /// the future's lifetime.
+  const EcResult& wait() { return state_->wait(); }
+
+  /// Bounded wait; true when the result is ready.
+  bool wait_for(std::chrono::nanoseconds timeout) {
+    return state_->wait_for(timeout);
+  }
+
+ private:
+  std::shared_ptr<detail::Completion> state_;
+};
+
+/// The internal request record. Encode requests use (in, out); decode
+/// requests use (stripe, erased) and repair in place.
+struct EcRequest {
+  RequestKind kind = RequestKind::Encode;
+  CodecKey key;
+  std::size_t unit_size = 0;
+  std::span<const std::uint8_t> in;   ///< encode: k contiguous data units
+  std::span<std::uint8_t> out;        ///< encode: r contiguous parity units
+  std::span<std::uint8_t> stripe;     ///< decode: n contiguous units
+  std::vector<std::size_t> erased;    ///< decode: loss pattern (verbatim)
+  Clock::time_point deadline = Clock::time_point::max();
+};
+
+/// A queued request: the request plus its completion handle and the
+/// accounting fields the batch former fills at admission.
+struct PendingRequest {
+  EcRequest req;
+  std::shared_ptr<detail::Completion> completion;
+  Clock::time_point submitted{};
+  std::uint64_t seq = 0;           ///< admission order (FIFO across classes)
+  std::size_t payload_bytes = 0;   ///< for the batch byte cap
+};
+
+}  // namespace tvmec::serve

@@ -1,0 +1,43 @@
+#include "serve/stats.h"
+
+#include <cmath>
+
+namespace tvmec::serve {
+
+std::uint64_t LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(std::clamp(
+      std::ceil(p / 100.0 * static_cast<double>(count_)), 1.0,
+      static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;  // unreachable: counts sum to count_
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kNumBuckets; ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double sample_percentile(std::vector<double>& samples, double p) noexcept {
+  if (samples.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const std::size_t index = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(p / 100.0 *
+                               static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(index),
+                   samples.end());
+  return samples[index];
+}
+
+}  // namespace tvmec::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// Latency accounting for the serving layer.
+///
+/// LatencyHistogram is a log-bucketed (HdrHistogram-style) counter array:
+/// each power-of-two octave is split into kSubBuckets linear sub-buckets,
+/// bounding the relative error of any reported quantile by
+/// 1/kSubBuckets (12.5%) while keeping the whole structure a few KB of
+/// plain counters — recording is one index computation and one
+/// increment, cheap enough for every request on the hot path. The same
+/// structure records any nonnegative integer distribution (batch widths,
+/// GEMM thread counts), not just nanoseconds.
+namespace tvmec::serve {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave.
+  static constexpr std::size_t kSubBuckets = 8;
+  static constexpr std::size_t kSubBits = 3;  // log2(kSubBuckets)
+  /// Index space: values below kSubBuckets map to themselves; a value
+  /// with most-significant bit b maps into octave (b - kSubBits + 1).
+  static constexpr std::size_t kNumBuckets = (64 - kSubBits + 1) * kSubBuckets;
+
+  /// Bucket index of a value; monotone in `value`.
+  static constexpr std::size_t bucket_index(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - static_cast<int>(kSubBits);
+    return ((static_cast<std::size_t>(msb) - kSubBits + 1) << kSubBits) |
+           static_cast<std::size_t>((value >> shift) & (kSubBuckets - 1));
+  }
+
+  /// Largest value mapping to bucket `index` (the reported quantile
+  /// value, so reported percentiles never under-state the latency).
+  static constexpr std::uint64_t bucket_upper_bound(
+      std::size_t index) noexcept {
+    if (index < 2 * kSubBuckets) return index;  // exact region
+    const std::size_t octave = index >> kSubBits;
+    const std::uint64_t sub = index & (kSubBuckets - 1);
+    const int shift = static_cast<int>(octave) - 1;
+    return ((kSubBuckets + sub + 1) << shift) - 1;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)] += 1;
+    count_ += 1;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Value at percentile p in [0, 100]: the upper bound of the bucket
+  /// holding the ceil(p/100 * count)-th smallest sample (clamped to the
+  /// recorded max, so p=100 reports the true maximum). 0 when empty.
+  std::uint64_t percentile(double p) const noexcept;
+
+  void merge(const LatencyHistogram& other) noexcept;
+  void reset() noexcept { *this = LatencyHistogram{}; }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+/// Order-statistic percentile of a raw sample vector via nth_element
+/// (partially reorders `samples`). Index convention: p=50 selects the
+/// element at index size/2 — the upper-median rule the benchmark
+/// binaries have always used, extracted here so every bench shares one
+/// implementation. Returns 0 on an empty vector.
+double sample_percentile(std::vector<double>& samples, double p) noexcept;
+
+/// Convenience: the p=50 case (the benches' original median).
+inline double sample_median(std::vector<double>& samples) noexcept {
+  return sample_percentile(samples, 50.0);
+}
+
+}  // namespace tvmec::serve

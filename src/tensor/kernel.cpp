@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -268,6 +269,73 @@ void gemm_naive(MatView<const typename S::value_type> a,
 void gemm_xorand(MatView<const std::uint64_t> a, MatView<const std::uint64_t> b,
                  MatView<std::uint64_t> c, const Schedule& schedule) {
   gemm_scheduled<XorAnd64>(a, b, c, schedule);
+}
+
+void gemm_xorand_batched(MatView<const std::uint64_t> a,
+                         std::span<const XorAndBatch> items,
+                         const Schedule& schedule) {
+  if (items.empty()) return;
+  if (items.size() == 1) {
+    // Oversized / lone requests bypass coalescing: no staging copy.
+    gemm_xorand(a, items[0].b, items[0].c, schedule);
+    return;
+  }
+  const std::size_t k = a.cols;
+  const std::size_t m = a.rows;
+  std::size_t n_total = 0;
+  for (const XorAndBatch& item : items) {
+    validate_shapes<XorAnd64>(a, item.b, item.c);
+    n_total += item.b.cols;
+  }
+
+  // Coalescing exists to enlarge N so thread partitioning has work to
+  // hand out; a serial schedule gains nothing from a wide B and would
+  // pay the gather/scatter memory traffic for free. Run items
+  // back-to-back instead (same results, no staging).
+  if (schedule.num_threads <= 1) {
+    for (const XorAndBatch& item : items)
+      gemm_xorand(a, item.b, item.c, schedule);
+    return;
+  }
+
+  // Stage the request payloads side by side (the §5 chunk-accumulator
+  // pattern applied to the N axis): column block i of the wide B/C pair
+  // is request i's operand, so one kernel invocation serves the batch.
+  // The scratch is thread-local and grown geometrically: service workers
+  // form batches continuously, and a fresh AlignedBuffer per batch would
+  // pay an allocation plus a full zero-fill that the gather/GEMM
+  // immediately overwrite anyway.
+  thread_local AlignedBuffer<std::uint64_t> b_scratch;
+  thread_local AlignedBuffer<std::uint64_t> c_scratch;
+  const auto ensure = [](AlignedBuffer<std::uint64_t>& buf,
+                         std::size_t words) {
+    if (buf.size() < words)
+      buf = AlignedBuffer<std::uint64_t>(std::max(words, buf.size() * 2));
+  };
+  ensure(b_scratch, k * n_total);
+  ensure(c_scratch, m * n_total);
+  AlignedBuffer<std::uint64_t>& b_stage = b_scratch;
+  AlignedBuffer<std::uint64_t>& c_stage = c_scratch;
+  std::size_t offset = 0;
+  for (const XorAndBatch& item : items) {
+    for (std::size_t row = 0; row < k; ++row)
+      std::memcpy(b_stage.data() + row * n_total + offset, item.b.row(row),
+                  item.b.cols * sizeof(std::uint64_t));
+    offset += item.b.cols;
+  }
+
+  gemm_xorand(a, MatView<const std::uint64_t>{b_stage.data(), k, n_total,
+                                              n_total},
+              MatView<std::uint64_t>{c_stage.data(), m, n_total, n_total},
+              schedule);
+
+  offset = 0;
+  for (const XorAndBatch& item : items) {
+    for (std::size_t row = 0; row < m; ++row)
+      std::memcpy(item.c.row(row), c_stage.data() + row * n_total + offset,
+                  item.c.cols * sizeof(std::uint64_t));
+    offset += item.c.cols;
+  }
 }
 
 void gemm_sumprod_i64(MatView<const std::int64_t> a,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "tensor/buffer.h"
 #include "tensor/schedule.h"
@@ -27,6 +28,29 @@ namespace tvmec::tensor {
 /// mismatch or an unsupported schedule.
 void gemm_xorand(MatView<const std::uint64_t> a, MatView<const std::uint64_t> b,
                  MatView<std::uint64_t> c, const Schedule& schedule);
+
+/// One request of a batched xorand GEMM: every item shares the A operand
+/// (the expanded bitmatrix) but brings its own B/C pair (its payload and
+/// result). Shapes per item: B is KxN_i, C is MxN_i, with K = a.cols and
+/// M = a.rows; the N_i may differ across items.
+struct XorAndBatch {
+  MatView<const std::uint64_t> b;
+  MatView<std::uint64_t> c;
+};
+
+/// Multi-request GEMM with an enlarged N dimension (the serving-layer
+/// batching primitive): the items' B operands are packed side by side —
+/// chunk_accumulator-style staging into one contiguous K x (sum N_i)
+/// matrix — so the whole batch executes as a single gemm_xorand call
+/// whose N axis is the concatenation of every request's data words, and
+/// the C column blocks are scattered back afterwards. GEMM efficiency
+/// grows with operand size, so many small requests batched this way run
+/// at large-N throughput instead of paying per-call tiny-N prices.
+/// A single item dispatches directly with no staging copy. Throws
+/// std::invalid_argument on any per-item shape mismatch.
+void gemm_xorand_batched(MatView<const std::uint64_t> a,
+                         std::span<const XorAndBatch> items,
+                         const Schedule& schedule);
 
 void gemm_sumprod_i64(MatView<const std::int64_t> a,
                       MatView<const std::int64_t> b, MatView<std::int64_t> c,

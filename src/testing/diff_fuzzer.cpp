@@ -14,6 +14,7 @@
 #include "ec/decoder.h"
 #include "ec/lrc.h"
 #include "ec/reed_solomon.h"
+#include "serve/ec_service.h"
 #include "storage/fault_injector.h"
 #include "storage/stripe_store.h"
 #include "tensor/buffer.h"
@@ -342,6 +343,154 @@ FuzzOutcome run_storage(const FuzzConfig& c, bool faulted) {
   return FuzzOutcome{true, {}, {}, 1};
 }
 
+/// Serving-layer differential: a random mix of encode/decode requests
+/// (some pre-expired) through EcService in manual-pump mode, checked
+/// against a sequential per-request Codec oracle running the *default*
+/// schedule — so batched wide-N execution under the menu schedule is
+/// differentially compared with one-at-a-time execution, byte for byte.
+/// Manual pump makes admission deterministic: nothing is consumed while
+/// submitting, so exactly the first `queue_capacity` submissions are
+/// accepted and the rest must be rejected Overloaded, and the stats
+/// counters must balance exactly.
+FuzzOutcome run_serve(const FuzzConfig& c) {
+  const ec::CodeParams params{c.k, c.r, c.w};
+  const std::size_t unit = c.unit_size;
+  const std::size_t n = params.n();
+
+  std::mt19937_64 rng(c.seed ^ 0x5E54E11CE);
+  serve::ServiceConfig sc;
+  sc.num_workers = 0;  // manual pump
+  sc.batch.queue_capacity = 1 + rng() % 8;
+  sc.batch.max_batch_requests = 1 + rng() % 4;
+  sc.schedule = DiffFuzzer::schedule_menu().at(c.sched);
+  serve::EcService service(sc);
+  const serve::CodecKey key{c.k, c.r, c.w, c.family};
+
+  core::Codec oracle(params, c.family);  // default schedule, sequential
+
+  struct ServeReq {
+    bool decode = false;
+    bool expired = false;
+    bool expect_failed = false;  // unrecoverable decode pattern
+    bool accepted = false;
+    Bytes in{0}, out{0}, stripe{0}, want{0};
+    serve::EcFuture future;
+  };
+  const bool can_decode = !c.losses.empty() && c.r > 0;
+  const std::size_t num_requests = 2 + rng() % 10;
+  std::vector<ServeReq> reqs(num_requests);
+  std::size_t expected_accepted = 0;
+
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    ServeReq& r = reqs[i];
+    r.decode = can_decode && rng() % 2 == 0;
+    r.expired = rng() % 5 == 0;
+    const auto timeout =
+        r.expired ? std::chrono::nanoseconds{-1} : std::chrono::nanoseconds{0};
+    const Bytes data = seeded_bytes(c.k * unit, c.seed + 31 * i);
+
+    if (r.decode) {
+      r.stripe = Bytes(n * unit);
+      std::memcpy(r.stripe.data(), data.data(), c.k * unit);
+      oracle.encode(data.span(), r.stripe.span().subspan(c.k * unit), unit);
+      for (const std::size_t id : distinct(c.losses))
+        std::memset(r.stripe.data() + id * unit, 0xEE, unit);
+      r.want = r.stripe;  // expired decodes must leave the holes untouched
+      if (!r.expired) {
+        try {
+          oracle.decode(r.want.span(), c.losses, unit);
+        } catch (const std::runtime_error&) {
+          r.expect_failed = true;  // > r distinct erasures
+        }
+      }
+      r.future = service.submit_decode(key, r.stripe.span(), c.losses, unit,
+                                       timeout);
+    } else {
+      r.in = data;
+      r.out = Bytes(c.r * unit);  // zero-initialized
+      r.want = Bytes(c.r * unit);
+      if (!r.expired) oracle.encode(r.in.span(), r.want.span(), unit);
+      r.future = service.submit_encode(key, r.in.span(), r.out.span(), unit,
+                                       timeout);
+    }
+
+    // Deterministic admission: accept iff the queue still had room.
+    const bool should_accept = expected_accepted < sc.batch.queue_capacity;
+    r.accepted = should_accept;
+    if (should_accept) {
+      ++expected_accepted;
+      if (r.future.ready())
+        return fail(c, "serve: request " + std::to_string(i) +
+                           " completed before any pump ran");
+    } else {
+      if (!r.future.ready())
+        return fail(c, "serve: request " + std::to_string(i) +
+                           " should have been rejected at admission");
+      if (r.future.wait().status != serve::RequestStatus::Overloaded)
+        return fail(c, std::string("serve: over-capacity request got ") +
+                           serve::to_string(r.future.wait().status) +
+                           ", want overloaded");
+    }
+  }
+
+  service.run_pending();
+
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    ServeReq& r = reqs[i];
+    if (!r.accepted) continue;
+    if (!r.future.ready())
+      return fail(c, "serve: accepted request " + std::to_string(i) +
+                         " not completed by run_pending");
+    const serve::EcResult& result = r.future.wait();
+    const serve::RequestStatus want_status =
+        r.expired ? serve::RequestStatus::Expired
+        : r.expect_failed ? serve::RequestStatus::Failed
+                          : serve::RequestStatus::Ok;
+    if (result.status != want_status)
+      return fail(c, "serve: request " + std::to_string(i) + " got status " +
+                         serve::to_string(result.status) + ", want " +
+                         serve::to_string(want_status));
+    if (r.expect_failed) continue;  // no byte contract after a failure
+    const auto got = r.decode ? r.stripe.span() : r.out.span();
+    if (auto d = first_divergence(
+            got, r.want.span(), unit,
+            "serve request " + std::to_string(i) +
+                (r.decode ? " (decode)" : " (encode)") +
+                (r.expired ? " expired-untouched" : "")))
+      return fail(c, *d);
+  }
+
+  // Counter identities (the queue-capacity accounting contract).
+  const serve::ServeStatsSnapshot s = service.stats();
+  const auto check = [&](bool ok, const std::string& what)
+      -> std::optional<FuzzOutcome> {
+    if (ok) return std::nullopt;
+    return fail(c, "serve stats: " + what);
+  };
+  if (auto f = check(s.submitted == num_requests, "submitted != requests"))
+    return *f;
+  if (auto f = check(s.accepted == expected_accepted,
+                     "accepted != min(requests, capacity)"))
+    return *f;
+  if (auto f = check(s.submitted == s.accepted + s.rejected_overload +
+                                        s.rejected_shutdown,
+                     "submitted != accepted + rejected"))
+    return *f;
+  if (auto f = check(s.accepted == s.completed_ok + s.expired + s.failed,
+                     "accepted != completed + expired + failed (drained)"))
+    return *f;
+
+  // Post-shutdown submissions must complete as Shutdown, not hang.
+  service.shutdown();
+  Bytes late_in(c.k * unit), late_out(c.r * unit);
+  serve::EcFuture late =
+      service.submit_encode(key, late_in.span(), late_out.span(), unit);
+  if (!late.ready() ||
+      late.wait().status != serve::RequestStatus::Shutdown)
+    return fail(c, "serve: post-shutdown submit did not complete as shutdown");
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
 }  // namespace
 
 const std::vector<tensor::Schedule>& DiffFuzzer::schedule_menu() {
@@ -377,6 +526,8 @@ FuzzOutcome DiffFuzzer::run_one(const FuzzConfig& config) {
         return run_storage(config, /*faulted=*/false);
       case Scenario::StorageFaulted:
         return run_storage(config, /*faulted=*/true);
+      case Scenario::Serve:
+        return run_serve(config);
     }
     return fail(config, "unknown scenario");
   } catch (const std::exception& e) {

@@ -15,8 +15,9 @@ namespace {
 constexpr std::string_view kMagic = "fuzz:v1";
 
 const Scenario kScenarios[] = {
-    Scenario::RsEncode, Scenario::RsDecode, Scenario::LrcRoundTrip,
-    Scenario::StorageRoundTrip, Scenario::StorageFaulted};
+    Scenario::RsEncode,         Scenario::RsDecode,
+    Scenario::LrcRoundTrip,     Scenario::StorageRoundTrip,
+    Scenario::StorageFaulted,   Scenario::Serve};
 
 const ec::RsFamily kFamilies[] = {
     ec::RsFamily::VandermondeSystematic, ec::RsFamily::Cauchy,
@@ -73,6 +74,8 @@ const char* to_string(Scenario s) noexcept {
       return "store";
     case Scenario::StorageFaulted:
       return "store-fault";
+    case Scenario::Serve:
+      return "serve";
   }
   return "?";
 }
@@ -205,11 +208,16 @@ FuzzConfig random_config(std::mt19937_64& rng) {
   c.unit_size = rng() % 5 == 0 ? c.w : c.w * pick(1, 32);
 
   // Loss pattern. Decode scenarios erase units; storage fails nodes.
+  // The serve scenario feeds its losses to decode submissions (empty =
+  // an encode-only request mix).
   if (c.scenario == Scenario::RsDecode ||
-      c.scenario == Scenario::LrcRoundTrip) {
+      c.scenario == Scenario::LrcRoundTrip ||
+      c.scenario == Scenario::Serve) {
     const std::size_t budget =
-        c.scenario == Scenario::RsDecode ? c.r : c.l + c.r + 1;
-    const std::size_t e = std::min(pick(1, budget), c.n());
+        c.scenario == Scenario::LrcRoundTrip ? c.l + c.r + 1 : c.r;
+    const std::size_t lo = c.scenario == Scenario::Serve ? 0 : 1;
+    const std::size_t e = std::min(pick(lo, std::max<std::size_t>(budget, lo)),
+                                   c.n());
     std::vector<std::size_t> ids(c.n());
     for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
     std::shuffle(ids.begin(), ids.end(), rng);
@@ -217,7 +225,8 @@ FuzzConfig random_config(std::mt19937_64& rng) {
     // Usually sorted; sometimes left shuffled, sometimes with a
     // duplicate appended — decoders must tolerate both.
     if (rng() % 4 != 0) std::sort(ids.begin(), ids.end());
-    if (rng() % 8 == 0) ids.push_back(ids[rng() % ids.size()]);
+    if (!ids.empty() && rng() % 8 == 0)
+      ids.push_back(ids[rng() % ids.size()]);
     c.losses = std::move(ids);
   } else if (c.scenario == Scenario::StorageRoundTrip ||
              c.scenario == Scenario::StorageFaulted) {

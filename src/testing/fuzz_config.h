@@ -21,6 +21,9 @@ enum class Scenario {
   LrcRoundTrip,    ///< LrcCodec encode/decode vs the bitpacket reference
   StorageRoundTrip,///< StripeStore put / fail_node / get, fault-free
   StorageFaulted,  ///< same under a seeded FaultInjector + scrub
+  Serve,           ///< random request mix through EcService (manual pump)
+                   ///< vs a sequential per-request Codec oracle, including
+                   ///< queue-capacity admission accounting
 };
 
 const char* to_string(Scenario s) noexcept;

@@ -111,6 +111,13 @@ TEST(DiffFuzz, EdgeCaseReprosPass) {
       "loss=4",
       "fuzz:v1 s=store-fault k=7 r=1 w=16 u=16 seed=9337184620144304163 "
       "loss=7",
+      // Serving layer: random request mixes through EcService (manual
+      // pump) vs the sequential per-request oracle, including deadline
+      // expiry and queue-capacity admission accounting.
+      "fuzz:v1 s=serve k=4 r=2 w=8 u=64 seed=12 loss=1,4",
+      "fuzz:v1 s=serve k=1 r=0 w=8 u=8 seed=13",
+      "fuzz:v1 s=serve k=6 r=3 w=16 u=48 seed=14 loss=0 sched=3",
+      "fuzz:v1 s=serve k=10 r=4 w=8 u=24 seed=15 loss=2,11 sched=1",
   };
   for (const char* text : repros) {
     const FuzzOutcome outcome = DiffFuzzer::run_one(parse_repro(text));

@@ -1,0 +1,221 @@
+// serve/batch_former.h — admission control and batch formation,
+// including the edge cases: oversized-head bypass, byte/request caps,
+// cross-lane FIFO, close/drain semantics, and concurrent producers.
+
+#include "serve/batch_former.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tvmec::serve {
+namespace {
+
+PendingRequest make_request(RequestKind kind, std::size_t k,
+                            std::size_t payload_bytes) {
+  PendingRequest p;
+  p.req.kind = kind;
+  p.req.key = CodecKey{k, 2, 8, ec::RsFamily::CauchyGood};
+  p.completion = std::make_shared<detail::Completion>();
+  p.submitted = Clock::now();
+  p.payload_bytes = payload_bytes;
+  return p;
+}
+
+TEST(BatchFormer, RejectsZeroPolicy) {
+  EXPECT_THROW(BatchFormer(BatchPolicy{.queue_capacity = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(BatchFormer(BatchPolicy{.max_batch_requests = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(BatchFormer(BatchPolicy{.max_batch_bytes = 0}),
+               std::invalid_argument);
+}
+
+TEST(BatchFormer, CoalescesSameClassUpToRequestCap) {
+  BatchFormer former(BatchPolicy{.max_batch_requests = 3});
+  for (int i = 0; i < 5; ++i)
+    ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+              PushResult::Accepted);
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(batch.size(), 3u);  // capped
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(batch.size(), 2u);  // remainder
+  EXPECT_FALSE(former.try_next_batch(batch));
+  EXPECT_EQ(former.pending(), 0u);
+}
+
+TEST(BatchFormer, DistinctClassesNeverMix) {
+  BatchFormer former(BatchPolicy{});
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  ASSERT_EQ(former.push(make_request(RequestKind::Decode, 4, 64)),
+            PushResult::Accepted);
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 6, 64)),
+            PushResult::Accepted);
+  std::vector<PendingRequest> batch;
+  // Oldest head first: the k=4 encode lane, then decode, then k=6.
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].req.kind, RequestKind::Encode);
+  EXPECT_EQ(batch[0].req.key.k, 4u);
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(batch[0].req.kind, RequestKind::Decode);
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(batch[0].req.key.k, 6u);
+}
+
+TEST(BatchFormer, OldestLaneServedFirstAcrossClasses) {
+  BatchFormer former(BatchPolicy{});
+  ASSERT_EQ(former.push(make_request(RequestKind::Decode, 4, 64)),
+            PushResult::Accepted);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+              PushResult::Accepted);
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  // The decode arrived first; its lane wins even though the encode lane
+  // is longer — no class can be starved.
+  EXPECT_EQ(batch[0].req.kind, RequestKind::Decode);
+}
+
+TEST(BatchFormer, ByteCapSplitsBatches) {
+  BatchFormer former(BatchPolicy{.max_batch_bytes = 100});
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 40)),
+              PushResult::Accepted);
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(batch.size(), 2u);  // 40 + 40 fits; +40 would exceed 100
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BatchFormer, OversizedHeadBypassesCoalescing) {
+  BatchFormer former(BatchPolicy{.max_batch_bytes = 100});
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 5000)),
+            PushResult::Accepted);
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 40)),
+            PushResult::Accepted);
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  // The head is always taken: a single request larger than the byte cap
+  // forms a batch of one instead of wedging the queue.
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].payload_bytes, 5000u);
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].payload_bytes, 40u);
+}
+
+TEST(BatchFormer, CapacityBoundRejects) {
+  BatchFormer former(BatchPolicy{.queue_capacity = 2});
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::QueueFull);
+  // Draining frees capacity again.
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+}
+
+TEST(BatchFormer, CloseRejectsPushesButKeepsQueuedWork) {
+  BatchFormer former(BatchPolicy{});
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  former.close();
+  EXPECT_TRUE(former.closed());
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Closed);
+  // Queued work survives the close (drain-on-shutdown).
+  std::vector<PendingRequest> batch = former.next_batch();
+  EXPECT_EQ(batch.size(), 1u);
+  // Closed and drained: next_batch returns empty without blocking.
+  EXPECT_TRUE(former.next_batch().empty());
+}
+
+TEST(BatchFormer, DrainAllPreservesAdmissionOrder) {
+  BatchFormer former(BatchPolicy{});
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 1)),
+            PushResult::Accepted);
+  ASSERT_EQ(former.push(make_request(RequestKind::Decode, 4, 2)),
+            PushResult::Accepted);
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 3)),
+            PushResult::Accepted);
+  const std::vector<PendingRequest> all = former.drain_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].payload_bytes, 1u);
+  EXPECT_EQ(all[1].payload_bytes, 2u);
+  EXPECT_EQ(all[2].payload_bytes, 3u);
+  EXPECT_EQ(former.pending(), 0u);
+}
+
+TEST(BatchFormer, LingerDispatchesImmediatelyOnceClosed) {
+  // linger must never delay shutdown: with the former closed, a small
+  // batch dispatches without waiting out the linger window.
+  BatchFormer former(
+      BatchPolicy{.linger = std::chrono::milliseconds(60'000)});
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  former.close();
+  const auto t0 = Clock::now();
+  const std::vector<PendingRequest> batch = former.next_batch();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_LT(Clock::now() - t0, std::chrono::seconds(10));
+}
+
+TEST(BatchFormer, LingerWaitsForBatchToFill) {
+  BatchFormer former(BatchPolicy{.max_batch_requests = 2,
+                                 .linger = std::chrono::seconds(30)});
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  std::thread filler([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+              PushResult::Accepted);
+  });
+  // A full batch releases the linger wait long before the 30s window.
+  const std::vector<PendingRequest> batch = former.next_batch();
+  filler.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BatchFormer, ConcurrentProducersAndConsumersLoseNothing) {
+  BatchFormer former(BatchPolicy{.queue_capacity = 1 << 20,
+                                 .max_batch_requests = 4});
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+                  PushResult::Accepted);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const std::vector<PendingRequest> batch = former.next_batch();
+        if (batch.empty()) return;
+        consumed.fetch_add(static_cast<int>(batch.size()));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  former.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(former.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace tvmec::serve

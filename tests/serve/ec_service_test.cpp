@@ -1,0 +1,395 @@
+// serve/ec_service.h — the batched asynchronous EC service: correctness
+// against the Codec oracle, admission control, deadline enforcement,
+// shutdown semantics, degenerate code shapes, and the pool-sharing
+// thread-cap rule.
+
+#include "serve/ec_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "core/tvmec.h"
+#include "tensor/threadpool.h"
+
+namespace tvmec::serve {
+namespace {
+
+using Bytes = tensor::AlignedBuffer<std::uint8_t>;
+
+constexpr CodecKey kKey{4, 2, 8, ec::RsFamily::CauchyGood};
+constexpr std::size_t kUnit = 512;
+
+Bytes oracle_parity(const CodecKey& key, std::span<const std::uint8_t> data,
+                    std::size_t unit) {
+  core::Codec codec(ec::CodeParams{key.k, key.r, key.w}, key.family);
+  Bytes parity(key.r * unit);
+  codec.encode(data, parity.span(), unit);
+  return parity;
+}
+
+TEST(EcService, EncodeMatchesCodecOracle) {
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 1);
+  Bytes parity(kKey.r * kUnit);
+  EcFuture f = service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+  const EcResult& r = f.wait();
+  EXPECT_EQ(r.status, RequestStatus::Ok);
+  EXPECT_EQ(r.batch_size, 1u);
+  EXPECT_GE(r.total.count(), 0);
+  const Bytes want = oracle_parity(kKey, data.span(), kUnit);
+  EXPECT_EQ(std::memcmp(parity.data(), want.data(), want.size()), 0);
+}
+
+TEST(EcService, DecodeRepairsStripeInPlace) {
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 2);
+  Bytes stripe(kKey.n() * kUnit);
+  std::memcpy(stripe.data(), data.data(), data.size());
+  const Bytes parity = oracle_parity(kKey, data.span(), kUnit);
+  std::memcpy(stripe.data() + kKey.k * kUnit, parity.data(), parity.size());
+  const Bytes want = stripe;
+
+  const std::vector<std::size_t> erased{1, 4};
+  for (const std::size_t id : erased)
+    std::memset(stripe.data() + id * kUnit, 0xEE, kUnit);
+  EcFuture f = service.submit_decode(kKey, stripe.span(), erased, kUnit);
+  EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+  EXPECT_EQ(std::memcmp(stripe.data(), want.data(), want.size()), 0);
+}
+
+TEST(EcService, ConcurrentClientsAllServedCorrectly) {
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.batch.max_batch_requests = 8;
+  EcService service(cfg);
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const Bytes data =
+          testutil::random_bytes(kKey.k * kUnit, 100 + static_cast<unsigned>(c));
+      const Bytes want = oracle_parity(kKey, data.span(), kUnit);
+      Bytes parity(kKey.r * kUnit);
+      for (int i = 0; i < kPerClient; ++i) {
+        EcFuture f =
+            service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+        ASSERT_EQ(f.wait().status, RequestStatus::Ok);
+        ASSERT_EQ(std::memcmp(parity.data(), want.data(), want.size()), 0);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.shutdown();
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.completed_ok, kClients * kPerClient);
+  EXPECT_EQ(s.submitted, s.accepted);
+  EXPECT_EQ(s.accepted, s.completed_ok + s.expired + s.failed);
+  EXPECT_GE(s.batch_width.max(), 1u);
+}
+
+TEST(EcService, ManualPumpBackpressureIsDeterministic) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;  // nothing consumes while we submit
+  cfg.batch.queue_capacity = 3;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 3);
+  std::vector<Bytes> parities;
+  std::vector<EcFuture> futures;
+  for (int i = 0; i < 5; ++i) {
+    parities.emplace_back(kKey.r * kUnit);
+    futures.push_back(
+        service.submit_encode(kKey, data.span(), parities.back().span(), kUnit));
+  }
+  // Exactly the first `capacity` submissions are accepted.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(futures[i].ready()) << i;
+  for (int i = 3; i < 5; ++i) {
+    ASSERT_TRUE(futures[i].ready()) << i;
+    EXPECT_EQ(futures[i].wait().status, RequestStatus::Overloaded) << i;
+    EXPECT_EQ(futures[i].wait().batch_size, 0u);
+  }
+  EXPECT_EQ(service.run_pending(), 3u);
+  const Bytes want = oracle_parity(kKey, data.span(), kUnit);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(futures[i].wait().status, RequestStatus::Ok);
+    EXPECT_EQ(std::memcmp(parities[static_cast<std::size_t>(i)].data(),
+                          want.data(), want.size()),
+              0);
+  }
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.submitted, 5u);
+  EXPECT_EQ(s.accepted, 3u);
+  EXPECT_EQ(s.rejected_overload, 2u);
+}
+
+TEST(EcService, ExpiredRequestNeverExecutesAndLeavesOutputUntouched) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 4);
+  Bytes parity(kKey.r * kUnit);
+  std::memset(parity.data(), 0xAB, parity.size());
+  // Negative timeout: already expired at submission.
+  EcFuture f = service.submit_encode(kKey, data.span(), parity.span(), kUnit,
+                                     std::chrono::nanoseconds{-1});
+  EXPECT_FALSE(f.ready());  // expiry is enforced at batch formation
+  service.run_pending();
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.wait().status, RequestStatus::Expired);
+  EXPECT_EQ(f.wait().batch_size, 0u);
+  for (std::size_t i = 0; i < parity.size(); ++i)
+    ASSERT_EQ(parity[i], 0xAB) << i;
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.expired, 1u);
+  // The whole batch expired before work: an empty flush, not a batch.
+  EXPECT_EQ(s.batches, 0u);
+  EXPECT_EQ(s.empty_flushes, 1u);
+}
+
+TEST(EcService, MixedExpiryExecutesOnlyLiveRequests) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 5);
+  Bytes p_live(kKey.r * kUnit), p_dead(kKey.r * kUnit);
+  EcFuture live =
+      service.submit_encode(kKey, data.span(), p_live.span(), kUnit);
+  EcFuture dead = service.submit_encode(kKey, data.span(), p_dead.span(),
+                                        kUnit, std::chrono::nanoseconds{-1});
+  service.run_pending();
+  EXPECT_EQ(live.wait().status, RequestStatus::Ok);
+  EXPECT_EQ(live.wait().batch_size, 1u);  // the expired one never counted
+  EXPECT_EQ(dead.wait().status, RequestStatus::Expired);
+}
+
+TEST(EcService, DegenerateShapes) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  EcService service(cfg);
+  // k == 1, r == 0: striping only — encode produces no parity.
+  const CodecKey trivial{1, 0, 8, ec::RsFamily::CauchyGood};
+  const Bytes data = testutil::random_bytes(kUnit, 6);
+  EcFuture f = service.submit_encode(trivial, data.span(), {}, kUnit);
+  service.run_pending();
+  EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+
+  // k == 1, r == 2 round trip.
+  const CodecKey tiny{1, 2, 8, ec::RsFamily::CauchyGood};
+  Bytes stripe(3 * kUnit);
+  std::memcpy(stripe.data(), data.data(), kUnit);
+  const Bytes parity = oracle_parity(tiny, data.span(), kUnit);
+  std::memcpy(stripe.data() + kUnit, parity.data(), parity.size());
+  std::memset(stripe.data(), 0xEE, kUnit);
+  const std::vector<std::size_t> erased{0};
+  EcFuture g = service.submit_decode(tiny, stripe.span(), erased, kUnit);
+  service.run_pending();
+  EXPECT_EQ(g.wait().status, RequestStatus::Ok);
+  EXPECT_EQ(std::memcmp(stripe.data(), data.data(), kUnit), 0);
+}
+
+TEST(EcService, UnrecoverablePatternCompletesFailed) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  EcService service(cfg);
+  Bytes stripe(kKey.n() * kUnit);
+  const std::vector<std::size_t> erased{0, 1, 2};  // > r = 2 distinct
+  EcFuture f = service.submit_decode(kKey, stripe.span(), erased, kUnit);
+  service.run_pending();
+  EXPECT_EQ(f.wait().status, RequestStatus::Failed);
+  EXPECT_FALSE(f.wait().error.empty());
+  EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(EcService, InvalidArgumentsThrowAtSubmit) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  EcService service(cfg);
+  Bytes data(kKey.k * kUnit), parity(kKey.r * kUnit), stripe(kKey.n() * kUnit);
+  // Wrong span sizes.
+  EXPECT_THROW(service.submit_encode(kKey, data.span().subspan(1),
+                                     parity.span(), kUnit),
+               std::invalid_argument);
+  // Bad unit size (not a multiple of w).
+  EXPECT_THROW(service.submit_encode(kKey, data.span().first(kKey.k * 3),
+                                     parity.span().first(kKey.r * 3), 3),
+               std::invalid_argument);
+  // Out-of-range erasure id.
+  const std::vector<std::size_t> bad{kKey.n()};
+  EXPECT_THROW(service.submit_decode(kKey, stripe.span(), bad, kUnit),
+               std::invalid_argument);
+  // Nothing was admitted.
+  EXPECT_EQ(service.stats().accepted, 0u);
+}
+
+TEST(EcService, ShutdownDrainCompletesInFlightRequests) {
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 7);
+  std::vector<Bytes> parities;
+  std::vector<EcFuture> futures;
+  for (int i = 0; i < 32; ++i) {
+    parities.emplace_back(kKey.r * kUnit);
+    futures.push_back(
+        service.submit_encode(kKey, data.span(), parities.back().span(), kUnit));
+  }
+  service.shutdown(/*drain=*/true);
+  const Bytes want = oracle_parity(kKey, data.span(), kUnit);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_TRUE(futures[i].ready()) << i;
+    EXPECT_EQ(futures[i].wait().status, RequestStatus::Ok) << i;
+    EXPECT_EQ(std::memcmp(parities[i].data(), want.data(), want.size()), 0);
+  }
+}
+
+TEST(EcService, ShutdownWithoutDrainCompletesQueuedAsShutdown) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;  // queue everything, execute nothing
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 8);
+  std::vector<Bytes> parities;
+  std::vector<EcFuture> futures;
+  for (int i = 0; i < 8; ++i) {
+    parities.emplace_back(kKey.r * kUnit);
+    futures.push_back(
+        service.submit_encode(kKey, data.span(), parities.back().span(), kUnit));
+  }
+  service.shutdown(/*drain=*/false);
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.ready());
+    EXPECT_EQ(f.wait().status, RequestStatus::Shutdown);
+  }
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.rejected_shutdown, 8u);
+  EXPECT_EQ(s.completed_ok, 0u);
+}
+
+TEST(EcService, SubmitAfterShutdownCompletesAsShutdownImmediately) {
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  EcService service(cfg);
+  service.shutdown();
+  Bytes data(kKey.k * kUnit), parity(kKey.r * kUnit);
+  EcFuture f = service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.wait().status, RequestStatus::Shutdown);
+  // Idempotent.
+  service.shutdown();
+  service.shutdown(false);
+}
+
+TEST(EcService, ConcurrentSubmitAndShutdownLeavesNoFutureHanging) {
+  // Every submission must reach a terminal status even when shutdown
+  // races the submitters — the TSan-watched path.
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 9);
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<EcFuture>> futures(3);
+  std::vector<std::vector<Bytes>> parities(3);
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        parities[t].emplace_back(kKey.r * kUnit);
+        futures[t].push_back(service.submit_encode(
+            kKey, data.span(), parities[t].back().span(), kUnit));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  service.shutdown(/*drain=*/true);
+  for (auto& th : submitters) th.join();
+  std::size_t terminal = 0;
+  for (auto& vec : futures)
+    for (auto& f : vec) {
+      const EcResult& r = f.wait();  // must not hang
+      EXPECT_NE(r.status, RequestStatus::Pending);
+      ++terminal;
+    }
+  EXPECT_EQ(terminal, 300u);
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.submitted, 300u);
+  EXPECT_EQ(s.submitted,
+            s.accepted + s.rejected_overload + s.rejected_shutdown);
+  EXPECT_EQ(s.accepted, s.completed_ok + s.expired + s.failed);
+}
+
+// Satellite 2 regression: the pool-sharing thread cap. Concurrent
+// service workers must split the pool instead of each requesting its
+// full width, and tiny batches must not fork at all.
+TEST(EcService, EffectiveGemmThreadsCapsByWorkersAndWork) {
+  constexpr std::size_t kWords = EcService::kMinWordsPerGemmThread;
+  // Fair share: pool of 8 split across 2 workers -> at most 4 each.
+  EXPECT_EQ(EcService::effective_gemm_threads(100 * kWords, 8, 2), 4);
+  EXPECT_EQ(EcService::effective_gemm_threads(100 * kWords, 8, 4), 2);
+  // Work-bound: a batch with fewer than 2 * kMinWordsPerGemmThread words
+  // runs serial regardless of pool width.
+  EXPECT_EQ(EcService::effective_gemm_threads(kWords - 1, 64, 1), 1);
+  EXPECT_EQ(EcService::effective_gemm_threads(2 * kWords, 64, 1), 2);
+  // Never zero, even on degenerate inputs.
+  EXPECT_EQ(EcService::effective_gemm_threads(0, 0, 0), 1);
+  // More workers than pool width still leaves one thread each.
+  EXPECT_EQ(EcService::effective_gemm_threads(100 * kWords, 2, 8), 1);
+  // Bounded by the kernel's schedule limit.
+  EXPECT_LE(EcService::effective_gemm_threads(1 << 30, 1024, 1), 256);
+}
+
+TEST(EcService, GemmThreadCapIsObservedPerBatch) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  cfg.batch.max_batch_requests = 16;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 10);
+  std::vector<Bytes> parities;
+  std::vector<EcFuture> futures;
+  for (int i = 0; i < 16; ++i) {
+    parities.emplace_back(kKey.r * kUnit);
+    futures.push_back(
+        service.submit_encode(kKey, data.span(), parities.back().span(), kUnit));
+  }
+  service.run_pending();
+  const ServeStatsSnapshot s = service.stats();
+  ASSERT_GE(s.gemm_threads.count(), 1u);
+  // Every recorded batch honored the cap for a manual pump (1 "worker").
+  const std::size_t batch_words =
+      16 * (kKey.k + kKey.r) * kUnit / sizeof(std::uint64_t);
+  const int cap = EcService::effective_gemm_threads(
+      batch_words, tensor::ThreadPool::shared().size(), 1);
+  EXPECT_LE(s.gemm_threads.max(), static_cast<std::uint64_t>(cap));
+  // And the batch former actually coalesced.
+  EXPECT_EQ(s.batch_width.max(), 16u);
+  EXPECT_EQ(s.batches, 1u);
+}
+
+TEST(EcService, BatchingOffForcesSingletonBatches) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  cfg.batching = false;
+  cfg.batch.max_batch_requests = 32;  // overridden by batching=false
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 11);
+  std::vector<Bytes> parities;
+  std::vector<EcFuture> futures;
+  for (int i = 0; i < 6; ++i) {
+    parities.emplace_back(kKey.r * kUnit);
+    futures.push_back(
+        service.submit_encode(kKey, data.span(), parities.back().span(), kUnit));
+  }
+  service.run_pending();
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.batches, 6u);
+  EXPECT_EQ(s.batch_width.max(), 1u);
+  for (auto& f : futures) EXPECT_EQ(f.wait().batch_size, 1u);
+}
+
+}  // namespace
+}  // namespace tvmec::serve

@@ -1,0 +1,136 @@
+// serve/stats.h — the log-bucketed latency histogram and the shared
+// sample-percentile helper the benches use.
+
+#include "serve/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace tvmec::serve {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, BucketBoundsCoverEveryValue) {
+  // For every recordable value: the bucket's upper bound is >= the value
+  // and within the sub-bucket resolution (12.5% relative error).
+  const auto check = [](std::uint64_t v) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets) << v;
+    const std::uint64_t ub = LatencyHistogram::bucket_upper_bound(idx);
+    EXPECT_GE(ub, v) << v;
+    if (idx > 0) {
+      const std::uint64_t prev =
+          LatencyHistogram::bucket_upper_bound(idx - 1);
+      EXPECT_LT(prev, v) << v;  // buckets partition the value space
+      // Relative error bound: bucket width / lower edge <= 1/8.
+      EXPECT_LE(ub - v, v / 8 + 1) << v;
+    }
+  };
+  for (std::uint64_t v = 0; v < 4096; ++v) check(v);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) check(rng());
+  check(UINT64_MAX);
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotone) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+  }
+}
+
+TEST(LatencyHistogram, PercentileTracksExactWithinResolution) {
+  LatencyHistogram h;
+  std::vector<std::uint64_t> values;
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    // Mixture: mostly microsecond-scale with a heavy tail.
+    const std::uint64_t v =
+        (rng() % 10 == 0) ? 1'000'000 + rng() % 50'000'000 : 500 + rng() % 5000;
+    values.push_back(v);
+    h.record(v);
+  }
+  ASSERT_EQ(h.count(), values.size());
+
+  std::sort(values.begin(), values.end());
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(p / 100.0 * values.size())));
+    const std::uint64_t exact = values[rank - 1];
+    const std::uint64_t est = h.percentile(p);
+    EXPECT_GE(est, exact) << p;  // upper-bound convention
+    EXPECT_LE(est, exact + exact / 8 + 1) << p;
+  }
+  EXPECT_EQ(h.max(), values.back());
+  EXPECT_EQ(h.min(), values.front());
+  EXPECT_LE(h.percentile(100), h.max());
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng() % 1'000'000;
+    (i % 2 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double p : {10.0, 50.0, 99.0})
+    EXPECT_EQ(a.percentile(p), combined.percentile(p));
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(SamplePercentile, MedianMatchesLegacyBenchConvention) {
+  // The benches historically used nth_element at s.size()/2 (the upper
+  // median); sample_median must reproduce that exactly so extracting the
+  // helper changed no printed results.
+  std::mt19937_64 rng(11);
+  for (const std::size_t n : {1u, 2u, 5u, 9u, 10u, 101u}) {
+    std::vector<double> s(n);
+    for (auto& v : s) v = static_cast<double>(rng() % 1000);
+    std::vector<double> legacy = s;
+    std::nth_element(legacy.begin(), legacy.begin() + legacy.size() / 2,
+                     legacy.end());
+    const double want = legacy[legacy.size() / 2];
+    std::vector<double> copy = s;
+    EXPECT_EQ(sample_median(copy), want) << n;
+  }
+}
+
+TEST(SamplePercentile, EdgeCases) {
+  std::vector<double> empty;
+  EXPECT_EQ(sample_percentile(empty, 50), 0.0);
+  std::vector<double> one{7.0};
+  EXPECT_EQ(sample_percentile(one, 0), 7.0);
+  EXPECT_EQ(sample_percentile(one, 100), 7.0);
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_EQ(sample_percentile(v, 100), 5.0);
+  std::vector<double> v2{5, 1, 4, 2, 3};
+  EXPECT_EQ(sample_percentile(v2, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace tvmec::serve
