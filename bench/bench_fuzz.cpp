@@ -40,6 +40,7 @@ testing::FuzzConfig scenario_config(testing::Scenario s) {
       c.losses = {2};
       break;
     case testing::Scenario::Serve:
+    case testing::Scenario::ServeChaos:
       c.losses = {1, 6};
       break;
     case testing::Scenario::RsEncode:
@@ -88,6 +89,9 @@ BENCHMARK_CAPTURE(bm_fuzz_scenario, store_fault,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_fuzz_scenario, serve,
                   testing::Scenario::Serve)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fuzz_scenario, serve_chaos,
+                  testing::Scenario::ServeChaos)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_fuzz_campaign)->Arg(25)->Unit(benchmark::kMillisecond);
 

@@ -65,7 +65,8 @@ void GemmCoder::do_apply(std::span<const std::uint8_t> in,
 }
 
 void GemmCoder::apply_batch(std::span<const ec::CoderBatchItem> items,
-                            int max_threads) const {
+                            int max_threads,
+                            const tensor::CancelToken& cancel) const {
   const auto word_aligned = [](const void* p) {
     return reinterpret_cast<std::uintptr_t>(p) % 8 == 0;
   };
@@ -96,10 +97,12 @@ void GemmCoder::apply_batch(std::span<const ec::CoderBatchItem> items,
     tensor::Schedule s = schedule_;
     if (max_threads > 0) s.num_threads = std::min(s.num_threads, max_threads);
     const tensor::MatView<const std::uint64_t> a{masks_.data(), rw, kw, kw};
-    tensor::gemm_xorand_batched(a, fast, s);
+    tensor::gemm_xorand_batched(a, fast, s, cancel);
   }
-  for (const ec::CoderBatchItem* item : slow)
+  for (const ec::CoderBatchItem* item : slow) {
+    cancel.throw_if_cancelled();
     apply(item->in, item->out, item->unit_size);
+  }
 }
 
 tune::TaskShape GemmCoder::task_shape(std::size_t unit_size) const {

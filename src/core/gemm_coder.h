@@ -38,8 +38,10 @@ class GemmCoder final : public ec::MatrixCoder {
   /// the kernel sees one big GEMM instead of many tiny ones — while
   /// degenerate items fall back to the per-item staging path of apply().
   /// `max_threads` > 0 caps the schedule's thread knob for this batch.
+  /// `cancel` reaches the fused kernel (tile-chunk polling granularity).
   void apply_batch(std::span<const ec::CoderBatchItem> items,
-                   int max_threads = 0) const override;
+                   int max_threads = 0,
+                   const tensor::CancelToken& cancel = {}) const override;
 
   /// Autotunes the encode for the given unit size on synthetic data and
   /// installs the best schedule found (the paper's §6.1 measurement

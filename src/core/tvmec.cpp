@@ -113,12 +113,13 @@ void Codec::decode(std::span<std::uint8_t> stripe,
 }
 
 void Codec::encode_batch(std::span<const ec::CoderBatchItem> items,
-                         int max_threads) const {
-  encode_coder_.apply_batch(items, max_threads);
+                         int max_threads,
+                         const tensor::CancelToken& cancel) const {
+  encode_coder_.apply_batch(items, max_threads, cancel);
 }
 
 void Codec::decode_batch(std::span<const DecodeBatchItem> items,
-                         int max_threads) {
+                         int max_threads, const tensor::CancelToken& cancel) {
   const std::size_t n = params_.n();
   // Group item indices by canonical erasure pattern: every member of a
   // group shares the recovery matrix, so the group's recoveries run as
@@ -134,6 +135,7 @@ void Codec::decode_batch(std::span<const DecodeBatchItem> items,
   }
 
   for (const auto& [erased, members] : groups) {
+    cancel.throw_if_cancelled();
     const DecodeEntry& entry = decode_entry(erased);
     const std::size_t k = entry.plan.survivors.size();
     const std::size_t e = entry.plan.erased.size();
@@ -163,7 +165,7 @@ void Codec::decode_batch(std::span<const DecodeBatchItem> items,
           std::span<std::uint8_t>(out_stage, e * unit), unit});
       offset += (k + e) * unit;
     }
-    entry.coder->apply_batch(batch, max_threads);
+    entry.coder->apply_batch(batch, max_threads, cancel);
     for (std::size_t b = 0; b < members.size(); ++b) {
       const DecodeBatchItem& item = items[members[b]];
       for (std::size_t s = 0; s < e; ++s)

@@ -42,8 +42,12 @@ class Codec {
   /// as one wide-N GEMM (GemmCoder::apply_batch). `max_threads` > 0 caps
   /// the schedule's thread knob for this batch so concurrent batches can
   /// share the pool. Thread-safe: encode state is immutable.
+  /// `cancel`, when valid, is polled at tile-chunk granularity inside
+  /// the kernel; an observed flag throws tensor::Cancelled and leaves
+  /// the batch's parity outputs indeterminate.
   void encode_batch(std::span<const ec::CoderBatchItem> items,
-                    int max_threads = 0) const;
+                    int max_threads = 0,
+                    const tensor::CancelToken& cancel = {}) const;
 
   /// Jerasure-shaped convenience API: units live behind k + r separate
   /// pointers. Data is first gathered into an internal contiguous staging
@@ -72,8 +76,12 @@ class Codec {
   /// case. Error contract per item matches decode(); a throwing item
   /// aborts the batch (callers wanting isolation run items singly).
   /// Not thread-safe (shares the decode-plan cache).
+  /// Cancellation (tensor::Cancelled) may abort between or inside
+  /// pattern groups: completed groups' stripes are repaired, the
+  /// aborted group's stripes are left with their holes.
   void decode_batch(std::span<const DecodeBatchItem> items,
-                    int max_threads = 0);
+                    int max_threads = 0,
+                    const tensor::CancelToken& cancel = {});
 
   /// Small-write optimization: replaces data unit `unit_id` and patches
   /// every parity in place using the code's linearity,

@@ -33,12 +33,17 @@ void MatrixCoder::validate_apply_args(std::span<const std::uint8_t> in,
 }
 
 void MatrixCoder::apply_batch(std::span<const CoderBatchItem> items,
-                              int max_threads) const {
+                              int max_threads,
+                              const tensor::CancelToken& cancel) const {
   // Reference semantics: a batch is the sequence of its requests. Only
-  // backends with a schedule knob (GemmCoder) interpret max_threads.
+  // backends with a schedule knob (GemmCoder) interpret max_threads;
+  // cancellation is polled at item granularity here (an item is the
+  // smallest unit a sequential backend can skip).
   (void)max_threads;
-  for (const CoderBatchItem& item : items)
+  for (const CoderBatchItem& item : items) {
+    cancel.throw_if_cancelled();
     apply(item.in, item.out, item.unit_size);
+  }
 }
 
 void MatrixCoder::apply(std::span<const std::uint8_t> in,

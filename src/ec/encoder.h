@@ -6,6 +6,8 @@
 #include <string>
 #include <stdexcept>
 
+#include "tensor/cancel.h"
+
 /// The backend-neutral coding interface.
 ///
 /// Every encoding library in this repo — the naive reference, the three
@@ -66,8 +68,13 @@ class MatrixCoder {
   /// schedule the backend would use, so concurrent batches can share a
   /// thread pool without oversubscribing; 0 leaves it unchanged.
   /// Validation and the buffer contract are exactly apply()'s, per item.
+  /// `cancel`, when valid, is polled between items (and, for GemmCoder,
+  /// at tile-chunk granularity inside the fused kernel); an observed
+  /// flag throws tensor::Cancelled and leaves the remaining outputs
+  /// unwritten — outputs of the aborted batch are indeterminate.
   virtual void apply_batch(std::span<const CoderBatchItem> items,
-                           int max_threads = 0) const;
+                           int max_threads = 0,
+                           const tensor::CancelToken& cancel = {}) const;
 
   virtual std::size_t in_units() const noexcept = 0;
   virtual std::size_t out_units() const noexcept = 0;

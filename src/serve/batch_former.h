@@ -42,12 +42,27 @@ struct BatchPolicy {
   /// after its head arrived (0 = dispatch immediately). Bounded by each
   /// request's deadline at execution time, not here.
   std::chrono::nanoseconds linger{0};
+  /// Per-lane queued-request cap (fairness): one hot (kind, key) class
+  /// cannot occupy more than this many queue slots, so other classes
+  /// always find room under sustained single-class overload.
+  /// 0 = unlimited (only the global queue_capacity applies).
+  std::size_t lane_capacity = 0;
+  /// CoDel-style deadline shedding: when enabled, a request whose
+  /// deadline is already unmeetable given the current estimates — now +
+  /// queue-wait EWMA + service-time EWMA > deadline, i.e. the predicted
+  /// *completion* moment, not just the predicted start of service — is
+  /// rejected at admission (PushResult::Shed) instead of queueing, doing
+  /// dead work, and expiring later. Under sustained overload this
+  /// converts would-be-expired work into cheap early rejections, which
+  /// is what keeps goodput up.
+  bool deadline_shedding = false;
 };
 
 enum class PushResult {
   Accepted,   ///< queued
   QueueFull,  ///< rejected: capacity reached (complete as Overloaded)
   Closed,     ///< rejected: former closed (complete as Shutdown)
+  Shed,       ///< rejected: predicted deadline miss (complete as Shed)
 };
 
 class BatchFormer {
@@ -81,6 +96,20 @@ class BatchFormer {
   std::size_t pending() const;
   const BatchPolicy& policy() const noexcept { return policy_; }
 
+  /// Current queue-wait estimate (EWMA over popped requests, alpha=1/8).
+  /// This is half the signal deadline shedding compares against.
+  std::chrono::nanoseconds queue_wait_ewma() const;
+
+  /// Feed one observed batch-service time (formation to completion).
+  /// The owner (EcService) reports each executed batch here; without it
+  /// the shedder would admit requests predicted to *start* service just
+  /// before their deadline and then systematically finish one
+  /// batch-service time late.
+  void note_service_time(std::chrono::nanoseconds observed);
+
+  /// Current batch-service estimate (EWMA, alpha=1/8).
+  std::chrono::nanoseconds service_time_ewma() const;
+
  private:
   /// One coalescing lane: requests of equal (kind, key).
   struct BatchClass {
@@ -106,6 +135,14 @@ class BatchFormer {
   std::size_t total_ = 0;
   std::uint64_t next_seq_ = 0;
   bool closed_ = false;
+  /// Queue-wait EWMA in integer nanoseconds, updated at pop time:
+  /// ewma += (wait - ewma) / 8. Signed so the delta math stays exact.
+  std::chrono::nanoseconds wait_ewma_{0};
+  /// Batch-service EWMA, fed by the owner via note_service_time().
+  std::chrono::nanoseconds service_ewma_{0};
+  /// When the last empty-queue liveness probe was admitted past a
+  /// shed-predicting estimate (see push()).
+  Clock::time_point last_probe_{};
 };
 
 }  // namespace tvmec::serve

@@ -1,0 +1,89 @@
+#include "serve/circuit_breaker.h"
+
+namespace tvmec::serve {
+
+const char* to_string(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+BreakerDecision CircuitBreaker::allow_primary(Clock::time_point now) {
+  if (!policy_.enabled) return BreakerDecision::Primary;
+  std::lock_guard lock(mutex_);
+  switch (state_) {
+    case BreakerState::Closed:
+      return BreakerDecision::Primary;
+    case BreakerState::Open:
+      if (now - opened_at_ < policy_.cooldown) return BreakerDecision::Degrade;
+      state_ = BreakerState::HalfOpen;
+      half_open_successes_ = 0;
+      [[fallthrough]];
+    case BreakerState::HalfOpen:
+      if (probe_inflight_) return BreakerDecision::Degrade;
+      probe_inflight_ = true;
+      ++counters_.probes;
+      return BreakerDecision::Probe;
+  }
+  return BreakerDecision::Primary;
+}
+
+void CircuitBreaker::record(BreakerDecision decision, bool success,
+                            Clock::time_point now) {
+  if (!policy_.enabled || decision == BreakerDecision::Degrade) return;
+  std::lock_guard lock(mutex_);
+  if (decision == BreakerDecision::Probe) {
+    probe_inflight_ = false;
+    // A probe verdict only matters while we are still HalfOpen; a
+    // concurrent transition (e.g. another probe already closed the
+    // breaker) makes this one stale.
+    if (state_ != BreakerState::HalfOpen) return;
+    if (success) {
+      if (++half_open_successes_ >= policy_.success_threshold) {
+        state_ = BreakerState::Closed;
+        consecutive_failures_ = 0;
+        ++counters_.recoveries;
+      }
+    } else {
+      state_ = BreakerState::Open;
+      opened_at_ = now;
+      ++counters_.trips;
+    }
+    return;
+  }
+  // Primary verdict: only meaningful while Closed (a late verdict from a
+  // batch dispatched before a trip must not re-trip or reset anything).
+  if (state_ != BreakerState::Closed) return;
+  if (success) {
+    consecutive_failures_ = 0;
+  } else if (++consecutive_failures_ >= policy_.failure_threshold) {
+    state_ = BreakerState::Open;
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+    ++counters_.trips;
+  }
+}
+
+void CircuitBreaker::abandon(BreakerDecision decision) {
+  if (!policy_.enabled || decision != BreakerDecision::Probe) return;
+  std::lock_guard lock(mutex_);
+  probe_inflight_ = false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+}  // namespace tvmec::serve

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "serve/request.h"
+
+/// Per-backend circuit breaker: the service's defense against a codec
+/// whose primary (GEMM) path starts failing persistently — a mis-tuned
+/// schedule, a kernel regression, a poisoned plan cache.
+///
+/// Classic three-state machine:
+///
+///   Closed ──(failure_threshold consecutive failures)──▶ Open
+///   Open ──(cooldown elapsed)──▶ HalfOpen (one probe in flight)
+///   HalfOpen ──(success_threshold probe successes)──▶ Closed
+///   HalfOpen ──(probe failure)──▶ Open (cooldown restarts)
+///
+/// While the breaker is not Closed, non-probe requests are told to
+/// Degrade: the service runs them on the naive reference backend —
+/// byte-identical output (same bitpacket embedding family), only
+/// slower — so callers see latency, never corruption. At most one probe
+/// is in flight at a time; everything else degrades until the probe
+/// verdict lands.
+namespace tvmec::serve {
+
+struct BreakerPolicy {
+  /// Master switch; disabled means allow_primary() always says Primary
+  /// and record() is a no-op (zero overhead, zero state).
+  bool enabled = true;
+  /// Consecutive primary-path batch failures that trip Closed -> Open.
+  std::size_t failure_threshold = 3;
+  /// Consecutive probe successes that close a HalfOpen breaker.
+  std::size_t success_threshold = 2;
+  /// Open -> HalfOpen delay: how long to degrade before probing again.
+  std::chrono::nanoseconds cooldown = std::chrono::milliseconds(100);
+};
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+const char* to_string(BreakerState s) noexcept;
+
+/// What the breaker tells the dispatcher to do with the next batch.
+enum class BreakerDecision : std::uint8_t {
+  Primary,  ///< breaker closed: run the fast path
+  Probe,    ///< half-open: run the fast path, verdict decides recovery
+  Degrade,  ///< open (or probe already in flight): run the naive path
+};
+
+/// Thread-safe; one instance per (codec, direction) in the service.
+class CircuitBreaker {
+ public:
+  struct Counters {
+    std::uint64_t trips = 0;       ///< transitions into Open
+    std::uint64_t recoveries = 0;  ///< HalfOpen -> Closed transitions
+    std::uint64_t probes = 0;      ///< probe batches dispatched
+  };
+
+  explicit CircuitBreaker(const BreakerPolicy& policy) : policy_(policy) {}
+
+  /// Decides the path for a batch about to execute. May transition
+  /// Open -> HalfOpen (cooldown elapsed) as a side effect; a Probe
+  /// decision reserves the single probe slot until record()/abandon().
+  BreakerDecision allow_primary(Clock::time_point now);
+
+  /// Reports the batch outcome for the path `decision` selected.
+  /// Degrade outcomes carry no signal about the primary path and are
+  /// ignored. A cancelled/aborted primary batch is not a backend verdict
+  /// either — call abandon() for those.
+  void record(BreakerDecision decision, bool success, Clock::time_point now);
+
+  /// Releases a Probe reservation without a verdict (batch cancelled or
+  /// aborted before the backend could prove anything).
+  void abandon(BreakerDecision decision);
+
+  BreakerState state() const;
+  Counters counters() const;
+
+ private:
+  const BreakerPolicy policy_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::Closed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t half_open_successes_ = 0;
+  bool probe_inflight_ = false;
+  Clock::time_point opened_at_{};
+  Counters counters_;
+};
+
+}  // namespace tvmec::serve

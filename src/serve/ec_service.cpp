@@ -5,7 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "core/backends.h"
 #include "ec/code_params.h"
+#include "ec/decoder.h"
 #include "ec/encoder.h"
 #include "tensor/threadpool.h"
 
@@ -28,6 +30,15 @@ ec::CodeParams params_of(const CodecKey& key) {
   return ec::CodeParams{key.k, key.r, key.w};
 }
 
+std::string describe_key(const CodecKey& key) {
+  return "k=" + std::to_string(key.k) + ",r=" + std::to_string(key.r) +
+         ",w=" + std::to_string(key.w);
+}
+
+std::int64_t to_epoch_ns(Clock::time_point t) {
+  return duration_cast<nanoseconds>(t.time_since_epoch()).count();
+}
+
 }  // namespace
 
 const char* to_string(RequestStatus s) noexcept {
@@ -44,6 +55,22 @@ const char* to_string(RequestStatus s) noexcept {
       return "shutdown";
     case RequestStatus::Failed:
       return "failed";
+    case RequestStatus::Cancelled:
+      return "cancelled";
+    case RequestStatus::Shed:
+      return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::Ok:
+      return "ok";
+    case HealthState::Degraded:
+      return "degraded";
+    case HealthState::Unhealthy:
+      return "unhealthy";
   }
   return "?";
 }
@@ -81,9 +108,16 @@ EcService::EcService(const ServiceConfig& config)
   if (!config_.schedule.valid())
     throw std::invalid_argument("EcService: invalid schedule");
   config_.batch = former_.policy();
+
+  const std::size_t slots = std::max<std::size_t>(1, config_.num_workers);
+  busy_since_ = std::make_unique<std::atomic<std::int64_t>[]>(slots);
+  worker_stuck_ = std::make_unique<std::atomic<bool>[]>(slots);
+
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  if (config_.watchdog.enabled)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 EcService::~EcService() { shutdown(true); }
@@ -93,14 +127,6 @@ EcFuture EcService::submit_encode(const CodecKey& key,
                                   std::span<std::uint8_t> parity,
                                   std::size_t unit_size,
                                   std::chrono::nanoseconds timeout) {
-  const ec::CodeParams params = params_of(key);
-  params.validate();
-  ec::packet_bytes(params, unit_size);  // throws on a bad unit size
-  if (data.size() != params.k * unit_size)
-    throw std::invalid_argument("submit_encode: data span must be k units");
-  if (parity.size() != params.r * unit_size)
-    throw std::invalid_argument("submit_encode: parity span must be r units");
-
   EcRequest req;
   req.kind = RequestKind::Encode;
   req.key = key;
@@ -108,7 +134,7 @@ EcFuture EcService::submit_encode(const CodecKey& key,
   req.in = data;
   req.out = parity;
   if (timeout != nanoseconds{0}) req.deadline = Clock::now() + timeout;
-  return submit(std::move(req), data.size() + parity.size());
+  return submit_request(std::move(req));
 }
 
 EcFuture EcService::submit_decode(const CodecKey& key,
@@ -116,15 +142,6 @@ EcFuture EcService::submit_decode(const CodecKey& key,
                                   std::span<const std::size_t> erased_ids,
                                   std::size_t unit_size,
                                   std::chrono::nanoseconds timeout) {
-  const ec::CodeParams params = params_of(key);
-  params.validate();
-  ec::packet_bytes(params, unit_size);
-  if (stripe.size() != params.n() * unit_size)
-    throw std::invalid_argument("submit_decode: stripe span must be n units");
-  for (std::size_t id : erased_ids)
-    if (id >= params.n())
-      throw std::invalid_argument("submit_decode: erased id out of range");
-
   EcRequest req;
   req.kind = RequestKind::Decode;
   req.key = key;
@@ -132,7 +149,32 @@ EcFuture EcService::submit_decode(const CodecKey& key,
   req.stripe = stripe;
   req.erased.assign(erased_ids.begin(), erased_ids.end());
   if (timeout != nanoseconds{0}) req.deadline = Clock::now() + timeout;
-  return submit(std::move(req), stripe.size());
+  return submit_request(std::move(req));
+}
+
+EcFuture EcService::submit_request(EcRequest request) {
+  const ec::CodeParams params = params_of(request.key);
+  params.validate();
+  ec::packet_bytes(params, request.unit_size);  // throws on a bad unit size
+
+  std::size_t payload_bytes = 0;
+  if (request.kind == RequestKind::Encode) {
+    if (request.in.size() != params.k * request.unit_size)
+      throw std::invalid_argument("submit_encode: data span must be k units");
+    if (request.out.size() != params.r * request.unit_size)
+      throw std::invalid_argument(
+          "submit_encode: parity span must be r units");
+    payload_bytes = request.in.size() + request.out.size();
+  } else {
+    if (request.stripe.size() != params.n() * request.unit_size)
+      throw std::invalid_argument(
+          "submit_decode: stripe span must be n units");
+    for (std::size_t id : request.erased)
+      if (id >= params.n())
+        throw std::invalid_argument("submit_decode: erased id out of range");
+    payload_bytes = request.stripe.size();
+  }
+  return submit(std::move(request), payload_bytes);
 }
 
 EcFuture EcService::submit(EcRequest request, std::size_t payload_bytes) {
@@ -150,30 +192,32 @@ EcFuture EcService::submit(EcRequest request, std::size_t payload_bytes) {
   EcFuture future(completion);
 
   if (!accepting_.load(std::memory_order_acquire)) {
-    complete(pending, RequestStatus::Shutdown, {}, submitted, submitted, 0);
+    complete(pending, RequestStatus::Shutdown, {}, submitted, submitted, 0,
+             /*admitted=*/false);
     return future;
   }
+
+  const auto reject = [&](RequestStatus status) {
+    PendingRequest rejected;
+    rejected.completion = std::move(completion);
+    rejected.submitted = submitted;
+    const auto now = Clock::now();
+    complete(rejected, status, {}, now, now, 0, /*admitted=*/false);
+  };
 
   switch (former_.push(std::move(pending))) {
     case PushResult::Accepted:
       accepted_.fetch_add(1, std::memory_order_relaxed);
       break;
-    case PushResult::QueueFull: {
-      PendingRequest rejected;
-      rejected.completion = std::move(completion);
-      rejected.submitted = submitted;
-      const auto now = Clock::now();
-      complete(rejected, RequestStatus::Overloaded, {}, now, now, 0);
+    case PushResult::QueueFull:
+      reject(RequestStatus::Overloaded);
       break;
-    }
-    case PushResult::Closed: {
-      PendingRequest rejected;
-      rejected.completion = std::move(completion);
-      rejected.submitted = submitted;
-      const auto now = Clock::now();
-      complete(rejected, RequestStatus::Shutdown, {}, now, now, 0);
+    case PushResult::Shed:
+      reject(RequestStatus::Shed);
       break;
-    }
+    case PushResult::Closed:
+      reject(RequestStatus::Shutdown);
+      break;
   }
   return future;
 }
@@ -183,6 +227,18 @@ void EcService::shutdown(bool drain) {
   if (stopped_) return;
   stopped_ = true;
   accepting_.store(false, std::memory_order_release);
+  stopped_flag_.store(true, std::memory_order_release);
+
+  if (!drain) {
+    // Abort in-flight batches at their next tile-chunk poll; their live
+    // members complete as Shutdown (the drained bucket).
+    aborting_.store(true, std::memory_order_release);
+    std::lock_guard il(inflight_mutex_);
+    for (auto& [id, batch] : inflight_) {
+      batch.source.request_cancel();
+      batch.aborted = true;
+    }
+  }
 
   if (config_.num_workers == 0) {
     if (drain) run_pending();
@@ -200,18 +256,28 @@ void EcService::shutdown(bool drain) {
     former_.close();
     const auto now = Clock::now();
     for (PendingRequest& p : abandoned)
-      complete(p, RequestStatus::Shutdown, {}, now, now, 0);
+      complete(p, RequestStatus::Shutdown, {}, now, now, 0,
+               /*admitted=*/true);
   }
 
   for (std::thread& t : workers_) t.join();
   workers_.clear();
+
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard wl(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
 
   // Manual-pump leftovers (shutdown(false), or requests pushed between
   // the last run_pending() and close()).
   auto left = former_.drain_all();
   const auto now = Clock::now();
   for (PendingRequest& p : left)
-    complete(p, RequestStatus::Shutdown, {}, now, now, 0);
+    complete(p, RequestStatus::Shutdown, {}, now, now, 0, /*admitted=*/true);
 }
 
 std::size_t EcService::run_pending() {
@@ -219,17 +285,17 @@ std::size_t EcService::run_pending() {
   std::vector<PendingRequest> batch;
   while (former_.try_next_batch(batch)) {
     completed += batch.size();
-    execute_batch(batch);
+    execute_batch(batch, kNoWorker);
     batch.clear();
   }
   return completed;
 }
 
-void EcService::worker_loop() {
+void EcService::worker_loop(std::size_t index) {
   for (;;) {
     std::vector<PendingRequest> batch = former_.next_batch();
     if (batch.empty()) return;  // closed and drained
-    execute_batch(batch);
+    execute_batch(batch, index);
   }
 }
 
@@ -237,23 +303,92 @@ EcService::CodecSlot& EcService::codec_slot(const CodecKey& key) {
   std::lock_guard lock(codecs_mutex_);
   auto it = codecs_.find(key);
   if (it == codecs_.end()) {
-    auto slot = std::make_unique<CodecSlot>(params_of(key), key.family);
+    auto slot = std::make_unique<CodecSlot>(params_of(key), key.family,
+                                            config_.breaker);
     slot->codec.set_schedule(config_.schedule);
     it = codecs_.emplace(key, std::move(slot)).first;
   }
   return *it->second;
 }
 
-void EcService::execute_batch(std::vector<PendingRequest>& batch) {
+void EcService::watchdog_loop() {
+  const auto poll = std::max<std::chrono::nanoseconds>(
+      config_.watchdog.poll, std::chrono::microseconds(100));
+  std::unique_lock lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, poll);
+    if (watchdog_stop_) break;
+    lock.unlock();
+
+    const auto now = Clock::now();
+    {
+      // Abort batches nobody is waiting for anymore: every member is
+      // client-cancelled or past its deadline. A batch with even one
+      // live member runs to completion (its output is still wanted).
+      std::lock_guard il(inflight_mutex_);
+      for (auto& [id, batch] : inflight_) {
+        if (batch.aborted || batch.members.empty()) continue;
+        bool all_dead = true;
+        for (const InflightBatch::Member& m : batch.members)
+          if (!member_dead(m, now)) {
+            all_dead = false;
+            break;
+          }
+        if (all_dead) {
+          batch.source.request_cancel();
+          batch.aborted = true;
+          watchdog_aborts_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+
+    // Stuck-worker scan: a worker heartbeat older than the budget flags
+    // the worker (and degrades health()) until its batch completes.
+    const std::int64_t now_ns = to_epoch_ns(now);
+    const std::int64_t budget = config_.watchdog.stuck_budget.count();
+    for (std::size_t i = 0; i < config_.num_workers; ++i) {
+      const std::int64_t busy =
+          busy_since_[i].load(std::memory_order_acquire);
+      const bool stuck = busy != 0 && now_ns - busy > budget;
+      if (stuck && !worker_stuck_[i].load(std::memory_order_relaxed))
+        watchdog_stuck_.fetch_add(1, std::memory_order_relaxed);
+      worker_stuck_[i].store(stuck, std::memory_order_release);
+    }
+
+    lock.lock();
+  }
+}
+
+void EcService::execute_batch(std::vector<PendingRequest>& batch,
+                              std::size_t worker) {
   const auto formed = Clock::now();
 
-  // Deadline enforcement happens here, not at completion: an expired
-  // request must never spend kernel time.
+  // Heartbeat for the watchdog's stuck scan (worker threads only; a
+  // manual pump has no slot).
+  std::atomic<std::int64_t>* heartbeat =
+      worker != kNoWorker ? &busy_since_[worker] : nullptr;
+  if (heartbeat) heartbeat->store(to_epoch_ns(formed), std::memory_order_release);
+  struct HeartbeatClear {
+    std::atomic<std::int64_t>* slot;
+    std::atomic<bool>* stuck;
+    ~HeartbeatClear() {
+      if (slot) slot->store(0, std::memory_order_release);
+      if (stuck) stuck->store(false, std::memory_order_release);
+    }
+  } heartbeat_clear{heartbeat,
+                    worker != kNoWorker ? &worker_stuck_[worker] : nullptr};
+
+  // Deadline and cancellation enforcement happens here, not at
+  // completion: a dead request must never spend kernel time.
   std::vector<PendingRequest*> live;
   live.reserve(batch.size());
   for (PendingRequest& p : batch) {
-    if (p.req.deadline < formed)
-      complete(p, RequestStatus::Expired, {}, formed, formed, 0);
+    if (p.completion->cancel_requested() || p.req.cancel.cancelled())
+      complete(p, RequestStatus::Cancelled, {}, formed, formed, 0,
+               /*admitted=*/true);
+    else if (p.req.deadline < formed)
+      complete(p, RequestStatus::Expired, {}, formed, formed, 0,
+               /*admitted=*/true);
     else
       live.push_back(&p);
   }
@@ -277,59 +412,224 @@ void EcService::execute_batch(std::vector<PendingRequest>& batch) {
 
   // All requests of a batch share (kind, key) — the batch former's lane
   // invariant — so one codec serves the whole batch.
-  CodecSlot& slot = codec_slot(live.front()->req.key);
+  const RequestKind kind = live.front()->req.kind;
+  const CodecKey& key = live.front()->req.key;
+  CodecSlot& slot = codec_slot(key);
   std::vector<RequestStatus> status(live.size(), RequestStatus::Ok);
   std::vector<std::string> error(live.size());
+  std::vector<char> done(live.size(), 0);
 
-  const auto run_singly = [&](auto&& one) {
-    // Isolation fallback: a failing request must not poison batchmates.
+  // Register with the watchdog: the batch-wide token the kernel polls,
+  // plus each member's death criteria (client flags + deadline).
+  std::uint64_t batch_id;
+  tensor::CancelToken batch_token;
+  {
+    std::lock_guard il(inflight_mutex_);
+    batch_id = next_batch_id_++;
+    InflightBatch& inflight = inflight_[batch_id];
+    inflight.members.reserve(live.size());
+    for (const PendingRequest* p : live)
+      inflight.members.push_back(
+          {p->completion, p->req.cancel, p->req.deadline});
+    batch_token = inflight.source.token();
+    if (aborting_.load(std::memory_order_acquire)) {
+      inflight.source.request_cancel();
+      inflight.aborted = true;
+    }
+  }
+
+  // Per-item executors: the primary codec for the singly-rescue and
+  // defensive paths (uncancellable — one item is the smallest work unit).
+  const auto encode_one = [&](PendingRequest& p) {
+    slot.codec.encode(p.req.in, p.req.out, p.req.unit_size);
+  };
+  const auto decode_one = [&](PendingRequest& p) {
+    slot.codec.decode(p.req.stripe, p.req.erased, p.req.unit_size);
+  };
+  const auto run_one = [&](std::size_t i) {
+    try {
+      if (kind == RequestKind::Encode)
+        encode_one(*live[i]);
+      else
+        decode_one(*live[i]);
+    } catch (const std::exception& e) {
+      status[i] = RequestStatus::Failed;
+      error[i] = e.what();
+    }
+    done[i] = 1;
+  };
+
+  // Isolation fallback: a failing request must not poison batchmates.
+  // Polls the batch token between items so an abandoned batch stops
+  // mid-rescue too.
+  bool aborted = false;
+  const auto run_singly = [&] {
     for (std::size_t i = 0; i < live.size(); ++i) {
+      if (done[i]) continue;
+      if (batch_token.cancelled()) {
+        aborted = true;
+        return;
+      }
+      run_one(i);
+    }
+  };
+
+  // Degraded executor: the naive reference backend — byte-identical to
+  // the GEMM path (same bitpacket embedding), only slower. Per-item, so
+  // one bad request cannot poison batchmates, with the same token poll.
+  const auto run_degraded = [&] {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (batch_token.cancelled()) {
+        aborted = true;
+        return;
+      }
+      PendingRequest& p = *live[i];
       try {
-        one(*live[i]);
+        if (kind == RequestKind::Encode) {
+          ec::MatrixCoder* naive;
+          {
+            std::lock_guard gl(slot.degraded_mutex);
+            if (!slot.naive_encoder)
+              slot.naive_encoder = core::make_coder(
+                  core::Backend::NaiveBitmatrix,
+                  slot.codec.code().parity_matrix());
+            naive = slot.naive_encoder.get();
+          }
+          naive->apply(p.req.in, p.req.out, p.req.unit_size);
+        } else {
+          // Plan + naive recovery coder per erasure pattern, cached.
+          // Caller already holds decode_mutex for decode batches.
+          std::vector<std::size_t> erased(p.req.erased.begin(),
+                                          p.req.erased.end());
+          std::sort(erased.begin(), erased.end());
+          erased.erase(std::unique(erased.begin(), erased.end()),
+                       erased.end());
+          if (erased.empty()) {
+            done[i] = 1;
+            continue;
+          }
+          auto it = slot.naive_decode_cache.find(erased);
+          if (it == slot.naive_decode_cache.end()) {
+            auto plan = ec::make_decode_plan(slot.codec.code().generator(),
+                                             erased);
+            if (!plan)
+              throw std::runtime_error(
+                  "decode: erasure pattern is unrecoverable");
+            auto coder = core::make_coder(core::Backend::NaiveBitmatrix,
+                                          plan->recovery);
+            it = slot.naive_decode_cache
+                     .emplace(erased, CodecSlot::NaivePlan{
+                                          std::move(*plan), std::move(coder)})
+                     .first;
+          }
+          const ec::DecodePlan& plan = it->second.plan;
+          const std::size_t unit = p.req.unit_size;
+          std::vector<std::uint8_t> in(plan.survivors.size() * unit);
+          std::vector<std::uint8_t> out(plan.erased.size() * unit);
+          for (std::size_t s = 0; s < plan.survivors.size(); ++s)
+            std::copy_n(p.req.stripe.data() + plan.survivors[s] * unit, unit,
+                        in.data() + s * unit);
+          it->second.coder->apply(in, out, unit);
+          for (std::size_t s = 0; s < plan.erased.size(); ++s)
+            std::copy_n(out.data() + s * unit,  unit,
+                        p.req.stripe.data() + plan.erased[s] * unit);
+        }
       } catch (const std::exception& e) {
         status[i] = RequestStatus::Failed;
         error[i] = e.what();
       }
+      done[i] = 1;
     }
   };
 
-  if (live.front()->req.kind == RequestKind::Encode) {
-    std::vector<ec::CoderBatchItem> items;
-    items.reserve(live.size());
-    for (const PendingRequest* p : live)
-      items.push_back({p->req.in, p->req.out, p->req.unit_size});
-    try {
-      slot.codec.encode_batch(items, gemm_threads);
-    } catch (const std::exception&) {
-      run_singly([&](PendingRequest& p) {
-        slot.codec.encode(p.req.in, p.req.out, p.req.unit_size);
-      });
+  CircuitBreaker& breaker =
+      kind == RequestKind::Encode ? slot.encode_breaker : slot.decode_breaker;
+  const BreakerDecision decision = breaker.allow_primary(formed);
+
+  {
+    // decode mutates the per-codec plan cache (primary and naive);
+    // serialize per key. Encode paths are immutable-state and take no
+    // lock.
+    std::unique_lock<std::mutex> decode_lock;
+    if (kind == RequestKind::Decode)
+      decode_lock = std::unique_lock(slot.decode_mutex);
+
+    if (decision == BreakerDecision::Degrade) {
+      degraded_batches_.fetch_add(1, std::memory_order_relaxed);
+      run_degraded();
+    } else {
+      try {
+        if (config_.fault_injector &&
+            config_.fault_injector(kind, key, live.size()))
+          throw std::runtime_error("injected backend fault");
+        if (kind == RequestKind::Encode) {
+          std::vector<ec::CoderBatchItem> items;
+          items.reserve(live.size());
+          for (const PendingRequest* p : live)
+            items.push_back({p->req.in, p->req.out, p->req.unit_size});
+          slot.codec.encode_batch(items, gemm_threads, batch_token);
+        } else {
+          std::vector<core::Codec::DecodeBatchItem> items;
+          items.reserve(live.size());
+          for (const PendingRequest* p : live)
+            items.push_back({p->req.stripe, p->req.erased, p->req.unit_size});
+          slot.codec.decode_batch(items, gemm_threads, batch_token);
+        }
+        breaker.record(decision, true, Clock::now());
+        std::fill(done.begin(), done.end(), 1);
+      } catch (const tensor::Cancelled&) {
+        // An aborted batch is not a backend verdict: release any probe
+        // reservation without recording success or failure.
+        breaker.abandon(decision);
+        aborted = true;
+      } catch (const std::exception&) {
+        breaker.record(decision, false, Clock::now());
+        run_singly();
+      }
     }
-  } else {
-    std::vector<core::Codec::DecodeBatchItem> items;
-    items.reserve(live.size());
-    for (const PendingRequest* p : live)
-      items.push_back({p->req.stripe, p->req.erased, p->req.unit_size});
-    // decode mutates the per-codec plan cache; serialize per key.
-    std::lock_guard decode_lock(slot.decode_mutex);
-    try {
-      slot.codec.decode_batch(items, gemm_threads);
-    } catch (const std::exception&) {
-      run_singly([&](PendingRequest& p) {
-        slot.codec.decode(p.req.stripe, p.req.erased, p.req.unit_size);
-      });
+
+    if (aborted) {
+      // The kernel stopped mid-batch. Classify every unexecuted member:
+      // shutdown abort, client cancel, or deadline expiry. The defensive
+      // arm (a live member in an aborted batch — only reachable through
+      // races with shutdown) re-runs the request to completion so no
+      // accepted request is ever dropped.
+      const auto now = Clock::now();
+      const bool shutting_down = aborting_.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (done[i]) continue;
+        PendingRequest& p = *live[i];
+        if (p.completion->cancel_requested() || p.req.cancel.cancelled())
+          status[i] = RequestStatus::Cancelled;
+        else if (now > p.req.deadline)
+          status[i] = RequestStatus::Expired;
+        else if (shutting_down)
+          status[i] = RequestStatus::Shutdown;
+        else
+          run_one(i);
+      }
     }
   }
 
+  {
+    std::lock_guard il(inflight_mutex_);
+    inflight_.erase(batch_id);
+  }
+
   const auto end = Clock::now();
+  // Feed the shedder's service-time estimate from batches that ran to
+  // completion; aborted batches stopped mid-kernel, so their truncated
+  // duration would bias the prediction low and under-shed.
+  if (!aborted) former_.note_service_time(end - formed);
   for (std::size_t i = 0; i < live.size(); ++i)
     complete(*live[i], status[i], std::move(error[i]), formed, end,
-             live.size());
+             live.size(), /*admitted=*/true);
 }
 
 void EcService::complete(PendingRequest& p, RequestStatus status,
                          std::string error, Clock::time_point formed,
-                         Clock::time_point end, std::size_t batch_size) {
+                         Clock::time_point end, std::size_t batch_size,
+                         bool admitted) {
   EcResult result;
   result.status = status;
   result.error = std::move(error);
@@ -348,11 +648,23 @@ void EcService::complete(PendingRequest& p, RequestStatus status,
     case RequestStatus::Failed:
       failed_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case RequestStatus::Cancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
     case RequestStatus::Overloaded:
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case RequestStatus::Shed:
+      rejected_shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
     case RequestStatus::Shutdown:
-      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      // Two buckets keep both counter identities exact: an admitted
+      // request abandoned by shutdown is drained (it counts against
+      // `accepted`), a request rejected at submit never was.
+      if (admitted)
+        shutdown_drained_.fetch_add(1, std::memory_order_relaxed);
+      else
+        rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
       break;
     case RequestStatus::Pending:
       break;  // unreachable: completions always carry a terminal status
@@ -383,13 +695,69 @@ ServeStatsSnapshot EcService::stats() const {
   out.submitted = submitted_.load(std::memory_order_relaxed);
   out.accepted = accepted_.load(std::memory_order_relaxed);
   out.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  out.rejected_shed = rejected_shed_.load(std::memory_order_relaxed);
   out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
   out.completed_ok = completed_ok_.load(std::memory_order_relaxed);
   out.expired = expired_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
+  out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.shutdown_drained = shutdown_drained_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
   out.empty_flushes = empty_flushes_.load(std::memory_order_relaxed);
+  out.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
+  out.watchdog_aborts = watchdog_aborts_.load(std::memory_order_relaxed);
+  out.watchdog_stuck = watchdog_stuck_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(codecs_mutex_);
+    for (const auto& [key, slot] : codecs_) {
+      for (const CircuitBreaker* b :
+           {&slot->encode_breaker, &slot->decode_breaker}) {
+        const CircuitBreaker::Counters c = b->counters();
+        out.breaker_trips += c.trips;
+        out.breaker_recoveries += c.recoveries;
+        out.breaker_probes += c.probes;
+      }
+    }
+  }
   return out;
+}
+
+HealthSnapshot EcService::health() const {
+  HealthSnapshot h;
+  if (stopped_flag_.load(std::memory_order_acquire)) {
+    h.state = HealthState::Unhealthy;
+    h.reasons.push_back("service is shut down");
+    return h;
+  }
+
+  std::size_t stuck = 0;
+  for (std::size_t i = 0; i < config_.num_workers; ++i) {
+    if (worker_stuck_[i].load(std::memory_order_acquire)) {
+      ++stuck;
+      h.reasons.push_back("worker " + std::to_string(i) +
+                          " stuck past watchdog budget");
+    }
+  }
+
+  {
+    std::lock_guard lock(codecs_mutex_);
+    for (const auto& [key, slot] : codecs_) {
+      const BreakerState enc = slot->encode_breaker.state();
+      const BreakerState dec = slot->decode_breaker.state();
+      if (enc != BreakerState::Closed)
+        h.reasons.push_back("codec " + describe_key(key) +
+                            " encode breaker " + to_string(enc));
+      if (dec != BreakerState::Closed)
+        h.reasons.push_back("codec " + describe_key(key) +
+                            " decode breaker " + to_string(dec));
+    }
+  }
+
+  if (config_.num_workers > 0 && stuck == config_.num_workers)
+    h.state = HealthState::Unhealthy;
+  else if (!h.reasons.empty())
+    h.state = HealthState::Degraded;
+  return h;
 }
 
 }  // namespace tvmec::serve

@@ -1,17 +1,24 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/tvmec.h"
+#include "ec/encoder.h"
 #include "serve/batch_former.h"
+#include "serve/circuit_breaker.h"
 #include "serve/request.h"
 #include "serve/stats.h"
+#include "tensor/cancel.h"
 #include "tensor/schedule.h"
 
 /// The in-process EC service: asynchronous encode/decode with request
@@ -29,10 +36,20 @@
 /// Policies:
 ///  - Admission: the queue is bounded; a full queue rejects immediately
 ///    with RequestStatus::Overloaded (backpressure, never unbounded
-///    buffering).
+///    buffering). With deadline shedding enabled, a request whose
+///    deadline the current queue-wait estimate already dooms is rejected
+///    as Shed instead of queueing dead work.
 ///  - Deadlines: enforced at batch formation — an expired request is
 ///    completed as Expired and never reaches the kernel (wasted work on
 ///    a request nobody is waiting for would only delay live ones).
+///  - Cancellation: EcFuture::cancel() (or a caller-supplied
+///    EcRequest::cancel token) completes a queued request as Cancelled at
+///    formation; once a batch whose members are *all* dead (cancelled or
+///    past deadline) is executing, the watchdog aborts its kernel at the
+///    next tile-chunk poll.
+///  - Degradation: per-(codec, direction) circuit breakers; persistent
+///    primary-path failures reroute batches to the naive reference
+///    backend (byte-identical output, slower) until probes recover.
 ///  - Pool sharing: each batch's GEMM thread count is capped by
 ///    effective_gemm_threads() so concurrent batches from multiple
 ///    service workers cannot oversubscribe the shared pool.
@@ -45,6 +62,31 @@ namespace tvmec::serve {
 /// (effective_gemm_threads() then caps it per batch).
 tensor::Schedule default_service_schedule();
 
+/// Watchdog configuration: a background thread that (a) aborts in-flight
+/// batches every member of which is already dead (cancelled or past
+/// deadline) — the mechanism bounding deadline overshoot to one
+/// batch-service time — and (b) flags workers busy on one batch for
+/// longer than `stuck_budget`, degrading health().
+struct WatchdogPolicy {
+  bool enabled = true;
+  /// Scan period. The cancellation latency for an abandoned batch is at
+  /// most one poll plus one tile-chunk.
+  std::chrono::nanoseconds poll = std::chrono::milliseconds(2);
+  /// A worker busy on a single batch past this is considered stuck.
+  std::chrono::nanoseconds stuck_budget = std::chrono::seconds(2);
+};
+
+enum class HealthState : std::uint8_t { Ok, Degraded, Unhealthy };
+
+const char* to_string(HealthState s) noexcept;
+
+/// Readiness-probe snapshot: the aggregate state plus one human-readable
+/// reason per contributing condition (empty when Ok).
+struct HealthSnapshot {
+  HealthState state = HealthState::Ok;
+  std::vector<std::string> reasons;
+};
+
 struct ServiceConfig {
   /// Service worker threads executing batches. 0 = manual-pump mode: no
   /// threads are created and the owner drives execution via
@@ -56,22 +98,49 @@ struct ServiceConfig {
   bool batching = true;
   /// Base schedule for every codec the service instantiates.
   tensor::Schedule schedule = default_service_schedule();
+  /// Per-(codec, direction) circuit breakers (set enabled=false for the
+  /// PR-4 behavior of re-dispatching a failing backend forever).
+  BreakerPolicy breaker;
+  WatchdogPolicy watchdog;
+  /// Test/chaos hook: when set, called before each *primary-path* batch
+  /// dispatch with (kind, key, batch size); returning true makes the
+  /// dispatch throw. The singly-rescue fallback and the degraded path do
+  /// not consult it, so injected faults cost latency, never bytes —
+  /// which is what lets the chaos fuzzer keep a byte-exact oracle.
+  std::function<bool(RequestKind, const CodecKey&, std::size_t)>
+      fault_injector;
 };
 
 /// Point-in-time copy of the service's counters and histograms. The
 /// counter identities are load-bearing for tests and the fuzzer's
-/// oracle: submitted == accepted + rejected_overload + rejected_shutdown,
-/// and, once drained, accepted == completed_ok + expired + failed.
+/// oracle:
+///   submitted == accepted + rejected_overload + rejected_shed
+///                + rejected_shutdown
+/// and, once drained,
+///   accepted == completed_ok + expired + failed + cancelled
+///               + shutdown_drained.
+/// (rejected_shutdown counts requests that were never admitted;
+/// shutdown_drained counts admitted requests abandoned by a
+/// non-draining shutdown — keeping the two identities exact.)
 struct ServeStatsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_shed = 0;      ///< admission-time deadline sheds
   std::uint64_t rejected_shutdown = 0;
   std::uint64_t completed_ok = 0;
   std::uint64_t expired = 0;
   std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t shutdown_drained = 0;   ///< admitted, then shut down
   std::uint64_t batches = 0;        ///< executed (non-empty) batches
-  std::uint64_t empty_flushes = 0;  ///< batches fully expired before work
+  std::uint64_t empty_flushes = 0;  ///< batches fully dead before work
+  std::uint64_t degraded_batches = 0;  ///< served by the naive backend
+  std::uint64_t breaker_trips = 0;       ///< summed over all breakers
+  std::uint64_t breaker_recoveries = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t watchdog_aborts = 0;  ///< all-members-dead batch aborts
+  std::uint64_t watchdog_stuck = 0;   ///< stuck-worker episodes flagged
   LatencyHistogram queue_wait_ns;
   LatencyHistogram service_ns;
   LatencyHistogram total_ns;
@@ -111,10 +180,16 @@ class EcService {
                          std::size_t unit_size,
                          std::chrono::nanoseconds timeout = {});
 
+  /// Variants taking a fully-formed request (the cancel-token path: set
+  /// EcRequest::cancel before submitting). Validation matches the
+  /// convenience overloads.
+  EcFuture submit_request(EcRequest request);
+
   /// Stops the service. drain=true executes everything already admitted
   /// before returning; drain=false completes queued requests with
-  /// RequestStatus::Shutdown. Either way, submissions from this point
-  /// complete as Shutdown. Idempotent.
+  /// RequestStatus::Shutdown and aborts in-flight batches via their
+  /// cancel tokens (their members complete as Shutdown too). Either way,
+  /// submissions from this point complete as Shutdown. Idempotent.
   void shutdown(bool drain = true);
 
   /// Manual-pump mode (num_workers == 0): executes queued batches on the
@@ -124,6 +199,12 @@ class EcService {
   std::size_t run_pending();
 
   ServeStatsSnapshot stats() const;
+
+  /// Readiness probe. Degraded when any circuit breaker is not Closed or
+  /// a worker is flagged stuck; Unhealthy when the service is shut down
+  /// or every worker is stuck. Reasons name the conditions.
+  HealthSnapshot health() const;
+
   std::size_t pending() const { return former_.pending(); }
   std::size_t num_workers() const noexcept { return config_.num_workers; }
 
@@ -144,39 +225,98 @@ class EcService {
   struct CodecSlot {
     core::Codec codec;
     std::mutex decode_mutex;  ///< decode mutates the plan cache
-    CodecSlot(const ec::CodeParams& params, ec::RsFamily family)
-        : codec(params, family) {}
+    CircuitBreaker encode_breaker;
+    CircuitBreaker decode_breaker;
+    /// Degraded path (lazily built): the naive reference coder for
+    /// encode, plus per-erasure-pattern naive recovery coders for
+    /// decode. Guarded by degraded_mutex (encode) / decode_mutex
+    /// (decode, shared with the plan cache).
+    std::mutex degraded_mutex;
+    std::unique_ptr<ec::MatrixCoder> naive_encoder;
+    struct NaivePlan {
+      ec::DecodePlan plan;
+      std::unique_ptr<ec::MatrixCoder> coder;
+    };
+    std::map<std::vector<std::size_t>, NaivePlan> naive_decode_cache;
+    CodecSlot(const ec::CodeParams& params, ec::RsFamily family,
+              const BreakerPolicy& breaker)
+        : codec(params, family),
+          encode_breaker(breaker),
+          decode_breaker(breaker) {}
+  };
+
+  /// One executing batch, visible to the watchdog: the batch-wide cancel
+  /// source the kernel polls, plus each member's death criteria.
+  struct InflightBatch {
+    tensor::CancelSource source;
+    struct Member {
+      std::shared_ptr<detail::Completion> completion;
+      tensor::CancelToken client;  ///< caller-supplied token (may be invalid)
+      Clock::time_point deadline;
+    };
+    std::vector<Member> members;
+    bool aborted = false;  ///< watchdog already fired for this batch
   };
 
   EcFuture submit(EcRequest request, std::size_t payload_bytes);
-  void worker_loop();
-  void execute_batch(std::vector<PendingRequest>& batch);
+  void worker_loop(std::size_t index);
+  /// `worker` indexes the heartbeat slot; kNoWorker for manual pumps.
+  static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+  void execute_batch(std::vector<PendingRequest>& batch, std::size_t worker);
   CodecSlot& codec_slot(const CodecKey& key);
+  void watchdog_loop();
+  /// True when the request can no longer want its result.
+  static bool member_dead(const InflightBatch::Member& m,
+                          Clock::time_point now) {
+    return m.completion->cancel_requested() || m.client.cancelled() ||
+           now > m.deadline;
+  }
   /// Completes one request and records its counters/latency. `formed` /
   /// `end` bracket batch execution (formed == end for requests that
-  /// never executed: rejections, expiries, shutdown).
+  /// never executed: rejections, expiries, shutdown). `admitted`
+  /// selects the Shutdown bucket: true = shutdown_drained (the request
+  /// was accepted first), false = rejected_shutdown.
   void complete(PendingRequest& p, RequestStatus status, std::string error,
                 Clock::time_point formed, Clock::time_point end,
-                std::size_t batch_size);
+                std::size_t batch_size, bool admitted);
 
   ServiceConfig config_;
   BatchFormer former_;
   std::vector<std::thread> workers_;
 
-  std::mutex codecs_mutex_;
+  mutable std::mutex codecs_mutex_;  ///< stats()/health() aggregate breakers
   std::map<CodecKey, std::unique_ptr<CodecSlot>> codecs_;
 
   std::mutex shutdown_mutex_;
   std::atomic<bool> accepting_{true};
-  bool stopped_ = false;  // under shutdown_mutex_
+  bool stopped_ = false;          // under shutdown_mutex_
+  std::atomic<bool> stopped_flag_{false};  // health() view of stopped_
+  std::atomic<bool> aborting_{false};      // shutdown(false) in progress
+
+  // In-flight batch registry (watchdog's worklist).
+  std::mutex inflight_mutex_;
+  std::map<std::uint64_t, InflightBatch> inflight_;
+  std::uint64_t next_batch_id_ = 0;
+
+  // Watchdog thread + per-worker heartbeats. busy_since is the batch
+  // start in steady-clock ns (0 = idle); stuck flags are set/cleared by
+  // the watchdog and read by health().
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // under watchdog_mutex_
+  std::unique_ptr<std::atomic<std::int64_t>[]> busy_since_;
+  std::unique_ptr<std::atomic<bool>[]> worker_stuck_;
 
   // Counters are atomics (hot submit path); histograms live under a
   // mutex and are only touched at completion time.
   mutable std::mutex stats_mutex_;
   ServeStatsSnapshot hist_;  // histogram part; counters below
   std::atomic<std::uint64_t> submitted_{0}, accepted_{0},
-      rejected_overload_{0}, rejected_shutdown_{0}, completed_ok_{0},
-      expired_{0}, failed_{0}, batches_{0}, empty_flushes_{0};
+      rejected_overload_{0}, rejected_shed_{0}, rejected_shutdown_{0},
+      completed_ok_{0}, expired_{0}, failed_{0}, cancelled_{0},
+      shutdown_drained_{0}, batches_{0}, empty_flushes_{0},
+      degraded_batches_{0}, watchdog_aborts_{0}, watchdog_stuck_{0};
 };
 
 }  // namespace tvmec::serve

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "ec/reed_solomon.h"
+#include "tensor/cancel.h"
 
 /// Request/result types of the serving layer.
 ///
@@ -36,6 +38,9 @@ enum class RequestStatus : std::uint8_t {
   Expired,     ///< deadline passed before the request reached a batch
   Shutdown,    ///< service stopped before the request executed
   Failed,      ///< execution threw; see EcResult::error
+  Cancelled,   ///< client cancelled via EcFuture::cancel before completion
+  Shed,        ///< rejected at admission: queue-wait estimate implied a
+               ///< deadline miss (BatchPolicy::deadline_shedding)
 };
 
 const char* to_string(RequestStatus s) noexcept;
@@ -72,7 +77,9 @@ struct EcResult {
 namespace detail {
 
 /// Shared completion state behind EcFuture: one mutex/cv pair per
-/// in-flight request, touched twice (complete, wait).
+/// in-flight request, touched twice (complete, wait). Also hosts the
+/// request's cancel flag so a CancelToken aliasing this object costs no
+/// extra allocation per request.
 class Completion {
  public:
   void complete(EcResult result) {
@@ -82,6 +89,17 @@ class Completion {
       done_ = true;
     }
     cv_.notify_all();
+  }
+
+  /// Raises the cancel flag (sticky; checked cooperatively by workers).
+  void request_cancel() noexcept {
+    cancel_flag_.store(true, std::memory_order_release);
+  }
+  bool cancel_requested() const noexcept {
+    return cancel_flag_.load(std::memory_order_relaxed);
+  }
+  const std::atomic<bool>* cancel_flag() const noexcept {
+    return &cancel_flag_;
   }
 
   const EcResult& wait() {
@@ -105,7 +123,16 @@ class Completion {
   std::condition_variable cv_;
   bool done_ = false;
   EcResult result_;
+  std::atomic<bool> cancel_flag_{false};
 };
+
+/// CancelToken viewing a Completion's embedded flag: the aliasing
+/// shared_ptr keeps the whole Completion alive for the token's lifetime.
+inline tensor::CancelToken token_for(
+    const std::shared_ptr<Completion>& completion) {
+  return tensor::CancelToken(std::shared_ptr<const std::atomic<bool>>(
+      completion, completion->cancel_flag()));
+}
 
 }  // namespace detail
 
@@ -129,6 +156,21 @@ class EcFuture {
     return state_->wait_for(timeout);
   }
 
+  /// Requests cooperative cancellation. Best-effort and non-blocking:
+  /// a queued request completes as Cancelled at batch formation; a
+  /// request already inside a kernel stops at the next tile-chunk poll.
+  /// A request that already completed (or wins the race) keeps its
+  /// original status — callers must still wait() for the result.
+  void cancel() {
+    if (state_) state_->request_cancel();
+  }
+
+  /// True once cancel() has been called (even if the request completed
+  /// first).
+  bool cancel_requested() const {
+    return state_ && state_->cancel_requested();
+  }
+
  private:
   std::shared_ptr<detail::Completion> state_;
 };
@@ -144,6 +186,10 @@ struct EcRequest {
   std::span<std::uint8_t> stripe;     ///< decode: n contiguous units
   std::vector<std::size_t> erased;    ///< decode: loss pattern (verbatim)
   Clock::time_point deadline = Clock::time_point::max();
+  /// Optional caller-supplied cancellation token (e.g. from a
+  /// CancelSource shared by a whole RPC). Invalid (default) means the
+  /// only cancel channel is EcFuture::cancel(). Both are honored.
+  tensor::CancelToken cancel;
 };
 
 /// A queued request: the request plus its completion handle and the

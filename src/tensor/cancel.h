@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+/// Cooperative cancellation for long-running kernel work.
+///
+/// The model is a single atomic flag shared between whoever may decide to
+/// stop the work (a CancelSource, or any owner of the underlying atomic)
+/// and the code doing it (which holds a CancelToken). Kernels poll the
+/// flag at work-chunk boundaries — one relaxed load per claimed chunk, a
+/// cost that disappears next to the chunk itself — and unwind with
+/// `Cancelled` when they observe it. Cancellation is therefore *prompt*
+/// (bounded by one chunk of work) but never preemptive: a participant
+/// finishes the chunk it already claimed, so partially-written outputs
+/// are the only side effect and no lock is ever abandoned.
+namespace tvmec::tensor {
+
+/// Thrown by cancellable entry points when they observe a set flag. A
+/// distinct type (not a generic runtime_error catch-all) so callers can
+/// tell "the work was stopped on purpose" from "the work failed".
+struct Cancelled : std::runtime_error {
+  Cancelled() : std::runtime_error("cancelled") {}
+};
+
+/// Read side of the flag. Default-constructed tokens are *invalid*: they
+/// never report cancellation and add no polling cost, which is what lets
+/// every kernel entry point take one as a defaulted parameter.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// Wraps an externally-owned flag. The shared_ptr keeps the flag alive
+  /// for the token's lifetime (an aliasing shared_ptr works: the serving
+  /// layer embeds the flag in its per-request completion record).
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  bool valid() const noexcept { return flag_ != nullptr; }
+  bool cancelled() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+  void throw_if_cancelled() const {
+    if (cancelled()) throw Cancelled{};
+  }
+  /// The raw flag for the thread pool's per-chunk poll (nullptr when
+  /// invalid — the pool skips the check entirely).
+  const std::atomic<bool>* raw() const noexcept { return flag_.get(); }
+
+ private:
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side: owns a flag and mints tokens for it. Copyable (copies
+/// share the flag); request_cancel is sticky and idempotent.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() noexcept {
+    flag_->store(true, std::memory_order_release);
+  }
+  bool cancel_requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace tvmec::tensor

@@ -185,19 +185,40 @@ AxisChunks make_axis_chunks(std::size_t extent, std::size_t tile,
 template <class S>
 void gemm_scheduled(MatView<const typename S::value_type> a,
                     MatView<const typename S::value_type> b,
-                    MatView<typename S::value_type> c, const Schedule& s) {
+                    MatView<typename S::value_type> c, const Schedule& s,
+                    const CancelToken& cancel) {
   validate_shapes<S>(a, b, c);
   if (!s.valid()) throw std::invalid_argument("gemm: invalid schedule");
   const std::size_t m = c.rows;
   const std::size_t n = c.cols;
   const std::size_t threads = static_cast<std::size_t>(s.num_threads);
+  const std::size_t tm = static_cast<std::size_t>(s.tile_m);
+  const std::size_t tn = static_cast<std::size_t>(s.tile_n);
+
   if (threads <= 1) {
-    run_block<S>(a, b, c, s, 0, m, 0, n);
+    if (!cancel.valid()) {
+      run_block<S>(a, b, c, s, 0, m, 0, n);
+      return;
+    }
+    // Cancellable serial path: carve N into tile-aligned chunks purely to
+    // bound how much work runs between cancellation polls (a whole-matrix
+    // run_block could be milliseconds — one batch-service time — per
+    // check otherwise). Chunks cover at least kMinCancelWords of N so the
+    // poll and the per-chunk re-entry amortize to well under a percent
+    // even for small serving-sized operands.
+    cancel.throw_if_cancelled();
+    constexpr std::size_t kMinCancelWords = 4096;
+    const std::size_t grain =
+        std::max<std::size_t>(s.par_grain, (kMinCancelWords + tn - 1) / tn);
+    const AxisChunks nc = make_axis_chunks(n, tn, grain, 1);
+    for (std::size_t i = 0; i < nc.chunks; ++i) {
+      cancel.throw_if_cancelled();
+      const auto [n0, n1] = nc.range(i);
+      run_block<S>(a, b, c, s, 0, m, n0, n1);
+    }
     return;
   }
 
-  const std::size_t tm = static_cast<std::size_t>(s.tile_m);
-  const std::size_t tn = static_cast<std::size_t>(s.tile_n);
   ThreadPool& pool = ThreadPool::shared();
 
   switch (s.par_axis) {
@@ -209,7 +230,7 @@ void gemm_scheduled(MatView<const typename S::value_type> a,
             const auto [m0, m1] = mc.range(i);
             run_block<S>(a, b, c, s, m0, m1, 0, n);
           },
-          threads);
+          threads, cancel.raw());
       break;
     }
     case ParAxis::N: {
@@ -222,7 +243,7 @@ void gemm_scheduled(MatView<const typename S::value_type> a,
             const auto [n0, n1] = nc.range(i);
             run_block<S>(a, b, c, s, 0, m, n0, n1);
           },
-          threads);
+          threads, cancel.raw());
       break;
     }
     case ParAxis::MN: {
@@ -242,7 +263,7 @@ void gemm_scheduled(MatView<const typename S::value_type> a,
             const auto [n0, n1] = nc.range(i % nc.chunks);
             run_block<S>(a, b, c, s, m0, m1, n0, n1);
           },
-          threads);
+          threads, cancel.raw());
       break;
     }
   }
@@ -267,17 +288,19 @@ void gemm_naive(MatView<const typename S::value_type> a,
 }  // namespace
 
 void gemm_xorand(MatView<const std::uint64_t> a, MatView<const std::uint64_t> b,
-                 MatView<std::uint64_t> c, const Schedule& schedule) {
-  gemm_scheduled<XorAnd64>(a, b, c, schedule);
+                 MatView<std::uint64_t> c, const Schedule& schedule,
+                 const CancelToken& cancel) {
+  gemm_scheduled<XorAnd64>(a, b, c, schedule, cancel);
 }
 
 void gemm_xorand_batched(MatView<const std::uint64_t> a,
                          std::span<const XorAndBatch> items,
-                         const Schedule& schedule) {
+                         const Schedule& schedule,
+                         const CancelToken& cancel) {
   if (items.empty()) return;
   if (items.size() == 1) {
     // Oversized / lone requests bypass coalescing: no staging copy.
-    gemm_xorand(a, items[0].b, items[0].c, schedule);
+    gemm_xorand(a, items[0].b, items[0].c, schedule, cancel);
     return;
   }
   const std::size_t k = a.cols;
@@ -293,8 +316,10 @@ void gemm_xorand_batched(MatView<const std::uint64_t> a,
   // pay the gather/scatter memory traffic for free. Run items
   // back-to-back instead (same results, no staging).
   if (schedule.num_threads <= 1) {
-    for (const XorAndBatch& item : items)
-      gemm_xorand(a, item.b, item.c, schedule);
+    for (const XorAndBatch& item : items) {
+      cancel.throw_if_cancelled();
+      gemm_xorand(a, item.b, item.c, schedule, cancel);
+    }
     return;
   }
 
@@ -327,7 +352,7 @@ void gemm_xorand_batched(MatView<const std::uint64_t> a,
   gemm_xorand(a, MatView<const std::uint64_t>{b_stage.data(), k, n_total,
                                               n_total},
               MatView<std::uint64_t>{c_stage.data(), m, n_total, n_total},
-              schedule);
+              schedule, cancel);
 
   offset = 0;
   for (const XorAndBatch& item : items) {
@@ -341,12 +366,12 @@ void gemm_xorand_batched(MatView<const std::uint64_t> a,
 void gemm_sumprod_i64(MatView<const std::int64_t> a,
                       MatView<const std::int64_t> b, MatView<std::int64_t> c,
                       const Schedule& schedule) {
-  gemm_scheduled<SumProd<std::int64_t>>(a, b, c, schedule);
+  gemm_scheduled<SumProd<std::int64_t>>(a, b, c, schedule, {});
 }
 
 void gemm_sumprod_f32(MatView<const float> a, MatView<const float> b,
                       MatView<float> c, const Schedule& schedule) {
-  gemm_scheduled<SumProd<float>>(a, b, c, schedule);
+  gemm_scheduled<SumProd<float>>(a, b, c, schedule, {});
 }
 
 void gemm_naive_sumprod_f32(MatView<const float> a, MatView<const float> b,

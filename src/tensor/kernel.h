@@ -4,6 +4,7 @@
 #include <span>
 
 #include "tensor/buffer.h"
+#include "tensor/cancel.h"
 #include "tensor/schedule.h"
 #include "tensor/semiring.h"
 
@@ -26,8 +27,16 @@ namespace tvmec::tensor {
 /// Shapes must satisfy: A is MxK, B is KxN, C is MxN (each view's
 /// rows/cols, with arbitrary strides). Throws std::invalid_argument on
 /// mismatch or an unsupported schedule.
+///
+/// `cancel`, when valid, is polled at tile-chunk granularity (between
+/// the chunks the schedule's partitioning hands to the pool; serial
+/// schedules are carved into N-axis chunks just for the poll, so even a
+/// one-thread run observes cancellation mid-matrix). An observed flag
+/// throws Cancelled; C is then partially written and must be treated as
+/// garbage by the caller.
 void gemm_xorand(MatView<const std::uint64_t> a, MatView<const std::uint64_t> b,
-                 MatView<std::uint64_t> c, const Schedule& schedule);
+                 MatView<std::uint64_t> c, const Schedule& schedule,
+                 const CancelToken& cancel = {});
 
 /// One request of a batched xorand GEMM: every item shares the A operand
 /// (the expanded bitmatrix) but brings its own B/C pair (its payload and
@@ -48,9 +57,12 @@ struct XorAndBatch {
 /// at large-N throughput instead of paying per-call tiny-N prices.
 /// A single item dispatches directly with no staging copy. Throws
 /// std::invalid_argument on any per-item shape mismatch.
+/// `cancel` follows the gemm_xorand contract; the serial item-by-item
+/// path additionally polls between items.
 void gemm_xorand_batched(MatView<const std::uint64_t> a,
                          std::span<const XorAndBatch> items,
-                         const Schedule& schedule);
+                         const Schedule& schedule,
+                         const CancelToken& cancel = {});
 
 void gemm_sumprod_i64(MatView<const std::int64_t> a,
                       MatView<const std::int64_t> b, MatView<std::int64_t> c,

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "tensor/cancel.h"
+
 namespace tvmec::tensor {
 
 namespace {
@@ -34,9 +36,14 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::run_chunks(RawFn fn, void* ctx, std::size_t count) noexcept {
+void ThreadPool::run_chunks(RawFn fn, void* ctx, std::size_t count,
+                            const std::atomic<bool>* cancel) noexcept {
   ++t_parallel_depth;
   for (;;) {
+    // Re-checked before every claim: a set flag stops further dispatch
+    // promptly (the chunk already in flight finishes — cancellation is
+    // cooperative, never preemptive).
+    if (cancel && cancel->load(std::memory_order_relaxed)) break;
     const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) break;
     try {
@@ -56,6 +63,7 @@ void ThreadPool::worker_loop() {
     void* ctx = nullptr;
     std::size_t count = 0;
     std::size_t limit = 0;
+    const std::atomic<bool>* cancel = nullptr;
     {
       std::unique_lock lock(mutex_);
       wake_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
@@ -65,13 +73,14 @@ void ThreadPool::worker_loop() {
       ctx = job_ctx_;
       count = job_count_;
       limit = job_limit_;
+      cancel = job_cancel_;
     }
     // Claim a participation slot; slots at or beyond the job's thread cap
     // sit this round out (the schedule asked for fewer threads than the
     // pool has).
     const std::size_t slot =
         participants_.fetch_add(1, std::memory_order_relaxed);
-    if (slot < limit) run_chunks(fn, ctx, count);
+    if (slot < limit) run_chunks(fn, ctx, count, cancel);
     // The caller cannot leave parallel_for — and therefore cannot
     // invalidate fn/ctx — until every helper has checked in for this
     // epoch, so signalling last keeps helpers off freed state.
@@ -83,14 +92,21 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t count, RawFn fn, void* ctx,
-                              std::size_t max_workers) {
+                              std::size_t max_workers,
+                              const std::atomic<bool>* cancel) {
   if (count == 0) return;
   const std::size_t width =
       max_workers == 0 ? size() : std::min(max_workers, size());
   if (count == 1 || width <= 1 || workers_.empty() || t_parallel_depth > 0) {
     // Serial pools, single items, and nested calls run inline on the
-    // calling thread; exceptions propagate directly.
-    for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
+    // calling thread; exceptions propagate directly. The cancel flag is
+    // still honored between iterations, so a nested cancelled loop
+    // unwinds just like a pooled one (the enclosing job captures the
+    // Cancelled as its error).
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel && cancel->load(std::memory_order_relaxed)) throw Cancelled{};
+      fn(ctx, i);
+    }
     return;
   }
 
@@ -101,6 +117,7 @@ void ThreadPool::parallel_for(std::size_t count, RawFn fn, void* ctx,
     job_ctx_ = ctx;
     job_count_ = count;
     job_limit_ = width;
+    job_cancel_ = cancel;
     next_index_.store(0, std::memory_order_relaxed);
     participants_.store(1, std::memory_order_relaxed);  // caller is slot 0
     outstanding_.store(workers_.size(), std::memory_order_relaxed);
@@ -108,7 +125,7 @@ void ThreadPool::parallel_for(std::size_t count, RawFn fn, void* ctx,
   }
   wake_cv_.notify_all();
 
-  run_chunks(fn, ctx, count);  // the caller works too
+  run_chunks(fn, ctx, count, cancel);  // the caller works too
 
   {
     std::unique_lock lock(mutex_);
@@ -117,12 +134,16 @@ void ThreadPool::parallel_for(std::size_t count, RawFn fn, void* ctx,
     });
     job_fn_ = nullptr;
     job_ctx_ = nullptr;
+    job_cancel_ = nullptr;
   }
   std::exception_ptr err;
   {
     std::lock_guard lock(error_mutex_);
     err = std::exchange(job_error_, nullptr);
   }
+  // Cancellation dominates: the caller abandoned the job, so whatever fn
+  // managed to throw before stopping describes work nobody wants.
+  if (cancel && cancel->load(std::memory_order_relaxed)) throw Cancelled{};
   if (err) std::rethrow_exception(err);
 }
 

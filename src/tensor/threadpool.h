@@ -25,6 +25,14 @@
 /// the inner range inline on the calling participant, so nesting can never
 /// deadlock the pool. Completion/error state lives in pool members, never
 /// on the caller's stack, so helpers touch nothing that can dangle.
+///
+/// Cancellation: parallel_for optionally takes a raw cancel flag. Every
+/// participant re-checks it before claiming each chunk (one relaxed load
+/// per claim — the claim itself is already an atomic RMW, so the check is
+/// in the noise) and stops claiming once it is set; chunks already
+/// claimed run to completion. The dispatching caller then throws
+/// Cancelled. Helpers never throw across the pool boundary, so a
+/// cancelled job can never wedge the pool.
 namespace tvmec::tensor {
 
 class ThreadPool {
@@ -51,20 +59,28 @@ class ThreadPool {
   /// indices; 0 means the full pool width. Exceptions thrown by fn
   /// propagate to the caller (the first one captured wins) after the
   /// whole range has been attempted.
+  ///
+  /// `cancel`, when non-null, is polled before every chunk claim: once it
+  /// reads true no further indices are dispatched and the call throws
+  /// Cancelled after all participants stop. Cancellation takes precedence
+  /// over an exception fn may have thrown (the work was abandoned; its
+  /// partial errors are moot). The flag must outlive the call.
   void parallel_for(std::size_t count, RawFn fn, void* ctx,
-                    std::size_t max_workers = 0);
+                    std::size_t max_workers = 0,
+                    const std::atomic<bool>* cancel = nullptr);
 
   /// Convenience adapter for callables: forwards to the raw overload
   /// without copying or heap-allocating `fn` (it outlives the call).
   template <typename F>
     requires std::is_invocable_v<F&, std::size_t>
-  void parallel_for(std::size_t count, F&& fn, std::size_t max_workers = 0) {
+  void parallel_for(std::size_t count, F&& fn, std::size_t max_workers = 0,
+                    const std::atomic<bool>* cancel = nullptr) {
     using Fn = std::remove_reference_t<F>;
     parallel_for(
         count,
         [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); },
         const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
-        max_workers);
+        max_workers, cancel);
   }
 
   /// Process-wide pool sized to the hardware; created on first use.
@@ -72,9 +88,10 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  /// Claims indices from next_index_ until the job range is drained,
-  /// capturing the first exception into job_error_.
-  void run_chunks(RawFn fn, void* ctx, std::size_t count) noexcept;
+  /// Claims indices from next_index_ until the job range is drained or
+  /// `cancel` reads true, capturing the first exception into job_error_.
+  void run_chunks(RawFn fn, void* ctx, std::size_t count,
+                  const std::atomic<bool>* cancel) noexcept;
 
   std::vector<std::thread> workers_;
 
@@ -89,6 +106,7 @@ class ThreadPool {
   void* job_ctx_ = nullptr;
   std::size_t job_count_ = 0;
   std::size_t job_limit_ = 0;  // max participants, caller included
+  const std::atomic<bool>* job_cancel_ = nullptr;
 
   std::atomic<std::size_t> next_index_{0};    // next unclaimed loop index
   std::atomic<std::size_t> participants_{0};  // claimed participation slots

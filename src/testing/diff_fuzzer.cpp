@@ -491,6 +491,230 @@ FuzzOutcome run_serve(const FuzzConfig& c) {
   return FuzzOutcome{true, {}, {}, 1};
 }
 
+/// Chaos variant of the serve differential: the same manual-pump service
+/// and sequential Codec oracle, plus the overload-protection machinery —
+/// random client cancels, pre-expired deadlines with admission shedding,
+/// and injected primary-backend faults with the circuit breaker enabled.
+/// The invariant stays byte-exact: faults and breaker trips may only move
+/// requests onto slower paths (singly-rescue, degraded naive backend),
+/// never change completed bytes; cancelled/expired/shed requests leave
+/// their buffers untouched; and the widened counter identities balance
+/// exactly against a mirror of the admission rules.
+FuzzOutcome run_serve_chaos(const FuzzConfig& c) {
+  const ec::CodeParams params{c.k, c.r, c.w};
+  const std::size_t unit = c.unit_size;
+  const std::size_t n = params.n();
+
+  std::mt19937_64 rng(c.seed ^ 0xC4A05C4A05ULL);
+  serve::ServiceConfig sc;
+  sc.num_workers = 0;  // manual pump: admission and faults deterministic
+  sc.batch.queue_capacity = 2 + rng() % 8;
+  sc.batch.max_batch_requests = 1 + rng() % 4;
+  sc.batch.deadline_shedding = rng() % 2 == 0;
+  sc.schedule = DiffFuzzer::schedule_menu().at(c.sched);
+  sc.breaker.failure_threshold = 1 + rng() % 2;
+  sc.breaker.success_threshold = 1 + rng() % 2;
+  // Either probe immediately (exercises recovery) or never this run
+  // (exercises the steady degraded path).
+  sc.breaker.cooldown = rng() % 2 == 0 ? std::chrono::nanoseconds{0}
+                                       : std::chrono::hours(1);
+  // Deterministic fault sequence: the pump is single-threaded, so the
+  // injector call order — hence the exact fault pattern — replays.
+  const auto fault_rng = std::make_shared<std::mt19937_64>(c.seed ^ 0xFA017);
+  std::size_t injected = 0;
+  sc.fault_injector = [fault_rng, &injected](serve::RequestKind,
+                                             const serve::CodecKey&,
+                                             std::size_t) {
+    const bool fire = (*fault_rng)() % 3 == 0;
+    if (fire) ++injected;
+    return fire;
+  };
+  serve::EcService service(sc);
+  const serve::CodecKey key{c.k, c.r, c.w, c.family};
+
+  core::Codec oracle(params, c.family);  // default schedule, sequential
+
+  struct ChaosReq {
+    bool decode = false;
+    bool expired = false;        // submitted with an already-passed deadline
+    bool cancelled = false;      // client cancel while queued
+    bool expect_failed = false;  // unrecoverable decode pattern
+    bool accepted = false;
+    bool shed = false;
+    Bytes in{0}, out{0}, stripe{0};
+    Bytes want{0};  // oracle result (valid unless expect_failed)
+    Bytes pre{0};   // decode pre-state: what dead requests leave behind
+    serve::EcFuture future;
+  };
+  const bool can_decode = !c.losses.empty() && c.r > 0;
+  const std::size_t num_requests = 4 + rng() % 10;
+  std::vector<ChaosReq> reqs(num_requests);
+  std::size_t expected_accepted = 0, expected_shed = 0, expected_overload = 0;
+
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    ChaosReq& r = reqs[i];
+    r.decode = can_decode && rng() % 2 == 0;
+    r.expired = rng() % 4 == 0;
+    const auto timeout =
+        r.expired ? std::chrono::nanoseconds{-1} : std::chrono::nanoseconds{0};
+    const Bytes data = seeded_bytes(c.k * unit, c.seed + 131 * i);
+
+    if (r.decode) {
+      r.stripe = Bytes(n * unit);
+      std::memcpy(r.stripe.data(), data.data(), c.k * unit);
+      oracle.encode(data.span(), r.stripe.span().subspan(c.k * unit), unit);
+      for (const std::size_t id : distinct(c.losses))
+        std::memset(r.stripe.data() + id * unit, 0xEE, unit);
+      r.pre = r.stripe;  // dead decodes must leave the holes untouched
+      r.want = r.stripe;
+      try {
+        oracle.decode(r.want.span(), c.losses, unit);
+      } catch (const std::runtime_error&) {
+        r.expect_failed = true;  // > r distinct erasures
+      }
+      r.future = service.submit_decode(key, r.stripe.span(), c.losses, unit,
+                                       timeout);
+    } else {
+      r.in = data;
+      r.out = Bytes(c.r * unit);  // zero-initialized
+      r.want = Bytes(c.r * unit);
+      oracle.encode(r.in.span(), r.want.span(), unit);
+      r.future = service.submit_encode(key, r.in.span(), r.out.span(), unit,
+                                       timeout);
+    }
+
+    // Mirror of the admission rules, in push order: shedding first (a
+    // doomed request is shed even when the queue is full), then global
+    // capacity. The pump consumes nothing while we submit, so the mirror
+    // is exact.
+    if (sc.batch.deadline_shedding && r.expired) {
+      r.shed = true;
+      ++expected_shed;
+      if (!r.future.ready() ||
+          r.future.wait().status != serve::RequestStatus::Shed)
+        return fail(c, "serve-chaos: doomed request " + std::to_string(i) +
+                           " was not shed at admission");
+    } else if (expected_accepted < sc.batch.queue_capacity) {
+      r.accepted = true;
+      ++expected_accepted;
+      if (r.future.ready())
+        return fail(c, "serve-chaos: request " + std::to_string(i) +
+                           " completed before any pump ran");
+    } else {
+      ++expected_overload;
+      if (!r.future.ready() ||
+          r.future.wait().status != serve::RequestStatus::Overloaded)
+        return fail(c, "serve-chaos: over-capacity request " +
+                           std::to_string(i) + " was not rejected overloaded");
+    }
+  }
+
+  // Client cancels land while everything is still queued; cancellation
+  // must win over deadline expiry at formation time.
+  for (ChaosReq& r : reqs)
+    if (r.accepted && rng() % 4 == 0) {
+      r.cancelled = true;
+      r.future.cancel();
+    }
+
+  service.run_pending();
+
+  std::size_t want_ok = 0, want_expired = 0, want_cancelled = 0,
+              want_failed = 0;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    ChaosReq& r = reqs[i];
+    if (!r.accepted) continue;
+    if (!r.future.ready())
+      return fail(c, "serve-chaos: accepted request " + std::to_string(i) +
+                         " not completed by run_pending");
+    const serve::RequestStatus want_status =
+        r.cancelled        ? serve::RequestStatus::Cancelled
+        : r.expired        ? serve::RequestStatus::Expired
+        : r.expect_failed  ? serve::RequestStatus::Failed
+                           : serve::RequestStatus::Ok;
+    switch (want_status) {
+      case serve::RequestStatus::Ok: ++want_ok; break;
+      case serve::RequestStatus::Expired: ++want_expired; break;
+      case serve::RequestStatus::Cancelled: ++want_cancelled; break;
+      case serve::RequestStatus::Failed: ++want_failed; break;
+      default: break;
+    }
+    const serve::EcResult& result = r.future.wait();
+    if (result.status != want_status)
+      return fail(c, "serve-chaos: request " + std::to_string(i) +
+                         " got status " + serve::to_string(result.status) +
+                         ", want " + serve::to_string(want_status));
+    if (want_status == serve::RequestStatus::Failed)
+      continue;  // no byte contract after a failure
+    // Ok requests must match the oracle; dead ones must be untouched —
+    // encode outputs stay zero, decode stripes keep their holes.
+    const bool ok = want_status == serve::RequestStatus::Ok;
+    const auto got = r.decode ? r.stripe.span() : r.out.span();
+    if (!ok && !r.decode) {
+      for (const std::uint8_t b : got)
+        if (b != 0)
+          return fail(c, "serve-chaos: dead encode request " +
+                             std::to_string(i) + " wrote to its output");
+    } else if (auto d = first_divergence(
+                   got, ok ? r.want.span() : r.pre.span(), unit,
+                   "serve-chaos request " + std::to_string(i) +
+                       (r.decode ? " (decode)" : " (encode)") +
+                       (r.cancelled  ? " cancelled-untouched"
+                        : r.expired  ? " expired-untouched"
+                                     : "")))
+      return fail(c, *d);
+  }
+
+  // Widened counter identities, balanced exactly against the mirror.
+  const serve::ServeStatsSnapshot s = service.stats();
+  const auto check = [&](bool ok, const std::string& what)
+      -> std::optional<FuzzOutcome> {
+    if (ok) return std::nullopt;
+    return fail(c, "serve-chaos stats: " + what);
+  };
+  if (auto f = check(s.submitted == num_requests, "submitted != requests"))
+    return *f;
+  if (auto f = check(s.accepted == expected_accepted, "accepted mismatch"))
+    return *f;
+  if (auto f = check(s.rejected_shed == expected_shed, "shed mismatch"))
+    return *f;
+  if (auto f = check(s.rejected_overload == expected_overload,
+                     "overload mismatch"))
+    return *f;
+  if (auto f = check(s.completed_ok == want_ok, "completed_ok mismatch"))
+    return *f;
+  if (auto f = check(s.expired == want_expired, "expired mismatch")) return *f;
+  if (auto f = check(s.cancelled == want_cancelled, "cancelled mismatch"))
+    return *f;
+  if (auto f = check(s.failed == want_failed, "failed mismatch")) return *f;
+  if (auto f = check(s.submitted == s.accepted + s.rejected_overload +
+                                        s.rejected_shed + s.rejected_shutdown,
+                     "submitted != accepted + rejected"))
+    return *f;
+  if (auto f = check(s.accepted == s.completed_ok + s.expired + s.failed +
+                                       s.cancelled + s.shutdown_drained,
+                     "accepted != terminal outcomes (drained)"))
+    return *f;
+  // Breaker accounting sanity: every trip was caused by an injected
+  // fault, and degraded batches only exist after a trip.
+  if (auto f = check(s.breaker_trips <= injected, "trips > injected faults"))
+    return *f;
+  if (auto f = check(s.breaker_trips > 0 || s.degraded_batches == 0,
+                     "degraded batches without a breaker trip"))
+    return *f;
+
+  service.shutdown();
+  Bytes late_in(c.k * unit), late_out(c.r * unit);
+  serve::EcFuture late =
+      service.submit_encode(key, late_in.span(), late_out.span(), unit);
+  if (!late.ready() ||
+      late.wait().status != serve::RequestStatus::Shutdown)
+    return fail(c,
+                "serve-chaos: post-shutdown submit did not complete as "
+                "shutdown");
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
 }  // namespace
 
 const std::vector<tensor::Schedule>& DiffFuzzer::schedule_menu() {
@@ -528,6 +752,8 @@ FuzzOutcome DiffFuzzer::run_one(const FuzzConfig& config) {
         return run_storage(config, /*faulted=*/true);
       case Scenario::Serve:
         return run_serve(config);
+      case Scenario::ServeChaos:
+        return run_serve_chaos(config);
     }
     return fail(config, "unknown scenario");
   } catch (const std::exception& e) {

@@ -17,7 +17,8 @@ constexpr std::string_view kMagic = "fuzz:v1";
 const Scenario kScenarios[] = {
     Scenario::RsEncode,         Scenario::RsDecode,
     Scenario::LrcRoundTrip,     Scenario::StorageRoundTrip,
-    Scenario::StorageFaulted,   Scenario::Serve};
+    Scenario::StorageFaulted,   Scenario::Serve,
+    Scenario::ServeChaos};
 
 const ec::RsFamily kFamilies[] = {
     ec::RsFamily::VandermondeSystematic, ec::RsFamily::Cauchy,
@@ -76,6 +77,8 @@ const char* to_string(Scenario s) noexcept {
       return "store-fault";
     case Scenario::Serve:
       return "serve";
+    case Scenario::ServeChaos:
+      return "serve-chaos";
   }
   return "?";
 }
@@ -212,10 +215,13 @@ FuzzConfig random_config(std::mt19937_64& rng) {
   // an encode-only request mix).
   if (c.scenario == Scenario::RsDecode ||
       c.scenario == Scenario::LrcRoundTrip ||
-      c.scenario == Scenario::Serve) {
+      c.scenario == Scenario::Serve || c.scenario == Scenario::ServeChaos) {
     const std::size_t budget =
         c.scenario == Scenario::LrcRoundTrip ? c.l + c.r + 1 : c.r;
-    const std::size_t lo = c.scenario == Scenario::Serve ? 0 : 1;
+    const std::size_t lo = c.scenario == Scenario::Serve ||
+                                   c.scenario == Scenario::ServeChaos
+                               ? 0
+                               : 1;
     const std::size_t e = std::min(pick(lo, std::max<std::size_t>(budget, lo)),
                                    c.n());
     std::vector<std::size_t> ids(c.n());

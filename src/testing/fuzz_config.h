@@ -24,6 +24,12 @@ enum class Scenario {
   Serve,           ///< random request mix through EcService (manual pump)
                    ///< vs a sequential per-request Codec oracle, including
                    ///< queue-capacity admission accounting
+  ServeChaos,      ///< Serve plus chaos: random cancels, pre-expired
+                   ///< deadlines, shedding, and injected backend faults
+                   ///< with the circuit breaker enabled — completed bytes
+                   ///< must still match the oracle (faults may only cost
+                   ///< latency), and the widened counter identities must
+                   ///< balance exactly
 };
 
 const char* to_string(Scenario s) noexcept;

@@ -118,6 +118,16 @@ TEST(DiffFuzz, EdgeCaseReprosPass) {
       "fuzz:v1 s=serve k=1 r=0 w=8 u=8 seed=13",
       "fuzz:v1 s=serve k=6 r=3 w=16 u=48 seed=14 loss=0 sched=3",
       "fuzz:v1 s=serve k=10 r=4 w=8 u=24 seed=15 loss=2,11 sched=1",
+      // Chaos serving: cancels, pre-expired deadlines with shedding,
+      // injected primary-backend faults with the breaker enabled —
+      // completed bytes must still match the oracle and the widened
+      // counter identities must balance. Seeds picked to land each
+      // breaker configuration (instant-probe and never-probe cooldowns).
+      "fuzz:v1 s=serve-chaos k=4 r=2 w=8 u=64 seed=16 loss=1,4",
+      "fuzz:v1 s=serve-chaos k=1 r=1 w=8 u=8 seed=17 loss=0,0",
+      "fuzz:v1 s=serve-chaos k=6 r=3 w=16 u=48 seed=18 loss=5,2 sched=3",
+      "fuzz:v1 s=serve-chaos k=10 r=4 w=8 u=24 seed=19 loss=2,11,7 sched=1",
+      "fuzz:v1 s=serve-chaos k=5 r=3 w=4 u=64 seed=20 loss=1,1,3 sched=4",
   };
   for (const char* text : repros) {
     const FuzzOutcome outcome = DiffFuzzer::run_one(parse_repro(text));

@@ -186,6 +186,175 @@ TEST(BatchFormer, LingerWaitsForBatchToFill) {
   EXPECT_EQ(batch.size(), 2u);
 }
 
+TEST(BatchFormer, LaneCapacityCapsOneClassOnly) {
+  BatchPolicy policy;
+  policy.queue_capacity = 100;
+  policy.lane_capacity = 2;
+  BatchFormer former(policy);
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  // The hot lane is full; the global queue is nowhere near capacity.
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::QueueFull);
+  // Other classes still find room — the fairness property.
+  EXPECT_EQ(former.push(make_request(RequestKind::Decode, 4, 64)),
+            PushResult::Accepted);
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 6, 64)),
+            PushResult::Accepted);
+  // Draining the hot lane reopens it.
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+}
+
+TEST(BatchFormer, LaneCapRejectionLeavesNoEmptyLane) {
+  // A rejected push against a *drained* lane must not recreate it: the
+  // lane map only holds lanes with queued work (oldest_lane_locked
+  // assumes non-empty lanes exist whenever total_ > 0).
+  BatchPolicy policy;
+  policy.lane_capacity = 1;
+  BatchFormer former(policy);
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::QueueFull);
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_FALSE(former.try_next_batch(batch));
+  EXPECT_EQ(former.pending(), 0u);
+}
+
+TEST(BatchFormer, ShedsRequestWithUnmeetableDeadline) {
+  BatchPolicy policy;
+  policy.deadline_shedding = true;
+  BatchFormer former(policy);
+  // A deadline already in the past is unmeetable under any EWMA.
+  PendingRequest doomed = make_request(RequestKind::Encode, 4, 64);
+  doomed.req.deadline = Clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(former.push(std::move(doomed)), PushResult::Shed);
+  // A comfortable deadline passes (EWMA starts at zero).
+  PendingRequest fine = make_request(RequestKind::Encode, 4, 64);
+  fine.req.deadline = Clock::now() + std::chrono::hours(1);
+  EXPECT_EQ(former.push(std::move(fine)), PushResult::Accepted);
+  // No deadline at all is never shed.
+  EXPECT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  EXPECT_EQ(former.pending(), 2u);
+}
+
+TEST(BatchFormer, SheddingDisabledNeverSheds) {
+  BatchFormer former(BatchPolicy{});
+  PendingRequest late = make_request(RequestKind::Encode, 4, 64);
+  late.req.deadline = Clock::now() - std::chrono::milliseconds(1);
+  // Queued normally; deadline enforcement happens at batch formation.
+  EXPECT_EQ(former.push(std::move(late)), PushResult::Accepted);
+}
+
+TEST(BatchFormer, QueueWaitEwmaTracksObservedWaits) {
+  BatchFormer former(BatchPolicy{});
+  EXPECT_EQ(former.queue_wait_ewma().count(), 0);
+  // Backdate the submission to fake a long queue wait; the EWMA must
+  // move toward it (one step of alpha=1/8 from zero = wait/8).
+  PendingRequest p = make_request(RequestKind::Encode, 4, 64);
+  p.submitted = Clock::now() - std::chrono::milliseconds(80);
+  ASSERT_EQ(former.push(std::move(p)), PushResult::Accepted);
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  const auto ewma = former.queue_wait_ewma();
+  EXPECT_GE(ewma, std::chrono::milliseconds(80) / 8);
+  EXPECT_LT(ewma, std::chrono::milliseconds(80));
+}
+
+TEST(BatchFormer, EwmaFeedsBackIntoShedding) {
+  BatchPolicy policy;
+  policy.deadline_shedding = true;
+  BatchFormer former(policy);
+  // Drive the EWMA up with backdated requests (~1s observed waits).
+  for (int i = 0; i < 20; ++i) {
+    PendingRequest p = make_request(RequestKind::Encode, 4, 64);
+    p.submitted = Clock::now() - std::chrono::seconds(1);
+    ASSERT_EQ(former.push(std::move(p)), PushResult::Accepted);
+    std::vector<PendingRequest> batch;
+    ASSERT_TRUE(former.try_next_batch(batch));
+  }
+  const auto ewma = former.queue_wait_ewma();
+  ASSERT_GT(ewma, std::chrono::milliseconds(500));
+  // Keep the queue non-empty so the empty-queue liveness probe does not
+  // apply: this test pins the backlogged-shedding behavior.
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  // A deadline tighter than the predicted wait is shed on arrival...
+  PendingRequest tight = make_request(RequestKind::Encode, 4, 64);
+  tight.req.deadline = Clock::now() + ewma / 2;
+  EXPECT_EQ(former.push(std::move(tight)), PushResult::Shed);
+  // ...while one with plenty of slack is admitted.
+  PendingRequest slack = make_request(RequestKind::Encode, 4, 64);
+  slack.req.deadline = Clock::now() + ewma * 4;
+  EXPECT_EQ(former.push(std::move(slack)), PushResult::Accepted);
+}
+
+TEST(BatchFormer, EmptyQueueProbeBreaksShedStarvation) {
+  BatchPolicy policy;
+  policy.deadline_shedding = true;
+  BatchFormer former(policy);
+  // Leave a large stale wait estimate behind an empty queue.
+  for (int i = 0; i < 20; ++i) {
+    PendingRequest p = make_request(RequestKind::Encode, 4, 64);
+    p.submitted = Clock::now() - std::chrono::seconds(1);
+    ASSERT_EQ(former.push(std::move(p)), PushResult::Accepted);
+    std::vector<PendingRequest> batch;
+    ASSERT_TRUE(former.try_next_batch(batch));
+  }
+  const auto stale = former.queue_wait_ewma();
+  ASSERT_GT(stale, std::chrono::milliseconds(500));
+  // A not-yet-expired request predicted to miss is admitted anyway as a
+  // liveness probe when the queue is empty: without it, a stale
+  // estimate would shed every future request and never refresh.
+  PendingRequest probe = make_request(RequestKind::Encode, 4, 64);
+  probe.req.deadline = Clock::now() + stale / 2;
+  EXPECT_EQ(former.push(std::move(probe)), PushResult::Accepted);
+  // With the probe queued, the next doomed request sheds as usual.
+  PendingRequest doomed = make_request(RequestKind::Encode, 4, 64);
+  doomed.req.deadline = Clock::now() + stale / 2;
+  EXPECT_EQ(former.push(std::move(doomed)), PushResult::Shed);
+  // Popping the probe observes a near-zero wait and walks the estimate
+  // back toward reality.
+  std::vector<PendingRequest> batch;
+  ASSERT_TRUE(former.try_next_batch(batch));
+  EXPECT_LT(former.queue_wait_ewma(), stale);
+  // An already-expired request never rides the probe path.
+  PendingRequest dead = make_request(RequestKind::Encode, 4, 64);
+  dead.req.deadline = Clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(former.push(std::move(dead)), PushResult::Shed);
+}
+
+TEST(BatchFormer, ServiceTimeEwmaFeedsShedding) {
+  BatchPolicy policy;
+  policy.deadline_shedding = true;
+  BatchFormer former(policy);
+  EXPECT_EQ(former.service_time_ewma().count(), 0);
+  // Converge the service estimate to ~1s with no queue wait at all: the
+  // shedder must reject a request whose deadline leaves room to *start*
+  // but not to *finish*.
+  for (int i = 0; i < 64; ++i)
+    former.note_service_time(std::chrono::seconds(1));
+  const auto svc = former.service_time_ewma();
+  ASSERT_GT(svc, std::chrono::milliseconds(900));
+  ASSERT_EQ(former.queue_wait_ewma().count(), 0);
+  // Non-empty queue so the empty-queue liveness probe does not apply.
+  ASSERT_EQ(former.push(make_request(RequestKind::Encode, 4, 64)),
+            PushResult::Accepted);
+  PendingRequest doomed = make_request(RequestKind::Encode, 4, 64);
+  doomed.req.deadline = Clock::now() + svc / 2;
+  EXPECT_EQ(former.push(std::move(doomed)), PushResult::Shed);
+  PendingRequest fine = make_request(RequestKind::Encode, 4, 64);
+  fine.req.deadline = Clock::now() + svc * 4;
+  EXPECT_EQ(former.push(std::move(fine)), PushResult::Accepted);
+}
+
 TEST(BatchFormer, ConcurrentProducersAndConsumersLoseNothing) {
   BatchFormer former(BatchPolicy{.queue_capacity = 1 << 20,
                                  .max_batch_requests = 4});

@@ -1,0 +1,136 @@
+// serve/circuit_breaker.h — the three-state breaker's transition table,
+// driven with explicit timestamps so every path is deterministic.
+
+#include "serve/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace tvmec::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+Clock::time_point at(int ms) { return Clock::time_point{} + milliseconds(ms); }
+
+BreakerPolicy policy(std::size_t failures = 3, std::size_t successes = 2,
+                     milliseconds cooldown = milliseconds(100)) {
+  BreakerPolicy p;
+  p.failure_threshold = failures;
+  p.success_threshold = successes;
+  p.cooldown = cooldown;
+  return p;
+}
+
+TEST(CircuitBreaker, StartsClosedAndAllowsPrimary) {
+  CircuitBreaker b(policy());
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.allow_primary(at(0)), BreakerDecision::Primary);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  CircuitBreaker b(policy(3));
+  for (int i = 0; i < 2; ++i) {
+    b.record(BreakerDecision::Primary, false, at(i));
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+  }
+  b.record(BreakerDecision::Primary, false, at(2));
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.counters().trips, 1u);
+  EXPECT_EQ(b.allow_primary(at(3)), BreakerDecision::Degrade);
+}
+
+TEST(CircuitBreaker, SuccessResetsFailureStreak) {
+  CircuitBreaker b(policy(3));
+  b.record(BreakerDecision::Primary, false, at(0));
+  b.record(BreakerDecision::Primary, false, at(1));
+  b.record(BreakerDecision::Primary, true, at(2));  // streak broken
+  b.record(BreakerDecision::Primary, false, at(3));
+  b.record(BreakerDecision::Primary, false, at(4));
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, CooldownGatesHalfOpenProbe) {
+  CircuitBreaker b(policy(1, 1, milliseconds(100)));
+  b.record(BreakerDecision::Primary, false, at(0));
+  ASSERT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.allow_primary(at(50)), BreakerDecision::Degrade);
+  EXPECT_EQ(b.allow_primary(at(150)), BreakerDecision::Probe);
+  EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+  EXPECT_EQ(b.counters().probes, 1u);
+}
+
+TEST(CircuitBreaker, SingleProbeInFlight) {
+  CircuitBreaker b(policy(1, 1, milliseconds(0)));
+  b.record(BreakerDecision::Primary, false, at(0));
+  EXPECT_EQ(b.allow_primary(at(1)), BreakerDecision::Probe);
+  // A second batch while the probe is out must degrade, not double-probe.
+  EXPECT_EQ(b.allow_primary(at(1)), BreakerDecision::Degrade);
+  EXPECT_EQ(b.counters().probes, 1u);
+}
+
+TEST(CircuitBreaker, ProbeSuccessesClose) {
+  CircuitBreaker b(policy(1, 2, milliseconds(0)));
+  b.record(BreakerDecision::Primary, false, at(0));
+  ASSERT_EQ(b.allow_primary(at(1)), BreakerDecision::Probe);
+  b.record(BreakerDecision::Probe, true, at(2));
+  EXPECT_EQ(b.state(), BreakerState::HalfOpen);  // needs 2 successes
+  ASSERT_EQ(b.allow_primary(at(3)), BreakerDecision::Probe);
+  b.record(BreakerDecision::Probe, true, at(4));
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.counters().recoveries, 1u);
+  EXPECT_EQ(b.allow_primary(at(5)), BreakerDecision::Primary);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopens) {
+  CircuitBreaker b(policy(1, 1, milliseconds(100)));
+  b.record(BreakerDecision::Primary, false, at(0));
+  ASSERT_EQ(b.allow_primary(at(150)), BreakerDecision::Probe);
+  b.record(BreakerDecision::Probe, false, at(160));
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.counters().trips, 2u);
+  // The cooldown restarts from the probe failure.
+  EXPECT_EQ(b.allow_primary(at(200)), BreakerDecision::Degrade);
+  EXPECT_EQ(b.allow_primary(at(300)), BreakerDecision::Probe);
+}
+
+TEST(CircuitBreaker, AbandonedProbeFreesTheSlot) {
+  CircuitBreaker b(policy(1, 1, milliseconds(0)));
+  b.record(BreakerDecision::Primary, false, at(0));
+  ASSERT_EQ(b.allow_primary(at(1)), BreakerDecision::Probe);
+  // The probe batch got cancelled: no verdict, but the slot must free or
+  // the breaker degrades forever.
+  b.abandon(BreakerDecision::Probe);
+  EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+  EXPECT_EQ(b.allow_primary(at(2)), BreakerDecision::Probe);
+}
+
+TEST(CircuitBreaker, LatePrimaryVerdictAfterTripIsIgnored) {
+  CircuitBreaker b(policy(1, 1, milliseconds(1000)));
+  b.record(BreakerDecision::Primary, false, at(0));
+  ASSERT_EQ(b.state(), BreakerState::Open);
+  // A primary batch dispatched before the trip reports late: must not
+  // reset or re-trip anything.
+  b.record(BreakerDecision::Primary, true, at(1));
+  b.record(BreakerDecision::Primary, false, at(2));
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.counters().trips, 1u);
+}
+
+TEST(CircuitBreaker, DisabledBreakerNeverTrips) {
+  BreakerPolicy p = policy(1, 1);
+  p.enabled = false;
+  CircuitBreaker b(p);
+  for (int i = 0; i < 10; ++i) b.record(BreakerDecision::Primary, false, at(i));
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.allow_primary(at(11)), BreakerDecision::Primary);
+  EXPECT_EQ(b.counters().trips, 0u);
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_STREQ(to_string(BreakerState::Closed), "closed");
+  EXPECT_STREQ(to_string(BreakerState::Open), "open");
+  EXPECT_STREQ(to_string(BreakerState::HalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace tvmec::serve

@@ -7,12 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "../test_util.h"
 #include "core/tvmec.h"
+#include "tensor/cancel.h"
 #include "tensor/threadpool.h"
 
 namespace tvmec::serve {
@@ -268,7 +271,12 @@ TEST(EcService, ShutdownWithoutDrainCompletesQueuedAsShutdown) {
     EXPECT_EQ(f.wait().status, RequestStatus::Shutdown);
   }
   const ServeStatsSnapshot s = service.stats();
-  EXPECT_EQ(s.rejected_shutdown, 8u);
+  // These requests were *accepted* and then abandoned: they must land in
+  // the drained bucket, not rejected_shutdown, or the identity
+  // accepted == ok + expired + failed + cancelled + drained breaks.
+  EXPECT_EQ(s.shutdown_drained, 8u);
+  EXPECT_EQ(s.rejected_shutdown, 0u);
+  EXPECT_EQ(s.accepted, 8u);
   EXPECT_EQ(s.completed_ok, 0u);
 }
 
@@ -318,9 +326,10 @@ TEST(EcService, ConcurrentSubmitAndShutdownLeavesNoFutureHanging) {
   EXPECT_EQ(terminal, 300u);
   const ServeStatsSnapshot s = service.stats();
   EXPECT_EQ(s.submitted, 300u);
-  EXPECT_EQ(s.submitted,
-            s.accepted + s.rejected_overload + s.rejected_shutdown);
-  EXPECT_EQ(s.accepted, s.completed_ok + s.expired + s.failed);
+  EXPECT_EQ(s.submitted, s.accepted + s.rejected_overload + s.rejected_shed +
+                             s.rejected_shutdown);
+  EXPECT_EQ(s.accepted, s.completed_ok + s.expired + s.failed + s.cancelled +
+                            s.shutdown_drained);
 }
 
 // Satellite 2 regression: the pool-sharing thread cap. Concurrent
@@ -370,6 +379,252 @@ TEST(EcService, GemmThreadCapIsObservedPerBatch) {
   EXPECT_EQ(s.batches, 1u);
 }
 
+TEST(EcService, CancelledQueuedRequestNeverExecutes) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;  // manual pump: cancellation lands before formation
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 20);
+  Bytes parity(kKey.r * kUnit);
+  std::memset(parity.data(), 0xCD, parity.size());
+  EcFuture f = service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+  f.cancel();
+  EXPECT_TRUE(f.cancel_requested());
+  service.run_pending();
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.wait().status, RequestStatus::Cancelled);
+  // The kernel never touched the output.
+  for (std::size_t i = 0; i < parity.size(); ++i)
+    ASSERT_EQ(parity[i], 0xCD);
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.completed_ok, 0u);
+  EXPECT_EQ(s.empty_flushes, 1u);  // the whole batch was dead
+}
+
+TEST(EcService, CallerSuppliedCancelTokenHonored) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 21);
+  Bytes parity(kKey.r * kUnit);
+  tensor::CancelSource source;
+  EcRequest req;
+  req.kind = RequestKind::Encode;
+  req.key = kKey;
+  req.unit_size = kUnit;
+  req.in = data.span();
+  req.out = parity.span();
+  req.cancel = source.token();
+  EcFuture f = service.submit_request(std::move(req));
+  source.request_cancel();
+  service.run_pending();
+  EXPECT_EQ(f.wait().status, RequestStatus::Cancelled);
+}
+
+TEST(EcService, CancelAfterCompletionKeepsOriginalStatus) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 22);
+  Bytes parity(kKey.r * kUnit);
+  EcFuture f = service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+  service.run_pending();
+  ASSERT_EQ(f.wait().status, RequestStatus::Ok);
+  f.cancel();  // too late: must not rewrite history
+  EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+  EXPECT_EQ(service.stats().cancelled, 0u);
+}
+
+TEST(EcService, DeadlineSheddingRejectsDoomedRequests) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  cfg.batch.deadline_shedding = true;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 23);
+  Bytes parity(kKey.r * kUnit);
+  // Negative timeout = deadline already passed: with shedding on this is
+  // rejected at admission (Shed), not queued to expire later.
+  EcFuture doomed = service.submit_encode(kKey, data.span(), parity.span(),
+                                          kUnit, std::chrono::seconds(-1));
+  ASSERT_TRUE(doomed.ready());
+  EXPECT_EQ(doomed.wait().status, RequestStatus::Shed);
+  // A comfortable deadline sails through.
+  Bytes parity2(kKey.r * kUnit);
+  EcFuture fine = service.submit_encode(kKey, data.span(), parity2.span(),
+                                        kUnit, std::chrono::hours(1));
+  service.run_pending();
+  EXPECT_EQ(fine.wait().status, RequestStatus::Ok);
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.rejected_shed, 1u);
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.submitted, s.accepted + s.rejected_overload + s.rejected_shed +
+                             s.rejected_shutdown);
+}
+
+TEST(EcService, BreakerTripsToDegradedPathWithCorrectBytes) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.cooldown = std::chrono::hours(1);  // no recovery this test
+  std::atomic<bool> inject{true};
+  cfg.fault_injector = [&](RequestKind, const CodecKey&, std::size_t) {
+    return inject.load();
+  };
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 24);
+  const Bytes want = oracle_parity(kKey, data.span(), kUnit);
+
+  const auto one = [&](Bytes& parity) {
+    EcFuture f =
+        service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+    service.run_pending();
+    return f.wait().status;
+  };
+
+  // Two failing primary batches trip the breaker. The requests still
+  // complete Ok — the singly-rescue path repairs them — so callers see
+  // latency, never errors, while the breaker counts the batch failures.
+  Bytes p1(kKey.r * kUnit), p2(kKey.r * kUnit), p3(kKey.r * kUnit);
+  EXPECT_EQ(one(p1), RequestStatus::Ok);
+  EXPECT_EQ(one(p2), RequestStatus::Ok);
+  ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.breaker_trips, 1u);
+  EXPECT_EQ(s.degraded_batches, 0u);
+
+  // Tripped: the next batch runs on the naive reference backend —
+  // byte-identical parity, injector never consulted.
+  EXPECT_EQ(one(p3), RequestStatus::Ok);
+  s = service.stats();
+  EXPECT_EQ(s.degraded_batches, 1u);
+  EXPECT_EQ(std::memcmp(p3.data(), want.data(), want.size()), 0);
+
+  // Observable in health() as a degraded (not unhealthy) service.
+  const HealthSnapshot h = service.health();
+  EXPECT_EQ(h.state, HealthState::Degraded);
+  ASSERT_FALSE(h.reasons.empty());
+  EXPECT_NE(h.reasons.front().find("breaker"), std::string::npos);
+}
+
+TEST(EcService, BreakerRecoversThroughProbes) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  cfg.breaker.failure_threshold = 1;
+  cfg.breaker.success_threshold = 2;
+  cfg.breaker.cooldown = std::chrono::nanoseconds(0);  // probe immediately
+  std::atomic<bool> inject{true};
+  cfg.fault_injector = [&](RequestKind, const CodecKey&, std::size_t) {
+    return inject.load();
+  };
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 25);
+  const auto one = [&] {
+    Bytes parity(kKey.r * kUnit);
+    EcFuture f =
+        service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+    service.run_pending();
+    return f.wait().status;
+  };
+
+  EXPECT_EQ(one(), RequestStatus::Ok);  // primary fails (rescued), trips
+  ASSERT_EQ(service.stats().breaker_trips, 1u);
+
+  // Backend "recovers": probes now succeed. Two probe successes close.
+  inject.store(false);
+  EXPECT_EQ(one(), RequestStatus::Ok);  // probe 1
+  EXPECT_EQ(one(), RequestStatus::Ok);  // probe 2 -> Closed
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.breaker_recoveries, 1u);
+  EXPECT_GE(s.breaker_probes, 2u);
+  EXPECT_EQ(service.health().state, HealthState::Ok);
+  // And the next batch is primary again (no further degraded batches).
+  EXPECT_EQ(one(), RequestStatus::Ok);
+  EXPECT_EQ(service.stats().degraded_batches, s.degraded_batches);
+}
+
+TEST(EcService, BreakerDisabledKeepsRetryingPrimary) {
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  cfg.breaker.enabled = false;
+  std::atomic<int> injections{0};
+  cfg.fault_injector = [&](RequestKind, const CodecKey&, std::size_t) {
+    ++injections;
+    return true;
+  };
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 26);
+  for (int i = 0; i < 5; ++i) {
+    Bytes parity(kKey.r * kUnit);
+    EcFuture f =
+        service.submit_encode(kKey, data.span(), parity.span(), kUnit);
+    service.run_pending();
+    EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+  }
+  EXPECT_EQ(injections.load(), 5);  // every batch retried the primary
+  EXPECT_EQ(service.stats().degraded_batches, 0u);
+  EXPECT_EQ(service.stats().breaker_trips, 0u);
+}
+
+TEST(EcService, CounterIdentitiesHoldAcrossAllOutcomes) {
+  // Satellite audit: one run that exercises every terminal bucket, then
+  // checks both identities exactly.
+  ServiceConfig cfg;
+  cfg.num_workers = 0;
+  cfg.batch.queue_capacity = 4;
+  cfg.batch.deadline_shedding = true;
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 27);
+  std::vector<Bytes> parities;
+  std::vector<EcFuture> futures;
+  const auto submit = [&](std::chrono::nanoseconds timeout) {
+    parities.emplace_back(kKey.r * kUnit);
+    futures.push_back(service.submit_encode(
+        kKey, data.span(), parities.back().span(), kUnit, timeout));
+  };
+
+  submit({});                         // -> Ok
+  submit(std::chrono::seconds(-1));   // -> Shed (shedding on)
+  submit({});                         // -> Cancelled
+  futures.back().cancel();
+  service.run_pending();              // executes the two queued ones
+  submit({});                         // queued ...
+  submit({});
+  submit({});
+  submit({});                         // queue now full (capacity 4)
+  submit({});                         // -> Overloaded
+  service.shutdown(/*drain=*/false);  // queued 4 -> Shutdown (drained)
+  submit({});                         // -> Shutdown (rejected at submit)
+
+  for (auto& f : futures) ASSERT_TRUE(f.ready());
+  const ServeStatsSnapshot s = service.stats();
+  EXPECT_EQ(s.submitted, 9u);
+  EXPECT_EQ(s.completed_ok, 1u);
+  EXPECT_EQ(s.rejected_shed, 1u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.rejected_overload, 1u);
+  EXPECT_EQ(s.shutdown_drained, 4u);
+  EXPECT_EQ(s.rejected_shutdown, 1u);
+  EXPECT_EQ(s.submitted, s.accepted + s.rejected_overload + s.rejected_shed +
+                             s.rejected_shutdown);
+  EXPECT_EQ(s.accepted, s.completed_ok + s.expired + s.failed + s.cancelled +
+                            s.shutdown_drained);
+}
+
+TEST(EcService, HealthReportsOkThenUnhealthyAfterShutdown) {
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  EcService service(cfg);
+  HealthSnapshot h = service.health();
+  EXPECT_EQ(h.state, HealthState::Ok);
+  EXPECT_TRUE(h.reasons.empty());
+  service.shutdown();
+  h = service.health();
+  EXPECT_EQ(h.state, HealthState::Unhealthy);
+  ASSERT_FALSE(h.reasons.empty());
+  EXPECT_NE(h.reasons.front().find("shut down"), std::string::npos);
+}
+
 TEST(EcService, BatchingOffForcesSingletonBatches) {
   ServiceConfig cfg;
   cfg.num_workers = 0;
@@ -389,6 +644,150 @@ TEST(EcService, BatchingOffForcesSingletonBatches) {
   EXPECT_EQ(s.batches, 6u);
   EXPECT_EQ(s.batch_width.max(), 1u);
   for (auto& f : futures) EXPECT_EQ(f.wait().batch_size, 1u);
+}
+
+// --- Mid-kernel cancellation and the watchdog ------------------------------
+//
+// These tests need a kernel that runs long enough (hundreds of ms) for a
+// cancellation or a stuck-budget to land while it executes. We calibrate
+// a unit size on this machine rather than hardcoding one, and force the
+// serial kernel path (num_workers == pool size ⇒ one gemm thread per
+// worker) so the calibrated time is stable.
+
+constexpr CodecKey kHeavyKey{10, 4, 16, ec::RsFamily::CauchyGood};
+
+std::size_t heavy_workers() {
+  return std::max<std::size_t>(1, tensor::ThreadPool::shared().size());
+}
+
+struct SlowShape {
+  std::size_t unit = 0;
+  std::chrono::nanoseconds service_time{};  // one-request encode, serial
+};
+
+const SlowShape& slow_shape() {
+  static const SlowShape shape = [] {
+    ServiceConfig cfg;
+    cfg.num_workers = heavy_workers();
+    cfg.watchdog.enabled = false;
+    EcService service(cfg);
+    SlowShape s;
+    for (s.unit = std::size_t(1) << 16;; s.unit *= 2) {
+      const Bytes data = testutil::random_bytes(kHeavyKey.k * s.unit, 31);
+      Bytes parity(kHeavyKey.r * s.unit);
+      const auto t0 = std::chrono::steady_clock::now();
+      EcFuture f =
+          service.submit_encode(kHeavyKey, data.span(), parity.span(), s.unit);
+      EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+      s.service_time = std::chrono::steady_clock::now() - t0;
+      if (s.service_time >= std::chrono::milliseconds(150) ||
+          s.unit >= (std::size_t(1) << 22))
+        break;
+    }
+    return s;
+  }();
+  return shape;
+}
+
+TEST(Watchdog, AbortsExpiredBatchMidKernel) {
+  const SlowShape& shape = slow_shape();
+  ServiceConfig cfg;
+  cfg.num_workers = heavy_workers();
+  cfg.watchdog.poll = std::chrono::milliseconds(1);
+  cfg.watchdog.stuck_budget = std::chrono::hours(1);
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kHeavyKey.k * shape.unit, 32);
+  Bytes parity(kHeavyKey.r * shape.unit);
+  // Warm the codec slot so construction cost doesn't eat the deadline.
+  ASSERT_EQ(service.submit_encode(kHeavyKey, data.span(), parity.span(),
+                                  shape.unit)
+                .wait()
+                .status,
+            RequestStatus::Ok);
+
+  // A deadline a fraction of the kernel time: the batch forms in time,
+  // the deadline expires mid-kernel, the watchdog cancels the batch.
+  const auto t0 = std::chrono::steady_clock::now();
+  EcFuture f = service.submit_encode(kHeavyKey, data.span(), parity.span(),
+                                     shape.unit, shape.service_time / 6);
+  EXPECT_EQ(f.wait().status, RequestStatus::Expired);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Aborted well before a full kernel would have finished — the overshoot
+  // past the deadline is bounded by one poll plus one tile-chunk.
+  EXPECT_LT(elapsed, shape.service_time * 3 / 4);
+  EXPECT_GE(service.stats().watchdog_aborts, 1u);
+}
+
+TEST(Watchdog, ClientCancelAbortsRunningBatch) {
+  const SlowShape& shape = slow_shape();
+  ServiceConfig cfg;
+  cfg.num_workers = heavy_workers();
+  cfg.watchdog.poll = std::chrono::milliseconds(1);
+  cfg.watchdog.stuck_budget = std::chrono::hours(1);
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kHeavyKey.k * shape.unit, 33);
+  Bytes parity(kHeavyKey.r * shape.unit);
+  ASSERT_EQ(service.submit_encode(kHeavyKey, data.span(), parity.span(),
+                                  shape.unit)
+                .wait()
+                .status,
+            RequestStatus::Ok);
+
+  const std::uint64_t batches0 = service.stats().batches;
+  EcFuture f =
+      service.submit_encode(kHeavyKey, data.span(), parity.span(), shape.unit);
+  // Wait until the batch is executing (the counter bumps just before the
+  // kernel), so this cancel can only land mid-kernel via the watchdog.
+  while (service.stats().batches == batches0) std::this_thread::yield();
+  const auto t0 = std::chrono::steady_clock::now();
+  f.cancel();
+  EXPECT_EQ(f.wait().status, RequestStatus::Cancelled);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, shape.service_time * 3 / 4);
+  EXPECT_GE(service.stats().watchdog_aborts, 1u);
+}
+
+TEST(Watchdog, StuckWorkerSurfacesInHealth) {
+  const SlowShape& shape = slow_shape();
+  ServiceConfig cfg;
+  cfg.num_workers = heavy_workers();
+  cfg.watchdog.poll = std::chrono::milliseconds(1);
+  cfg.watchdog.stuck_budget = std::chrono::milliseconds(20);
+  EcService service(cfg);
+  const Bytes data = testutil::random_bytes(kHeavyKey.k * shape.unit, 34);
+  Bytes parity(kHeavyKey.r * shape.unit);
+  EcFuture f =
+      service.submit_encode(kHeavyKey, data.span(), parity.span(), shape.unit);
+
+  // The (legitimately slow) kernel blows the 20ms stuck budget: health
+  // degrades with a stuck-worker reason while it runs.
+  bool saw_stuck = false;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!f.ready() && std::chrono::steady_clock::now() < give_up) {
+    const HealthSnapshot h = service.health();
+    for (const std::string& reason : h.reasons) {
+      if (reason.find("stuck") != std::string::npos) {
+        EXPECT_NE(h.state, HealthState::Ok);
+        saw_stuck = true;
+      }
+    }
+    if (saw_stuck) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(saw_stuck);
+
+  // The request itself is fine — stuck is a health signal, not an abort.
+  EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+  EXPECT_GE(service.stats().watchdog_stuck, 1u);
+
+  // The flag clears with the batch; health recovers.
+  const auto recover_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.health().state != HealthState::Ok &&
+         std::chrono::steady_clock::now() < recover_by)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(service.health().state, HealthState::Ok);
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <vector>
 
 #include "tensor/buffer.h"
+#include "tensor/cancel.h"
 #include "tensor/schedule.h"
 
 namespace tvmec::tensor {
@@ -306,6 +308,83 @@ TEST(Kernel, OverwritesPreviousOutput) {
   gemm_xorand(av, bv, {c.data(), 4, 4, 4}, s);
   gemm_naive_xorand(av, bv, {ref.data(), 4, 4, 4});
   for (std::size_t i = 0; i < 16; ++i) ASSERT_EQ(c[i], ref[i]);
+}
+
+TEST(KernelCancel, PreCancelledSerialThrowsBeforeWriting) {
+  auto a = random_masks(16, 21);
+  auto b = random_words(16, 22);
+  AlignedBuffer<std::uint64_t> c(16);
+  for (std::size_t i = 0; i < 16; ++i) c[i] = 0xABAB;
+  Schedule s = default_schedule();
+  s.num_threads = 1;
+  CancelSource source;
+  source.request_cancel();
+  const MatView<const std::uint64_t> av{a.data(), 4, 4, 4};
+  const MatView<const std::uint64_t> bv{b.data(), 4, 4, 4};
+  EXPECT_THROW(gemm_xorand(av, bv, {c.data(), 4, 4, 4}, s, source.token()),
+               Cancelled);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(c[i], 0xABAB);
+}
+
+TEST(KernelCancel, PreCancelledParallelThrows) {
+  auto a = random_masks(64 * 64, 23);
+  auto b = random_words(64 * 64, 24);
+  AlignedBuffer<std::uint64_t> c(64 * 64);
+  Schedule s = default_schedule();
+  s.num_threads = 4;
+  s.par_axis = ParAxis::N;
+  CancelSource source;
+  source.request_cancel();
+  const MatView<const std::uint64_t> av{a.data(), 64, 64, 64};
+  const MatView<const std::uint64_t> bv{b.data(), 64, 64, 64};
+  EXPECT_THROW(gemm_xorand(av, bv, {c.data(), 64, 64, 64}, s, source.token()),
+               Cancelled);
+}
+
+TEST(KernelCancel, InvalidTokenComputesNormally) {
+  auto a = random_masks(16, 25);
+  auto b = random_words(16, 26);
+  AlignedBuffer<std::uint64_t> c(16), ref(16);
+  Schedule s = default_schedule();
+  const MatView<const std::uint64_t> av{a.data(), 4, 4, 4};
+  const MatView<const std::uint64_t> bv{b.data(), 4, 4, 4};
+  gemm_xorand(av, bv, {c.data(), 4, 4, 4}, s, CancelToken{});
+  gemm_naive_xorand(av, bv, {ref.data(), 4, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) ASSERT_EQ(c[i], ref[i]);
+}
+
+TEST(KernelCancel, BatchedPreCancelledThrows) {
+  auto a = random_masks(8 * 8, 27);
+  auto b0 = random_words(8 * 32, 28);
+  auto b1 = random_words(8 * 32, 29);
+  AlignedBuffer<std::uint64_t> c0(8 * 32), c1(8 * 32);
+  Schedule s = default_schedule();
+  s.num_threads = 1;
+  std::vector<XorAndBatch> items{
+      {{b0.data(), 8, 32, 32}, {c0.data(), 8, 32, 32}},
+      {{b1.data(), 8, 32, 32}, {c1.data(), 8, 32, 32}}};
+  CancelSource source;
+  source.request_cancel();
+  EXPECT_THROW(
+      gemm_xorand_batched({a.data(), 8, 8, 8}, items, s, source.token()),
+      Cancelled);
+}
+
+TEST(KernelCancel, UncancelledTokenMatchesNaive) {
+  // A live-but-never-fired token must not change results (the overhead
+  // path: one relaxed load per tile chunk).
+  auto a = random_masks(16 * 24, 31);
+  auto b = random_words(24 * 40, 32);
+  AlignedBuffer<std::uint64_t> c(16 * 40), ref(16 * 40);
+  Schedule s = default_schedule();
+  s.num_threads = 2;
+  s.par_axis = ParAxis::N;
+  CancelSource source;
+  const MatView<const std::uint64_t> av{a.data(), 16, 24, 24};
+  const MatView<const std::uint64_t> bv{b.data(), 24, 40, 40};
+  gemm_xorand(av, bv, {c.data(), 16, 40, 40}, s, source.token());
+  gemm_naive_xorand(av, bv, {ref.data(), 16, 40, 40});
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], ref[i]);
 }
 
 TEST(Schedule, ValidityAndToString) {

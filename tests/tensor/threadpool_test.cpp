@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tensor/cancel.h"
+
 #include <atomic>
 #include <mutex>
 #include <numeric>
@@ -197,6 +199,140 @@ TEST(ThreadPool, RawDispatchAvoidsCallables) {
   EXPECT_EQ(sum.load(), 100LL * 99 / 2);
 }
 
+TEST(ThreadPool, PreCancelledRunsNoIterations) {
+  ThreadPool pool(4);
+  CancelSource source;
+  source.request_cancel();
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(
+          1000, [&](std::size_t) { ++ran; }, 0, source.token().raw()),
+      Cancelled);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, MidRunCancelStopsClaimingChunksPromptly) {
+  ThreadPool pool(4);
+  CancelSource source;
+  std::atomic<int> ran{0};
+  constexpr std::size_t kCount = 1 << 20;
+  // Iteration 0 (claimed by someone early) raises the flag; the claim
+  // loop must stop long before draining the full index space.
+  EXPECT_THROW(pool.parallel_for(
+                   kCount,
+                   [&](std::size_t i) {
+                     if (i == 0) source.request_cancel();
+                     ++ran;
+                   },
+                   0, source.token().raw()),
+               Cancelled);
+  // "Promptly" = bounded by the chunks already claimed when the flag
+  // rose, far below the total. The bound is loose on purpose (chunk
+  // sizes are an implementation detail); the point is it cannot be the
+  // whole range.
+  EXPECT_LT(ran.load(), static_cast<int>(kCount / 2));
+}
+
+TEST(ThreadPool, CancelledNestedInnerDoesNotDeadlockOuter) {
+  ThreadPool pool(4);
+  CancelSource source;
+  source.request_cancel();
+  std::atomic<int> outer_done{0};
+  std::atomic<int> inner_cancelled{0};
+  // The inner call runs inline on each participant (nested dispatch);
+  // its Cancelled must unwind into the outer body — where we absorb it —
+  // without abandoning any pool state or wedging the outer join.
+  pool.parallel_for(16, [&](std::size_t) {
+    try {
+      pool.parallel_for(
+          64, [](std::size_t) {}, 0, source.token().raw());
+    } catch (const Cancelled&) {
+      ++inner_cancelled;
+    }
+    ++outer_done;
+  });
+  EXPECT_EQ(outer_done.load(), 16);
+  EXPECT_EQ(inner_cancelled.load(), 16);
+}
+
+TEST(ThreadPool, CancelledOuterWithNestedInnerUnwinds) {
+  ThreadPool pool(4);
+  CancelSource source;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(
+                   256,
+                   [&](std::size_t i) {
+                     if (i == 0) source.request_cancel();
+                     pool.parallel_for(8, [&](std::size_t) { ++ran; });
+                   },
+                   0, source.token().raw()),
+               Cancelled);
+  EXPECT_GT(ran.load(), 0);  // at least the flag-raising iteration ran
+}
+
+TEST(ThreadPool, PoolHealthyAfterCancellation) {
+  ThreadPool pool(4);
+  CancelSource source;
+  source.request_cancel();
+  EXPECT_THROW(pool.parallel_for(
+                   100, [](std::size_t) {}, 0, source.token().raw()),
+               Cancelled);
+  // The pool must be fully reusable: no stale job slot, no lost worker.
+  std::vector<std::atomic<int>> hits(200);
+  pool.parallel_for(200, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, CancellationDominatesOverBodyException) {
+  // When both a body exception and the cancel flag are observed, the
+  // call reports Cancelled — the caller asked for the stop, the partial
+  // work's failure is moot.
+  ThreadPool pool(2);
+  CancelSource source;
+  EXPECT_THROW(pool.parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 0) {
+                       source.request_cancel();
+                       throw std::runtime_error("body failure");
+                     }
+                   },
+                   0, source.token().raw()),
+               Cancelled);
+}
+
+TEST(ThreadPool, NullCancelFlagIsFree) {
+  // The defaulted-parameter path: behavior identical to no cancellation.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(
+      50, [&](std::size_t) { ++ran; }, 0, nullptr);
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, CancelStressManyRounds) {
+  // Repeated cancelled dispatches from alternating flags: exercises the
+  // job-slot reset path under contention (the TSan job runs this too).
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    CancelSource source;
+    std::atomic<int> ran{0};
+    try {
+      pool.parallel_for(
+          1024,
+          [&](std::size_t i) {
+            if (i % 7 == 0) source.request_cancel();
+            ++ran;
+          },
+          0, source.token().raw());
+    } catch (const Cancelled&) {
+    }
+    std::atomic<int> ok{0};
+    pool.parallel_for(32, [&](std::size_t) { ++ok; });
+    ASSERT_EQ(ok.load(), 32);
+  }
+}
+
 TEST(ThreadPool, DynamicBalancingDrainsSkewedWork) {
   // One chunk is 100x the others; the atomic claim counter must let the
   // other workers drain the rest meanwhile. (Correctness check here;
@@ -206,7 +342,7 @@ TEST(ThreadPool, DynamicBalancingDrainsSkewedWork) {
   pool.parallel_for(40, [&](std::size_t i) {
     volatile std::uint64_t x = 0;
     const std::uint64_t spins = (i == 0) ? 2'000'000 : 20'000;
-    for (std::uint64_t s = 0; s < spins; ++s) x += s;
+    for (std::uint64_t s = 0; s < spins; ++s) x = x + s;
     ++done;
   });
   EXPECT_EQ(done.load(), 40);
