@@ -3,9 +3,11 @@
 // overhead (up to 84% in our experiments)".
 //
 // Measures the GEMM encode (a) on a pre-staged contiguous buffer (the §5
-// recommended design) and (b) through the Jerasure-shaped pointer API
-// which must gather k scattered units first, and reports the gather
-// overhead across unit sizes.
+// recommended design), (b) through the Jerasure-shaped pointer API which
+// must gather k scattered units first, and (c) through encode_scattered,
+// the zero-copy path that hands the scattered unit pointers straight to
+// the fragment-aware GEMM kernel — and reports how much of the measured
+// gather overhead the zero-copy path recovers (E21).
 
 #include <benchmark/benchmark.h>
 
@@ -76,16 +78,27 @@ void bm_scattered_ptrs(benchmark::State& state) {
                           static_cast<std::int64_t>(kK * f.unit_size));
 }
 
+void bm_scattered_zero_copy(benchmark::State& state) {
+  Fixture& f = fixture_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    f.codec.encode_scattered(f.scattered_ptrs, f.parity_ptrs, f.unit_size);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kK * f.unit_size));
+}
+
 BENCHMARK(bm_contiguous)->Arg(16 << 10)->Arg(128 << 10)->Arg(1 << 20);
 BENCHMARK(bm_scattered_ptrs)->Arg(16 << 10)->Arg(128 << 10)->Arg(1 << 20);
+BENCHMARK(bm_scattered_zero_copy)->Arg(16 << 10)->Arg(128 << 10)->Arg(1 << 20);
 
 void print_paper_table() {
   benchutil::print_header(
-      "E2 (Section 5): memcpy overhead of scattered operands",
-      "gathering pointer-per-unit operands adds up to 84% time overhead");
+      "E2/E21 (Section 5): memcpy overhead of scattered operands",
+      "gathering pointer-per-unit operands adds up to 84% time overhead; "
+      "the zero-copy scattered kernel recovers most of it");
 
-  std::printf("%-12s %18s %18s %12s\n", "unit size", "contiguous GB/s",
-              "ptr-gather GB/s", "overhead");
+  std::printf("%-12s %16s %16s %16s %10s %10s %10s\n", "unit size",
+              "contiguous GB/s", "ptr-gather GB/s", "zero-copy GB/s",
+              "gather ovh", "zc ovh", "recovered");
   for (const std::size_t unit : {16u << 10, 128u << 10, 1u << 20}) {
     Fixture& f = fixture_for(unit);
     f.codec.encode(f.contiguous.span(), f.parity.span(), unit);  // warm
@@ -95,10 +108,22 @@ void print_paper_table() {
     const double ptr_secs = tune::measure_seconds_median(
         [&] { f.codec.encode_ptrs(f.scattered_ptrs, f.parity_ptrs, unit); },
         21);
+    const double zc_secs = tune::measure_seconds_median(
+        [&] {
+          f.codec.encode_scattered(f.scattered_ptrs, f.parity_ptrs,
+                                   f.unit_size);
+        },
+        21);
     const double bytes = static_cast<double>(kK * unit);
-    std::printf("%-12zu %18.2f %18.2f %11.1f%%\n", unit, bytes / contig_secs / 1e9,
-                bytes / ptr_secs / 1e9,
-                (ptr_secs / contig_secs - 1.0) * 100.0);
+    const double gather_ovh = ptr_secs / contig_secs - 1.0;
+    const double zc_ovh = zc_secs / contig_secs - 1.0;
+    // Fraction of the measured gather tax the zero-copy path gives back.
+    const double recovered =
+        gather_ovh > 0.0 ? (gather_ovh - zc_ovh) / gather_ovh : 0.0;
+    std::printf("%-12zu %16.2f %16.2f %16.2f %9.1f%% %9.1f%% %9.1f%%\n",
+                unit, bytes / contig_secs / 1e9, bytes / ptr_secs / 1e9,
+                bytes / zc_secs / 1e9, gather_ovh * 100.0, zc_ovh * 100.0,
+                recovered * 100.0);
   }
 }
 

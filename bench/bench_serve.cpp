@@ -447,14 +447,26 @@ bool run_chaos_smoke() {
     threads.emplace_back([&, c] {
       const auto data = benchutil::random_data(kK * kUnit, 0xE20C + 97 * c);
       tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
+      tensor::AlignedBuffer<std::uint8_t> stripe((kK + kR) * kUnit);
+      std::memcpy(stripe.data(), data.data(), data.size());
+      // Disk-failure-shaped decode mix: a handful of loss patterns
+      // repeated by every client, so the shared plan cache gets hit
+      // after the first build of each.
+      const std::vector<std::size_t> patterns[] = {
+          {0}, {3, 11}, {kK}, {1, 7}};
       for (std::size_t i = 0; i < per_client; ++i) {
         const auto timeout = i % 5 == 4
                                  ? std::chrono::microseconds(50)
                                  : std::chrono::nanoseconds{0};
-        serve::EcFuture f = service.submit_encode(kKey, data.span(),
-                                                  parity.span(), kUnit,
-                                                  std::chrono::nanoseconds(
-                                                      timeout));
+        serve::EcFuture f =
+            i % 3 == 2
+                ? service.submit_decode(kKey, stripe.span(),
+                                        patterns[i % std::size(patterns)],
+                                        kUnit,
+                                        std::chrono::nanoseconds(timeout))
+                : service.submit_encode(kKey, data.span(), parity.span(),
+                                        kUnit,
+                                        std::chrono::nanoseconds(timeout));
         if (i % 7 == 6) f.cancel();
         f.wait();
       }
@@ -493,6 +505,14 @@ bool run_chaos_smoke() {
       static_cast<unsigned long long>(s.watchdog_aborts),
       submit_identity ? "ok" : "VIOLATED",
       outcome_identity ? "ok" : "VIOLATED", tripped ? "yes" : "NO");
+  const std::uint64_t plan_lookups = s.plan_cache_hits + s.plan_cache_misses;
+  std::printf(
+      "plan cache: %llu hits / %llu misses (hit rate %.1f%%)\n",
+      static_cast<unsigned long long>(s.plan_cache_hits),
+      static_cast<unsigned long long>(s.plan_cache_misses),
+      plan_lookups == 0 ? 0.0
+                        : 100.0 * static_cast<double>(s.plan_cache_hits) /
+                              static_cast<double>(plan_lookups));
   if (s.failed != 0)
     std::printf("(failed must be 0 — injected faults may only cost "
                 "latency)\n");

@@ -6,7 +6,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include <cstring>
+
 #include "tensor/kernel.h"
+#include "tensor/scattered.h"
 
 namespace tvmec::core {
 
@@ -102,6 +105,104 @@ void GemmCoder::apply_batch(std::span<const ec::CoderBatchItem> items,
   for (const ec::CoderBatchItem* item : slow) {
     cancel.throw_if_cancelled();
     apply(item->in, item->out, item->unit_size);
+  }
+}
+
+void GemmCoder::apply_scattered(std::span<const ScatteredCoderItem> items,
+                                int max_threads,
+                                const tensor::CancelToken& cancel) const {
+  const auto word_aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % 8 == 0;
+  };
+  const std::size_t kw = in_units_ * w_;
+  const std::size_t rw = out_units_ * w_;
+
+  std::vector<const ScatteredCoderItem*> fast;
+  std::vector<const ScatteredCoderItem*> slow;
+  fast.reserve(items.size());
+  std::size_t n_total = 0;
+  for (const ScatteredCoderItem& item : items) {
+    if (item.unit_size == 0 || item.unit_size % w_ != 0)
+      throw std::invalid_argument(
+          "apply_scattered: unit size must be a positive multiple of w");
+    if (item.in.size() != in_units_ || item.out.size() != out_units_)
+      throw std::invalid_argument("apply_scattered: wrong unit pointer count");
+    for (const std::uint8_t* p : item.in)
+      if (p == nullptr)
+        throw std::invalid_argument("apply_scattered: null input unit");
+    for (std::uint8_t* p : item.out)
+      if (p == nullptr)
+        throw std::invalid_argument("apply_scattered: null output unit");
+    if (out_units_ == 0) continue;  // r == 0: nothing to compute
+    const std::size_t pb = item.unit_size / w_;
+    const bool qualified =
+        pb % 8 == 0 &&
+        std::all_of(item.in.begin(), item.in.end(), word_aligned) &&
+        std::all_of(item.out.begin(), item.out.end(), word_aligned);
+    if (qualified) {
+      fast.push_back(&item);
+      n_total += pb / 8;
+    } else {
+      slow.push_back(&item);
+    }
+  }
+
+  if (!fast.empty()) {
+    // Every qualified item contributes one fragment per packet row: row
+    // u*w + p of the logical wide B matrix is, per item, packet p of unit
+    // u in place in the caller's buffer. The scattered kernel gathers
+    // these per cache panel — submit → kernel with zero staging copies.
+    std::vector<tensor::Fragment<const std::uint64_t>> b_frags;
+    std::vector<tensor::Fragment<std::uint64_t>> c_frags;
+    b_frags.reserve(kw * fast.size());
+    c_frags.reserve(rw * fast.size());
+    for (std::size_t row = 0; row < kw; ++row) {
+      const std::size_t u = row / w_;
+      const std::size_t p = row % w_;
+      for (const ScatteredCoderItem* item : fast) {
+        const std::size_t pb = item->unit_size / w_;
+        b_frags.push_back(
+            {reinterpret_cast<const std::uint64_t*>(item->in[u] + p * pb),
+             pb / 8});
+      }
+    }
+    for (std::size_t row = 0; row < rw; ++row) {
+      const std::size_t u = row / w_;
+      const std::size_t p = row % w_;
+      for (const ScatteredCoderItem* item : fast) {
+        const std::size_t pb = item->unit_size / w_;
+        c_frags.push_back(
+            {reinterpret_cast<std::uint64_t*>(item->out[u] + p * pb), pb / 8});
+      }
+    }
+    tensor::Schedule s = schedule_;
+    if (max_threads > 0) s.num_threads = std::min(s.num_threads, max_threads);
+    const tensor::MatView<const std::uint64_t> a{masks_.data(), rw, kw, kw};
+    tensor::gemm_xorand_scattered(
+        a,
+        tensor::ScatteredView<const std::uint64_t>(kw, n_total,
+                                                   std::move(b_frags)),
+        tensor::ScatteredView<std::uint64_t>(rw, n_total, std::move(c_frags)),
+        s, cancel);
+  }
+
+  // Degenerate items (misaligned pointers or sub-word packets) take the
+  // staging road they always took: gather into contiguous scratch, apply,
+  // scatter back — every memcpy visible in kernel_stage_stats.
+  for (const ScatteredCoderItem* item : slow) {
+    cancel.throw_if_cancelled();
+    const std::size_t unit = item->unit_size;
+    tensor::AlignedBuffer<std::uint8_t> in_stage(in_units_ * unit);
+    tensor::AlignedBuffer<std::uint8_t> out_stage(out_units_ * unit);
+    for (std::size_t u = 0; u < in_units_; ++u) {
+      std::memcpy(in_stage.data() + u * unit, item->in[u], unit);
+      tensor::note_staging_copy(unit);
+    }
+    apply(in_stage.span(), out_stage.span(), unit);
+    for (std::size_t u = 0; u < out_units_; ++u) {
+      std::memcpy(item->out[u], out_stage.data() + u * unit, unit);
+      tensor::note_staging_copy(unit);
+    }
   }
 }
 

@@ -18,6 +18,17 @@
 /// analogue of the paper's 40-line TVM implementation.
 namespace tvmec::core {
 
+/// One scattered-operand coding request: every unit lives behind its own
+/// pointer (the Jerasure calling convention, and the natural shape of
+/// survivors inside a stripe or payloads in unrelated client buffers).
+/// `in` holds in_units() unit pointers, `out` holds out_units() unit
+/// pointers, each pointing at `unit_size` bytes.
+struct ScatteredCoderItem {
+  std::span<const std::uint8_t* const> in;
+  std::span<std::uint8_t* const> out;
+  std::size_t unit_size = 0;
+};
+
 class GemmCoder final : public ec::MatrixCoder {
  public:
   /// Expands the coefficient matrix; starts with the default schedule.
@@ -42,6 +53,19 @@ class GemmCoder final : public ec::MatrixCoder {
   void apply_batch(std::span<const ec::CoderBatchItem> items,
                    int max_threads = 0,
                    const tensor::CancelToken& cancel = {}) const override;
+
+  /// Zero-copy scattered entry: consumes pointer-per-unit operands
+  /// directly. Items whose packets are whole 64-bit words and whose unit
+  /// pointers are all 8-byte aligned become fragments of one wide-N
+  /// scattered GEMM — the kernel's panel packing performs the gather in
+  /// cache, no staging buffer exists at any layer. Degenerate items are
+  /// gathered into contiguous scratch and run through apply() (counted by
+  /// tensor::kernel_stage_stats). Semantically identical to gathering
+  /// every item into contiguous buffers and calling apply_batch.
+  /// `max_threads`/`cancel` follow apply_batch's contract.
+  void apply_scattered(std::span<const ScatteredCoderItem> items,
+                       int max_threads = 0,
+                       const tensor::CancelToken& cancel = {}) const;
 
   /// Autotunes the encode for the given unit size on synthetic data and
   /// installs the best schedule found (the paper's §6.1 measurement

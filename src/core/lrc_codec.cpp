@@ -23,23 +23,23 @@ void LrcCodec::set_schedule(const tensor::Schedule& schedule) {
 
 void LrcCodec::run_plan(const PlanEntry& entry, std::span<std::uint8_t> stripe,
                         std::size_t unit_size) {
+  // Zero-copy plan execution: survivors are read in place and recovered
+  // units written straight into their stripe slots through the scattered
+  // kernel — no staging buffer. Survivor and erased unit ranges are
+  // disjoint, so the in-place repair cannot alias. Misaligned stripes
+  // fall back to apply_scattered's internal staging.
   const std::size_t reads = entry.plan.survivors.size();
   const std::size_t writes = entry.plan.erased.size();
-  const std::size_t needed = (reads + writes) * unit_size;
-  if (staging_.size() < needed)
-    staging_ = tensor::AlignedBuffer<std::uint8_t>(needed);
-  std::uint8_t* const in_stage = staging_.data();
-  std::uint8_t* const out_stage = staging_.data() + reads * unit_size;
+  std::vector<const std::uint8_t*> in_ptrs(reads);
+  std::vector<std::uint8_t*> out_ptrs(writes);
   for (std::size_t i = 0; i < reads; ++i)
-    std::memcpy(in_stage + i * unit_size,
-                stripe.data() + entry.plan.survivors[i] * unit_size,
-                unit_size);
-  entry.coder->apply(
-      std::span<const std::uint8_t>(in_stage, reads * unit_size),
-      std::span<std::uint8_t>(out_stage, writes * unit_size), unit_size);
+    in_ptrs[i] = stripe.data() + entry.plan.survivors[i] * unit_size;
   for (std::size_t i = 0; i < writes; ++i)
-    std::memcpy(stripe.data() + entry.plan.erased[i] * unit_size,
-                out_stage + i * unit_size, unit_size);
+    out_ptrs[i] = stripe.data() + entry.plan.erased[i] * unit_size;
+  const ScatteredCoderItem item{
+      std::span<const std::uint8_t* const>(in_ptrs.data(), reads),
+      std::span<std::uint8_t* const>(out_ptrs.data(), writes), unit_size};
+  entry.coder->apply_scattered(std::span<const ScatteredCoderItem>(&item, 1));
 }
 
 void LrcCodec::decode(std::span<std::uint8_t> stripe,

@@ -50,8 +50,9 @@ class LrcCodec {
     std::unique_ptr<GemmCoder> coder;
   };
 
-  /// Gathers plan survivors from the stripe, applies the plan's coder,
-  /// scatters recovered units back.
+  /// Executes the plan's coder zero-copy over the stripe: survivors are
+  /// consumed in place and recovered units written straight into their
+  /// slots through the scattered kernel.
   void run_plan(const PlanEntry& entry, std::span<std::uint8_t> stripe,
                 std::size_t unit_size);
 
@@ -60,7 +61,6 @@ class LrcCodec {
   GemmCoder encode_coder_;
   std::map<std::vector<std::size_t>, PlanEntry> decode_cache_;
   std::vector<std::unique_ptr<PlanEntry>> local_cache_;  // per unit, lazy
-  tensor::AlignedBuffer<std::uint8_t> staging_;
 };
 
 }  // namespace tvmec::core

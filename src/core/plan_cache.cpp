@@ -1,0 +1,50 @@
+#include "core/plan_cache.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tvmec::core {
+
+PlanCache::PlanCache(std::size_t max_entries) : max_entries_(max_entries) {
+  if (max_entries_ == 0)
+    throw std::invalid_argument("PlanCache: max_entries must be positive");
+}
+
+std::shared_ptr<const ec::DecodePlan> PlanCache::get_or_build(
+    const PlanKey& key, const Builder& build) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+  }
+
+  ++misses_;
+  std::optional<ec::DecodePlan> built = build();
+  std::shared_ptr<const ec::DecodePlan> plan;
+  if (built.has_value())
+    plan = std::make_shared<const ec::DecodePlan>(std::move(*built));
+
+  lru_.push_front(Entry{key, plan});
+  index_.emplace(key, lru_.begin());
+  if (index_.size() > max_entries_) {
+    ++evictions_;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PlanCacheStats{hits_, misses_, evictions_, index_.size()};
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace tvmec::core

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "ec/decoder.h"
+#include "ec/reed_solomon.h"
+
+/// A process-wide decode-plan cache.
+///
+/// Building a DecodePlan means inverting a survivor submatrix (and, with
+/// plan optimization on, searching survivor subsets) — orders of magnitude
+/// more work than the GEMM that executes it at serving unit sizes. Loss
+/// patterns repeat heavily in practice: a failed disk erases the same unit
+/// id in every stripe, so the scrubber, the serve workers, and direct
+/// Codec::decode callers keep asking for the same handful of plans. This
+/// cache generalizes the per-codec-slot `naive_decode_cache` the serving
+/// layer grew: one shared, thread-safe, LRU-bounded map from
+/// (code identity, sorted loss pattern) to an immutable plan that every
+/// consumer can hold by shared_ptr. Unrecoverable patterns are cached
+/// negatively (a null plan), so repeated hopeless repairs don't re-run the
+/// rank computation either.
+namespace tvmec::core {
+
+/// Cache key: the code's identity plus the canonical (sorted, deduplicated)
+/// loss pattern. `optimized` distinguishes sparse-searched plans from
+/// greedy ones — the two produce different recovery matrices for the same
+/// pattern and must not alias.
+struct PlanKey {
+  std::size_t k = 0;
+  std::size_t r = 0;
+  unsigned w = 0;
+  ec::RsFamily family = ec::RsFamily::CauchyGood;
+  bool optimized = false;
+  std::vector<std::size_t> erased;
+
+  friend auto operator<=>(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class PlanCache {
+ public:
+  /// `max_entries` bounds the cache; the least recently used entry is
+  /// evicted past it. Disk-failure workloads touch O(n) patterns per
+  /// incident, so the default is generous without being unbounded.
+  explicit PlanCache(std::size_t max_entries = 4096);
+
+  /// Returns nullopt for unrecoverable patterns; the result is cached
+  /// either way.
+  using Builder = std::function<std::optional<ec::DecodePlan>()>;
+
+  /// Returns the cached plan for `key`, or invokes `build` and caches the
+  /// result. A null return means the pattern is unrecoverable (negative
+  /// result — also cached). The builder runs under the cache mutex, which
+  /// deduplicates concurrent builds of the same pattern: the first caller
+  /// inverts, everyone else hits.
+  std::shared_ptr<const ec::DecodePlan> get_or_build(const PlanKey& key,
+                                                     const Builder& build);
+
+  PlanCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<const ec::DecodePlan> plan;  // null = unrecoverable
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t max_entries_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<PlanKey, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace tvmec::core

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/kernel.h"
 #include "tune/tuning_log.h"
 
 namespace tvmec::core {
@@ -55,6 +56,7 @@ void Codec::encode_ptrs(const std::vector<const std::uint8_t*>& data,
     if (data[i] == nullptr)
       throw std::invalid_argument("encode_ptrs: null data pointer");
     std::memcpy(data_stage + i * unit_size, data[i], unit_size);
+    tensor::note_staging_copy(unit_size);
   }
   encode(std::span<const std::uint8_t>(data_stage, params_.k * unit_size),
          std::span<std::uint8_t>(parity_stage, params_.r * unit_size),
@@ -63,6 +65,7 @@ void Codec::encode_ptrs(const std::vector<const std::uint8_t*>& data,
     if (parity[i] == nullptr)
       throw std::invalid_argument("encode_ptrs: null parity pointer");
     std::memcpy(parity[i], parity_stage + i * unit_size, unit_size);
+    tensor::note_staging_copy(unit_size);
   }
 }
 
@@ -71,15 +74,30 @@ const Codec::DecodeEntry& Codec::decode_entry(
   const auto it = decode_cache_.find(erased);
   if (it != decode_cache_.end()) return it->second;
 
-  auto plan = optimize_plans_
-                  ? ec::make_decode_plan_optimized(rs_.generator(), erased)
-                  : ec::make_decode_plan(rs_.generator(), erased);
+  const auto build = [&]() -> std::optional<ec::DecodePlan> {
+    return optimize_plans_
+               ? ec::make_decode_plan_optimized(rs_.generator(), erased)
+               : ec::make_decode_plan(rs_.generator(), erased);
+  };
+
+  std::shared_ptr<const ec::DecodePlan> plan;
+  if (plan_cache_) {
+    // The shared cache holds the inversion result; on a hit the costly
+    // planning is skipped entirely and only this codec's GemmCoder (which
+    // carries its schedule) is built locally.
+    plan = plan_cache_->get_or_build(
+        PlanKey{params_.k, params_.r, params_.w, rs_.family(),
+                optimize_plans_, erased},
+        build);
+  } else if (auto built = build()) {
+    plan = std::make_shared<const ec::DecodePlan>(std::move(*built));
+  }
   if (!plan)
     throw std::runtime_error("decode: erasure pattern is unrecoverable");
-  auto coder = std::make_unique<GemmCoder>(plan->recovery,
-                                           encode_coder_.schedule());
+  auto coder =
+      std::make_unique<GemmCoder>(plan->recovery, encode_coder_.schedule());
   const auto [pos, inserted] = decode_cache_.emplace(
-      erased, DecodeEntry{std::move(*plan), std::move(coder)});
+      erased, DecodeEntry{std::move(plan), std::move(coder)});
   return pos->second;
 }
 
@@ -137,42 +155,47 @@ void Codec::decode_batch(std::span<const DecodeBatchItem> items,
   for (const auto& [erased, members] : groups) {
     cancel.throw_if_cancelled();
     const DecodeEntry& entry = decode_entry(erased);
-    const std::size_t k = entry.plan.survivors.size();
-    const std::size_t e = entry.plan.erased.size();
+    const std::size_t k = entry.plan->survivors.size();
+    const std::size_t e = entry.plan->erased.size();
 
-    // Gather every member's survivor units into contiguous staging (one
-    // slot per stripe), run the whole group as one batched recovery
-    // GEMM, then scatter the recovered units back into the stripes.
-    std::size_t needed = 0;
-    for (const std::size_t i : members)
-      needed += (k + e) * items[i].unit_size;
-    if (staging_.size() < needed)
-      staging_ = tensor::AlignedBuffer<std::uint8_t>(needed);
-
-    std::vector<ec::CoderBatchItem> batch;
+    // Zero-copy group recovery: each member's survivor units are read in
+    // place inside its stripe and the recovered units are written
+    // directly into the erased positions — the scattered kernel's panel
+    // packing replaces the survivor-gather staging this loop used to do.
+    // Survivor and erased unit ranges are disjoint, so in-place repair
+    // cannot alias reads with writes.
+    std::vector<const std::uint8_t*> in_ptrs(members.size() * k);
+    std::vector<std::uint8_t*> out_ptrs(members.size() * e);
+    std::vector<ScatteredCoderItem> batch;
     batch.reserve(members.size());
-    std::size_t offset = 0;
-    for (const std::size_t i : members) {
-      const DecodeBatchItem& item = items[i];
-      const std::size_t unit = item.unit_size;
-      std::uint8_t* const in_stage = staging_.data() + offset;
-      std::uint8_t* const out_stage = in_stage + k * unit;
-      for (std::size_t s = 0; s < k; ++s)
-        std::memcpy(in_stage + s * unit,
-                    item.stripe.data() + entry.plan.survivors[s] * unit, unit);
-      batch.push_back(ec::CoderBatchItem{
-          std::span<const std::uint8_t>(in_stage, k * unit),
-          std::span<std::uint8_t>(out_stage, e * unit), unit});
-      offset += (k + e) * unit;
-    }
-    entry.coder->apply_batch(batch, max_threads, cancel);
     for (std::size_t b = 0; b < members.size(); ++b) {
       const DecodeBatchItem& item = items[members[b]];
+      const std::size_t unit = item.unit_size;
+      for (std::size_t s = 0; s < k; ++s)
+        in_ptrs[b * k + s] =
+            item.stripe.data() + entry.plan->survivors[s] * unit;
       for (std::size_t s = 0; s < e; ++s)
-        std::memcpy(item.stripe.data() + entry.plan.erased[s] * item.unit_size,
-                    batch[b].out.data() + s * item.unit_size, item.unit_size);
+        out_ptrs[b * e + s] =
+            item.stripe.data() + entry.plan->erased[s] * unit;
+      batch.push_back(ScatteredCoderItem{
+          std::span<const std::uint8_t* const>(in_ptrs.data() + b * k, k),
+          std::span<std::uint8_t* const>(out_ptrs.data() + b * e, e), unit});
     }
+    entry.coder->apply_scattered(batch, max_threads, cancel);
   }
+}
+
+void Codec::encode_scattered(const std::vector<const std::uint8_t*>& data,
+                             const std::vector<std::uint8_t*>& parity,
+                             std::size_t unit_size) const {
+  if (data.size() != params_.k || parity.size() != params_.r)
+    throw std::invalid_argument(
+        "encode_scattered: wrong number of unit pointers");
+  const ScatteredCoderItem item{
+      std::span<const std::uint8_t* const>(data.data(), data.size()),
+      std::span<std::uint8_t* const>(parity.data(), parity.size()),
+      unit_size};
+  encode_coder_.apply_scattered(std::span<const ScatteredCoderItem>(&item, 1));
 }
 
 void Codec::patch_parity(std::size_t unit_id,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/gemm_coder.h"
+#include "core/plan_cache.h"
 #include "ec/code_params.h"
 #include "ec/decoder.h"
 #include "ec/reed_solomon.h"
@@ -15,9 +16,14 @@
 ///
 /// Layout contract (paper §5): the codec works on *contiguous* unit
 /// buffers — k units back to back for encode, n units back to back for a
-/// stripe being decoded. A Jerasure-style pointer API is provided too;
-/// it stages scattered units into an internal contiguous buffer first,
-/// which is exactly the memcpy overhead the paper quantifies (up to 84%).
+/// stripe being decoded. Two Jerasure-style pointer APIs exist alongside:
+/// encode_ptrs stages scattered units into an internal contiguous buffer
+/// first — exactly the memcpy overhead the paper quantifies (up to 84%) —
+/// while encode_scattered hands the pointers to the scattered GEMM kernel,
+/// which folds the gather into its panel packing and touches no staging
+/// buffer at all (the zero-copy path; encode_ptrs is kept as the measured
+/// baseline). Decode reads survivors and writes recovered units in place
+/// in the stripe the same way.
 /// Not thread-safe: decode caches per-erasure-pattern coders.
 namespace tvmec::core {
 
@@ -55,6 +61,16 @@ class Codec {
   void encode_ptrs(const std::vector<const std::uint8_t*>& data,
                    const std::vector<std::uint8_t*>& parity,
                    std::size_t unit_size);
+
+  /// Zero-copy counterpart of encode_ptrs: the scattered GEMM kernel
+  /// consumes the units in place, so no staging buffer exists between the
+  /// caller's memory and the microkernels. Pointers that do not satisfy
+  /// the word fast path (8-byte alignment, whole-word packets) fall back
+  /// to a staged copy per unit (visible in tensor::kernel_stage_stats).
+  /// Thread-safe: encode state is immutable.
+  void encode_scattered(const std::vector<const std::uint8_t*>& data,
+                        const std::vector<std::uint8_t*>& parity,
+                        std::size_t unit_size) const;
 
   /// Recovers the erased units of a full stripe (n contiguous units) in
   /// place. Erased ids may name data and/or parity units; at most r.
@@ -135,9 +151,24 @@ class Codec {
   }
   bool plan_optimization() const noexcept { return optimize_plans_; }
 
+  /// Installs a shared decode-plan cache: decode planning consults it
+  /// before inverting, so repeated loss patterns — across this codec,
+  /// other codecs of the same code, the serve workers, and the scrubber's
+  /// repair path — skip matrix inversion entirely. Per-pattern GemmCoders
+  /// stay local (they carry this codec's schedule); only the expensive
+  /// plan is shared. Null detaches. Clears locally cached entries so the
+  /// shared cache sees subsequent patterns.
+  void set_plan_cache(std::shared_ptr<PlanCache> cache) {
+    plan_cache_ = std::move(cache);
+    decode_cache_.clear();
+  }
+  const std::shared_ptr<PlanCache>& plan_cache() const noexcept {
+    return plan_cache_;
+  }
+
  private:
   struct DecodeEntry {
-    ec::DecodePlan plan;
+    std::shared_ptr<const ec::DecodePlan> plan;
     std::unique_ptr<GemmCoder> coder;
   };
 
@@ -153,6 +184,7 @@ class Codec {
   ec::ReedSolomon rs_;
   GemmCoder encode_coder_;
   std::map<std::vector<std::size_t>, DecodeEntry> decode_cache_;
+  std::shared_ptr<PlanCache> plan_cache_;
   bool optimize_plans_ = false;
   /// Per-data-unit r x 1 delta coders for update_unit (lazy).
   std::vector<std::unique_ptr<GemmCoder>> delta_coders_;

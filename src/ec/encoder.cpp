@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/buffer.h"
+#include "tensor/kernel.h"
 
 namespace tvmec::ec {
 
@@ -76,16 +77,20 @@ void MatrixCoder::apply(std::span<const std::uint8_t> in,
   tensor::AlignedBuffer<std::uint8_t> in_stage(in_units() * unit_pad);
   tensor::AlignedBuffer<std::uint8_t> out_stage(out_units() * unit_pad);
   for (std::size_t u = 0; u < in_units(); ++u)
-    for (unsigned p = 0; p < w; ++p)
+    for (unsigned p = 0; p < w; ++p) {
       std::memcpy(in_stage.data() + u * unit_pad + p * pb_pad,
                   in.data() + u * unit_size + p * pb, pb);
+      tensor::note_staging_copy(pb);
+    }
   do_apply(std::span<const std::uint8_t>(in_stage.data(), in_stage.size()),
            std::span<std::uint8_t>(out_stage.data(), out_stage.size()),
            unit_pad);
   for (std::size_t u = 0; u < out_units(); ++u)
-    for (unsigned p = 0; p < w; ++p)
+    for (unsigned p = 0; p < w; ++p) {
       std::memcpy(out.data() + u * unit_size + p * pb,
                   out_stage.data() + u * unit_pad + p * pb_pad, pb);
+      tensor::note_staging_copy(pb);
+    }
 }
 
 }  // namespace tvmec::ec

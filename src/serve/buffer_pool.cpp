@@ -1,0 +1,97 @@
+#include "serve/buffer_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tvmec::serve {
+
+/// Shared between the pool handle and every outstanding lease, so leases
+/// stay valid (and release cleanly) after the pool itself is destroyed.
+struct RegisteredBuffer::State {
+  mutable std::mutex mutex;
+  std::map<std::size_t, std::vector<tensor::AlignedBuffer<std::uint8_t>>>
+      free_lists;  // size class -> buffers
+  std::size_t max_cached_bytes = 0;
+  bool closed = false;
+  BufferPoolStats stats;
+};
+
+namespace {
+
+std::size_t size_class(std::size_t bytes) {
+  std::size_t c = tensor::kBufferAlignment;
+  while (c < bytes) c *= 2;
+  return c;
+}
+
+}  // namespace
+
+void RegisteredBuffer::release() noexcept {
+  if (!state_ || buf_.data() == nullptr) {
+    state_.reset();
+    return;
+  }
+  const std::size_t cls = buf_.size();
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    BufferPoolStats& st = state_->stats;
+    st.bytes_out -= cls;
+    if (!state_->closed && st.bytes_cached + cls <= state_->max_cached_bytes) {
+      state_->free_lists[cls].push_back(std::move(buf_));
+      st.bytes_cached += cls;
+      ++st.releases;
+    } else {
+      ++st.discarded;  // buf_ freed below, outside the lock
+    }
+  }
+  buf_ = tensor::AlignedBuffer<std::uint8_t>();
+  size_ = 0;
+  state_.reset();
+}
+
+BufferPool::BufferPool(std::size_t max_cached_bytes)
+    : state_(std::make_shared<RegisteredBuffer::State>()) {
+  state_->max_cached_bytes = max_cached_bytes;
+}
+
+BufferPool::~BufferPool() {
+  // Outstanding leases hold the state alive; mark it closed so their
+  // releases free instead of caching into a pool nobody can drain.
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->closed = true;
+  state_->free_lists.clear();
+  state_->stats.bytes_cached = 0;
+}
+
+RegisteredBuffer BufferPool::acquire(std::size_t bytes) {
+  if (bytes == 0)
+    throw std::invalid_argument("BufferPool: cannot acquire 0 bytes");
+  const std::size_t cls = size_class(bytes);
+  tensor::AlignedBuffer<std::uint8_t> buf;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    BufferPoolStats& st = state_->stats;
+    ++st.acquires;
+    auto it = state_->free_lists.find(cls);
+    if (it != state_->free_lists.end() && !it->second.empty()) {
+      buf = std::move(it->second.back());
+      it->second.pop_back();
+      st.bytes_cached -= cls;
+      ++st.pool_hits;
+    } else {
+      ++st.pool_misses;
+    }
+    st.bytes_out += cls;
+    st.high_water_bytes_out = std::max(st.high_water_bytes_out, st.bytes_out);
+  }
+  if (buf.data() == nullptr)
+    buf = tensor::AlignedBuffer<std::uint8_t>(cls);  // outside the lock
+  return RegisteredBuffer(state_, std::move(buf), bytes);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->stats;
+}
+
+}  // namespace tvmec::serve

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tensor/buffer.h"
+
+/// Registered buffer pool for zero-copy serving.
+///
+/// The serving stack's buffer contract (see request.h) already lets the
+/// kernels read client payloads in place — but only buffers that satisfy
+/// the word fast path's preconditions (8-byte alignment; in practice the
+/// whole buffer 64-byte aligned) avoid the staged fallback. A
+/// RegisteredBuffer is a pooled, 64-byte-aligned allocation that
+/// guarantees those preconditions by construction, so a payload written
+/// into one flows submit → batch formation → scattered kernel → result
+/// with zero intermediate copies. Pooling also recycles the allocations:
+/// a serving loop acquires and releases one buffer per request, and the
+/// free-list hit means no allocator round trip and no page faulting on
+/// the hot path.
+///
+/// Leases are RAII and keep the pool's state alive: a RegisteredBuffer
+/// may safely outlive the BufferPool that issued it (its memory is then
+/// simply freed on release instead of recycled).
+namespace tvmec::serve {
+
+struct BufferPoolStats {
+  std::uint64_t acquires = 0;
+  std::uint64_t pool_hits = 0;    ///< served from the free list
+  std::uint64_t pool_misses = 0;  ///< required a fresh allocation
+  std::uint64_t releases = 0;     ///< returned to the free list
+  std::uint64_t discarded = 0;    ///< freed on release (cache full/closed)
+  std::size_t bytes_cached = 0;   ///< free-list bytes held right now
+  std::size_t bytes_out = 0;      ///< bytes currently leased
+  std::size_t high_water_bytes_out = 0;
+
+  double hit_rate() const noexcept {
+    return acquires == 0
+               ? 0.0
+               : static_cast<double>(pool_hits) /
+                     static_cast<double>(acquires);
+  }
+};
+
+class BufferPool;
+
+/// An RAII lease of one registered buffer. Movable, not copyable. The
+/// buffer is 64-byte aligned and at least size() bytes; contents of a
+/// recycled buffer are whatever the previous tenant left (callers write
+/// before they read, and kernel outputs are always fully overwritten).
+class RegisteredBuffer {
+ public:
+  RegisteredBuffer() = default;
+  RegisteredBuffer(RegisteredBuffer&&) noexcept = default;
+  RegisteredBuffer& operator=(RegisteredBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      state_ = std::move(other.state_);
+      buf_ = std::move(other.buf_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  RegisteredBuffer(const RegisteredBuffer&) = delete;
+  RegisteredBuffer& operator=(const RegisteredBuffer&) = delete;
+  ~RegisteredBuffer() { release(); }
+
+  bool valid() const noexcept { return buf_.data() != nullptr; }
+  std::uint8_t* data() noexcept { return buf_.data(); }
+  const std::uint8_t* data() const noexcept { return buf_.data(); }
+  /// The size requested from acquire() (the capacity may be larger).
+  std::size_t size() const noexcept { return size_; }
+  std::span<std::uint8_t> span() noexcept { return {buf_.data(), size_}; }
+  std::span<const std::uint8_t> span() const noexcept {
+    return {buf_.data(), size_};
+  }
+
+  /// Returns the buffer to the pool early (also called by the
+  /// destructor). Safe on an empty lease.
+  void release() noexcept;
+
+ private:
+  friend class BufferPool;
+  struct State;
+  RegisteredBuffer(std::shared_ptr<State> state,
+                   tensor::AlignedBuffer<std::uint8_t> buf, std::size_t size)
+      : state_(std::move(state)), buf_(std::move(buf)), size_(size) {}
+
+  std::shared_ptr<State> state_;
+  tensor::AlignedBuffer<std::uint8_t> buf_;
+  std::size_t size_ = 0;
+};
+
+class BufferPool {
+ public:
+  /// `max_cached_bytes` bounds the free list; buffers released past it
+  /// are freed instead of recycled.
+  explicit BufferPool(std::size_t max_cached_bytes = std::size_t{64} << 20);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Leases a buffer of at least `bytes` bytes (rounded up to a
+  /// power-of-two size class, minimum one cache line). Thread-safe.
+  /// Throws std::invalid_argument on bytes == 0.
+  RegisteredBuffer acquire(std::size_t bytes);
+
+  BufferPoolStats stats() const;
+
+ private:
+  std::shared_ptr<RegisteredBuffer::State> state_;
+};
+
+}  // namespace tvmec::serve

@@ -104,7 +104,10 @@ int EcService::effective_gemm_threads(std::size_t batch_words,
 }
 
 EcService::EcService(const ServiceConfig& config)
-    : config_(config), former_(effective_policy(config)) {
+    : config_(config),
+      plan_cache_(config.plan_cache ? config.plan_cache
+                                    : std::make_shared<core::PlanCache>()),
+      former_(effective_policy(config)) {
   if (!config_.schedule.valid())
     throw std::invalid_argument("EcService: invalid schedule");
   config_.batch = former_.policy();
@@ -306,6 +309,9 @@ EcService::CodecSlot& EcService::codec_slot(const CodecKey& key) {
     auto slot = std::make_unique<CodecSlot>(params_of(key), key.family,
                                             config_.breaker);
     slot->codec.set_schedule(config_.schedule);
+    // Every slot shares the service's plan cache: a loss pattern planned
+    // for any key/consumer is an inversion nobody pays again.
+    slot->codec.set_plan_cache(plan_cache_);
     it = codecs_.emplace(key, std::move(slot)).first;
   }
   return *it->second;
@@ -510,8 +516,16 @@ void EcService::execute_batch(std::vector<PendingRequest>& batch,
           }
           auto it = slot.naive_decode_cache.find(erased);
           if (it == slot.naive_decode_cache.end()) {
-            auto plan = ec::make_decode_plan(slot.codec.code().generator(),
-                                             erased);
+            // Plans come from the shared cache (same plans the primary
+            // path uses — the breaker degrades the *executor*, not the
+            // math); only the naive coder stays slot-local.
+            auto plan = plan_cache_->get_or_build(
+                core::PlanKey{p.req.key.k, p.req.key.r, p.req.key.w,
+                              p.req.key.family, false, erased},
+                [&]() {
+                  return ec::make_decode_plan(slot.codec.code().generator(),
+                                              erased);
+                });
             if (!plan)
               throw std::runtime_error(
                   "decode: erasure pattern is unrecoverable");
@@ -519,10 +533,10 @@ void EcService::execute_batch(std::vector<PendingRequest>& batch,
                                           plan->recovery);
             it = slot.naive_decode_cache
                      .emplace(erased, CodecSlot::NaivePlan{
-                                          std::move(*plan), std::move(coder)})
+                                          std::move(plan), std::move(coder)})
                      .first;
           }
-          const ec::DecodePlan& plan = it->second.plan;
+          const ec::DecodePlan& plan = *it->second.plan;
           const std::size_t unit = p.req.unit_size;
           std::vector<std::uint8_t> in(plan.survivors.size() * unit);
           std::vector<std::uint8_t> out(plan.erased.size() * unit);
@@ -707,6 +721,11 @@ ServeStatsSnapshot EcService::stats() const {
   out.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
   out.watchdog_aborts = watchdog_aborts_.load(std::memory_order_relaxed);
   out.watchdog_stuck = watchdog_stuck_.load(std::memory_order_relaxed);
+  {
+    const core::PlanCacheStats pc = plan_cache_->stats();
+    out.plan_cache_hits = pc.hits;
+    out.plan_cache_misses = pc.misses;
+  }
   {
     std::lock_guard lock(codecs_mutex_);
     for (const auto& [key, slot] : codecs_) {

@@ -109,6 +109,12 @@ struct ServiceConfig {
   /// which is what lets the chaos fuzzer keep a byte-exact oracle.
   std::function<bool(RequestKind, const CodecKey&, std::size_t)>
       fault_injector;
+  /// Decode-plan cache shared by every codec slot (and the degraded
+  /// naive-decode path). Null = the service creates a private one.
+  /// Passing the same cache to several services — or to StripeStore /
+  /// Codec instances the scrubber drives — lets all of them skip matrix
+  /// inversion for loss patterns any one of them has already planned.
+  std::shared_ptr<core::PlanCache> plan_cache;
 };
 
 /// Point-in-time copy of the service's counters and histograms. The
@@ -141,6 +147,10 @@ struct ServeStatsSnapshot {
   std::uint64_t breaker_probes = 0;
   std::uint64_t watchdog_aborts = 0;  ///< all-members-dead batch aborts
   std::uint64_t watchdog_stuck = 0;   ///< stuck-worker episodes flagged
+  /// Decode-plan cache traffic (the service's shared core::PlanCache;
+  /// includes other consumers when the cache is shared externally).
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
   LatencyHistogram queue_wait_ns;
   LatencyHistogram service_ns;
   LatencyHistogram total_ns;
@@ -234,7 +244,7 @@ class EcService {
     std::mutex degraded_mutex;
     std::unique_ptr<ec::MatrixCoder> naive_encoder;
     struct NaivePlan {
-      ec::DecodePlan plan;
+      std::shared_ptr<const ec::DecodePlan> plan;  // from the shared cache
       std::unique_ptr<ec::MatrixCoder> coder;
     };
     std::map<std::vector<std::size_t>, NaivePlan> naive_decode_cache;
@@ -281,6 +291,7 @@ class EcService {
                 std::size_t batch_size, bool admitted);
 
   ServiceConfig config_;
+  std::shared_ptr<core::PlanCache> plan_cache_;  // never null after ctor
   BatchFormer former_;
   std::vector<std::thread> workers_;
 

@@ -68,6 +68,13 @@ class RaidArray {
   const RetryPolicy& retry_policy() const noexcept { return retry_; }
   const RetryStats& retry_stats() const noexcept { return retry_stats_; }
 
+  /// Shares a decode-plan cache (see StripeStore::set_plan_cache):
+  /// degraded reads and rebuilds skip inversion for already-planned loss
+  /// patterns. Null detaches.
+  void set_plan_cache(std::shared_ptr<core::PlanCache> cache) {
+    codec_.set_plan_cache(std::move(cache));
+  }
+
   /// Writes one logical block. When every device is online this is a
   /// RAID small write (1 data read + 1 data write + r parity
   /// read-modify-writes); with failures it falls back to a full-stripe

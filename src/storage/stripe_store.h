@@ -70,6 +70,14 @@ class StripeStore {
   const RetryPolicy& retry_policy() const noexcept { return retry_; }
   const RetryStats& retry_stats() const noexcept { return retry_stats_; }
 
+  /// Shares a decode-plan cache with other plan consumers (the serve
+  /// workers, other stores, direct Codec users): degraded reads and the
+  /// scrubber's repair path skip matrix inversion for loss patterns any
+  /// of them has already planned. Null detaches.
+  void set_plan_cache(std::shared_ptr<core::PlanCache> cache) {
+    codec_.set_plan_cache(std::move(cache));
+  }
+
   /// Stores (or overwrites) an object: splits it into stripes of
   /// k*unit_size bytes (last stripe zero-padded), encodes, places units.
   /// Empty objects are allowed.

@@ -2,16 +2,52 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "tensor/microkernel.h"
+#include "tensor/scattered.h"
 #include "tensor/threadpool.h"
 
 namespace tvmec::tensor {
 
 namespace {
+
+std::atomic<std::uint64_t> g_stage_copies{0};
+std::atomic<std::uint64_t> g_stage_bytes{0};
+std::atomic<std::uint64_t> g_scratch_hwm{0};
+
+void raise_scratch_hwm(std::size_t bytes) {
+  std::uint64_t prev = g_scratch_hwm.load(std::memory_order_relaxed);
+  while (prev < bytes && !g_scratch_hwm.compare_exchange_weak(
+                             prev, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+thread_local AlignedBuffer<std::uint64_t> tl_scratch;
+
+/// Returns >= `words` of kernel scratch. Small requests reuse (and
+/// geometrically grow) the thread-retained buffer, but retention is capped
+/// at kScratchRetainBytes: anything larger lands in `overflow`, an
+/// AlignedBuffer owned by the calling frame and freed on return, so one
+/// giant batch can't pin scratch for the life of a worker thread.
+std::uint64_t* acquire_scratch(std::size_t words,
+                               AlignedBuffer<std::uint64_t>& overflow) {
+  raise_scratch_hwm(words * sizeof(std::uint64_t));
+  constexpr std::size_t kRetainWords =
+      kScratchRetainBytes / sizeof(std::uint64_t);
+  if (words > kRetainWords) {
+    overflow = AlignedBuffer<std::uint64_t>(words);
+    return overflow.data();
+  }
+  if (tl_scratch.size() < words)
+    tl_scratch = AlignedBuffer<std::uint64_t>(
+        std::min(kRetainWords, std::max(words, tl_scratch.size() * 2)));
+  return tl_scratch.data();
+}
 
 /// Maps a supported tile_m extent {1,2,4,8} to its dispatch-table index.
 int tile_m_index(int t) {
@@ -285,7 +321,129 @@ void gemm_naive(MatView<const typename S::value_type> a,
   }
 }
 
+/// Executes scattered columns [n0, n1): per n-block the B panel is
+/// gathered fragment-by-fragment into cache-resident scratch (the packing
+/// step of the tiled loop — each source word is read once per k-block,
+/// while it is still warm for the microkernels), the full-M C panel
+/// accumulates across k-blocks, and each C panel is scattered out exactly
+/// once. Workers own disjoint column ranges, so this is both the serial
+/// whole-matrix path and the unit of parallel work.
+void run_scattered_range(MatView<const std::uint64_t> a,
+                         const ScatteredView<const std::uint64_t>& b,
+                         const ScatteredView<std::uint64_t>& c,
+                         const Schedule& s, std::size_t n0, std::size_t n1,
+                         const CancelToken& cancel) {
+  using S = XorAnd64;
+  static constexpr auto kDispatch = make_dispatch<S>();
+  const MicroFn<S> micro =
+      kDispatch[static_cast<std::size_t>(tile_m_index(s.tile_m))]
+               [static_cast<std::size_t>(tile_n_index(s.tile_n))];
+  const std::size_t tm = static_cast<std::size_t>(s.tile_m);
+  const std::size_t tn = static_cast<std::size_t>(s.tile_n);
+  const std::size_t m = a.rows;
+  const std::size_t k = a.cols;
+  const std::size_t n = b.cols();
+  const std::size_t bk = s.block_k == 0 ? k : std::min(s.block_k, k);
+
+  std::size_t bn = s.block_n;
+  if (bn == 0) {
+    // Unlike the contiguous path, block_n == 0 cannot mean "whole N": the
+    // panel is materialized, and a full-width panel would be the staging
+    // buffer this kernel exists to avoid. Size it so B-panel + C-panel
+    // stay cache-resident.
+    constexpr std::size_t kPanelBudgetWords =
+        (std::size_t{1} << 18) / sizeof(std::uint64_t);  // 256 KiB
+    bn = kPanelBudgetWords / (bk + m);
+    bn = bn / tn * tn;
+  }
+  bn = std::max(bn, tn);
+
+  AlignedBuffer<std::uint64_t> overflow;
+  std::uint64_t* const b_panel = acquire_scratch(bk * bn + m * bn, overflow);
+  std::uint64_t* const c_panel = b_panel + bk * bn;
+
+  for (std::size_t nb = n0; nb < n1; nb += bn) {
+    cancel.throw_if_cancelled();
+    const std::size_t nn_blk = std::min(n1 - nb, bn);
+    std::memset(c_panel, 0, m * nn_blk * sizeof(std::uint64_t));
+    for (std::size_t kb = 0; kb < k; kb += bk) {
+      const std::size_t kk = std::min(k, kb + bk) - kb;
+      for (std::size_t r = 0; r < kk; ++r)
+        b.gather((kb + r) * n + nb, nn_blk, b_panel + r * nn_blk);
+      for (std::size_t i = 0; i < m; i += tm) {
+        const std::size_t mm = std::min(tm, m - i);
+        for (std::size_t j = 0; j < nn_blk; j += tn) {
+          const std::size_t nn = std::min(tn, nn_blk - j);
+          const std::uint64_t* a_ptr = a.row(i) + kb;
+          const std::uint64_t* b_ptr = b_panel + j;
+          std::uint64_t* c_ptr = c_panel + i * nn_blk + j;
+          if (mm == tm && nn == tn) {
+            micro(a_ptr, a.stride, b_ptr, nn_blk, c_ptr, nn_blk, kk);
+          } else {
+            micro_gemm_edge<S>(a_ptr, a.stride, b_ptr, nn_blk, c_ptr, nn_blk,
+                               kk, mm, nn);
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i)
+      c.scatter(i * n + nb, nn_blk, c_panel + i * nn_blk);
+  }
+}
+
 }  // namespace
+
+KernelStageStats kernel_stage_stats() noexcept {
+  return {g_stage_copies.load(std::memory_order_relaxed),
+          g_stage_bytes.load(std::memory_order_relaxed),
+          g_scratch_hwm.load(std::memory_order_relaxed)};
+}
+
+void note_staging_copy(std::size_t bytes) noexcept {
+  g_stage_copies.fetch_add(1, std::memory_order_relaxed);
+  g_stage_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::size_t kernel_scratch_retained_bytes() noexcept {
+  return tl_scratch.size() * sizeof(std::uint64_t);
+}
+
+void gemm_xorand_scattered(MatView<const std::uint64_t> a,
+                           const ScatteredView<const std::uint64_t>& b,
+                           const ScatteredView<std::uint64_t>& c,
+                           const Schedule& schedule,
+                           const CancelToken& cancel) {
+  a.validate();
+  if (!schedule.valid())
+    throw std::invalid_argument("gemm: invalid schedule");
+  if (a.rows != c.rows() || b.cols() != c.cols() || a.cols != b.rows())
+    throw std::invalid_argument("gemm: A(MxK) B(KxN) C(MxN) shape mismatch");
+  if (b.contiguous() && c.contiguous()) {
+    // Physically contiguous operands need no packing at all: same code
+    // path (and bytes) as the ordinary MatView kernel.
+    gemm_xorand(a, b.as_matview(), c.as_matview(), schedule, cancel);
+    return;
+  }
+  const std::size_t n = b.cols();
+  const std::size_t threads = static_cast<std::size_t>(schedule.num_threads);
+  if (threads <= 1) {
+    run_scattered_range(a, b, c, schedule, 0, n, cancel);
+    return;
+  }
+  // Scattered operands always partition N: M is tiny for erasure codes
+  // and C panels are column-block-local, so there is nothing to gain
+  // (and scatter-aliasing to lose) from splitting M.
+  const AxisChunks nc = make_axis_chunks(
+      n, static_cast<std::size_t>(schedule.tile_n), schedule.par_grain,
+      threads);
+  ThreadPool::shared().parallel_for(
+      nc.chunks,
+      [&](std::size_t i) {
+        const auto [lo, hi] = nc.range(i);
+        run_scattered_range(a, b, c, schedule, lo, hi, cancel);
+      },
+      threads, cancel.raw());
+}
 
 void gemm_xorand(MatView<const std::uint64_t> a, MatView<const std::uint64_t> b,
                  MatView<std::uint64_t> c, const Schedule& schedule,
@@ -323,44 +481,26 @@ void gemm_xorand_batched(MatView<const std::uint64_t> a,
     return;
   }
 
-  // Stage the request payloads side by side (the §5 chunk-accumulator
-  // pattern applied to the N axis): column block i of the wide B/C pair
-  // is request i's operand, so one kernel invocation serves the batch.
-  // The scratch is thread-local and grown geometrically: service workers
-  // form batches continuously, and a fresh AlignedBuffer per batch would
-  // pay an allocation plus a full zero-fill that the gather/GEMM
-  // immediately overwrite anyway.
-  thread_local AlignedBuffer<std::uint64_t> b_scratch;
-  thread_local AlignedBuffer<std::uint64_t> c_scratch;
-  const auto ensure = [](AlignedBuffer<std::uint64_t>& buf,
-                         std::size_t words) {
-    if (buf.size() < words)
-      buf = AlignedBuffer<std::uint64_t>(std::max(words, buf.size() * 2));
-  };
-  ensure(b_scratch, k * n_total);
-  ensure(c_scratch, m * n_total);
-  AlignedBuffer<std::uint64_t>& b_stage = b_scratch;
-  AlignedBuffer<std::uint64_t>& c_stage = c_scratch;
-  std::size_t offset = 0;
-  for (const XorAndBatch& item : items) {
-    for (std::size_t row = 0; row < k; ++row)
-      std::memcpy(b_stage.data() + row * n_total + offset, item.b.row(row),
-                  item.b.cols * sizeof(std::uint64_t));
-    offset += item.b.cols;
-  }
-
-  gemm_xorand(a, MatView<const std::uint64_t>{b_stage.data(), k, n_total,
-                                              n_total},
-              MatView<std::uint64_t>{c_stage.data(), m, n_total, n_total},
-              schedule, cancel);
-
-  offset = 0;
-  for (const XorAndBatch& item : items) {
-    for (std::size_t row = 0; row < m; ++row)
-      std::memcpy(item.c.row(row), c_stage.data() + row * n_total + offset,
-                  item.c.cols * sizeof(std::uint64_t));
-    offset += item.c.cols;
-  }
+  // Zero-copy scattered dispatch: logical row r of the wide K x (sum N_i)
+  // B matrix is the concatenation of every item's row r — a fragment
+  // list, not a staging buffer. The scattered kernel folds the gather
+  // into its panel packing, so request payloads flow to the microkernels
+  // straight from the callers' buffers. (This replaces the full-batch
+  // thread_local b_scratch/c_scratch staging this function used to do.)
+  std::vector<Fragment<const std::uint64_t>> b_frags;
+  b_frags.reserve(k * items.size());
+  for (std::size_t row = 0; row < k; ++row)
+    for (const XorAndBatch& item : items)
+      b_frags.push_back({item.b.row(row), item.b.cols});
+  std::vector<Fragment<std::uint64_t>> c_frags;
+  c_frags.reserve(m * items.size());
+  for (std::size_t row = 0; row < m; ++row)
+    for (const XorAndBatch& item : items)
+      c_frags.push_back({item.c.row(row), item.c.cols});
+  gemm_xorand_scattered(
+      a, ScatteredView<const std::uint64_t>(k, n_total, std::move(b_frags)),
+      ScatteredView<std::uint64_t>(m, n_total, std::move(c_frags)), schedule,
+      cancel);
 }
 
 void gemm_sumprod_i64(MatView<const std::int64_t> a,

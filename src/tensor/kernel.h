@@ -48,21 +48,55 @@ struct XorAndBatch {
 };
 
 /// Multi-request GEMM with an enlarged N dimension (the serving-layer
-/// batching primitive): the items' B operands are packed side by side —
-/// chunk_accumulator-style staging into one contiguous K x (sum N_i)
-/// matrix — so the whole batch executes as a single gemm_xorand call
-/// whose N axis is the concatenation of every request's data words, and
-/// the C column blocks are scattered back afterwards. GEMM efficiency
-/// grows with operand size, so many small requests batched this way run
-/// at large-N throughput instead of paying per-call tiny-N prices.
-/// A single item dispatches directly with no staging copy. Throws
-/// std::invalid_argument on any per-item shape mismatch.
-/// `cancel` follows the gemm_xorand contract; the serial item-by-item
-/// path additionally polls between items.
+/// batching primitive): the items' B operands are viewed side by side as
+/// one logical K x (sum N_i) matrix and executed zero-copy through the
+/// scattered kernel — each request's payload is a fragment of the wide
+/// operand, gathered per cache panel inside the tiled loop instead of
+/// being staged up front. GEMM efficiency grows with operand size, so
+/// many small requests batched this way run at large-N throughput
+/// instead of paying per-call tiny-N prices, and since the kernel reads
+/// the callers' buffers directly there is no staging memcpy at all.
+/// A single item dispatches directly. Throws std::invalid_argument on
+/// any per-item shape mismatch. `cancel` follows the gemm_xorand
+/// contract; the serial item-by-item path additionally polls between
+/// items, and the scattered path polls between panels.
 void gemm_xorand_batched(MatView<const std::uint64_t> a,
                          std::span<const XorAndBatch> items,
                          const Schedule& schedule,
                          const CancelToken& cancel = {});
+
+/// Observability for the §5 staging tax and kernel scratch usage.
+///
+/// `stage_copies`/`stage_bytes` count memcpys whose only purpose is to
+/// re-home operand bytes so a kernel can consume them (pointer-gather
+/// staging, degenerate-alignment fallbacks). The zero-copy scattered paths
+/// never bump them — panel packing inside the tiled loop is the kernel's
+/// own cache blocking, not staging — so a test can assert a submit→result
+/// flow performed zero staging copies. `scratch_high_water_bytes` is the
+/// largest single scratch acquisition any kernel call requested.
+/// Counters are process-wide, monotonic, and relaxed-atomic.
+struct KernelStageStats {
+  std::uint64_t stage_copies = 0;
+  std::uint64_t stage_bytes = 0;
+  std::uint64_t scratch_high_water_bytes = 0;
+};
+
+KernelStageStats kernel_stage_stats() noexcept;
+
+/// Records one staging memcpy of `bytes` bytes. Called by every layer that
+/// still stages (encode_ptrs gather, misaligned-buffer fallbacks), so the
+/// counter means the same thing from the kernel tier up.
+void note_staging_copy(std::size_t bytes) noexcept;
+
+/// Kernel scratch retained per thread is capped at this many bytes;
+/// requests beyond it are served from a transient allocation owned by the
+/// calling frame instead, so one giant batch can't pin memory for the
+/// life of a worker thread.
+inline constexpr std::size_t kScratchRetainBytes = std::size_t{1} << 20;
+
+/// Bytes of kernel scratch currently retained by the calling thread
+/// (test hook for the retention cap).
+std::size_t kernel_scratch_retained_bytes() noexcept;
 
 void gemm_sumprod_i64(MatView<const std::int64_t> a,
                       MatView<const std::int64_t> b, MatView<std::int64_t> c,

@@ -99,6 +99,9 @@ void FuzzConfig::validate() const {
   } else if (l != 0) {
     throw std::invalid_argument("FuzzConfig: l only applies to scenario lrc");
   }
+  if (frag != 0 && scenario != Scenario::RsEncode)
+    throw std::invalid_argument(
+        "FuzzConfig: frag only applies to scenario rs-encode");
   // LRC local parities are plain XOR rows; only the k data points plus g
   // global parities need distinct field points. MDS codes need all n.
   const std::size_t field_points =
@@ -131,6 +134,7 @@ std::string format_repro(const FuzzConfig& config) {
       out << (i ? "," : "") << config.losses[i];
   }
   if (config.sched != 0) out << " sched=" << config.sched;
+  if (config.frag != 0) out << " frag=" << config.frag;
   return out.str();
 }
 
@@ -168,6 +172,8 @@ FuzzConfig parse_repro(const std::string& text) {
       config.losses = parse_losses(value);
     } else if (key == "sched") {
       config.sched = static_cast<std::size_t>(parse_u64(value, key));
+    } else if (key == "frag") {
+      config.frag = parse_u64(value, key);
     } else {
       throw std::invalid_argument("parse_repro: unknown key '" +
                                   std::string(key) + "'");
@@ -209,6 +215,10 @@ FuzzConfig random_config(std::mt19937_64& rng) {
 
   // Over-weight unit_size == w: single-byte packets, the padding path.
   c.unit_size = rng() % 5 == 0 ? c.w : c.w * pick(1, 32);
+
+  // About a quarter of encode iterations also run the scattered arms.
+  if (c.scenario == Scenario::RsEncode && rng() % 4 == 0)
+    c.frag = rng() | 1;  // any nonzero seed
 
   // Loss pattern. Decode scenarios erase units; storage fails nodes.
   // The serve scenario feeds its losses to decode submissions (empty =

@@ -52,6 +52,13 @@ struct FuzzConfig {
   /// Index into the fuzzer's fixed GEMM schedule menu (0 = default
   /// schedule). See DiffFuzzer::schedule_menu().
   std::size_t sched = 0;
+  /// Scattered-operand axis (RsEncode only): when nonzero, seeds the
+  /// random fragmentation of two extra arms — Codec::encode_scattered
+  /// over separately allocated per-unit buffers (aligned and misaligned
+  /// mixed), and gemm_xorand_scattered over operands split at random
+  /// word boundaries — both compared byte-for-byte against the
+  /// contiguous result. 0 = contiguous-only iteration.
+  std::uint64_t frag = 0;
 
   /// Total units in the code (k + r, or k + l + g for LRC).
   std::size_t n() const noexcept {

@@ -37,6 +37,18 @@ TEST(FuzzRepro, FormatIsStable) {
   EXPECT_EQ(format_repro(config),
             "fuzz:v1 s=rs-decode f=cauchy-good k=6 r=3 w=8 u=128 seed=42 "
             "loss=1,3 sched=2");
+
+  FuzzConfig scattered;
+  scattered.scenario = Scenario::RsEncode;
+  scattered.k = 4;
+  scattered.r = 2;
+  scattered.unit_size = 64;
+  scattered.seed = 7;
+  scattered.frag = 12345;
+  EXPECT_EQ(format_repro(scattered),
+            "fuzz:v1 s=rs-encode f=cauchy-good k=4 r=2 w=8 u=64 seed=7 "
+            "frag=12345");
+  EXPECT_EQ(parse_repro(format_repro(scattered)), scattered);
 }
 
 TEST(FuzzRepro, ParseRejectsMalformedInput) {
@@ -49,6 +61,9 @@ TEST(FuzzRepro, ParseRejectsMalformedInput) {
                std::invalid_argument);
   // Unit size must be a multiple of w.
   EXPECT_THROW(parse_repro("fuzz:v1 s=rs-encode k=4 r=2 w=8 u=60"),
+               std::invalid_argument);
+  // The scattered axis only applies to encode iterations.
+  EXPECT_THROW(parse_repro("fuzz:v1 s=rs-decode k=4 r=2 w=8 u=64 frag=5"),
                std::invalid_argument);
 }
 
@@ -91,6 +106,15 @@ TEST(DiffFuzz, EdgeCaseReprosPass) {
       "fuzz:v1 s=rs-decode k=1 r=2 w=8 u=64 seed=4 loss=0",
       // r == 0: degenerate striping-only code, nothing to encode.
       "fuzz:v1 s=rs-encode k=5 r=0 w=8 u=64 seed=5",
+      // The scattered arms: fragmented operands and per-unit buffers,
+      // aligned/misaligned mixed, across families, schedules, and the
+      // degenerate shapes.
+      "fuzz:v1 s=rs-encode k=4 r=2 w=8 u=64 seed=5 frag=1",
+      "fuzz:v1 s=rs-encode k=10 r=4 w=8 u=512 seed=5 sched=2 frag=99",
+      "fuzz:v1 s=rs-encode f=vandermonde k=6 r=3 w=16 u=128 seed=5 frag=7",
+      "fuzz:v1 s=rs-encode k=1 r=1 w=8 u=8 seed=5 frag=3",
+      "fuzz:v1 s=rs-encode k=5 r=0 w=8 u=64 seed=5 frag=2",
+      "fuzz:v1 s=rs-encode k=3 r=2 w=4 u=4 seed=5 sched=4 frag=11",
       // Unsorted and duplicate loss ids must decode identically.
       "fuzz:v1 s=rs-decode k=6 r=3 w=8 u=64 seed=6 loss=3,1",
       "fuzz:v1 s=rs-decode k=6 r=3 w=8 u=64 seed=6 loss=2,2",
