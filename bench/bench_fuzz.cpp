@@ -43,6 +43,10 @@ testing::FuzzConfig scenario_config(testing::Scenario s) {
     case testing::Scenario::ServeChaos:
       c.losses = {1, 6};
       break;
+    case testing::Scenario::Cluster:
+    case testing::Scenario::ClusterRepair:
+      c.losses = {2, 7};
+      break;
     case testing::Scenario::RsEncode:
       break;
   }
@@ -92,6 +96,12 @@ BENCHMARK_CAPTURE(bm_fuzz_scenario, serve,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_fuzz_scenario, serve_chaos,
                   testing::Scenario::ServeChaos)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fuzz_scenario, cluster,
+                  testing::Scenario::Cluster)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fuzz_scenario, cluster_repair,
+                  testing::Scenario::ClusterRepair)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_fuzz_campaign)->Arg(25)->Unit(benchmark::kMillisecond);
 

@@ -35,6 +35,10 @@ struct Fixture {
     // A representative tuned schedule; an untuned encode would understate
     // the relative gather cost the paper reports.
     codec.set_schedule(tensor::Schedule{8, 16, 0, 512, 1});
+    // This bench measures the raw zero-copy mechanism at every size; the
+    // default sub-16 KB routing to the accumulator would silently turn
+    // the small-unit arm into the staged path it's being compared with.
+    codec.set_scattered_staging_threshold(0);
     for (std::size_t i = 0; i < kK; ++i) {
       scattered.push_back(benchutil::random_data(unit, 20 + i));
       scattered_ptrs.push_back(scattered.back().data());

@@ -1,0 +1,456 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "cluster/repair.h"
+
+namespace tvmec::cluster {
+
+Cluster::Cluster(const ec::CodeParams& params, std::size_t unit_size,
+                 const ClusterConfig& config)
+    : params_(params),
+      unit_size_(unit_size),
+      config_(config),
+      codec_(params),
+      net_(config.num_nodes, config.num_domains, config.net, config.seed),
+      nodes_(config.num_nodes),
+      retry_(config.retry),
+      ewma_(config.num_nodes) {
+  ec::packet_bytes(params, unit_size);  // validates unit_size
+  if (config.num_nodes < params.n())
+    throw std::invalid_argument(
+        "Cluster: need at least k + r nodes for distinct placement");
+  repairer_ = std::make_unique<RepairCoordinator>(*this);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::set_plan_cache(std::shared_ptr<core::PlanCache> cache) {
+  plan_cache_ = cache;
+  codec_.set_plan_cache(std::move(cache));
+}
+
+void Cluster::set_repair_config(const RepairConfig& config) {
+  repairer_->set_config(config);
+}
+
+const RepairStats& Cluster::repair_stats() const {
+  return repairer_->stats();
+}
+
+void Cluster::put(const std::string& name,
+                  std::span<const std::uint8_t> bytes) {
+  remove(name);
+  const std::size_t k = params_.k;
+  const std::size_t n = params_.n();
+  const std::size_t stripe_data = k * unit_size_;
+  const std::size_t num_stripes =
+      bytes.empty() ? 0 : (bytes.size() + stripe_data - 1) / stripe_data;
+
+  ObjectMeta meta;
+  meta.size = bytes.size();
+  std::vector<std::uint8_t> stripe(n * unit_size_);
+  for (std::size_t s = 0; s < num_stripes; ++s) {
+    // Place this stripe's n units on consecutive nodes from a rotating
+    // start: with domain_of(i) == i % D, consecutive node ids round-robin
+    // the failure domains, so the stripe spreads over min(n, D) domains.
+    StripeLocation loc;
+    loc.nodes.resize(n);
+    const std::size_t start = next_rotation_++;
+    for (std::size_t u = 0; u < n; ++u)
+      loc.nodes[u] = (start + u) % nodes_.size();
+
+    std::fill(stripe.begin(), stripe.end(), 0);
+    const std::size_t off = s * stripe_data;
+    const std::size_t take = std::min(stripe_data, bytes.size() - off);
+    std::memcpy(stripe.data(), bytes.data() + off, take);
+    codec_.encode(std::span<const std::uint8_t>(stripe.data(), stripe_data),
+                  std::span<std::uint8_t>(stripe.data() + stripe_data,
+                                          (n - k) * unit_size_),
+                  unit_size_);
+
+    loc.unit_crcs.resize(n);
+    for (std::size_t u = 0; u < n; ++u)
+      loc.unit_crcs[u] = storage::crc32c(
+          {stripe.data() + u * unit_size_, unit_size_});
+    for (std::size_t u = 0; u < n; ++u)
+      store_unit(name, loc, s, u, stripe.data() + u * unit_size_);
+    meta.stripes.push_back(std::move(loc));
+    ++stats_.stripes_written;
+  }
+  objects_[name] = std::move(meta);
+  stats_.objects = objects_.size();
+}
+
+std::optional<std::vector<std::uint8_t>> Cluster::get(
+    const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return std::nullopt;
+  const ObjectMeta& meta = it->second;
+  std::vector<std::uint8_t> out;
+  out.reserve(meta.size);
+  const std::size_t stripe_data = params_.k * unit_size_;
+  for (std::size_t s = 0; s < meta.stripes.size(); ++s) {
+    const auto stripe = read_stripe(name, meta, s);
+    const std::size_t take = std::min(stripe_data, meta.size - out.size());
+    out.insert(out.end(), stripe.data(), stripe.data() + take);
+  }
+  out.resize(meta.size);
+  return out;
+}
+
+bool Cluster::exists(const std::string& name) const {
+  return objects_.contains(name);
+}
+
+void Cluster::remove(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return;
+  for (std::size_t s = 0; s < it->second.stripes.size(); ++s) {
+    const auto& loc = it->second.stripes[s];
+    for (std::size_t u = 0; u < loc.nodes.size(); ++u)
+      nodes_[loc.nodes[u]].units.erase({name, s, u});
+  }
+  objects_.erase(it);
+  stats_.objects = objects_.size();
+}
+
+void Cluster::fail_node(std::size_t node) {
+  if (node >= nodes_.size())
+    throw std::invalid_argument("Cluster: node out of range");
+  mark_node_failed(node);
+}
+
+void Cluster::mark_node_failed(std::size_t node) {
+  Node& n = nodes_[node];
+  if (n.failed) return;
+  n.failed = true;
+  n.units.clear();
+  ++stats_.failed_nodes;
+}
+
+void Cluster::revive_node(std::size_t node) {
+  if (node >= nodes_.size())
+    throw std::invalid_argument("Cluster: node out of range");
+  // Clear injector crash state even when the failure never reached the
+  // cluster's own bookkeeping (a crash observed by no op yet).
+  if (injector_ != nullptr) injector_->repair_node(node);
+  Node& n = nodes_[node];
+  if (!n.failed) return;
+  n.failed = false;
+  if (stats_.failed_nodes > 0) --stats_.failed_nodes;
+}
+
+bool Cluster::node_failed(std::size_t node) const {
+  return node < nodes_.size() &&
+         (nodes_[node].failed ||
+          (injector_ != nullptr && injector_->crashed(node)));
+}
+
+const std::vector<std::size_t>& Cluster::placement(const std::string& name,
+                                                   std::size_t s) const {
+  const auto it = objects_.find(name);
+  if (it == objects_.end() || s >= it->second.stripes.size())
+    throw std::invalid_argument("Cluster::placement: unknown object/stripe");
+  return it->second.stripes[s].nodes;
+}
+
+std::size_t Cluster::object_stripe_count(const std::string& name) const {
+  const auto it = objects_.find(name);
+  return it == objects_.end() ? 0 : it->second.stripes.size();
+}
+
+std::vector<std::string> Cluster::object_names() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, meta] : objects_) names.push_back(name);
+  return names;
+}
+
+bool Cluster::corrupt_unit(const std::string& name, std::size_t stripe,
+                           std::size_t unit) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end() || stripe >= it->second.stripes.size() ||
+      unit >= params_.n())
+    return false;
+  const std::size_t node = it->second.stripes[stripe].nodes[unit];
+  if (node_failed(node)) return false;
+  const auto uit = nodes_[node].units.find({name, stripe, unit});
+  if (uit == nodes_[node].units.end()) return false;
+  uit->second.bytes[0] ^= 0x5A;
+  return true;
+}
+
+std::size_t Cluster::repair() { return repairer_->repair_all(); }
+
+std::size_t Cluster::scrub() {
+  std::size_t bad_units = 0;
+  for (const auto& name : object_names()) {
+    const auto it = objects_.find(name);
+    if (it == objects_.end()) continue;
+    for (std::size_t s = 0; s < it->second.stripes.size(); ++s) {
+      const StripeLocation& loc = it->second.stripes[s];
+      // Node-local integrity pass: CRC every stored copy against the
+      // metadata checksum; no payload bytes cross the network here.
+      std::size_t bad = 0;
+      for (std::size_t u = 0; u < loc.nodes.size(); ++u) {
+        const std::size_t node = loc.nodes[u];
+        if (node_failed(node)) {
+          ++bad;
+          continue;
+        }
+        const auto uit = nodes_[node].units.find({name, s, u});
+        if (uit == nodes_[node].units.end()) {
+          ++bad;
+          continue;
+        }
+        if (storage::crc32c(uit->second.bytes) != loc.unit_crcs[u]) {
+          ++bad;
+          ++stats_.corruptions_detected;
+        }
+      }
+      if (bad > 0) {
+        bad_units += bad;
+        repairer_->repair_stripe(name, s);
+      }
+    }
+  }
+  return bad_units;
+}
+
+double Cluster::node_ewma_us(std::size_t node) const {
+  return node < ewma_.size() ? ewma_[node].value : 0.0;
+}
+
+void Cluster::update_ewma(std::size_t node, std::uint64_t latency_us) {
+  Ewma& e = ewma_[node];
+  const double sample = static_cast<double>(latency_us);
+  e.value = e.samples == 0
+                ? sample
+                : config_.hedge.ewma_alpha * sample +
+                      (1.0 - config_.hedge.ewma_alpha) * e.value;
+  ++e.samples;
+}
+
+bool Cluster::store_unit(const std::string& name, const StripeLocation& loc,
+                         std::size_t s, std::size_t u,
+                         const std::uint8_t* src) {
+  const std::size_t node = loc.nodes[u];
+  if (node_failed(node)) return false;
+
+  // Ship the unit client -> node; a dropped message is retried under the
+  // capped-backoff policy.
+  std::uint64_t latency = 0;
+  const bool shipped = storage::with_retries(
+      retry_, retry_stats_, storage::FaultInjector::key(name, s, u),
+      [&]() {
+        const SendResult r = net_.send(net_.client(), node, unit_size_);
+        latency += r.latency_us;
+        return r.delivered ? storage::Attempt::Success
+                           : storage::Attempt::Retry;
+      });
+  stats_.write_virtual_us += latency;
+  if (!shipped) return false;
+
+  StoredUnit unit;
+  unit.bytes.assign(src, src + unit_size_);
+  // The recorded checksum is of the *intended* bytes: injected write
+  // corruption must stay detectable on read.
+  unit.crc = storage::crc32c({src, unit_size_});
+  if (injector_ != nullptr &&
+      !injector_->on_write(node, storage::FaultInjector::key(name, s, u),
+                           unit.bytes)) {
+    mark_node_failed(node);
+    return false;
+  }
+  nodes_[node].units[{name, s, u}] = std::move(unit);
+  return true;
+}
+
+Cluster::UnitRead Cluster::read_unit_rpc(const std::string& name,
+                                         const StripeLocation& loc,
+                                         std::size_t s, std::size_t u,
+                                         std::uint8_t* dest,
+                                         std::uint64_t* latency_us) {
+  const std::size_t node = loc.nodes[u];
+  if (node_failed(node)) return UnitRead::Missing;
+
+  UnitRead result = UnitRead::Missing;
+  std::uint64_t latency = 0;
+  storage::with_retries(
+      retry_, retry_stats_, storage::FaultInjector::key(name, s, u),
+      [&]() {
+        const auto uit = nodes_[node].units.find({name, s, u});
+        if (uit == nodes_[node].units.end()) {
+          result = UnitRead::Missing;
+          return storage::Attempt::Abort;
+        }
+        std::vector<std::uint8_t> copy = uit->second.bytes;
+        if (injector_ != nullptr) {
+          switch (injector_->on_read(
+              node, storage::FaultInjector::key(name, s, u), copy)) {
+            case storage::ReadFault::Crash:
+              mark_node_failed(node);
+              result = UnitRead::Missing;
+              return storage::Attempt::Abort;
+            case storage::ReadFault::Transient:
+              return storage::Attempt::Retry;
+            case storage::ReadFault::None:
+              break;
+          }
+        }
+        // The response carries the unit payload node -> client.
+        const SendResult r = net_.send(node, net_.client(), unit_size_);
+        latency += r.latency_us;
+        if (!r.delivered) return storage::Attempt::Retry;
+        if (storage::crc32c(copy) != loc.unit_crcs[u]) {
+          // A read-side flip heals on re-read; persisted corruption
+          // doesn't. Either way retry once more, then report Corrupt.
+          ++stats_.corruptions_detected;
+          result = UnitRead::Corrupt;
+          return storage::Attempt::Retry;
+        }
+        std::memcpy(dest, copy.data(), unit_size_);
+        result = UnitRead::Ok;
+        return storage::Attempt::Success;
+      });
+  *latency_us = latency;
+  return result;
+}
+
+Cluster::UnitRead Cluster::read_unit_local(const std::string& name,
+                                           const StripeLocation& loc,
+                                           std::size_t s, std::size_t u,
+                                           std::uint8_t* dest) {
+  const std::size_t node = loc.nodes[u];
+  if (node_failed(node)) return UnitRead::Missing;
+  UnitRead result = UnitRead::Missing;
+  storage::with_retries(
+      retry_, retry_stats_, storage::FaultInjector::key(name, s, u + 1000),
+      [&]() {
+        const auto uit = nodes_[node].units.find({name, s, u});
+        if (uit == nodes_[node].units.end()) {
+          result = UnitRead::Missing;
+          return storage::Attempt::Abort;
+        }
+        std::vector<std::uint8_t> copy = uit->second.bytes;
+        if (injector_ != nullptr) {
+          switch (injector_->on_read(
+              node, storage::FaultInjector::key(name, s, u), copy)) {
+            case storage::ReadFault::Crash:
+              mark_node_failed(node);
+              result = UnitRead::Missing;
+              return storage::Attempt::Abort;
+            case storage::ReadFault::Transient:
+              return storage::Attempt::Retry;
+            case storage::ReadFault::None:
+              break;
+          }
+        }
+        if (storage::crc32c(copy) != loc.unit_crcs[u]) {
+          ++stats_.corruptions_detected;
+          result = UnitRead::Corrupt;
+          return storage::Attempt::Retry;
+        }
+        std::memcpy(dest, copy.data(), unit_size_);
+        result = UnitRead::Ok;
+        return storage::Attempt::Success;
+      });
+  return result;
+}
+
+std::vector<std::uint8_t> Cluster::read_stripe(const std::string& name,
+                                               const ObjectMeta& meta,
+                                               std::size_t s) {
+  const std::size_t k = params_.k;
+  const std::size_t n = params_.n();
+  const StripeLocation& loc = meta.stripes[s];
+  std::vector<std::uint8_t> stripe(n * unit_size_);
+  std::vector<bool> have(n, false);
+  std::vector<std::size_t> erased;
+  std::uint64_t stripe_latency = 0;
+  const HedgeConfig& hedge = config_.hedge;
+
+  // Fan out the k data-unit reads (modeled as parallel: the stripe's
+  // latency is the slowest unit's effective latency).
+  for (std::size_t u = 0; u < k; ++u) {
+    std::uint64_t latency = 0;
+    const UnitRead r =
+        read_unit_rpc(name, loc, s, u, stripe.data() + u * unit_size_,
+                      &latency);
+    if (r != UnitRead::Ok) {
+      erased.push_back(u);
+      continue;
+    }
+    have[u] = true;
+    std::uint64_t effective = latency;
+    const std::size_t node = loc.nodes[u];
+    const Ewma ewma_before = ewma_[node];
+    update_ewma(node, latency);
+    // Hedge: the straggler blew its EWMA budget, so a second request
+    // for a parity unit was (virtually) issued at the budget mark. The
+    // recovered bytes are identical either way — both paths verify the
+    // same metadata CRC — only the modeled completion time differs.
+    if (hedge.enabled && ewma_before.samples >= hedge.min_samples) {
+      const auto budget = static_cast<std::uint64_t>(hedge.multiplier *
+                                                     ewma_before.value);
+      if (latency > budget) {
+        for (std::size_t p = k; p < n; ++p) {
+          if (have[p] || node_failed(loc.nodes[p])) continue;
+          ++stats_.hedged_reads;
+          std::uint64_t hedge_latency = 0;
+          const UnitRead hr =
+              read_unit_rpc(name, loc, s, p,
+                            stripe.data() + p * unit_size_, &hedge_latency);
+          if (hr == UnitRead::Ok) {
+            have[p] = true;
+            update_ewma(loc.nodes[p], hedge_latency);
+            if (budget + hedge_latency < latency) {
+              ++stats_.hedge_wins;
+              effective = budget + hedge_latency;
+            }
+          }
+          break;
+        }
+      }
+    }
+    stripe_latency = std::max(stripe_latency, effective);
+  }
+
+  if (!erased.empty()) {
+    // Degraded read: pull every remaining live unit, then decode the
+    // holes through the survivors on the client.
+    for (std::size_t u = k; u < n; ++u) {
+      if (have[u]) continue;
+      std::uint64_t latency = 0;
+      const UnitRead r =
+          read_unit_rpc(name, loc, s, u, stripe.data() + u * unit_size_,
+                        &latency);
+      if (r == UnitRead::Ok) {
+        have[u] = true;
+        update_ewma(loc.nodes[u], latency);
+        stripe_latency = std::max(stripe_latency, latency);
+      } else {
+        erased.push_back(u);
+      }
+    }
+    if (erased.size() > params_.r)
+      throw std::runtime_error(
+          "Cluster::get: stripe unrecoverable (more than r units lost)");
+    codec_.decode(stripe, erased, unit_size_);
+    for (const std::size_t u : erased) {
+      if (storage::crc32c({stripe.data() + u * unit_size_, unit_size_}) !=
+          loc.unit_crcs[u])
+        throw std::runtime_error(
+            "Cluster::get: reconstructed unit failed checksum");
+    }
+    ++stats_.degraded_reads;
+  }
+
+  stats_.read_virtual_us += stripe_latency;
+  return stripe;
+}
+
+}  // namespace tvmec::cluster

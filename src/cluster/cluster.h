@@ -1,0 +1,242 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/net.h"
+#include "core/tvmec.h"
+#include "ec/code_params.h"
+#include "storage/crc32c.h"
+#include "storage/fault_injector.h"
+#include "storage/retry.h"
+
+/// A deterministic simulated multi-node erasure-coded cluster — the
+/// multi-node counterpart of StripeStore. Each ClusterNode owns a local
+/// unit store; every unit that moves between endpoints moves over the
+/// modeled Network (so traffic, latency, and link faults are accounted),
+/// and every local disk op consults the shared FaultInjector (so disk
+/// and wire chaos replay from one seed).
+///
+/// Robustness features this layer adds over StripeStore:
+///  - stripe placement across failure domains (a stripe's n units spread
+///    over min(n, num_domains) domains, so one domain outage costs at
+///    most ceil(n/domains) units per stripe)
+///  - degraded reads: dead/slow/corrupt units detected per-RPC (timeout
+///    == retry exhaustion under storage::RetryPolicy) fall back to
+///    decode-through-survivors on the client
+///  - hedged reads: a per-node EWMA latency tracker arms a hedge budget;
+///    a straggling read past multiplier x EWMA triggers a second,
+///    parity-backed request, and the modeled completion takes the
+///    faster path (the recovered bytes are identical either way —
+///    asserted against metadata CRCs)
+///
+/// Repair (DAG-based, partial aggregation at helpers) lives in
+/// cluster/repair.h; Cluster::scrub() and Cluster::repair() drive it.
+namespace tvmec::cluster {
+
+class RepairCoordinator;
+struct RepairConfig;
+struct RepairStats;
+
+/// Hedged-read policy. The EWMA is per source node over delivered read
+/// latencies; hedging stays off for a node until it has min_samples.
+struct HedgeConfig {
+  bool enabled = true;
+  double ewma_alpha = 0.2;     ///< new = alpha*sample + (1-alpha)*old
+  double multiplier = 3.0;     ///< budget = multiplier * EWMA
+  std::uint32_t min_samples = 8;
+};
+
+struct ClusterConfig {
+  std::size_t num_nodes = 0;
+  std::size_t num_domains = 1;
+  NetConfig net;
+  storage::RetryPolicy retry;
+  HedgeConfig hedge;
+  std::uint64_t seed = 0xC1457;  ///< network jitter stream
+};
+
+struct ClusterStats {
+  std::size_t objects = 0;
+  std::size_t stripes_written = 0;
+  std::size_t degraded_reads = 0;   ///< stripes that needed reconstruction
+  std::size_t hedged_reads = 0;     ///< hedge requests issued
+  std::size_t hedge_wins = 0;       ///< hedged path beat the straggler
+  std::size_t corruptions_detected = 0;
+  std::size_t units_repaired = 0;   ///< units rebuilt by repair()/scrub()
+  std::size_t failed_nodes = 0;
+  std::uint64_t read_virtual_us = 0;  ///< summed modeled stripe-read latency
+  std::uint64_t write_virtual_us = 0;
+};
+
+class Cluster {
+ public:
+  /// num_nodes must be >= k + r (distinct nodes per stripe). unit_size
+  /// follows the codec contract (positive multiple of w bytes).
+  Cluster(const ec::CodeParams& params, std::size_t unit_size,
+          const ClusterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ec::CodeParams& params() const noexcept { return params_; }
+  std::size_t unit_size() const noexcept { return unit_size_; }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  std::size_t num_domains() const noexcept { return net_.num_domains(); }
+  std::size_t domain_of(std::size_t node) const noexcept {
+    return net_.domain_of(node);
+  }
+
+  Network& net() noexcept { return net_; }
+  const Network& net() const noexcept { return net_; }
+  core::Codec& codec() noexcept { return codec_; }
+
+  /// Attaches the one fault injector to both the disk ops and the
+  /// network links. Non-owning; null detaches.
+  void attach_fault_injector(storage::FaultInjector* injector) noexcept {
+    injector_ = injector;
+    net_.attach_fault_injector(injector);
+  }
+  storage::FaultInjector* fault_injector() const noexcept {
+    return injector_;
+  }
+
+  void set_retry_policy(const storage::RetryPolicy& policy) noexcept {
+    retry_ = policy;
+  }
+  const storage::RetryPolicy& retry_policy() const noexcept { return retry_; }
+  const storage::RetryStats& retry_stats() const noexcept {
+    return retry_stats_;
+  }
+
+  /// Shares a decode-plan cache across degraded reads, the repair
+  /// coordinator (which keys plans with a locality dimension), and any
+  /// other consumers. Null detaches.
+  void set_plan_cache(std::shared_ptr<core::PlanCache> cache);
+  const std::shared_ptr<core::PlanCache>& plan_cache() const noexcept {
+    return plan_cache_;
+  }
+
+  /// Stores an object: stripes of k*unit_size bytes (last zero-padded),
+  /// encoded, units shipped over the network to their placed nodes.
+  void put(const std::string& name, std::span<const std::uint8_t> bytes);
+
+  /// Retrieves an object; reads degrade through survivors and hedge
+  /// around stragglers. Returns nullopt for unknown names; throws
+  /// std::runtime_error when a stripe has more than r units unreachable.
+  std::optional<std::vector<std::uint8_t>> get(const std::string& name);
+
+  bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+
+  /// Marks a node failed and drops its units (a dead machine).
+  void fail_node(std::size_t node);
+  /// Replacement hardware: the node rejoins empty; injector crash state
+  /// for it is cleared.
+  void revive_node(std::size_t node);
+  bool node_failed(std::size_t node) const;
+
+  /// Nodes holding each unit of object `name`'s stripe `s` (n entries).
+  /// Throws std::invalid_argument on unknown object/stripe.
+  const std::vector<std::size_t>& placement(const std::string& name,
+                                            std::size_t s) const;
+  std::size_t object_stripe_count(const std::string& name) const;
+  std::vector<std::string> object_names() const;
+
+  /// Test/chaos hook: flips one byte of a stored unit, checksum left
+  /// stale. Returns false when the unit is not on a live node.
+  bool corrupt_unit(const std::string& name, std::size_t stripe,
+                    std::size_t unit);
+
+  /// DAG-based repair of everything lost or corrupt (see repair.h).
+  /// Returns units rebuilt. Unrecoverable stripes are skipped.
+  std::size_t repair();
+  /// Integrity pass: local CRC verification on every node, DAG repair of
+  /// every bad unit found. Returns corrupt-or-missing units detected.
+  std::size_t scrub();
+
+  RepairCoordinator& repairer() noexcept { return *repairer_; }
+  void set_repair_config(const RepairConfig& config);
+  const RepairStats& repair_stats() const;
+
+  const ClusterStats& stats() const noexcept { return stats_; }
+  const HedgeConfig& hedge_config() const noexcept { return config_.hedge; }
+  /// Current EWMA read latency for a node (0 until sampled).
+  double node_ewma_us(std::size_t node) const;
+
+ private:
+  friend class RepairCoordinator;
+
+  struct StoredUnit {
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t crc = 0;
+  };
+  struct Node {
+    bool failed = false;
+    std::map<std::tuple<std::string, std::size_t, std::size_t>, StoredUnit>
+        units;
+  };
+  struct StripeLocation {
+    std::vector<std::size_t> nodes;      ///< node per unit, n entries
+    std::vector<std::uint32_t> unit_crcs;  ///< intended contents, n entries
+  };
+  struct ObjectMeta {
+    std::size_t size = 0;
+    std::vector<StripeLocation> stripes;
+  };
+
+  enum class UnitRead { Ok, Missing, Corrupt };
+
+  /// One remote unit read: RPC over the network with retries, disk
+  /// faults, CRC verification against metadata (one re-read on
+  /// mismatch). On Ok, dest holds unit_size_ bytes and *latency_us the
+  /// modeled response latency of the winning attempt.
+  UnitRead read_unit_rpc(const std::string& name, const StripeLocation& loc,
+                         std::size_t s, std::size_t u, std::uint8_t* dest,
+                         std::uint64_t* latency_us);
+
+  /// Node-local read used by repair helpers (no client RPC): disk faults
+  /// + CRC only.
+  UnitRead read_unit_local(const std::string& name, const StripeLocation& loc,
+                           std::size_t s, std::size_t u, std::uint8_t* dest);
+
+  /// Ships `src` over the network and persists it as unit u on its
+  /// node (write faults apply). False when the unit could not be stored.
+  bool store_unit(const std::string& name, const StripeLocation& loc,
+                  std::size_t s, std::size_t u, const std::uint8_t* src);
+
+  /// Reads stripe s with degradation + hedging; returns the full n-unit
+  /// buffer and accumulates modeled latency.
+  std::vector<std::uint8_t> read_stripe(const std::string& name,
+                                        const ObjectMeta& meta, std::size_t s);
+
+  void update_ewma(std::size_t node, std::uint64_t latency_us);
+  void mark_node_failed(std::size_t node);
+
+  ec::CodeParams params_;
+  std::size_t unit_size_;
+  ClusterConfig config_;
+  core::Codec codec_;
+  Network net_;
+  std::vector<Node> nodes_;
+  std::map<std::string, ObjectMeta> objects_;
+  ClusterStats stats_;
+  std::size_t next_rotation_ = 0;
+  storage::FaultInjector* injector_ = nullptr;
+  storage::RetryPolicy retry_;
+  storage::RetryStats retry_stats_;
+  std::shared_ptr<core::PlanCache> plan_cache_;
+  struct Ewma {
+    double value = 0.0;
+    std::uint32_t samples = 0;
+  };
+  std::vector<Ewma> ewma_;
+  std::unique_ptr<RepairCoordinator> repairer_;
+};
+
+}  // namespace tvmec::cluster

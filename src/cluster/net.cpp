@@ -1,0 +1,91 @@
+#include "cluster/net.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tvmec::cluster {
+
+Network::Network(std::size_t num_nodes, std::size_t num_domains,
+                 const NetConfig& config, std::uint64_t seed)
+    : num_nodes_(num_nodes),
+      num_domains_(num_domains),
+      config_(config),
+      jitter_rng_(seed),
+      ingress_bytes_(num_nodes + 1, 0) {
+  if (num_nodes == 0)
+    throw std::invalid_argument("Network: need at least one node");
+  if (num_domains == 0 || num_domains > num_nodes)
+    throw std::invalid_argument(
+        "Network: num_domains must be in [1, num_nodes]");
+  if (config.bytes_per_us == 0)
+    throw std::invalid_argument("Network: bytes_per_us must be positive");
+}
+
+SendResult Network::send(std::size_t src, std::size_t dst,
+                         std::size_t bytes) {
+  if (src > num_nodes_ || dst > num_nodes_)
+    throw std::invalid_argument("Network::send: endpoint out of range");
+
+  SendResult result;
+  result.latency_us = config_.base_latency_us + bytes / config_.bytes_per_us;
+  const bool cross = domain_of(src) != domain_of(dst);
+  if (cross) result.latency_us += config_.cross_domain_extra_us;
+  if (config_.jitter_us > 0)
+    result.latency_us += std::uniform_int_distribution<std::uint64_t>(
+        0, config_.jitter_us)(jitter_rng_);
+
+  auto fault = storage::LinkFault::None;
+  if (injector_ != nullptr)
+    fault = injector_->on_send(storage::FaultInjector::key("link", src, dst));
+
+  ++stats_.messages_sent;
+  switch (fault) {
+    case storage::LinkFault::Drop:
+      result.delivered = false;
+      result.copies = 0;
+      ++stats_.messages_dropped;
+      stats_.bytes_sent += bytes;
+      stats_.bytes_dropped += bytes;
+      return result;
+    case storage::LinkFault::Duplicate:
+      result.copies = 2;
+      ++stats_.messages_duplicated;
+      break;
+    case storage::LinkFault::None:
+      result.copies = 1;
+      break;
+  }
+  result.delivered = true;
+  const std::uint64_t moved =
+      static_cast<std::uint64_t>(bytes) * static_cast<std::uint64_t>(result.copies);
+  stats_.messages_delivered += static_cast<std::uint64_t>(result.copies);
+  stats_.bytes_sent += moved;
+  stats_.bytes_received += moved;
+  if (cross) stats_.cross_domain_bytes += moved;
+  link_bytes_[{src, dst}] += moved;
+  ingress_bytes_[dst] += moved;
+  return result;
+}
+
+void Network::reset_stats() {
+  stats_ = NetStats{};
+  link_bytes_.clear();
+  std::fill(ingress_bytes_.begin(), ingress_bytes_.end(), 0);
+}
+
+std::uint64_t Network::link_bytes(std::size_t src, std::size_t dst) const {
+  const auto it = link_bytes_.find({src, dst});
+  return it == link_bytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t Network::max_link_bytes() const {
+  std::uint64_t best = 0;
+  for (const auto& [link, bytes] : link_bytes_) best = std::max(best, bytes);
+  return best;
+}
+
+std::uint64_t Network::ingress_bytes(std::size_t endpoint) const {
+  return endpoint < ingress_bytes_.size() ? ingress_bytes_[endpoint] : 0;
+}
+
+}  // namespace tvmec::cluster

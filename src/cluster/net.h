@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "storage/fault_injector.h"
+
+/// A deterministic modeled network for the simulated cluster — the same
+/// substitution discipline as the E15 simulated accelerator: real bytes
+/// move through real buffers (a "send" hands the payload to the
+/// receiver's code path unchanged), while *time* and *failure* are
+/// modeled. Latency is base + bytes/bandwidth + seeded jitter, with a
+/// cross-failure-domain surcharge; drops, duplicate deliveries, and
+/// partition windows come from the one shared FaultInjector stream, so a
+/// chaos run replays byte-for-byte from its seed.
+///
+/// Accounting is the point: every send lands in NetStats under the
+/// invariant bytes_sent == bytes_received + bytes_dropped (a duplicate
+/// counts twice on both sides; a drop counts once sent, once dropped),
+/// and per-link / per-endpoint-ingress byte counters expose the
+/// quantities repair planning optimizes (cross-domain bytes, repairer
+/// ingress, hottest link).
+namespace tvmec::cluster {
+
+struct NetConfig {
+  std::uint64_t base_latency_us = 50;        ///< per-message propagation
+  std::uint64_t cross_domain_extra_us = 200; ///< surcharge when domains differ
+  std::uint64_t bytes_per_us = 100;          ///< modeled bandwidth (100 MB/s)
+  std::uint64_t jitter_us = 0;               ///< uniform [0, jitter_us] extra
+};
+
+struct NetStats {
+  std::uint64_t messages_sent = 0;       ///< send() calls
+  std::uint64_t messages_delivered = 0;  ///< deliveries (a duplicate adds 2)
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_dropped = 0;
+  std::uint64_t cross_domain_bytes = 0;  ///< received bytes that crossed domains
+
+  /// The chaos-test invariant: nothing on the wire is unaccounted for.
+  bool balanced() const noexcept {
+    return bytes_sent == bytes_received + bytes_dropped;
+  }
+};
+
+struct SendResult {
+  bool delivered = false;        ///< at least one copy arrived
+  std::uint64_t latency_us = 0;  ///< modeled one-way latency
+  int copies = 1;                ///< deliveries (2 under duplicate fault)
+};
+
+class Network {
+ public:
+  /// Endpoints 0..num_nodes-1 are cluster nodes; endpoint num_nodes is
+  /// the client/coordinator (its own failure domain). Node i lives in
+  /// failure domain i % num_domains.
+  Network(std::size_t num_nodes, std::size_t num_domains,
+          const NetConfig& config = {}, std::uint64_t seed = 0x4E37);
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_domains() const noexcept { return num_domains_; }
+  /// The client endpoint id (also valid as a send src/dst).
+  std::size_t client() const noexcept { return num_nodes_; }
+  /// Domain of an endpoint; the client gets the reserved domain
+  /// num_domains so every node-to-client hop counts as cross-domain.
+  std::size_t domain_of(std::size_t endpoint) const noexcept {
+    return endpoint >= num_nodes_ ? num_domains_ : endpoint % num_domains_;
+  }
+
+  const NetConfig& config() const noexcept { return config_; }
+
+  /// Non-owning; the injector must outlive the network. Null detaches
+  /// (a perfect network — still modeled latency, never faults).
+  void attach_fault_injector(storage::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  storage::FaultInjector* fault_injector() const noexcept { return injector_; }
+
+  /// Models moving `bytes` payload bytes from `src` to `dst`. Rolls link
+  /// faults on the directed link (drop / duplicate / partition window),
+  /// accounts the traffic, and returns the modeled latency. The caller
+  /// moves the actual payload itself on delivered == true — the network
+  /// never touches payload bytes, which is what keeps fault-free runs
+  /// byte-identical to the single-process oracle.
+  SendResult send(std::size_t src, std::size_t dst, std::size_t bytes);
+
+  const NetStats& stats() const noexcept { return stats_; }
+  void reset_stats();
+
+  /// Received bytes per directed link / per receiving endpoint — the
+  /// repair-traffic shape metrics (E22).
+  std::uint64_t link_bytes(std::size_t src, std::size_t dst) const;
+  std::uint64_t max_link_bytes() const;
+  std::uint64_t ingress_bytes(std::size_t endpoint) const;
+  /// Snapshot of per-directed-link received bytes (for before/after
+  /// deltas around a repair).
+  const std::map<std::pair<std::size_t, std::size_t>, std::uint64_t>&
+  link_bytes_map() const noexcept {
+    return link_bytes_;
+  }
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t num_domains_;
+  NetConfig config_;
+  std::mt19937_64 jitter_rng_;  ///< separate stream: latency modeling must
+                                ///< not perturb the injector's fault replay
+  storage::FaultInjector* injector_ = nullptr;
+  NetStats stats_;
+  std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> link_bytes_;
+  std::vector<std::uint64_t> ingress_bytes_;  ///< size num_nodes_ + 1
+};
+
+}  // namespace tvmec::cluster

@@ -135,8 +135,11 @@ void GemmCoder::apply_scattered(std::span<const ScatteredCoderItem> items,
         throw std::invalid_argument("apply_scattered: null output unit");
     if (out_units_ == 0) continue;  // r == 0: nothing to compute
     const std::size_t pb = item.unit_size / w_;
+    // Sub-threshold units take the staged road on purpose (the E21
+    // crossover): the fragment walk's per-panel overhead beats one bulk
+    // memcpy only once units are big enough to amortize it.
     const bool qualified =
-        pb % 8 == 0 &&
+        pb % 8 == 0 && item.unit_size >= scattered_staging_threshold_ &&
         std::all_of(item.in.begin(), item.in.end(), word_aligned) &&
         std::all_of(item.out.begin(), item.out.end(), word_aligned);
     if (qualified) {

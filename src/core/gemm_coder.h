@@ -31,6 +31,13 @@ struct ScatteredCoderItem {
 
 class GemmCoder final : public ec::MatrixCoder {
  public:
+  /// Scattered items with units smaller than this are routed to the
+  /// staged accumulator path even when their pointers qualify for the
+  /// zero-copy kernel: E21 measured the per-fragment panel walk costing
+  /// more than one bulk memcpy below ~16 KB units. Settable per coder
+  /// (0 disables routing — every qualified item goes zero-copy).
+  static constexpr std::size_t kScatteredStageMaxBytes = 16 * 1024;
+
   /// Expands the coefficient matrix; starts with the default schedule.
   explicit GemmCoder(const gf::Matrix& coeffs);
   GemmCoder(const gf::Matrix& coeffs, const tensor::Schedule& schedule);
@@ -81,6 +88,15 @@ class GemmCoder final : public ec::MatrixCoder {
 
   unsigned w() const noexcept { return w_; }
 
+  /// See kScatteredStageMaxBytes. Units strictly below the threshold
+  /// stage; at or above it they ride the zero-copy fragment path.
+  void set_scattered_staging_threshold(std::size_t bytes) noexcept {
+    scattered_staging_threshold_ = bytes;
+  }
+  std::size_t scattered_staging_threshold() const noexcept {
+    return scattered_staging_threshold_;
+  }
+
  protected:
   void do_apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
                 std::size_t unit_size) const override;
@@ -92,6 +108,7 @@ class GemmCoder final : public ec::MatrixCoder {
   std::size_t out_units_;
   tensor::AlignedBuffer<std::uint64_t> masks_;  // (out*w) x (in*w) broadcast
   tensor::Schedule schedule_;
+  std::size_t scattered_staging_threshold_ = kScatteredStageMaxBytes;
 };
 
 }  // namespace tvmec::core

@@ -32,7 +32,11 @@ namespace tvmec::core {
 /// Cache key: the code's identity plus the canonical (sorted, deduplicated)
 /// loss pattern. `optimized` distinguishes sparse-searched plans from
 /// greedy ones — the two produce different recovery matrices for the same
-/// pattern and must not alias.
+/// pattern and must not alias. `locality` distinguishes plans built
+/// against a constrained survivor set (the cluster's repair DAGs prefer
+/// failure-domain-local helpers, so the same loss pattern can yield
+/// different recovery matrices per placement); 0 means "any survivors",
+/// the single-process default.
 struct PlanKey {
   std::size_t k = 0;
   std::size_t r = 0;
@@ -40,6 +44,7 @@ struct PlanKey {
   ec::RsFamily family = ec::RsFamily::CauchyGood;
   bool optimized = false;
   std::vector<std::size_t> erased;
+  std::uint64_t locality = 0;
 
   friend auto operator<=>(const PlanKey&, const PlanKey&) = default;
 };

@@ -96,6 +96,8 @@ const Codec::DecodeEntry& Codec::decode_entry(
     throw std::runtime_error("decode: erasure pattern is unrecoverable");
   auto coder =
       std::make_unique<GemmCoder>(plan->recovery, encode_coder_.schedule());
+  coder->set_scattered_staging_threshold(
+      encode_coder_.scattered_staging_threshold());
   const auto [pos, inserted] = decode_cache_.emplace(
       erased, DecodeEntry{std::move(plan), std::move(coder)});
   return pos->second;

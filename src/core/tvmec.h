@@ -136,6 +136,19 @@ class Codec {
     encode_coder_.set_schedule(schedule);
   }
 
+  /// Routes scattered operands below `bytes` to the staged accumulator
+  /// path (the E21 crossover; default GemmCoder::kScatteredStageMaxBytes,
+  /// 0 forces zero-copy for every qualified item). Applies to
+  /// encode_scattered and to decode_batch's per-pattern coders.
+  void set_scattered_staging_threshold(std::size_t bytes) {
+    encode_coder_.set_scattered_staging_threshold(bytes);
+    for (auto& [pattern, entry] : decode_cache_)
+      entry.coder->set_scattered_staging_threshold(bytes);
+  }
+  std::size_t scattered_staging_threshold() const noexcept {
+    return encode_coder_.scattered_staging_threshold();
+  }
+
   /// Number of distinct erasure patterns with cached decode coders.
   std::size_t decode_cache_size() const noexcept {
     return decode_cache_.size();

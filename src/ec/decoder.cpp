@@ -160,4 +160,52 @@ std::optional<DecodePlan> make_decode_plan_optimized(
   return best;
 }
 
+std::optional<DecodePlan> make_decode_plan_with_survivors(
+    const gf::Matrix& generator, std::span<const std::size_t> erased_ids,
+    std::span<const std::size_t> survivor_ids) {
+  const std::size_t n = generator.rows();
+  const std::size_t k = generator.cols();
+  if (erased_ids.empty())
+    throw std::invalid_argument("make_decode_plan: nothing erased");
+
+  std::vector<bool> erased_mask(n, false);
+  for (const std::size_t id : erased_ids) {
+    if (id >= n)
+      throw std::invalid_argument("make_decode_plan: erased id out of range");
+    if (erased_mask[id])
+      throw std::invalid_argument("make_decode_plan: duplicate erased id " +
+                                  std::to_string(id));
+    erased_mask[id] = true;
+  }
+
+  // Consume the caller's survivors in preference order; unlike
+  // make_decode_plan we never look outside the given set, so a
+  // domain-local plan stays domain-local or fails loudly.
+  RankTracker tracker(generator.field(), k);
+  std::vector<std::size_t> chosen;
+  std::vector<bool> used(n, false);
+  for (const std::size_t id : survivor_ids) {
+    if (chosen.size() == k) break;
+    if (id >= n)
+      throw std::invalid_argument(
+          "make_decode_plan: survivor id out of range");
+    if (erased_mask[id] || used[id]) continue;
+    used[id] = true;
+    if (tracker.try_add(generator.row(id))) chosen.push_back(id);
+  }
+  if (chosen.size() < k) return std::nullopt;
+
+  // The plan's survivor list is kept ascending (like make_decode_plan)
+  // so plans cached under the same key compare equal regardless of the
+  // caller's preference ordering of an identical chosen set.
+  std::sort(chosen.begin(), chosen.end());
+  const gf::Matrix survivor_rows = generator.select_rows(chosen);
+  const auto inv = survivor_rows.inverted();
+  if (!inv) return std::nullopt;
+  std::vector<std::size_t> erased_vec(erased_ids.begin(), erased_ids.end());
+  gf::Matrix recovery = generator.select_rows(erased_vec).mul(*inv);
+  return DecodePlan{std::move(chosen), std::move(erased_vec),
+                    std::move(recovery)};
+}
+
 }  // namespace tvmec::ec

@@ -49,4 +49,16 @@ std::optional<DecodePlan> make_decode_plan_optimized(
     const gf::Matrix& generator, std::span<const std::size_t> erased_ids,
     std::size_t max_subsets = 2048);
 
+/// Placement-aware planning: builds a plan that reads *only* from
+/// `survivor_ids`, in the caller's preference order (the cluster passes
+/// failure-domain-local helpers first, so repair traffic stays inside a
+/// domain when rank allows). Survivors are consumed greedily in the
+/// given order until k independent rows are found; returns nullopt when
+/// the preferred set cannot recover the pattern — callers then widen
+/// the set rather than getting a silently different plan. Ids appearing
+/// in `erased_ids` are skipped. Same validation as make_decode_plan.
+std::optional<DecodePlan> make_decode_plan_with_survivors(
+    const gf::Matrix& generator, std::span<const std::size_t> erased_ids,
+    std::span<const std::size_t> survivor_ids);
+
 }  // namespace tvmec::ec

@@ -92,6 +92,42 @@ ReadFault FaultInjector::on_read(std::size_t node, std::uint64_t unit_key,
   return ReadFault::None;
 }
 
+LinkFault FaultInjector::on_send(std::uint64_t link_key) {
+  ++stats_.link_sends;
+  // An open partition window eats every send until it expires, matching
+  // the transient-burst discipline: a policy swap mid-window cannot
+  // strand a half-consumed partition.
+  if (const auto it = partitioned_left_.find(link_key);
+      it != partitioned_left_.end()) {
+    ++stats_.partition_drops;
+    if (--it->second == 0) partitioned_left_.erase(it);
+    return LinkFault::Drop;
+  }
+  if (policy_.quiet()) return LinkFault::None;
+  if (roll(policy_.link_drop)) {
+    ++stats_.link_drops;
+    return LinkFault::Drop;
+  }
+  if (roll(policy_.link_duplicate)) {
+    ++stats_.link_duplicates;
+    return LinkFault::Duplicate;
+  }
+  if (policy_.partition_ops > 0 && roll(policy_.link_partition)) {
+    ++stats_.partitions_opened;
+    ++stats_.partition_drops;
+    if (policy_.partition_ops > 1)
+      partitioned_left_[link_key] = policy_.partition_ops - 1;
+    return LinkFault::Drop;
+  }
+  return LinkFault::None;
+}
+
+void FaultInjector::partition_link(std::uint64_t link_key, std::size_t ops) {
+  if (ops == 0) return;
+  ++stats_.partitions_opened;
+  partitioned_left_[link_key] = ops;
+}
+
 void FaultInjector::crash_node(std::size_t node) {
   if (crashed_.insert(node).second) ++stats_.crashes;
 }

@@ -26,6 +26,17 @@
 ///  - injected latency     (slow-node simulation; accounted, and
 ///                          optionally actually slept)
 ///
+/// The simulated cluster's network layer consults the same injector for
+/// link-level faults, so one seeded fault source drives both disk and
+/// wire chaos (no second injector to keep in sync for reruns):
+///
+///  - message drops        (a send vanishes; the retry layer's problem)
+///  - duplicate delivery   (the message arrives twice — consumers must
+///                          be idempotent)
+///  - partition windows    (a link blackholes every send for N ops,
+///                          then heals — the transient-burst discipline
+///                          applied to links)
+///
 /// Everything is driven by one seeded mt19937_64, so the same seed and
 /// the same op sequence reproduce the same faults byte for byte — the
 /// property the chaos tests assert.
@@ -43,11 +54,19 @@ struct FaultPolicy {
   std::chrono::microseconds delay_amount{0};
   bool sleep_on_delay = false;  ///< actually sleep (benches), or account only
 
+  // Link-level fault kinds, consulted by the cluster's network model on
+  // every send. Same seeded stream as the disk faults above.
+  double link_drop = 0.0;       ///< P[a send silently vanishes]
+  double link_duplicate = 0.0;  ///< P[a send is delivered twice]
+  double link_partition = 0.0;  ///< P[a send opens a partition window]
+  std::size_t partition_ops = 16;  ///< window length: drop N sends, then heal
+
   /// True when every probability is zero (fast-path check).
   bool quiet() const noexcept {
     return write_bit_flip == 0.0 && torn_write == 0.0 &&
            read_bit_flip == 0.0 && transient_read == 0.0 && crash == 0.0 &&
-           delay == 0.0;
+           delay == 0.0 && link_drop == 0.0 && link_duplicate == 0.0 &&
+           link_partition == 0.0;
   }
 };
 
@@ -63,6 +82,11 @@ struct FaultStats {
   std::uint64_t crashes = 0;
   std::uint64_t delays = 0;
   std::chrono::microseconds delay_injected{0};
+  std::uint64_t link_sends = 0;        ///< on_send calls
+  std::uint64_t link_drops = 0;        ///< random drops (not partition drops)
+  std::uint64_t link_duplicates = 0;
+  std::uint64_t partitions_opened = 0;
+  std::uint64_t partition_drops = 0;   ///< sends eaten by an open window
 };
 
 /// What on_read did to the attempt.
@@ -70,6 +94,13 @@ enum class ReadFault {
   None,      ///< read served (payload may still have been bit-flipped)
   Transient, ///< this attempt failed; retrying may succeed
   Crash,     ///< the node died; its contents are gone
+};
+
+/// What on_send did to the message.
+enum class LinkFault {
+  None,       ///< delivered once
+  Drop,       ///< never arrives (random drop or open partition window)
+  Duplicate,  ///< delivered twice; receivers must be idempotent
 };
 
 class FaultInjector {
@@ -95,6 +126,20 @@ class FaultInjector {
   ReadFault on_read(std::size_t node, std::uint64_t unit_key,
                     std::span<std::uint8_t> bytes);
 
+  /// Called by the network model for every message on `link_key` (use
+  /// key(src, dst) for a directed link). An open partition window eats
+  /// the send and shortens by one op; otherwise the drop / duplicate /
+  /// partition-open probabilities roll in that order.
+  LinkFault on_send(std::uint64_t link_key);
+
+  bool link_partitioned(std::uint64_t link_key) const {
+    return partitioned_left_.contains(link_key);
+  }
+  /// Chaos hook: blackhole `link_key` for the next `ops` sends.
+  void partition_link(std::uint64_t link_key, std::size_t ops);
+  /// Chaos hook: heal a partition window early.
+  void heal_link(std::uint64_t link_key) { partitioned_left_.erase(link_key); }
+
   bool crashed(std::size_t node) const { return crashed_.contains(node); }
   /// Chaos hook: kill a node now, deterministically.
   void crash_node(std::size_t node);
@@ -119,6 +164,8 @@ class FaultInjector {
   std::set<std::size_t> crashed_;
   /// Remaining failures of an active transient burst, per unit key.
   std::map<std::uint64_t, std::size_t> transient_left_;
+  /// Remaining dropped sends of an open partition window, per link key.
+  std::map<std::uint64_t, std::size_t> partitioned_left_;
   FaultStats stats_;
 };
 

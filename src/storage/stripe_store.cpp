@@ -276,6 +276,27 @@ StripeScrubResult StripeStore::scrub_stripe(const std::string& name,
     }
   }
 
+  // Node-local disk check for units that read clean. A clean read only
+  // proves the *returned* bytes: an injected read-side flip can land on
+  // the very bit that is corrupt on disk and cancel it, so the CRC
+  // passes while the persisted copy stays bad — and the latent
+  // corruption later stacks with node failures past the r budget. CRC
+  // the stored copy directly and rewrite it from the verified read when
+  // it is stale. Found by the differential fuzzer
+  // (s=store-fault w=16 u=16 seed=10867058663792815222 loss=3,5).
+  std::vector<std::size_t> stale_disk;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (state[u] != UnitRead::Ok) continue;
+    Node& node = nodes_[loc.nodes[u]];
+    const auto uit = node.units.find({name, s, u});
+    if (uit == node.units.end()) continue;
+    if (crc32c(uit->second.bytes) != uit->second.crc) {
+      ++res.crc_errors;
+      ++stats_.corruptions_detected;
+      stale_disk.push_back(u);
+    }
+  }
+
   if (!erased.empty()) {
     if (erased.size() > params_.r) {
       res.unrecoverable = true;
@@ -301,6 +322,7 @@ StripeScrubResult StripeStore::scrub_stripe(const std::string& name,
       std::span<const std::uint8_t>(stripe.data(), params_.k * unit_size_),
       expect.span(), unit_size_);
   std::vector<std::size_t> heal(erased);
+  heal.insert(heal.end(), stale_disk.begin(), stale_disk.end());
   for (std::size_t p = 0; p < params_.r; ++p) {
     const std::size_t u = params_.k + p;
     if (std::find(erased.begin(), erased.end(), u) != erased.end()) continue;

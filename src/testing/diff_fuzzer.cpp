@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cluster/cluster.h"
+#include "cluster/repair.h"
 #include "core/backends.h"
 #include "core/lrc_codec.h"
 #include "core/tvmec.h"
@@ -438,6 +440,125 @@ FuzzOutcome run_storage(const FuzzConfig& c, bool faulted) {
   return FuzzOutcome{true, {}, {}, 1};
 }
 
+/// Cluster scenarios: the simulated multi-node cluster vs the
+/// single-process oracle (the original payload bytes). `repair` shifts
+/// the chaos from the read path (degraded reads, hedging) to DAG repair
+/// with mid-repair faults (helper crashes, partitions, drops). Whatever
+/// the seeded disk + link chaos did, three things must hold: the network
+/// byte ledger balances, the repair counter identity balances, and any
+/// bytes returned are exactly the original payload — chaos may cost
+/// latency or availability, never integrity.
+FuzzOutcome run_cluster(const FuzzConfig& c, bool repair) {
+  const ec::CodeParams params{c.k, c.r, c.w};
+  const std::size_t unit = c.unit_size;
+  const std::size_t num_nodes = params.n() + 2;
+
+  cluster::ClusterConfig cc;
+  cc.num_nodes = num_nodes;
+  cc.num_domains = 1 + c.seed % 3;  // num_nodes >= 3 always
+  cc.retry.max_attempts = 6;
+  cc.hedge.min_samples = 2;
+  cc.hedge.multiplier = 2.0;
+  cc.seed = c.seed ^ 0xC1A5;
+  cluster::Cluster cl(params, unit, cc);
+
+  const std::size_t object_size = 1 + c.seed % (3 * c.k * unit);
+  const Bytes object = seeded_bytes(object_size, c.seed + 1);
+
+  storage::FaultPolicy policy;
+  policy.read_bit_flip = 0.05;   // healed by CRC-triggered re-reads
+  policy.transient_read = 0.08;  // healed by retry-with-backoff
+  policy.transient_failures = 2;
+  policy.link_drop = 0.05;       // healed by RPC retries
+  policy.link_duplicate = 0.05;  // aggregation must stay idempotent
+  policy.link_partition = 0.01;
+  policy.partition_ops = 3;
+  if (repair) policy.crash = 0.005;  // mid-repair helper crashes
+  storage::FaultInjector injector(policy, c.seed ^ 0xC7A05);
+
+  if (repair) {
+    cl.put("fuzz-object", object.span());  // store clean; chaos the repair
+  } else {
+    cl.attach_fault_injector(&injector);
+    cl.put("fuzz-object", object.span());
+  }
+
+  const std::vector<std::size_t> failed = distinct(c.losses);
+  for (const std::size_t node : failed) cl.fail_node(node);
+
+  bool corrupted = false;
+  if (repair) {
+    cl.attach_fault_injector(&injector);
+    if (c.r >= 1)
+      corrupted = cl.corrupt_unit("fuzz-object", 0, c.seed % params.n());
+    cl.repair();
+    if (!cl.repair_stats().identity_holds())
+      return fail(c, "repair counter identity violated under chaos");
+    // Heal phase: quiet faults, scrub out what the chaos run left
+    // behind. Chaos-crashed nodes stay dead — the durability check
+    // below is exactly the question of whether repair preserved the
+    // stripes within the code's budget anyway.
+    injector.set_policy(storage::FaultPolicy{});
+    cl.scrub();
+    if (!cl.repair_stats().identity_holds())
+      return fail(c, "repair counter identity violated after scrub");
+  }
+
+  if (!cl.net().stats().balanced())
+    return fail(c, "network byte ledger does not balance");
+
+  // Every loss source that can still cost a stripe a unit: explicitly
+  // failed nodes plus chaos crashes (each stripe holds at most one unit
+  // per node), plus the one latent corruption if it was planted.
+  std::size_t dead = 0;
+  for (std::size_t node = 0; node < num_nodes; ++node)
+    if (cl.node_failed(node)) ++dead;
+  const std::size_t loss_budget = dead + (corrupted ? 1 : 0);
+
+  const auto check_bytes =
+      [&](const std::optional<std::vector<std::uint8_t>>& read,
+          const char* label) -> std::optional<FuzzOutcome> {
+    if (!read) return fail(c, std::string(label) + " lost the object");
+    if (read->size() != object_size)
+      return fail(c, std::string(label) + " returned " +
+                         std::to_string(read->size()) + " bytes, want " +
+                         std::to_string(object_size));
+    if (auto d = first_divergence(*read, object.span(), unit, label))
+      return fail(c, *d);
+    return std::nullopt;
+  };
+
+  try {
+    const auto read = cl.get("fuzz-object");
+    if (auto failure = check_bytes(read, "cluster.get")) return *failure;
+  } catch (const std::runtime_error&) {
+    // Legal only past the code's budget — or when transient bursts and
+    // drops chained past the retry budget (visible as exhausted ops,
+    // including puts that could not place every unit).
+    const bool transiently_unavailable = cl.retry_stats().exhausted > 0;
+    if (loss_budget <= c.r && !transiently_unavailable)
+      return fail(c, "cluster.get unrecoverable within the failure budget");
+  }
+
+  // Durability: transient unavailability must not have become data
+  // loss. With the injector detached, every op fully retried during the
+  // faulted phase, and at most r units of damage per stripe, a clean
+  // re-read must succeed and match byte for byte.
+  if (loss_budget <= c.r && cl.retry_stats().exhausted == 0) {
+    cl.attach_fault_injector(nullptr);
+    std::optional<std::vector<std::uint8_t>> clean;
+    try {
+      clean = cl.get("fuzz-object");
+    } catch (const std::runtime_error& e) {
+      return fail(c, std::string("clean re-read unrecoverable: ") + e.what());
+    }
+    if (auto failure = check_bytes(clean, "clean re-read")) return *failure;
+    if (!cl.net().stats().balanced())
+      return fail(c, "network byte ledger does not balance after clean read");
+  }
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
 /// Serving-layer differential: a random mix of encode/decode requests
 /// (some pre-expired) through EcService in manual-pump mode, checked
 /// against a sequential per-request Codec oracle running the *default*
@@ -849,6 +970,10 @@ FuzzOutcome DiffFuzzer::run_one(const FuzzConfig& config) {
         return run_serve(config);
       case Scenario::ServeChaos:
         return run_serve_chaos(config);
+      case Scenario::Cluster:
+        return run_cluster(config, /*repair=*/false);
+      case Scenario::ClusterRepair:
+        return run_cluster(config, /*repair=*/true);
     }
     return fail(config, "unknown scenario");
   } catch (const std::exception& e) {
@@ -891,7 +1016,9 @@ namespace {
 FuzzConfig clamp_losses(FuzzConfig c) {
   const std::size_t space =
       (c.scenario == Scenario::StorageRoundTrip ||
-       c.scenario == Scenario::StorageFaulted)
+       c.scenario == Scenario::StorageFaulted ||
+       c.scenario == Scenario::Cluster ||
+       c.scenario == Scenario::ClusterRepair)
           ? c.n() + 2
           : c.n();
   std::erase_if(c.losses, [&](std::size_t id) { return id >= space; });

@@ -18,7 +18,8 @@ const Scenario kScenarios[] = {
     Scenario::RsEncode,         Scenario::RsDecode,
     Scenario::LrcRoundTrip,     Scenario::StorageRoundTrip,
     Scenario::StorageFaulted,   Scenario::Serve,
-    Scenario::ServeChaos};
+    Scenario::ServeChaos,       Scenario::Cluster,
+    Scenario::ClusterRepair};
 
 const ec::RsFamily kFamilies[] = {
     ec::RsFamily::VandermondeSystematic, ec::RsFamily::Cauchy,
@@ -79,6 +80,10 @@ const char* to_string(Scenario s) noexcept {
       return "serve";
     case Scenario::ServeChaos:
       return "serve-chaos";
+    case Scenario::Cluster:
+      return "cluster";
+    case Scenario::ClusterRepair:
+      return "cluster-repair";
   }
   return "?";
 }
@@ -108,10 +113,12 @@ void FuzzConfig::validate() const {
       scenario == Scenario::LrcRoundTrip ? k + r : n();
   if (field_points > (std::size_t{1} << w))
     throw std::invalid_argument("FuzzConfig: code shape exceeds field size");
-  // Storage scenarios place n units over n + 2 nodes; losses name nodes.
+  // Storage and cluster scenarios place n units over n + 2 nodes;
+  // losses name nodes.
   const std::size_t loss_space =
       (scenario == Scenario::StorageRoundTrip ||
-       scenario == Scenario::StorageFaulted)
+       scenario == Scenario::StorageFaulted ||
+       scenario == Scenario::Cluster || scenario == Scenario::ClusterRepair)
           ? n() + 2
           : n();
   for (const std::size_t id : losses)
@@ -245,7 +252,9 @@ FuzzConfig random_config(std::mt19937_64& rng) {
       ids.push_back(ids[rng() % ids.size()]);
     c.losses = std::move(ids);
   } else if (c.scenario == Scenario::StorageRoundTrip ||
-             c.scenario == Scenario::StorageFaulted) {
+             c.scenario == Scenario::StorageFaulted ||
+             c.scenario == Scenario::Cluster ||
+             c.scenario == Scenario::ClusterRepair) {
     const std::size_t num_nodes = c.n() + 2;
     const std::size_t e = pick(0, c.r);
     std::vector<std::size_t> nodes(num_nodes);

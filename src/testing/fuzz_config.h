@@ -30,6 +30,17 @@ enum class Scenario {
                    ///< must still match the oracle (faults may only cost
                    ///< latency), and the widened counter identities must
                    ///< balance exactly
+  Cluster,         ///< simulated multi-node cluster put / fail_node / get
+                   ///< under seeded disk + link chaos (drops, duplicates,
+                   ///< partition windows): returned bytes must match the
+                   ///< original payload (degraded reads and hedging may
+                   ///< only cost latency), and the network byte ledger
+                   ///< must balance
+  ClusterRepair,   ///< cluster DAG repair under chaos with mid-repair
+                   ///< faults (helper crashes, partitions): repair
+                   ///< counter identity and network ledger must balance,
+                   ///< and a healed cluster must read back byte-identical
+                   ///< to the single-process oracle (the original bytes)
 };
 
 const char* to_string(Scenario s) noexcept;

@@ -1,0 +1,143 @@
+#include "cluster/net.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "storage/fault_injector.h"
+
+namespace tvmec::cluster {
+namespace {
+
+TEST(NetLink, DomainsAndClientEndpoint) {
+  Network net(6, 3);
+  EXPECT_EQ(net.num_nodes(), 6u);
+  EXPECT_EQ(net.num_domains(), 3u);
+  EXPECT_EQ(net.client(), 6u);
+  EXPECT_EQ(net.domain_of(0), 0u);
+  EXPECT_EQ(net.domain_of(4), 1u);
+  EXPECT_EQ(net.domain_of(5), 2u);
+  // The client lives in its own reserved domain.
+  EXPECT_EQ(net.domain_of(net.client()), 3u);
+}
+
+TEST(NetLink, RejectsDegenerateShapes) {
+  EXPECT_THROW(Network(0, 1), std::invalid_argument);
+  EXPECT_THROW(Network(4, 0), std::invalid_argument);
+  EXPECT_THROW(Network(4, 5), std::invalid_argument);
+  NetConfig cfg;
+  cfg.bytes_per_us = 0;
+  EXPECT_THROW(Network(4, 2, cfg), std::invalid_argument);
+  Network net(4, 2);
+  EXPECT_THROW(net.send(5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(net.send(0, 5, 1), std::invalid_argument);
+}
+
+TEST(NetLink, LatencyIsBasePlusBandwidthPlusDomainSurcharge) {
+  NetConfig cfg;
+  cfg.base_latency_us = 100;
+  cfg.cross_domain_extra_us = 300;
+  cfg.bytes_per_us = 10;
+  cfg.jitter_us = 0;
+  Network net(4, 2, cfg);
+  // Nodes 0 and 2 share domain 0: no surcharge.
+  EXPECT_EQ(net.send(0, 2, 1000).latency_us, 100u + 100u);
+  // Nodes 0 and 1 sit in different domains.
+  EXPECT_EQ(net.send(0, 1, 1000).latency_us, 100u + 100u + 300u);
+  // Node -> client always crosses into the client's reserved domain.
+  EXPECT_EQ(net.send(0, net.client(), 1000).latency_us, 100u + 100u + 300u);
+}
+
+TEST(NetLink, AccountingBalancesOnCleanTraffic) {
+  Network net(4, 2);
+  for (int i = 0; i < 20; ++i) {
+    const SendResult r = net.send(i % 4, (i + 1) % 4, 4096);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.copies, 1);
+  }
+  const NetStats& s = net.stats();
+  EXPECT_EQ(s.messages_sent, 20u);
+  EXPECT_EQ(s.messages_delivered, 20u);
+  EXPECT_EQ(s.bytes_sent, 20u * 4096u);
+  EXPECT_EQ(s.bytes_dropped, 0u);
+  EXPECT_TRUE(s.balanced());
+}
+
+TEST(NetLink, DropsAndDuplicatesKeepTheInvariant) {
+  storage::FaultPolicy policy;
+  policy.link_drop = 0.3;
+  policy.link_duplicate = 0.2;
+  storage::FaultInjector inj(policy, 99);
+  Network net(4, 2);
+  net.attach_fault_injector(&inj);
+  std::size_t delivered = 0;
+  for (int i = 0; i < 500; ++i)
+    if (net.send(i % 4, (i + 1) % 4, 512).delivered) ++delivered;
+  const NetStats& s = net.stats();
+  EXPECT_GT(s.messages_dropped, 0u);
+  EXPECT_GT(s.messages_duplicated, 0u);
+  EXPECT_LT(delivered, 500u);
+  // The chaos invariant: every byte on the wire is accounted for.
+  EXPECT_TRUE(s.balanced());
+  // A duplicate counts twice on both sides of the ledger.
+  EXPECT_EQ(s.messages_delivered,
+            delivered + s.messages_duplicated);
+}
+
+TEST(NetLink, PartitionWindowBlackholesOneDirectedLink) {
+  storage::FaultInjector inj;
+  Network net(4, 2);
+  net.attach_fault_injector(&inj);
+  inj.partition_link(storage::FaultInjector::key("link", 0, 1), 2);
+  EXPECT_FALSE(net.send(0, 1, 64).delivered);
+  EXPECT_TRUE(net.send(1, 0, 64).delivered);  // reverse direction is fine
+  EXPECT_TRUE(net.send(0, 2, 64).delivered);  // other links are fine
+  EXPECT_FALSE(net.send(0, 1, 64).delivered);
+  EXPECT_TRUE(net.send(0, 1, 64).delivered);  // window expired: healed
+  EXPECT_TRUE(net.stats().balanced());
+  EXPECT_EQ(inj.stats().partition_drops, 2u);
+}
+
+TEST(NetLink, PerLinkAndIngressCounters) {
+  Network net(4, 2);
+  net.send(0, 2, 100);             // same domain (0 -> 0)
+  net.send(0, 1, 200);             // cross (0 -> 1)
+  net.send(3, net.client(), 300);  // node -> client is always cross
+  EXPECT_EQ(net.stats().cross_domain_bytes, 500u);
+  EXPECT_EQ(net.ingress_bytes(2), 100u);
+  EXPECT_EQ(net.ingress_bytes(1), 200u);
+  EXPECT_EQ(net.ingress_bytes(net.client()), 300u);
+  EXPECT_EQ(net.link_bytes(0, 1), 200u);
+  EXPECT_EQ(net.link_bytes(1, 0), 0u);
+  EXPECT_EQ(net.max_link_bytes(), 300u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().bytes_sent, 0u);
+  EXPECT_EQ(net.max_link_bytes(), 0u);
+  EXPECT_EQ(net.ingress_bytes(1), 0u);
+}
+
+TEST(NetLink, DeterministicUnderSeed) {
+  const auto run = [](std::uint64_t seed) {
+    storage::FaultPolicy policy;
+    policy.link_drop = 0.2;
+    storage::FaultInjector inj(policy, seed);
+    NetConfig cfg;
+    cfg.jitter_us = 50;
+    Network net(4, 2, cfg, seed);
+    net.attach_fault_injector(&inj);
+    std::vector<std::uint64_t> latencies;
+    std::size_t drops = 0;
+    for (int i = 0; i < 100; ++i) {
+      const SendResult r = net.send(i % 4, (i + 3) % 4, 1024);
+      latencies.push_back(r.latency_us);
+      drops += r.delivered ? 0 : 1;
+    }
+    return std::pair{latencies, drops};
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+}  // namespace
+}  // namespace tvmec::cluster

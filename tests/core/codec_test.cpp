@@ -306,9 +306,12 @@ TEST(Codec, InvalidParamsThrow) {
 
 
 /// encode_scattered with per-unit buffers must match contiguous encode
-/// byte-for-byte, and aligned units must not stage.
+/// byte-for-byte, and aligned units must not stage. Threshold 0: this
+/// test pins the zero-copy machinery itself; the default small-unit
+/// routing is pinned separately below.
 TEST(Codec, EncodeScatteredMatchesContiguous) {
   Codec codec(ec::CodeParams{10, 4, 8});
+  codec.set_scattered_staging_threshold(0);
   const auto& p = codec.params();
 
   // Contiguous oracle.
@@ -341,6 +344,7 @@ TEST(Codec, EncodeScatteredMatchesContiguous) {
 
 TEST(Codec, EncodeScatteredMisalignedUnitsStillCorrect) {
   Codec codec(ec::CodeParams{6, 3, 8});
+  codec.set_scattered_staging_threshold(0);
   const auto& p = codec.params();
   const auto flat = random_bytes(p.k * kUnit, 37);
   tensor::AlignedBuffer<std::uint8_t> want(p.r * kUnit);
@@ -369,6 +373,78 @@ TEST(Codec, EncodeScatteredMisalignedUnitsStillCorrect) {
         << "parity unit " << u;
 }
 
+/// The E21 crossover routing: scattered operands strictly below the
+/// 16 KiB default threshold take the staged accumulator even when their
+/// pointers qualify for zero-copy; at the threshold they ride the
+/// fragment path. Pinned on both sides so a default change is loud.
+TEST(Codec, ScatteredRoutingThresholdDefault) {
+  ASSERT_EQ(GemmCoder::kScatteredStageMaxBytes, 16u * 1024u);
+  Codec codec(ec::CodeParams{4, 2, 8});
+  ASSERT_EQ(codec.scattered_staging_threshold(),
+            GemmCoder::kScatteredStageMaxBytes);
+  const auto& p = codec.params();
+
+  const auto run_at = [&](std::size_t unit) {
+    const auto flat = random_bytes(p.k * unit, 91);
+    tensor::AlignedBuffer<std::uint8_t> want(p.r * unit);
+    codec.encode(flat.span(), want.span(), unit);
+    std::vector<tensor::AlignedBuffer<std::uint8_t>> units;
+    std::vector<const std::uint8_t*> in_ptrs;
+    std::vector<std::uint8_t*> out_ptrs;
+    for (std::size_t u = 0; u < p.k; ++u) {
+      units.emplace_back(unit);
+      std::memcpy(units.back().data(), flat.data() + u * unit, unit);
+      in_ptrs.push_back(units.back().data());
+    }
+    for (std::size_t u = 0; u < p.r; ++u) {
+      units.emplace_back(unit);
+      out_ptrs.push_back(units.back().data());
+    }
+    const std::uint64_t before = tensor::kernel_stage_stats().stage_copies;
+    codec.encode_scattered(in_ptrs, out_ptrs, unit);
+    const std::uint64_t staged =
+        tensor::kernel_stage_stats().stage_copies - before;
+    for (std::size_t u = 0; u < p.r; ++u)
+      EXPECT_EQ(std::memcmp(out_ptrs[u], want.data() + u * unit, unit), 0)
+          << "unit_size " << unit << " parity " << u;
+    return staged;
+  };
+
+  // One byte below the threshold is not word-sized; use the largest
+  // aligned size below it instead.
+  EXPECT_GT(run_at(GemmCoder::kScatteredStageMaxBytes - 64), 0u)
+      << "sub-threshold aligned operands must stage";
+  EXPECT_EQ(run_at(GemmCoder::kScatteredStageMaxBytes), 0u)
+      << "at-threshold aligned operands must ride zero-copy";
+}
+
+/// decode_batch inherits the routing: small aligned stripes stage, big
+/// ones don't, and both decode to the same bytes.
+TEST(Codec, ScatteredRoutingThresholdAppliesToDecodeBatch) {
+  Codec codec(ec::CodeParams{4, 2, 8});
+  const auto run_at = [&](std::size_t unit) {
+    const auto flat = random_bytes(codec.params().k * unit, 92);
+    tensor::AlignedBuffer<std::uint8_t> stripe(codec.params().n() * unit);
+    std::memcpy(stripe.data(), flat.data(), flat.size());
+    codec.encode(flat.span(),
+                 std::span<std::uint8_t>(stripe.data() + flat.size(),
+                                         codec.params().r * unit),
+                 unit);
+    const tensor::AlignedBuffer<std::uint8_t> original = stripe;
+    const std::vector<std::size_t> erased{1};
+    std::fill_n(stripe.data() + unit, unit, 0xEE);
+    const Codec::DecodeBatchItem item{stripe.span(), erased, unit};
+    const std::uint64_t before = tensor::kernel_stage_stats().stage_copies;
+    codec.decode_batch({&item, 1});
+    EXPECT_TRUE(std::equal(original.span().begin(), original.span().end(),
+                           stripe.span().begin()))
+        << "unit_size " << unit;
+    return tensor::kernel_stage_stats().stage_copies - before;
+  };
+  EXPECT_GT(run_at(4096), 0u);
+  EXPECT_EQ(run_at(GemmCoder::kScatteredStageMaxBytes), 0u);
+}
+
 TEST(Codec, EncodeScatteredValidation) {
   Codec codec(ec::CodeParams{4, 2, 8});
   tensor::AlignedBuffer<std::uint8_t> unit(kUnit);
@@ -386,8 +462,10 @@ TEST(Codec, EncodeScatteredValidation) {
 
 /// Batched decode over separately damaged stripes must not stage: the
 /// survivors are read and the erased units rebuilt in place.
+/// Threshold 0 again — the routing default is pinned below.
 TEST(Codec, DecodeBatchIsZeroCopyForAlignedStripes) {
   Codec codec(ec::CodeParams{8, 2, 8});
+  codec.set_scattered_staging_threshold(0);
   constexpr int kMembers = 5;
   std::vector<tensor::AlignedBuffer<std::uint8_t>> stripes;
   std::vector<tensor::AlignedBuffer<std::uint8_t>> originals;

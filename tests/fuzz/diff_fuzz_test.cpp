@@ -135,6 +135,14 @@ TEST(DiffFuzz, EdgeCaseReprosPass) {
       "loss=4",
       "fuzz:v1 s=store-fault k=7 r=1 w=16 u=16 seed=9337184620144304163 "
       "loss=7",
+      // Campaign-found: an injected read-side bit flip landed on the
+      // exact bit that was corrupt on disk, so the scrub read CRC'd
+      // clean while the persisted copy stayed bad — latent corruption
+      // that later stacked with two node failures past r. Scrub now
+      // CRCs the stored copy node-locally and rewrites it from the
+      // verified read.
+      "fuzz:v1 s=store-fault k=4 r=2 w=16 u=16 seed=10867058663792815222 "
+      "loss=3,5",
       // Serving layer: random request mixes through EcService (manual
       // pump) vs the sequential per-request oracle, including deadline
       // expiry and queue-capacity admission accounting.
@@ -152,6 +160,23 @@ TEST(DiffFuzz, EdgeCaseReprosPass) {
       "fuzz:v1 s=serve-chaos k=6 r=3 w=16 u=48 seed=18 loss=5,2 sched=3",
       "fuzz:v1 s=serve-chaos k=10 r=4 w=8 u=24 seed=19 loss=2,11,7 sched=1",
       "fuzz:v1 s=serve-chaos k=5 r=3 w=4 u=64 seed=20 loss=1,1,3 sched=4",
+      // Simulated multi-node cluster: put/fail_node/get under seeded
+      // disk + link chaos (drops, duplicates, partition windows, hedged
+      // degraded reads). Returned bytes must match the original payload
+      // and the network byte ledger must balance.
+      "fuzz:v1 s=cluster k=4 r=2 w=8 u=64 seed=7 loss=1,4",
+      "fuzz:v1 s=cluster k=1 r=1 w=4 u=4 seed=3 loss=0",
+      "fuzz:v1 s=cluster k=6 r=3 w=16 u=48 seed=21 loss=2,5,8",
+      "fuzz:v1 s=cluster k=5 r=2 w=8 u=24 seed=33 loss=6",
+      // Cluster DAG repair under chaos with mid-repair faults (helper
+      // crashes, partitions): the repair counter identity and the
+      // network ledger must balance, and the healed cluster must read
+      // back byte-identical to the original payload.
+      "fuzz:v1 s=cluster-repair k=6 r=3 w=8 u=128 seed=11 loss=2,5",
+      "fuzz:v1 s=cluster-repair f=vandermonde k=4 r=2 w=16 u=32 seed=9 "
+      "loss=3",
+      "fuzz:v1 s=cluster-repair k=1 r=1 w=8 u=8 seed=17 loss=1",
+      "fuzz:v1 s=cluster-repair k=8 r=3 w=8 u=64 seed=1234567 loss=0,4,9",
   };
   for (const char* text : repros) {
     const FuzzOutcome outcome = DiffFuzzer::run_one(parse_repro(text));

@@ -208,6 +208,81 @@ TEST(FaultInjector, KeysAreStable) {
   EXPECT_NE(FaultInjector::key(3, 4), FaultInjector::key(4, 3));
 }
 
+TEST(FaultInjector, QuietPolicyNeverFaultsLinks) {
+  FaultInjector inj;
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(inj.on_send(FaultInjector::key(0, 1)), LinkFault::None);
+  EXPECT_EQ(inj.stats().link_sends, 50u);
+  EXPECT_EQ(inj.stats().link_drops, 0u);
+  EXPECT_EQ(inj.stats().link_duplicates, 0u);
+  EXPECT_EQ(inj.stats().partitions_opened, 0u);
+}
+
+TEST(FaultInjector, LinkDropAndDuplicateRoll) {
+  FaultPolicy policy;
+  policy.link_drop = 1.0;
+  FaultInjector inj(policy, 11);
+  EXPECT_EQ(inj.on_send(FaultInjector::key(0, 1)), LinkFault::Drop);
+  EXPECT_EQ(inj.stats().link_drops, 1u);
+
+  policy.link_drop = 0.0;
+  policy.link_duplicate = 1.0;
+  inj.set_policy(policy);
+  EXPECT_EQ(inj.on_send(FaultInjector::key(0, 1)), LinkFault::Duplicate);
+  EXPECT_EQ(inj.stats().link_duplicates, 1u);
+  EXPECT_EQ(inj.stats().link_sends, 2u);
+}
+
+TEST(FaultInjector, PartitionWindowDropsNSendsThenHeals) {
+  FaultPolicy policy;
+  policy.link_partition = 1.0;
+  policy.partition_ops = 3;
+  FaultInjector inj(policy, 13);
+  const auto link = FaultInjector::key(2, 5);
+  // First send opens the window and is eaten by it.
+  EXPECT_EQ(inj.on_send(link), LinkFault::Drop);
+  EXPECT_TRUE(inj.link_partitioned(link));
+  // Window consumption ignores the live policy — swap to quiet and the
+  // remaining 2 window ops still drop (mirrors transient-burst rules).
+  inj.set_policy(FaultPolicy{});
+  EXPECT_EQ(inj.on_send(link), LinkFault::Drop);
+  EXPECT_EQ(inj.on_send(link), LinkFault::Drop);
+  EXPECT_FALSE(inj.link_partitioned(link));
+  EXPECT_EQ(inj.on_send(link), LinkFault::None);
+  EXPECT_EQ(inj.stats().partitions_opened, 1u);
+  EXPECT_EQ(inj.stats().partition_drops, 3u);
+  EXPECT_EQ(inj.stats().link_drops, 0u);  // partition drops counted apart
+}
+
+TEST(FaultInjector, PartitionIsPerLink) {
+  FaultInjector inj;
+  const auto bad = FaultInjector::key(0, 1);
+  const auto good = FaultInjector::key(1, 0);
+  inj.partition_link(bad, 2);
+  EXPECT_EQ(inj.on_send(bad), LinkFault::Drop);
+  EXPECT_EQ(inj.on_send(good), LinkFault::None);
+  inj.heal_link(bad);
+  EXPECT_EQ(inj.on_send(bad), LinkFault::None);
+  EXPECT_EQ(inj.stats().partition_drops, 1u);
+}
+
+TEST(FaultInjector, LinkFaultsDeterministicUnderSeed) {
+  FaultPolicy policy;
+  policy.link_drop = 0.2;
+  policy.link_duplicate = 0.1;
+  policy.link_partition = 0.05;
+  policy.partition_ops = 4;
+  const auto run = [&](std::uint64_t seed) {
+    FaultInjector inj(policy, seed);
+    std::vector<LinkFault> out;
+    for (int i = 0; i < 200; ++i)
+      out.push_back(inj.on_send(FaultInjector::key(i % 4, (i + 1) % 4)));
+    return out;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
 TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
   RetryPolicy policy;
   policy.base_delay = std::chrono::microseconds{100};
