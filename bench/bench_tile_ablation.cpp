@@ -4,12 +4,21 @@
 //  (b) taller M tiles amortize B loads until accumulators spill,
 //  (c) the tuner's preferred region (mt4-8 x 16-32) is a real optimum.
 // This is the design-choice evidence behind DESIGN.md's schedule menu.
+//
+// --smoke: skips the google-benchmark sweep and gates on runtime kernel
+// dispatch — if CPUID says this host has a SIMD tier but the resolved
+// variant is scalar (with no TVMEC_FORCE_VARIANT explaining it), the
+// dispatch seam is broken and the run exits nonzero. CI uses this to
+// catch "generic build silently fell back to portable code".
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 #include "bench_util.h"
 #include "ec/reed_solomon.h"
 #include "tensor/microkernel.h"
+#include "tensor/variant.h"
 
 namespace {
 
@@ -23,6 +32,35 @@ const gf::Matrix& parity_matrix() {
   static const ec::ReedSolomon rs(ec::CodeParams{kK, kR, 8});
   static const gf::Matrix parity = rs.parity_matrix();
   return parity;
+}
+
+void print_variant_line() {
+  std::printf("active kernel variant: %s (best available: %s%s)\n",
+              tensor::to_string(tensor::active_variant()),
+              tensor::to_string(tensor::best_variant()),
+              tensor::forced_variant() ? ", forced via TVMEC_FORCE_VARIANT"
+                                       : "");
+}
+
+/// --smoke gate: on hardware with any SIMD tier, an unforced run must
+/// not resolve to scalar. Returns the process exit code.
+int run_smoke_gate() {
+  print_variant_line();
+  const tensor::KernelVariant active = tensor::active_variant();
+  const tensor::KernelVariant best = tensor::best_variant();
+  if (tensor::forced_variant()) {
+    std::printf("smoke: variant forced, dispatch gate skipped\n");
+    return 0;
+  }
+  if (best != tensor::KernelVariant::Scalar &&
+      active == tensor::KernelVariant::Scalar) {
+    std::printf(
+        "smoke: FAIL — host offers %s but dispatch resolved scalar\n",
+        tensor::to_string(best));
+    return 1;
+  }
+  std::printf("smoke: dispatch OK\n");
+  return 0;
 }
 
 void bm_tile(benchmark::State& state) {
@@ -46,8 +84,10 @@ void print_paper_table() {
       "E13 (ablation): register-tile shape sweep, GB/s (k=10 r=4, nb512)",
       "wide tiles amortize mask broadcasts; the best region is "
       "mt4-8 x tn16-32 on SIMD builds");
-  std::printf("SIMD codegen path: %s\n\n",
+  std::printf("SIMD codegen path: %s\n",
               tensor::xorand_simd_codegen() ? "yes" : "no (portable)");
+  print_variant_line();
+  std::printf("\n");
 
   const auto data = benchutil::random_data(kK * kUnit, 6);
   tensor::AlignedBuffer<std::uint8_t> parity(kR * kUnit);
@@ -72,7 +112,22 @@ void print_paper_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --smoke before google-benchmark sees (and rejects) it.
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else
+      argv[out++] = argv[i];
+  }
+  argc = out;
+
   benchmark::Initialize(&argc, argv);
+  if (smoke) {
+    benchmark::Shutdown();
+    return run_smoke_gate();
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_paper_table();

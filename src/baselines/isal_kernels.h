@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/gf.h"
+
+/// Runtime-dispatched inner kernels for the ISA-L-style baseline.
+///
+/// Mirrors the XorAnd variant tier (tensor/xorand_kernels.h): each ISA
+/// flavor of the `gf_vect_dot_prod`-style loop lives in its own
+/// translation unit compiled with per-file target flags, exporting only
+/// a function-pointer getter. Getters return nullptr when the variant
+/// was not compiled (non-x86 target, compiler without the flag), and the
+/// dispatcher in isal_like.cpp additionally checks CPUID before ever
+/// calling one — the same two-level "compiled AND supported" gate as the
+/// tensor tier.
+///
+/// All kernels share one contract: produce ONE output unit as the
+/// GF(2^8) dot product of `in_units` inputs. Inputs start at `in` and
+/// are `src_stride` bytes apart; `dst` is fully overwritten over
+/// [0, len), including any non-vector tail.
+namespace tvmec::baseline {
+
+/// Which inner loop an IsalCoder encode executes. Vpshufb is ISA-L's
+/// classic split-table byte shuffle; Gfni evaluates the same constant
+/// multiply as an 8x8 GF(2) bit-matrix product in one gf2p8affineqb.
+enum class IsalPath : std::uint8_t { Scalar, Vpshufb, Gfni };
+
+const char* to_string(IsalPath path) noexcept;
+
+/// Split-table kernel: `tables[j]` holds the lo/hi nibble tables for
+/// input j's coefficient.
+using IsalShufFn = void (*)(const gf::SplitTables8* tables,
+                            std::size_t in_units, const std::uint8_t* in,
+                            std::size_t src_stride, std::uint8_t* dst,
+                            std::size_t len);
+
+/// Bit-matrix kernel: `matrices[j]` is the gf2p8affineqb qword encoding
+/// multiplication by input j's coefficient (see gfni_matrix()).
+using IsalGfniFn = void (*)(const std::uint64_t* matrices,
+                            std::size_t in_units, const std::uint8_t* in,
+                            std::size_t src_stride, std::uint8_t* dst,
+                            std::size_t len);
+
+/// AVX2 vpshufb kernel; nullptr when the TU compiled to its stub.
+IsalShufFn isal_vpshufb_kernel() noexcept;
+
+/// GFNI (VEX, 256-bit) kernel; nullptr when the TU compiled to its stub.
+IsalGfniFn isal_gfni_kernel() noexcept;
+
+/// Builds the gf2p8affineqb matrix operand for multiply-by-c in GF(2^8)
+/// under `field`'s primitive polynomial. Bit order per the ISA: result
+/// bit i of each byte is parity(matrix byte [7-i] AND source byte), so
+/// row i (bit j set iff bit i of c * x^j) lands in qword byte 7-i.
+std::uint64_t gfni_matrix(const gf::Field& field, std::uint8_t c);
+
+}  // namespace tvmec::baseline

@@ -1,0 +1,69 @@
+// AVX2 vpshufb variant of the ISA-L-style dot product: 32 bytes per
+// iteration, one byte-shuffle per nibble table, exactly as ISA-L's
+// gf_vect_dot_prod assembly does it. Compiled with per-file -mavx2;
+// everything stays in an anonymous namespace so no AVX2-codegen symbol
+// can be comdat-folded over portable code.
+
+#include "baselines/isal_kernels.h"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <cstring>
+
+#include <immintrin.h>
+
+namespace tvmec::baseline {
+
+namespace {
+
+void accumulate_tail(const gf::SplitTables8& t, const std::uint8_t* src,
+                     std::uint8_t* dst, std::size_t len) {
+  for (std::size_t b = 0; b < len; ++b) dst[b] ^= t.mul(src[b]);
+}
+
+void dot_vpshufb(const gf::SplitTables8* tables, std::size_t in_units,
+                 const std::uint8_t* in, std::size_t src_stride,
+                 std::uint8_t* dst, std::size_t len) {
+  const __m256i low_nibble_mask = _mm256_set1_epi8(0x0F);
+  const std::size_t vec_len = len / 32 * 32;
+  for (std::size_t pos = 0; pos < vec_len; pos += 32) {
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t j = 0; j < in_units; ++j) {
+      const gf::SplitTables8& t = tables[j];
+      const __m128i lo128 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo.data()));
+      const __m128i hi128 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi.data()));
+      const __m256i lo_tbl = _mm256_broadcastsi128_si256(lo128);
+      const __m256i hi_tbl = _mm256_broadcastsi128_si256(hi128);
+      const __m256i data = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in + j * src_stride + pos));
+      const __m256i lo_idx = _mm256_and_si256(data, low_nibble_mask);
+      const __m256i hi_idx =
+          _mm256_and_si256(_mm256_srli_epi64(data, 4), low_nibble_mask);
+      acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(lo_tbl, lo_idx));
+      acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(hi_tbl, hi_idx));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + pos), acc);
+  }
+  if (vec_len < len) {
+    std::memset(dst + vec_len, 0, len - vec_len);
+    for (std::size_t j = 0; j < in_units; ++j)
+      accumulate_tail(tables[j], in + j * src_stride + vec_len, dst + vec_len,
+                      len - vec_len);
+  }
+}
+
+}  // namespace
+
+IsalShufFn isal_vpshufb_kernel() noexcept { return &dot_vpshufb; }
+
+}  // namespace tvmec::baseline
+
+#else  // compiler lacked AVX2 target support, or non-x86 architecture
+
+namespace tvmec::baseline {
+IsalShufFn isal_vpshufb_kernel() noexcept { return nullptr; }
+}  // namespace tvmec::baseline
+
+#endif

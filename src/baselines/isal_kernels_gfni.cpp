@@ -1,0 +1,77 @@
+// GFNI variant of the ISA-L-style dot product: gf2p8affineqb evaluates
+// the multiply-by-constant as an 8x8 GF(2) bit-matrix product, replacing
+// the two vpshufb lookups (and their table broadcasts) with a single
+// instruction per input. Compiled with per-file -mgfni -mavx2 (VEX
+// encoding, 256-bit); selected only when CPUID reports GFNI + AVX2.
+//
+// Note gf2p8affineqb works for ANY GF(2^8) representation — the field's
+// primitive polynomial is baked into the precomputed matrix (see
+// gfni_matrix() in isal_like.cpp), not into the instruction.
+// Only gf2p8mulb hardwires the AES polynomial; we deliberately avoid it.
+
+#include "baselines/isal_kernels.h"
+
+#if defined(__GFNI__) && defined(__AVX2__) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <cstring>
+
+#include <immintrin.h>
+
+namespace tvmec::baseline {
+
+namespace {
+
+/// Software gf2p8affineqb for the sub-32-byte tail: result bit i is the
+/// parity of (matrix byte [7-i] AND source).
+std::uint8_t affine_byte(std::uint64_t matrix, std::uint8_t src) {
+  std::uint8_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint8_t row =
+        static_cast<std::uint8_t>(matrix >> (8 * (7 - i)));
+    r = static_cast<std::uint8_t>(
+        r | (__builtin_parity(static_cast<unsigned>(row & src)) << i));
+  }
+  return r;
+}
+
+void dot_gfni(const std::uint64_t* matrices, std::size_t in_units,
+              const std::uint8_t* in, std::size_t src_stride,
+              std::uint8_t* dst, std::size_t len) {
+  const std::size_t vec_len = len / 32 * 32;
+  for (std::size_t pos = 0; pos < vec_len; pos += 32) {
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t j = 0; j < in_units; ++j) {
+      const __m256i mat =
+          _mm256_set1_epi64x(static_cast<long long>(matrices[j]));
+      const __m256i data = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in + j * src_stride + pos));
+      acc = _mm256_xor_si256(acc,
+                             _mm256_gf2p8affine_epi64_epi8(data, mat, 0));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + pos), acc);
+  }
+  if (vec_len < len) {
+    std::memset(dst + vec_len, 0, len - vec_len);
+    for (std::size_t j = 0; j < in_units; ++j) {
+      const std::uint64_t m = matrices[j];
+      const std::uint8_t* src = in + j * src_stride + vec_len;
+      for (std::size_t b = 0; b < len - vec_len; ++b)
+        dst[vec_len + b] ^= affine_byte(m, src[b]);
+    }
+  }
+}
+
+}  // namespace
+
+IsalGfniFn isal_gfni_kernel() noexcept { return &dot_gfni; }
+
+}  // namespace tvmec::baseline
+
+#else  // compiler lacked GFNI target support, or non-x86 architecture
+
+namespace tvmec::baseline {
+IsalGfniFn isal_gfni_kernel() noexcept { return nullptr; }
+}  // namespace tvmec::baseline
+
+#endif

@@ -3,40 +3,85 @@
 #include <cstring>
 #include <stdexcept>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include "tensor/variant.h"
 
 namespace tvmec::baseline {
+
+const char* to_string(IsalPath path) noexcept {
+  switch (path) {
+    case IsalPath::Scalar:
+      return "scalar";
+    case IsalPath::Vpshufb:
+      return "vpshufb";
+    case IsalPath::Gfni:
+      return "gfni";
+  }
+  return "?";
+}
+
+std::uint64_t gfni_matrix(const gf::Field& field, std::uint8_t c) {
+  // Row i of the GF(2) matrix: bit j set iff bit i of c * x^j. The ISA
+  // reads row i from qword byte 7-i (result bit i = parity(row & src)).
+  std::uint64_t m = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::uint8_t row = 0;
+    for (int j = 0; j < 8; ++j) {
+      const auto prod = field.mul(c, static_cast<gf::elem_t>(1u << j));
+      row = static_cast<std::uint8_t>(row | (((prod >> i) & 1u) << j));
+    }
+    m |= static_cast<std::uint64_t>(row) << (8 * (7 - i));
+  }
+  return m;
+}
 
 IsalCoder::IsalCoder(const gf::Matrix& coeffs)
     : in_units_(coeffs.cols()), out_units_(coeffs.rows()) {
   if (coeffs.field().w() != 8)
     throw std::invalid_argument("isal-like: requires GF(2^8) coefficients");
   tables_.reserve(out_units_ * in_units_);
-  for (std::size_t i = 0; i < out_units_; ++i)
-    for (std::size_t j = 0; j < in_units_; ++j)
-      tables_.push_back(coeffs.field().split_tables(
-          static_cast<std::uint8_t>(coeffs.at(i, j))));
+  gfni_matrices_.reserve(out_units_ * in_units_);
+  for (std::size_t i = 0; i < out_units_; ++i) {
+    for (std::size_t j = 0; j < in_units_; ++j) {
+      const auto c = static_cast<std::uint8_t>(coeffs.at(i, j));
+      tables_.push_back(coeffs.field().split_tables(c));
+      gfni_matrices_.push_back(gfni_matrix(coeffs.field(), c));
+    }
+  }
+}
+
+IsalPath IsalCoder::active_path() noexcept {
+  // Follow the library-wide variant tier so one TVMEC_FORCE_VARIANT knob
+  // pins baseline and tensor kernels alike. The Avx512 tier maps to GFNI
+  // when the host has it (GFNI ships on every AVX-512 server part this
+  // baseline targets); otherwise it degrades to vpshufb.
+  const tensor::CpuFeatures& f = tensor::cpu_features();
+  const bool vpshufb_ok = f.avx2 && isal_vpshufb_kernel() != nullptr;
+  const bool gfni_ok = f.gfni && f.avx2 && isal_gfni_kernel() != nullptr;
+  switch (tensor::active_variant()) {
+    case tensor::KernelVariant::Avx512:
+      if (gfni_ok) return IsalPath::Gfni;
+      [[fallthrough]];
+    case tensor::KernelVariant::Avx2:
+      if (vpshufb_ok) return IsalPath::Vpshufb;
+      return IsalPath::Scalar;
+    case tensor::KernelVariant::Auto:
+    case tensor::KernelVariant::Scalar:
+    case tensor::KernelVariant::Neon:
+      return IsalPath::Scalar;
+  }
+  return IsalPath::Scalar;
 }
 
 bool IsalCoder::has_simd_path() noexcept {
-#if defined(__AVX2__)
-  return true;
-#else
-  return false;
-#endif
+  return active_path() != IsalPath::Scalar;
 }
 
 namespace {
 
-/// Portable split-table dot-product accumulation for one (out, in) pair
-/// over [begin, end) of the unit.
+/// Portable split-table dot-product accumulation for one (out, in) pair.
 void accumulate_scalar(const gf::SplitTables8& t, const std::uint8_t* src,
                        std::uint8_t* dst, std::size_t len) {
-  for (std::size_t b = 0; b < len; ++b)
-    dst[b] ^= static_cast<std::uint8_t>(t.lo[src[b] & 0x0F] ^
-                                        t.hi[src[b] >> 4]);
+  for (std::size_t b = 0; b < len; ++b) dst[b] ^= t.mul(src[b]);
 }
 
 }  // namespace
@@ -44,43 +89,21 @@ void accumulate_scalar(const gf::SplitTables8& t, const std::uint8_t* src,
 void IsalCoder::do_apply(std::span<const std::uint8_t> in,
                          std::span<std::uint8_t> out,
                          std::size_t unit_size) const {
-#if defined(__AVX2__)
-  // ISA-L-style fast path: one streaming pass per output, 32 bytes per
-  // iteration, vpshufb performing both 16-entry lookups per lane.
-  const __m256i low_nibble_mask = _mm256_set1_epi8(0x0F);
-  const std::size_t vec_len = unit_size / 32 * 32;
-  for (std::size_t i = 0; i < out_units_; ++i) {
-    std::uint8_t* dst = out.data() + i * unit_size;
-    for (std::size_t pos = 0; pos < vec_len; pos += 32) {
-      __m256i acc = _mm256_setzero_si256();
-      for (std::size_t j = 0; j < in_units_; ++j) {
-        const gf::SplitTables8& t = tables_[i * in_units_ + j];
-        const __m128i lo128 =
-            _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo.data()));
-        const __m128i hi128 =
-            _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi.data()));
-        const __m256i lo_tbl = _mm256_broadcastsi128_si256(lo128);
-        const __m256i hi_tbl = _mm256_broadcastsi128_si256(hi128);
-        const __m256i data = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
-            in.data() + j * unit_size + pos));
-        const __m256i lo_idx = _mm256_and_si256(data, low_nibble_mask);
-        const __m256i hi_idx = _mm256_and_si256(
-            _mm256_srli_epi64(data, 4), low_nibble_mask);
-        acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(lo_tbl, lo_idx));
-        acc = _mm256_xor_si256(acc, _mm256_shuffle_epi8(hi_tbl, hi_idx));
-      }
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + pos), acc);
-    }
-    // Scalar tail.
-    if (vec_len < unit_size) {
-      std::memset(dst + vec_len, 0, unit_size - vec_len);
-      for (std::size_t j = 0; j < in_units_; ++j)
-        accumulate_scalar(tables_[i * in_units_ + j],
-                          in.data() + j * unit_size + vec_len, dst + vec_len,
-                          unit_size - vec_len);
-    }
+  const IsalPath path = active_path();
+  if (path == IsalPath::Gfni) {
+    const IsalGfniFn fn = isal_gfni_kernel();
+    for (std::size_t i = 0; i < out_units_; ++i)
+      fn(gfni_matrices_.data() + i * in_units_, in_units_, in.data(),
+         unit_size, out.data() + i * unit_size, unit_size);
+    return;
   }
-#else
+  if (path == IsalPath::Vpshufb) {
+    const IsalShufFn fn = isal_vpshufb_kernel();
+    for (std::size_t i = 0; i < out_units_; ++i)
+      fn(tables_.data() + i * in_units_, in_units_, in.data(), unit_size,
+         out.data() + i * unit_size, unit_size);
+    return;
+  }
   for (std::size_t i = 0; i < out_units_; ++i) {
     std::uint8_t* dst = out.data() + i * unit_size;
     std::memset(dst, 0, unit_size);
@@ -88,7 +111,6 @@ void IsalCoder::do_apply(std::span<const std::uint8_t> in,
       accumulate_scalar(tables_[i * in_units_ + j],
                         in.data() + j * unit_size, dst, unit_size);
   }
-#endif
 }
 
 }  // namespace tvmec::baseline

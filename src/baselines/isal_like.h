@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "baselines/isal_kernels.h"
 #include "ec/encoder.h"
 #include "gf/gf.h"
 #include "gf/gf_matrix.h"
@@ -15,9 +16,13 @@
 /// This reproduction mirrors ISA-L's design: an `ec_init_tables`-style
 /// precomputation of per-(output, input) split tables at construction,
 /// then a `gf_vect_dot_prod`-style encode that fuses several outputs per
-/// streaming pass over the data. On AVX2 hardware the inner loop uses
-/// vpshufb exactly as ISA-L's assembly does; elsewhere a portable
-/// byte-table loop stands in.
+/// streaming pass over the data. Like real ISA-L — and unlike the
+/// pre-variant-tier version of this file — the inner loop is chosen at
+/// RUNTIME from CPUID: GFNI's gf2p8affineqb where available, AVX2
+/// vpshufb next, a portable byte-table loop otherwise. The choice tracks
+/// the library-wide kernel variant (tensor/variant.h), so
+/// TVMEC_FORCE_VARIANT=scalar pins this baseline to the portable loop
+/// too.
 namespace tvmec::baseline {
 
 class IsalCoder final : public ec::MatrixCoder {
@@ -30,8 +35,13 @@ class IsalCoder final : public ec::MatrixCoder {
   std::size_t out_units() const noexcept override { return out_units_; }
   std::string name() const override { return "isal"; }
 
-  /// True when this build executes the vpshufb fast path.
+  /// True when encode currently executes a SIMD inner loop. Runtime
+  /// truth: reflects CPUID detection and any TVMEC_FORCE_VARIANT
+  /// override at the moment of the call, not the build's compile flags.
   static bool has_simd_path() noexcept;
+
+  /// The inner loop an encode issued right now would run.
+  static IsalPath active_path() noexcept;
 
  protected:
   void do_apply(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
@@ -40,8 +50,12 @@ class IsalCoder final : public ec::MatrixCoder {
  private:
   std::size_t in_units_;
   std::size_t out_units_;
-  /// Split tables indexed [out * in_units_ + in].
+  /// Split tables indexed [out * in_units_ + in] (scalar + vpshufb paths).
   std::vector<gf::SplitTables8> tables_;
+  /// gf2p8affineqb matrices, same indexing (GFNI path). Precomputed
+  /// unconditionally — 8 bytes per coefficient — so a force-override
+  /// flip mid-run never finds them missing.
+  std::vector<std::uint64_t> gfni_matrices_;
 };
 
 }  // namespace tvmec::baseline

@@ -12,6 +12,7 @@
 
 #include "ec/decoder.h"
 #include "ec/reed_solomon.h"
+#include "tensor/variant.h"
 
 /// A process-wide decode-plan cache.
 ///
@@ -36,7 +37,13 @@ namespace tvmec::core {
 /// against a constrained survivor set (the cluster's repair DAGs prefer
 /// failure-domain-local helpers, so the same loss pattern can yield
 /// different recovery matrices per placement); 0 means "any survivors",
-/// the single-process default.
+/// the single-process default. `variant` is the kernel-variant knob of
+/// the consumer the plan was requested for: the recovery matrix itself
+/// is pure field math and identical across variants, but variant-pinned
+/// consumers (differential tests and tuning sweeps that rebuild coders
+/// per SIMD tier) must not alias each other's entries, so the key keeps
+/// them apart. Auto — the default, and what every variant-agnostic call
+/// site passes — shares one entry.
 struct PlanKey {
   std::size_t k = 0;
   std::size_t r = 0;
@@ -45,6 +52,7 @@ struct PlanKey {
   bool optimized = false;
   std::vector<std::size_t> erased;
   std::uint64_t locality = 0;
+  tensor::KernelVariant variant = tensor::KernelVariant::Auto;
 
   friend auto operator<=>(const PlanKey&, const PlanKey&) = default;
 };

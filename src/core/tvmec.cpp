@@ -71,7 +71,9 @@ void Codec::encode_ptrs(const std::vector<const std::uint8_t*>& data,
 
 const Codec::DecodeEntry& Codec::decode_entry(
     const std::vector<std::size_t>& erased) {
-  const auto it = decode_cache_.find(erased);
+  const tensor::KernelVariant variant = encode_coder_.schedule().variant;
+  const DecodeCacheKey cache_key{erased, variant};
+  const auto it = decode_cache_.find(cache_key);
   if (it != decode_cache_.end()) return it->second;
 
   const auto build = [&]() -> std::optional<ec::DecodePlan> {
@@ -87,7 +89,7 @@ const Codec::DecodeEntry& Codec::decode_entry(
     // carries its schedule) is built locally.
     plan = plan_cache_->get_or_build(
         PlanKey{params_.k, params_.r, params_.w, rs_.family(),
-                optimize_plans_, erased},
+                optimize_plans_, erased, /*locality=*/0, variant},
         build);
   } else if (auto built = build()) {
     plan = std::make_shared<const ec::DecodePlan>(std::move(*built));
@@ -99,7 +101,7 @@ const Codec::DecodeEntry& Codec::decode_entry(
   coder->set_scattered_staging_threshold(
       encode_coder_.scattered_staging_threshold());
   const auto [pos, inserted] = decode_cache_.emplace(
-      erased, DecodeEntry{std::move(plan), std::move(coder)});
+      cache_key, DecodeEntry{std::move(plan), std::move(coder)});
   return pos->second;
 }
 

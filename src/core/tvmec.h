@@ -187,6 +187,16 @@ class Codec {
 
   const DecodeEntry& decode_entry(const std::vector<std::size_t>& erased);
 
+  /// Decode coders are cached per (loss pattern, kernel-variant knob of
+  /// the current schedule): a schedule switch between variant tiers —
+  /// e.g. a differential test pinning scalar, then avx2 — must rebuild
+  /// the per-pattern coders rather than reuse ones carrying the old
+  /// tier. Auto-variant schedules share one entry (they re-resolve at
+  /// every kernel call, so a force toggle reaches them without a
+  /// rebuild).
+  using DecodeCacheKey =
+      std::pair<std::vector<std::size_t>, tensor::KernelVariant>;
+
   /// Sorted, deduplicated, range-checked loss pattern (the canonical
   /// decode-cache key). Throws invalid_argument on out-of-range ids,
   /// runtime_error when > r distinct erasures.
@@ -196,7 +206,7 @@ class Codec {
   ec::CodeParams params_;
   ec::ReedSolomon rs_;
   GemmCoder encode_coder_;
-  std::map<std::vector<std::size_t>, DecodeEntry> decode_cache_;
+  std::map<DecodeCacheKey, DecodeEntry> decode_cache_;
   std::shared_ptr<PlanCache> plan_cache_;
   bool optimize_plans_ = false;
   /// Per-data-unit r x 1 delta coders for update_unit (lazy).

@@ -10,6 +10,7 @@
 #include "ec/decoder.h"
 #include "ec/encoder.h"
 #include "tensor/threadpool.h"
+#include "tensor/variant.h"
 
 namespace tvmec::serve {
 
@@ -743,6 +744,7 @@ ServeStatsSnapshot EcService::stats() const {
 
 HealthSnapshot EcService::health() const {
   HealthSnapshot h;
+  h.kernel_variant = tensor::to_string(tensor::active_variant());
   if (stopped_flag_.load(std::memory_order_acquire)) {
     h.state = HealthState::Unhealthy;
     h.reasons.push_back("service is shut down");

@@ -85,6 +85,12 @@ const char* to_string(HealthState s) noexcept;
 struct HealthSnapshot {
   HealthState state = HealthState::Ok;
   std::vector<std::string> reasons;
+  /// The SIMD microkernel tier encodes are currently dispatching to
+  /// ("scalar", "avx2", "avx512", "neon") — runtime CPUID truth, after
+  /// any TVMEC_FORCE_VARIANT override. Surfaced here so an operator can
+  /// answer "which kernel is this replica actually running?" from the
+  /// readiness endpoint instead of rebuilding with different flags.
+  std::string kernel_variant;
 };
 
 struct ServiceConfig {

@@ -11,6 +11,7 @@
 #include "tensor/microkernel.h"
 #include "tensor/scattered.h"
 #include "tensor/threadpool.h"
+#include "tensor/xorand_kernels.h"
 
 namespace tvmec::tensor {
 
@@ -114,6 +115,26 @@ constexpr std::array<std::array<MicroFn<S>, 7>, 4> make_dispatch() {
   }};
 }
 
+/// Picks the microkernel for one (schedule, semiring) pair. XorAnd64 —
+/// the erasure-coding semiring — dispatches through the runtime variant
+/// tier: the schedule's variant knob resolved against CPUID detection
+/// and any TVMEC_FORCE_VARIANT override (tensor/variant.h), so the same
+/// binary runs vpternlogq on an AVX-512 host and the portable tile on a
+/// machine that lacks it. Other semirings keep the template menu (their
+/// codegen is whatever this TU was compiled with, which is safe by
+/// construction: no per-file target flags apply here).
+template <class S>
+MicroFn<S> select_micro(const Schedule& s) {
+  const std::size_t mi = static_cast<std::size_t>(tile_m_index(s.tile_m));
+  const std::size_t ni = static_cast<std::size_t>(tile_n_index(s.tile_n));
+  if constexpr (std::is_same_v<S, XorAnd64>) {
+    return xorand_table(resolve_variant(s.variant))->fn[mi][ni];
+  } else {
+    static constexpr auto kDispatch = make_dispatch<S>();
+    return kDispatch[mi][ni];
+  }
+}
+
 template <class S>
 void validate_shapes(MatView<const typename S::value_type> a,
                      MatView<const typename S::value_type> b,
@@ -135,10 +156,7 @@ void run_block(MatView<const typename S::value_type> a,
                std::size_t m0, std::size_t m1, std::size_t n0,
                std::size_t n1) {
   using V = typename S::value_type;
-  static constexpr auto kDispatch = make_dispatch<S>();
-  const MicroFn<S> micro =
-      kDispatch[static_cast<std::size_t>(tile_m_index(s.tile_m))]
-               [static_cast<std::size_t>(tile_n_index(s.tile_n))];
+  const MicroFn<S> micro = select_micro<S>(s);
   const std::size_t tm = static_cast<std::size_t>(s.tile_m);
   const std::size_t tn = static_cast<std::size_t>(s.tile_n);
   const std::size_t k = a.cols;
@@ -334,10 +352,7 @@ void run_scattered_range(MatView<const std::uint64_t> a,
                          const Schedule& s, std::size_t n0, std::size_t n1,
                          const CancelToken& cancel) {
   using S = XorAnd64;
-  static constexpr auto kDispatch = make_dispatch<S>();
-  const MicroFn<S> micro =
-      kDispatch[static_cast<std::size_t>(tile_m_index(s.tile_m))]
-               [static_cast<std::size_t>(tile_n_index(s.tile_n))];
+  const MicroFn<S> micro = select_micro<S>(s);
   const std::size_t tm = static_cast<std::size_t>(s.tile_m);
   const std::size_t tn = static_cast<std::size_t>(s.tile_n);
   const std::size_t m = a.rows;

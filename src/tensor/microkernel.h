@@ -4,10 +4,7 @@
 #include <type_traits>
 
 #include "tensor/semiring.h"
-
-#if defined(__AVX512F__) || defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include "tensor/variant.h"
 
 /// Register-tiled microkernels — the library's stand-in for ML-compiler
 /// codegen.
@@ -17,128 +14,35 @@
 /// classic GEMM outer-product microkernel; with the XorAnd64 semiring it
 /// becomes the paper's Listing-2 inner loop.
 ///
-/// Like TVM's codegen, the XorAnd64 microkernels are specialized for the
-/// build target: on AVX-512 machines the AND+XOR pair fuses into a single
-/// vpternlogq per 8 lanes, on AVX2 into a vpand+vpxor pair per 4 lanes,
-/// with a portable scalar version everywhere else. Wide N tiles (up to 64
-/// words) amortize each broadcast of an A mask over many data lanes —
-/// the key to reaching XOR-roofline throughput.
+/// Like TVM's codegen, the XorAnd64 microkernels come as a family of
+/// arch-specialized variants — but unlike a compiler's, the choice is
+/// made at RUNTIME, not at build time. The SIMD variants (AVX-512's
+/// vpternlogq, AVX2's vpand+vpxor, NEON's vandq+veorq) live in separate
+/// per-variant translation units (xorand_kernels_*.cpp) built with
+/// per-file target flags; CPUID-based detection (tensor/variant.h) picks
+/// the tier each call executes. This header keeps only the portable
+/// generic template, which serves the non-XorAnd semirings and the
+/// ragged-edge fallback. Wide N tiles (up to 64 words) amortize each
+/// broadcast of an A mask over many data lanes — the key to reaching
+/// XOR-roofline throughput.
 namespace tvmec::tensor {
 
-namespace detail {
-
-#if defined(__AVX512F__)
-inline constexpr bool kHaveAvx512 = true;
-
-/// TM x (8*TNV) XorAnd tile with explicit zmm accumulators. The pragmas
-/// force full unrolling so every accumulator stays in a register
-/// (without them the register allocator spills the tile to the stack,
-/// costing 2-4x).
-template <int TM, int TNV>
-void micro_xorand_avx512(const std::uint64_t* a, std::size_t lda,
-                         const std::uint64_t* b, std::size_t ldb,
-                         std::uint64_t* c, std::size_t ldc, std::size_t k) {
-  __m512i acc[TM][TNV];
-#pragma GCC unroll 8
-  for (int i = 0; i < TM; ++i)
-#pragma GCC unroll 8
-    for (int v = 0; v < TNV; ++v)
-      acc[i][v] = _mm512_loadu_si512(c + i * ldc + 8 * v);
-  for (std::size_t l = 0; l < k; ++l) {
-    __m512i bv[TNV];
-#pragma GCC unroll 8
-    for (int v = 0; v < TNV; ++v)
-      bv[v] = _mm512_loadu_si512(b + l * ldb + 8 * v);
-#pragma GCC unroll 8
-    for (int i = 0; i < TM; ++i) {
-      const __m512i av =
-          _mm512_set1_epi64(static_cast<long long>(a[i * lda + l]));
-#pragma GCC unroll 8
-      for (int v = 0; v < TNV; ++v)
-        // 0x78 = acc ^ (av & bv): the whole Listing-2 inner op in one
-        // instruction.
-        acc[i][v] = _mm512_ternarylogic_epi64(acc[i][v], av, bv[v], 0x78);
-    }
-  }
-#pragma GCC unroll 8
-  for (int i = 0; i < TM; ++i)
-#pragma GCC unroll 8
-    for (int v = 0; v < TNV; ++v)
-      _mm512_storeu_si512(c + i * ldc + 8 * v, acc[i][v]);
-}
-#else
-inline constexpr bool kHaveAvx512 = false;
-#endif
-
-#if defined(__AVX2__)
-inline constexpr bool kHaveAvx2 = true;
-
-/// TM x (4*TNV) XorAnd tile on 256-bit lanes (vpand + vpxor).
-template <int TM, int TNV>
-void micro_xorand_avx2(const std::uint64_t* a, std::size_t lda,
-                       const std::uint64_t* b, std::size_t ldb,
-                       std::uint64_t* c, std::size_t ldc, std::size_t k) {
-  __m256i acc[TM][TNV];
-#pragma GCC unroll 8
-  for (int i = 0; i < TM; ++i)
-#pragma GCC unroll 8
-    for (int v = 0; v < TNV; ++v)
-      acc[i][v] = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(c + i * ldc + 4 * v));
-  for (std::size_t l = 0; l < k; ++l) {
-    __m256i bv[TNV];
-#pragma GCC unroll 8
-    for (int v = 0; v < TNV; ++v)
-      bv[v] = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(b + l * ldb + 4 * v));
-#pragma GCC unroll 8
-    for (int i = 0; i < TM; ++i) {
-      const __m256i av =
-          _mm256_set1_epi64x(static_cast<long long>(a[i * lda + l]));
-#pragma GCC unroll 8
-      for (int v = 0; v < TNV; ++v)
-        acc[i][v] =
-            _mm256_xor_si256(acc[i][v], _mm256_and_si256(av, bv[v]));
-    }
-  }
-#pragma GCC unroll 8
-  for (int i = 0; i < TM; ++i)
-#pragma GCC unroll 8
-    for (int v = 0; v < TNV; ++v)
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * ldc + 4 * v),
-                          acc[i][v]);
-}
-#else
-inline constexpr bool kHaveAvx2 = false;
-#endif
-
-}  // namespace detail
-
-/// True when this build dispatches XorAnd tiles to SIMD-specialized code.
-constexpr bool xorand_simd_codegen() noexcept {
-  return detail::kHaveAvx512 || detail::kHaveAvx2;
+/// True when XorAnd tiles currently dispatch to SIMD-specialized code.
+/// This is *runtime* truth — it reflects the variant the running host
+/// (and any TVMEC_FORCE_VARIANT override) resolves to, not the flags the
+/// library was compiled with.
+inline bool xorand_simd_codegen() noexcept {
+  return active_variant() != KernelVariant::Scalar;
 }
 
 /// Accumulates C[0..TM) x [0..TN) += A[0..TM) x [0..K) (x) B[0..K) x [0..TN)
 /// under semiring S. Leading dimensions (lda/ldb/ldc) are in elements.
+/// Portable codegen: XorAnd64 callers wanting the SIMD tiers go through
+/// the variant dispatch in kernel.cpp instead of calling this directly.
 template <class S, int TM, int TN>
 void micro_gemm(const typename S::value_type* a, std::size_t lda,
                 const typename S::value_type* b, std::size_t ldb,
                 typename S::value_type* c, std::size_t ldc, std::size_t k) {
-  if constexpr (std::is_same_v<S, XorAnd64>) {
-#if defined(__AVX512F__)
-    if constexpr (TN % 8 == 0) {
-      detail::micro_xorand_avx512<TM, TN / 8>(a, lda, b, ldb, c, ldc, k);
-      return;
-    }
-#endif
-#if defined(__AVX2__)
-    if constexpr (TN % 4 == 0) {
-      detail::micro_xorand_avx2<TM, TN / 4>(a, lda, b, ldb, c, ldc, k);
-      return;
-    }
-#endif
-  }
   using V = typename S::value_type;
   V acc[TM][TN];
 #pragma GCC unroll 8

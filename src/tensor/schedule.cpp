@@ -26,6 +26,8 @@ std::string Schedule::to_string() const {
   s += " p";
   s += tensor::to_string(par_axis);
   s += " g" + std::to_string(par_grain);
+  s += " v";
+  s += tensor::to_string(variant);
   return s;
 }
 
@@ -48,8 +50,7 @@ Schedule Schedule::parse(const std::string& text) {
     unsigned long long grain = 0;
     char axis[4] = {};
     int tail = 0;
-    if (std::sscanf(rest, "p%3s g%llu%n", axis, &grain, &tail) != 2 ||
-        rest[tail] != '\0')
+    if (std::sscanf(rest, "p%3s g%llu%n", axis, &grain, &tail) != 2)
       throw std::invalid_argument("Schedule::parse: malformed '" + text +
                                   "'");
     if (std::strcmp(axis, "m") == 0) {
@@ -63,6 +64,19 @@ Schedule Schedule::parse(const std::string& text) {
                                   text + "'");
     }
     s.par_grain = static_cast<std::size_t>(grain);
+    rest += tail;
+    while (*rest == ' ') ++rest;
+    if (*rest == 'v') {
+      // Variant suffix; absent in pre-variant 7-field logs (-> Auto).
+      const auto v = variant_from_string(rest + 1);
+      if (!v)
+        throw std::invalid_argument("Schedule::parse: bad variant '" + text +
+                                    "'");
+      s.variant = *v;
+    } else if (*rest != '\0') {
+      throw std::invalid_argument("Schedule::parse: malformed '" + text +
+                                  "'");
+    }
   }
   s.block_k = static_cast<std::size_t>(bk);
   s.block_n = static_cast<std::size_t>(bn);
@@ -90,6 +104,16 @@ bool Schedule::valid() const noexcept {
   // Absurd grains (chunks of a million tiles) are pointless but harmless;
   // cap to keep to_string/parse and the search space sane.
   if (par_grain > (std::size_t{1} << 20)) return false;
+  switch (variant) {
+    case KernelVariant::Auto:
+    case KernelVariant::Scalar:
+    case KernelVariant::Avx2:
+    case KernelVariant::Avx512:
+    case KernelVariant::Neon:
+      break;
+    default:
+      return false;
+  }
   return true;
 }
 

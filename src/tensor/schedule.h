@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <string>
 
+#include "tensor/variant.h"
+
 /// Kernel schedules: the knobs an ML compiler's autotuner turns.
 ///
 /// A Schedule describes *how* a GEMM-shaped loop nest is executed — register
@@ -44,9 +46,15 @@ struct Schedule {
   /// chunk along the partitioned axis (the N axis for MN). 0 = auto
   /// (sized so each thread sees a handful of chunks to steal).
   std::size_t par_grain = 0;
+  /// SIMD microkernel tier the schedule was tuned for. Auto = resolve to
+  /// the best tier the running host supports; a concrete tier is honored
+  /// only when available (and a TVMEC_FORCE_VARIANT override beats both),
+  /// so a log tuned on an AVX-512 box still runs — on a lesser tier —
+  /// anywhere. Only the XorAnd64 kernels consult this knob.
+  KernelVariant variant = KernelVariant::Auto;
 
-  /// Human-readable form, e.g. "mt4x8 kb64 nb2048 t4 pn g0", used in
-  /// tuning logs.
+  /// Human-readable form, e.g. "mt4x8 kb64 nb2048 t4 pn g0 vauto", used
+  /// in tuning logs.
   std::string to_string() const;
 
   /// Parses the to_string() format back into a Schedule — the mechanism
@@ -54,8 +62,10 @@ struct Schedule {
   /// schedule" workflow, §5/§7.1 of the paper). The pre-parallel-axis
   /// 5-field form ("mt4x8 kb64 nb2048 t4") is still accepted and maps
   /// to M-partitioning with auto grain, which is what that era of logs
-  /// actually ran. Throws std::invalid_argument on malformed input or
-  /// an invalid schedule.
+  /// actually ran; the pre-variant 7-field form maps to variant=Auto
+  /// (those logs ran whatever the build's compile-time ISA was — Auto
+  /// reproduces "best this host offers"). Throws std::invalid_argument
+  /// on malformed input or an invalid schedule.
   static Schedule parse(const std::string& text);
 
   /// True if every knob is inside the range the kernel dispatcher supports.

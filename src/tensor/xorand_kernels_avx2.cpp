@@ -1,0 +1,84 @@
+// AVX2 XorAnd microkernel variant: vpand + vpxor over 256-bit lanes,
+// 4 words per vector. Compiled with per-file -mavx2 (see
+// src/tensor/CMakeLists.txt); selected at runtime only when CPUID
+// reports AVX2, so the rest of the binary stays portable.
+
+#include "tensor/xorand_kernels.h"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace tvmec::tensor {
+
+namespace {
+
+#include "tensor/xorand_portable_micro.inc"
+
+/// TM x (4*TNV) XorAnd tile with explicit ymm accumulators. The pragmas
+/// force full unrolling so every accumulator stays in a register
+/// (without them the register allocator spills the tile to the stack,
+/// costing 2-4x).
+template <int TM, int TNV>
+void micro_avx2(const std::uint64_t* a, std::size_t lda,
+                const std::uint64_t* b, std::size_t ldb, std::uint64_t* c,
+                std::size_t ldc, std::size_t k) {
+  __m256i acc[TM][TNV];
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      acc[i][v] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c + i * ldc + 4 * v));
+  for (std::size_t l = 0; l < k; ++l) {
+    __m256i bv[TNV];
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      bv[v] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b + l * ldb + 4 * v));
+#pragma GCC unroll 8
+    for (int i = 0; i < TM; ++i) {
+      const __m256i av =
+          _mm256_set1_epi64x(static_cast<long long>(a[i * lda + l]));
+#pragma GCC unroll 8
+      for (int v = 0; v < TNV; ++v)
+        acc[i][v] = _mm256_xor_si256(acc[i][v], _mm256_and_si256(av, bv[v]));
+    }
+  }
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * ldc + 4 * v),
+                          acc[i][v]);
+}
+
+/// Tiles narrower than one ymm lane fall back to the portable kernel —
+/// instantiated inside THIS anonymous namespace, so it may legitimately
+/// use AVX2 codegen: it only ever runs after dispatch chose this tier.
+template <int TM, int TN>
+void micro(const std::uint64_t* a, std::size_t lda, const std::uint64_t* b,
+           std::size_t ldb, std::uint64_t* c, std::size_t ldc,
+           std::size_t k) {
+  if constexpr (TN % 4 == 0) {
+    micro_avx2<TM, TN / 4>(a, lda, b, ldb, c, ldc, k);
+  } else {
+    micro_portable<TM, TN>(a, lda, b, ldb, c, ldc, k);
+  }
+}
+
+constexpr XorAndKernelTable kTable = TVMEC_XORAND_TABLE;
+
+}  // namespace
+
+const XorAndKernelTable* xorand_table_avx2() noexcept { return &kTable; }
+
+}  // namespace tvmec::tensor
+
+#else  // compiler lacked AVX2 target support, or non-x86 architecture
+
+namespace tvmec::tensor {
+const XorAndKernelTable* xorand_table_avx2() noexcept { return nullptr; }
+}  // namespace tvmec::tensor
+
+#endif

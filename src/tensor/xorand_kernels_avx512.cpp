@@ -1,0 +1,80 @@
+// AVX-512 XorAnd microkernel variant: the AND+XOR pair fuses into a
+// single vpternlogq per 8 words. Compiled with per-file
+// -mavx512f/-mavx512bw/-mavx512vl; selected at runtime only when CPUID
+// (plus XGETBV zmm-state checks) reports all three.
+
+#include "tensor/xorand_kernels.h"
+
+#if defined(__AVX512F__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace tvmec::tensor {
+
+namespace {
+
+#include "tensor/xorand_portable_micro.inc"
+
+/// TM x (8*TNV) XorAnd tile with explicit zmm accumulators.
+template <int TM, int TNV>
+void micro_avx512(const std::uint64_t* a, std::size_t lda,
+                  const std::uint64_t* b, std::size_t ldb, std::uint64_t* c,
+                  std::size_t ldc, std::size_t k) {
+  __m512i acc[TM][TNV];
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      acc[i][v] = _mm512_loadu_si512(c + i * ldc + 8 * v);
+  for (std::size_t l = 0; l < k; ++l) {
+    __m512i bv[TNV];
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      bv[v] = _mm512_loadu_si512(b + l * ldb + 8 * v);
+#pragma GCC unroll 8
+    for (int i = 0; i < TM; ++i) {
+      const __m512i av =
+          _mm512_set1_epi64(static_cast<long long>(a[i * lda + l]));
+#pragma GCC unroll 8
+      for (int v = 0; v < TNV; ++v)
+        // 0x78 = acc ^ (av & bv): the whole Listing-2 inner op in one
+        // instruction.
+        acc[i][v] = _mm512_ternarylogic_epi64(acc[i][v], av, bv[v], 0x78);
+    }
+  }
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v)
+      _mm512_storeu_si512(c + i * ldc + 8 * v, acc[i][v]);
+}
+
+/// Tiles narrower than one zmm lane fall back to the portable kernel,
+/// instantiated inside this anonymous namespace (it only ever runs after
+/// dispatch chose this tier, so AVX-512 codegen in it is safe).
+template <int TM, int TN>
+void micro(const std::uint64_t* a, std::size_t lda, const std::uint64_t* b,
+           std::size_t ldb, std::uint64_t* c, std::size_t ldc,
+           std::size_t k) {
+  if constexpr (TN % 8 == 0) {
+    micro_avx512<TM, TN / 8>(a, lda, b, ldb, c, ldc, k);
+  } else {
+    micro_portable<TM, TN>(a, lda, b, ldb, c, ldc, k);
+  }
+}
+
+constexpr XorAndKernelTable kTable = TVMEC_XORAND_TABLE;
+
+}  // namespace
+
+const XorAndKernelTable* xorand_table_avx512() noexcept { return &kTable; }
+
+}  // namespace tvmec::tensor
+
+#else  // compiler lacked AVX-512 target support, or non-x86 architecture
+
+namespace tvmec::tensor {
+const XorAndKernelTable* xorand_table_avx512() noexcept { return nullptr; }
+}  // namespace tvmec::tensor
+
+#endif

@@ -1,0 +1,72 @@
+// NEON XorAnd microkernel variant: vandq + veorq over 128-bit lanes,
+// 2 words per vector. NEON is architecturally mandatory on aarch64, so
+// no per-file flags are needed — the TU simply compiles to the stub on
+// every other architecture and the runtime detection never offers it
+// there.
+
+#include "tensor/xorand_kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace tvmec::tensor {
+
+namespace {
+
+#include "tensor/xorand_portable_micro.inc"
+
+/// TM x (2*TNV) XorAnd tile with explicit q-register accumulators.
+template <int TM, int TNV>
+void micro_neon(const std::uint64_t* a, std::size_t lda,
+                const std::uint64_t* b, std::size_t ldb, std::uint64_t* c,
+                std::size_t ldc, std::size_t k) {
+  uint64x2_t acc[TM][TNV];
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v) acc[i][v] = vld1q_u64(c + i * ldc + 2 * v);
+  for (std::size_t l = 0; l < k; ++l) {
+    uint64x2_t bv[TNV];
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v) bv[v] = vld1q_u64(b + l * ldb + 2 * v);
+#pragma GCC unroll 8
+    for (int i = 0; i < TM; ++i) {
+      const uint64x2_t av = vdupq_n_u64(a[i * lda + l]);
+#pragma GCC unroll 8
+      for (int v = 0; v < TNV; ++v)
+        acc[i][v] = veorq_u64(acc[i][v], vandq_u64(av, bv[v]));
+    }
+  }
+#pragma GCC unroll 8
+  for (int i = 0; i < TM; ++i)
+#pragma GCC unroll 8
+    for (int v = 0; v < TNV; ++v) vst1q_u64(c + i * ldc + 2 * v, acc[i][v]);
+}
+
+template <int TM, int TN>
+void micro(const std::uint64_t* a, std::size_t lda, const std::uint64_t* b,
+           std::size_t ldb, std::uint64_t* c, std::size_t ldc,
+           std::size_t k) {
+  if constexpr (TN % 2 == 0) {
+    micro_neon<TM, TN / 2>(a, lda, b, ldb, c, ldc, k);
+  } else {
+    micro_portable<TM, TN>(a, lda, b, ldb, c, ldc, k);
+  }
+}
+
+constexpr XorAndKernelTable kTable = TVMEC_XORAND_TABLE;
+
+}  // namespace
+
+const XorAndKernelTable* xorand_table_neon() noexcept { return &kTable; }
+
+}  // namespace tvmec::tensor
+
+#else  // not aarch64
+
+namespace tvmec::tensor {
+const XorAndKernelTable* xorand_table_neon() noexcept { return nullptr; }
+}  // namespace tvmec::tensor
+
+#endif

@@ -58,6 +58,25 @@ std::optional<std::string> first_divergence(std::span<const std::uint8_t> got,
   return std::nullopt;
 }
 
+/// Pins the process-wide kernel-variant force for one scope, restoring
+/// whatever force (or absence of one) was active before. Forcing an
+/// Auto variant is a no-op; forcing a tier this host lacks warns and is
+/// ignored inside set_forced_variant, so repro strings from bigger
+/// machines still run here.
+class ForcedVariantGuard {
+ public:
+  explicit ForcedVariantGuard(tensor::KernelVariant v)
+      : prev_(tensor::forced_variant()) {
+    if (v != tensor::KernelVariant::Auto) tensor::set_forced_variant(v);
+  }
+  ~ForcedVariantGuard() { tensor::set_forced_variant(prev_); }
+  ForcedVariantGuard(const ForcedVariantGuard&) = delete;
+  ForcedVariantGuard& operator=(const ForcedVariantGuard&) = delete;
+
+ private:
+  std::optional<tensor::KernelVariant> prev_;
+};
+
 /// Instantiates a backend coder, honoring the config's schedule-menu
 /// index for the Gemm backend (other backends have no schedule knob).
 std::unique_ptr<ec::MatrixCoder> make_backend_coder(core::Backend backend,
@@ -185,6 +204,11 @@ std::optional<std::string> check_scattered_kernel(const FuzzConfig& c) {
 }
 
 FuzzOutcome run_rs_encode(const FuzzConfig& c) {
+  // The variant axis pins every kernel in this iteration (all backend
+  // arms, the scattered arms) to one SIMD tier; the scalar oracles below
+  // are reference code untouched by dispatch, so each forced tier is
+  // byte-diffed against scalar truth.
+  const ForcedVariantGuard variant_guard(c.variant);
   const ec::CodeParams params{c.k, c.r, c.w};
   const ec::ReedSolomon rs(params, c.family);
   const gf::Matrix parity_matrix = rs.parity_matrix();
@@ -213,6 +237,20 @@ FuzzOutcome run_rs_encode(const FuzzConfig& c) {
     if (auto d = check_unaligned_matches(*coder, data.span(), out.span(),
                                          c.unit_size, label))
       return fail(c, *d);
+    // Cross-variant arm: the same backend under a forced-scalar run must
+    // reproduce the forced-tier output byte for byte.
+    if (c.variant != tensor::KernelVariant::Auto &&
+        c.variant != tensor::KernelVariant::Scalar) {
+      const ForcedVariantGuard scalar_guard(tensor::KernelVariant::Scalar);
+      Bytes scalar_out(c.r * c.unit_size);
+      coder->apply(data.span(), scalar_out.span(), c.unit_size);
+      if (auto d = first_divergence(
+              out.span(), scalar_out.span(), c.unit_size,
+              label + " forced " +
+                  std::string(tensor::to_string(c.variant)) +
+                  " vs forced scalar"))
+        return fail(c, *d);
+    }
   }
   if (c.frag != 0) {
     if (auto d = check_scattered_codec(c, data.span(),
@@ -945,6 +983,8 @@ const std::vector<tensor::Schedule>& DiffFuzzer::schedule_menu() {
     m.push_back({.tile_m = 4, .tile_n = 4, .num_threads = 2,
                  .par_axis = tensor::ParAxis::MN,
                  .par_grain = 1});                              // 2D grid
+    m.push_back({.tile_m = 4, .tile_n = 16,
+                 .variant = tensor::KernelVariant::Scalar});    // pinned tier
     return m;
   }();
   return menu;
@@ -1090,6 +1130,13 @@ std::vector<FuzzConfig> reductions(const FuzzConfig& c) {
   if (c.family != ec::RsFamily::CauchyGood) {
     FuzzConfig cand = c;
     cand.family = ec::RsFamily::CauchyGood;
+    add(std::move(cand));
+  }
+  if (c.variant != tensor::KernelVariant::Auto) {
+    // If the failure survives without the pinned tier, the variant was
+    // irrelevant and the repro drops back to the dispatch default.
+    FuzzConfig cand = c;
+    cand.variant = tensor::KernelVariant::Auto;
     add(std::move(cand));
   }
   return out;

@@ -107,6 +107,10 @@ void FuzzConfig::validate() const {
   if (frag != 0 && scenario != Scenario::RsEncode)
     throw std::invalid_argument(
         "FuzzConfig: frag only applies to scenario rs-encode");
+  if (variant != tensor::KernelVariant::Auto &&
+      scenario != Scenario::RsEncode)
+    throw std::invalid_argument(
+        "FuzzConfig: var only applies to scenario rs-encode");
   // LRC local parities are plain XOR rows; only the k data points plus g
   // global parities need distinct field points. MDS codes need all n.
   const std::size_t field_points =
@@ -142,6 +146,8 @@ std::string format_repro(const FuzzConfig& config) {
   }
   if (config.sched != 0) out << " sched=" << config.sched;
   if (config.frag != 0) out << " frag=" << config.frag;
+  if (config.variant != tensor::KernelVariant::Auto)
+    out << " var=" << tensor::to_string(config.variant);
   return out.str();
 }
 
@@ -181,6 +187,12 @@ FuzzConfig parse_repro(const std::string& text) {
       config.sched = static_cast<std::size_t>(parse_u64(value, key));
     } else if (key == "frag") {
       config.frag = parse_u64(value, key);
+    } else if (key == "var") {
+      const auto v = tensor::variant_from_string(value);
+      if (!v)
+        throw std::invalid_argument("parse_repro: unknown variant '" +
+                                    std::string(value) + "'");
+      config.variant = *v;
     } else {
       throw std::invalid_argument("parse_repro: unknown key '" +
                                   std::string(key) + "'");
@@ -200,7 +212,7 @@ FuzzConfig random_config(std::mt19937_64& rng) {
   const unsigned ws[] = {4, 8, 16};
   c.w = ws[rng() % 3];
   c.seed = rng();
-  c.sched = pick(0, 4);
+  c.sched = pick(0, 5);
 
   if (c.scenario == Scenario::LrcRoundTrip) {
     // k with a nontrivial divisor lattice; l | k; g (stored in r) small.
@@ -226,6 +238,14 @@ FuzzConfig random_config(std::mt19937_64& rng) {
   // About a quarter of encode iterations also run the scattered arms.
   if (c.scenario == Scenario::RsEncode && rng() % 4 == 0)
     c.frag = rng() | 1;  // any nonzero seed
+
+  // About a third of encode iterations pin a SIMD tier this host offers
+  // (drawn uniformly, so scalar is exercised as a forced tier too).
+  if (c.scenario == Scenario::RsEncode && rng() % 3 == 0) {
+    const std::vector<tensor::KernelVariant> menu =
+        tensor::available_variants();
+    c.variant = menu[rng() % menu.size()];
+  }
 
   // Loss pattern. Decode scenarios erase units; storage fails nodes.
   // The serve scenario feeds its losses to decode submissions (empty =

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ec/reed_solomon.h"
+#include "tensor/variant.h"
 
 /// Configuration space of the cross-backend differential fuzzer: one
 /// FuzzConfig pins down everything a fuzz iteration does — the scenario,
@@ -70,6 +71,14 @@ struct FuzzConfig {
   /// word boundaries — both compared byte-for-byte against the
   /// contiguous result. 0 = contiguous-only iteration.
   std::uint64_t frag = 0;
+  /// Kernel-variant axis (RsEncode only): when not Auto, the iteration
+  /// forces this SIMD tier (via the TVMEC_FORCE_VARIANT machinery) for
+  /// its GEMM arms and additionally diffs the forced result against a
+  /// forced-scalar run of the same config — the cross-variant
+  /// byte-equality contract. On a host lacking the tier the force is
+  /// ignored with a warning (the repro still runs, on what the host
+  /// has). Auto = no forcing, the default dispatch.
+  tensor::KernelVariant variant = tensor::KernelVariant::Auto;
 
   /// Total units in the code (k + r, or k + l + g for LRC).
   std::size_t n() const noexcept {
@@ -86,8 +95,9 @@ struct FuzzConfig {
 /// Serializes a config as a one-line reproducer, e.g.
 ///   fuzz:v1 s=rs-decode f=cauchy-good k=6 r=3 w=8 u=128 seed=42
 ///       loss=1,3 sched=2
-/// (single line; loss/sched omitted when empty/zero). parse_repro is the
-/// exact inverse: parse_repro(format_repro(c)) == c for every valid c.
+/// (single line; loss/sched/frag/var omitted when empty/zero/auto).
+/// parse_repro is the exact inverse: parse_repro(format_repro(c)) == c
+/// for every valid c.
 std::string format_repro(const FuzzConfig& config);
 
 /// Parses a reproducer string. Throws std::invalid_argument on malformed

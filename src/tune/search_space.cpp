@@ -41,12 +41,18 @@ SearchSpace::SearchSpace(const TaskShape& shape, int max_threads)
     par_axes_ = {tensor::ParAxis::N};
     grains_ = {0};
   }
+
+  // Concrete variants this host can actually measure (Scalar always,
+  // then whatever CPUID detection offers). Deliberately no Auto entry:
+  // every trial must pin the tier it timed, or the log would not
+  // reproduce on a host whose "best" differs.
+  variants_ = tensor::available_variants();
 }
 
 std::size_t SearchSpace::size() const noexcept {
   return tile_ms_.size() * tile_ns_.size() * block_ks_.size() *
          block_ns_.size() * threads_.size() * par_axes_.size() *
-         grains_.size();
+         grains_.size() * variants_.size();
 }
 
 tensor::Schedule SearchSpace::at(std::size_t i) const {
@@ -65,6 +71,8 @@ tensor::Schedule SearchSpace::at(std::size_t i) const {
   s.par_axis = par_axes_[i % par_axes_.size()];
   i /= par_axes_.size();
   s.par_grain = grains_[i % grains_.size()];
+  i /= grains_.size();
+  s.variant = variants_[i % variants_.size()];
   return s;
 }
 
@@ -83,7 +91,7 @@ tensor::Schedule SearchSpace::sample(std::mt19937_64& rng) const {
 tensor::Schedule SearchSpace::mutate(const tensor::Schedule& s,
                                      std::mt19937_64& rng) const {
   tensor::Schedule out = s;
-  std::uniform_int_distribution<int> knob_dist(0, 6);
+  std::uniform_int_distribution<int> knob_dist(0, 7);
   const auto pick = [&rng](const auto& options) {
     std::uniform_int_distribution<std::size_t> d(0, options.size() - 1);
     return options[d(rng)];
@@ -107,8 +115,11 @@ tensor::Schedule SearchSpace::mutate(const tensor::Schedule& s,
     case 5:
       out.par_axis = pick(par_axes_);
       break;
-    default:
+    case 6:
       out.par_grain = pick(grains_);
+      break;
+    default:
+      out.variant = pick(variants_);
       break;
   }
   return out;

@@ -11,6 +11,12 @@
 /// register-tile extents, cache-block sizes over K and N, thread count,
 /// and — as in TVM, where which loop axis gets the `parallel` annotation
 /// is itself a schedule decision — the parallel axis and chunk grain.
+/// The SIMD kernel variant is an axis too: only the tiers the RUNNING
+/// host actually offers are enumerated, because a measured trial on an
+/// unavailable tier would silently benchmark the fallback and poison the
+/// log. A lower tier genuinely can win (e.g. AVX2 beating AVX-512 where
+/// zmm use drops the core's frequency license), which is why it is
+/// searched rather than hardwired to best-available.
 namespace tvmec::tune {
 
 /// The problem shape being tuned for (C is m x n, reduction extent k;
@@ -60,6 +66,9 @@ class SearchSpace {
   const std::vector<std::size_t>& grain_options() const noexcept {
     return grains_;
   }
+  const std::vector<tensor::KernelVariant>& variant_options() const noexcept {
+    return variants_;
+  }
 
  private:
   TaskShape shape_;
@@ -70,6 +79,7 @@ class SearchSpace {
   std::vector<int> threads_;
   std::vector<tensor::ParAxis> par_axes_;
   std::vector<std::size_t> grains_;
+  std::vector<tensor::KernelVariant> variants_;
 };
 
 }  // namespace tvmec::tune

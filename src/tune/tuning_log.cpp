@@ -1,8 +1,11 @@
 #include "tune/tuning_log.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "tensor/variant.h"
 
 namespace tvmec::tune {
 
@@ -29,7 +32,8 @@ void append_log(const std::string& path, const TaskShape& shape,
 }
 
 std::optional<TuneResult> load_log(const std::string& path,
-                                   const TaskShape& shape) {
+                                   const TaskShape& shape,
+                                   LoadLogStats* stats) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   const std::string key = shape_key(shape);
@@ -67,6 +71,18 @@ std::optional<TuneResult> load_log(const std::string& path,
     } catch (const std::invalid_argument&) {
       throw std::runtime_error("load_log: bad schedule at " + path + ":" +
                                std::to_string(line_no));
+    }
+    if (rec.schedule.variant != tensor::KernelVariant::Auto &&
+        !tensor::variant_available(rec.schedule.variant)) {
+      // Tuned on a machine with a tier this host lacks; its measurement
+      // is meaningless here. Skip it, keep the rest of the log.
+      std::fprintf(stderr,
+                   "tvmec: load_log: %s:%zu: dropping record tuned for "
+                   "unavailable kernel variant '%s'\n",
+                   path.c_str(), line_no,
+                   tensor::to_string(rec.schedule.variant));
+      if (stats != nullptr) ++stats->dropped_unavailable_variant;
+      continue;
     }
     rec.throughput = throughput;
     if (rec.throughput > result.best_throughput) {

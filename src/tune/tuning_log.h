@@ -12,8 +12,21 @@
 /// File format: one record per line,
 ///   `<task m>x<task n>x<task k> | <schedule to_string> | <throughput>`
 /// Lines starting with '#' are comments. The format is stable and
-/// human-diffable, like TVM's JSON logs but simpler.
+/// human-diffable, like TVM's JSON logs but simpler. Older logs whose
+/// schedule strings predate the parallel-axis or kernel-variant knobs
+/// parse with those knobs defaulted (see Schedule::parse), so a log
+/// survives library upgrades.
 namespace tvmec::tune {
+
+/// What load_log skipped and why (logs travel between machines, so some
+/// records may not apply to the loading host).
+struct LoadLogStats {
+  /// Records whose schedule names a concrete kernel variant this host
+  /// cannot execute (e.g. an avx512-tuned record loaded on an AVX2-only
+  /// box). Dropped with a stderr warning rather than rejected: the rest
+  /// of the log is still valid history here.
+  std::size_t dropped_unavailable_variant = 0;
+};
 
 /// Appends every trial of `result` for `shape` to the log at `path`
 /// (creating the file if needed). Throws std::runtime_error on I/O
@@ -26,8 +39,12 @@ void append_log(const std::string& path, const TaskShape& shape,
 /// best recorded entry. Returns nullopt if the file does not exist or
 /// holds no matching record. Throws std::runtime_error on a malformed
 /// record line (corrupt log files should fail loudly, not silently
-/// detune a production encoder).
+/// detune a production encoder). Records tuned for a kernel variant the
+/// running host lacks are NOT an error: they are skipped with a counted
+/// warning (`stats`, optional) — a cross-machine log is partially
+/// usable, a corrupt one is not.
 std::optional<TuneResult> load_log(const std::string& path,
-                                   const TaskShape& shape);
+                                   const TaskShape& shape,
+                                   LoadLogStats* stats = nullptr);
 
 }  // namespace tvmec::tune

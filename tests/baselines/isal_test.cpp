@@ -4,11 +4,18 @@
 
 #include "../test_util.h"
 #include "ec/reed_solomon.h"
+#include "tensor/variant.h"
 
 namespace tvmec::baseline {
 namespace {
 
 using testutil::random_bytes;
+
+/// Restores the process-wide forced variant on scope exit.
+struct ForceRestorer {
+  std::optional<tensor::KernelVariant> prev = tensor::forced_variant();
+  ~ForceRestorer() { tensor::set_forced_variant(prev); }
+};
 
 struct IsalCase {
   ec::CodeParams params;
@@ -75,12 +82,50 @@ TEST(Isal, SizeValidation) {
                std::invalid_argument);
 }
 
-TEST(Isal, SimdPathMatchesBuildArch) {
-#if defined(__AVX2__)
-  EXPECT_TRUE(IsalCoder::has_simd_path());
-#else
+TEST(Isal, SimdPathReportsRuntimeDispatch) {
+  // has_simd_path() is a runtime statement about this host + this force
+  // state, not about the flags the library was compiled with.
+  ForceRestorer restore;
+  tensor::set_forced_variant(std::nullopt);
+  const IsalPath path = IsalCoder::active_path();
+  EXPECT_EQ(IsalCoder::has_simd_path(), path != IsalPath::Scalar);
+  if (path == IsalPath::Gfni) {
+    EXPECT_TRUE(tensor::cpu_features().gfni);
+    EXPECT_TRUE(tensor::cpu_features().avx2);
+  }
+  if (path == IsalPath::Vpshufb) EXPECT_TRUE(tensor::cpu_features().avx2);
+
+  tensor::set_forced_variant(tensor::KernelVariant::Scalar);
+  EXPECT_EQ(IsalCoder::active_path(), IsalPath::Scalar);
   EXPECT_FALSE(IsalCoder::has_simd_path());
-#endif
+}
+
+TEST(Isal, EveryDispatchPathProducesIdenticalParity) {
+  // Cross-path differential: force each tier this host offers and demand
+  // byte-identical parity. Unit sizes straddle the 32-byte vector width
+  // so both the vector loop and the software tail are compared.
+  ForceRestorer restore;
+  const ec::ReedSolomon rs(ec::CodeParams{10, 4, 8});
+  const IsalCoder coder(rs.parity_matrix());
+  for (const std::size_t unit : {31u, 32u, 100u, 4096u}) {
+    const auto data = random_bytes(10 * unit, 97 + unit);
+
+    tensor::set_forced_variant(tensor::KernelVariant::Scalar);
+    ASSERT_EQ(IsalCoder::active_path(), IsalPath::Scalar);
+    tensor::AlignedBuffer<std::uint8_t> scalar_out(4 * unit);
+    coder.apply(data.span(), scalar_out.span(), unit);
+
+    for (const tensor::KernelVariant v : tensor::available_variants()) {
+      if (v == tensor::KernelVariant::Scalar) continue;
+      tensor::set_forced_variant(v);
+      tensor::AlignedBuffer<std::uint8_t> out(4 * unit);
+      coder.apply(data.span(), out.span(), unit);
+      ASSERT_TRUE(std::equal(scalar_out.span().begin(),
+                             scalar_out.span().end(), out.span().begin()))
+          << "unit=" << unit << " variant=" << tensor::to_string(v)
+          << " path=" << to_string(IsalCoder::active_path());
+    }
+  }
 }
 
 TEST(Isal, IdentityCoefficientsCopyData) {

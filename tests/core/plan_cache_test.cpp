@@ -83,6 +83,32 @@ TEST(PlanCache, DistinctKeysDoNotAlias) {
   EXPECT_EQ(cache.stats().misses, 3u);
 }
 
+TEST(PlanCache, VariantPinnedKeysDoNotAlias) {
+  // The recovery matrix is variant-independent, but a consumer that pins
+  // a kernel tier must not share an entry with one pinned to another —
+  // and the Auto default must keep its own shared entry.
+  PlanCache cache;
+  const auto gen = test_generator(10, 4);
+  CountingBuilder build{gen, {2}};
+
+  PlanKey auto_key = key_for({2});
+  PlanKey scalar_key = key_for({2});
+  scalar_key.variant = tensor::KernelVariant::Scalar;
+  PlanKey avx2_key = key_for({2});
+  avx2_key.variant = tensor::KernelVariant::Avx2;
+
+  const auto a = cache.get_or_build(auto_key, std::ref(build));
+  const auto b = cache.get_or_build(scalar_key, std::ref(build));
+  const auto c = cache.get_or_build(avx2_key, std::ref(build));
+  const auto a2 = cache.get_or_build(auto_key, std::ref(build));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(b.get(), c.get());
+  EXPECT_EQ(a.get(), a2.get());
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(build.calls, 3);
+}
+
 TEST(PlanCache, EvictsLeastRecentlyUsed) {
   PlanCache cache(2);
   const auto gen = test_generator(10, 4);

@@ -51,6 +51,32 @@ TEST(FuzzRepro, FormatIsStable) {
   EXPECT_EQ(parse_repro(format_repro(scattered)), scattered);
 }
 
+TEST(FuzzRepro, VariantAxisRoundTripsAndDefaultsStayImplicit) {
+  FuzzConfig config;
+  config.scenario = Scenario::RsEncode;
+  config.k = 4;
+  config.r = 2;
+  config.unit_size = 64;
+  config.seed = 7;
+  config.variant = tensor::KernelVariant::Scalar;
+  EXPECT_EQ(format_repro(config),
+            "fuzz:v1 s=rs-encode f=cauchy-good k=4 r=2 w=8 u=64 seed=7 "
+            "var=scalar");
+  EXPECT_EQ(parse_repro(format_repro(config)), config);
+
+  // Auto is the default and must not appear in the repro string, so
+  // pre-variant reproducers and new ones share one format.
+  config.variant = tensor::KernelVariant::Auto;
+  EXPECT_EQ(format_repro(config),
+            "fuzz:v1 s=rs-encode f=cauchy-good k=4 r=2 w=8 u=64 seed=7");
+
+  // Any tier the binary knows parses, even if this host can't run it —
+  // the guard degrades to best-available at run time instead.
+  const FuzzConfig neon = parse_repro(
+      "fuzz:v1 s=rs-encode k=4 r=2 w=8 u=64 seed=7 var=neon");
+  EXPECT_EQ(neon.variant, tensor::KernelVariant::Neon);
+}
+
 TEST(FuzzRepro, ParseRejectsMalformedInput) {
   EXPECT_THROW(parse_repro(""), std::invalid_argument);
   EXPECT_THROW(parse_repro("fuzz:v2 s=rs-encode"), std::invalid_argument);
@@ -64,6 +90,12 @@ TEST(FuzzRepro, ParseRejectsMalformedInput) {
                std::invalid_argument);
   // The scattered axis only applies to encode iterations.
   EXPECT_THROW(parse_repro("fuzz:v1 s=rs-decode k=4 r=2 w=8 u=64 frag=5"),
+               std::invalid_argument);
+  // So does the variant axis; unknown tier names are rejected outright.
+  EXPECT_THROW(
+      parse_repro("fuzz:v1 s=rs-decode k=4 r=2 w=8 u=64 loss=1 var=scalar"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_repro("fuzz:v1 s=rs-encode k=4 r=2 w=8 u=64 var=sse9"),
                std::invalid_argument);
 }
 
@@ -177,6 +209,15 @@ TEST(DiffFuzz, EdgeCaseReprosPass) {
       "loss=3",
       "fuzz:v1 s=cluster-repair k=1 r=1 w=8 u=8 seed=17 loss=1",
       "fuzz:v1 s=cluster-repair k=8 r=3 w=8 u=64 seed=1234567 loss=0,4,9",
+      // Variant-pinned encode: the whole iteration runs under a forced
+      // kernel tier, and the cross-variant arm diffs it against a
+      // forced-scalar rerun. Scalar is always available; higher tiers
+      // degrade to best-available on hosts that lack them.
+      "fuzz:v1 s=rs-encode k=10 r=4 w=8 u=512 seed=21 var=scalar",
+      "fuzz:v1 s=rs-encode k=4 r=2 w=8 u=64 seed=22 sched=5 var=scalar",
+      "fuzz:v1 s=rs-encode k=6 r=3 w=8 u=1000 seed=23 var=avx2",
+      "fuzz:v1 s=rs-encode k=8 r=2 w=8 u=4096 seed=24 frag=5 var=avx512",
+      "fuzz:v1 s=rs-encode k=3 r=2 w=16 u=96 seed=25 var=avx512",
   };
   for (const char* text : repros) {
     const FuzzOutcome outcome = DiffFuzzer::run_one(parse_repro(text));
@@ -214,6 +255,20 @@ TEST(Minimizer, ShrinksToMinimalFailingConfig) {
   // The shape can only shrink while keeping loss id 3 addressable.
   EXPECT_GE(min.n(), 4u);
   EXPECT_LT(min.n(), start.n());
+}
+
+TEST(Minimizer, DropsIrrelevantVariantPin) {
+  FuzzConfig start;
+  start.scenario = Scenario::RsEncode;
+  start.k = 1;
+  start.r = 0;
+  start.w = 8;
+  start.unit_size = 8;
+  start.seed = 1;
+  start.variant = tensor::KernelVariant::Scalar;
+  const FuzzConfig min =
+      DiffFuzzer::minimize(start, [](const FuzzConfig&) { return true; });
+  EXPECT_EQ(min.variant, tensor::KernelVariant::Auto);
 }
 
 TEST(Minimizer, FixedPointWhenNothingShrinks) {

@@ -40,6 +40,18 @@ TEST(ScheduleParse, RoundTripsParallelAxisKnobs) {
   }
 }
 
+TEST(ScheduleParse, RoundTripsVariantKnob) {
+  for (const KernelVariant v :
+       {KernelVariant::Auto, KernelVariant::Scalar, KernelVariant::Avx2,
+        KernelVariant::Avx512, KernelVariant::Neon}) {
+    Schedule s;
+    s.tile_m = 4;
+    s.tile_n = 16;
+    s.variant = v;
+    EXPECT_EQ(Schedule::parse(s.to_string()), s) << s.to_string();
+  }
+}
+
 TEST(ScheduleParse, LegacyFiveFieldFormStillParses) {
   // Pre-parallel-axis logs partitioned rows of C; the legacy form maps
   // to exactly that so old tuning logs keep their meaning.
@@ -51,6 +63,23 @@ TEST(ScheduleParse, LegacyFiveFieldFormStillParses) {
   EXPECT_EQ(s.num_threads, 4);
   EXPECT_EQ(s.par_axis, ParAxis::M);
   EXPECT_EQ(s.par_grain, 0u);
+  EXPECT_EQ(s.variant, KernelVariant::Auto);
+}
+
+TEST(ScheduleParse, LegacySevenFieldFormMapsToAutoVariant) {
+  // Pre-variant logs ran whatever ISA the build was compiled for; Auto
+  // ("best this host offers") is the faithful replay of that.
+  const Schedule s = Schedule::parse("mt4x8 kb64 nb2048 t4 pn g2");
+  EXPECT_EQ(s.par_axis, ParAxis::N);
+  EXPECT_EQ(s.par_grain, 2u);
+  EXPECT_EQ(s.variant, KernelVariant::Auto);
+}
+
+TEST(ScheduleParse, RejectsBadVariant) {
+  EXPECT_THROW(Schedule::parse("mt4x8 kb0 nb0 t4 pn g0 vsse9"),
+               std::invalid_argument);
+  EXPECT_THROW(Schedule::parse("mt4x8 kb0 nb0 t4 pn g0 v"),
+               std::invalid_argument);
 }
 
 TEST(ScheduleParse, RejectsBadParallelAxis) {

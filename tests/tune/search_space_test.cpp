@@ -77,6 +77,7 @@ TEST(SearchSpace, MutateChangesAtMostOneKnob) {
     changed += m.num_threads != base.num_threads;
     changed += m.par_axis != base.par_axis;
     changed += m.par_grain != base.par_grain;
+    changed += m.variant != base.variant;
     EXPECT_LE(changed, 1);
     EXPECT_TRUE(m.valid());
   }
@@ -100,6 +101,31 @@ TEST(SearchSpace, SerialSpaceHasNoParallelAxisDuplicates) {
   const SearchSpace space(typical_shape(), 1);
   EXPECT_EQ(space.par_axis_options().size(), 1u);
   EXPECT_EQ(space.grain_options().size(), 1u);
+}
+
+TEST(SearchSpace, VariantAxisOffersEveryAvailableTierAndNeverAuto) {
+  const SearchSpace space(typical_shape(), 2);
+  EXPECT_EQ(space.variant_options(), tensor::available_variants());
+  // Trials must pin the tier they measured — an Auto record replayed on
+  // a different host would silently time a different kernel.
+  std::set<tensor::KernelVariant> seen;
+  for (const auto& s : space.all()) {
+    EXPECT_NE(s.variant, tensor::KernelVariant::Auto) << s.to_string();
+    seen.insert(s.variant);
+  }
+  EXPECT_EQ(seen.size(), space.variant_options().size());
+}
+
+TEST(SearchSpace, MutateReachesVariantKnob) {
+  const SearchSpace space(typical_shape(), 4);
+  if (space.variant_options().size() < 2)
+    GTEST_SKIP() << "host offers only one kernel variant";
+  std::mt19937_64 rng(11);
+  const tensor::Schedule base = space.sample(rng);
+  bool variant_changed = false;
+  for (int i = 0; i < 500 && !variant_changed; ++i)
+    variant_changed |= space.mutate(base, rng).variant != base.variant;
+  EXPECT_TRUE(variant_changed);
 }
 
 TEST(SearchSpace, MutateReachesParallelAxisKnobs) {

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "tensor/variant.h"
+
 namespace tvmec::tune {
 namespace {
 
@@ -104,6 +106,78 @@ TEST(TuningLog, CommentsAndBlankLinesIgnored) {
   const auto loaded = load_log(tmp.path, shape);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->history.size(), 2u);
+}
+
+TEST(TuningLog, VariantPinnedRecordsRoundTrip) {
+  TempFile tmp("tuning_log_variant.log");
+  const TaskShape shape{32, 2048, 80};
+  TuneResult result;
+  for (const tensor::KernelVariant v : tensor::available_variants()) {
+    tensor::Schedule s;
+    s.tile_m = 4;
+    s.tile_n = 16;
+    s.variant = v;
+    result.history.push_back({s, 4.0e9});
+  }
+  result.best_schedule = result.history.back().schedule;
+  result.best_throughput = 4.0e9;
+  append_log(tmp.path, shape, result);
+
+  const auto loaded = load_log(tmp.path, shape);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->history.size(), result.history.size());
+  for (std::size_t i = 0; i < result.history.size(); ++i)
+    EXPECT_EQ(loaded->history[i].schedule.variant,
+              result.history[i].schedule.variant);
+}
+
+TEST(TuningLog, LegacyRecordsLoadWithAutoVariant) {
+  TempFile tmp("tuning_log_legacy.log");
+  {
+    std::ofstream out(tmp.path);
+    out << "32x2048x80 | mt4x16 kb64 nb512 t2 | 5.0e9\n"         // 5-field
+        << "32x2048x80 | mt8x32 kb0 nb1024 t4 pn g2 | 6.0e9\n";  // 7-field
+  }
+  LoadLogStats stats;
+  const auto loaded = load_log(tmp.path, TaskShape{32, 2048, 80}, &stats);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->history.size(), 2u);
+  for (const auto& rec : loaded->history)
+    EXPECT_EQ(rec.schedule.variant, tensor::KernelVariant::Auto);
+  EXPECT_EQ(stats.dropped_unavailable_variant, 0u);
+}
+
+TEST(TuningLog, DropsRecordsPinnedToUnavailableVariants) {
+  // A log copied from a host with a different ISA must not poison this
+  // one: records pinned to a tier we can't run are skipped (counted),
+  // records we can replay survive.
+  tensor::KernelVariant missing = tensor::KernelVariant::Auto;
+  for (const tensor::KernelVariant v :
+       {tensor::KernelVariant::Neon, tensor::KernelVariant::Avx512,
+        tensor::KernelVariant::Avx2}) {
+    if (!tensor::variant_available(v)) {
+      missing = v;
+      break;
+    }
+  }
+  ASSERT_NE(missing, tensor::KernelVariant::Auto)
+      << "host claims every variant; cannot stage an unavailable record";
+
+  TempFile tmp("tuning_log_foreign.log");
+  {
+    std::ofstream out(tmp.path);
+    out << "32x2048x80 | mt4x16 kb64 nb512 t2 pm g0 v"
+        << tensor::to_string(missing) << " | 9.0e9\n"
+        << "32x2048x80 | mt4x16 kb64 nb512 t2 pm g0 vscalar | 3.0e9\n";
+  }
+  LoadLogStats stats;
+  const auto loaded = load_log(tmp.path, TaskShape{32, 2048, 80}, &stats);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->history.size(), 1u);
+  EXPECT_EQ(loaded->history[0].schedule.variant,
+            tensor::KernelVariant::Scalar);
+  EXPECT_EQ(loaded->best_schedule.variant, tensor::KernelVariant::Scalar);
+  EXPECT_EQ(stats.dropped_unavailable_variant, 1u);
 }
 
 TEST(TuningLog, MalformedRecordFailsLoudly) {
