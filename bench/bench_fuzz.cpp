@@ -41,6 +41,7 @@ testing::FuzzConfig scenario_config(testing::Scenario s) {
       break;
     case testing::Scenario::Serve:
     case testing::Scenario::ServeChaos:
+    case testing::Scenario::ServeShard:
       c.losses = {1, 6};
       break;
     case testing::Scenario::Cluster:
@@ -96,6 +97,9 @@ BENCHMARK_CAPTURE(bm_fuzz_scenario, serve,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_fuzz_scenario, serve_chaos,
                   testing::Scenario::ServeChaos)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fuzz_scenario, serve_shard,
+                  testing::Scenario::ServeShard)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_fuzz_scenario, cluster,
                   testing::Scenario::Cluster)

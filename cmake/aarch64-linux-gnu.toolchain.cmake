@@ -1,0 +1,20 @@
+# Cross toolchain for the aarch64 CI leg: GNU cross compilers with
+# qemu-user as the emulator, so the NEON per-variant kernel TUs compile
+# for a second ISA and the variant byte-identity suites actually execute
+# (ctest launches every test binary through the emulator).
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# -L points qemu at the cross sysroot for the dynamic loader + libc.
+set(CMAKE_CROSSCOMPILING_EMULATOR "qemu-aarch64;-L;/usr/aarch64-linux-gnu")
+
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+# Packages (googletest/benchmark cross-built into a local prefix passed
+# via CMAKE_PREFIX_PATH) may resolve from the host-side prefix too.
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE BOTH)

@@ -137,6 +137,12 @@ std::vector<PendingRequest> BatchFormer::next_batch() {
   }
 }
 
+bool BatchFormer::wait_for_work(std::chrono::nanoseconds timeout) const {
+  std::unique_lock lock(mutex_);
+  work_cv_.wait_for(lock, timeout, [&] { return total_ > 0 || closed_; });
+  return total_ > 0;
+}
+
 bool BatchFormer::try_next_batch(std::vector<PendingRequest>& out) {
   std::lock_guard lock(mutex_);
   if (total_ == 0) return false;

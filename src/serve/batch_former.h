@@ -84,6 +84,13 @@ class BatchFormer {
   /// makes rejection/deadline accounting deterministic under test.
   bool try_next_batch(std::vector<PendingRequest>& out);
 
+  /// Blocks until at least one request is queued, the former closes, or
+  /// `timeout` elapses; true when work is available. The sharded front's
+  /// shard workers use this as their idle wait — bounded, so a worker
+  /// whose own queue is empty still wakes up to scan neighbors for
+  /// stealable load instead of parking forever.
+  bool wait_for_work(std::chrono::nanoseconds timeout) const;
+
   /// Closes the queue: subsequent pushes fail with Closed, blocked
   /// consumers wake. Queued requests stay poppable (drain-on-shutdown).
   void close();
@@ -130,7 +137,7 @@ class BatchFormer {
 
   const BatchPolicy policy_;
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
+  mutable std::condition_variable work_cv_;  ///< wait_for_work is const
   LaneMap lanes_;
   std::size_t total_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -156,7 +156,7 @@ EcFuture EcService::submit_decode(const CodecKey& key,
   return submit_request(std::move(req));
 }
 
-EcFuture EcService::submit_request(EcRequest request) {
+std::size_t EcService::validate_request(const EcRequest& request) {
   const ec::CodeParams params = params_of(request.key);
   params.validate();
   ec::packet_bytes(params, request.unit_size);  // throws on a bad unit size
@@ -178,11 +178,19 @@ EcFuture EcService::submit_request(EcRequest request) {
         throw std::invalid_argument("submit_decode: erased id out of range");
     payload_bytes = request.stripe.size();
   }
+  return payload_bytes;
+}
+
+EcFuture EcService::submit_request(EcRequest request) {
+  const std::size_t payload_bytes = validate_request(request);
   return submit(std::move(request), payload_bytes);
 }
 
 EcFuture EcService::submit(EcRequest request, std::size_t payload_bytes) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.request_observer)
+    config_.request_observer({RequestEvent::Kind::Submitted, request.tenant,
+                              RequestStatus::Pending, /*admitted=*/false});
 
   PendingRequest pending;
   pending.req = std::move(request);
@@ -190,9 +198,10 @@ EcFuture EcService::submit(EcRequest request, std::size_t payload_bytes) {
   pending.submitted = Clock::now();
   pending.payload_bytes = payload_bytes;
   // Kept aside: push() consumes `pending`, and a rejection must still be
-  // able to complete the caller's future.
+  // able to complete the caller's future (and bill the right tenant).
   std::shared_ptr<detail::Completion> completion = pending.completion;
   const Clock::time_point submitted = pending.submitted;
+  const TenantId tenant = pending.req.tenant;
   EcFuture future(completion);
 
   if (!accepting_.load(std::memory_order_acquire)) {
@@ -205,6 +214,7 @@ EcFuture EcService::submit(EcRequest request, std::size_t payload_bytes) {
     PendingRequest rejected;
     rejected.completion = std::move(completion);
     rejected.submitted = submitted;
+    rejected.req.tenant = tenant;
     const auto now = Clock::now();
     complete(rejected, status, {}, now, now, 0, /*admitted=*/false);
   };
@@ -212,6 +222,10 @@ EcFuture EcService::submit(EcRequest request, std::size_t payload_bytes) {
   switch (former_.push(std::move(pending))) {
     case PushResult::Accepted:
       accepted_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.request_observer)
+        config_.request_observer(
+            {RequestEvent::Kind::Accepted, tenant, RequestStatus::Pending,
+             /*admitted=*/true});
       break;
     case PushResult::QueueFull:
       reject(RequestStatus::Overloaded);
@@ -285,14 +299,31 @@ void EcService::shutdown(bool drain) {
 }
 
 std::size_t EcService::run_pending() {
+  return run_pending(static_cast<std::size_t>(-1));
+}
+
+std::size_t EcService::run_pending(std::size_t max_batches) {
   std::size_t completed = 0;
   std::vector<PendingRequest> batch;
-  while (former_.try_next_batch(batch)) {
+  for (std::size_t b = 0; b < max_batches && former_.try_next_batch(batch);
+       ++b) {
     completed += batch.size();
     execute_batch(batch, kNoWorker);
     batch.clear();
   }
   return completed;
+}
+
+void EcService::install_schedule(const CodecKey& key,
+                                 const tensor::Schedule& schedule) {
+  if (!schedule.valid())
+    throw std::invalid_argument("install_schedule: invalid schedule");
+  CodecSlot& slot = codec_slot(key);
+  // Exclusive against the shared locks every executing batch holds: the
+  // install waits for in-flight batches on this codec, and no kernel
+  // ever reads a half-written schedule.
+  std::unique_lock lock(slot.schedule_mutex);
+  slot.codec.set_schedule(schedule);
 }
 
 void EcService::worker_loop(std::size_t index) {
@@ -406,9 +437,16 @@ void EcService::execute_batch(std::vector<PendingRequest>& batch,
 
   std::size_t batch_bytes = 0;
   for (const PendingRequest* p : live) batch_bytes += p->payload_bytes;
+  // executor_hint lets the sharded front divide the fork-join pool by
+  // the fleet-wide number of concurrent batch executors, not just this
+  // service's own workers.
+  const std::size_t executors = config_.executor_hint != 0
+                                    ? config_.executor_hint
+                                    : std::max<std::size_t>(
+                                          1, config_.num_workers);
   const int gemm_threads = effective_gemm_threads(
       batch_bytes / sizeof(std::uint64_t), tensor::ThreadPool::shared().size(),
-      std::max<std::size_t>(1, config_.num_workers));
+      executors);
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -562,9 +600,13 @@ void EcService::execute_batch(std::vector<PendingRequest>& batch,
   const BreakerDecision decision = breaker.allow_primary(formed);
 
   {
+    // Shared against install_schedule()'s exclusive lock: batches of one
+    // codec may run concurrently with each other, never with a schedule
+    // swap on that codec.
+    std::shared_lock sched_lock(slot.schedule_mutex);
     // decode mutates the per-codec plan cache (primary and naive);
     // serialize per key. Encode paths are immutable-state and take no
-    // lock.
+    // lock beyond the schedule guard.
     std::unique_lock<std::mutex> decode_lock;
     if (kind == RequestKind::Decode)
       decode_lock = std::unique_lock(slot.decode_mutex);
@@ -698,6 +740,12 @@ void EcService::complete(PendingRequest& p, RequestStatus status,
           static_cast<std::uint64_t>(result.service_time.count()));
   }
 
+  // Observer fires before the future unblocks so a caller that waits on
+  // the result always observes tenant counters that already include it.
+  if (config_.request_observer)
+    config_.request_observer(
+        {RequestEvent::Kind::Completed, p.req.tenant, status, admitted});
+
   p.completion->complete(std::move(result));
 }
 
@@ -745,6 +793,10 @@ ServeStatsSnapshot EcService::stats() const {
 HealthSnapshot EcService::health() const {
   HealthSnapshot h;
   h.kernel_variant = tensor::to_string(tensor::active_variant());
+  if (config_.buffer_pool) {
+    h.has_pool = true;
+    h.pool = config_.buffer_pool->stats();
+  }
   if (stopped_flag_.load(std::memory_order_acquire)) {
     h.state = HealthState::Unhealthy;
     h.reasons.push_back("service is shut down");

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "core/tvmec.h"
 #include "ec/encoder.h"
 #include "serve/batch_former.h"
+#include "serve/buffer_pool.h"
 #include "serve/circuit_breaker.h"
 #include "serve/request.h"
 #include "serve/stats.h"
@@ -91,6 +93,11 @@ struct HealthSnapshot {
   /// answer "which kernel is this replica actually running?" from the
   /// readiness endpoint instead of rebuilding with different flags.
   std::string kernel_variant;
+  /// Registered-buffer pool attached via ServiceConfig::buffer_pool
+  /// (the sharded front gives every shard its own). has_pool == false
+  /// when the service runs without one; `pool` is then all zeros.
+  bool has_pool = false;
+  BufferPoolStats pool;
 };
 
 struct ServiceConfig {
@@ -121,6 +128,24 @@ struct ServiceConfig {
   /// Codec instances the scrubber drives — lets all of them skip matrix
   /// inversion for loss patterns any one of them has already planned.
   std::shared_ptr<core::PlanCache> plan_cache;
+  /// Registered-buffer pool this service advertises (health() surfaces
+  /// its stats; the sharded front attaches one per shard so shard
+  /// payload buffers never contend on a cross-shard free-list lock).
+  /// Null = the service runs without a pool; it never allocates from it
+  /// itself, clients do via buffer_pool().
+  std::shared_ptr<BufferPool> buffer_pool;
+  /// How many executors systemwide concurrently run batches against the
+  /// shared fork-join pool. 0 = this service's own workers (the
+  /// single-service default). The sharded front sets the fleet-wide
+  /// worker count here so effective_gemm_threads() divides the pool by
+  /// *all* concurrent batch executors, not just this shard's.
+  std::size_t executor_hint = 0;
+  /// QoS accounting hook: called with an Accepted event at successful
+  /// admission and exactly one Completed event per submission (terminal
+  /// status, including admission rejections). Called on submitter /
+  /// worker threads with no service lock held beyond the stats mutex —
+  /// keep it cheap. Null = no accounting.
+  std::function<void(const RequestEvent&)> request_observer;
 };
 
 /// Point-in-time copy of the service's counters and histograms. The
@@ -201,6 +226,14 @@ class EcService {
   /// convenience overloads.
   EcFuture submit_request(EcRequest request);
 
+  /// Validates a request's key/unit/span geometry exactly as
+  /// submit_request() does; throws std::invalid_argument on malformed
+  /// arguments and returns the payload byte count otherwise. The sharded
+  /// front calls this *before* its QoS admission so a malformed
+  /// submission throws (a programming error) instead of being billed as
+  /// tenant traffic.
+  static std::size_t validate_request(const EcRequest& request);
+
   /// Stops the service. drain=true executes everything already admitted
   /// before returning; drain=false completes queued requests with
   /// RequestStatus::Shutdown and aborts in-flight batches via their
@@ -213,6 +246,41 @@ class EcService {
   /// completed. Also legal alongside worker threads (the caller just
   /// acts as an extra worker).
   std::size_t run_pending();
+
+  /// Bounded variant: executes at most `max_batches` batches. This is
+  /// the work-stealing entry point — a neighbor shard's worker drains a
+  /// *bounded* amount of this service's backlog so stealing relieves a
+  /// hot shard without starving the thief's own queue. Returns requests
+  /// completed (0 when nothing was queued).
+  std::size_t run_pending(std::size_t max_batches);
+
+  /// Blocks until work is queued, the service shuts down, or `timeout`
+  /// elapses; true when a batch is available. The sharded front's
+  /// workers use this as their bounded idle wait between steal scans.
+  bool wait_for_work(std::chrono::nanoseconds timeout) const {
+    return former_.wait_for_work(timeout);
+  }
+
+  /// Current queue-wait EWMA (the batch former's pop-time estimate).
+  /// The sharded front compares shards' estimates to decide when a
+  /// neighbor is hot enough to steal from.
+  std::chrono::nanoseconds queue_wait_ewma() const {
+    return former_.queue_wait_ewma();
+  }
+
+  /// Atomically installs a new GEMM schedule for one codec key (the
+  /// continuous autotuner's publish step). Takes the slot's schedule
+  /// lock exclusively, so the install waits for in-flight batches on
+  /// that codec and no batch ever observes a half-written schedule.
+  /// Affects the encode path and decode plans built afterwards.
+  /// Throws std::invalid_argument on an invalid schedule.
+  void install_schedule(const CodecKey& key,
+                        const tensor::Schedule& schedule);
+
+  /// The pool configured via ServiceConfig::buffer_pool (may be null).
+  const std::shared_ptr<BufferPool>& buffer_pool() const noexcept {
+    return config_.buffer_pool;
+  }
 
   ServeStatsSnapshot stats() const;
 
@@ -240,6 +308,9 @@ class EcService {
  private:
   struct CodecSlot {
     core::Codec codec;
+    /// Batches hold this shared; install_schedule() takes it exclusive
+    /// so a schedule swap can never race a kernel reading the knobs.
+    std::shared_mutex schedule_mutex;
     std::mutex decode_mutex;  ///< decode mutates the plan cache
     CircuitBreaker encode_breaker;
     CircuitBreaker decode_breaker;

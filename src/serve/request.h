@@ -31,6 +31,11 @@ using Clock = std::chrono::steady_clock;
 
 enum class RequestKind : std::uint8_t { Encode, Decode };
 
+/// Identifies the tenant a request is billed to (QoS accounting and
+/// weighted fair shares in the sharded front). Tenant 0 is the default
+/// tenant every plain submission lands on; ids are opaque otherwise.
+using TenantId = std::uint64_t;
+
 enum class RequestStatus : std::uint8_t {
   Pending,     ///< not yet completed (only observable via EcFuture::ready)
   Ok,          ///< executed successfully
@@ -190,6 +195,30 @@ struct EcRequest {
   /// CancelSource shared by a whole RPC). Invalid (default) means the
   /// only cancel channel is EcFuture::cancel(). Both are honored.
   tensor::CancelToken cancel;
+  /// QoS accounting identity. Carried through admission and completion
+  /// so an observer (the sharded front's TenantRegistry) can keep
+  /// per-tenant counters whose identities mirror the service-wide ones.
+  TenantId tenant = 0;
+};
+
+/// One accounting event on a request's lifecycle, delivered to
+/// ServiceConfig::request_observer. Submitted fires once per valid
+/// submission (after argument validation — malformed submissions throw
+/// and are nobody's traffic); Accepted fires when admission succeeds;
+/// Completed fires exactly once per submission with the terminal status
+/// (including admission rejections, where admitted == false). Per
+/// tenant, the PR-4/5 identities follow:
+///   submitted == accepted + rejected_*   and
+///   accepted  == ok + expired + failed + cancelled + shutdown_drained.
+struct RequestEvent {
+  enum class Kind : std::uint8_t { Submitted, Accepted, Completed };
+  Kind kind = Kind::Completed;
+  TenantId tenant = 0;
+  RequestStatus status = RequestStatus::Pending;  ///< Completed only
+  /// Completed only: true when the request had been admitted (its
+  /// terminal status counts against `accepted`), false for admission
+  /// rejections. Distinguishes shutdown_drained from rejected_shutdown.
+  bool admitted = false;
 };
 
 /// A queued request: the request plus its completion handle and the

@@ -1,0 +1,373 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tvmec::serve {
+
+namespace {
+
+std::size_t resolve_shards(const ShardedServiceConfig& config) {
+  if (config.num_shards != 0) return config.num_shards;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Counter+histogram sum of two service snapshots (the front-wide view).
+void merge_stats(ServeStatsSnapshot& into, const ServeStatsSnapshot& from) {
+  into.submitted += from.submitted;
+  into.accepted += from.accepted;
+  into.rejected_overload += from.rejected_overload;
+  into.rejected_shed += from.rejected_shed;
+  into.rejected_shutdown += from.rejected_shutdown;
+  into.completed_ok += from.completed_ok;
+  into.expired += from.expired;
+  into.failed += from.failed;
+  into.cancelled += from.cancelled;
+  into.shutdown_drained += from.shutdown_drained;
+  into.batches += from.batches;
+  into.empty_flushes += from.empty_flushes;
+  into.degraded_batches += from.degraded_batches;
+  into.breaker_trips += from.breaker_trips;
+  into.breaker_recoveries += from.breaker_recoveries;
+  into.breaker_probes += from.breaker_probes;
+  into.watchdog_aborts += from.watchdog_aborts;
+  into.watchdog_stuck += from.watchdog_stuck;
+  into.plan_cache_hits += from.plan_cache_hits;
+  into.plan_cache_misses += from.plan_cache_misses;
+  into.queue_wait_ns.merge(from.queue_wait_ns);
+  into.service_ns.merge(from.service_ns);
+  into.total_ns.merge(from.total_ns);
+  into.batch_width.merge(from.batch_width);
+  into.gemm_threads.merge(from.gemm_threads);
+}
+
+}  // namespace
+
+std::size_t ShardedEcService::shard_of(std::uint64_t client_id,
+                                       std::size_t num_shards) noexcept {
+  if (num_shards <= 1) return 0;
+  // splitmix64 finalizer: client ids are often sequential, and a raw
+  // modulo would then stripe neighbors across shards in lockstep with
+  // any stride in the id allocator.
+  std::uint64_t x = client_id + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % num_shards);
+}
+
+ShardedEcService::ShardedEcService(const ShardedServiceConfig& config)
+    : config_(config),
+      tenants_(resolve_shards(config) * config.shard.batch.queue_capacity,
+               config.qos_enforcement) {
+  const std::size_t num_shards = resolve_shards(config);
+
+  for (const auto& [tenant, policy] : config.tenant_policies)
+    tenants_.set_policy(tenant, policy);
+
+  // Warm start: merge the previous run's best-known schedules before
+  // any traffic arrives, so the first request of a known shape already
+  // runs tuned.
+  if (!config.autotune.log_path.empty())
+    schedule_cache_.load(config.autotune.log_path, &warm_start_load_);
+
+  std::shared_ptr<core::PlanCache> shared_plans;
+  if (config.share_plan_cache)
+    shared_plans = config.shard.plan_cache
+                       ? config.shard.plan_cache
+                       : std::make_shared<core::PlanCache>();
+
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    ServiceConfig sc = config.shard;
+    sc.num_workers = 0;  // the front owns the threads (they must steal)
+    // Every shard worker is a potential concurrent batch executor
+    // against the one shared GEMM pool; without the hint each
+    // manual-pump shard would assume it executes alone and
+    // oversubscribe.
+    sc.executor_hint = std::max<std::size_t>(
+        1, num_shards * std::max<std::size_t>(1, config.workers_per_shard));
+    sc.buffer_pool =
+        config.pool_bytes_per_shard > 0
+            ? std::make_shared<BufferPool>(config.pool_bytes_per_shard)
+            : nullptr;
+    sc.plan_cache = shared_plans;  // null = EcService makes a private one
+    if (config.shard.request_observer) {
+      // Chain: tenant accounting first, then the caller's hook.
+      sc.request_observer = [this, user = config.shard.request_observer](
+                                const RequestEvent& event) {
+        tenants_.observe(event);
+        user(event);
+      };
+    } else {
+      sc.request_observer = [this](const RequestEvent& event) {
+        tenants_.observe(event);
+      };
+    }
+    shards_.push_back(std::make_unique<EcService>(sc));
+  }
+
+  if (config.autotune.enabled) {
+    autotuner_ = std::make_unique<ContinuousAutotuner>(
+        config.autotune, traffic_, schedule_cache_,
+        [this](const CodecKey& key, const tensor::Schedule& schedule) {
+          install_everywhere(key, schedule);
+        });
+    autotuner_->start();  // no-op unless policy.background
+  }
+
+  if (config.workers_per_shard > 0) {
+    workers_.reserve(num_shards * config.workers_per_shard);
+    for (std::size_t s = 0; s < num_shards; ++s)
+      for (std::size_t j = 0; j < config.workers_per_shard; ++j)
+        workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ShardedEcService::~ShardedEcService() { shutdown(true); }
+
+void ShardedEcService::install_everywhere(const CodecKey& key,
+                                          const tensor::Schedule& schedule) {
+  for (const auto& shard : shards_) shard->install_schedule(key, schedule);
+}
+
+void ShardedEcService::maybe_warm_start(const CodecKey& key,
+                                        std::size_t unit_size) {
+  // The encode task shape, computed directly (GemmCoder::task_shape
+  // with out_units = r, in_units = k) — building a Codec just to ask
+  // would cost a bitmatrix on the submit path.
+  tune::TaskShape shape;
+  shape.m = key.r * key.w;
+  shape.n = unit_size / (std::size_t{8} * key.w);
+  shape.k = key.k * key.w;
+  const std::optional<ScheduleCache::Entry> cached =
+      schedule_cache_.lookup(shape);
+  if (!cached) return;
+  install_everywhere(key, cached->schedule);
+  warm_start_installs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+EcFuture ShardedEcService::submit_request(TenantId tenant,
+                                          std::uint64_t client_id,
+                                          EcRequest request) {
+  request.tenant = tenant;
+  // Malformed submissions throw before any accounting (programming
+  // errors are not tenant traffic) — same contract as EcService.
+  EcService::validate_request(request);
+
+  if (traffic_.record(request.key, request.unit_size))
+    maybe_warm_start(request.key, request.unit_size);
+
+  const auto now = Clock::now();
+  const std::optional<RequestStatus> verdict =
+      tenants_.admit(tenant, now, &request.deadline);
+  if (verdict) {
+    // Front-level QoS rejection: never reaches a shard, so the front
+    // synthesizes the Submitted+Completed pair itself and completes the
+    // future on the spot.
+    qos_rejected_.fetch_add(1, std::memory_order_relaxed);
+    tenants_.observe({RequestEvent::Kind::Submitted, tenant,
+                      RequestStatus::Pending, /*admitted=*/false});
+    tenants_.observe({RequestEvent::Kind::Completed, tenant, *verdict,
+                      /*admitted=*/false});
+    auto completion = std::make_shared<detail::Completion>();
+    EcResult result;
+    result.status = *verdict;
+    completion->complete(std::move(result));
+    return EcFuture(std::move(completion));
+  }
+  return shards_[shard_of(client_id, shards_.size())]->submit_request(
+      std::move(request));
+}
+
+EcFuture ShardedEcService::submit_encode(TenantId tenant,
+                                         std::uint64_t client_id,
+                                         const CodecKey& key,
+                                         std::span<const std::uint8_t> data,
+                                         std::span<std::uint8_t> parity,
+                                         std::size_t unit_size,
+                                         std::chrono::nanoseconds timeout) {
+  EcRequest req;
+  req.kind = RequestKind::Encode;
+  req.key = key;
+  req.unit_size = unit_size;
+  req.in = data;
+  req.out = parity;
+  if (timeout != std::chrono::nanoseconds{0})
+    req.deadline = Clock::now() + timeout;
+  return submit_request(tenant, client_id, std::move(req));
+}
+
+EcFuture ShardedEcService::submit_decode(TenantId tenant,
+                                         std::uint64_t client_id,
+                                         const CodecKey& key,
+                                         std::span<std::uint8_t> stripe,
+                                         std::span<const std::size_t> erased_ids,
+                                         std::size_t unit_size,
+                                         std::chrono::nanoseconds timeout) {
+  EcRequest req;
+  req.kind = RequestKind::Decode;
+  req.key = key;
+  req.unit_size = unit_size;
+  req.stripe = stripe;
+  req.erased.assign(erased_ids.begin(), erased_ids.end());
+  if (timeout != std::chrono::nanoseconds{0})
+    req.deadline = Clock::now() + timeout;
+  return submit_request(tenant, client_id, std::move(req));
+}
+
+std::size_t ShardedEcService::run_pending() {
+  std::size_t total = 0;
+  bool progressed = true;
+  // Round-robin until a full pass completes nothing: batches executed
+  // on one shard can complete futures whose waiters submit to another,
+  // but a quiescent pass means the queues this call was asked to drain
+  // are drained.
+  while (progressed) {
+    progressed = false;
+    for (const auto& shard : shards_) {
+      const std::size_t done = shard->run_pending();
+      total += done;
+      if (done != 0) progressed = true;
+    }
+  }
+  return total;
+}
+
+std::size_t ShardedEcService::run_autotune_cycle() {
+  return autotuner_ ? autotuner_->run_cycle() : 0;
+}
+
+std::size_t ShardedEcService::try_steal(std::size_t thief) {
+  const StealPolicy& policy = config_.steal;
+  const auto own_wait = shards_[thief]->queue_wait_ewma();
+  const auto threshold = std::max<std::chrono::nanoseconds>(
+      policy.min_victim_wait,
+      std::chrono::nanoseconds(static_cast<std::int64_t>(
+          policy.wait_ratio * static_cast<double>(own_wait.count()))));
+
+  std::size_t victim = thief;
+  std::chrono::nanoseconds worst{0};
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i == thief) continue;
+    if (shards_[i]->pending() == 0) continue;
+    const auto wait = shards_[i]->queue_wait_ewma();
+    if (wait < threshold) continue;
+    if (victim == thief || wait > worst) {
+      victim = i;
+      worst = wait;
+    }
+  }
+  if (victim == thief) return 0;
+
+  steal_scans_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t requests = 0;
+  std::size_t batches = 0;
+  for (std::size_t b = 0; b < policy.max_batches; ++b) {
+    const std::size_t done = shards_[victim]->run_pending(1);
+    if (done == 0) break;
+    requests += done;
+    ++batches;
+  }
+  steal_batches_.fetch_add(batches, std::memory_order_relaxed);
+  steal_requests_.fetch_add(requests, std::memory_order_relaxed);
+  return requests;
+}
+
+void ShardedEcService::worker_loop(std::size_t shard_index) {
+  EcService& own = *shards_[shard_index];
+  while (!stop_workers_.load(std::memory_order_acquire)) {
+    std::size_t did = own.run_pending();
+    if (stop_workers_.load(std::memory_order_acquire)) break;
+    if (did == 0 && config_.steal.enabled && shards_.size() > 1)
+      did += try_steal(shard_index);
+    // Bounded idle wait: wake on own work, or time out and rescan
+    // neighbors (a parked worker must still notice a hot neighbor).
+    if (did == 0) own.wait_for_work(config_.steal.idle_wait);
+  }
+}
+
+void ShardedEcService::shutdown(bool drain) {
+  {
+    std::lock_guard lock(shutdown_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  if (autotuner_) autotuner_->stop();
+  stop_workers_.store(true, std::memory_order_release);
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  for (const auto& shard : shards_) shard->shutdown(drain);
+}
+
+std::size_t ShardedEcService::pending() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pending();
+  return total;
+}
+
+ShardedStatsSnapshot ShardedEcService::stats() const {
+  ShardedStatsSnapshot out;
+  out.shards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardStatsSnapshot s;
+    s.shard = i;
+    s.stats = shards_[i]->stats();
+    s.queue_wait_ewma = shards_[i]->queue_wait_ewma();
+    if (const auto& pool = shards_[i]->buffer_pool()) {
+      s.has_pool = true;
+      s.pool = pool->stats();
+    }
+    merge_stats(out.aggregate, s.stats);
+    out.shards.push_back(std::move(s));
+  }
+  if (config_.share_plan_cache && !out.shards.empty()) {
+    // Every shard reported the same shared cache; summing overcounted.
+    out.aggregate.plan_cache_hits = out.shards.front().stats.plan_cache_hits;
+    out.aggregate.plan_cache_misses =
+        out.shards.front().stats.plan_cache_misses;
+  }
+  // Front-level QoS rejections happened before any shard saw the
+  // request; fold them in so the aggregate keeps the admission
+  // identity.
+  const std::uint64_t qos = qos_rejected_.load(std::memory_order_relaxed);
+  out.qos_rejected = qos;
+  out.aggregate.submitted += qos;
+  out.aggregate.rejected_overload += qos;
+
+  out.tenants = tenants_.all();
+  out.tenant_aggregate = tenants_.aggregate();
+  out.steal_scans = steal_scans_.load(std::memory_order_relaxed);
+  out.steal_batches = steal_batches_.load(std::memory_order_relaxed);
+  out.steal_requests = steal_requests_.load(std::memory_order_relaxed);
+  if (autotuner_) {
+    out.autotune = autotuner_->stats();
+  } else {
+    out.autotune.cache = schedule_cache_.stats();
+  }
+  out.autotune.warm_start_installs +=
+      warm_start_installs_.load(std::memory_order_relaxed);
+  return out;
+}
+
+ShardedHealthSnapshot ShardedEcService::health() const {
+  ShardedHealthSnapshot out;
+  out.shards.reserve(shards_.size());
+  std::size_t unhealthy = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    HealthSnapshot h = shards_[i]->health();
+    if (h.state == HealthState::Unhealthy) ++unhealthy;
+    for (const std::string& reason : h.reasons)
+      out.reasons.push_back("shard " + std::to_string(i) + ": " + reason);
+    out.shards.push_back(std::move(h));
+  }
+  if (unhealthy == shards_.size() && !shards_.empty())
+    out.state = HealthState::Unhealthy;
+  else if (!out.reasons.empty())
+    out.state = HealthState::Degraded;
+  return out;
+}
+
+}  // namespace tvmec::serve

@@ -1,0 +1,250 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/autotune.h"
+#include "serve/buffer_pool.h"
+#include "serve/ec_service.h"
+#include "serve/request.h"
+#include "serve/tenant.h"
+
+/// The sharded multi-tenant front: per-core EC service shards with
+/// bounded work stealing, tenant QoS, and warm-start continuous
+/// autotuning.
+///
+/// Why shard at all: a single EcService funnels every submitter through
+/// one batch-former mutex and one stats block. At per-core request
+/// rates that lock (and the cache line ping-pong behind it) becomes the
+/// ceiling long before the GEMM does — the same reason ML serving
+/// systems run one request queue per worker rather than one global one.
+/// The front hashes each client to a shard; a client's requests stay on
+/// one shard (affinity keeps its codec slots, buffer pool, and plan
+/// cache warm), while different clients spread across shards and never
+/// share a queue lock.
+///
+/// Sharding alone is vulnerable to skew: hash one hot client to shard 3
+/// and shard 3 queues while the others idle. The corrective is bounded
+/// work stealing — an idle shard worker drains a *bounded* number of
+/// batches from the neighbor whose queue-wait EWMA says it is hurting —
+/// so the steady state is per-shard locality with skew smoothed at the
+/// edges, not a global queue re-invented badly.
+namespace tvmec::serve {
+
+/// When and how much an idle shard worker steals.
+struct StealPolicy {
+  bool enabled = true;
+  /// A victim qualifies when its queue-wait EWMA exceeds the thief's
+  /// own by this factor (and the absolute floor below) — stealing is
+  /// for *relieving pressure*, not for perfectly levelling noise.
+  double wait_ratio = 2.0;
+  /// Absolute floor: victims waiting less than this are never stolen
+  /// from (steal setup costs more than the wait it would save).
+  std::chrono::nanoseconds min_victim_wait = std::chrono::microseconds(50);
+  /// Batches taken per steal — bounded so a thief relieves a hot shard
+  /// without abandoning its own queue.
+  std::size_t max_batches = 1;
+  /// Idle wait between a worker's own-queue drain and its next steal
+  /// scan (bounded so workers notice neighbors' backlogs promptly
+  /// without spinning).
+  std::chrono::nanoseconds idle_wait = std::chrono::microseconds(500);
+};
+
+struct ShardedServiceConfig {
+  /// Service shards. 0 = one per hardware thread.
+  std::size_t num_shards = 0;
+  /// Worker threads *per shard* (owned by the front, so they can steal
+  /// across shards). 0 = manual-pump mode: no threads anywhere, the
+  /// owner drives all shards via run_pending() — deterministic, used by
+  /// tests and the fuzzer.
+  std::size_t workers_per_shard = 1;
+  /// Template for every shard's EcService. num_workers, buffer_pool,
+  /// plan_cache (unless shared, below), executor_hint and
+  /// request_observer are overridden per shard; everything else
+  /// (batch policy, breaker, watchdog, schedule, fault injector)
+  /// applies to each shard as written.
+  ServiceConfig shard;
+  StealPolicy steal;
+  AutotunePolicy autotune;
+  /// false turns TenantRegistry into pure accounting: no share
+  /// enforcement, no deadline budgets, but per-tenant counters still
+  /// balance.
+  bool qos_enforcement = true;
+  /// Initial tenant policies (tenants not listed here materialize with
+  /// the default policy on first use; policies can also be set later
+  /// via tenants().set_policy()).
+  std::map<TenantId, TenantPolicy> tenant_policies;
+  /// Registered-buffer pool bytes per shard (shard-local by default so
+  /// payload staging never contends on a cross-shard free-list lock).
+  /// 0 = no pools.
+  std::size_t pool_bytes_per_shard = std::size_t{32} << 20;
+  /// true = one decode-plan cache shared by every shard (a loss pattern
+  /// planned anywhere is planned everywhere); false = per-shard caches
+  /// (no cross-shard lock, plans warm per shard). The default favors
+  /// isolation, matching the shard-local buffer pools.
+  bool share_plan_cache = false;
+};
+
+/// One shard's view in the front-wide snapshot.
+struct ShardStatsSnapshot {
+  std::size_t shard = 0;
+  ServeStatsSnapshot stats;
+  std::chrono::nanoseconds queue_wait_ewma{0};
+  bool has_pool = false;
+  BufferPoolStats pool;
+};
+
+struct ShardedStatsSnapshot {
+  /// Sum over shards plus front-level QoS rejections — satisfies the
+  /// same identities as a single service's snapshot.
+  ServeStatsSnapshot aggregate;
+  std::vector<ShardStatsSnapshot> shards;
+  /// Per-tenant counters (ascending tenant id) and their sum; the sum
+  /// matches `aggregate`'s admission counters by construction.
+  std::vector<TenantCounters> tenants;
+  TenantCounters tenant_aggregate;
+  /// Front-level QoS rejections (also folded into `aggregate`).
+  std::uint64_t qos_rejected = 0;
+  /// Work stealing: scans that found a qualifying victim, batches
+  /// actually stolen, and requests completed by thieves.
+  std::uint64_t steal_scans = 0;
+  std::uint64_t steal_batches = 0;
+  std::uint64_t steal_requests = 0;
+  AutotuneStats autotune;
+};
+
+struct ShardedHealthSnapshot {
+  HealthState state = HealthState::Ok;
+  std::vector<std::string> reasons;  ///< prefixed "shard <i>: "
+  std::vector<HealthSnapshot> shards;
+};
+
+class ShardedEcService {
+ public:
+  /// Throws std::invalid_argument on an invalid config.
+  explicit ShardedEcService(const ShardedServiceConfig& config);
+  /// Graceful: shutdown(true).
+  ~ShardedEcService();
+
+  ShardedEcService(const ShardedEcService&) = delete;
+  ShardedEcService& operator=(const ShardedEcService&) = delete;
+
+  /// Which shard a client hashes to (stable across the front's
+  /// lifetime; exposed so tests and clients can reason about
+  /// placement).
+  static std::size_t shard_of(std::uint64_t client_id,
+                              std::size_t num_shards) noexcept;
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Tenant-attributed submissions. `client_id` picks the shard (use a
+  /// stable per-connection id for affinity); `tenant` is billed.
+  /// Validation and buffer-lifetime contracts match EcService. The QoS
+  /// layer may reject at the front (Overloaded future, never queued)
+  /// when the tenant's occupancy exceeds its weighted share.
+  EcFuture submit_encode(TenantId tenant, std::uint64_t client_id,
+                         const CodecKey& key,
+                         std::span<const std::uint8_t> data,
+                         std::span<std::uint8_t> parity,
+                         std::size_t unit_size,
+                         std::chrono::nanoseconds timeout = {});
+  EcFuture submit_decode(TenantId tenant, std::uint64_t client_id,
+                         const CodecKey& key, std::span<std::uint8_t> stripe,
+                         std::span<const std::size_t> erased_ids,
+                         std::size_t unit_size,
+                         std::chrono::nanoseconds timeout = {});
+  /// Fully-formed request (request.tenant is overwritten with `tenant`).
+  EcFuture submit_request(TenantId tenant, std::uint64_t client_id,
+                          EcRequest request);
+
+  /// Manual-pump mode: drains every shard's queue on the calling
+  /// thread, round-robin, until all are empty; returns requests
+  /// completed. Legal alongside worker threads too.
+  std::size_t run_pending();
+
+  /// One background-autotuner cycle on the calling thread (works in
+  /// any mode; the background thread, when enabled, calls the same).
+  /// Returns schedules published. Present so manual-pump tests and the
+  /// fuzzer can drive tuning deterministically.
+  std::size_t run_autotune_cycle();
+
+  /// One steal scan on behalf of shard `thief` on the calling thread:
+  /// exactly what an idle worker does between its own drains. Returns
+  /// requests completed from the chosen victim (0 when no neighbor
+  /// qualifies under the steal policy). Public so manual-pump tests can
+  /// exercise the policy deterministically.
+  std::size_t steal_for(std::size_t thief) { return try_steal(thief); }
+
+  /// Stops workers, the autotuner, and every shard. drain=true executes
+  /// everything admitted first. Idempotent.
+  void shutdown(bool drain = true);
+
+  ShardedStatsSnapshot stats() const;
+
+  /// Front-wide readiness: worst shard state wins (one degraded shard
+  /// degrades the front; the front is Unhealthy when shut down or when
+  /// every shard is Unhealthy). Per-shard snapshots ride along, each
+  /// carrying its shard-local pool stats.
+  ShardedHealthSnapshot health() const;
+
+  std::size_t pending() const;
+
+  EcService& shard(std::size_t i) { return *shards_.at(i); }
+  const EcService& shard(std::size_t i) const { return *shards_.at(i); }
+  /// Shard-local pool (null when pool_bytes_per_shard == 0).
+  const std::shared_ptr<BufferPool>& pool(std::size_t i) const {
+    return shards_.at(i)->buffer_pool();
+  }
+
+  TenantRegistry& tenants() noexcept { return tenants_; }
+  const TenantRegistry& tenants() const noexcept { return tenants_; }
+  ScheduleCache& schedule_cache() noexcept { return schedule_cache_; }
+  TrafficProfile& traffic() noexcept { return traffic_; }
+  /// Null when autotuning is disabled.
+  ContinuousAutotuner* autotuner() noexcept { return autotuner_.get(); }
+
+  /// What ScheduleCache::load dropped/kept at construction (warm start).
+  const tune::LoadLogStats& warm_start_load_stats() const noexcept {
+    return warm_start_load_;
+  }
+
+ private:
+  void worker_loop(std::size_t shard_index);
+  std::size_t try_steal(std::size_t thief);
+  /// Publishes a schedule into every shard (the autotuner's InstallFn).
+  void install_everywhere(const CodecKey& key,
+                          const tensor::Schedule& schedule);
+  /// Warm start: on the first sighting of a (key, unit) pair, install
+  /// the cached best schedule for its task shape, if any.
+  void maybe_warm_start(const CodecKey& key, std::size_t unit_size);
+
+  ShardedServiceConfig config_;
+  std::vector<std::unique_ptr<EcService>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_workers_{false};
+
+  TenantRegistry tenants_;
+  TrafficProfile traffic_;
+  ScheduleCache schedule_cache_;
+  std::unique_ptr<ContinuousAutotuner> autotuner_;
+  tune::LoadLogStats warm_start_load_;
+
+  std::mutex shutdown_mutex_;
+  bool stopped_ = false;  // under shutdown_mutex_
+
+  std::atomic<std::uint64_t> qos_rejected_{0};
+  std::atomic<std::uint64_t> steal_scans_{0};
+  std::atomic<std::uint64_t> steal_batches_{0};
+  std::atomic<std::uint64_t> steal_requests_{0};
+  std::atomic<std::uint64_t> warm_start_installs_{0};
+};
+
+}  // namespace tvmec::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -17,6 +18,8 @@
 #include "ec/lrc.h"
 #include "ec/reed_solomon.h"
 #include "serve/ec_service.h"
+#include "serve/shard.h"
+#include "serve/tenant.h"
 #include "storage/fault_injector.h"
 #include "storage/stripe_store.h"
 #include "tensor/buffer.h"
@@ -969,6 +972,267 @@ FuzzOutcome run_serve_chaos(const FuzzConfig& c) {
   return FuzzOutcome{true, {}, {}, 1};
 }
 
+/// Sharded multi-tenant differential: random tenant/client mixes through
+/// ShardedEcService in manual-pump mode — client hashing across shards,
+/// front-level tenant QoS (sometimes with hard weight skew so shares
+/// bind), shard-local pools, shared or per-shard plan caches, and an
+/// opportunistic steal scan — against the same sequential per-request
+/// Codec oracle. Sharding, stealing, and QoS may only decide *where* a
+/// request runs or whether it is admitted: completed bytes must match
+/// the oracle exactly, and rejected/expired requests must leave their
+/// buffers untouched (encode outputs stay zero, decode stripes keep
+/// their holes). The per-tenant counter identities are asserted
+/// unconditionally — every tenant balances, the tenant aggregate equals
+/// the front aggregate bucket for bucket, and the per-shard sums plus
+/// front-level QoS rejections reproduce the aggregate admission counts.
+FuzzOutcome run_serve_shard(const FuzzConfig& c) {
+  const ec::CodeParams params{c.k, c.r, c.w};
+  const std::size_t unit = c.unit_size;
+  const std::size_t n = params.n();
+
+  std::mt19937_64 rng(c.seed ^ 0x54A2DED5ULL);
+  serve::ShardedServiceConfig sc;
+  sc.num_shards = 1 + rng() % 3;
+  sc.workers_per_shard = 0;  // manual pump: admission deterministic
+  sc.shard.batch.queue_capacity = 1 + rng() % 6;
+  sc.shard.batch.max_batch_requests = 1 + rng() % 4;
+  sc.shard.schedule = DiffFuzzer::schedule_menu().at(c.sched);
+  sc.pool_bytes_per_shard = rng() % 2 == 0 ? std::size_t{1} << 20 : 0;
+  sc.share_plan_cache = rng() % 2 == 0;
+  const std::size_t num_tenants = 1 + rng() % 3;
+  // Sometimes skew the weights hard, so shares bind and front-level QoS
+  // rejections fire alongside the shards' queue-capacity ones.
+  if (rng() % 2 == 0) sc.tenant_policies[1] = serve::TenantPolicy{8.0, {}, 1};
+  serve::ShardedEcService service(sc);
+  const serve::CodecKey key{c.k, c.r, c.w, c.family};
+
+  core::Codec oracle(params, c.family);  // default schedule, sequential
+
+  struct ShardReq {
+    serve::TenantId tenant = 0;
+    bool decode = false;
+    bool expired = false;
+    bool expect_failed = false;  // unrecoverable decode pattern
+    bool accepted = false;
+    Bytes in{0}, out{0}, stripe{0}, want{0};
+    Bytes pre{0};  // decode pre-state: what dead requests leave behind
+    serve::EcFuture future;
+  };
+  const bool can_decode = !c.losses.empty() && c.r > 0;
+  const std::size_t num_requests = 3 + rng() % 12;
+  std::vector<ShardReq> reqs(num_requests);
+  std::size_t expected_accepted = 0, expected_rejected = 0;
+  // Our own per-tenant ledger, mirrored against the registry at the end.
+  std::map<serve::TenantId, serve::TenantCounters> mirror;
+
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    ShardReq& r = reqs[i];
+    r.tenant = 1 + rng() % num_tenants;
+    const std::uint64_t client = rng() % (2 * sc.num_shards + 1);
+    r.decode = can_decode && rng() % 2 == 0;
+    r.expired = rng() % 5 == 0;
+    const auto timeout =
+        r.expired ? std::chrono::nanoseconds{-1} : std::chrono::nanoseconds{0};
+    const Bytes data = seeded_bytes(c.k * unit, c.seed + 61 * i);
+
+    if (r.decode) {
+      r.stripe = Bytes(n * unit);
+      std::memcpy(r.stripe.data(), data.data(), c.k * unit);
+      oracle.encode(data.span(), r.stripe.span().subspan(c.k * unit), unit);
+      for (const std::size_t id : distinct(c.losses))
+        std::memset(r.stripe.data() + id * unit, 0xEE, unit);
+      r.pre = r.stripe;  // dead decodes must leave the holes untouched
+      r.want = r.stripe;
+      if (!r.expired) {
+        try {
+          oracle.decode(r.want.span(), c.losses, unit);
+        } catch (const std::runtime_error&) {
+          r.expect_failed = true;  // > r distinct erasures
+        }
+      }
+      r.future = service.submit_decode(r.tenant, client, key, r.stripe.span(),
+                                       c.losses, unit, timeout);
+    } else {
+      r.in = data;
+      r.out = Bytes(c.r * unit);  // zero-initialized
+      r.want = Bytes(c.r * unit);
+      if (!r.expired) oracle.encode(r.in.span(), r.want.span(), unit);
+      r.future = service.submit_encode(r.tenant, client, key, r.in.span(),
+                                       r.out.span(), unit, timeout);
+    }
+
+    // The admission verdict is whatever the front decided — a tenant
+    // over its share and a full shard queue both land as an
+    // immediately-ready Overloaded future; everything else must still
+    // be pending (manual pump: nothing can have run yet).
+    serve::TenantCounters& t = mirror[r.tenant];
+    ++t.submitted;
+    if (r.future.ready()) {
+      if (r.future.wait().status != serve::RequestStatus::Overloaded)
+        return fail(c, std::string("serve-shard: rejected request got ") +
+                           serve::to_string(r.future.wait().status) +
+                           ", want overloaded");
+      ++expected_rejected;
+      ++t.rejected_overload;
+    } else {
+      r.accepted = true;
+      ++expected_accepted;
+      ++t.accepted;
+    }
+  }
+
+  // Exercise the steal path opportunistically: a bounded steal scan is
+  // byte-neutral — it may only complete queued work on the thief's
+  // thread, never change results or admission verdicts.
+  if (sc.num_shards > 1 && rng() % 2 == 0)
+    service.steal_for(rng() % sc.num_shards);
+
+  service.run_pending();
+
+  std::size_t want_ok = 0, want_expired = 0, want_failed = 0;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    ShardReq& r = reqs[i];
+    serve::TenantCounters& t = mirror[r.tenant];
+    if (!r.accepted) {
+      // Rejections must have left the buffers alone: encode outputs
+      // stay zero, decode stripes keep their holes.
+      if (!r.decode) {
+        for (const std::uint8_t b : r.out.span())
+          if (b != 0)
+            return fail(c, "serve-shard: rejected encode request " +
+                               std::to_string(i) + " wrote to its output");
+      } else if (auto d = first_divergence(
+                     r.stripe.span(), r.pre.span(), unit,
+                     "serve-shard rejected request " + std::to_string(i))) {
+        return fail(c, *d);
+      }
+      continue;
+    }
+    if (!r.future.ready())
+      return fail(c, "serve-shard: accepted request " + std::to_string(i) +
+                         " not completed by run_pending");
+    const serve::RequestStatus want_status =
+        r.expired ? serve::RequestStatus::Expired
+        : r.expect_failed ? serve::RequestStatus::Failed
+                          : serve::RequestStatus::Ok;
+    switch (want_status) {
+      case serve::RequestStatus::Ok: ++want_ok; ++t.completed_ok; break;
+      case serve::RequestStatus::Expired: ++want_expired; ++t.expired; break;
+      default: ++want_failed; ++t.failed; break;
+    }
+    const serve::EcResult& result = r.future.wait();
+    if (result.status != want_status)
+      return fail(c, "serve-shard: request " + std::to_string(i) +
+                         " got status " + serve::to_string(result.status) +
+                         ", want " + serve::to_string(want_status));
+    if (r.expect_failed) continue;  // no byte contract after a failure
+    // Ok requests must match the oracle; expired ones must be untouched
+    // (encode outputs stay zero — `want` was never written — and decode
+    // stripes keep their holes).
+    const auto got = r.decode ? r.stripe.span() : r.out.span();
+    const auto want = r.decode && r.expired ? r.pre.span() : r.want.span();
+    if (auto d = first_divergence(
+            got, want, unit,
+            "serve-shard request " + std::to_string(i) +
+                (r.decode ? " (decode)" : " (encode)") +
+                (r.expired ? " expired-untouched" : "")))
+      return fail(c, *d);
+  }
+
+  const serve::ShardedStatsSnapshot s = service.stats();
+  const serve::ServeStatsSnapshot& a = s.aggregate;
+  const auto check = [&](bool ok, const std::string& what)
+      -> std::optional<FuzzOutcome> {
+    if (ok) return std::nullopt;
+    return fail(c, "serve-shard stats: " + what);
+  };
+  if (auto f = check(a.submitted == num_requests, "submitted != requests"))
+    return *f;
+  if (auto f = check(a.accepted == expected_accepted, "accepted mismatch"))
+    return *f;
+  if (auto f = check(a.rejected_overload == expected_rejected,
+                     "overload mismatch"))
+    return *f;
+  if (auto f = check(a.completed_ok == want_ok, "completed_ok mismatch"))
+    return *f;
+  if (auto f = check(a.expired == want_expired, "expired mismatch")) return *f;
+  if (auto f = check(a.failed == want_failed, "failed mismatch")) return *f;
+  if (auto f = check(a.submitted == a.accepted + a.rejected_overload +
+                                        a.rejected_shed + a.rejected_shutdown,
+                     "submitted != accepted + rejected"))
+    return *f;
+  if (auto f = check(a.accepted == a.completed_ok + a.expired + a.failed +
+                                       a.cancelled + a.shutdown_drained,
+                     "accepted != terminal outcomes (drained)"))
+    return *f;
+
+  // Per-shard decomposition: shard sums plus front-level QoS rejections
+  // reproduce the aggregate admission counts.
+  std::uint64_t shard_submitted = 0, shard_accepted = 0;
+  for (const serve::ShardStatsSnapshot& sh : s.shards) {
+    shard_submitted += sh.stats.submitted;
+    shard_accepted += sh.stats.accepted;
+  }
+  if (auto f = check(shard_submitted + s.qos_rejected == a.submitted,
+                     "shard submitted + qos_rejected != aggregate submitted"))
+    return *f;
+  if (auto f = check(shard_accepted == a.accepted,
+                     "shard accepted sum != aggregate accepted"))
+    return *f;
+
+  // Per-tenant identities, unconditional — each tenant balances and
+  // matches our ledger exactly; the tenant aggregate equals the front
+  // aggregate bucket for bucket.
+  for (const serve::TenantCounters& t : s.tenants) {
+    if (auto f = check(t.admission_balanced() && t.drained_balanced(),
+                       "tenant " + std::to_string(t.tenant) +
+                           " identities do not balance"))
+      return *f;
+    const serve::TenantCounters& m = mirror[t.tenant];
+    const bool exact = t.submitted == m.submitted &&
+                       t.accepted == m.accepted &&
+                       t.rejected_overload == m.rejected_overload &&
+                       t.completed_ok == m.completed_ok &&
+                       t.expired == m.expired && t.failed == m.failed &&
+                       t.rejected_shed == 0 && t.cancelled == 0;
+    if (auto f = check(exact, "tenant " + std::to_string(t.tenant) +
+                                  " counters diverge from the mirror"))
+      return *f;
+  }
+  const serve::TenantCounters& ta = s.tenant_aggregate;
+  const bool agg_equal =
+      ta.submitted == a.submitted && ta.accepted == a.accepted &&
+      ta.rejected_overload == a.rejected_overload &&
+      ta.rejected_shed == a.rejected_shed &&
+      ta.rejected_shutdown == a.rejected_shutdown &&
+      ta.completed_ok == a.completed_ok && ta.expired == a.expired &&
+      ta.failed == a.failed && ta.cancelled == a.cancelled &&
+      ta.shutdown_drained == a.shutdown_drained && ta.in_queue == 0;
+  if (auto f = check(agg_equal, "tenant aggregate != front aggregate"))
+    return *f;
+
+  // Post-shutdown submissions must complete as Shutdown — and the late
+  // rejection must stay on the books with the identities still balanced.
+  service.shutdown();
+  Bytes late_in(c.k * unit), late_out(c.r * unit);
+  serve::EcFuture late = service.submit_encode(1, 0, key, late_in.span(),
+                                               late_out.span(), unit);
+  if (!late.ready() ||
+      late.wait().status != serve::RequestStatus::Shutdown)
+    return fail(c,
+                "serve-shard: post-shutdown submit did not complete as "
+                "shutdown");
+  const serve::ShardedStatsSnapshot s2 = service.stats();
+  if (auto f = check(s2.aggregate.submitted == num_requests + 1 &&
+                         s2.aggregate.rejected_shutdown == 1 &&
+                         s2.tenant_aggregate.submitted ==
+                             s2.aggregate.submitted &&
+                         s2.tenant_aggregate.rejected_shutdown == 1,
+                     "post-shutdown rejection not accounted"))
+    return *f;
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
 }  // namespace
 
 const std::vector<tensor::Schedule>& DiffFuzzer::schedule_menu() {
@@ -1010,6 +1274,8 @@ FuzzOutcome DiffFuzzer::run_one(const FuzzConfig& config) {
         return run_serve(config);
       case Scenario::ServeChaos:
         return run_serve_chaos(config);
+      case Scenario::ServeShard:
+        return run_serve_shard(config);
       case Scenario::Cluster:
         return run_cluster(config, /*repair=*/false);
       case Scenario::ClusterRepair:

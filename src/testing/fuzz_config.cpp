@@ -18,8 +18,8 @@ const Scenario kScenarios[] = {
     Scenario::RsEncode,         Scenario::RsDecode,
     Scenario::LrcRoundTrip,     Scenario::StorageRoundTrip,
     Scenario::StorageFaulted,   Scenario::Serve,
-    Scenario::ServeChaos,       Scenario::Cluster,
-    Scenario::ClusterRepair};
+    Scenario::ServeChaos,       Scenario::ServeShard,
+    Scenario::Cluster,          Scenario::ClusterRepair};
 
 const ec::RsFamily kFamilies[] = {
     ec::RsFamily::VandermondeSystematic, ec::RsFamily::Cauchy,
@@ -80,6 +80,8 @@ const char* to_string(Scenario s) noexcept {
       return "serve";
     case Scenario::ServeChaos:
       return "serve-chaos";
+    case Scenario::ServeShard:
+      return "serve-shard";
     case Scenario::Cluster:
       return "cluster";
     case Scenario::ClusterRepair:
@@ -252,11 +254,13 @@ FuzzConfig random_config(std::mt19937_64& rng) {
   // an encode-only request mix).
   if (c.scenario == Scenario::RsDecode ||
       c.scenario == Scenario::LrcRoundTrip ||
-      c.scenario == Scenario::Serve || c.scenario == Scenario::ServeChaos) {
+      c.scenario == Scenario::Serve || c.scenario == Scenario::ServeChaos ||
+      c.scenario == Scenario::ServeShard) {
     const std::size_t budget =
         c.scenario == Scenario::LrcRoundTrip ? c.l + c.r + 1 : c.r;
     const std::size_t lo = c.scenario == Scenario::Serve ||
-                                   c.scenario == Scenario::ServeChaos
+                                   c.scenario == Scenario::ServeChaos ||
+                                   c.scenario == Scenario::ServeShard
                                ? 0
                                : 1;
     const std::size_t e = std::min(pick(lo, std::max<std::size_t>(budget, lo)),

@@ -31,6 +31,17 @@ enum class Scenario {
                    ///< must still match the oracle (faults may only cost
                    ///< latency), and the widened counter identities must
                    ///< balance exactly
+  ServeShard,      ///< random tenant/client mixes through the sharded
+                   ///< multi-tenant front (ShardedEcService, manual pump)
+                   ///< vs the sequential per-request Codec oracle: client
+                   ///< hashing, front-level QoS shares, and bounded work
+                   ///< stealing may only decide *where* a request runs or
+                   ///< whether it is admitted — completed bytes must match
+                   ///< the oracle, rejected/expired requests must leave
+                   ///< their buffers untouched, and the per-tenant counter
+                   ///< identities must balance unconditionally (each
+                   ///< tenant, the tenant aggregate vs the front
+                   ///< aggregate, and the per-shard decomposition)
   Cluster,         ///< simulated multi-node cluster put / fail_node / get
                    ///< under seeded disk + link chaos (drops, duplicates,
                    ///< partition windows): returned bytes must match the

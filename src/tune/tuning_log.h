@@ -47,4 +47,21 @@ std::optional<TuneResult> load_log(const std::string& path,
                                    const TaskShape& shape,
                                    LoadLogStats* stats = nullptr);
 
+/// One parsed log line, shape included.
+struct LogRecord {
+  TaskShape shape;
+  tensor::Schedule schedule;
+  double throughput = 0.0;
+};
+
+/// Reads *every* record in the log, in file order, regardless of task
+/// shape — the warm-start path of the serving-layer schedule cache,
+/// which wants the whole file in one pass instead of one load_log()
+/// scan per shape it might ever see. Same error contract as load_log:
+/// a missing file returns an empty vector, a malformed line throws,
+/// and records tuned for a kernel variant this host lacks are skipped
+/// with a counted warning.
+std::vector<LogRecord> load_log_all(const std::string& path,
+                                    LoadLogStats* stats = nullptr);
+
 }  // namespace tvmec::tune

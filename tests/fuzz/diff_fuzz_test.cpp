@@ -192,6 +192,17 @@ TEST(DiffFuzz, EdgeCaseReprosPass) {
       "fuzz:v1 s=serve-chaos k=6 r=3 w=16 u=48 seed=18 loss=5,2 sched=3",
       "fuzz:v1 s=serve-chaos k=10 r=4 w=8 u=24 seed=19 loss=2,11,7 sched=1",
       "fuzz:v1 s=serve-chaos k=5 r=3 w=4 u=64 seed=20 loss=1,1,3 sched=4",
+      // Sharded multi-tenant serving: random tenant/client mixes through
+      // ShardedEcService (manual pump) vs the same sequential oracle —
+      // client-to-shard hashing, front-level QoS shares (skewed weights
+      // on half the seeds), shard-local pools, opportunistic steal
+      // scans, and the per-tenant counter identities asserted
+      // unconditionally against a request-by-request mirror.
+      "fuzz:v1 s=serve-shard k=4 r=2 w=8 u=64 seed=26 loss=1,4",
+      "fuzz:v1 s=serve-shard k=1 r=1 w=8 u=8 seed=27 loss=0",
+      "fuzz:v1 s=serve-shard k=6 r=3 w=16 u=48 seed=28 loss=5,2 sched=3",
+      "fuzz:v1 s=serve-shard k=10 r=4 w=8 u=24 seed=29 loss=2,11,7 sched=1",
+      "fuzz:v1 s=serve-shard k=5 r=0 w=8 u=64 seed=30",
       // Simulated multi-node cluster: put/fail_node/get under seeded
       // disk + link chaos (drops, duplicates, partition windows, hedged
       // degraded reads). Returned bytes must match the original payload

@@ -1,0 +1,387 @@
+// serve/shard.h — the sharded multi-tenant front: placement, byte
+// correctness against the Codec oracle, per-tenant QoS and counter
+// identities, bounded work stealing, shard-local pools, warm start.
+
+#include "serve/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "core/tvmec.h"
+
+namespace tvmec::serve {
+namespace {
+
+using Bytes = tensor::AlignedBuffer<std::uint8_t>;
+using std::chrono::milliseconds;
+
+constexpr CodecKey kKey{4, 2, 8, ec::RsFamily::CauchyGood};
+constexpr std::size_t kUnit = 512;
+
+Bytes oracle_parity(const CodecKey& key, std::span<const std::uint8_t> data,
+                    std::size_t unit) {
+  core::Codec codec(ec::CodeParams{key.k, key.r, key.w}, key.family);
+  Bytes parity(key.r * unit);
+  codec.encode(data, parity.span(), unit);
+  return parity;
+}
+
+/// Manual-pump front: deterministic admission and execution.
+ShardedServiceConfig pump_config(std::size_t shards) {
+  ShardedServiceConfig cfg;
+  cfg.num_shards = shards;
+  cfg.workers_per_shard = 0;
+  cfg.shard.watchdog.enabled = false;
+  return cfg;
+}
+
+/// A client id that hashes to the wanted shard.
+std::uint64_t client_on_shard(std::size_t shard, std::size_t num_shards) {
+  for (std::uint64_t c = 0;; ++c)
+    if (ShardedEcService::shard_of(c, num_shards) == shard) return c;
+}
+
+TEST(ShardOf, StableInRangeAndSpreads) {
+  bool hit[4] = {};
+  for (std::uint64_t c = 0; c < 256; ++c) {
+    const std::size_t s = ShardedEcService::shard_of(c, 4);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, ShardedEcService::shard_of(c, 4));  // stable
+    hit[s] = true;
+  }
+  // 256 sequential ids must not all collapse onto a subset of shards.
+  EXPECT_TRUE(hit[0] && hit[1] && hit[2] && hit[3]);
+  EXPECT_EQ(ShardedEcService::shard_of(123, 1), 0u);
+}
+
+TEST(ShardedEcService, EncodeMatchesOracleAcrossShards) {
+  ShardedEcService front(pump_config(3));
+  constexpr int kClients = 9;
+  std::vector<Bytes> data, parity;
+  std::vector<EcFuture> futures;
+  for (int c = 0; c < kClients; ++c) {
+    data.push_back(testutil::random_bytes(kKey.k * kUnit, 100 + c));
+    parity.emplace_back(kKey.r * kUnit);
+  }
+  for (int c = 0; c < kClients; ++c)
+    futures.push_back(front.submit_encode(/*tenant=*/1, /*client=*/c, kKey,
+                                          data[c].span(), parity[c].span(),
+                                          kUnit));
+  front.run_pending();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(futures[c].wait().status, RequestStatus::Ok);
+    const Bytes want = oracle_parity(kKey, data[c].span(), kUnit);
+    EXPECT_EQ(std::memcmp(parity[c].data(), want.data(), want.size()), 0)
+        << "client " << c;
+  }
+}
+
+TEST(ShardedEcService, DecodeRepairsAcrossShards) {
+  ShardedEcService front(pump_config(2));
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 7);
+  Bytes stripe(kKey.n() * kUnit);
+  std::memcpy(stripe.data(), data.data(), data.size());
+  const Bytes parity = oracle_parity(kKey, data.span(), kUnit);
+  std::memcpy(stripe.data() + kKey.k * kUnit, parity.data(), parity.size());
+  const Bytes want = stripe;
+  const std::vector<std::size_t> erased{0, 5};
+  for (const std::size_t id : erased)
+    std::memset(stripe.data() + id * kUnit, 0xAB, kUnit);
+
+  EcFuture f = front.submit_decode(2, /*client=*/42, kKey, stripe.span(),
+                                   erased, kUnit);
+  front.run_pending();
+  EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+  EXPECT_EQ(std::memcmp(stripe.data(), want.data(), want.size()), 0);
+}
+
+TEST(ShardedEcService, ClientAffinityLandsOnOneShard) {
+  ShardedEcService front(pump_config(4));
+  const std::uint64_t client = 77;
+  const std::size_t home = ShardedEcService::shard_of(client, 4);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 3);
+  std::vector<Bytes> parity;
+  std::vector<EcFuture> futures;
+  for (int i = 0; i < 5; ++i) parity.emplace_back(kKey.r * kUnit);
+  for (int i = 0; i < 5; ++i)
+    futures.push_back(front.submit_encode(1, client, kKey, data.span(),
+                                          parity[i].span(), kUnit));
+  front.run_pending();
+  for (auto& f : futures) EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+
+  const ShardedStatsSnapshot s = front.stats();
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(s.shards[i].stats.submitted, i == home ? 5u : 0u)
+        << "shard " << i;
+}
+
+TEST(ShardedEcService, PerTenantCountersBalanceAndMatchAggregate) {
+  ShardedServiceConfig cfg = pump_config(2);
+  cfg.shard.batch.queue_capacity = 2;  // force some Overloaded rejections
+  ShardedEcService front(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 4);
+  std::vector<Bytes> parity;
+  std::vector<EcFuture> futures;
+  constexpr int kPerTenant = 6;
+  for (int i = 0; i < 2 * kPerTenant; ++i) parity.emplace_back(kKey.r * kUnit);
+  for (TenantId t = 1; t <= 2; ++t)
+    for (int i = 0; i < kPerTenant; ++i)
+      futures.push_back(front.submit_encode(t, /*client=*/t * 31 + i, kKey,
+                                            data.span(),
+                                            parity[(t - 1) * kPerTenant + i]
+                                                .span(),
+                                            kUnit));
+  front.run_pending();
+  for (auto& f : futures) f.wait();
+  front.shutdown(true);
+
+  const ShardedStatsSnapshot s = front.stats();
+  ASSERT_EQ(s.tenants.size(), 2u);
+  for (const TenantCounters& c : s.tenants) {
+    EXPECT_TRUE(c.admission_balanced()) << "tenant " << c.tenant;
+    EXPECT_TRUE(c.drained_balanced()) << "tenant " << c.tenant;
+    EXPECT_EQ(c.submitted, static_cast<std::uint64_t>(kPerTenant));
+  }
+  // Tenant totals == front-wide totals, bucket by bucket.
+  EXPECT_EQ(s.tenant_aggregate.submitted, s.aggregate.submitted);
+  EXPECT_EQ(s.tenant_aggregate.accepted, s.aggregate.accepted);
+  EXPECT_EQ(s.tenant_aggregate.rejected_overload,
+            s.aggregate.rejected_overload);
+  EXPECT_EQ(s.tenant_aggregate.completed_ok, s.aggregate.completed_ok);
+  EXPECT_TRUE(s.tenant_aggregate.admission_balanced());
+  EXPECT_TRUE(s.tenant_aggregate.drained_balanced());
+}
+
+TEST(ShardedEcService, QosRejectsTenantOverItsShare) {
+  // Capacity 2 shards x 4 = 8; weights 1:7 give tenant 1 a share of 1.
+  ShardedServiceConfig cfg = pump_config(2);
+  cfg.shard.batch.queue_capacity = 4;
+  cfg.tenant_policies[1] = {1.0, {}, 1};
+  cfg.tenant_policies[2] = {7.0, {}, 1};
+  ShardedEcService front(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 5);
+  Bytes p1(kKey.r * kUnit), p2(kKey.r * kUnit), p3(kKey.r * kUnit);
+
+  EcFuture a = front.submit_encode(1, 1, kKey, data.span(), p1.span(), kUnit);
+  // Occupancy 1 == share 1: rejected at the front, future ready at once.
+  EcFuture b = front.submit_encode(1, 2, kKey, data.span(), p2.span(), kUnit);
+  ASSERT_TRUE(b.ready());
+  EXPECT_EQ(b.wait().status, RequestStatus::Overloaded);
+  EXPECT_EQ(b.wait().batch_size, 0u);
+  // The big tenant still gets in.
+  EcFuture c = front.submit_encode(2, 3, kKey, data.span(), p3.span(), kUnit);
+  front.run_pending();
+  EXPECT_EQ(a.wait().status, RequestStatus::Ok);
+  EXPECT_EQ(c.wait().status, RequestStatus::Ok);
+
+  const ShardedStatsSnapshot s = front.stats();
+  EXPECT_EQ(s.qos_rejected, 1u);
+  const TenantCounters t1 = front.tenants().counters(1);
+  EXPECT_EQ(t1.rejected_overload, 1u);
+  EXPECT_TRUE(t1.admission_balanced());
+  // Front-level rejections fold into the aggregate identity.
+  EXPECT_EQ(s.aggregate.submitted,
+            s.aggregate.accepted + s.aggregate.rejected_overload +
+                s.aggregate.rejected_shed + s.aggregate.rejected_shutdown);
+}
+
+TEST(ShardedEcService, DeadlineBudgetExpiresSlowTenants) {
+  ShardedServiceConfig cfg = pump_config(1);
+  cfg.tenant_policies[1] = {1.0, std::chrono::nanoseconds(1), 4};
+  ShardedEcService front(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 6);
+  Bytes parity(kKey.r * kUnit);
+  // A 1 ns budget: the request's unbounded deadline is clamped to
+  // effectively "now" at admission and has certainly lapsed by the time
+  // the pump forms the batch, so it expires at formation.
+  EcFuture f = front.submit_encode(1, 0, kKey, data.span(), parity.span(),
+                                   kUnit);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  front.run_pending();
+  EXPECT_EQ(f.wait().status, RequestStatus::Expired);
+  EXPECT_TRUE(front.tenants().counters(1).admission_balanced());
+}
+
+TEST(ShardedEcService, StealForDrainsHotNeighbor) {
+  ShardedServiceConfig cfg = pump_config(2);
+  cfg.steal.min_victim_wait = std::chrono::nanoseconds(0);
+  cfg.steal.max_batches = 2;
+  cfg.shard.batch.max_batch_requests = 1;  // one request per batch
+  ShardedEcService front(cfg);
+  const std::uint64_t hot_client = client_on_shard(1, 2);
+  const std::size_t thief = 0;
+
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 8);
+  std::vector<Bytes> parity;
+  std::vector<EcFuture> futures;
+  for (int i = 0; i < 4; ++i) parity.emplace_back(kKey.r * kUnit);
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(front.submit_encode(1, hot_client, kKey, data.span(),
+                                          parity[i].span(), kUnit));
+  ASSERT_EQ(front.shard(1).pending(), 4u);
+  ASSERT_EQ(front.shard(thief).pending(), 0u);
+
+  // The thief takes at most max_batches batches (1 request each here).
+  EXPECT_EQ(front.steal_for(thief), 2u);
+  EXPECT_EQ(front.shard(1).pending(), 2u);
+  const ShardedStatsSnapshot s = front.stats();
+  EXPECT_EQ(s.steal_scans, 1u);
+  EXPECT_EQ(s.steal_batches, 2u);
+  EXPECT_EQ(s.steal_requests, 2u);
+
+  front.run_pending();
+  for (auto& f : futures) EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+  const Bytes want = oracle_parity(kKey, data.span(), kUnit);
+  for (const Bytes& p : parity)
+    EXPECT_EQ(std::memcmp(p.data(), want.data(), want.size()), 0);
+}
+
+TEST(ShardedEcService, StealRespectsVictimFloor) {
+  ShardedServiceConfig cfg = pump_config(2);
+  // Victim EWMA is 0 until its first pop; an absolute floor above 0
+  // therefore disqualifies it.
+  cfg.steal.min_victim_wait = std::chrono::hours(1);
+  ShardedEcService front(cfg);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 9);
+  Bytes parity(kKey.r * kUnit);
+  EcFuture f = front.submit_encode(1, client_on_shard(1, 2), kKey,
+                                   data.span(), parity.span(), kUnit);
+  EXPECT_EQ(front.steal_for(0), 0u);
+  EXPECT_EQ(front.stats().steal_scans, 0u);
+  front.run_pending();
+  EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+}
+
+TEST(ShardedEcService, WorkersServeSkewedLoadWithStealing) {
+  ShardedServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.workers_per_shard = 1;
+  cfg.shard.watchdog.enabled = false;
+  cfg.steal.min_victim_wait = std::chrono::nanoseconds(0);
+  cfg.steal.wait_ratio = 1.0;
+  ShardedEcService front(cfg);
+  const std::uint64_t hot_client = client_on_shard(0, 2);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 10);
+  std::vector<Bytes> parity;
+  std::vector<EcFuture> futures;
+  constexpr int kRequests = 64;
+  for (int i = 0; i < kRequests; ++i) parity.emplace_back(kKey.r * kUnit);
+  for (int i = 0; i < kRequests; ++i)
+    futures.push_back(front.submit_encode(1, hot_client, kKey, data.span(),
+                                          parity[i].span(), kUnit));
+  for (auto& f : futures) EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+  front.shutdown(true);
+  const Bytes want = oracle_parity(kKey, data.span(), kUnit);
+  for (const Bytes& p : parity)
+    EXPECT_EQ(std::memcmp(p.data(), want.data(), want.size()), 0);
+  const ShardedStatsSnapshot s = front.stats();
+  EXPECT_EQ(s.aggregate.completed_ok, static_cast<std::uint64_t>(kRequests));
+  EXPECT_TRUE(s.tenant_aggregate.admission_balanced());
+  EXPECT_TRUE(s.tenant_aggregate.drained_balanced());
+}
+
+TEST(ShardedEcService, ShardLocalPoolsSurfaceInHealth) {
+  ShardedServiceConfig cfg = pump_config(2);
+  cfg.pool_bytes_per_shard = std::size_t{1} << 20;
+  ShardedEcService front(cfg);
+  ASSERT_NE(front.pool(0), nullptr);
+  ASSERT_NE(front.pool(1), nullptr);
+  EXPECT_NE(front.pool(0).get(), front.pool(1).get());  // shard-local
+  { auto lease = front.pool(0)->acquire(4096); }
+  auto lease2 = front.pool(0)->acquire(4096);  // recycled
+
+  const ShardedHealthSnapshot h = front.health();
+  EXPECT_EQ(h.state, HealthState::Ok);
+  ASSERT_EQ(h.shards.size(), 2u);
+  EXPECT_TRUE(h.shards[0].has_pool);
+  EXPECT_EQ(h.shards[0].pool.acquires, 2u);
+  EXPECT_EQ(h.shards[0].pool.pool_hits, 1u);
+  EXPECT_EQ(h.shards[1].pool.acquires, 0u);
+
+  const ShardedStatsSnapshot s = front.stats();
+  EXPECT_TRUE(s.shards[0].has_pool);
+  EXPECT_EQ(s.shards[0].pool.acquires, 2u);
+
+  ShardedServiceConfig no_pool = pump_config(1);
+  no_pool.pool_bytes_per_shard = 0;
+  ShardedEcService bare(no_pool);
+  EXPECT_EQ(bare.pool(0), nullptr);
+  EXPECT_FALSE(bare.health().shards[0].has_pool);
+}
+
+TEST(ShardedEcService, ShutdownRejectsAndGoesUnhealthy) {
+  ShardedEcService front(pump_config(2));
+  front.shutdown(true);
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 11);
+  Bytes parity(kKey.r * kUnit);
+  EcFuture f = front.submit_encode(5, 0, kKey, data.span(), parity.span(),
+                                   kUnit);
+  EXPECT_EQ(f.wait().status, RequestStatus::Shutdown);
+  const TenantCounters t = front.tenants().counters(5);
+  EXPECT_EQ(t.rejected_shutdown, 1u);
+  EXPECT_TRUE(t.admission_balanced());
+  EXPECT_EQ(front.health().state, HealthState::Unhealthy);
+  front.shutdown(true);  // idempotent
+}
+
+TEST(ShardedEcService, MalformedSubmissionThrowsWithoutAccounting) {
+  ShardedEcService front(pump_config(1));
+  Bytes small(16);
+  Bytes parity(kKey.r * kUnit);
+  EXPECT_THROW(front.submit_encode(1, 0, kKey, small.span(), parity.span(),
+                                   kUnit),
+               std::invalid_argument);
+  EXPECT_EQ(front.tenants().counters(1).submitted, 0u);
+  EXPECT_EQ(front.stats().aggregate.submitted, 0u);
+}
+
+TEST(ShardedEcService, WarmStartInstallsCachedScheduleOnFirstSight) {
+  const std::string log =
+      ::testing::TempDir() + "/shard_warm_start_schedules.log";
+  std::remove(log.c_str());
+  {
+    // A previous run's best-known schedule for kKey/kUnit's task shape.
+    ScheduleCache cache;
+    tune::TaskShape shape;
+    shape.m = kKey.r * kKey.w;
+    shape.n = kUnit / (8 * kKey.w);
+    shape.k = kKey.k * kKey.w;
+    tensor::Schedule best = default_service_schedule();
+    best.tile_m = 2;
+    cache.install(shape, {best, 1.0e9});
+    cache.save(log);
+  }
+
+  ShardedServiceConfig cfg = pump_config(2);
+  cfg.autotune.log_path = log;  // load-only warm start, tuner disabled
+  ShardedEcService front(cfg);
+  EXPECT_EQ(front.schedule_cache().size(), 1u);
+
+  const Bytes data = testutil::random_bytes(kKey.k * kUnit, 12);
+  Bytes parity(kKey.r * kUnit);
+  EcFuture f = front.submit_encode(1, 0, kKey, data.span(), parity.span(),
+                                   kUnit);
+  front.run_pending();
+  EXPECT_EQ(f.wait().status, RequestStatus::Ok);
+  const Bytes want = oracle_parity(kKey, data.span(), kUnit);
+  EXPECT_EQ(std::memcmp(parity.data(), want.data(), want.size()), 0);
+  EXPECT_EQ(front.stats().autotune.warm_start_installs, 1u);
+
+  // Second request of the same pair: no re-install.
+  Bytes parity2(kKey.r * kUnit);
+  EcFuture g = front.submit_encode(1, 1, kKey, data.span(), parity2.span(),
+                                   kUnit);
+  front.run_pending();
+  EXPECT_EQ(g.wait().status, RequestStatus::Ok);
+  EXPECT_EQ(front.stats().autotune.warm_start_installs, 1u);
+}
+
+}  // namespace
+}  // namespace tvmec::serve

@@ -1,0 +1,186 @@
+// serve/tenant.h — weighted fair shares, deadline budgets, and the
+// per-tenant counter identities.
+
+#include "serve/tenant.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+
+namespace tvmec::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+RequestEvent submitted(TenantId t) {
+  return {RequestEvent::Kind::Submitted, t, RequestStatus::Pending, false};
+}
+RequestEvent accepted(TenantId t) {
+  return {RequestEvent::Kind::Accepted, t, RequestStatus::Pending, true};
+}
+RequestEvent completed(TenantId t, RequestStatus s, bool admitted) {
+  return {RequestEvent::Kind::Completed, t, s, admitted};
+}
+
+TEST(TenantRegistry, SingleTenantOwnsWholeCapacity) {
+  TenantRegistry reg(100);
+  reg.set_policy(7, TenantPolicy{});
+  EXPECT_EQ(reg.share(7), 100u);
+}
+
+TEST(TenantRegistry, SharesSplitByWeight) {
+  TenantRegistry reg(100);
+  reg.set_policy(1, {3.0, {}, 1});
+  reg.set_policy(2, {1.0, {}, 1});
+  EXPECT_EQ(reg.share(1), 75u);
+  EXPECT_EQ(reg.share(2), 25u);
+}
+
+TEST(TenantRegistry, MinShareFloorsTinyWeights) {
+  TenantRegistry reg(10);
+  reg.set_policy(1, {1000.0, {}, 1});
+  reg.set_policy(2, {0.001, {}, 3});
+  EXPECT_EQ(reg.share(2), 3u);  // carved share ~0, floored
+}
+
+TEST(TenantRegistry, UnknownTenantReportsProspectiveShare) {
+  TenantRegistry reg(100);
+  reg.set_policy(1, {1.0, {}, 1});
+  // Tenant 9 would join a 2-tenant pool at equal weight.
+  EXPECT_EQ(reg.share(9), 50u);
+}
+
+TEST(TenantRegistry, InvalidPolicyThrows) {
+  TenantRegistry reg(10);
+  EXPECT_THROW(reg.set_policy(1, {0.0, {}, 1}), std::invalid_argument);
+  EXPECT_THROW(reg.set_policy(1, {-1.0, {}, 1}), std::invalid_argument);
+  EXPECT_THROW(TenantRegistry(0), std::invalid_argument);
+}
+
+TEST(TenantRegistry, AdmitRejectsAtShare) {
+  TenantRegistry reg(4);
+  reg.set_policy(1, {1.0, {}, 1});
+  reg.set_policy(2, {1.0, {}, 1});  // each share = 2
+  const auto now = Clock::now();
+  Clock::time_point deadline = Clock::time_point::max();
+
+  EXPECT_FALSE(reg.admit(1, now, &deadline).has_value());
+  reg.observe(accepted(1));
+  EXPECT_FALSE(reg.admit(1, now, &deadline).has_value());
+  reg.observe(accepted(1));
+  // Occupancy 2 == share 2: the next one bounces.
+  const auto verdict = reg.admit(1, now, &deadline);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(*verdict, RequestStatus::Overloaded);
+  // Tenant 2 is unaffected by tenant 1's occupancy.
+  EXPECT_FALSE(reg.admit(2, now, &deadline).has_value());
+
+  // Completion releases occupancy; admission opens again.
+  reg.observe(completed(1, RequestStatus::Ok, /*admitted=*/true));
+  EXPECT_FALSE(reg.admit(1, now, &deadline).has_value());
+}
+
+TEST(TenantRegistry, RejectionsDoNotReleaseOccupancy) {
+  TenantRegistry reg(2);
+  reg.set_policy(1, {1.0, {}, 1});
+  reg.observe(accepted(1));
+  reg.observe(completed(1, RequestStatus::Overloaded, /*admitted=*/false));
+  EXPECT_EQ(reg.counters(1).in_queue, 1u);
+}
+
+TEST(TenantRegistry, CompletionBeforeAcceptedIsOrderTolerant) {
+  // A shard worker can pop, execute, and report a request before the
+  // submitting thread's Accepted event is observed. The gauge dips to
+  // -1 and the late Accepted restores it to 0; clamping the decrement
+  // at 0 would instead strand the gauge at +1 forever.
+  TenantRegistry reg(4);
+  reg.observe(submitted(1));
+  reg.observe(completed(1, RequestStatus::Ok, /*admitted=*/true));
+  EXPECT_EQ(reg.counters(1).in_queue, -1);
+  reg.observe(accepted(1));
+  const TenantCounters c = reg.counters(1);
+  EXPECT_EQ(c.in_queue, 0);
+  EXPECT_TRUE(c.admission_balanced());
+  EXPECT_TRUE(c.drained_balanced());
+}
+
+TEST(TenantRegistry, DeadlineBudgetClampsOnlyLooserDeadlines) {
+  TenantRegistry reg(10);
+  reg.set_policy(1, {1.0, milliseconds(10), 1});
+  const auto now = Clock::now();
+
+  Clock::time_point none = Clock::time_point::max();
+  EXPECT_FALSE(reg.admit(1, now, &none).has_value());
+  EXPECT_EQ(none, now + milliseconds(10));  // no deadline -> budget
+
+  Clock::time_point loose = now + milliseconds(100);
+  ASSERT_FALSE(reg.admit(1, now, &loose).has_value());
+  EXPECT_EQ(loose, now + milliseconds(10));  // looser -> clamped
+
+  Clock::time_point tight = now + milliseconds(1);
+  ASSERT_FALSE(reg.admit(1, now, &tight).has_value());
+  EXPECT_EQ(tight, now + milliseconds(1));  // tighter -> kept
+}
+
+TEST(TenantRegistry, NonEnforcingNeverRejectsNorClamps) {
+  TenantRegistry reg(1, /*enforce=*/false);
+  reg.set_policy(1, {1.0, milliseconds(1), 1});
+  const auto now = Clock::now();
+  for (int i = 0; i < 5; ++i) reg.observe(accepted(1));
+  Clock::time_point deadline = Clock::time_point::max();
+  EXPECT_FALSE(reg.admit(1, now, &deadline).has_value());
+  EXPECT_EQ(deadline, Clock::time_point::max());
+}
+
+TEST(TenantCounters, IdentitiesHoldThroughLifecycle) {
+  TenantRegistry reg(100);
+  // Three admitted-and-served, one shed, one overloaded, one admitted
+  // then abandoned at shutdown, one rejected at shutdown.
+  for (int i = 0; i < 3; ++i) {
+    reg.observe(submitted(1));
+    reg.observe(accepted(1));
+  }
+  reg.observe(completed(1, RequestStatus::Ok, true));
+  reg.observe(completed(1, RequestStatus::Expired, true));
+  reg.observe(completed(1, RequestStatus::Failed, true));
+
+  reg.observe(submitted(1));
+  reg.observe(completed(1, RequestStatus::Shed, false));
+  reg.observe(submitted(1));
+  reg.observe(completed(1, RequestStatus::Overloaded, false));
+  reg.observe(submitted(1));
+  reg.observe(accepted(1));
+  reg.observe(completed(1, RequestStatus::Shutdown, true));
+  reg.observe(submitted(1));
+  reg.observe(completed(1, RequestStatus::Shutdown, false));
+
+  const TenantCounters c = reg.counters(1);
+  EXPECT_EQ(c.submitted, 7u);
+  EXPECT_EQ(c.accepted, 4u);
+  EXPECT_EQ(c.rejected_shed, 1u);
+  EXPECT_EQ(c.rejected_overload, 1u);
+  EXPECT_EQ(c.rejected_shutdown, 1u);
+  EXPECT_EQ(c.shutdown_drained, 1u);
+  EXPECT_TRUE(c.admission_balanced());
+  EXPECT_TRUE(c.drained_balanced());
+}
+
+TEST(TenantCounters, AggregateSumsAllTenants) {
+  TenantRegistry reg(100);
+  for (TenantId t = 1; t <= 3; ++t) {
+    reg.observe(submitted(t));
+    reg.observe(accepted(t));
+    reg.observe(completed(t, RequestStatus::Ok, true));
+  }
+  const TenantCounters agg = reg.aggregate();
+  EXPECT_EQ(agg.submitted, 3u);
+  EXPECT_EQ(agg.accepted, 3u);
+  EXPECT_EQ(agg.completed_ok, 3u);
+  EXPECT_TRUE(agg.admission_balanced());
+  EXPECT_TRUE(agg.drained_balanced());
+  EXPECT_EQ(reg.all().size(), 3u);
+}
+
+}  // namespace
+}  // namespace tvmec::serve

@@ -196,5 +196,60 @@ TEST(TuningLog, AppendToUnwritablePathThrows) {
       std::runtime_error);
 }
 
+TEST(TuningLog, LoadAllReturnsEveryShapeInFileOrder) {
+  TempFile tmp("tuning_log_all.log");
+  const TaskShape a{32, 2048, 80};
+  const TaskShape b{16, 1024, 64};
+  append_log(tmp.path, a, sample_result());
+  append_log(tmp.path, b, sample_result());
+
+  const std::vector<LogRecord> all = load_log_all(tmp.path);
+  ASSERT_EQ(all.size(), 4u);  // 2 trials per shape
+  EXPECT_EQ(all[0].shape.m, 32u);
+  EXPECT_EQ(all[1].shape.k, 80u);
+  EXPECT_EQ(all[2].shape.m, 16u);
+  EXPECT_EQ(all[3].shape.n, 1024u);
+  EXPECT_EQ(all[0].schedule, sample_result().history[0].schedule);
+  EXPECT_DOUBLE_EQ(all[1].throughput, 7.5e9);
+}
+
+TEST(TuningLog, LoadAllMissingFileIsEmptyMalformedThrows) {
+  EXPECT_TRUE(load_log_all("/nonexistent/dir/nope.log").empty());
+  TempFile tmp("tuning_log_all_bad.log");
+  {
+    std::ofstream out(tmp.path);
+    out << "32xAx80 | mt4x16 kb64 nb512 t2 | 5.0e9\n";
+  }
+  EXPECT_THROW(load_log_all(tmp.path), std::runtime_error);
+}
+
+TEST(TuningLog, LoadAllDropsUnavailableVariantsWithCount) {
+  tensor::KernelVariant missing = tensor::KernelVariant::Auto;
+  for (const tensor::KernelVariant v :
+       {tensor::KernelVariant::Neon, tensor::KernelVariant::Avx512,
+        tensor::KernelVariant::Avx2}) {
+    if (!tensor::variant_available(v)) {
+      missing = v;
+      break;
+    }
+  }
+  ASSERT_NE(missing, tensor::KernelVariant::Auto)
+      << "host claims every variant; cannot stage an unavailable record";
+
+  TempFile tmp("tuning_log_all_foreign.log");
+  {
+    std::ofstream out(tmp.path);
+    out << "32x2048x80 | mt4x16 kb64 nb512 t2 pm g0 v"
+        << tensor::to_string(missing) << " | 9.0e9\n"
+        << "16x1024x64 | mt4x16 kb64 nb512 t2 pm g0 vscalar | 3.0e9\n";
+  }
+  LoadLogStats stats;
+  const std::vector<LogRecord> all = load_log_all(tmp.path, &stats);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].shape.m, 16u);
+  EXPECT_EQ(all[0].schedule.variant, tensor::KernelVariant::Scalar);
+  EXPECT_EQ(stats.dropped_unavailable_variant, 1u);
+}
+
 }  // namespace
 }  // namespace tvmec::tune
