@@ -46,6 +46,7 @@ testing::FuzzConfig scenario_config(testing::Scenario s) {
       break;
     case testing::Scenario::Cluster:
     case testing::Scenario::ClusterRepair:
+    case testing::Scenario::ClusterHeal:
       c.losses = {2, 7};
       break;
     case testing::Scenario::RsEncode:
@@ -106,6 +107,9 @@ BENCHMARK_CAPTURE(bm_fuzz_scenario, cluster,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_fuzz_scenario, cluster_repair,
                   testing::Scenario::ClusterRepair)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_fuzz_scenario, cluster_heal,
+                  testing::Scenario::ClusterHeal)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_fuzz_campaign)->Arg(25)->Unit(benchmark::kMillisecond);
 

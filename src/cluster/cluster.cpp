@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 #include <stdexcept>
 
+#include "cluster/membership.h"
 #include "cluster/repair.h"
 
 namespace tvmec::cluster {
+
+const char* to_string(DamageKind k) noexcept {
+  switch (k) {
+    case DamageKind::MissedHeartbeats:
+      return "missed-heartbeats";
+    case DamageKind::ReadCorruption:
+      return "read-corruption";
+    case DamageKind::WriteFailure:
+      return "write-failure";
+    case DamageKind::ScrubFinding:
+      return "scrub-finding";
+    case DamageKind::Revive:
+      return "revive";
+    case DamageKind::Rejoin:
+      return "rejoin";
+    case DamageKind::Requeue:
+      return "requeue";
+  }
+  return "?";
+}
 
 Cluster::Cluster(const ec::CodeParams& params, std::size_t unit_size,
                  const ClusterConfig& config)
@@ -52,6 +74,7 @@ void Cluster::put(const std::string& name,
   ObjectMeta meta;
   meta.size = bytes.size();
   std::vector<std::uint8_t> stripe(n * unit_size_);
+  std::vector<std::size_t> failed_stripes;
   for (std::size_t s = 0; s < num_stripes; ++s) {
     // Place this stripe's n units on consecutive nodes from a rotating
     // start: with domain_of(i) == i % D, consecutive node ids round-robin
@@ -75,13 +98,20 @@ void Cluster::put(const std::string& name,
     for (std::size_t u = 0; u < n; ++u)
       loc.unit_crcs[u] = storage::crc32c(
           {stripe.data() + u * unit_size_, unit_size_});
+    bool stripe_ok = true;
     for (std::size_t u = 0; u < n; ++u)
-      store_unit(name, loc, s, u, stripe.data() + u * unit_size_);
+      stripe_ok &= store_unit(name, loc, s, u, stripe.data() + u * unit_size_);
+    if (!stripe_ok) failed_stripes.push_back(s);
     meta.stripes.push_back(std::move(loc));
     ++stats_.stripes_written;
   }
   objects_[name] = std::move(meta);
   stats_.objects = objects_.size();
+  // Write failures become damage events only once the object metadata is
+  // registered — the healer re-assesses the stripe through objects_.
+  for (const std::size_t s : failed_stripes)
+    report_damage(DamageKind::WriteFailure, name, s);
+  foreground_bytes_ += bytes.size();
 }
 
 std::optional<std::vector<std::uint8_t>> Cluster::get(
@@ -98,6 +128,7 @@ std::optional<std::vector<std::uint8_t>> Cluster::get(
     out.insert(out.end(), stripe.data(), stripe.data() + take);
   }
   out.resize(meta.size);
+  foreground_bytes_ += out.size();
   return out;
 }
 
@@ -127,6 +158,11 @@ void Cluster::mark_node_failed(std::size_t node) {
   Node& n = nodes_[node];
   if (n.failed) return;
   n.failed = true;
+  // Record what died with the machine: the re-replication debt a later
+  // revive owes (revive_node turns these into Revive damage events).
+  n.lost_units.clear();
+  n.lost_units.reserve(n.units.size());
+  for (const auto& [key, unit] : n.units) n.lost_units.push_back(key);
   n.units.clear();
   ++stats_.failed_nodes;
 }
@@ -141,12 +177,51 @@ void Cluster::revive_node(std::size_t node) {
   if (!n.failed) return;
   n.failed = false;
   if (stats_.failed_nodes > 0) --stats_.failed_nodes;
+  // The node rejoins empty: everything it held is re-replication debt.
+  // Report each affected stripe once; the healer re-assesses, so stripes
+  // repair already re-placed elsewhere resolve as clean.
+  stats_.units_lost_on_revive += n.lost_units.size();
+  std::set<std::pair<std::string, std::size_t>> seen;
+  for (const auto& [name, s, u] : n.lost_units)
+    if (seen.emplace(name, s).second)
+      report_damage(DamageKind::Revive, name, s);
+  n.lost_units.clear();
 }
 
 bool Cluster::node_failed(std::size_t node) const {
   return node < nodes_.size() &&
          (nodes_[node].failed ||
           (injector_ != nullptr && injector_->crashed(node)));
+}
+
+bool Cluster::node_usable(std::size_t node) const {
+  if (node >= nodes_.size()) return false;
+  if (nodes_[node].failed) return false;  // locally observed death
+  // With a failure detector attached its verdict replaces the omniscient
+  // injector peek; undetected crashes are discovered the honest way, by
+  // an op failing against the node.
+  if (membership_ != nullptr) return membership_->routable(node);
+  return !(injector_ != nullptr && injector_->crashed(node));
+}
+
+std::vector<std::pair<std::string, std::size_t>> Cluster::stripes_on_node(
+    std::size_t node) const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const auto& [name, meta] : objects_)
+    for (std::size_t s = 0; s < meta.stripes.size(); ++s)
+      for (const std::size_t holder : meta.stripes[s].nodes)
+        if (holder == node) {
+          out.emplace_back(name, s);
+          break;
+        }
+  return out;
+}
+
+void Cluster::report_damage(DamageKind kind, const std::string& name,
+                            std::size_t stripe) {
+  if (damage_sink_ == nullptr) return;
+  ++stats_.damage_events;
+  damage_sink_->report_damage(kind, name, stripe);
 }
 
 const std::vector<std::size_t>& Cluster::placement(const std::string& name,
@@ -197,7 +272,7 @@ std::size_t Cluster::scrub() {
       std::size_t bad = 0;
       for (std::size_t u = 0; u < loc.nodes.size(); ++u) {
         const std::size_t node = loc.nodes[u];
-        if (node_failed(node)) {
+        if (!node_usable(node)) {
           ++bad;
           continue;
         }
@@ -213,7 +288,12 @@ std::size_t Cluster::scrub() {
       }
       if (bad > 0) {
         bad_units += bad;
-        repairer_->repair_stripe(name, s);
+        // With a healer attached the finding joins the risk-prioritized
+        // queue; the legacy inline repair remains the sink-less path.
+        if (damage_sink_ != nullptr)
+          report_damage(DamageKind::ScrubFinding, name, s);
+        else
+          repairer_->repair_stripe(name, s);
       }
     }
   }
@@ -238,7 +318,7 @@ bool Cluster::store_unit(const std::string& name, const StripeLocation& loc,
                          std::size_t s, std::size_t u,
                          const std::uint8_t* src) {
   const std::size_t node = loc.nodes[u];
-  if (node_failed(node)) return false;
+  if (!node_usable(node)) return false;
 
   // Ship the unit client -> node; a dropped message is retried under the
   // capped-backoff policy.
@@ -252,6 +332,7 @@ bool Cluster::store_unit(const std::string& name, const StripeLocation& loc,
                            : storage::Attempt::Retry;
       });
   stats_.write_virtual_us += latency;
+  net_.advance(latency);
   if (!shipped) return false;
 
   StoredUnit unit;
@@ -275,7 +356,7 @@ Cluster::UnitRead Cluster::read_unit_rpc(const std::string& name,
                                          std::uint8_t* dest,
                                          std::uint64_t* latency_us) {
   const std::size_t node = loc.nodes[u];
-  if (node_failed(node)) return UnitRead::Missing;
+  if (!node_usable(node)) return UnitRead::Missing;
 
   UnitRead result = UnitRead::Missing;
   std::uint64_t latency = 0;
@@ -325,7 +406,7 @@ Cluster::UnitRead Cluster::read_unit_local(const std::string& name,
                                            std::size_t s, std::size_t u,
                                            std::uint8_t* dest) {
   const std::size_t node = loc.nodes[u];
-  if (node_failed(node)) return UnitRead::Missing;
+  if (!node_usable(node)) return UnitRead::Missing;
   UnitRead result = UnitRead::Missing;
   storage::with_retries(
       retry_, retry_stats_, storage::FaultInjector::key(name, s, u + 1000),
@@ -398,7 +479,7 @@ std::vector<std::uint8_t> Cluster::read_stripe(const std::string& name,
                                                      ewma_before.value);
       if (latency > budget) {
         for (std::size_t p = k; p < n; ++p) {
-          if (have[p] || node_failed(loc.nodes[p])) continue;
+          if (have[p] || !node_usable(loc.nodes[p])) continue;
           ++stats_.hedged_reads;
           std::uint64_t hedge_latency = 0;
           const UnitRead hr =
@@ -436,6 +517,10 @@ std::vector<std::uint8_t> Cluster::read_stripe(const std::string& name,
         erased.push_back(u);
       }
     }
+    // The degraded read *discovered* lost redundancy: report it before
+    // deciding recoverability, so even a stripe that turns out to be
+    // past r reaches the healer's ledger.
+    report_damage(DamageKind::ReadCorruption, name, s);
     if (erased.size() > params_.r)
       throw std::runtime_error(
           "Cluster::get: stripe unrecoverable (more than r units lost)");
@@ -450,6 +535,7 @@ std::vector<std::uint8_t> Cluster::read_stripe(const std::string& name,
   }
 
   stats_.read_virtual_us += stripe_latency;
+  net_.advance(stripe_latency);  // stripes of a get() serialize on the client
   return stripe;
 }
 

@@ -41,6 +41,34 @@ namespace tvmec::cluster {
 class RepairCoordinator;
 struct RepairConfig;
 struct RepairStats;
+class Membership;
+
+/// Where a damage event came from — every path that discovers lost
+/// redundancy names itself, so the healer's queue statistics decompose
+/// by discovery channel.
+enum class DamageKind {
+  MissedHeartbeats,  ///< membership marked the stripe's node Dead
+  ReadCorruption,    ///< CRC-corrupt or missing unit hit by a client get()
+  WriteFailure,      ///< store_unit could not persist a unit during put()
+  ScrubFinding,      ///< the integrity pass found a bad unit
+  Revive,            ///< a revived node lost units; re-replicate them
+  Rejoin,            ///< membership saw a Dead node ack again
+  Requeue,           ///< a repair attempt aborted; re-assessed and retried
+};
+
+const char* to_string(DamageKind k) noexcept;
+
+/// Consumer of damage events (the Healer). Non-owning observer: the
+/// cluster reports (object, stripe) pairs that lost redundancy the
+/// moment the loss is *discovered* — a CRC failure inside a degraded
+/// read, a failed unit store, a scrub finding, a revive — instead of
+/// leaving them for the next full-scan repair_all() walk.
+class DamageSink {
+ public:
+  virtual ~DamageSink() = default;
+  virtual void report_damage(DamageKind kind, const std::string& name,
+                             std::size_t stripe) = 0;
+};
 
 /// Hedged-read policy. The EWMA is per source node over delivered read
 /// latencies; hedging stays off for a node until it has min_samples.
@@ -69,6 +97,9 @@ struct ClusterStats {
   std::size_t corruptions_detected = 0;
   std::size_t units_repaired = 0;   ///< units rebuilt by repair()/scrub()
   std::size_t failed_nodes = 0;
+  std::size_t units_lost_on_revive = 0;  ///< units a revived node came back
+                                         ///< without (re-replication debt)
+  std::size_t damage_events = 0;    ///< events emitted to the DamageSink
   std::uint64_t read_virtual_us = 0;  ///< summed modeled stripe-read latency
   std::uint64_t write_virtual_us = 0;
 };
@@ -137,9 +168,49 @@ class Cluster {
   /// Marks a node failed and drops its units (a dead machine).
   void fail_node(std::size_t node);
   /// Replacement hardware: the node rejoins empty; injector crash state
-  /// for it is cleared.
+  /// for it is cleared. The units it held when it failed are its
+  /// re-replication debt: each affected stripe is reported to the
+  /// DamageSink (kind Revive) and counted in units_lost_on_revive, so a
+  /// rejoin triggers rebuilding what was lost instead of silently
+  /// rejoining empty.
   void revive_node(std::size_t node);
+  /// Ground truth: the machine is physically down (explicitly failed, or
+  /// the injector crashed it). The simulation uses this to decide how
+  /// I/O *behaves*; routing decisions should use node_usable() instead,
+  /// which consults the failure detector when one is attached.
   bool node_failed(std::size_t node) const;
+  /// The routing view: should reads/repair treat this node as holding
+  /// usable units right now? Without a Membership attached this is the
+  /// omniscient !node_failed(). With one attached, the injector peek is
+  /// replaced by the detector's verdict — a node is unusable when the
+  /// cluster itself observed it fail, or when membership says Dead.
+  bool node_usable(std::size_t node) const;
+
+  /// Failure detector consumed by node_usable(). Non-owning; null
+  /// detaches (back to the omniscient view).
+  void set_membership(Membership* membership) noexcept {
+    membership_ = membership;
+  }
+  Membership* membership() const noexcept { return membership_; }
+
+  /// Damage-event consumer (the Healer). Non-owning; null detaches.
+  /// With a sink attached, scrub() routes findings through the sink
+  /// instead of repairing inline.
+  void set_damage_sink(DamageSink* sink) noexcept { damage_sink_ = sink; }
+  DamageSink* damage_sink() const noexcept { return damage_sink_; }
+
+  /// Every (object, stripe) whose placement references `node` — the
+  /// stripes a Dead verdict for that node puts at risk.
+  std::vector<std::pair<std::string, std::size_t>> stripes_on_node(
+      std::size_t node) const;
+
+  /// Foreground (client get/put) payload bytes moved since the last
+  /// call; the healer's load-aware deferral reads and resets this.
+  std::uint64_t take_foreground_bytes() noexcept {
+    const std::uint64_t b = foreground_bytes_;
+    foreground_bytes_ = 0;
+    return b;
+  }
 
   /// Nodes holding each unit of object `name`'s stripe `s` (n entries).
   /// Throws std::invalid_argument on unknown object/stripe.
@@ -180,6 +251,9 @@ class Cluster {
     bool failed = false;
     std::map<std::tuple<std::string, std::size_t, std::size_t>, StoredUnit>
         units;
+    /// Unit keys held when the node was marked failed — the
+    /// re-replication debt a later revive owes (see revive_node).
+    std::vector<std::tuple<std::string, std::size_t, std::size_t>> lost_units;
   };
   struct StripeLocation {
     std::vector<std::size_t> nodes;      ///< node per unit, n entries
@@ -217,6 +291,9 @@ class Cluster {
 
   void update_ewma(std::size_t node, std::uint64_t latency_us);
   void mark_node_failed(std::size_t node);
+  /// Emits a damage event when a sink is attached (no-op otherwise).
+  void report_damage(DamageKind kind, const std::string& name,
+                     std::size_t stripe);
 
   ec::CodeParams params_;
   std::size_t unit_size_;
@@ -237,6 +314,9 @@ class Cluster {
   };
   std::vector<Ewma> ewma_;
   std::unique_ptr<RepairCoordinator> repairer_;
+  Membership* membership_ = nullptr;
+  DamageSink* damage_sink_ = nullptr;
+  std::uint64_t foreground_bytes_ = 0;
 };
 
 }  // namespace tvmec::cluster

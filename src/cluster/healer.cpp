@@ -1,0 +1,175 @@
+#include "cluster/healer.h"
+
+#include <algorithm>
+
+#include "cluster/repair.h"
+
+namespace tvmec::cluster {
+
+Healer::Healer(Cluster& cluster, Membership* membership,
+               const HealerConfig& config)
+    : cluster_(cluster), membership_(membership), config_(config) {
+  cluster_.set_damage_sink(this);
+  if (membership_ != nullptr) {
+    membership_->set_listener(this);
+    cluster_.set_membership(membership_);
+  }
+  tokens_ = static_cast<std::int64_t>(config_.burst_bytes);
+  last_refill_us_ = cluster_.net().now_us();
+}
+
+Healer::~Healer() {
+  if (cluster_.damage_sink() == this) cluster_.set_damage_sink(nullptr);
+  if (membership_ != nullptr) {
+    membership_->set_listener(nullptr);
+    if (cluster_.membership() == membership_)
+      cluster_.set_membership(nullptr);
+  }
+}
+
+int Healer::assess_remaining(const std::string& name,
+                             std::size_t stripe) const {
+  if (!config_.priority_enabled) return 0;  // FIFO: order by seq only
+  const StripeHealth h = cluster_.repairer().stripe_health(name, stripe);
+  const int r = static_cast<int>(cluster_.params().r);
+  if (!h.exists) return r;  // resolves as clean on pop anyway
+  return r - static_cast<int>(h.erased);
+}
+
+void Healer::report_damage(DamageKind kind, const std::string& name,
+                           std::size_t stripe) {
+  ++stats_.events_reported;
+  ++events_by_kind_[static_cast<std::size_t>(kind)];
+  const Key key{name, stripe};
+  if (parked_.contains(key)) {
+    // Re-assess: a rejoin or fresh write may have made the stripe
+    // recoverable again; otherwise the event folds into the parked one.
+    const StripeHealth h = cluster_.repairer().stripe_health(name, stripe);
+    if (h.exists && h.survivors >= cluster_.params().k) {
+      parked_.erase(key);
+    } else {
+      ++stats_.events_coalesced;
+      return;
+    }
+  }
+  const int remaining = assess_remaining(name, stripe);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.events_coalesced;
+    // Damage worsened while queued: move the entry up. (Never down —
+    // the pop re-assesses, so a stale high urgency only costs order.)
+    if (remaining < it->second.remaining) {
+      queue_.erase(it->second);
+      it->second.remaining = remaining;
+      queue_.insert(it->second);
+    }
+    return;
+  }
+  Entry e;
+  e.remaining = remaining;
+  e.seq = seq_++;
+  e.name = name;
+  e.stripe = stripe;
+  queue_.insert(e);
+  index_.emplace(key, e);
+  ++stats_.events_enqueued;
+}
+
+void Healer::on_transition(std::size_t node, NodeState from, NodeState to) {
+  if (to == NodeState::Dead) {
+    ++stats_.nodes_declared_dead;
+    // Every stripe with a unit on the dead node just lost redundancy.
+    for (const auto& [name, s] : cluster_.stripes_on_node(node))
+      report_damage(DamageKind::MissedHeartbeats, name, s);
+  } else if (from == NodeState::Dead) {
+    ++stats_.rejoins_observed;
+    // A returning node may hold exactly the units that made parked
+    // stripes unrecoverable — give every parked entry another pass.
+    const std::vector<Key> parked(parked_.begin(), parked_.end());
+    parked_.clear();
+    stats_.parked_reactivated += parked.size();
+    for (const auto& [name, s] : parked)
+      report_damage(DamageKind::Rejoin, name, s);
+  }
+}
+
+void Healer::refill_tokens() {
+  if (config_.repair_bytes_per_sec == 0) return;
+  const std::uint64_t now = cluster_.net().now_us();
+  const std::uint64_t elapsed = now - last_refill_us_;
+  last_refill_us_ = now;
+  tokens_ += static_cast<std::int64_t>(
+      config_.repair_bytes_per_sec * elapsed / 1'000'000);
+  tokens_ = std::min(tokens_, static_cast<std::int64_t>(config_.burst_bytes));
+}
+
+void Healer::tick() {
+  ++stats_.ticks;
+  if (membership_ != nullptr)
+    membership_->tick();  // advances the clock one heartbeat interval
+  else
+    cluster_.net().advance(config_.tick_us);
+  refill_tokens();
+  const std::uint64_t foreground = cluster_.take_foreground_bytes();
+  if (config_.foreground_defer_bytes > 0 &&
+      foreground > config_.foreground_defer_bytes) {
+    ++stats_.deferred_ticks;  // yield the wire to the client this round
+    return;
+  }
+  for (std::size_t i = 0; i < config_.max_repairs_per_tick; ++i) {
+    if (queue_.empty()) break;
+    if (config_.repair_bytes_per_sec > 0 && tokens_ < 0) {
+      ++stats_.throttled_ticks;  // still paying off an overdraw
+      break;
+    }
+    const Entry e = *queue_.begin();
+    queue_.erase(queue_.begin());
+    index_.erase({e.name, e.stripe});
+    process(e);
+  }
+}
+
+bool Healer::run_until_idle(std::size_t max_ticks) {
+  for (std::size_t i = 0; i < max_ticks && !queue_.empty(); ++i) tick();
+  return queue_.empty();
+}
+
+void Healer::process(const Entry& e) {
+  const Key key{e.name, e.stripe};
+  // Disposition is decided on the stripe's *current* state, not the
+  // state at enqueue time.
+  const StripeHealth h = cluster_.repairer().stripe_health(e.name, e.stripe);
+  if (!h.exists || h.erased == 0) {
+    ++stats_.clean;
+    requeue_count_.erase(key);
+    return;
+  }
+  if (h.survivors < cluster_.params().k) {
+    parked_.insert(key);  // unrecoverable until a rejoin changes the math
+    ++stats_.parked;
+    return;
+  }
+  const RepairReport rep = cluster_.repairer().repair_stripe(e.name, e.stripe);
+  if (config_.repair_bytes_per_sec > 0)
+    tokens_ -= static_cast<std::int64_t>(rep.bytes_on_wire);
+  stats_.repair_bytes += rep.bytes_on_wire;
+  if (rep.completed) {
+    ++stats_.repaired;
+    stats_.units_repaired += rep.units_repaired;
+    requeue_count_.erase(key);
+    return;
+  }
+  // The attempt aborted (helper/root crash mid-DAG; partials were
+  // discarded). Re-enqueue at the re-assessed priority, bounded.
+  std::size_t& rc = requeue_count_[key];
+  if (rc >= config_.max_requeues) {
+    ++stats_.abandoned;
+    requeue_count_.erase(key);
+    return;
+  }
+  ++rc;
+  ++stats_.requeues;
+  report_damage(DamageKind::Requeue, e.name, e.stripe);
+}
+
+}  // namespace tvmec::cluster

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/membership.h"
+
+/// The background self-healing loop: consumes damage events (from
+/// degraded reads, failed writes, scrub, membership verdicts, revives),
+/// keeps a risk-prioritized repair queue, and drains it under a
+/// token-bucket byte budget — the control plane that replaces the
+/// full-scan repair_all() walk as the steady-state path.
+///
+/// Priority is erasures-remaining-before-data-loss (r minus current
+/// erasures, the routing view): a stripe one loss from unrecoverable is
+/// rebuilt before one with a single loss, which is what minimizes the
+/// time-at-risk integral E24 measures. Ordering uses the priority at
+/// enqueue/coalesce time; the *disposition* re-assesses on pop, so a
+/// stripe healed en route resolves as clean and one that worsened still
+/// repairs correctly.
+///
+/// Rate limiting: a token bucket refilled from the virtual clock
+/// (repair_bytes_per_sec x elapsed virtual time, clamped to
+/// burst_bytes). A repair may start while the bucket is non-negative
+/// and draws its actual RepairReport.bytes_on_wire afterwards (bytes on
+/// the wire are only known after the DAG runs), so the bucket may dip
+/// negative and the debt throttles subsequent ticks — budget compliance
+/// within one stripe's traffic, which E24 bounds at 10%.
+///
+/// Coordinator-crash handling: a repair attempt that aborts (helper or
+/// root died mid-DAG; the all-or-nothing discipline discarded partials)
+/// re-enqueues the stripe at its re-assessed priority via a Requeue
+/// event, up to max_requeues before it is abandoned.
+///
+/// Counter identities (asserted by tests, bench_heal, and the fuzzer):
+///   events_reported == events_enqueued + events_coalesced
+///   events_enqueued == repaired + clean + parked + requeues
+///                      + abandoned + pending()
+namespace tvmec::cluster {
+
+struct HealerConfig {
+  std::uint64_t repair_bytes_per_sec = 0;  ///< 0 = unlimited
+  std::uint64_t burst_bytes = 1 << 20;     ///< bucket clamp
+  /// Virtual time a tick represents when no membership is attached
+  /// (with one, the heartbeat interval advances the clock instead).
+  std::uint64_t tick_us = 10'000;
+  /// Pause draining for a tick when foreground traffic since the last
+  /// tick exceeded this many payload bytes (0 = never defer).
+  std::uint64_t foreground_defer_bytes = 0;
+  std::size_t max_repairs_per_tick = 4;
+  std::size_t max_requeues = 8;  ///< failed-attempt retries before abandon
+  /// False degrades ordering to FIFO (arrival sequence) — the baseline
+  /// arm of the E24 time-at-risk comparison.
+  bool priority_enabled = true;
+};
+
+struct HealerStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t deferred_ticks = 0;   ///< skipped under foreground load
+  std::uint64_t throttled_ticks = 0;  ///< drain stopped by the bucket
+  std::uint64_t events_reported = 0;
+  std::uint64_t events_enqueued = 0;
+  std::uint64_t events_coalesced = 0;  ///< duplicate (object, stripe)
+  std::uint64_t repaired = 0;          ///< popped and fully repaired
+  std::uint64_t clean = 0;     ///< popped, nothing to do (healed en route)
+  std::uint64_t parked = 0;    ///< popped while unrecoverable (cumulative)
+  std::uint64_t requeues = 0;  ///< failed attempts re-enqueued
+  std::uint64_t abandoned = 0;   ///< out of requeue budget
+  std::uint64_t units_repaired = 0;
+  std::uint64_t repair_bytes = 0;  ///< bytes_on_wire drawn from the bucket
+  std::uint64_t nodes_declared_dead = 0;
+  std::uint64_t rejoins_observed = 0;
+  std::uint64_t parked_reactivated = 0;  ///< re-enqueued by a rejoin
+};
+
+class Healer : public DamageSink, public MembershipListener {
+ public:
+  /// Self-attaching: wires itself as the cluster's damage sink and, when
+  /// a membership is given, as its listener and the cluster's failure
+  /// detector. The destructor detaches whatever still points here.
+  /// Non-owning throughout; cluster and membership must outlive it.
+  Healer(Cluster& cluster, Membership* membership,
+         const HealerConfig& config = {});
+  ~Healer() override;
+
+  Healer(const Healer&) = delete;
+  Healer& operator=(const Healer&) = delete;
+
+  const HealerConfig& config() const noexcept { return config_; }
+  Membership* membership() const noexcept { return membership_; }
+
+  /// One control-plane round: membership heartbeat tick (advances the
+  /// virtual clock), bucket refill, foreground-load check, then drains
+  /// up to max_repairs_per_tick queue entries within the byte budget.
+  void tick();
+
+  /// Ticks until the queue is empty or `max_ticks` elapse. Returns true
+  /// when the queue drained (parked entries do not block convergence).
+  bool run_until_idle(std::size_t max_ticks);
+
+  // DamageSink: every discovery channel lands here.
+  void report_damage(DamageKind kind, const std::string& name,
+                     std::size_t stripe) override;
+
+  // MembershipListener: Dead verdicts enqueue the node's stripes; a
+  // rejoin reactivates everything parked as unrecoverable.
+  void on_transition(std::size_t node, NodeState from, NodeState to) override;
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t parked_now() const noexcept { return parked_.size(); }
+  /// Events reported per discovery channel (tests pin that a degraded
+  /// get() yields ReadCorruption, a failed put() WriteFailure, ...).
+  std::uint64_t events_of(DamageKind kind) const noexcept {
+    return events_by_kind_[static_cast<std::size_t>(kind)];
+  }
+  /// Current bucket level; negative while paying off an overdraw.
+  std::int64_t tokens() const noexcept { return tokens_; }
+
+  const HealerStats& stats() const noexcept { return stats_; }
+
+  bool identity_holds() const noexcept {
+    return stats_.events_reported ==
+               stats_.events_enqueued + stats_.events_coalesced &&
+           stats_.events_enqueued ==
+               stats_.repaired + stats_.clean + stats_.parked +
+                   stats_.requeues + stats_.abandoned + queue_.size();
+  }
+
+ private:
+  using Key = std::pair<std::string, std::size_t>;
+
+  struct Entry {
+    int remaining = 0;  ///< r - erasures at (re)assessment; lower first
+    std::uint64_t seq = 0;
+    std::string name;
+    std::size_t stripe = 0;
+    bool operator<(const Entry& o) const {
+      if (remaining != o.remaining) return remaining < o.remaining;
+      return seq < o.seq;
+    }
+  };
+
+  /// r - current erasures via the routing view (0 when priority is off,
+  /// so ordering degrades to arrival sequence).
+  int assess_remaining(const std::string& name, std::size_t stripe) const;
+  void refill_tokens();
+  void process(const Entry& e);
+
+  Cluster& cluster_;
+  Membership* membership_;
+  HealerConfig config_;
+  HealerStats stats_;
+  std::set<Entry> queue_;
+  std::map<Key, Entry> index_;  ///< queued entries by (object, stripe)
+  std::set<Key> parked_;        ///< unrecoverable until a rejoin
+  std::map<Key, std::size_t> requeue_count_;
+  std::uint64_t seq_ = 0;
+  std::int64_t tokens_ = 0;
+  std::uint64_t last_refill_us_ = 0;
+  std::uint64_t events_by_kind_[7] = {};
+};
+
+}  // namespace tvmec::cluster

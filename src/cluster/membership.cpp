@@ -1,0 +1,138 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tvmec::cluster {
+
+const char* to_string(NodeState s) noexcept {
+  switch (s) {
+    case NodeState::Alive:
+      return "alive";
+    case NodeState::Suspect:
+      return "suspect";
+    case NodeState::Dead:
+      return "dead";
+  }
+  return "?";
+}
+
+Membership::Membership(Cluster& cluster, const MembershipConfig& config)
+    : cluster_(cluster),
+      config_(config),
+      trackers_(cluster.num_nodes()) {
+  if (config_.suspect_phi <= 0.0 || config_.dead_phi < config_.suspect_phi)
+    throw std::invalid_argument(
+        "Membership: need 0 < suspect_phi <= dead_phi");
+  ack_timeout_us_ = config_.ack_timeout_us;
+  if (ack_timeout_us_ == 0) {
+    // Auto budget: jitter alone must never make an ack late, or a
+    // perfectly healthy cluster would accrue suspicion. Worst one-way =
+    // base + cross-domain surcharge (the client hop always crosses) +
+    // serialization + max jitter; double it for the round trip.
+    const NetConfig& net = cluster_.net().config();
+    const std::uint64_t wire =
+        net.bytes_per_us > 0 ? config_.heartbeat_bytes / net.bytes_per_us : 0;
+    ack_timeout_us_ =
+        2 * (net.base_latency_us + net.cross_domain_extra_us + wire +
+             net.jitter_us) +
+        10;
+  }
+}
+
+NodeState Membership::state(std::size_t node) const {
+  return node < trackers_.size() ? trackers_[node].state : NodeState::Dead;
+}
+
+double Membership::phi(std::size_t node) const {
+  if (node >= trackers_.size()) return 0.0;
+  const Tracker& t = trackers_[node];
+  const double silence = static_cast<double>(stats_.ticks - t.last_ack_tick);
+  const double gap = std::max(1.0, t.mean_gap + t.mean_dev);
+  return silence / gap;
+}
+
+std::size_t Membership::count(NodeState s) const {
+  std::size_t c = 0;
+  for (const Tracker& t : trackers_)
+    if (t.state == s) ++c;
+  return c;
+}
+
+bool Membership::transitions_balance() const {
+  // Entries into a state == exits from it + nodes still there.
+  return stats_.alive_to_suspect == stats_.suspect_to_alive +
+                                        stats_.suspect_to_dead +
+                                        count(NodeState::Suspect) &&
+         stats_.suspect_to_dead ==
+             stats_.dead_to_alive + count(NodeState::Dead);
+}
+
+void Membership::transition(std::size_t node, NodeState to) {
+  Tracker& t = trackers_[node];
+  const NodeState from = t.state;
+  if (from == to) return;
+  if (from == NodeState::Alive && to == NodeState::Suspect)
+    ++stats_.alive_to_suspect;
+  else if (from == NodeState::Suspect && to == NodeState::Alive)
+    ++stats_.suspect_to_alive;
+  else if (from == NodeState::Suspect && to == NodeState::Dead)
+    ++stats_.suspect_to_dead;
+  else if (from == NodeState::Dead && to == NodeState::Alive)
+    ++stats_.dead_to_alive;
+  t.state = to;
+  if (listener_ != nullptr) listener_->on_transition(node, from, to);
+}
+
+void Membership::tick() {
+  ++stats_.ticks;
+  const std::uint64_t now_tick = stats_.ticks;
+  Network& net = cluster_.net();
+  net.advance(config_.heartbeat_interval_us);
+
+  for (std::size_t node = 0; node < trackers_.size(); ++node) {
+    // Probe and ack are real sends: they roll the same seeded link-fault
+    // stream as data traffic, so a partition window starves heartbeats
+    // exactly as it starves unit transfers.
+    ++stats_.probes_sent;
+    const SendResult probe =
+        net.send(net.client(), node, config_.heartbeat_bytes);
+    bool on_time = false;
+    bool late = false;
+    if (probe.delivered && !cluster_.node_failed(node)) {
+      const SendResult ack =
+          net.send(node, net.client(), config_.heartbeat_bytes);
+      if (ack.delivered) {
+        const std::uint64_t rtt = probe.latency_us + ack.latency_us;
+        (rtt <= ack_timeout_us_ ? on_time : late) = true;
+      }
+    }
+
+    Tracker& t = trackers_[node];
+    if (on_time) {
+      ++stats_.acks_received;
+      if (t.ever_acked) {
+        const double gap = static_cast<double>(now_tick - t.last_ack_tick);
+        t.mean_dev = config_.gap_alpha * std::abs(gap - t.mean_gap) +
+                     (1.0 - config_.gap_alpha) * t.mean_dev;
+        t.mean_gap = config_.gap_alpha * gap +
+                     (1.0 - config_.gap_alpha) * t.mean_gap;
+      } else {
+        t.ever_acked = true;  // first ack seeds the estimator at gap 1
+      }
+      t.last_ack_tick = now_tick;
+      if (t.state != NodeState::Alive) transition(node, NodeState::Alive);
+      continue;
+    }
+
+    (late ? stats_.acks_late : stats_.acks_missed) += 1;
+    const double p = phi(node);
+    if (t.state == NodeState::Alive && p >= config_.suspect_phi)
+      transition(node, NodeState::Suspect);
+    if (trackers_[node].state == NodeState::Suspect && p >= config_.dead_phi)
+      transition(node, NodeState::Dead);
+  }
+}
+
+}  // namespace tvmec::cluster

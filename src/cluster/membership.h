@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+/// Deterministic heartbeat-based failure detection for the simulated
+/// cluster — the piece that replaces the omniscient `node_failed()` peek
+/// in routing decisions with an *earned* verdict.
+///
+/// Heartbeats are messages: every probe (client -> node) and ack
+/// (node -> client) is a real Network::send(), so heartbeat traffic
+/// rolls the same seeded link-fault stream as data traffic. A partition
+/// window that would eat a unit transfer eats the heartbeat too, and the
+/// whole chaos campaign — data faults, link faults, and the detector's
+/// resulting verdicts — replays byte-for-byte from one seed.
+///
+/// Suspicion is phi-accrual-style but measured in *ticks* (heartbeat
+/// intervals), not absolute virtual time: phi is the current silence
+/// (ticks since the last good ack) over the node's smoothed inter-ack
+/// gap. Foreground ops advancing the virtual clock therefore cannot
+/// create false positives — only missed heartbeat rounds can. A node
+/// climbs Alive -> Suspect -> Dead as phi crosses suspect_phi then
+/// dead_phi, and any good ack snaps it back to Alive (a Dead -> Alive
+/// snap is a *rejoin*, which listeners use to re-examine parked work).
+///
+/// Counter identities (asserted by tests/bench):
+///   probes_sent == acks_received + acks_late + acks_missed
+///   alive_to_suspect == suspect_to_alive + suspect_to_dead + |Suspect|
+///   suspect_to_dead  == dead_to_alive + |Dead|
+namespace tvmec::cluster {
+
+enum class NodeState { Alive, Suspect, Dead };
+
+const char* to_string(NodeState s) noexcept;
+
+struct MembershipConfig {
+  std::uint64_t heartbeat_interval_us = 10'000;  ///< virtual time per tick
+  std::size_t heartbeat_bytes = 64;              ///< probe/ack payload size
+  /// Round-trip budget for an ack to count on time. 0 = auto: derived
+  /// from the network config so that jitter alone can never blow it
+  /// (2 * worst one-way latency including max jitter, plus slack).
+  std::uint64_t ack_timeout_us = 0;
+  double suspect_phi = 3.0;  ///< silence/gap ratio that marks Suspect
+  double dead_phi = 8.0;     ///< silence/gap ratio that marks Dead
+  double gap_alpha = 0.2;    ///< EWMA smoothing for inter-ack gaps
+};
+
+struct MembershipStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t acks_received = 0;  ///< on-time acks
+  std::uint64_t acks_late = 0;      ///< delivered past ack_timeout_us
+  std::uint64_t acks_missed = 0;    ///< probe/ack dropped or node down
+  std::uint64_t alive_to_suspect = 0;
+  std::uint64_t suspect_to_alive = 0;
+  std::uint64_t suspect_to_dead = 0;
+  std::uint64_t dead_to_alive = 0;  ///< rejoins
+};
+
+/// Observer of state transitions (the Healer). Non-owning.
+class MembershipListener {
+ public:
+  virtual ~MembershipListener() = default;
+  virtual void on_transition(std::size_t node, NodeState from,
+                             NodeState to) = 0;
+};
+
+class Membership {
+ public:
+  /// Does NOT self-attach: call cluster.set_membership(&m) to make
+  /// routing consume the verdicts (kept separate so tests can observe a
+  /// detector without changing cluster behavior).
+  explicit Membership(Cluster& cluster, const MembershipConfig& config = {});
+
+  const MembershipConfig& config() const noexcept { return config_; }
+  /// The resolved round-trip budget (config value, or the auto
+  /// derivation when it was 0).
+  std::uint64_t ack_timeout_us() const noexcept { return ack_timeout_us_; }
+
+  void set_listener(MembershipListener* listener) noexcept {
+    listener_ = listener;
+  }
+
+  /// One heartbeat round: advances the virtual clock by one interval,
+  /// probes every node, folds acks into the per-node gap estimators, and
+  /// applies state transitions. Listeners fire synchronously inside.
+  void tick();
+
+  NodeState state(std::size_t node) const;
+  /// The routing verdict consumed by Cluster::node_usable(): Suspect
+  /// nodes are still routed to (suspicion is a hint, death is a verdict).
+  bool routable(std::size_t node) const { return state(node) != NodeState::Dead; }
+  /// Current phi (silence over smoothed gap) for a node; 0 right after a
+  /// good ack.
+  double phi(std::size_t node) const;
+
+  std::size_t count(NodeState s) const;
+
+  const MembershipStats& stats() const noexcept { return stats_; }
+
+  /// The transition ledger balances against current occupancy — every
+  /// entry into Suspect/Dead is matched by an exit or a node still there.
+  bool transitions_balance() const;
+  /// probes_sent == acks_received + acks_late + acks_missed.
+  bool probe_identity_holds() const noexcept {
+    return stats_.probes_sent ==
+           stats_.acks_received + stats_.acks_late + stats_.acks_missed;
+  }
+
+ private:
+  struct Tracker {
+    NodeState state = NodeState::Alive;
+    std::uint64_t last_ack_tick = 0;  ///< tick of the last on-time ack
+    double mean_gap = 1.0;            ///< EWMA inter-ack gap, in ticks
+    double mean_dev = 0.0;            ///< EWMA |gap - mean|
+    bool ever_acked = false;
+  };
+
+  void transition(std::size_t node, NodeState to);
+
+  Cluster& cluster_;
+  MembershipConfig config_;
+  std::uint64_t ack_timeout_us_ = 0;
+  MembershipListener* listener_ = nullptr;
+  std::vector<Tracker> trackers_;
+  MembershipStats stats_;
+};
+
+}  // namespace tvmec::cluster

@@ -73,6 +73,15 @@ class Network {
 
   const NetConfig& config() const noexcept { return config_; }
 
+  /// The cluster's virtual clock, in microseconds. The network owns time
+  /// because everything timed in the simulation is a message: foreground
+  /// reads/writes advance it by their modeled stripe latency, and the
+  /// membership/healer tick advances it by one heartbeat interval. Sends
+  /// never advance it implicitly (per-message latencies model *parallel*
+  /// fan-out; the caller decides what serializes).
+  std::uint64_t now_us() const noexcept { return clock_us_; }
+  void advance(std::uint64_t us) noexcept { clock_us_ += us; }
+
   /// Non-owning; the injector must outlive the network. Null detaches
   /// (a perfect network — still modeled latency, never faults).
   void attach_fault_injector(storage::FaultInjector* injector) noexcept {
@@ -107,6 +116,7 @@ class Network {
   std::size_t num_nodes_;
   std::size_t num_domains_;
   NetConfig config_;
+  std::uint64_t clock_us_ = 0;
   std::mt19937_64 jitter_rng_;  ///< separate stream: latency modeling must
                                 ///< not perturb the injector's fault replay
   storage::FaultInjector* injector_ = nullptr;

@@ -50,7 +50,7 @@ std::vector<std::size_t> RepairCoordinator::pick_replacements(
   for (const std::size_t uid : erased) {
     const std::size_t orig = loc.nodes[uid];
     // A live node with a corrupt copy is rebuilt in place.
-    if (!cluster_.node_failed(orig)) {
+    if (cluster_.node_usable(orig)) {
       picks.push_back(orig);
       continue;
     }
@@ -59,7 +59,7 @@ std::vector<std::size_t> RepairCoordinator::pick_replacements(
     const std::size_t want_domain = cluster_.domain_of(orig);
     std::size_t chosen = kNoNode;
     for (std::size_t node = 0; node < cluster_.nodes_.size(); ++node) {
-      if (taken[node] || cluster_.node_failed(node)) continue;
+      if (taken[node] || !cluster_.node_usable(node)) continue;
       if (cluster_.domain_of(node) == want_domain) {
         chosen = node;
         break;
@@ -83,7 +83,7 @@ std::optional<RepairPlan> RepairCoordinator::build_plan(
   std::vector<std::size_t> pref;
   for (const std::size_t uid : damage.survivors) {
     const std::size_t node = loc.nodes[uid];
-    if (cluster_.node_failed(node) || excluded[node]) continue;
+    if (!cluster_.node_usable(node) || excluded[node]) continue;
     pref.push_back(uid);
   }
   if (pref.size() < cluster_.params_.k) return std::nullopt;
@@ -518,6 +518,20 @@ std::size_t RepairCoordinator::repair_all() {
   return units;
 }
 
+StripeHealth RepairCoordinator::stripe_health(const std::string& name,
+                                              std::size_t s) {
+  StripeHealth h;
+  const auto oit = cluster_.objects_.find(name);
+  if (oit == cluster_.objects_.end() || s >= oit->second.stripes.size())
+    return h;
+  h.exists = true;
+  const StripeDamage damage =
+      assess_stripe(name, s, oit->second.stripes[s]);
+  h.erased = damage.erased.size();
+  h.survivors = damage.survivors.size();
+  return h;
+}
+
 std::optional<RepairPlan> RepairCoordinator::plan_stripe(
     const std::string& name, std::size_t s) {
   const auto oit = cluster_.objects_.find(name);
@@ -540,7 +554,7 @@ RepairCoordinator::StripeDamage RepairCoordinator::assess_stripe(
   StripeDamage damage;
   for (std::size_t u = 0; u < loc.nodes.size(); ++u) {
     const std::size_t node = loc.nodes[u];
-    bool bad = cluster_.node_failed(node);
+    bool bad = !cluster_.node_usable(node);
     if (!bad) {
       const auto it = cluster_.nodes_[node].units.find({name, s, u});
       bad = it == cluster_.nodes_[node].units.end() ||

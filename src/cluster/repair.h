@@ -83,6 +83,17 @@ struct RepairReport {
   std::uint64_t makespan_us = 0;
 };
 
+/// Cheap stripe risk probe for the healer's priority scoring: unit
+/// counts only, no payload moved. `erased` counts units that are
+/// missing, CRC-stale, or on unusable nodes (the routing view); the
+/// stripe's distance from data loss is r - erased (negative when past
+/// recovery without a rejoin).
+struct StripeHealth {
+  bool exists = false;
+  std::size_t erased = 0;
+  std::size_t survivors = 0;
+};
+
 /// The planned DAG for one attempt (exposed for tests/bench).
 struct RepairPlan {
   struct Helper {
@@ -123,6 +134,11 @@ class RepairCoordinator {
   /// Walks every stripe of every object; repairs what it can. Returns
   /// total units rebuilt.
   std::size_t repair_all();
+
+  /// Assesses one stripe's current damage without repairing it — the
+  /// healer's (re-)prioritization hook. exists == false for unknown
+  /// object/stripe (e.g. the object was removed while queued).
+  StripeHealth stripe_health(const std::string& name, std::size_t s);
 
   /// Plans (without executing) the DAG the next attempt would run —
   /// test/bench introspection. Returns nullopt when no DAG-viable plan

@@ -10,6 +10,8 @@
 #include <stdexcept>
 
 #include "cluster/cluster.h"
+#include "cluster/healer.h"
+#include "cluster/membership.h"
 #include "cluster/repair.h"
 #include "core/backends.h"
 #include "core/lrc_codec.h"
@@ -597,6 +599,238 @@ FuzzOutcome run_cluster(const FuzzConfig& c, bool repair) {
     if (!cl.net().stats().balanced())
       return fail(c, "network byte ledger does not balance after clean read");
   }
+  return FuzzOutcome{true, {}, {}, 1};
+}
+
+/// The self-healing control plane under scripted chaos: a seeded
+/// campaign of node crashes, revives, foreground reads/writes, and disk
+/// corruption runs against a *live* healer (membership heartbeats,
+/// risk-prioritized repair queue, token bucket), with probabilistic
+/// link faults layered on top. The campaign keeps persistent damage
+/// within the code's budget — at most min(2, r) dark nodes at a time,
+/// corruption only while a parity of slack remains — so convergence is
+/// always reachable: once the healer drains under a quiet fault policy,
+/// every stripe must be fully redundant on the routing view, every
+/// object must read back byte-identical to its payload, and the
+/// membership, healer, repair, and network-ledger identities must
+/// balance unconditionally.
+FuzzOutcome run_cluster_heal(const FuzzConfig& c) {
+  const ec::CodeParams params{c.k, c.r, c.w};
+  const std::size_t unit = c.unit_size;
+  const std::size_t num_nodes = params.n() + 2;
+
+  cluster::ClusterConfig cc;
+  cc.num_nodes = num_nodes;
+  cc.num_domains = 1 + c.seed % 3;
+  cc.retry.max_attempts = 6;
+  cc.hedge.min_samples = 2;
+  cc.hedge.multiplier = 2.0;
+  cc.seed = c.seed ^ 0xC1A5;
+  cluster::Cluster cl(params, unit, cc);
+
+  // Two objects so repairs interleave across namespaces; sizes (and so
+  // stripe counts) stay fixed for the whole campaign.
+  const std::size_t stripe_bytes = c.k * unit;
+  std::map<std::string, std::size_t> sizes;
+  sizes["heal-a"] = 1 + c.seed % (3 * stripe_bytes);
+  sizes["heal-b"] = 1 + (c.seed >> 8) % (2 * stripe_bytes);
+  std::map<std::string, Bytes> payloads;
+  for (const auto& [name, size] : sizes) {
+    payloads.emplace(name, seeded_bytes(size, c.seed ^ size));
+    cl.put(name, payloads.at(name).span());  // stored clean; chaos follows
+  }
+  const auto stripes_of = [&](const std::string& name) {
+    return (sizes.at(name) + stripe_bytes - 1) / stripe_bytes;
+  };
+
+  storage::FaultPolicy policy;
+  policy.read_bit_flip = 0.02;   // healed by CRC-triggered re-reads
+  policy.transient_read = 0.04;  // healed by retry-with-backoff
+  policy.transient_failures = 2;
+  policy.link_drop = 0.02;       // lands on heartbeats and data alike
+  policy.link_duplicate = 0.03;
+  policy.link_partition = 0.005;  // short windows: Suspect, rarely Dead
+  policy.partition_ops = 3;
+  storage::FaultInjector injector(policy, c.seed ^ 0x4EA1);
+  cl.attach_fault_injector(&injector);
+
+  cluster::Membership membership(cl);
+  cluster::HealerConfig hc;
+  hc.max_requeues = 16;  // chaos makes individual attempts flaky
+  hc.max_repairs_per_tick = 2 + c.seed % 3;
+  hc.repair_bytes_per_sec = c.seed % 3 == 0 ? 0 : 512 * 1024;
+  hc.burst_bytes = 64 * 1024;
+  cluster::Healer healer(cl, &membership, hc);
+  for (int t = 0; t < 16; ++t) healer.tick();  // warm the gap estimators
+
+  // Scripted dark nodes: config losses seed the campaign, capped so
+  // every stripe keeps at least one spare node for re-placement and the
+  // persistent damage stays within the parity budget.
+  const std::size_t dark_cap = std::min<std::size_t>(2, c.r);
+  std::vector<std::size_t> dark;
+  for (const std::size_t node : distinct(c.losses)) {
+    if (dark.size() == dark_cap) break;
+    injector.crash_node(node);
+    dark.push_back(node);
+  }
+  std::mt19937_64 rng(c.seed ^ 0x8EA1D00D);
+  if (dark.empty() && dark_cap > 0) {
+    const std::size_t node = rng() % num_nodes;
+    injector.crash_node(node);
+    dark.push_back(node);
+  }
+
+  const auto check_bytes =
+      [&](const std::optional<std::vector<std::uint8_t>>& read,
+          const std::string& name,
+          const char* label) -> std::optional<FuzzOutcome> {
+    const Bytes& want = payloads.at(name);
+    const std::string what = std::string(label) + " " + name;
+    if (!read) return fail(c, what + " lost the object");
+    if (read->size() != want.span().size())
+      return fail(c, what + " returned " + std::to_string(read->size()) +
+                         " bytes, want " +
+                         std::to_string(want.span().size()));
+    if (auto d = first_divergence(*read, want.span(), unit, what.c_str()))
+      return fail(c, *d);
+    return std::nullopt;
+  };
+
+  for (int round = 0; round < 6; ++round) {
+    switch (rng() % 4) {
+      case 0: {  // crash another node, honoring the dark cap. Fresh
+                 // damage waits for a drained queue: outstanding revive
+                 // debt or corruption still counts against the parity
+                 // budget until the healer clears it.
+        if (dark.size() < dark_cap && healer.pending() == 0 &&
+            healer.parked_now() == 0) {
+          const std::size_t node = rng() % num_nodes;
+          if (std::find(dark.begin(), dark.end(), node) == dark.end()) {
+            injector.crash_node(node);
+            dark.push_back(node);
+          }
+        }
+        break;
+      }
+      case 1: {  // revive a dark node: rejoin + re-replication debt
+        if (!dark.empty()) {
+          const std::size_t i = rng() % dark.size();
+          cl.revive_node(dark[i]);
+          dark.erase(dark.begin() + i);
+        }
+        break;
+      }
+      case 2: {  // plant corruption only while a parity of slack remains
+                 // (and, as above, only on a drained queue)
+        if (dark.size() + 1 <= c.r && healer.pending() == 0 &&
+            healer.parked_now() == 0) {
+          const std::string name = rng() % 2 ? "heal-a" : "heal-b";
+          cl.corrupt_unit(name, rng() % stripes_of(name),
+                          rng() % params.n());
+        }
+        break;
+      }
+      case 3: {  // foreground traffic against whatever is currently dark
+        const std::string name = rng() % 2 ? "heal-a" : "heal-b";
+        if (rng() % 2 == 0) {
+          // A rewrite against undetected-dark nodes surfaces
+          // WriteFailure damage; the healer owes the missing units.
+          Bytes fresh = seeded_bytes(sizes.at(name), rng());
+          cl.put(name, fresh.span());
+          payloads.at(name) = std::move(fresh);
+        } else {
+          try {
+            const auto read = cl.get(name);
+            if (auto failure = check_bytes(read, name, "mid-campaign get"))
+              return *failure;
+          } catch (const std::runtime_error&) {
+            // Mid-campaign unavailability is tolerated: undetected dark
+            // nodes, retry exhaustion, and spurious partition verdicts
+            // can all starve a single read. Integrity and availability
+            // are gated deterministically after convergence below.
+          }
+        }
+        break;
+      }
+    }
+    // Let the control plane catch up: detector ticks, scrub converts
+    // latent corruption into damage events, the queue partially drains.
+    for (int t = 0; t < 8; ++t) healer.tick();
+    cl.scrub();
+    healer.run_until_idle(400);
+  }
+
+  // If every scripted crash was revived before the detector could rule,
+  // plant one final dark node so the campaign always exercises at least
+  // one full crash -> Dead -> re-placement cycle.
+  if (dark.empty() && dark_cap > 0 &&
+      healer.stats().nodes_declared_dead == 0) {
+    healer.run_until_idle(400);  // plant only against a drained queue
+    if (healer.pending() == 0 && healer.parked_now() == 0) {
+      const std::size_t node = rng() % num_nodes;
+      injector.crash_node(node);
+      dark.push_back(node);
+    }
+  }
+  // A node dark at quiet-phase entry is guaranteed a Dead verdict: under
+  // a quiet policy every probe to it goes unanswered, so phi crosses
+  // dead_phi within the settling ticks below.
+  const bool expect_dead_verdict = !dark.empty();
+
+  // Quiet the probabilistic faults (scripted crashes stay), let every
+  // remaining verdict land, surface anything latent, and drain.
+  injector.set_policy(storage::FaultPolicy{});
+  for (int t = 0; t < 64; ++t) healer.tick();
+  cl.scrub();
+  for (int t = 0;
+       t < 4000 && (healer.pending() != 0 || healer.parked_now() != 0); ++t)
+    healer.tick();
+  if (healer.pending() != 0 || healer.parked_now() != 0)
+    return fail(c, "healer did not converge: pending=" +
+                       std::to_string(healer.pending()) + " parked=" +
+                       std::to_string(healer.parked_now()));
+
+  // Zero unhealed recoverable damage: every stripe fully redundant on
+  // the routing view, dark nodes re-placed around.
+  for (const auto& [name, size] : sizes) {
+    for (std::size_t s = 0; s < stripes_of(name); ++s) {
+      const cluster::StripeHealth h = cl.repairer().stripe_health(name, s);
+      if (!h.exists)
+        return fail(c, "stripe " + name + "/" + std::to_string(s) +
+                           " vanished during the campaign");
+      if (h.erased != 0)
+        return fail(c, "stripe " + name + "/" + std::to_string(s) +
+                           " left with " + std::to_string(h.erased) +
+                           " erasures after convergence");
+    }
+  }
+
+  // Availability and integrity after convergence are unconditional.
+  for (const auto& [name, size] : sizes) {
+    std::optional<std::vector<std::uint8_t>> read;
+    try {
+      read = cl.get(name);
+    } catch (const std::runtime_error& e) {
+      return fail(c, "converged get(" + name + ") unrecoverable: " +
+                         e.what());
+    }
+    if (auto failure = check_bytes(read, name, "converged get"))
+      return *failure;
+  }
+
+  // The identity sweep — every counter family must balance, always.
+  if (!healer.identity_holds())
+    return fail(c, "healer accounting identity violated");
+  if (!membership.probe_identity_holds())
+    return fail(c, "membership probe identity violated");
+  if (!membership.transitions_balance())
+    return fail(c, "membership transition counters do not balance");
+  if (!cl.repair_stats().identity_holds())
+    return fail(c, "repair counter identity violated");
+  if (!cl.net().stats().balanced())
+    return fail(c, "network byte ledger does not balance");
+  if (expect_dead_verdict && healer.stats().nodes_declared_dead == 0)
+    return fail(c, "campaign crashed a node but no Dead verdict landed");
   return FuzzOutcome{true, {}, {}, 1};
 }
 
@@ -1280,6 +1514,8 @@ FuzzOutcome DiffFuzzer::run_one(const FuzzConfig& config) {
         return run_cluster(config, /*repair=*/false);
       case Scenario::ClusterRepair:
         return run_cluster(config, /*repair=*/true);
+      case Scenario::ClusterHeal:
+        return run_cluster_heal(config);
     }
     return fail(config, "unknown scenario");
   } catch (const std::exception& e) {
@@ -1324,7 +1560,8 @@ FuzzConfig clamp_losses(FuzzConfig c) {
       (c.scenario == Scenario::StorageRoundTrip ||
        c.scenario == Scenario::StorageFaulted ||
        c.scenario == Scenario::Cluster ||
-       c.scenario == Scenario::ClusterRepair)
+       c.scenario == Scenario::ClusterRepair ||
+       c.scenario == Scenario::ClusterHeal)
           ? c.n() + 2
           : c.n();
   std::erase_if(c.losses, [&](std::size_t id) { return id >= space; });

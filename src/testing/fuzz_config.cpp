@@ -19,7 +19,8 @@ const Scenario kScenarios[] = {
     Scenario::LrcRoundTrip,     Scenario::StorageRoundTrip,
     Scenario::StorageFaulted,   Scenario::Serve,
     Scenario::ServeChaos,       Scenario::ServeShard,
-    Scenario::Cluster,          Scenario::ClusterRepair};
+    Scenario::Cluster,          Scenario::ClusterRepair,
+    Scenario::ClusterHeal};
 
 const ec::RsFamily kFamilies[] = {
     ec::RsFamily::VandermondeSystematic, ec::RsFamily::Cauchy,
@@ -86,6 +87,8 @@ const char* to_string(Scenario s) noexcept {
       return "cluster";
     case Scenario::ClusterRepair:
       return "cluster-repair";
+    case Scenario::ClusterHeal:
+      return "cluster-heal";
   }
   return "?";
 }
@@ -124,7 +127,9 @@ void FuzzConfig::validate() const {
   const std::size_t loss_space =
       (scenario == Scenario::StorageRoundTrip ||
        scenario == Scenario::StorageFaulted ||
-       scenario == Scenario::Cluster || scenario == Scenario::ClusterRepair)
+       scenario == Scenario::Cluster ||
+       scenario == Scenario::ClusterRepair ||
+       scenario == Scenario::ClusterHeal)
           ? n() + 2
           : n();
   for (const std::size_t id : losses)
@@ -278,7 +283,8 @@ FuzzConfig random_config(std::mt19937_64& rng) {
   } else if (c.scenario == Scenario::StorageRoundTrip ||
              c.scenario == Scenario::StorageFaulted ||
              c.scenario == Scenario::Cluster ||
-             c.scenario == Scenario::ClusterRepair) {
+             c.scenario == Scenario::ClusterRepair ||
+             c.scenario == Scenario::ClusterHeal) {
     const std::size_t num_nodes = c.n() + 2;
     const std::size_t e = pick(0, c.r);
     std::vector<std::size_t> nodes(num_nodes);

@@ -53,6 +53,15 @@ enum class Scenario {
                    ///< counter identity and network ledger must balance,
                    ///< and a healed cluster must read back byte-identical
                    ///< to the single-process oracle (the original bytes)
+  ClusterHeal,     ///< the self-healing control plane under a seeded
+                   ///< campaign of node crashes/revives, partitions, and
+                   ///< disk corruption against a *running* healer
+                   ///< (membership heartbeats + risk-prioritized queue +
+                   ///< token bucket): after convergence every stripe must
+                   ///< be fully redundant, reads must match the original
+                   ///< payloads byte for byte, and the membership, queue,
+                   ///< repair, and network-ledger identities must balance
+                   ///< unconditionally
 };
 
 const char* to_string(Scenario s) noexcept;

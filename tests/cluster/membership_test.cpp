@@ -1,0 +1,192 @@
+#include "cluster/membership.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "storage/fault_injector.h"
+
+namespace tvmec::cluster {
+namespace {
+
+constexpr std::size_t kUnit = 512;
+
+ClusterConfig make_config(std::size_t nodes, std::size_t domains,
+                          std::uint64_t jitter_us = 0) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.num_domains = domains;
+  cfg.net.jitter_us = jitter_us;
+  return cfg;
+}
+
+TEST(Membership, RejectsInvertedPhiThresholds) {
+  Cluster cluster(ec::CodeParams{4, 2, 8}, kUnit, make_config(9, 3));
+  MembershipConfig cfg;
+  cfg.suspect_phi = 5.0;
+  cfg.dead_phi = 2.0;
+  EXPECT_THROW(Membership(cluster, cfg), std::invalid_argument);
+}
+
+// Calibration, false-positive side: with latency jitter as the only
+// disturbance (no faults at all), a long seeded run must never take a
+// live node past Alive — the auto ack timeout absorbs worst-case jitter.
+TEST(Membership, JitterOnlyNeverMarksAnyNodeDead) {
+  Cluster cluster(ec::CodeParams{4, 2, 8}, kUnit,
+                  make_config(9, 3, /*jitter_us=*/75));
+  Membership membership(cluster);
+  for (int t = 0; t < 1000; ++t) membership.tick();
+  EXPECT_EQ(membership.count(NodeState::Alive), 9u);
+  EXPECT_EQ(membership.count(NodeState::Suspect), 0u);
+  EXPECT_EQ(membership.count(NodeState::Dead), 0u);
+  const MembershipStats& stats = membership.stats();
+  EXPECT_EQ(stats.probes_sent, 9000u);
+  EXPECT_EQ(stats.acks_received, 9000u);  // nothing missed, nothing late
+  EXPECT_EQ(stats.acks_late, 0u);
+  EXPECT_EQ(stats.alive_to_suspect, 0u);
+  EXPECT_TRUE(membership.probe_identity_holds());
+  EXPECT_TRUE(membership.transitions_balance());
+}
+
+// Calibration, detection-latency side: a crashed node must pass through
+// Suspect and be Dead within a bounded number of heartbeat intervals —
+// with a warmed gap estimator (mean ~1 tick), phi crosses dead_phi
+// after about dead_phi silent ticks.
+TEST(Membership, CrashedNodeDeadWithinBoundedIntervals) {
+  Cluster cluster(ec::CodeParams{4, 2, 8}, kUnit, make_config(9, 3));
+  storage::FaultInjector injector;
+  cluster.attach_fault_injector(&injector);
+  Membership membership(cluster);
+  for (int t = 0; t < 32; ++t) membership.tick();  // warm the estimators
+  ASSERT_EQ(membership.count(NodeState::Alive), 9u);
+
+  injector.crash_node(4);
+  int suspect_after = -1;
+  int dead_after = -1;
+  const int bound = static_cast<int>(2 * membership.config().dead_phi) + 2;
+  for (int t = 1; t <= bound; ++t) {
+    membership.tick();
+    if (suspect_after < 0 && membership.state(4) != NodeState::Alive)
+      suspect_after = t;
+    if (membership.state(4) == NodeState::Dead) {
+      dead_after = t;
+      break;
+    }
+  }
+  ASSERT_GT(dead_after, 0) << "node 4 not Dead within " << bound
+                           << " heartbeat intervals";
+  EXPECT_GT(suspect_after, 0);
+  EXPECT_LT(suspect_after, dead_after);  // escalation, not a direct jump
+  EXPECT_FALSE(membership.routable(4));
+  // Only the crashed node transitioned.
+  EXPECT_EQ(membership.stats().alive_to_suspect, 1u);
+  EXPECT_EQ(membership.stats().suspect_to_dead, 1u);
+  EXPECT_TRUE(membership.probe_identity_holds());
+  EXPECT_TRUE(membership.transitions_balance());
+}
+
+TEST(Membership, RejoinSnapsDeadBackToAlive) {
+  Cluster cluster(ec::CodeParams{4, 2, 8}, kUnit, make_config(9, 3));
+  storage::FaultInjector injector;
+  cluster.attach_fault_injector(&injector);
+  Membership membership(cluster);
+  for (int t = 0; t < 16; ++t) membership.tick();
+  injector.crash_node(2);
+  for (int t = 0; t < 32 && membership.state(2) != NodeState::Dead; ++t)
+    membership.tick();
+  ASSERT_EQ(membership.state(2), NodeState::Dead);
+
+  injector.repair_node(2);
+  membership.tick();  // first post-repair ack snaps it back
+  EXPECT_EQ(membership.state(2), NodeState::Alive);
+  EXPECT_TRUE(membership.routable(2));
+  EXPECT_EQ(membership.stats().dead_to_alive, 1u);
+  EXPECT_TRUE(membership.transitions_balance());
+}
+
+// Heartbeats are messages: a partition window on the client->node link
+// starves probes exactly as it starves data, and the window healing on
+// its own brings the node back.
+TEST(Membership, PartitionWindowDrivesSuspicionThenHeals) {
+  Cluster cluster(ec::CodeParams{4, 2, 8}, kUnit, make_config(9, 3));
+  storage::FaultInjector injector;
+  cluster.attach_fault_injector(&injector);
+  Membership membership(cluster);
+  for (int t = 0; t < 16; ++t) membership.tick();
+
+  const std::size_t client = cluster.net().client();
+  injector.partition_link(storage::FaultInjector::key("link", client, 7), 20);
+  for (int t = 0; t < 20; ++t) membership.tick();
+  EXPECT_EQ(membership.state(7), NodeState::Dead);
+  EXPECT_GT(membership.stats().acks_missed, 0u);
+
+  // The window has consumed its ops; probes flow again.
+  membership.tick();
+  EXPECT_EQ(membership.state(7), NodeState::Alive);
+  EXPECT_EQ(membership.stats().dead_to_alive, 1u);
+  EXPECT_TRUE(membership.probe_identity_holds());
+  EXPECT_TRUE(membership.transitions_balance());
+}
+
+TEST(Membership, TightTimeoutCountsLateAcks) {
+  // A 1us round-trip budget is unmeetable: every ack arrives, and every
+  // ack is late — the timeout path, not the loss path.
+  Cluster cluster(ec::CodeParams{4, 2, 8}, kUnit, make_config(9, 3));
+  MembershipConfig cfg;
+  cfg.ack_timeout_us = 1;
+  Membership membership(cluster, cfg);
+  for (int t = 0; t < 12; ++t) membership.tick();
+  const MembershipStats& stats = membership.stats();
+  EXPECT_EQ(stats.acks_received, 0u);
+  EXPECT_EQ(stats.acks_missed, 0u);
+  EXPECT_EQ(stats.acks_late, stats.probes_sent);
+  EXPECT_EQ(membership.count(NodeState::Dead), 9u);  // silence accrues
+  EXPECT_TRUE(membership.probe_identity_holds());
+  EXPECT_TRUE(membership.transitions_balance());
+}
+
+// The core routing-semantics change: with a detector attached the
+// cluster routes on *verdicts*, not on omniscient injector state.
+TEST(Membership, ClusterRoutesOnVerdictNotOmniscience) {
+  Cluster cluster(ec::CodeParams{4, 2, 8}, kUnit, make_config(9, 3));
+  storage::FaultInjector injector;
+  cluster.attach_fault_injector(&injector);
+
+  // Without a membership, node_usable is the omniscient !node_failed.
+  injector.crash_node(3);
+  EXPECT_TRUE(cluster.node_failed(3));
+  EXPECT_FALSE(cluster.node_usable(3));
+  injector.repair_node(3);
+
+  Membership membership(cluster);
+  cluster.set_membership(&membership);
+  for (int t = 0; t < 16; ++t) membership.tick();
+  injector.crash_node(3);
+  // Physically down, but no verdict yet: still routed to (the op that
+  // tries it will fail honestly and mark it).
+  EXPECT_TRUE(cluster.node_failed(3));
+  EXPECT_TRUE(cluster.node_usable(3));
+  for (int t = 0; t < 32 && membership.state(3) != NodeState::Dead; ++t)
+    membership.tick();
+  EXPECT_FALSE(cluster.node_usable(3));
+  cluster.set_membership(nullptr);
+}
+
+// Heartbeat traffic obeys the same ledger as data traffic.
+TEST(Membership, HeartbeatTrafficBalancesNetLedger) {
+  Cluster cluster(ec::CodeParams{4, 2, 8}, kUnit, make_config(9, 3));
+  storage::FaultInjector injector({.link_drop = 0.05}, 99);
+  cluster.attach_fault_injector(&injector);
+  Membership membership(cluster);
+  const std::uint64_t t0 = cluster.net().now_us();
+  for (int t = 0; t < 200; ++t) membership.tick();
+  EXPECT_TRUE(cluster.net().stats().balanced());
+  EXPECT_GT(membership.stats().acks_missed, 0u);  // drops did land on probes
+  // The tick owns the clock: 200 heartbeat intervals elapsed.
+  EXPECT_EQ(cluster.net().now_us() - t0,
+            200 * membership.config().heartbeat_interval_us);
+  EXPECT_TRUE(membership.probe_identity_holds());
+  EXPECT_TRUE(membership.transitions_balance());
+}
+
+}  // namespace
+}  // namespace tvmec::cluster

@@ -220,6 +220,18 @@ TEST(DiffFuzz, EdgeCaseReprosPass) {
       "loss=3",
       "fuzz:v1 s=cluster-repair k=1 r=1 w=8 u=8 seed=17 loss=1",
       "fuzz:v1 s=cluster-repair k=8 r=3 w=8 u=64 seed=1234567 loss=0,4,9",
+      // Self-healing control plane: a scripted campaign of crashes,
+      // revives, rewrites, and corruption against a live healer
+      // (heartbeat membership, risk-prioritized queue, token bucket).
+      // After convergence every stripe must be fully redundant, reads
+      // must be byte-identical, and the membership/healer/repair/ledger
+      // identities must balance unconditionally.
+      "fuzz:v1 s=cluster-heal k=4 r=2 w=8 u=64 seed=7 loss=1,4",
+      "fuzz:v1 s=cluster-heal k=6 r=3 w=8 u=128 seed=21 loss=2",
+      "fuzz:v1 s=cluster-heal k=1 r=1 w=4 u=4 seed=13",
+      "fuzz:v1 s=cluster-heal f=vandermonde k=8 r=3 w=16 u=32 seed=5 "
+      "loss=9,3",
+      "fuzz:v1 s=cluster-heal k=5 r=2 w=8 u=24 seed=33 loss=6",
       // Variant-pinned encode: the whole iteration runs under a forced
       // kernel tier, and the cross-variant arm diffs it against a
       // forced-scalar rerun. Scalar is always available; higher tiers
